@@ -1,0 +1,125 @@
+// Ablation: estimation quality under skewed data (paper §7 directions).
+//
+// The paper's start-up decisions presume selectivities derivable from the
+// bound host variables.  With skewed data a uniform-assumption estimator
+// misjudges them, so the choose-plan decisions pick the wrong alternative.
+// Two remedies from the paper's future-work discussion are compared, on
+// actually executed plans with device-weighted physical I/O:
+//
+//   uniform      start-up decisions with the uniform estimator
+//   histograms   ANALYZE-built equi-width histograms back the estimator
+//   observed     maximal single-relation subplans are evaluated first and
+//                their exact cardinalities drive the decisions (§7)
+//
+// Static plans are included as the baseline.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "exec/executor.h"
+#include "runtime/adaptive.h"
+#include "runtime/startup.h"
+#include "storage/analyze.h"
+
+namespace dqep::bench {
+namespace {
+
+constexpr int kInvocations = 10;
+constexpr double kSkew = 3.0;
+
+double WeightedIo(Database& db, const SystemConfig& config,
+                  const PhysNodePtr& plan, const ParamEnv& env) {
+  db.ResetIoStats();
+  auto rows = ExecutePlan(plan, db, env);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 rows.status().ToString().c_str());
+    std::abort();
+  }
+  return static_cast<double>(db.buffer_pool().sequential_misses()) *
+             config.SeqPageIoSeconds() +
+         static_cast<double>(db.buffer_pool().random_misses()) *
+             config.random_page_io_seconds;
+}
+
+void Run() {
+  auto workload_result =
+      PaperWorkload::Create(kWorkloadSeed, /*populate=*/true,
+                            /*buffer_pool_pages=*/64, kSkew);
+  if (!workload_result.ok()) {
+    std::fprintf(stderr, "workload failed\n");
+    std::abort();
+  }
+  std::unique_ptr<PaperWorkload> workload = std::move(*workload_result);
+  StatisticsCatalog stats = AnalyzeDatabase(workload->db());
+  CostModel histogram_model(&workload->catalog(), workload->config(),
+                            &stats);
+
+  std::printf(
+      "Ablation: Decision Quality under Skewed Data (skew exponent %.1f)\n"
+      "(device-weighted actual I/O seconds per invocation, avg of %d\n"
+      "random bindings; executed on the real storage engine)\n\n",
+      kSkew, kInvocations);
+  TextTable table({"query", "static", "dyn_uniform", "dyn_histograms",
+                   "dyn_observed", "best"});
+  for (int32_t n : {2, 3, 4}) {
+    Query query = workload->ChainQuery(n);
+    CompiledQuery static_plan = MustCompile(
+        *workload, query, OptimizerOptions::Static(), false);
+    CompiledQuery dynamic_plan = MustCompile(
+        *workload, query, OptimizerOptions::Dynamic(), false);
+    Rng rng(kBindingSeed);
+    double io_static = 0.0;
+    double io_uniform = 0.0;
+    double io_histogram = 0.0;
+    double io_observed = 0.0;
+    for (int i = 0; i < kInvocations; ++i) {
+      ParamEnv bound = workload->DrawBindings(&rng, query, false);
+      io_static += WeightedIo(workload->db(), workload->config(),
+                              static_plan.plan.root, bound);
+      auto uniform = ResolveDynamicPlan(dynamic_plan.plan.root,
+                                        workload->model(), bound);
+      auto histogram = ResolveDynamicPlan(dynamic_plan.plan.root,
+                                          histogram_model, bound);
+      auto observed = ResolveWithObservation(
+          dynamic_plan.plan.root, workload->model(), bound, workload->db());
+      if (!uniform.ok() || !histogram.ok() || !observed.ok()) {
+        std::fprintf(stderr, "resolution failed\n");
+        std::abort();
+      }
+      io_uniform += WeightedIo(workload->db(), workload->config(),
+                               uniform->resolved, bound);
+      io_histogram += WeightedIo(workload->db(), workload->config(),
+                                 histogram->resolved, bound);
+      io_observed += WeightedIo(workload->db(), workload->config(),
+                                observed->startup.resolved, bound);
+    }
+    double best = std::min(
+        {io_static, io_uniform, io_histogram, io_observed});
+    const char* best_name = best == io_observed    ? "observed"
+                            : best == io_histogram ? "histograms"
+                            : best == io_uniform   ? "uniform"
+                                                   : "static";
+    table.AddRow({"chain-" + std::to_string(n),
+                  TextTable::Num(io_static / kInvocations, 3),
+                  TextTable::Num(io_uniform / kInvocations, 3),
+                  TextTable::Num(io_histogram / kInvocations, 3),
+                  TextTable::Num(io_observed / kInvocations, 3),
+                  best_name});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: every dynamic variant beats the static plan; the\n"
+      "histogram- and observation-backed decision procedures close the\n"
+      "gap the uniform assumption leaves on skewed data.  (Observation\n"
+      "I/O is not charged here; a production system reuses the temporary\n"
+      "results it materializes.)\n");
+}
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main() {
+  dqep::bench::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Validation beyond the paper: execute the plans on the real storage
+// engine and count *actual* physical page I/O.
+//
+// The paper (footnote 4) compares optimizer-predicted execution costs to
+// isolate search quality from estimation quality.  This bench closes the
+// loop on our substrate: for Q1-Q3, each invocation executes (i) the
+// static plan and (ii) the start-up-resolved dynamic plan through the
+// Volcano engine against the paged tables, with a buffer pool sized to
+// the expected memory grant, and reports physical page reads and rows.
+// The dynamic plan's I/O advantage should mirror Figure 4's cost
+// advantage.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "exec/executor.h"
+#include "runtime/startup.h"
+
+namespace dqep::bench {
+namespace {
+
+constexpr int kInvocations = 20;
+
+struct ExecOutcome {
+  int64_t page_reads = 0;
+  int64_t rows = 0;
+  /// Device-model seconds: sequential misses at sequential page cost,
+  /// random misses at random page cost (the cost model's 8:1 ratio).
+  double io_seconds = 0.0;
+};
+
+ExecOutcome Execute(Database& db, const SystemConfig& config,
+                    const PhysNodePtr& plan, const ParamEnv& env) {
+  db.ResetIoStats();
+  auto rows = ExecutePlan(plan, db, env);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 rows.status().ToString().c_str());
+    std::abort();
+  }
+  ExecOutcome out;
+  out.page_reads = db.page_store().stats().page_reads;
+  out.rows = static_cast<int64_t>(rows->size());
+  out.io_seconds = static_cast<double>(db.buffer_pool().sequential_misses()) *
+                       config.SeqPageIoSeconds() +
+                   static_cast<double>(db.buffer_pool().random_misses()) *
+                       config.random_page_io_seconds;
+  return out;
+}
+
+void Run() {
+  // Buffer pool sized to the expected memory grant (64 pages).
+  auto workload_result = PaperWorkload::Create(
+      kWorkloadSeed, /*populate=*/true, /*buffer_pool_pages=*/64);
+  if (!workload_result.ok()) {
+    std::fprintf(stderr, "workload failed\n");
+    std::abort();
+  }
+  std::unique_ptr<PaperWorkload> workload = std::move(*workload_result);
+
+  std::printf(
+      "Actual Execution Validation (beyond the paper)\n"
+      "(physical page reads per invocation, averaged over %d random\n"
+      "bindings; buffer pool = 64 pages; Q1-Q3 executed end-to-end)\n\n",
+      kInvocations);
+  TextTable table({"query", "reads_static", "reads_dynamic", "io_s_static",
+                   "io_s_dynamic", "io_time_ratio", "avg_rows",
+                   "results_agree"});
+  for (int32_t n : {1, 2, 4}) {
+    Query query = workload->ChainQuery(n);
+    CompiledQuery static_plan = MustCompile(
+        *workload, query, OptimizerOptions::Static(), false);
+    CompiledQuery dynamic_plan = MustCompile(
+        *workload, query, OptimizerOptions::Dynamic(), false);
+    Rng rng(kBindingSeed);
+    ExecOutcome sum_static;
+    ExecOutcome sum_dynamic;
+    bool agree = true;
+    for (int i = 0; i < kInvocations; ++i) {
+      ParamEnv bound = workload->DrawBindings(&rng, query, false);
+      ExecOutcome s = Execute(workload->db(), workload->config(),
+                              static_plan.plan.root, bound);
+      auto startup = ResolveDynamicPlan(dynamic_plan.plan.root,
+                                        workload->model(), bound);
+      if (!startup.ok()) {
+        std::fprintf(stderr, "startup failed\n");
+        std::abort();
+      }
+      ExecOutcome d = Execute(workload->db(), workload->config(),
+                              startup->resolved, bound);
+      sum_static.page_reads += s.page_reads;
+      sum_static.io_seconds += s.io_seconds;
+      sum_static.rows += s.rows;
+      sum_dynamic.page_reads += d.page_reads;
+      sum_dynamic.io_seconds += d.io_seconds;
+      if (s.rows != d.rows) {
+        agree = false;
+      }
+    }
+    double inv = kInvocations;
+    table.AddRow({"Q" + std::to_string(n == 4 ? 3 : n),
+                  TextTable::Num(sum_static.page_reads / inv, 1),
+                  TextTable::Num(sum_dynamic.page_reads / inv, 1),
+                  TextTable::Num(sum_static.io_seconds / inv, 3),
+                  TextTable::Num(sum_dynamic.io_seconds / inv, 3),
+                  TextTable::Num(sum_static.io_seconds /
+                                     std::max(sum_dynamic.io_seconds, 1e-9),
+                                 2),
+                  TextTable::Num(sum_static.rows / inv, 1),
+                  agree ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape: both plans return identical result sizes, and in\n"
+      "device-model I/O time (sequential vs random misses weighted like\n"
+      "the cost model's 8:1 ratio) the dynamic plan clearly beats the\n"
+      "static plan — the compile-time preferences hold on the real\n"
+      "storage engine, not just in the estimator.\n");
+}
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main() {
+  dqep::bench::Run();
+  return 0;
+}

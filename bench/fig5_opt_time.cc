@@ -1,0 +1,86 @@
+// Figure 5: optimization time for static and dynamic plans.
+//
+// Measures CPU time of traditional (expected-value) optimization vs.
+// dynamic-plan (interval) optimization for the five paper queries.  Paper
+// result: dynamic optimization is slower — at most ~3x (27.1 s vs 80.6 s
+// for Q5 on a DECstation 5000/125) — chiefly because branch-and-bound
+// pruning weakens when only lower bounds can be subtracted.  Absolute
+// times on modern hardware are milliseconds; the ratio is the result.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+
+namespace dqep::bench {
+namespace {
+
+/// Medians over repeated optimizations to de-noise the tiny absolute times.
+double MedianOptimizeSeconds(const PaperWorkload& workload,
+                             const Query& query,
+                             const OptimizerOptions& options,
+                             bool uncertain_memory, int repetitions) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    Optimizer optimizer(&workload.model(), options);
+    auto plan = optimizer.Optimize(
+        query, workload.CompileTimeEnv(uncertain_memory));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "optimize failed: %s\n",
+                   plan.status().ToString().c_str());
+      std::abort();
+    }
+    times.push_back(plan->stats.optimize_seconds);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void Run() {
+  std::unique_ptr<PaperWorkload> workload = MustCreateWorkload();
+  std::printf(
+      "Figure 5: Optimization Time for Static and Dynamic Plans\n"
+      "(measured CPU seconds, median of 5 runs)\n\n");
+  TextTable table({"query", "setting", "uncertain_vars", "static_opt_a",
+                   "dynamic_opt_e", "dynamic/static", "considered_s",
+                   "considered_d", "pruned_s", "pruned_d"});
+  for (const QueryPoint& point : PaperQueryPoints()) {
+    Query query = workload->ChainQuery(point.num_relations);
+    double static_time =
+        MedianOptimizeSeconds(*workload, query, OptimizerOptions::Static(),
+                              point.uncertain_memory, 5);
+    double dynamic_time =
+        MedianOptimizeSeconds(*workload, query, OptimizerOptions::Dynamic(),
+                              point.uncertain_memory, 5);
+    Optimizer stat(&workload->model(), OptimizerOptions::Static());
+    Optimizer dyn(&workload->model(), OptimizerOptions::Dynamic());
+    auto sp = stat.Optimize(query,
+                            workload->CompileTimeEnv(point.uncertain_memory));
+    auto dp = dyn.Optimize(query,
+                           workload->CompileTimeEnv(point.uncertain_memory));
+    table.AddRow({"Q" + std::to_string(point.query_index),
+                  SettingName(point.uncertain_memory),
+                  TextTable::Count(point.uncertain_vars),
+                  TextTable::Num(static_time, 6),
+                  TextTable::Num(dynamic_time, 6),
+                  TextTable::Num(dynamic_time / static_time, 2),
+                  TextTable::Count(sp->stats.plans_considered),
+                  TextTable::Count(dp->stats.plans_considered),
+                  TextTable::Count(sp->stats.plans_pruned),
+                  TextTable::Count(dp->stats.plans_pruned)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape (paper): dynamic-plan optimization costs more than\n"
+      "traditional optimization but stays within a small factor (paper:\n"
+      "< 3x for Q5); uncertain memory adds little or nothing.\n");
+}
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main() {
+  dqep::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6: plan sizes (operator nodes) for static and dynamic plans.
+//
+// Counts DAG operator nodes in the optimized access modules.  Paper
+// result: dynamic plans are dramatically larger (14,090 vs 21 nodes for
+// Q5's 11 uncertain variables), but growth is contained by representing
+// plans as DAGs with shared subplans; uncertain memory barely adds nodes.
+// We additionally report the tree-expansion size and the number of
+// embedded static plans, quantifying how much the DAG sharing saves.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace dqep::bench {
+namespace {
+
+void Run() {
+  std::unique_ptr<PaperWorkload> workload = MustCreateWorkload();
+  std::printf(
+      "Figure 6: Plan Sizes for Static and Dynamic Plans\n"
+      "(operator nodes in the plan DAG; module bytes at 128 B/node)\n\n");
+  TextTable table({"query", "setting", "uncertain_vars", "static_nodes",
+                   "dynamic_nodes", "choose_nodes", "dyn_tree_nodes",
+                   "embedded_plans", "module_KB"});
+  for (const QueryPoint& point : PaperQueryPoints()) {
+    Query query = workload->ChainQuery(point.num_relations);
+    CompiledQuery static_plan =
+        MustCompile(*workload, query, OptimizerOptions::Static(),
+                    point.uncertain_memory);
+    CompiledQuery dynamic_plan =
+        MustCompile(*workload, query, OptimizerOptions::Dynamic(),
+                    point.uncertain_memory);
+    table.AddRow(
+        {"Q" + std::to_string(point.query_index),
+         SettingName(point.uncertain_memory),
+         TextTable::Count(point.uncertain_vars),
+         TextTable::Count(static_plan.module.num_nodes()),
+         TextTable::Count(dynamic_plan.module.num_nodes()),
+         TextTable::Count(dynamic_plan.module.num_choose_nodes()),
+         TextTable::Num(dynamic_plan.plan.root->CountExpandedTreeNodes(), 0),
+         TextTable::Num(dynamic_plan.plan.root->CountEmbeddedPlans(), 0),
+         TextTable::Num(
+             dynamic_plan.module.ModeledSizeBytes(workload->config()) / 1024.0,
+             1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape (paper): dynamic plans are orders of magnitude\n"
+      "larger than static plans (paper: 14,090 vs 21 nodes at 11 uncertain\n"
+      "variables) yet far below the exponential tree expansion thanks to\n"
+      "shared subplans; uncertain memory barely increases plan size.\n");
+}
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main() {
+  dqep::bench::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 8: run-time optimization versus dynamic plans.
+//
+// Compares the per-invocation run-time effort of (i) optimizing the query
+// from scratch at each invocation (a + d_i, no activation) against (ii)
+// activating a compile-time dynamic plan and deciding at start-up
+// (f + g_i).  The chosen plans are equally good (g_i = d_i, verified
+// here), so the comparison reduces to optimization time vs. start-up
+// overhead.  Paper result: dynamic plans win for all but the simplest
+// queries, by more than 2x for Q5.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace dqep::bench {
+namespace {
+
+void Run() {
+  std::unique_ptr<PaperWorkload> workload = MustCreateWorkload();
+  std::printf(
+      "Figure 8: Run-Time Optimization versus Dynamic Plans\n"
+      "(avg per-invocation run-time effort over N=%d bindings, seconds)\n\n",
+      kNumInvocations);
+  TextTable table({"query", "setting", "uncertain_vars", "runtime_opt_a+d",
+                   "dynamic_f+g", "ratio", "g_equals_d"});
+  for (const QueryPoint& point : PaperQueryPoints()) {
+    Query query = workload->ChainQuery(point.num_relations);
+    CompiledQuery dynamic_plan =
+        MustCompile(*workload, query, OptimizerOptions::Dynamic(),
+                    point.uncertain_memory);
+    Rng rng(kBindingSeed + static_cast<uint64_t>(point.uncertain_vars));
+    double sum_runtime = 0.0;
+    double sum_dynamic = 0.0;
+    bool all_equal = true;
+    for (int i = 0; i < kNumInvocations; ++i) {
+      ParamEnv bound =
+          workload->DrawBindings(&rng, query, point.uncertain_memory);
+      auto runtime = OptimizeAtRunTime(query, workload->model(), bound);
+      auto dynamic = InvokeDynamic(dynamic_plan, workload->model(), bound);
+      if (!runtime.ok() || !dynamic.ok()) {
+        std::fprintf(stderr, "invocation failed\n");
+        std::abort();
+      }
+      sum_runtime += runtime->TotalSeconds();
+      sum_dynamic += dynamic->TotalSeconds();
+      if (std::abs(runtime->execution_cost - dynamic->execution_cost) >
+          1e-9 * (1.0 + runtime->execution_cost)) {
+        all_equal = false;
+      }
+    }
+    double avg_runtime = sum_runtime / kNumInvocations;
+    double avg_dynamic = sum_dynamic / kNumInvocations;
+    table.AddRow({"Q" + std::to_string(point.query_index),
+                  SettingName(point.uncertain_memory),
+                  TextTable::Count(point.uncertain_vars),
+                  TextTable::Num(avg_runtime, 4),
+                  TextTable::Num(avg_dynamic, 4),
+                  TextTable::Num(avg_runtime / avg_dynamic, 2),
+                  all_equal ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape (paper): identical executed plans (g = d, the\n"
+      "optimality guarantee), with dynamic plans cheaper overall because\n"
+      "start-up decisions cost far less than re-optimization; the paper\n"
+      "reports a >2x advantage for Q5.  (Execution costs dominate both\n"
+      "sides here; the optimization-vs-start-up gap is the differentiator\n"
+      "and grows with query complexity.)\n");
+}
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main() {
+  dqep::bench::Run();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the primitives whose speed the
+// paper's argument depends on: interval cost comparison, cost-function
+// evaluation over plan DAGs, start-up resolution, optimization in both
+// modes, and access-module (de)serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "optimizer/optimizer.h"
+#include "physical/access_module.h"
+#include "physical/costing.h"
+#include "runtime/startup.h"
+
+namespace dqep::bench {
+namespace {
+
+const PaperWorkload& Workload() {
+  static const PaperWorkload* workload = MustCreateWorkload().release();
+  return *workload;
+}
+
+void BM_IntervalCompare(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Interval> intervals;
+  for (int i = 0; i < 1024; ++i) {
+    double lo = rng.NextDouble(0, 10);
+    intervals.emplace_back(lo, lo + rng.NextDouble(0, 10));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const Interval& a = intervals[i % intervals.size()];
+    const Interval& b = intervals[(i * 7 + 3) % intervals.size()];
+    benchmark::DoNotOptimize(a.Compare(b));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalCompare);
+
+void BM_EstimatePlan(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  const PaperWorkload& workload = Workload();
+  Query query = workload.ChainQuery(n);
+  Optimizer optimizer(&workload.model(), OptimizerOptions::Dynamic());
+  auto plan = optimizer.Optimize(query, workload.CompileTimeEnv(false));
+  DQEP_CHECK(plan.ok());
+  ParamEnv env = workload.CompileTimeEnv(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimatePlan(*plan->root, workload.model(), env,
+                                          EstimationMode::kInterval));
+  }
+  state.counters["nodes"] =
+      static_cast<double>(plan->root->CountNodes());
+}
+BENCHMARK(BM_EstimatePlan)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_StartupResolve(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  const PaperWorkload& workload = Workload();
+  Query query = workload.ChainQuery(n);
+  Optimizer optimizer(&workload.model(), OptimizerOptions::Dynamic());
+  auto plan = optimizer.Optimize(query, workload.CompileTimeEnv(false));
+  DQEP_CHECK(plan.ok());
+  Rng rng(2);
+  ParamEnv bound = workload.DrawBindings(&rng, query, false);
+  for (auto _ : state) {
+    auto startup = ResolveDynamicPlan(plan->root, workload.model(), bound);
+    benchmark::DoNotOptimize(startup);
+  }
+  state.counters["nodes"] =
+      static_cast<double>(plan->root->CountNodes());
+}
+BENCHMARK(BM_StartupResolve)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_OptimizeStatic(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  const PaperWorkload& workload = Workload();
+  Query query = workload.ChainQuery(n);
+  ParamEnv env = workload.CompileTimeEnv(false);
+  for (auto _ : state) {
+    Optimizer optimizer(&workload.model(), OptimizerOptions::Static());
+    benchmark::DoNotOptimize(optimizer.Optimize(query, env));
+  }
+}
+BENCHMARK(BM_OptimizeStatic)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_OptimizeDynamic(benchmark::State& state) {
+  int32_t n = static_cast<int32_t>(state.range(0));
+  const PaperWorkload& workload = Workload();
+  Query query = workload.ChainQuery(n);
+  ParamEnv env = workload.CompileTimeEnv(false);
+  for (auto _ : state) {
+    Optimizer optimizer(&workload.model(), OptimizerOptions::Dynamic());
+    benchmark::DoNotOptimize(optimizer.Optimize(query, env));
+  }
+}
+BENCHMARK(BM_OptimizeDynamic)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_AccessModuleSerialize(benchmark::State& state) {
+  const PaperWorkload& workload = Workload();
+  Query query = workload.ChainQuery(static_cast<int32_t>(state.range(0)));
+  Optimizer optimizer(&workload.model(), OptimizerOptions::Dynamic());
+  auto plan = optimizer.Optimize(query, workload.CompileTimeEnv(false));
+  DQEP_CHECK(plan.ok());
+  AccessModule module(plan->root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(module.Serialize());
+  }
+  state.counters["bytes"] = static_cast<double>(module.Serialize().size());
+}
+BENCHMARK(BM_AccessModuleSerialize)->Arg(4)->Arg(10);
+
+void BM_AccessModuleDeserialize(benchmark::State& state) {
+  const PaperWorkload& workload = Workload();
+  Query query = workload.ChainQuery(static_cast<int32_t>(state.range(0)));
+  Optimizer optimizer(&workload.model(), OptimizerOptions::Dynamic());
+  auto plan = optimizer.Optimize(query, workload.CompileTimeEnv(false));
+  DQEP_CHECK(plan.ok());
+  std::string bytes = AccessModule(plan->root).Serialize();
+  for (auto _ : state) {
+    auto module = AccessModule::Deserialize(bytes);
+    benchmark::DoNotOptimize(module);
+  }
+}
+BENCHMARK(BM_AccessModuleDeserialize)->Arg(4)->Arg(10);
+
+}  // namespace
+}  // namespace dqep::bench
+
+BENCHMARK_MAIN();

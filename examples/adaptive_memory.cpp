@@ -1,0 +1,92 @@
+// Adapting to run-time memory availability.
+//
+// The second problem the paper targets besides host variables: "resource
+// availability unpredictable at compile-time".  Here a 4-way join query
+// is fully specified — every selection predicate is a compile-time
+// literal; only the memory grant is unknown (U[16, 112] pages, paper §6).
+// Join orders differ in the size of their intermediate results, so which
+// order's hash joins stay in memory depends on the grant: the cost
+// intervals overlap and the optimizer emits a dynamic plan whose shape is
+// decided at start-up, when the actual grant is announced.
+
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "runtime/startup.h"
+#include "workload/paper_workload.h"
+
+namespace {
+
+template <typename T>
+T MustOk(dqep::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dqep;
+
+  auto workload = MustOk(PaperWorkload::Create(/*seed=*/42,
+                                               /*populate=*/true),
+                         "workload");
+  const CostModel& model = workload->model();
+  Query query = workload->ChainQuery(4);
+
+  // Selectivities are known at compile time (plain literals) ...
+  constexpr double kSelectivities[] = {0.9, 0.6, 0.8, 0.5};
+  ParamEnv compile_env(model.config().UncertainMemoryPages());
+  for (int32_t i = 0; i < query.num_terms(); ++i) {
+    compile_env.Bind(i, model.ValueForSelectivity(
+                            query.term(i).predicates[0],
+                            kSelectivities[static_cast<size_t>(i)]));
+  }
+  // ... but the memory grant is not: it is an interval.
+  std::printf(
+      "4-way chain join, all selectivities known at compile time,\n"
+      "memory grant in [%.0f, %.0f] pages.\n\n",
+      model.config().memory_pages_min, model.config().memory_pages_max);
+
+  Optimizer optimizer(&model, OptimizerOptions::Dynamic());
+  OptimizedPlan plan =
+      MustOk(optimizer.Optimize(query, compile_env), "optimize");
+  std::printf(
+      "Dynamic plan: %lld nodes, %lld choose-plan operators, cost %s.\n\n",
+      static_cast<long long>(plan.root->CountNodes()),
+      static_cast<long long>(plan.root->CountChooseNodes()),
+      plan.cost.ToString().c_str());
+
+  std::string previous;
+  for (double memory_pages : {112.0, 64.0, 16.0}) {
+    ParamEnv bound = compile_env;
+    bound.set_memory_pages(Interval::Point(memory_pages));
+    StartupResult startup =
+        MustOk(ResolveDynamicPlan(plan.root, model, bound), "start-up");
+    std::vector<Tuple> rows =
+        MustOk(ExecutePlan(startup.resolved, workload->db(), bound),
+               "execute");
+    std::printf(
+        "memory grant = %3.0f pages -> predicted cost %.3f s, %zu rows%s\n",
+        memory_pages, startup.execution_cost, rows.size(),
+        (!previous.empty() && previous != startup.resolved->ToString())
+            ? "   [plan changed]"
+            : "");
+    previous = startup.resolved->ToString();
+    if (memory_pages == 112.0 || memory_pages == 16.0) {
+      std::printf("%s\n", startup.resolved->ToString().c_str());
+    }
+  }
+
+  std::printf(
+      "The compiled plan switches join strategy with the announced grant:\n"
+      "generous memory favors orders whose (larger) build sides now fit;\n"
+      "tight memory favors orders with small intermediate results — all\n"
+      "without re-optimization.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// The self-shrinking access module (paper §4).
+//
+// A dynamic plan for a 4-way join carries every potentially optimal
+// alternative.  A production access module records which components each
+// invocation actually uses and, after a number of invocations (the paper
+// suggests ~100), replaces itself with a module containing only those —
+// trading a little robustness for smaller size and faster start-up.  This
+// example runs that full lifecycle on the paper's workload.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "physical/access_module.h"
+#include "runtime/shrink.h"
+#include "runtime/startup.h"
+#include "workload/paper_workload.h"
+#include "optimizer/optimizer.h"
+
+namespace {
+
+template <typename T>
+T MustOk(dqep::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dqep;
+  constexpr int kInvocationsBeforeShrink = 100;
+
+  auto workload = MustOk(PaperWorkload::Create(/*seed=*/42,
+                                               /*populate=*/false),
+                         "workload");
+  Query query = workload->ChainQuery(4);
+  Optimizer optimizer(&workload->model(), OptimizerOptions::Dynamic());
+  OptimizedPlan plan = MustOk(
+      optimizer.Optimize(query, workload->CompileTimeEnv(false)), "optimize");
+  AccessModule module(plan.root);
+  std::printf(
+      "Dynamic plan for a 4-way join: %lld nodes (%lld choose-plan),\n"
+      "access module %.1f KB, transfer %.4f s.\n\n",
+      static_cast<long long>(module.num_nodes()),
+      static_cast<long long>(module.num_choose_nodes()),
+      module.ModeledSizeBytes(workload->config()) / 1024.0,
+      module.TransferSeconds(workload->config()));
+
+  // Run the module for a while, keeping usage statistics.
+  PlanUsageTracker tracker;
+  Rng rng(2024);
+  double cpu_before = 0.0;
+  for (int i = 0; i < kInvocationsBeforeShrink; ++i) {
+    ParamEnv bound = workload->DrawBindings(&rng, query, false);
+    StartupResult startup = MustOk(
+        ResolveDynamicPlan(plan.root, workload->model(), bound), "start-up");
+    cpu_before += startup.measured_cpu_seconds;
+    tracker.Record(startup);
+  }
+  std::printf("After %lld invocations the module observed its own usage and "
+              "replaces itself.\n\n",
+              static_cast<long long>(tracker.invocations()));
+
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload->catalog(), plan.root, tracker);
+  AccessModule shrunk_module(shrunk);
+  std::printf(
+      "Shrunk module: %lld nodes (%lld choose-plan), %.1f KB, transfer "
+      "%.4f s.\n\n",
+      static_cast<long long>(shrunk_module.num_nodes()),
+      static_cast<long long>(shrunk_module.num_choose_nodes()),
+      shrunk_module.ModeledSizeBytes(workload->config()) / 1024.0,
+      shrunk_module.TransferSeconds(workload->config()));
+
+  // Compare behavior on fresh bindings.
+  double cpu_after = 0.0;
+  double regret_sum = 0.0;
+  double regret_worst = 0.0;
+  constexpr int kFresh = 100;
+  for (int i = 0; i < kFresh; ++i) {
+    ParamEnv bound = workload->DrawBindings(&rng, query, false);
+    StartupResult full = MustOk(
+        ResolveDynamicPlan(plan.root, workload->model(), bound), "full");
+    StartupResult small = MustOk(
+        ResolveDynamicPlan(shrunk, workload->model(), bound), "shrunk");
+    cpu_after += small.measured_cpu_seconds;
+    double regret =
+        (small.execution_cost - full.execution_cost) / full.execution_cost;
+    regret_sum += regret;
+    regret_worst = std::max(regret_worst, regret);
+  }
+  std::printf(
+      "On %d fresh invocations:\n"
+      "  start-up CPU per invocation: %.2e s -> %.2e s\n"
+      "  average execution-cost regret vs full dynamic plan: %.2f%%\n"
+      "  worst-case regret: %.2f%%\n\n",
+      kFresh, cpu_before / kInvocationsBeforeShrink, cpu_after / kFresh,
+      100.0 * regret_sum / kFresh, 100.0 * regret_worst);
+  std::printf(
+      "The shrinking heuristic keeps the dynamic plan's adaptivity where\n"
+      "it was exercised and drops what never paid off — the documented\n"
+      "risk is the (small) regret on bindings unlike any seen before.\n");
+  return 0;
+}

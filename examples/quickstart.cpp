@@ -1,0 +1,106 @@
+// Quickstart: the paper's Figure 1 end to end.
+//
+// A single-table query with an unbound host variable:
+//
+//     SELECT * FROM emp WHERE emp.score < :threshold
+//
+// At compile-time the predicate's selectivity is unknown, so a file scan
+// and a B-tree scan have incomparable (overlapping) cost intervals and the
+// optimizer emits a *dynamic plan* with a choose-plan operator.  At
+// start-up-time the host variable is bound, the alternatives' costs are
+// re-evaluated, and the cheaper plan runs.  We show both outcomes: a
+// selective binding picks the B-tree, an unselective one the file scan.
+
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "logical/algebra.h"
+#include "optimizer/optimizer.h"
+#include "runtime/startup.h"
+#include "storage/data_generator.h"
+#include "storage/database.h"
+
+namespace {
+
+constexpr int64_t kEmployees = 1000;
+constexpr int64_t kScoreDomain = 1000;
+
+template <typename T>
+T MustOk(dqep::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void MustOk(const dqep::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dqep;
+
+  // --- 1. Create a database: one table, one B-tree index. ------------------
+  Database db;
+  RelationId emp = MustOk(
+      db.CreateTable("emp",
+                     {{.name = "id", .type = ColumnType::kInt64,
+                       .domain_size = kEmployees, .width_bytes = 8},
+                      {.name = "score", .type = ColumnType::kInt64,
+                       .domain_size = kScoreDomain, .width_bytes = 8},
+                      {.name = "payload", .type = ColumnType::kString,
+                       .domain_size = 1, .width_bytes = 496}},
+                     kEmployees),
+      "create table");
+  MustOk(db.CreateIndex(emp, 1), "create index on emp.score");
+  MustOk(GenerateDatabaseData(/*seed=*/123, &db), "generate data");
+
+  // --- 2. State the query in the logical algebra (Figure 1a). --------------
+  constexpr ParamId kThreshold = 0;
+  SelectionPredicate pred{AttrRef{emp, 1}, CompareOp::kLt,
+                          Operand::Param(kThreshold)};
+  auto algebra = LogicalOp::Select(LogicalOp::GetSet(emp), pred);
+  std::printf("Logical query (Figure 1a):\n%s\n", algebra->ToString().c_str());
+  Query query = MustOk(algebra->ToQuery(), "normalize query");
+
+  // --- 3. Compile-time optimization into a dynamic plan (Figure 1b). -------
+  SystemConfig config;
+  CostModel model(&db.catalog(), config);
+  Optimizer optimizer(&model, OptimizerOptions::Dynamic());
+  ParamEnv compile_env;  // :threshold unbound
+  OptimizedPlan plan = MustOk(optimizer.Optimize(query, compile_env),
+                              "optimize");
+  std::printf("Dynamic plan (Figure 1b), cost interval %s:\n%s\n",
+              plan.cost.ToString().c_str(), plan.root->ToString().c_str());
+
+  // --- 4. Start-up + execution under two different bindings. ---------------
+  for (double selectivity : {0.005, 0.8}) {
+    ParamEnv bound;
+    bound.Bind(kThreshold, model.ValueForSelectivity(pred, selectivity));
+    StartupResult startup = MustOk(
+        ResolveDynamicPlan(plan.root, model, bound), "start-up resolution");
+    std::printf(
+        "Binding :threshold = %s (selectivity %.3f)\n"
+        "  chosen plan root: %s (predicted cost %.4f s, %lld decisions)\n",
+        bound.ValueOf(kThreshold).ToString().c_str(), selectivity,
+        PhysOpKindName(startup.resolved->kind()), startup.execution_cost,
+        static_cast<long long>(startup.decisions));
+    std::vector<Tuple> rows =
+        MustOk(ExecutePlan(startup.resolved, db, bound), "execution");
+    std::printf("  rows returned: %zu (expected about %.0f)\n\n", rows.size(),
+                selectivity * kEmployees);
+  }
+
+  std::printf(
+      "Note how the same prepared dynamic plan executed an index scan for\n"
+      "the selective binding and a file scan for the unselective one —\n"
+      "without re-optimizing.\n");
+  return 0;
+}

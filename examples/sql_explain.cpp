@@ -1,0 +1,111 @@
+// An EXPLAIN-style tour of dynamic plans, driven by SQL text.
+//
+// Parses an embedded-SQL query with host variables against the paper's
+// experiment database, shows the traditional static plan next to the
+// dynamic plan, then resolves the dynamic plan for several bindings of
+// the host variables and executes the chosen plan.
+//
+// Usage:
+//   sql_explain                          # run the built-in demo query
+//   sql_explain "SELECT * FROM R1, R2 WHERE R1.b = R2.a AND R1.s < :v"
+
+#include <cstdio>
+#include <string>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "runtime/startup.h"
+#include "sql/parser.h"
+#include "workload/paper_workload.h"
+
+namespace {
+
+template <typename T>
+T MustOk(dqep::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+constexpr char kDemoQuery[] =
+    "SELECT * FROM R1, R2, R3 "
+    "WHERE R1.b = R2.a AND R2.b = R3.a "
+    "AND R1.s < :alpha AND R2.s < :beta AND R3.s < :gamma";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dqep;
+
+  std::string sql = argc > 1 ? argv[1] : kDemoQuery;
+  auto workload = MustOk(PaperWorkload::Create(/*seed=*/42,
+                                               /*populate=*/true),
+                         "workload");
+  const CostModel& model = workload->model();
+
+  std::printf("SQL> %s\n\n", sql.c_str());
+  ParsedQuery parsed = MustOk(ParseQuery(sql, workload->catalog()), "parse");
+  std::printf("Normalized: %s\n\n",
+              parsed.query.ToString(workload->catalog()).c_str());
+
+  ParamEnv compile_env = workload->CompileTimeEnv(false);
+
+  Optimizer static_optimizer(&model, OptimizerOptions::Static());
+  OptimizedPlan static_plan = MustOk(
+      static_optimizer.Optimize(parsed.query, compile_env), "static opt");
+  std::printf(
+      "=== Traditional (static) plan — assumes selectivity %.2f for every "
+      "unbound predicate ===\ncost estimate %s, %lld nodes\n%s\n",
+      model.config().default_selectivity,
+      static_plan.cost.ToString().c_str(),
+      static_cast<long long>(static_plan.root->CountNodes()),
+      static_plan.root->ToString().c_str());
+
+  Optimizer dynamic_optimizer(&model, OptimizerOptions::Dynamic());
+  OptimizedPlan dynamic_plan = MustOk(
+      dynamic_optimizer.Optimize(parsed.query, compile_env), "dynamic opt");
+  std::printf(
+      "=== Dynamic plan — cost interval %s, %lld nodes, %lld choose-plan "
+      "===\n%s\n",
+      dynamic_plan.cost.ToString().c_str(),
+      static_cast<long long>(dynamic_plan.root->CountNodes()),
+      static_cast<long long>(dynamic_plan.root->CountChooseNodes()),
+      dynamic_plan.root->ToString().c_str());
+
+  // Resolve and execute at three characteristic selectivity profiles.
+  struct Profile {
+    const char* name;
+    double selectivity;
+  };
+  for (const Profile& profile :
+       {Profile{"selective", 0.02}, Profile{"medium", 0.3},
+        Profile{"unselective", 0.9}}) {
+    ParamEnv bound;
+    for (const RelationTerm& term : parsed.query.terms()) {
+      for (const SelectionPredicate& pred : term.predicates) {
+        if (pred.HasParam()) {
+          bound.Bind(pred.operand.param(),
+                     model.ValueForSelectivity(pred, profile.selectivity));
+        }
+      }
+    }
+    StartupResult startup = MustOk(
+        ResolveDynamicPlan(dynamic_plan.root, model, bound), "start-up");
+    auto rows = MustOk(ExecutePlan(startup.resolved, workload->db(), bound),
+                       "execute");
+    double static_cost =
+        EstimateRoot(*static_plan.root, model, bound,
+                     EstimationMode::kExpectedValue)
+            .cost.lo();
+    std::printf(
+        "=== All host variables at selectivity %.2f (%s) ===\n"
+        "chosen plan (predicted %.4f s vs static plan's %.4f s; %zu rows):\n"
+        "%s\n",
+        profile.selectivity, profile.name, startup.execution_cost,
+        static_cost, rows.size(), startup.resolved->ToString().c_str());
+  }
+  return 0;
+}

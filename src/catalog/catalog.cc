@@ -1,0 +1,69 @@
+#include "catalog/catalog.h"
+
+namespace dqep {
+
+Result<RelationId> Catalog::CreateRelation(const std::string& name,
+                                           std::vector<ColumnInfo> columns,
+                                           int64_t cardinality) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("relation must have at least one column");
+  }
+  if (cardinality < 0) {
+    return Status::InvalidArgument("relation cardinality must be >= 0");
+  }
+  for (const auto& existing : relations_) {
+    if (existing->name() == name) {
+      return Status::AlreadyExists("relation '" + name + "' already exists");
+    }
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i].name == columns[j].name) {
+        return Status::InvalidArgument("duplicate column name '" +
+                                       columns[i].name + "'");
+      }
+    }
+  }
+  RelationId id = num_relations();
+  relations_.push_back(std::make_unique<RelationInfo>(
+      id, name, std::move(columns), cardinality));
+  return id;
+}
+
+Status Catalog::CreateIndex(RelationId relation_id, int32_t column) {
+  if (!HasRelation(relation_id)) {
+    return Status::NotFound("no such relation id " +
+                            std::to_string(relation_id));
+  }
+  RelationInfo& rel = mutable_relation(relation_id);
+  if (column < 0 || column >= rel.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (rel.HasIndexOn(column)) {
+    return Status::AlreadyExists("index already exists on " + rel.name() +
+                                 "." + rel.column(column).name);
+  }
+  if (rel.column(column).type != ColumnType::kInt64) {
+    return Status::InvalidArgument("indexes are supported on int64 columns");
+  }
+  IndexInfo index;
+  index.name = rel.name() + "_" + rel.column(column).name + "_btree";
+  index.column = column;
+  index.clustered = false;
+  rel.AddIndex(std::move(index));
+  return Status::OK();
+}
+
+Result<RelationId> Catalog::FindRelation(const std::string& name) const {
+  for (const auto& rel : relations_) {
+    if (rel->name() == name) {
+      return rel->id();
+    }
+  }
+  return Status::NotFound("no relation named '" + name + "'");
+}
+
+}  // namespace dqep

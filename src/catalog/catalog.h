@@ -1,0 +1,73 @@
+// The catalog: the collection of relation metadata known to the optimizer.
+
+#ifndef DQEP_CATALOG_CATALOG_H_
+#define DQEP_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace dqep {
+
+/// Owns RelationInfo objects; relations are identified by dense RelationIds
+/// assigned at creation.  The catalog is immutable during optimization and
+/// execution (DDL between queries only), so plain references returned from
+/// lookups stay valid.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Catalogs are identity objects referenced throughout a query's life.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a relation and returns its id.  Name must be unique.
+  Result<RelationId> CreateRelation(const std::string& name,
+                                    std::vector<ColumnInfo> columns,
+                                    int64_t cardinality);
+
+  /// Adds an unclustered B-tree index on `column` of `relation`.
+  Status CreateIndex(RelationId relation, int32_t column);
+
+  /// Number of relations.
+  int32_t num_relations() const {
+    return static_cast<int32_t>(relations_.size());
+  }
+
+  bool HasRelation(RelationId id) const {
+    return id >= 0 && id < num_relations();
+  }
+
+  const RelationInfo& relation(RelationId id) const {
+    DQEP_CHECK(HasRelation(id));
+    return *relations_[static_cast<size_t>(id)];
+  }
+
+  RelationInfo& mutable_relation(RelationId id) {
+    DQEP_CHECK(HasRelation(id));
+    return *relations_[static_cast<size_t>(id)];
+  }
+
+  /// Looks up a relation by name.
+  Result<RelationId> FindRelation(const std::string& name) const;
+
+  /// Column metadata for an attribute reference.
+  const ColumnInfo& column(const AttrRef& attr) const {
+    return relation(attr.relation).column(attr.column);
+  }
+
+  /// True iff `attr` is covered by an index.
+  bool HasIndexOn(const AttrRef& attr) const {
+    return relation(attr.relation).HasIndexOn(attr.column);
+  }
+
+ private:
+  std::vector<std::unique_ptr<RelationInfo>> relations_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_CATALOG_CATALOG_H_

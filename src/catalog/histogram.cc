@@ -1,0 +1,81 @@
+#include "catalog/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqep {
+
+Histogram Histogram::Build(const std::vector<int64_t>& values,
+                           int32_t num_buckets) {
+  DQEP_CHECK_GE(num_buckets, 1);
+  Histogram histogram;
+  if (values.empty()) {
+    return histogram;
+  }
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  histogram.min_ = *min_it;
+  histogram.max_ = *max_it;
+  histogram.total_count_ = static_cast<int64_t>(values.size());
+  double span = static_cast<double>(histogram.max_ - histogram.min_) + 1.0;
+  histogram.bucket_width_ = span / static_cast<double>(num_buckets);
+  histogram.counts_.assign(static_cast<size_t>(num_buckets), 0);
+  for (int64_t value : values) {
+    auto bucket = static_cast<int32_t>(
+        static_cast<double>(value - histogram.min_) /
+        histogram.bucket_width_);
+    bucket = std::clamp(bucket, 0, num_buckets - 1);
+    ++histogram.counts_[static_cast<size_t>(bucket)];
+  }
+  return histogram;
+}
+
+double Histogram::FractionBelow(double bound) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  double position = (bound - static_cast<double>(min_)) / bucket_width_;
+  if (position <= 0.0) {
+    return 0.0;
+  }
+  if (position >= static_cast<double>(counts_.size())) {
+    return 1.0;
+  }
+  auto full_buckets = static_cast<int32_t>(position);
+  double in_bucket_fraction = position - static_cast<double>(full_buckets);
+  int64_t below = 0;
+  for (int32_t b = 0; b < full_buckets; ++b) {
+    below += counts_[static_cast<size_t>(b)];
+  }
+  double partial =
+      in_bucket_fraction *
+      static_cast<double>(counts_[static_cast<size_t>(full_buckets)]);
+  return (static_cast<double>(below) + partial) /
+         static_cast<double>(total_count_);
+}
+
+double Histogram::EstimateSelectivity(HistogramOp op, int64_t value) const {
+  if (total_count_ == 0) {
+    return 0.0;
+  }
+  double v = static_cast<double>(value);
+  switch (op) {
+    case HistogramOp::kLt:
+      return FractionBelow(v);
+    case HistogramOp::kLe:
+      return FractionBelow(v + 1.0);
+    case HistogramOp::kEq:
+      return FractionBelow(v + 1.0) - FractionBelow(v);
+    case HistogramOp::kGe:
+      return 1.0 - FractionBelow(v);
+    case HistogramOp::kGt:
+      return 1.0 - FractionBelow(v + 1.0);
+  }
+  return 0.0;
+}
+
+double Histogram::EstimateEqualityCount(int64_t value) const {
+  return EstimateSelectivity(HistogramOp::kEq, value) *
+         static_cast<double>(total_count_);
+}
+
+}  // namespace dqep

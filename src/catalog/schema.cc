@@ -1,0 +1,65 @@
+#include "catalog/schema.h"
+
+#include <ostream>
+
+namespace dqep {
+
+std::ostream& operator<<(std::ostream& os, const AttrRef& attr) {
+  os << "R" << attr.relation << "." << attr.column;
+  return os;
+}
+
+RelationInfo::RelationInfo(RelationId id, std::string name,
+                           std::vector<ColumnInfo> columns,
+                           int64_t cardinality)
+    : id_(id),
+      name_(std::move(name)),
+      columns_(std::move(columns)),
+      cardinality_(cardinality),
+      record_width_(0) {
+  DQEP_CHECK(!columns_.empty());
+  DQEP_CHECK_GE(cardinality_, 0);
+  for (const ColumnInfo& column : columns_) {
+    DQEP_CHECK_GE(column.domain_size, 1);
+    DQEP_CHECK_GT(column.width_bytes, 0);
+    record_width_ += column.width_bytes;
+  }
+}
+
+int32_t RelationInfo::FindColumn(const std::string& name) const {
+  for (int32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[static_cast<size_t>(i)].name == name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+void RelationInfo::AddIndex(IndexInfo index) {
+  DQEP_CHECK_GE(index.column, 0);
+  DQEP_CHECK_LT(index.column, num_columns());
+  DQEP_CHECK(!HasIndexOn(index.column));
+  indexes_.push_back(std::move(index));
+}
+
+bool RelationInfo::HasIndexOn(int32_t column) const {
+  for (const IndexInfo& index : indexes_) {
+    if (index.column == column) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const IndexInfo& RelationInfo::IndexOn(int32_t column) const {
+  for (const IndexInfo& index : indexes_) {
+    if (index.column == column) {
+      return index;
+    }
+  }
+  DQEP_CHECK(false);
+  // Unreachable; silences missing-return warnings.
+  return indexes_.front();
+}
+
+}  // namespace dqep

@@ -1,0 +1,122 @@
+// Catalog metadata: relations, attributes, indexes, and statistics.
+//
+// The catalog is the optimizer's source of truth for cardinalities,
+// attribute domain sizes, record widths, and the set of associative search
+// structures (unclustered B-trees in the paper's experiments).
+
+#ifndef DQEP_CATALOG_SCHEMA_H_
+#define DQEP_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// Identifies a relation *occurrence* in a query (and, for base tables, the
+/// table itself).  Occurrences are distinct even for self-joins.
+using RelationId = int32_t;
+
+inline constexpr RelationId kInvalidRelation = -1;
+
+/// Identifies an attribute as (relation occurrence, column position).
+/// Attribute identity survives joins: a join's output carries the union of
+/// its inputs' attributes, each still named by its base relation.
+struct AttrRef {
+  RelationId relation = kInvalidRelation;
+  int32_t column = -1;
+
+  bool IsValid() const { return relation != kInvalidRelation && column >= 0; }
+
+  friend bool operator==(const AttrRef& a, const AttrRef& b) {
+    return a.relation == b.relation && a.column == b.column;
+  }
+  friend bool operator!=(const AttrRef& a, const AttrRef& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const AttrRef& a, const AttrRef& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.column < b.column;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const AttrRef& attr);
+
+/// Supported column types.  The experiments use integer attributes
+/// (uniformly distributed over a domain) plus fixed-width payload.
+enum class ColumnType {
+  kInt64,
+  kString,
+};
+
+/// Per-column metadata and statistics.
+struct ColumnInfo {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Number of distinct values; int64 columns draw uniformly from
+  /// [0, domain_size).  Used for join selectivity estimation
+  /// (|L x R| / max domain, paper §6).
+  int64_t domain_size = 1;
+  /// Width in bytes this column contributes to the record.
+  int32_t width_bytes = 8;
+};
+
+/// Metadata for an associative search structure (B-tree) on one column.
+struct IndexInfo {
+  std::string name;
+  int32_t column = -1;
+  /// The paper's experiments use unclustered B-trees exclusively; a
+  /// clustered index would make index scans sequential.
+  bool clustered = false;
+};
+
+/// Metadata and statistics for one base relation.
+class RelationInfo {
+ public:
+  RelationInfo(RelationId id, std::string name, std::vector<ColumnInfo> columns,
+               int64_t cardinality);
+
+  RelationId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int64_t cardinality() const { return cardinality_; }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+  const std::vector<IndexInfo>& indexes() const { return indexes_; }
+
+  int32_t num_columns() const { return static_cast<int32_t>(columns_.size()); }
+
+  const ColumnInfo& column(int32_t index) const {
+    DQEP_CHECK_GE(index, 0);
+    DQEP_CHECK_LT(index, num_columns());
+    return columns_[static_cast<size_t>(index)];
+  }
+
+  /// Returns the column position with the given name, or -1.
+  int32_t FindColumn(const std::string& name) const;
+
+  /// Record width in bytes (sum of column widths).
+  int32_t record_width() const { return record_width_; }
+
+  /// Registers a (B-tree) index over `column`.
+  void AddIndex(IndexInfo index);
+
+  /// True iff some index covers `column`.
+  bool HasIndexOn(int32_t column) const;
+
+  /// Returns the index over `column`; requires HasIndexOn(column).
+  const IndexInfo& IndexOn(int32_t column) const;
+
+ private:
+  RelationId id_;
+  std::string name_;
+  std::vector<ColumnInfo> columns_;
+  int64_t cardinality_;
+  int32_t record_width_;
+  std::vector<IndexInfo> indexes_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_CATALOG_SCHEMA_H_

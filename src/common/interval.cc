@@ -1,0 +1,37 @@
+#include "common/interval.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dqep {
+
+const char* PartialOrderingName(PartialOrdering ordering) {
+  switch (ordering) {
+    case PartialOrdering::kLess:
+      return "less";
+    case PartialOrdering::kGreater:
+      return "greater";
+    case PartialOrdering::kEqual:
+      return "equal";
+    case PartialOrdering::kIncomparable:
+      return "incomparable";
+  }
+  return "unknown";
+}
+
+std::string Interval::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  if (interval.IsPoint()) {
+    os << interval.lo();
+  } else {
+    os << "[" << interval.lo() << ", " << interval.hi() << "]";
+  }
+  return os;
+}
+
+}  // namespace dqep

@@ -1,0 +1,168 @@
+// Closed numeric intervals [lo, hi] over double.
+//
+// Intervals are the foundation of the dynamic-plan cost model (paper §3,
+// §5): every uncertain quantity — selectivity, cardinality, memory, cost —
+// is represented as the full range in which its run-time value may fall.
+// Comparison of intervals is a *partial* order: overlapping intervals are
+// incomparable, which is exactly what forces the optimizer to retain
+// alternative plans and link them with choose-plan operators.
+
+#ifndef DQEP_COMMON_INTERVAL_H_
+#define DQEP_COMMON_INTERVAL_H_
+
+#include <algorithm>
+#include <iosfwd>
+#include <string>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// Result of comparing two partially ordered values.
+enum class PartialOrdering {
+  kLess,
+  kGreater,
+  kEqual,
+  kIncomparable,
+};
+
+/// Returns a human-readable name ("less", "greater", ...).
+const char* PartialOrderingName(PartialOrdering ordering);
+
+/// A closed interval [lo, hi] with lo <= hi.
+///
+/// A *point* interval has lo == hi and models a value that is exactly known
+/// (the traditional optimizer's assumption).  All arithmetic assumes the
+/// usual interval semantics for monotonic combination: bounds combine with
+/// bounds.
+class Interval {
+ public:
+  /// Constructs the zero point interval [0, 0].
+  Interval() : lo_(0.0), hi_(0.0) {}
+
+  /// Constructs [lo, hi]; requires lo <= hi.
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    DQEP_CHECK_LE(lo, hi);
+  }
+
+  /// Constructs the point interval [value, value].
+  static Interval Point(double value) { return Interval(value, value); }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// True iff lo == hi.
+  bool IsPoint() const { return lo_ == hi_; }
+
+  /// hi - lo.
+  double Width() const { return hi_ - lo_; }
+
+  /// Midpoint (lo + hi) / 2.
+  double Mid() const { return lo_ + (hi_ - lo_) / 2.0; }
+
+  /// True iff `value` lies within [lo, hi].
+  bool Contains(double value) const { return lo_ <= value && value <= hi_; }
+
+  /// True iff `other` lies entirely within this interval.
+  bool Contains(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  /// True iff the two intervals share at least one value.
+  bool Overlaps(const Interval& other) const {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// Partial-order comparison (paper §3).
+  ///
+  ///   kEqual        both are the same point value.
+  ///   kLess         this->hi <= other.lo and not kEqual: this plan is never
+  ///                 more expensive for any run-time binding.
+  ///   kGreater      symmetric case.
+  ///   kIncomparable the interiors overlap; either could be cheaper at
+  ///                 run-time, so neither may be pruned.
+  PartialOrdering Compare(const Interval& other) const {
+    if (IsPoint() && other.IsPoint() && lo_ == other.lo_) {
+      return PartialOrdering::kEqual;
+    }
+    if (hi_ <= other.lo_) {
+      return PartialOrdering::kLess;
+    }
+    if (other.hi_ <= lo_) {
+      return PartialOrdering::kGreater;
+    }
+    return PartialOrdering::kIncomparable;
+  }
+
+  /// Interval addition: [a,b] + [c,d] = [a+c, b+d].
+  Interval operator+(const Interval& other) const {
+    return Interval(lo_ + other.lo_, hi_ + other.hi_);
+  }
+  Interval& operator+=(const Interval& other) {
+    lo_ += other.lo_;
+    hi_ += other.hi_;
+    return *this;
+  }
+
+  /// Interval multiplication for non-negative intervals:
+  /// [a,b] * [c,d] = [a*c, b*d].  Requires all bounds >= 0, which holds for
+  /// every quantity in the cost model (cardinalities, selectivities, costs).
+  Interval operator*(const Interval& other) const {
+    DQEP_CHECK_GE(lo_, 0.0);
+    DQEP_CHECK_GE(other.lo_, 0.0);
+    return Interval(lo_ * other.lo_, hi_ * other.hi_);
+  }
+
+  /// Scales both bounds by a non-negative factor.
+  Interval operator*(double factor) const {
+    DQEP_CHECK_GE(factor, 0.0);
+    return Interval(lo_ * factor, hi_ * factor);
+  }
+
+  /// Exact equality of bounds.
+  bool operator==(const Interval& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  /// Pointwise minimum of bounds: [min(a,c), min(b,d)].
+  ///
+  /// This is the cost of a dynamic (choose-plan) subplan with two
+  /// alternatives (paper §3 "Modifications to Plan Search"): in the best
+  /// case the cheaper best case is achieved, in the worst case the cheaper
+  /// worst case.
+  static Interval MinCombine(const Interval& a, const Interval& b) {
+    return Interval(std::min(a.lo_, b.lo_), std::min(a.hi_, b.hi_));
+  }
+
+  /// Pointwise maximum of bounds.
+  static Interval MaxCombine(const Interval& a, const Interval& b) {
+    return Interval(std::max(a.lo_, b.lo_), std::max(a.hi_, b.hi_));
+  }
+
+  /// Smallest interval containing both inputs (convex hull).
+  static Interval Hull(const Interval& a, const Interval& b) {
+    return Interval(std::min(a.lo_, b.lo_), std::max(a.hi_, b.hi_));
+  }
+
+  /// Clamps both bounds into [floor, ceiling].
+  Interval ClampedTo(double floor, double ceiling) const {
+    DQEP_CHECK_LE(floor, ceiling);
+    double lo = std::clamp(lo_, floor, ceiling);
+    double hi = std::clamp(hi_, floor, ceiling);
+    return Interval(lo, hi);
+  }
+
+  /// Formats as "v" for points, "[lo, hi]" otherwise.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_INTERVAL_H_

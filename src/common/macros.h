@@ -1,0 +1,59 @@
+// Assertion and miscellaneous macros used throughout the DQEP code base.
+//
+// DQEP_CHECK* macros are always-on invariant checks: they abort the process
+// with a diagnostic on failure.  They guard programmer errors (broken
+// invariants), not user errors; recoverable conditions use dqep::Status.
+
+#ifndef DQEP_COMMON_MACROS_H_
+#define DQEP_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dqep::internal {
+
+/// Aborts the process after printing `file:line: message` to stderr.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dqep::internal
+
+#define DQEP_CHECK(condition)                                          \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::dqep::internal::CheckFailed(__FILE__, __LINE__, #condition);   \
+    }                                                                  \
+  } while (false)
+
+#define DQEP_CHECK_OP(op, lhs, rhs)                                    \
+  do {                                                                 \
+    auto&& dqep_check_lhs = (lhs);                                     \
+    auto&& dqep_check_rhs = (rhs);                                     \
+    if (!(dqep_check_lhs op dqep_check_rhs)) {                         \
+      std::ostringstream dqep_check_stream;                            \
+      dqep_check_stream << #lhs " " #op " " #rhs " ("                  \
+                        << dqep_check_lhs << " vs. " << dqep_check_rhs \
+                        << ")";                                        \
+      ::dqep::internal::CheckFailed(__FILE__, __LINE__,                \
+                                    dqep_check_stream.str());          \
+    }                                                                  \
+  } while (false)
+
+#define DQEP_CHECK_EQ(lhs, rhs) DQEP_CHECK_OP(==, lhs, rhs)
+#define DQEP_CHECK_NE(lhs, rhs) DQEP_CHECK_OP(!=, lhs, rhs)
+#define DQEP_CHECK_LT(lhs, rhs) DQEP_CHECK_OP(<, lhs, rhs)
+#define DQEP_CHECK_LE(lhs, rhs) DQEP_CHECK_OP(<=, lhs, rhs)
+#define DQEP_CHECK_GT(lhs, rhs) DQEP_CHECK_OP(>, lhs, rhs)
+#define DQEP_CHECK_GE(lhs, rhs) DQEP_CHECK_OP(>=, lhs, rhs)
+
+/// Marks intentionally unused variables (e.g. in structured bindings).
+#define DQEP_UNUSED(x) (void)(x)
+
+#endif  // DQEP_COMMON_MACROS_H_

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments must be reproducible run-to-run, so all randomness in the
+// project flows through this explicitly seeded generator (xoshiro256**,
+// seeded via splitmix64).  No global RNG state exists anywhere.
+
+#ifndef DQEP_COMMON_RNG_H_
+#define DQEP_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// A small, fast, explicitly seeded PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal sequences.
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    DQEP_CHECK_LE(lo, hi);
+    return lo + NextDouble() * (hi - lo);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    DQEP_CHECK_LE(lo, hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextUint64() % range);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Derives an independent generator for a sub-experiment.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_RNG_H_

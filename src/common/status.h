@@ -1,0 +1,130 @@
+// Lightweight error propagation without exceptions, in the style of
+// absl::Status / arrow::Status.  Recoverable errors (malformed queries,
+// failed deserialization, unknown identifiers) travel as Status or
+// Result<T>; broken invariants use DQEP_CHECK.
+
+#ifndef DQEP_COMMON_STATUS_H_
+#define DQEP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// Error categories for Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value.  Cheap to copy in the success case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    DQEP_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. Holds T on success, Status otherwise.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success). Implicit by design so
+  /// that `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    DQEP_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; the Result must be ok().
+  const T& value() const& {
+    DQEP_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DQEP_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DQEP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates an error Status from an expression, absl-style.
+#define DQEP_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::dqep::Status dqep_status_ = (expr);    \
+    if (!dqep_status_.ok()) {                \
+      return dqep_status_;                   \
+    }                                        \
+  } while (false)
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_STATUS_H_

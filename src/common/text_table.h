@@ -1,0 +1,46 @@
+// Column-aligned plain-text tables for experiment output.
+//
+// Every bench binary prints its figure/table as rows of a TextTable so the
+// reproduced series line up with the paper's reported series.
+
+#ifndef DQEP_COMMON_TEXT_TABLE_H_
+#define DQEP_COMMON_TEXT_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dqep {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders the table (headers, separator, rows).
+  std::string ToString() const;
+
+  /// Writes ToString() to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` significant decimal digits.
+  static std::string Num(double value, int precision = 4);
+
+  /// Formats an integer count.
+  static std::string Count(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,54 @@
+// Wall-clock and CPU timers used by the experiment harness.
+//
+// The paper reports measured CPU times for optimization and start-up plus
+// *modeled* I/O times; CpuTimer supplies the former.
+
+#ifndef DQEP_COMMON_TIMER_H_
+#define DQEP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <ctime>
+
+namespace dqep {
+
+/// Measures elapsed wall-clock time in seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Measures elapsed per-process CPU time in seconds.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_TIMER_H_

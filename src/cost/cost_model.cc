@@ -1,0 +1,258 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqep {
+
+const char* EstimationModeName(EstimationMode mode) {
+  switch (mode) {
+    case EstimationMode::kExpectedValue:
+      return "expected-value";
+    case EstimationMode::kInterval:
+      return "interval";
+  }
+  return "?";
+}
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+namespace {
+
+HistogramOp ToHistogramOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return HistogramOp::kLt;
+    case CompareOp::kLe:
+      return HistogramOp::kLe;
+    case CompareOp::kEq:
+      return HistogramOp::kEq;
+    case CompareOp::kGe:
+      return HistogramOp::kGe;
+    case CompareOp::kGt:
+      return HistogramOp::kGt;
+  }
+  return HistogramOp::kEq;
+}
+
+}  // namespace
+
+Interval CostModel::LiteralSelectivity(const AttrRef& attr, CompareOp op,
+                                       const Value& value) const {
+  const ColumnInfo& column = catalog_->column(attr);
+  DQEP_CHECK(column.type == ColumnType::kInt64);
+  DQEP_CHECK(value.is_int64());
+  if (HasStatisticsFor(attr)) {
+    return Interval::Point(Clamp01(stats_->Get(attr).EstimateSelectivity(
+        ToHistogramOp(op), value.AsInt64())));
+  }
+  double domain = static_cast<double>(column.domain_size);
+  double v = static_cast<double>(value.AsInt64());
+  double sel = 0.0;
+  switch (op) {
+    case CompareOp::kLt:
+      sel = v / domain;
+      break;
+    case CompareOp::kLe:
+      sel = (v + 1.0) / domain;
+      break;
+    case CompareOp::kEq:
+      sel = 1.0 / domain;
+      break;
+    case CompareOp::kGe:
+      sel = 1.0 - v / domain;
+      break;
+    case CompareOp::kGt:
+      sel = 1.0 - (v + 1.0) / domain;
+      break;
+  }
+  return Interval::Point(Clamp01(sel));
+}
+
+Interval CostModel::Selectivity(const SelectionPredicate& pred,
+                                const ParamEnv& env,
+                                EstimationMode mode) const {
+  if (pred.operand.is_literal()) {
+    return LiteralSelectivity(pred.attr, pred.op, pred.operand.literal());
+  }
+  DQEP_CHECK(pred.HasParam());
+  if (env.IsBound(pred.operand.param())) {
+    return LiteralSelectivity(pred.attr, pred.op,
+                              env.ValueOf(pred.operand.param()));
+  }
+  switch (mode) {
+    case EstimationMode::kExpectedValue:
+      return Interval::Point(config_.default_selectivity);
+    case EstimationMode::kInterval:
+      return Interval(0.0, 1.0);
+  }
+  return Interval(0.0, 1.0);
+}
+
+Interval CostModel::TermSelectivity(const RelationTerm& term,
+                                    const ParamEnv& env,
+                                    EstimationMode mode) const {
+  Interval sel = Interval::Point(1.0);
+  for (const SelectionPredicate& pred : term.predicates) {
+    sel = sel * Selectivity(pred, env, mode);
+  }
+  return sel;
+}
+
+double CostModel::JoinPredicateSelectivity(const JoinPredicate& join) const {
+  double left_domain =
+      static_cast<double>(catalog_->column(join.left).domain_size);
+  double right_domain =
+      static_cast<double>(catalog_->column(join.right).domain_size);
+  return 1.0 / std::max(left_domain, right_domain);
+}
+
+double CostModel::JoinSelectivity(
+    const std::vector<JoinPredicate>& joins) const {
+  double sel = 1.0;
+  for (const JoinPredicate& join : joins) {
+    sel *= JoinPredicateSelectivity(join);
+  }
+  return sel;
+}
+
+Interval CostModel::MemoryPages(const ParamEnv& env,
+                                EstimationMode mode) const {
+  const Interval& memory = env.memory_pages();
+  if (memory.IsPoint() || mode == EstimationMode::kInterval) {
+    return memory;
+  }
+  // Expected-value mode collapses an uncertain grant to its expectation.
+  return Interval::Point(config_.expected_memory_pages);
+}
+
+Value CostModel::ValueForSelectivity(const SelectionPredicate& pred,
+                                     double sel) const {
+  DQEP_CHECK_GE(sel, 0.0);
+  DQEP_CHECK_LE(sel, 1.0);
+  const ColumnInfo& column = catalog_->column(pred.attr);
+  double domain = static_cast<double>(column.domain_size);
+  double v = 0.0;
+  switch (pred.op) {
+    case CompareOp::kLt:
+      v = sel * domain;
+      break;
+    case CompareOp::kLe:
+      v = sel * domain - 1.0;
+      break;
+    case CompareOp::kGe:
+      v = (1.0 - sel) * domain;
+      break;
+    case CompareOp::kGt:
+      v = (1.0 - sel) * domain - 1.0;
+      break;
+    case CompareOp::kEq:
+      // Equality selectivity is fixed at 1/domain; any value works.
+      v = sel * domain;
+      break;
+  }
+  int64_t value = static_cast<int64_t>(std::llround(v));
+  value = std::clamp<int64_t>(value, 0, column.domain_size);
+  return Value(value);
+}
+
+double CostModel::PagesFor(double tuples, double width) const {
+  DQEP_CHECK_GT(width, 0.0);
+  double per_page = std::max(
+      1.0, std::floor(static_cast<double>(config_.page_size_bytes) / width));
+  return std::ceil(tuples / per_page);
+}
+
+double CostModel::RelationPages(const RelationInfo& relation) const {
+  return PagesFor(static_cast<double>(relation.cardinality()),
+                  static_cast<double>(relation.record_width()));
+}
+
+double CostModel::FileScanCost(double tuples, double width) const {
+  double io = PagesFor(tuples, width) * config_.SeqPageIoSeconds();
+  double cpu = tuples * config_.cpu_tuple_seconds;
+  return io + cpu;
+}
+
+double CostModel::BTreeFullScanCost(double tuples) const {
+  // Unclustered: every entry fetches its record with a random page read.
+  double io = (config_.btree_descent_pages + tuples) *
+              config_.random_page_io_seconds;
+  double cpu = tuples * config_.cpu_tuple_seconds;
+  return io + cpu;
+}
+
+double CostModel::FilterBTreeScanCost(double matching) const {
+  double io = (config_.btree_descent_pages + matching) *
+              config_.random_page_io_seconds;
+  double cpu = matching * config_.cpu_tuple_seconds;
+  return io + cpu;
+}
+
+double CostModel::FilterCost(double input) const {
+  return input * config_.cpu_compare_seconds;
+}
+
+double CostModel::SortCost(double tuples, double width,
+                           double memory_pages) const {
+  DQEP_CHECK_GE(memory_pages, 2.0);
+  double cpu = tuples * std::log2(std::max(2.0, tuples)) *
+               config_.cpu_compare_seconds;
+  double pages = PagesFor(tuples, width);
+  if (pages <= memory_pages) {
+    return cpu;
+  }
+  // External merge sort: one run-formation pass plus merge passes with
+  // (memory - 1)-way fan-in; each pass writes and reads every page.
+  double runs = std::ceil(pages / memory_pages);
+  double fan_in = std::max(2.0, memory_pages - 1.0);
+  double merge_passes = std::ceil(std::log(runs) / std::log(fan_in));
+  double total_passes = 1.0 + std::max(0.0, merge_passes);
+  double io = 2.0 * pages * total_passes * config_.SeqPageIoSeconds();
+  return cpu + io;
+}
+
+double CostModel::MergeJoinCost(double left, double right,
+                                double output) const {
+  double cpu = (left + right) * 2.0 * config_.cpu_compare_seconds +
+               output * config_.cpu_tuple_seconds;
+  return cpu;
+}
+
+double CostModel::HashJoinCost(double build, double build_width, double probe,
+                               double probe_width, double output,
+                               double memory_pages) const {
+  double cpu = (build + probe) * config_.cpu_hash_seconds +
+               output * config_.cpu_tuple_seconds;
+  double build_pages = PagesFor(build, build_width);
+  if (build_pages <= memory_pages) {
+    return cpu;
+  }
+  // Grace hash join: write both inputs to partitions, read them back.
+  double probe_pages = PagesFor(probe, probe_width);
+  double io = 2.0 * (build_pages + probe_pages) * config_.SeqPageIoSeconds();
+  return cpu + io;
+}
+
+double CostModel::IndexJoinCost(double outer, double matches_per_outer) const {
+  double per_probe =
+      (config_.btree_descent_pages + matches_per_outer) *
+      config_.random_page_io_seconds;
+  double cpu =
+      outer * config_.cpu_hash_seconds +
+      outer * matches_per_outer * config_.cpu_tuple_seconds;
+  return outer * per_probe + cpu;
+}
+
+double CostModel::StartupDecisionCost(int64_t num_nodes,
+                                      int64_t num_decisions) const {
+  return static_cast<double>(num_nodes) * config_.cost_eval_seconds +
+         static_cast<double>(num_decisions) *
+             config_.choose_plan_decision_seconds;
+}
+
+}  // namespace dqep

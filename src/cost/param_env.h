@@ -1,0 +1,83 @@
+// Run-time parameter environments.
+//
+// A ParamEnv carries the bindings of host variables and the memory grant.
+// At compile-time the environment is (partially) unbound; at start-up-time
+// every parameter the query references must be bound (paper §1: "we presume
+// that any compile-time ambiguity ... can be resolved at start-up-time").
+
+#ifndef DQEP_COST_PARAM_ENV_H_
+#define DQEP_COST_PARAM_ENV_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/interval.h"
+#include "logical/expr.h"
+#include "storage/value.h"
+
+namespace dqep {
+
+/// Host-variable bindings plus the memory grant.
+class ParamEnv {
+ public:
+  /// Constructs an environment with no bound variables and the given memory
+  /// grant (a point when known, an interval when memory is itself a
+  /// run-time parameter).
+  explicit ParamEnv(Interval memory_pages = Interval::Point(64.0))
+      : memory_pages_(memory_pages) {}
+
+  /// Binds host variable `id` to `value` (overwrites any prior binding).
+  void Bind(ParamId id, Value value) { values_[id] = std::move(value); }
+
+  bool IsBound(ParamId id) const { return values_.count(id) > 0; }
+
+  /// The bound value; requires IsBound(id).
+  const Value& ValueOf(ParamId id) const {
+    auto it = values_.find(id);
+    DQEP_CHECK(it != values_.end());
+    return it->second;
+  }
+
+  const Interval& memory_pages() const { return memory_pages_; }
+  void set_memory_pages(Interval memory) { memory_pages_ = memory; }
+
+  /// True iff every parameter in `params` is bound and memory is a point —
+  /// the condition for start-up-time cost evaluation.
+  bool FullyBound(const std::vector<ParamId>& params) const {
+    if (!memory_pages_.IsPoint()) {
+      return false;
+    }
+    for (ParamId id : params) {
+      if (!IsBound(id)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Number of bound host variables.
+  size_t num_bound() const { return values_.size(); }
+
+ private:
+  std::map<ParamId, Value> values_;
+  Interval memory_pages_;
+};
+
+/// How the cost model treats parameters that are *not* bound in the
+/// environment.
+enum class EstimationMode {
+  /// Traditional optimization: assume the configured expected value
+  /// (default selectivity for predicates, expected memory).  Produces
+  /// point costs and therefore a total order.
+  kExpectedValue,
+  /// Dynamic-plan optimization: use the parameter's full domain
+  /// (selectivity in [0, 1]).  Produces interval costs and a partial order.
+  kInterval,
+};
+
+const char* EstimationModeName(EstimationMode mode);
+
+}  // namespace dqep
+
+#endif  // DQEP_COST_PARAM_ENV_H_

@@ -1,0 +1,692 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace dqep {
+
+namespace {
+
+/// A selection predicate with its operand bound and its attribute resolved
+/// to a tuple slot.
+struct BoundPredicate {
+  int32_t slot = -1;
+  CompareOp op = CompareOp::kLt;
+  Value value;
+
+  bool Eval(const Tuple& tuple) const {
+    return EvalCompare(tuple.value(slot), op, value);
+  }
+};
+
+Result<Value> ResolveOperand(const Operand& operand, const ParamEnv& env) {
+  if (operand.is_literal()) {
+    return operand.literal();
+  }
+  if (!env.IsBound(operand.param())) {
+    return Status::InvalidArgument("host variable :p" +
+                                   std::to_string(operand.param()) +
+                                   " is unbound at execution time");
+  }
+  return env.ValueOf(operand.param());
+}
+
+Result<BoundPredicate> BindPredicate(const SelectionPredicate& pred,
+                                     const TupleLayout& layout,
+                                     const ParamEnv& env) {
+  BoundPredicate bound;
+  bound.slot = layout.SlotOf(pred.attr);
+  if (bound.slot < 0) {
+    return Status::Internal("predicate attribute not present in input");
+  }
+  bound.op = pred.op;
+  Result<Value> value = ResolveOperand(pred.operand, env);
+  if (!value.ok()) {
+    return value.status();
+  }
+  bound.value = *value;
+  return bound;
+}
+
+// --- Scans -----------------------------------------------------------------
+
+class FileScanIter : public Iterator {
+ public:
+  explicit FileScanIter(const Table* table)
+      : table_(table), scanner_(table->heap().CreateScanner()) {
+    layout_ = table->layout();
+  }
+
+  void Open() override { scanner_.Reset(); }
+
+  bool Next(Tuple* out) override { return scanner_.Next(out); }
+
+  void Close() override { scanner_.Reset(); }
+
+ private:
+  const Table* table_;
+  HeapFile::Scanner scanner_;
+};
+
+/// Full B-tree scan: all rows in key order.
+class BTreeScanIter : public Iterator {
+ public:
+  BTreeScanIter(const Table* table, int32_t column)
+      : table_(table), column_(column) {
+    layout_ = table->layout();
+  }
+
+  void Open() override {
+    rids_ = table_->IndexOn(column_).FullScan();
+    next_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    if (next_ >= rids_.size()) {
+      return false;
+    }
+    *out = table_->heap().tuple(rids_[next_++]);
+    return true;
+  }
+
+  void Close() override { rids_.clear(); }
+
+ private:
+  const Table* table_;
+  int32_t column_;
+  std::vector<RowId> rids_;
+  size_t next_ = 0;
+};
+
+/// B-tree range scan driven by one bound predicate on the indexed column.
+class FilterBTreeScanIter : public Iterator {
+ public:
+  FilterBTreeScanIter(const Table* table, int32_t column,
+                      BoundPredicate predicate)
+      : table_(table), column_(column), predicate_(predicate) {
+    layout_ = table->layout();
+  }
+
+  void Open() override {
+    const BTreeIndex& index = table_->IndexOn(column_);
+    constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    DQEP_CHECK(predicate_.value.is_int64());
+    int64_t v = predicate_.value.AsInt64();
+    switch (predicate_.op) {
+      case CompareOp::kLt:
+        rids_ = index.ScanBelow(v);
+        break;
+      case CompareOp::kLe:
+        rids_ = index.RangeScan(kMin, v);
+        break;
+      case CompareOp::kEq:
+        rids_ = index.Lookup(v);
+        break;
+      case CompareOp::kGe:
+        rids_ = index.RangeScan(v, kMax);
+        break;
+      case CompareOp::kGt:
+        rids_ = v == kMax ? std::vector<RowId>()
+                          : index.RangeScan(v + 1, kMax);
+        break;
+    }
+    next_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    if (next_ >= rids_.size()) {
+      return false;
+    }
+    *out = table_->heap().tuple(rids_[next_++]);
+    return true;
+  }
+
+  void Close() override { rids_.clear(); }
+
+ private:
+  const Table* table_;
+  int32_t column_;
+  BoundPredicate predicate_;
+  std::vector<RowId> rids_;
+  size_t next_ = 0;
+};
+
+// --- Filter ------------------------------------------------------------------
+
+class FilterIter : public Iterator {
+ public:
+  FilterIter(std::vector<BoundPredicate> predicates,
+             std::unique_ptr<Iterator> input)
+      : predicates_(std::move(predicates)), input_(std::move(input)) {
+    layout_ = input_->layout();
+  }
+
+  void Open() override { input_->Open(); }
+
+  bool Next(Tuple* out) override {
+    Tuple tuple;
+    while (input_->Next(&tuple)) {
+      bool pass = true;
+      for (const BoundPredicate& pred : predicates_) {
+        if (!pred.Eval(tuple)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        *out = std::move(tuple);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  std::vector<BoundPredicate> predicates_;
+  std::unique_ptr<Iterator> input_;
+};
+
+// --- Joins -------------------------------------------------------------------
+
+/// Hash join on composite equality keys; children[0] is the build side.
+class HashJoinIter : public Iterator {
+ public:
+  HashJoinIter(std::vector<int32_t> build_slots,
+               std::vector<int32_t> probe_slots,
+               std::unique_ptr<Iterator> build,
+               std::unique_ptr<Iterator> probe)
+      : build_slots_(std::move(build_slots)),
+        probe_slots_(std::move(probe_slots)),
+        build_(std::move(build)),
+        probe_(std::move(probe)) {
+    layout_ = TupleLayout::Concat(build_->layout(), probe_->layout());
+  }
+
+  void Open() override {
+    build_->Open();
+    Tuple tuple;
+    while (build_->Next(&tuple)) {
+      table_.emplace(KeyOf(tuple, build_slots_), std::move(tuple));
+    }
+    build_->Close();
+    probe_->Open();
+    match_it_ = table_.end();
+    match_end_ = table_.end();
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (match_it_ != match_end_) {
+        *out = Tuple::Concat(match_it_->second, probe_tuple_);
+        ++match_it_;
+        return true;
+      }
+      if (!probe_->Next(&probe_tuple_)) {
+        return false;
+      }
+      std::tie(match_it_, match_end_) =
+          table_.equal_range(KeyOf(probe_tuple_, probe_slots_));
+    }
+  }
+
+  void Close() override {
+    probe_->Close();
+    table_.clear();
+  }
+
+ private:
+  using Key = std::vector<int64_t>;
+
+  static Key KeyOf(const Tuple& tuple, const std::vector<int32_t>& slots) {
+    Key key;
+    key.reserve(slots.size());
+    for (int32_t slot : slots) {
+      key.push_back(tuple.value(slot).AsInt64());
+    }
+    return key;
+  }
+
+  std::vector<int32_t> build_slots_;
+  std::vector<int32_t> probe_slots_;
+  std::unique_ptr<Iterator> build_;
+  std::unique_ptr<Iterator> probe_;
+  std::multimap<Key, Tuple> table_;
+  std::multimap<Key, Tuple>::iterator match_it_;
+  std::multimap<Key, Tuple>::iterator match_end_;
+  Tuple probe_tuple_;  // overwritten before first use
+};
+
+/// Merge join over inputs sorted on the first join predicate; additional
+/// join predicates are residual equality checks.
+class MergeJoinIter : public Iterator {
+ public:
+  MergeJoinIter(int32_t left_slot, int32_t right_slot,
+                std::vector<std::pair<int32_t, int32_t>> residual,
+                std::unique_ptr<Iterator> left,
+                std::unique_ptr<Iterator> right)
+      : left_slot_(left_slot),
+        right_slot_(right_slot),
+        residual_(std::move(residual)),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    layout_ = TupleLayout::Concat(left_->layout(), right_->layout());
+  }
+
+  void Open() override {
+    // Materialize both inputs (they arrive sorted); the cost model charges
+    // the sort enforcers, not the join, for ordering work.
+    left_rows_.clear();
+    right_rows_.clear();
+    Tuple tuple;
+    left_->Open();
+    while (left_->Next(&tuple)) {
+      left_rows_.push_back(tuple);
+    }
+    left_->Close();
+    right_->Open();
+    while (right_->Next(&tuple)) {
+      right_rows_.push_back(tuple);
+    }
+    right_->Close();
+    li_ = 0;
+    ri_ = 0;
+    gl_ = lg_end_ = 0;
+    gr_ = rg_begin_ = rg_end_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      // Emit the cross product of the current duplicate-key groups.
+      while (gl_ < lg_end_) {
+        while (gr_ < rg_end_) {
+          const Tuple& lt = left_rows_[gl_];
+          const Tuple& rt = right_rows_[gr_++];
+          if (ResidualOk(lt, rt)) {
+            *out = Tuple::Concat(lt, rt);
+            return true;
+          }
+        }
+        ++gl_;
+        gr_ = rg_begin_;
+      }
+      // Two-pointer advance to the next pair of matching key groups.
+      while (li_ < left_rows_.size() && ri_ < right_rows_.size() &&
+             KeyL(li_) != KeyR(ri_)) {
+        if (KeyL(li_) < KeyR(ri_)) {
+          ++li_;
+        } else {
+          ++ri_;
+        }
+      }
+      if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) {
+        return false;
+      }
+      int64_t key = KeyL(li_);
+      gl_ = li_;
+      lg_end_ = li_;
+      while (lg_end_ < left_rows_.size() && KeyL(lg_end_) == key) {
+        ++lg_end_;
+      }
+      gr_ = rg_begin_ = ri_;
+      rg_end_ = ri_;
+      while (rg_end_ < right_rows_.size() && KeyR(rg_end_) == key) {
+        ++rg_end_;
+      }
+      li_ = lg_end_;
+      ri_ = rg_end_;
+    }
+  }
+
+  void Close() override {
+    left_rows_.clear();
+    right_rows_.clear();
+  }
+
+ private:
+  int64_t KeyL(size_t i) const {
+    return left_rows_[i].value(left_slot_).AsInt64();
+  }
+  int64_t KeyR(size_t i) const {
+    return right_rows_[i].value(right_slot_).AsInt64();
+  }
+
+  bool ResidualOk(const Tuple& lt, const Tuple& rt) const {
+    for (const auto& [ls, rs] : residual_) {
+      if (!(lt.value(ls) == rt.value(rs))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int32_t left_slot_;
+  int32_t right_slot_;
+  std::vector<std::pair<int32_t, int32_t>> residual_;
+  std::unique_ptr<Iterator> left_;
+  std::unique_ptr<Iterator> right_;
+  std::vector<Tuple> left_rows_;
+  std::vector<Tuple> right_rows_;
+  size_t li_ = 0;
+  size_t ri_ = 0;
+  size_t gl_ = 0;       // cursor within the current left group
+  size_t lg_end_ = 0;   // end of the current left group
+  size_t gr_ = 0;       // cursor within the current right group
+  size_t rg_begin_ = 0; // start of the current right group
+  size_t rg_end_ = 0;   // end of the current right group
+};
+
+/// Index nested-loops join: probes the inner table's B-tree per outer row.
+class IndexJoinIter : public Iterator {
+ public:
+  IndexJoinIter(int32_t outer_slot, const Table* inner, int32_t inner_column,
+                std::vector<BoundPredicate> residual,
+                std::unique_ptr<Iterator> outer)
+      : outer_slot_(outer_slot),
+        inner_(inner),
+        inner_column_(inner_column),
+        residual_(std::move(residual)),
+        outer_(std::move(outer)) {
+    layout_ = TupleLayout::Concat(outer_->layout(), inner->layout());
+  }
+
+  void Open() override {
+    outer_->Open();
+    matches_.clear();
+    match_pos_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      while (match_pos_ < matches_.size()) {
+        Tuple inner_tuple = inner_->heap().tuple(matches_[match_pos_++]);
+        bool pass = true;
+        for (const BoundPredicate& pred : residual_) {
+          if (!pred.Eval(inner_tuple)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          *out = Tuple::Concat(outer_tuple_, inner_tuple);
+          return true;
+        }
+      }
+      if (!outer_->Next(&outer_tuple_)) {
+        return false;
+      }
+      int64_t key = outer_tuple_.value(outer_slot_).AsInt64();
+      matches_ = inner_->IndexOn(inner_column_).Lookup(key);
+      match_pos_ = 0;
+    }
+  }
+
+  void Close() override {
+    outer_->Close();
+    matches_.clear();
+  }
+
+ private:
+  int32_t outer_slot_;
+  const Table* inner_;
+  int32_t inner_column_;
+  std::vector<BoundPredicate> residual_;
+  std::unique_ptr<Iterator> outer_;
+  Tuple outer_tuple_;
+  std::vector<RowId> matches_;
+  size_t match_pos_ = 0;
+};
+
+// --- Sort ---------------------------------------------------------------------
+
+class SortIter : public Iterator {
+ public:
+  SortIter(int32_t slot, std::unique_ptr<Iterator> input)
+      : slot_(slot), input_(std::move(input)) {
+    layout_ = input_->layout();
+  }
+
+  void Open() override {
+    rows_.clear();
+    input_->Open();
+    Tuple tuple;
+    while (input_->Next(&tuple)) {
+      rows_.push_back(std::move(tuple));
+    }
+    input_->Close();
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Tuple& a, const Tuple& b) {
+                       return a.value(slot_) < b.value(slot_);
+                     });
+    next_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    if (next_ >= rows_.size()) {
+      return false;
+    }
+    *out = rows_[next_++];
+    return true;
+  }
+
+  void Close() override { rows_.clear(); }
+
+ private:
+  int32_t slot_;
+  std::unique_ptr<Iterator> input_;
+  std::vector<Tuple> rows_;
+  size_t next_ = 0;
+};
+
+// --- Project -------------------------------------------------------------------
+
+class ProjectIter : public Iterator {
+ public:
+  ProjectIter(std::vector<int32_t> slots, TupleLayout layout,
+              std::unique_ptr<Iterator> input)
+      : slots_(std::move(slots)), input_(std::move(input)) {
+    layout_ = std::move(layout);
+  }
+
+  void Open() override { input_->Open(); }
+
+  bool Next(Tuple* out) override {
+    Tuple tuple;
+    if (!input_->Next(&tuple)) {
+      return false;
+    }
+    Tuple projected;
+    for (int32_t slot : slots_) {
+      projected.Append(tuple.value(slot));
+    }
+    *out = std::move(projected);
+    return true;
+  }
+
+  void Close() override { input_->Close(); }
+
+ private:
+  std::vector<int32_t> slots_;
+  std::unique_ptr<Iterator> input_;
+};
+
+// --- Builder --------------------------------------------------------------------
+
+Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
+                                        const Database& db,
+                                        const ParamEnv& env) {
+  switch (node.kind()) {
+    case PhysOpKind::kFileScan:
+      return std::unique_ptr<Iterator>(
+          std::make_unique<FileScanIter>(&db.table(node.relation())));
+    case PhysOpKind::kBTreeScan:
+      return std::unique_ptr<Iterator>(std::make_unique<BTreeScanIter>(
+          &db.table(node.relation()), node.column()));
+    case PhysOpKind::kFilterBTreeScan: {
+      const Table& table = db.table(node.relation());
+      DQEP_CHECK_EQ(node.predicates().size(), 1u);
+      Result<BoundPredicate> pred =
+          BindPredicate(node.predicates().front(), table.layout(), env);
+      if (!pred.ok()) {
+        return pred.status();
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<FilterBTreeScanIter>(
+          &table, node.column(), *pred));
+    }
+    case PhysOpKind::kFilter: {
+      Result<std::unique_ptr<Iterator>> input =
+          Build(*node.child(0), db, env);
+      if (!input.ok()) {
+        return input.status();
+      }
+      std::vector<BoundPredicate> bound;
+      for (const SelectionPredicate& pred : node.predicates()) {
+        Result<BoundPredicate> b =
+            BindPredicate(pred, (*input)->layout(), env);
+        if (!b.ok()) {
+          return b.status();
+        }
+        bound.push_back(*b);
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<FilterIter>(
+          std::move(bound), std::move(*input)));
+    }
+    case PhysOpKind::kHashJoin: {
+      Result<std::unique_ptr<Iterator>> build = Build(*node.child(0), db, env);
+      if (!build.ok()) return build.status();
+      Result<std::unique_ptr<Iterator>> probe = Build(*node.child(1), db, env);
+      if (!probe.ok()) return probe.status();
+      std::vector<int32_t> build_slots;
+      std::vector<int32_t> probe_slots;
+      for (const JoinPredicate& join : node.joins()) {
+        int32_t bs = (*build)->layout().SlotOf(join.left);
+        int32_t ps = (*probe)->layout().SlotOf(join.right);
+        if (bs < 0 || ps < 0) {
+          // The predicate may be oriented the other way around.
+          bs = (*build)->layout().SlotOf(join.right);
+          ps = (*probe)->layout().SlotOf(join.left);
+        }
+        if (bs < 0 || ps < 0) {
+          return Status::Internal("join attribute missing from inputs");
+        }
+        build_slots.push_back(bs);
+        probe_slots.push_back(ps);
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<HashJoinIter>(
+          std::move(build_slots), std::move(probe_slots), std::move(*build),
+          std::move(*probe)));
+    }
+    case PhysOpKind::kMergeJoin: {
+      Result<std::unique_ptr<Iterator>> left = Build(*node.child(0), db, env);
+      if (!left.ok()) return left.status();
+      Result<std::unique_ptr<Iterator>> right = Build(*node.child(1), db, env);
+      if (!right.ok()) return right.status();
+      const JoinPredicate& key = node.joins().front();
+      int32_t ls = (*left)->layout().SlotOf(key.left);
+      int32_t rs = (*right)->layout().SlotOf(key.right);
+      if (ls < 0 || rs < 0) {
+        return Status::Internal("merge key missing from inputs");
+      }
+      std::vector<std::pair<int32_t, int32_t>> residual;
+      for (size_t i = 1; i < node.joins().size(); ++i) {
+        const JoinPredicate& join = node.joins()[i];
+        int32_t l = (*left)->layout().SlotOf(join.left);
+        int32_t r = (*right)->layout().SlotOf(join.right);
+        if (l < 0 || r < 0) {
+          l = (*left)->layout().SlotOf(join.right);
+          r = (*right)->layout().SlotOf(join.left);
+        }
+        if (l < 0 || r < 0) {
+          return Status::Internal("join attribute missing from inputs");
+        }
+        residual.emplace_back(l, r);
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<MergeJoinIter>(
+          ls, rs, std::move(residual), std::move(*left), std::move(*right)));
+    }
+    case PhysOpKind::kIndexJoin: {
+      Result<std::unique_ptr<Iterator>> outer = Build(*node.child(0), db, env);
+      if (!outer.ok()) return outer.status();
+      const JoinPredicate& key = node.joins().front();
+      int32_t outer_slot = (*outer)->layout().SlotOf(key.left);
+      if (outer_slot < 0) {
+        return Status::Internal("index join outer key missing from input");
+      }
+      const Table& inner = db.table(node.relation());
+      std::vector<BoundPredicate> residual;
+      for (const SelectionPredicate& pred : node.predicates()) {
+        Result<BoundPredicate> b = BindPredicate(pred, inner.layout(), env);
+        if (!b.ok()) {
+          return b.status();
+        }
+        residual.push_back(*b);
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<IndexJoinIter>(
+          outer_slot, &inner, node.column(), std::move(residual),
+          std::move(*outer)));
+    }
+    case PhysOpKind::kSort: {
+      Result<std::unique_ptr<Iterator>> input = Build(*node.child(0), db, env);
+      if (!input.ok()) return input.status();
+      int32_t slot = (*input)->layout().SlotOf(node.sort_attr());
+      if (slot < 0) {
+        return Status::Internal("sort attribute missing from input");
+      }
+      return std::unique_ptr<Iterator>(
+          std::make_unique<SortIter>(slot, std::move(*input)));
+    }
+    case PhysOpKind::kProject: {
+      Result<std::unique_ptr<Iterator>> input = Build(*node.child(0), db, env);
+      if (!input.ok()) return input.status();
+      std::vector<int32_t> slots;
+      TupleLayout layout;
+      for (const AttrRef& attr : node.projections()) {
+        int32_t slot = (*input)->layout().SlotOf(attr);
+        if (slot < 0) {
+          return Status::Internal("projected attribute missing from input");
+        }
+        slots.push_back(slot);
+        layout.Append(attr);
+      }
+      return std::unique_ptr<Iterator>(std::make_unique<ProjectIter>(
+          std::move(slots), std::move(layout), std::move(*input)));
+    }
+    case PhysOpKind::kChoosePlan:
+      return Status::InvalidArgument(
+          "plan contains unresolved choose-plan operators; run start-up "
+          "resolution (ResolveDynamicPlan) before execution");
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
+                                                const Database& db,
+                                                const ParamEnv& env) {
+  DQEP_CHECK(plan != nullptr);
+  return Build(*plan, db, env);
+}
+
+Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
+                                       const Database& db,
+                                       const ParamEnv& env) {
+  Result<std::unique_ptr<Iterator>> iter = BuildExecutor(plan, db, env);
+  if (!iter.ok()) {
+    return iter.status();
+  }
+  std::vector<Tuple> rows;
+  (*iter)->Open();
+  Tuple tuple;
+  while ((*iter)->Next(&tuple)) {
+    rows.push_back(std::move(tuple));
+  }
+  (*iter)->Close();
+  return rows;
+}
+
+}  // namespace dqep

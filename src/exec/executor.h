@@ -1,0 +1,59 @@
+// The Volcano-style execution engine.
+//
+// Physical plans execute as trees of demand-driven iterators
+// (Open/Next/Close).  Plans must be *resolved* before execution: every
+// choose-plan operator replaced by its chosen alternative (see
+// runtime/startup.h).  Host variables are bound through the ParamEnv.
+
+#ifndef DQEP_EXEC_EXECUTOR_H_
+#define DQEP_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/param_env.h"
+#include "physical/plan.h"
+#include "storage/database.h"
+#include "storage/tuple.h"
+
+namespace dqep {
+
+/// Demand-driven tuple iterator.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  /// Prepares the iterator (allocates state, opens children).
+  virtual void Open() = 0;
+
+  /// Produces the next tuple; returns false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+
+  /// Releases resources; the iterator may be re-Opened afterwards.
+  virtual void Close() = 0;
+
+  /// Slot layout of produced tuples.
+  const TupleLayout& layout() const { return layout_; }
+
+ protected:
+  TupleLayout layout_;
+};
+
+/// Builds an iterator tree for a resolved plan.
+///
+/// Fails with InvalidArgument if the plan still contains choose-plan
+/// operators (resolve it at start-up first) or references unbound host
+/// variables.
+Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
+                                                const Database& db,
+                                                const ParamEnv& env);
+
+/// Convenience: builds, opens, drains, and closes; returns all tuples.
+Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
+                                       const Database& db,
+                                       const ParamEnv& env);
+
+}  // namespace dqep
+
+#endif  // DQEP_EXEC_EXECUTOR_H_

@@ -1,0 +1,154 @@
+#include "logical/algebra.h"
+
+#include <algorithm>
+
+namespace dqep {
+
+const char* LogicalOpKindName(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kGetSet:
+      return "Get-Set";
+    case LogicalOpKind::kSelect:
+      return "Select";
+    case LogicalOpKind::kJoin:
+      return "Join";
+  }
+  return "?";
+}
+
+std::unique_ptr<LogicalOp> LogicalOp::GetSet(RelationId relation) {
+  auto op = std::unique_ptr<LogicalOp>(new LogicalOp(LogicalOpKind::kGetSet));
+  op->relation_ = relation;
+  return op;
+}
+
+std::unique_ptr<LogicalOp> LogicalOp::Select(std::unique_ptr<LogicalOp> input,
+                                             SelectionPredicate predicate) {
+  DQEP_CHECK(input != nullptr);
+  auto op = std::unique_ptr<LogicalOp>(new LogicalOp(LogicalOpKind::kSelect));
+  op->selection_ = std::move(predicate);
+  op->left_ = std::move(input);
+  return op;
+}
+
+std::unique_ptr<LogicalOp> LogicalOp::Join(std::unique_ptr<LogicalOp> left,
+                                           std::unique_ptr<LogicalOp> right,
+                                           JoinPredicate predicate) {
+  DQEP_CHECK(left != nullptr);
+  DQEP_CHECK(right != nullptr);
+  auto op = std::unique_ptr<LogicalOp>(new LogicalOp(LogicalOpKind::kJoin));
+  op->join_ = predicate;
+  op->left_ = std::move(left);
+  op->right_ = std::move(right);
+  return op;
+}
+
+void LogicalOp::CollectRelations(std::vector<RelationId>* out) const {
+  switch (kind_) {
+    case LogicalOpKind::kGetSet:
+      out->push_back(relation_);
+      break;
+    case LogicalOpKind::kSelect:
+      left_->CollectRelations(out);
+      break;
+    case LogicalOpKind::kJoin:
+      left_->CollectRelations(out);
+      right_->CollectRelations(out);
+      break;
+  }
+}
+
+Status LogicalOp::CollectInto(Query* query) const {
+  switch (kind_) {
+    case LogicalOpKind::kGetSet: {
+      if (query->TermOf(relation_) >= 0) {
+        return Status::InvalidArgument("relation appears twice in tree");
+      }
+      RelationTerm term;
+      term.relation = relation_;
+      query->AddTerm(std::move(term));
+      return Status::OK();
+    }
+    case LogicalOpKind::kSelect: {
+      DQEP_RETURN_IF_ERROR(left_->CollectInto(query));
+      std::vector<RelationId> produced;
+      left_->CollectRelations(&produced);
+      if (std::find(produced.begin(), produced.end(),
+                    selection_.attr.relation) == produced.end()) {
+        return Status::InvalidArgument(
+            "selection attribute not produced by its input");
+      }
+      // Push the selection to its base relation's term.  (Selections over a
+      // join output that reference one relation push through the join.)
+      int32_t term = query->TermOf(selection_.attr.relation);
+      DQEP_CHECK_GE(term, 0);
+      query->mutable_term(term).predicates.push_back(selection_);
+      return Status::OK();
+    }
+    case LogicalOpKind::kJoin: {
+      DQEP_RETURN_IF_ERROR(left_->CollectInto(query));
+      DQEP_RETURN_IF_ERROR(right_->CollectInto(query));
+      std::vector<RelationId> left_rels;
+      std::vector<RelationId> right_rels;
+      left_->CollectRelations(&left_rels);
+      right_->CollectRelations(&right_rels);
+      bool left_has_left =
+          std::find(left_rels.begin(), left_rels.end(),
+                    join_.left.relation) != left_rels.end();
+      bool right_has_right =
+          std::find(right_rels.begin(), right_rels.end(),
+                    join_.right.relation) != right_rels.end();
+      bool left_has_right =
+          std::find(left_rels.begin(), left_rels.end(),
+                    join_.right.relation) != left_rels.end();
+      bool right_has_left =
+          std::find(right_rels.begin(), right_rels.end(),
+                    join_.left.relation) != right_rels.end();
+      if (!((left_has_left && right_has_right) ||
+            (left_has_right && right_has_left))) {
+        return Status::InvalidArgument(
+            "join predicate does not connect the two inputs");
+      }
+      query->AddJoin(join_);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown logical operator kind");
+}
+
+Result<Query> LogicalOp::ToQuery() const {
+  Query query;
+  DQEP_RETURN_IF_ERROR(CollectInto(&query));
+  return query;
+}
+
+void LogicalOp::AppendTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(LogicalOpKindName(kind_));
+  switch (kind_) {
+    case LogicalOpKind::kGetSet:
+      out->append(" R" + std::to_string(relation_));
+      break;
+    case LogicalOpKind::kSelect:
+      out->append(" [" + selection_.ToString() + "]");
+      break;
+    case LogicalOpKind::kJoin:
+      out->append(" [" + join_.ToString() + "]");
+      break;
+  }
+  out->append("\n");
+  if (left_ != nullptr) {
+    left_->AppendTo(out, indent + 1);
+  }
+  if (right_ != nullptr) {
+    right_->AppendTo(out, indent + 1);
+  }
+}
+
+std::string LogicalOp::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+}  // namespace dqep

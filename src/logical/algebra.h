@@ -1,0 +1,79 @@
+// Logical algebra operator trees (paper Table 1: Get-Set, Select, Join).
+//
+// This is the user-facing query surface.  Trees normalize into the Query
+// form the optimizer consumes (selections pushed to their base relations,
+// join predicates collected); the optimizer then re-derives all operator
+// orderings itself, so normalization loses nothing.
+
+#ifndef DQEP_LOGICAL_ALGEBRA_H_
+#define DQEP_LOGICAL_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "logical/expr.h"
+#include "logical/query.h"
+
+namespace dqep {
+
+/// Kinds of logical operators.
+enum class LogicalOpKind {
+  kGetSet,
+  kSelect,
+  kJoin,
+};
+
+const char* LogicalOpKindName(LogicalOpKind kind);
+
+/// A node in a logical operator tree.  Immutable after construction; trees
+/// share nothing and are cheap (built once per query).
+class LogicalOp {
+ public:
+  /// Get-Set: retrieves a stored relation.
+  static std::unique_ptr<LogicalOp> GetSet(RelationId relation);
+
+  /// Select: filters `input` by `predicate`.
+  static std::unique_ptr<LogicalOp> Select(std::unique_ptr<LogicalOp> input,
+                                           SelectionPredicate predicate);
+
+  /// Join: equi-joins `left` and `right` on `predicate`.
+  static std::unique_ptr<LogicalOp> Join(std::unique_ptr<LogicalOp> left,
+                                         std::unique_ptr<LogicalOp> right,
+                                         JoinPredicate predicate);
+
+  LogicalOpKind kind() const { return kind_; }
+  RelationId relation() const { return relation_; }
+  const SelectionPredicate& selection() const { return selection_; }
+  const JoinPredicate& join() const { return join_; }
+
+  const LogicalOp* left() const { return left_.get(); }
+  const LogicalOp* right() const { return right_.get(); }
+
+  /// Normalizes the tree into Query form.  Fails on malformed trees (e.g. a
+  /// selection whose attribute is not produced by its input).
+  Result<Query> ToQuery() const;
+
+  /// Multi-line indented rendering of the tree.
+  std::string ToString() const;
+
+ private:
+  explicit LogicalOp(LogicalOpKind kind) : kind_(kind) {}
+
+  void AppendTo(std::string* out, int indent) const;
+  Status CollectInto(Query* query) const;
+  /// Relations produced by this subtree.
+  void CollectRelations(std::vector<RelationId>* out) const;
+
+  LogicalOpKind kind_;
+  RelationId relation_ = kInvalidRelation;       // kGetSet
+  SelectionPredicate selection_;                 // kSelect
+  JoinPredicate join_;                           // kJoin
+  std::unique_ptr<LogicalOp> left_;              // kSelect input / kJoin left
+  std::unique_ptr<LogicalOp> right_;             // kJoin right
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_LOGICAL_ALGEBRA_H_

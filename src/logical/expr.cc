@@ -1,0 +1,73 @@
+#include "logical/expr.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dqep {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool EvalCompare(const Value& left, CompareOp op, const Value& right) {
+  switch (op) {
+    case CompareOp::kLt:
+      return left < right;
+    case CompareOp::kLe:
+      return left <= right;
+    case CompareOp::kEq:
+      return left == right;
+    case CompareOp::kGe:
+      return left >= right;
+    case CompareOp::kGt:
+      return left > right;
+  }
+  return false;
+}
+
+std::string Operand::ToString() const {
+  if (is_literal()) {
+    return literal().ToString();
+  }
+  if (is_param()) {
+    return ":p" + std::to_string(param());
+  }
+  return "<invalid>";
+}
+
+std::string SelectionPredicate::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::string JoinPredicate::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const SelectionPredicate& pred) {
+  os << pred.attr << " " << CompareOpName(pred.op) << " "
+     << pred.operand.ToString();
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const JoinPredicate& pred) {
+  os << pred.left << " = " << pred.right;
+  return os;
+}
+
+}  // namespace dqep

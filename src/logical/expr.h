@@ -1,0 +1,120 @@
+// Predicate expressions: comparisons between attributes and operands.
+//
+// Operands are literals or *host variables* ("user variables" in the
+// paper): parameters of an embedded query whose values are unknown at
+// compile-time and bound at start-up-time.  Unbound host variables are the
+// primary source of cost incomparability in the experiments.
+
+#ifndef DQEP_LOGICAL_EXPR_H_
+#define DQEP_LOGICAL_EXPR_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "catalog/schema.h"
+#include "storage/value.h"
+
+namespace dqep {
+
+/// Identifies a host variable within a query.
+using ParamId = int32_t;
+
+inline constexpr ParamId kInvalidParam = -1;
+
+/// Comparison operators usable in selection predicates.
+enum class CompareOp {
+  kLt,
+  kLe,
+  kEq,
+  kGe,
+  kGt,
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// Evaluates `left op right`.
+bool EvalCompare(const Value& left, CompareOp op, const Value& right);
+
+/// The right-hand side of a selection predicate: a literal or a host
+/// variable.
+class Operand {
+ public:
+  /// A compile-time-known literal.
+  static Operand Literal(Value value) {
+    Operand operand;
+    operand.literal_ = std::move(value);
+    return operand;
+  }
+
+  /// A host variable bound at start-up-time.
+  static Operand Param(ParamId id) {
+    Operand operand;
+    operand.param_ = id;
+    return operand;
+  }
+
+  bool is_literal() const { return literal_.has_value(); }
+  bool is_param() const { return param_ != kInvalidParam; }
+
+  const Value& literal() const {
+    DQEP_CHECK(is_literal());
+    return *literal_;
+  }
+  ParamId param() const {
+    DQEP_CHECK(is_param());
+    return param_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Operand() = default;
+
+  std::optional<Value> literal_;
+  ParamId param_ = kInvalidParam;
+};
+
+/// A single-table predicate: `attr op operand`.
+struct SelectionPredicate {
+  AttrRef attr;
+  CompareOp op = CompareOp::kLt;
+  Operand operand = Operand::Param(kInvalidParam);
+
+  /// True iff the predicate references an unbound host variable.
+  bool HasParam() const { return operand.is_param(); }
+
+  std::string ToString() const;
+};
+
+/// An equality join predicate `left = right` between attributes of two
+/// different relations.
+struct JoinPredicate {
+  AttrRef left;
+  AttrRef right;
+
+  /// True iff the predicate connects `a` to `b` (in either orientation).
+  bool Connects(RelationId a, RelationId b) const {
+    return (left.relation == a && right.relation == b) ||
+           (left.relation == b && right.relation == a);
+  }
+
+  /// The side of the predicate on relation `rel`; requires membership.
+  const AttrRef& SideOf(RelationId rel) const {
+    if (left.relation == rel) {
+      return left;
+    }
+    DQEP_CHECK_EQ(right.relation, rel);
+    return right;
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const SelectionPredicate& pred);
+std::ostream& operator<<(std::ostream& os, const JoinPredicate& pred);
+
+}  // namespace dqep
+
+#endif  // DQEP_LOGICAL_EXPR_H_

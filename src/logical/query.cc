@@ -1,0 +1,231 @@
+#include "logical/query.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dqep {
+
+std::vector<int32_t> RelSetMembers(RelSet set) {
+  std::vector<int32_t> members;
+  for (int32_t i = 0; i < 64; ++i) {
+    if (RelSetContains(set, i)) {
+      members.push_back(i);
+    }
+  }
+  return members;
+}
+
+int32_t Query::AddTerm(RelationTerm term) {
+  DQEP_CHECK_LT(num_terms(), 64);
+  terms_.push_back(std::move(term));
+  return num_terms() - 1;
+}
+
+void Query::AddJoin(JoinPredicate join) { joins_.push_back(join); }
+
+RelSet Query::AllTerms() const {
+  if (terms_.empty()) {
+    return 0;
+  }
+  if (num_terms() == 64) {
+    return ~RelSet{0};
+  }
+  return (RelSet{1} << num_terms()) - 1;
+}
+
+int32_t Query::TermOf(RelationId relation) const {
+  for (int32_t i = 0; i < num_terms(); ++i) {
+    if (terms_[static_cast<size_t>(i)].relation == relation) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+std::vector<JoinPredicate> Query::JoinsBetween(RelSet left,
+                                               RelSet right) const {
+  std::vector<JoinPredicate> result;
+  for (const JoinPredicate& join : joins_) {
+    int32_t lterm = TermOf(join.left.relation);
+    int32_t rterm = TermOf(join.right.relation);
+    DQEP_CHECK_GE(lterm, 0);
+    DQEP_CHECK_GE(rterm, 0);
+    bool forward = RelSetContains(left, lterm) && RelSetContains(right, rterm);
+    bool backward = RelSetContains(left, rterm) && RelSetContains(right, lterm);
+    if (forward || backward) {
+      result.push_back(join);
+    }
+  }
+  return result;
+}
+
+bool Query::Connected(RelSet left, RelSet right) const {
+  return !JoinsBetween(left, right).empty();
+}
+
+bool Query::IsConnectedSet(RelSet set) const {
+  std::vector<int32_t> members = RelSetMembers(set);
+  if (members.size() <= 1) {
+    return !members.empty();
+  }
+  RelSet component = RelSetOf(members.front());
+  bool grew = true;
+  while (grew && component != set) {
+    grew = false;
+    for (int32_t member : members) {
+      if (!RelSetContains(component, member) &&
+          Connected(component, RelSetOf(member))) {
+        component |= RelSetOf(member);
+        grew = true;
+      }
+    }
+  }
+  return component == set;
+}
+
+std::vector<ParamId> Query::Params() const {
+  std::set<ParamId> params;
+  for (const RelationTerm& term : terms_) {
+    for (const SelectionPredicate& pred : term.predicates) {
+      if (pred.HasParam()) {
+        params.insert(pred.operand.param());
+      }
+    }
+  }
+  return std::vector<ParamId>(params.begin(), params.end());
+}
+
+namespace {
+
+Status ValidatePredicateAttr(const Catalog& catalog, const AttrRef& attr,
+                             RelationId expected_relation) {
+  if (attr.relation != expected_relation) {
+    return Status::InvalidArgument("predicate references foreign relation");
+  }
+  if (!catalog.HasRelation(attr.relation)) {
+    return Status::NotFound("predicate references unknown relation");
+  }
+  if (attr.column < 0 ||
+      attr.column >= catalog.relation(attr.relation).num_columns()) {
+    return Status::OutOfRange("predicate references unknown column");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Query::Validate(const Catalog& catalog) const {
+  if (terms_.empty()) {
+    return Status::InvalidArgument("query has no relations");
+  }
+  std::set<RelationId> seen;
+  for (const RelationTerm& term : terms_) {
+    if (!catalog.HasRelation(term.relation)) {
+      return Status::NotFound("query references unknown relation id " +
+                              std::to_string(term.relation));
+    }
+    if (!seen.insert(term.relation).second) {
+      return Status::InvalidArgument(
+          "self-joins are not supported: relation '" +
+          catalog.relation(term.relation).name() + "' appears twice");
+    }
+    for (const SelectionPredicate& pred : term.predicates) {
+      DQEP_RETURN_IF_ERROR(
+          ValidatePredicateAttr(catalog, pred.attr, term.relation));
+      if (!pred.operand.is_literal() && !pred.operand.is_param()) {
+        return Status::InvalidArgument("selection operand is neither literal "
+                                       "nor host variable");
+      }
+      if (catalog.column(pred.attr).type != ColumnType::kInt64) {
+        return Status::InvalidArgument(
+            "selection predicates require int64 columns");
+      }
+    }
+  }
+  for (const JoinPredicate& join : joins_) {
+    int32_t lterm = TermOf(join.left.relation);
+    int32_t rterm = TermOf(join.right.relation);
+    if (lterm < 0 || rterm < 0) {
+      return Status::InvalidArgument("join references relation not in query");
+    }
+    if (lterm == rterm) {
+      return Status::InvalidArgument("join must connect distinct relations");
+    }
+    DQEP_RETURN_IF_ERROR(
+        ValidatePredicateAttr(catalog, join.left, join.left.relation));
+    DQEP_RETURN_IF_ERROR(
+        ValidatePredicateAttr(catalog, join.right, join.right.relation));
+    if (catalog.column(join.left).type != ColumnType::kInt64 ||
+        catalog.column(join.right).type != ColumnType::kInt64) {
+      return Status::InvalidArgument("join predicates require int64 columns");
+    }
+  }
+  auto validate_output_attr = [&](const AttrRef& attr,
+                                  const char* what) -> Status {
+    if (TermOf(attr.relation) < 0) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " references relation not in query");
+    }
+    if (attr.column < 0 ||
+        attr.column >= catalog.relation(attr.relation).num_columns()) {
+      return Status::OutOfRange(std::string(what) +
+                                " references unknown column");
+    }
+    return Status::OK();
+  };
+  for (const AttrRef& attr : projection_) {
+    DQEP_RETURN_IF_ERROR(validate_output_attr(attr, "projection"));
+  }
+  if (HasOrderBy()) {
+    DQEP_RETURN_IF_ERROR(validate_output_attr(order_by_, "ORDER BY"));
+    if (catalog.column(order_by_).type != ColumnType::kInt64) {
+      return Status::InvalidArgument("ORDER BY requires an int64 column");
+    }
+  }
+  // Connectivity: grow a connected component from term 0.
+  if (num_terms() > 1) {
+    RelSet component = RelSetOf(0);
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (int32_t i = 0; i < num_terms(); ++i) {
+        if (!RelSetContains(component, i) &&
+            Connected(component, RelSetOf(i))) {
+          component |= RelSetOf(i);
+          grew = true;
+        }
+      }
+    }
+    if (component != AllTerms()) {
+      return Status::InvalidArgument(
+          "join graph is disconnected (cross products not supported)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString(const Catalog& catalog) const {
+  std::ostringstream os;
+  os << "SELECT * FROM ";
+  for (int32_t i = 0; i < num_terms(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << catalog.relation(terms_[static_cast<size_t>(i)].relation).name();
+  }
+  bool first = true;
+  for (const RelationTerm& term : terms_) {
+    for (const SelectionPredicate& pred : term.predicates) {
+      os << (first ? " WHERE " : " AND ") << pred.ToString();
+      first = false;
+    }
+  }
+  for (const JoinPredicate& join : joins_) {
+    os << (first ? " WHERE " : " AND ") << join.ToString();
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace dqep

@@ -1,0 +1,125 @@
+// Query descriptions: the optimizer's input.
+//
+// A Query is a conjunctive select-join expression in normalized form: a set
+// of base-relation terms, each with pushed-down selection predicates, plus
+// equality join predicates between terms.  logical/algebra.h offers an
+// operator-tree surface (Get-Set / Select / Join) that normalizes to this.
+
+#ifndef DQEP_LOGICAL_QUERY_H_
+#define DQEP_LOGICAL_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "logical/expr.h"
+
+namespace dqep {
+
+/// A set of query terms, represented as a bitset over term indexes.
+/// Supports up to 64 relations per query.
+using RelSet = uint64_t;
+
+inline RelSet RelSetOf(int32_t term_index) {
+  DQEP_CHECK_GE(term_index, 0);
+  DQEP_CHECK_LT(term_index, 64);
+  return RelSet{1} << term_index;
+}
+
+inline bool RelSetContains(RelSet set, int32_t term_index) {
+  return (set & RelSetOf(term_index)) != 0;
+}
+
+inline int32_t RelSetSize(RelSet set) {
+  return static_cast<int32_t>(__builtin_popcountll(set));
+}
+
+/// Term indexes present in `set`, ascending.
+std::vector<int32_t> RelSetMembers(RelSet set);
+
+/// One base-relation occurrence with its pushed-down selections.
+struct RelationTerm {
+  RelationId relation = kInvalidRelation;
+  std::vector<SelectionPredicate> predicates;
+};
+
+/// A normalized select-join query.
+class Query {
+ public:
+  Query() = default;
+
+  /// Adds a base relation term; returns its term index.
+  int32_t AddTerm(RelationTerm term);
+
+  /// Adds a join predicate; both sides must reference added relations.
+  void AddJoin(JoinPredicate join);
+
+  /// Restricts the output to `attrs` (in order).  Empty means SELECT *.
+  void SetProjection(std::vector<AttrRef> attrs) {
+    projection_ = std::move(attrs);
+  }
+
+  const std::vector<AttrRef>& projection() const { return projection_; }
+
+  /// Requests ascending output order on `attr` (ORDER BY).
+  void SetOrderBy(const AttrRef& attr) { order_by_ = attr; }
+
+  bool HasOrderBy() const { return order_by_.IsValid(); }
+  const AttrRef& order_by() const { return order_by_; }
+
+  int32_t num_terms() const { return static_cast<int32_t>(terms_.size()); }
+
+  const RelationTerm& term(int32_t index) const {
+    DQEP_CHECK_GE(index, 0);
+    DQEP_CHECK_LT(index, num_terms());
+    return terms_[static_cast<size_t>(index)];
+  }
+
+  RelationTerm& mutable_term(int32_t index) {
+    DQEP_CHECK_GE(index, 0);
+    DQEP_CHECK_LT(index, num_terms());
+    return terms_[static_cast<size_t>(index)];
+  }
+
+  const std::vector<RelationTerm>& terms() const { return terms_; }
+  const std::vector<JoinPredicate>& joins() const { return joins_; }
+
+  /// Bitset of all term indexes.
+  RelSet AllTerms() const;
+
+  /// Term index storing the given base relation, or -1.
+  int32_t TermOf(RelationId relation) const;
+
+  /// Join predicates with one side in `left` and the other in `right`.
+  std::vector<JoinPredicate> JoinsBetween(RelSet left, RelSet right) const;
+
+  /// True iff some join predicate connects `left` and `right`.
+  bool Connected(RelSet left, RelSet right) const;
+
+  /// True iff the terms in `set` form a connected subgraph of the join
+  /// graph (singletons are connected).  The optimizer only builds plans
+  /// for connected sets, excluding cross products.
+  bool IsConnectedSet(RelSet set) const;
+
+  /// All distinct host-variable ids referenced by the query, ascending.
+  std::vector<ParamId> Params() const;
+
+  /// Checks internal consistency against `catalog`: relations exist and are
+  /// distinct, predicates reference the right relations and valid columns,
+  /// join graph is connected.
+  Status Validate(const Catalog& catalog) const;
+
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  std::vector<RelationTerm> terms_;
+  std::vector<JoinPredicate> joins_;
+  std::vector<AttrRef> projection_;
+  AttrRef order_by_;  // invalid when absent
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_LOGICAL_QUERY_H_

@@ -1,0 +1,71 @@
+// The dynamic-plan optimizer (paper §3, §5).
+//
+// A Volcano-style top-down, memoizing dynamic-programming search over the
+// bushy join space, extended for *partially ordered costs*:
+//
+//   * Optimization goals are (relation set, required sort order) pairs.
+//   * Each goal keeps a *frontier* of pairwise cost-incomparable plans
+//     instead of a single winner.
+//   * A goal with several frontier plans materializes as a choose-plan
+//     operator; its cost is the pointwise minimum of the alternatives'
+//     interval bounds plus the decision overhead.
+//   * Parents consume a child goal's choose-plan DAG, so alternatives are
+//     shared and plan size stays polynomial.
+//   * Branch-and-bound subtracts only lower bounds (paper §3), which is
+//     exactly why dynamic-plan optimization prunes less than traditional
+//     optimization.
+//
+// With EstimationMode::kExpectedValue every interval collapses to a point,
+// the order is total, frontiers have size one, and the search *is* a
+// traditional System-R-style optimizer producing a static plan.
+
+#ifndef DQEP_OPTIMIZER_OPTIMIZER_H_
+#define DQEP_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "logical/query.h"
+#include "optimizer/options.h"
+#include "physical/costing.h"
+#include "physical/plan.h"
+
+namespace dqep {
+
+/// The result of one optimization: a plan DAG (static plan, or dynamic
+/// plan with choose-plan operators) plus estimates and statistics.
+struct OptimizedPlan {
+  PhysNodePtr root;
+  Interval cost;          ///< compile-time cost estimate of the plan
+  Interval cardinality;   ///< estimated output cardinality
+  SearchStats stats;
+};
+
+/// One-shot query optimizer.  Construct per optimization or reuse; calls
+/// are independent (the memo lives per call).
+class Optimizer {
+ public:
+  Optimizer(const CostModel* model, OptimizerOptions options)
+      : model_(model), options_(options) {
+    DQEP_CHECK(model != nullptr);
+  }
+
+  /// Optimizes `query` under compile-time knowledge `env`.
+  ///
+  /// `env` may leave host variables unbound; how unbound parameters enter
+  /// the cost calculation is governed by options().estimation.  When `env`
+  /// binds every parameter (run-time optimization), both modes coincide
+  /// and the result is a static plan optimal for those bindings.
+  Result<OptimizedPlan> Optimize(const Query& query, const ParamEnv& env);
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const CostModel* model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_OPTIMIZER_OPTIMIZER_H_

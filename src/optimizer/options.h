@@ -1,0 +1,60 @@
+// Optimizer configuration and search statistics.
+
+#ifndef DQEP_OPTIMIZER_OPTIONS_H_
+#define DQEP_OPTIMIZER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cost/param_env.h"
+
+namespace dqep {
+
+/// Configuration of one optimization run.
+struct OptimizerOptions {
+  /// kExpectedValue reproduces a traditional optimizer (static plans,
+  /// total cost order); kInterval enables dynamic-plan optimization.
+  EstimationMode estimation = EstimationMode::kInterval;
+
+  /// Treat *every* cost comparison as incomparable, producing the
+  /// "exhaustive plan" of paper §3 that contains all possible plans.
+  bool force_incomparable = false;
+
+  /// Algorithm toggles (ablations).
+  bool use_hash_join = true;
+  bool use_merge_join = true;
+  bool use_index_join = true;
+  bool use_btree_scans = true;
+
+  /// Enables pruning of candidates whose lower-bound cost already exceeds
+  /// the cheapest known upper bound (branch-and-bound; with interval costs
+  /// only the lower bound may be compared, paper §3).
+  bool prune_with_bounds = true;
+
+  /// Returns options for a traditional (static-plan) optimizer.
+  static OptimizerOptions Static() {
+    OptimizerOptions options;
+    options.estimation = EstimationMode::kExpectedValue;
+    return options;
+  }
+
+  /// Returns options for dynamic-plan optimization.
+  static OptimizerOptions Dynamic() { return OptimizerOptions(); }
+};
+
+/// Counters describing one optimization run.
+struct SearchStats {
+  int64_t goals = 0;               ///< optimization goals (group x property)
+  int64_t plans_considered = 0;    ///< physical candidates costed
+  int64_t plans_pruned = 0;        ///< candidates cut by branch-and-bound
+  int64_t plans_dominated = 0;     ///< candidates dropped by cost dominance
+  int64_t frontier_plans = 0;      ///< plans retained across all goals
+  double logical_alternatives = 0; ///< distinct logical join trees
+  double optimize_seconds = 0;     ///< measured CPU time
+
+  std::string ToString() const;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_OPTIMIZER_OPTIONS_H_

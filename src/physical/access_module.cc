@@ -1,0 +1,336 @@
+#include "physical/access_module.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace dqep {
+
+namespace {
+
+// Byte-stream primitives.  Fixed little-endian-independent encoding via
+// memcpy of native types is acceptable here: modules are read back by the
+// same build (no cross-platform plan shipping).
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutF64(std::string* out, double v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutI64(out, static_cast<int64_t>(s.size()));
+  out->append(s);
+}
+
+/// Sequential reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+
+  uint8_t GetU8() {
+    uint8_t v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+  int32_t GetI32() {
+    int32_t v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+  int64_t GetI64() {
+    int64_t v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+  double GetF64() {
+    double v = 0;
+    Copy(&v, sizeof(v));
+    return v;
+  }
+  std::string GetString() {
+    int64_t size = GetI64();
+    if (!ok_ || size < 0 ||
+        pos_ + static_cast<size_t>(size) > bytes_.size()) {
+      ok_ = false;
+      return std::string();
+    }
+    std::string s = bytes_.substr(pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return s;
+  }
+
+ private:
+  void Copy(void* dst, size_t n) {
+    if (!ok_ || pos_ + n > bytes_.size()) {
+      ok_ = false;
+      std::memset(dst, 0, n);
+      return;
+    }
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void PutValue(std::string* out, const Value& value) {
+  if (value.is_int64()) {
+    PutU8(out, 0);
+    PutI64(out, value.AsInt64());
+  } else {
+    PutU8(out, 1);
+    PutString(out, value.AsString());
+  }
+}
+
+Value GetValue(Reader* in) {
+  uint8_t tag = in->GetU8();
+  if (tag == 0) {
+    return Value(in->GetI64());
+  }
+  return Value(in->GetString());
+}
+
+void PutAttr(std::string* out, const AttrRef& attr) {
+  PutI32(out, attr.relation);
+  PutI32(out, attr.column);
+}
+
+AttrRef GetAttr(Reader* in) {
+  AttrRef attr;
+  attr.relation = in->GetI32();
+  attr.column = in->GetI32();
+  return attr;
+}
+
+void PutSelection(std::string* out, const SelectionPredicate& pred) {
+  PutAttr(out, pred.attr);
+  PutU8(out, static_cast<uint8_t>(pred.op));
+  if (pred.operand.is_literal()) {
+    PutU8(out, 0);
+    PutValue(out, pred.operand.literal());
+  } else {
+    PutU8(out, 1);
+    PutI32(out, pred.operand.param());
+  }
+}
+
+SelectionPredicate GetSelection(Reader* in) {
+  SelectionPredicate pred;
+  pred.attr = GetAttr(in);
+  pred.op = static_cast<CompareOp>(in->GetU8());
+  uint8_t operand_tag = in->GetU8();
+  if (operand_tag == 0) {
+    pred.operand = Operand::Literal(GetValue(in));
+  } else {
+    pred.operand = Operand::Param(in->GetI32());
+  }
+  return pred;
+}
+
+void PutJoin(std::string* out, const JoinPredicate& join) {
+  PutAttr(out, join.left);
+  PutAttr(out, join.right);
+}
+
+JoinPredicate GetJoin(Reader* in) {
+  JoinPredicate join;
+  join.left = GetAttr(in);
+  join.right = GetAttr(in);
+  return join;
+}
+
+void PutInterval(std::string* out, const Interval& interval) {
+  PutF64(out, interval.lo());
+  PutF64(out, interval.hi());
+}
+
+Result<Interval> GetInterval(Reader* in) {
+  double lo = in->GetF64();
+  double hi = in->GetF64();
+  if (!in->ok() || lo > hi) {
+    return Status::Corruption("bad interval encoding");
+  }
+  return Interval(lo, hi);
+}
+
+constexpr char kMagic[4] = {'D', 'Q', 'A', 'M'};
+constexpr int32_t kVersion = 1;
+
+}  // namespace
+
+/// Befriended by PhysNode: reconstructs nodes field-by-field.
+class AccessModuleCodec {
+ public:
+  static std::string Serialize(const PhysNode& root) {
+    std::string out;
+    out.append(kMagic, sizeof(kMagic));
+    PutI32(&out, kVersion);
+    std::vector<const PhysNode*> order = root.TopologicalOrder();
+    std::unordered_map<const PhysNode*, int64_t> ids;
+    for (size_t i = 0; i < order.size(); ++i) {
+      ids[order[i]] = static_cast<int64_t>(i);
+    }
+    PutI64(&out, static_cast<int64_t>(order.size()));
+    for (const PhysNode* node : order) {
+      PutU8(&out, static_cast<uint8_t>(node->kind()));
+      PutI32(&out, node->relation());
+      PutI32(&out, node->column());
+      PutI64(&out, static_cast<int64_t>(node->predicates().size()));
+      for (const SelectionPredicate& pred : node->predicates()) {
+        PutSelection(&out, pred);
+      }
+      PutI64(&out, static_cast<int64_t>(node->joins().size()));
+      for (const JoinPredicate& join : node->joins()) {
+        PutJoin(&out, join);
+      }
+      PutAttr(&out, node->sort_attr());
+      PutI64(&out, static_cast<int64_t>(node->projections().size()));
+      for (const AttrRef& attr : node->projections()) {
+        PutAttr(&out, attr);
+      }
+      PutF64(&out, node->width());
+      PutF64(&out, node->base_cardinality());
+      PutU8(&out, node->output_order().IsSorted() ? 1 : 0);
+      if (node->output_order().IsSorted()) {
+        PutAttr(&out, node->output_order().attr());
+      }
+      PutInterval(&out, node->est_cardinality());
+      PutInterval(&out, node->est_cost());
+      PutI64(&out, static_cast<int64_t>(node->children().size()));
+      for (const PhysNodePtr& child : node->children()) {
+        auto it = ids.find(child.get());
+        DQEP_CHECK(it != ids.end());
+        PutI64(&out, it->second);
+      }
+    }
+    return out;
+  }
+
+  static Result<PhysNodePtr> Deserialize(const std::string& bytes) {
+    Reader in(bytes);
+    char magic[4];
+    for (char& c : magic) {
+      c = static_cast<char>(in.GetU8());
+    }
+    if (!in.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::Corruption("bad access module magic");
+    }
+    if (in.GetI32() != kVersion) {
+      return Status::Corruption("unsupported access module version");
+    }
+    int64_t count = in.GetI64();
+    // Each node record occupies many bytes; a count beyond the input size
+    // is corrupt and must not drive allocations.
+    if (!in.ok() || count <= 0 ||
+        count > static_cast<int64_t>(bytes.size())) {
+      return Status::Corruption("bad access module node count");
+    }
+    std::vector<std::shared_ptr<PhysNode>> nodes;
+    nodes.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      uint8_t kind = in.GetU8();
+      if (kind > static_cast<uint8_t>(PhysOpKind::kProject)) {
+        return Status::Corruption("bad operator kind");
+      }
+      auto node = std::shared_ptr<PhysNode>(
+          new PhysNode(static_cast<PhysOpKind>(kind)));
+      node->relation_ = in.GetI32();
+      node->column_ = in.GetI32();
+      int64_t num_preds = in.GetI64();
+      if (!in.ok() || num_preds < 0 ||
+          num_preds > static_cast<int64_t>(bytes.size())) {
+        return Status::Corruption("bad predicate count");
+      }
+      for (int64_t p = 0; p < num_preds; ++p) {
+        node->predicates_.push_back(GetSelection(&in));
+      }
+      int64_t num_joins = in.GetI64();
+      if (!in.ok() || num_joins < 0 ||
+          num_joins > static_cast<int64_t>(bytes.size())) {
+        return Status::Corruption("bad join count");
+      }
+      for (int64_t j = 0; j < num_joins; ++j) {
+        node->joins_.push_back(GetJoin(&in));
+      }
+      node->sort_attr_ = GetAttr(&in);
+      int64_t num_projections = in.GetI64();
+      if (!in.ok() || num_projections < 0 ||
+          num_projections > static_cast<int64_t>(bytes.size())) {
+        return Status::Corruption("bad projection count");
+      }
+      for (int64_t a = 0; a < num_projections; ++a) {
+        node->projections_.push_back(GetAttr(&in));
+      }
+      node->width_ = in.GetF64();
+      node->base_cardinality_ = in.GetF64();
+      if (in.GetU8() != 0) {
+        node->output_order_ = SortOrder::On(GetAttr(&in));
+      }
+      Result<Interval> card = GetInterval(&in);
+      if (!card.ok()) {
+        return card.status();
+      }
+      Result<Interval> cost = GetInterval(&in);
+      if (!cost.ok()) {
+        return cost.status();
+      }
+      node->est_cardinality_ = *card;
+      node->est_cost_ = *cost;
+      int64_t num_children = in.GetI64();
+      if (!in.ok() || num_children < 0 ||
+          num_children > static_cast<int64_t>(nodes.size())) {
+        return Status::Corruption("bad child count");
+      }
+      for (int64_t c = 0; c < num_children; ++c) {
+        int64_t child_id = in.GetI64();
+        // Topological order guarantees children precede parents.
+        if (!in.ok() || child_id < 0 ||
+            child_id >= static_cast<int64_t>(nodes.size())) {
+          return Status::Corruption("bad child reference");
+        }
+        node->children_.push_back(nodes[static_cast<size_t>(child_id)]);
+      }
+      if (!in.ok()) {
+        return Status::Corruption("truncated access module");
+      }
+      nodes.push_back(std::move(node));
+    }
+    return PhysNodePtr(nodes.back());
+  }
+};
+
+AccessModule::AccessModule(PhysNodePtr root) : root_(std::move(root)) {
+  DQEP_CHECK(root_ != nullptr);
+  num_nodes_ = root_->CountNodes();
+  num_choose_nodes_ = root_->CountChooseNodes();
+}
+
+std::string AccessModule::Serialize() const {
+  return AccessModuleCodec::Serialize(*root_);
+}
+
+Result<AccessModule> AccessModule::Deserialize(const std::string& bytes) {
+  Result<PhysNodePtr> root = AccessModuleCodec::Deserialize(bytes);
+  if (!root.ok()) {
+    return root.status();
+  }
+  return AccessModule(*root);
+}
+
+}  // namespace dqep

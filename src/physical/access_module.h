@@ -1,0 +1,60 @@
+// Access modules: the stored form of optimized plans (paper §2, §4).
+//
+// A compile-time optimizer writes the plan to secondary storage; each
+// invocation reads ("activates") it.  Dynamic plans make access modules
+// larger — the I/O to load them is part of the start-up cost that Figures
+// 6 and 7 quantify.  Plans serialize as DAGs: shared subplans are written
+// once, so module size equals node count, not tree-expansion size.
+
+#ifndef DQEP_PHYSICAL_ACCESS_MODULE_H_
+#define DQEP_PHYSICAL_ACCESS_MODULE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "cost/system_config.h"
+#include "physical/plan.h"
+
+namespace dqep {
+
+/// A serializable container for one optimized plan.
+class AccessModule {
+ public:
+  /// Wraps an optimized plan.
+  explicit AccessModule(PhysNodePtr root);
+
+  const PhysNodePtr& root() const { return root_; }
+
+  /// Operator nodes in the DAG (the paper's plan-size metric).
+  int64_t num_nodes() const { return num_nodes_; }
+
+  /// Choose-plan nodes in the DAG.
+  int64_t num_choose_nodes() const { return num_choose_nodes_; }
+
+  /// Modeled module size: nodes x plan_node_bytes (paper §6).
+  double ModeledSizeBytes(const SystemConfig& config) const {
+    return static_cast<double>(num_nodes_) * config.plan_node_bytes;
+  }
+
+  /// Modeled time to read the module from disk.
+  double TransferSeconds(const SystemConfig& config) const {
+    return config.PlanTransferSeconds(num_nodes_);
+  }
+
+  /// Binary serialization of the full DAG (topological node records with
+  /// child references by index).
+  std::string Serialize() const;
+
+  /// Reconstructs a module from Serialize() output.
+  static Result<AccessModule> Deserialize(const std::string& bytes);
+
+ private:
+  PhysNodePtr root_;
+  int64_t num_nodes_ = 0;
+  int64_t num_choose_nodes_ = 0;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_PHYSICAL_ACCESS_MODULE_H_

@@ -1,0 +1,189 @@
+#include "physical/costing.h"
+
+#include <algorithm>
+
+namespace dqep {
+
+namespace {
+
+/// Product of the selectivities of `predicates` under `env`.
+Interval PredicatesSelectivity(const std::vector<SelectionPredicate>& preds,
+                               const CostModel& model, const ParamEnv& env,
+                               EstimationMode mode) {
+  Interval sel = Interval::Point(1.0);
+  for (const SelectionPredicate& pred : preds) {
+    sel = sel * model.Selectivity(pred, env, mode);
+  }
+  return sel;
+}
+
+}  // namespace
+
+NodeEstimate EstimateNode(const PhysNode& node,
+                          const std::vector<const NodeEstimate*>& children,
+                          const CostModel& model, const ParamEnv& env,
+                          EstimationMode mode) {
+  const SystemConfig& config = model.config();
+  const Interval memory = model.MemoryPages(env, mode);
+  NodeEstimate out;
+  switch (node.kind()) {
+    case PhysOpKind::kFileScan: {
+      DQEP_CHECK_EQ(children.size(), 0u);
+      double card = node.base_cardinality();
+      out.cardinality = Interval::Point(card);
+      out.cost = Interval::Point(model.FileScanCost(card, node.width()));
+      return out;
+    }
+    case PhysOpKind::kBTreeScan: {
+      DQEP_CHECK_EQ(children.size(), 0u);
+      double card = node.base_cardinality();
+      out.cardinality = Interval::Point(card);
+      out.cost = Interval::Point(model.BTreeFullScanCost(card));
+      return out;
+    }
+    case PhysOpKind::kFilterBTreeScan: {
+      DQEP_CHECK_EQ(children.size(), 0u);
+      Interval sel =
+          PredicatesSelectivity(node.predicates(), model, env, mode);
+      Interval card = sel * node.base_cardinality();
+      out.cardinality = card;
+      out.cost = Interval(model.FilterBTreeScanCost(card.lo()),
+                          model.FilterBTreeScanCost(card.hi()));
+      return out;
+    }
+    case PhysOpKind::kFilter: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      const NodeEstimate& input = *children[0];
+      Interval sel =
+          PredicatesSelectivity(node.predicates(), model, env, mode);
+      out.cardinality = input.cardinality * sel;
+      Interval self(model.FilterCost(input.cardinality.lo()),
+                    model.FilterCost(input.cardinality.hi()));
+      out.cost = input.cost + self;
+      return out;
+    }
+    case PhysOpKind::kHashJoin: {
+      DQEP_CHECK_EQ(children.size(), 2u);
+      const NodeEstimate& build = *children[0];
+      const NodeEstimate& probe = *children[1];
+      double join_sel = model.JoinSelectivity(node.joins());
+      out.cardinality = build.cardinality * probe.cardinality * join_sel;
+      double build_width = node.child(0)->width();
+      double probe_width = node.child(1)->width();
+      Interval self(
+          model.HashJoinCost(build.cardinality.lo(), build_width,
+                             probe.cardinality.lo(), probe_width,
+                             out.cardinality.lo(), memory.hi()),
+          model.HashJoinCost(build.cardinality.hi(), build_width,
+                             probe.cardinality.hi(), probe_width,
+                             out.cardinality.hi(), memory.lo()));
+      out.cost = build.cost + probe.cost + self;
+      return out;
+    }
+    case PhysOpKind::kMergeJoin: {
+      DQEP_CHECK_EQ(children.size(), 2u);
+      const NodeEstimate& left = *children[0];
+      const NodeEstimate& right = *children[1];
+      double join_sel = model.JoinSelectivity(node.joins());
+      out.cardinality = left.cardinality * right.cardinality * join_sel;
+      Interval self(
+          model.MergeJoinCost(left.cardinality.lo(), right.cardinality.lo(),
+                              out.cardinality.lo()),
+          model.MergeJoinCost(left.cardinality.hi(), right.cardinality.hi(),
+                              out.cardinality.hi()));
+      out.cost = left.cost + right.cost + self;
+      return out;
+    }
+    case PhysOpKind::kIndexJoin: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      const NodeEstimate& outer = *children[0];
+      DQEP_CHECK_EQ(node.joins().size(), 1u);
+      double join_sel = model.JoinPredicateSelectivity(node.joins().front());
+      // Key matches fetched per outer tuple, before residual predicates.
+      double matches = node.base_cardinality() * join_sel;
+      Interval residual_sel =
+          PredicatesSelectivity(node.predicates(), model, env, mode);
+      out.cardinality =
+          outer.cardinality * (matches)*residual_sel;
+      Interval self(
+          model.IndexJoinCost(outer.cardinality.lo(), matches) +
+              model.FilterCost(outer.cardinality.lo() * matches),
+          model.IndexJoinCost(outer.cardinality.hi(), matches) +
+              model.FilterCost(outer.cardinality.hi() * matches));
+      out.cost = outer.cost + self;
+      return out;
+    }
+    case PhysOpKind::kSort: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      const NodeEstimate& input = *children[0];
+      out.cardinality = input.cardinality;
+      Interval self(
+          model.SortCost(input.cardinality.lo(), node.width(), memory.hi()),
+          model.SortCost(input.cardinality.hi(), node.width(), memory.lo()));
+      out.cost = input.cost + self;
+      return out;
+    }
+    case PhysOpKind::kProject: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      const NodeEstimate& input = *children[0];
+      out.cardinality = input.cardinality;
+      // Per-tuple copy of the retained columns.
+      Interval self(input.cardinality.lo() * config.cpu_tuple_seconds,
+                    input.cardinality.hi() * config.cpu_tuple_seconds);
+      out.cost = input.cost + self;
+      return out;
+    }
+    case PhysOpKind::kChoosePlan: {
+      DQEP_CHECK_GE(children.size(), 2u);
+      Interval cost = children[0]->cost;
+      Interval card = children[0]->cardinality;
+      for (size_t i = 1; i < children.size(); ++i) {
+        cost = Interval::MinCombine(cost, children[i]->cost);
+        card = Interval::Hull(card, children[i]->cardinality);
+      }
+      out.cardinality = card;
+      out.cost =
+          cost + Interval::Point(config.choose_plan_decision_seconds);
+      return out;
+    }
+  }
+  DQEP_CHECK(false);
+  return out;
+}
+
+PlanEstimateMap EstimatePlan(const PhysNode& root, const CostModel& model,
+                             const ParamEnv& env, EstimationMode mode,
+                             int64_t* evaluations) {
+  PlanEstimateMap map;
+  std::vector<const PhysNode*> order = root.TopologicalOrder();
+  for (const PhysNode* node : order) {
+    std::vector<const NodeEstimate*> children;
+    children.reserve(node->children().size());
+    for (const PhysNodePtr& child : node->children()) {
+      auto it = map.find(child.get());
+      DQEP_CHECK(it != map.end());
+      children.push_back(&it->second);
+    }
+    map.emplace(node, EstimateNode(*node, children, model, env, mode));
+  }
+  if (evaluations != nullptr) {
+    *evaluations = static_cast<int64_t>(order.size());
+  }
+  return map;
+}
+
+NodeEstimate EstimateRoot(const PhysNode& root, const CostModel& model,
+                          const ParamEnv& env, EstimationMode mode) {
+  PlanEstimateMap map = EstimatePlan(root, model, env, mode);
+  return map.at(&root);
+}
+
+void AnnotatePlan(const PhysNode& root, const CostModel& model,
+                  const ParamEnv& env, EstimationMode mode) {
+  PlanEstimateMap map = EstimatePlan(root, model, env, mode);
+  for (const auto& [node, estimate] : map) {
+    node->SetEstimates(estimate.cardinality, estimate.cost);
+  }
+}
+
+}  // namespace dqep

@@ -1,0 +1,56 @@
+// Cost and cardinality evaluation over physical plan DAGs.
+//
+// The same evaluation serves three roles (paper §4 "a much simpler
+// approach is to re-evaluate the cost functions"):
+//   * compile-time estimation during search (interval parameters),
+//   * start-up-time choose-plan decisions (bound parameters: points),
+//   * computing a static plan's actual cost under given bindings.
+// Shared subplans are evaluated exactly once per call (DAG memoization).
+
+#ifndef DQEP_PHYSICAL_COSTING_H_
+#define DQEP_PHYSICAL_COSTING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/interval.h"
+#include "cost/cost_model.h"
+#include "physical/plan.h"
+
+namespace dqep {
+
+/// Cardinality and *total* (subtree) cost of one plan node.
+struct NodeEstimate {
+  Interval cardinality;
+  Interval cost;
+};
+
+/// Estimates for every node of a DAG, keyed by node identity.
+using PlanEstimateMap = std::unordered_map<const PhysNode*, NodeEstimate>;
+
+/// Evaluates cost and cardinality for a single node given its children's
+/// estimates (in child order).  Pure function of (node, children, env).
+NodeEstimate EstimateNode(const PhysNode& node,
+                          const std::vector<const NodeEstimate*>& children,
+                          const CostModel& model, const ParamEnv& env,
+                          EstimationMode mode);
+
+/// Evaluates the whole DAG bottom-up, each node once.
+/// `evaluations` (optional) receives the number of cost-function
+/// evaluations performed (== number of distinct nodes).
+PlanEstimateMap EstimatePlan(const PhysNode& root, const CostModel& model,
+                             const ParamEnv& env, EstimationMode mode,
+                             int64_t* evaluations = nullptr);
+
+/// Convenience: the root's estimate.
+NodeEstimate EstimateRoot(const PhysNode& root, const CostModel& model,
+                          const ParamEnv& env, EstimationMode mode);
+
+/// Writes compile-time estimates into every node of the DAG (annotation
+/// for explain output and the access module).
+void AnnotatePlan(const PhysNode& root, const CostModel& model,
+                  const ParamEnv& env, EstimationMode mode);
+
+}  // namespace dqep
+
+#endif  // DQEP_PHYSICAL_COSTING_H_

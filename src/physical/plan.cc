@@ -1,0 +1,329 @@
+#include "physical/plan.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dqep {
+
+const char* PhysOpKindName(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kFileScan:
+      return "File-Scan";
+    case PhysOpKind::kBTreeScan:
+      return "B-tree-Scan";
+    case PhysOpKind::kFilter:
+      return "Filter";
+    case PhysOpKind::kFilterBTreeScan:
+      return "Filter-B-tree-Scan";
+    case PhysOpKind::kHashJoin:
+      return "Hash-Join";
+    case PhysOpKind::kMergeJoin:
+      return "Merge-Join";
+    case PhysOpKind::kIndexJoin:
+      return "Index-Join";
+    case PhysOpKind::kSort:
+      return "Sort";
+    case PhysOpKind::kChoosePlan:
+      return "Choose-Plan";
+    case PhysOpKind::kProject:
+      return "Project";
+  }
+  return "?";
+}
+
+std::string SortOrder::ToString() const {
+  if (!IsSorted()) {
+    return "none";
+  }
+  std::ostringstream os;
+  os << attr();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const SortOrder& order) {
+  os << order.ToString();
+  return os;
+}
+
+PhysNodePtr PhysNode::FileScan(const Catalog& catalog, RelationId relation) {
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kFileScan));
+  const RelationInfo& info = catalog.relation(relation);
+  node->relation_ = relation;
+  node->width_ = static_cast<double>(info.record_width());
+  node->base_cardinality_ = static_cast<double>(info.cardinality());
+  return node;
+}
+
+PhysNodePtr PhysNode::BTreeScan(const Catalog& catalog, RelationId relation,
+                                int32_t column) {
+  DQEP_CHECK(catalog.relation(relation).HasIndexOn(column));
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kBTreeScan));
+  const RelationInfo& info = catalog.relation(relation);
+  node->relation_ = relation;
+  node->column_ = column;
+  node->width_ = static_cast<double>(info.record_width());
+  node->base_cardinality_ = static_cast<double>(info.cardinality());
+  node->output_order_ = SortOrder::On(AttrRef{relation, column});
+  return node;
+}
+
+PhysNodePtr PhysNode::Filter(std::vector<SelectionPredicate> predicates,
+                             PhysNodePtr input) {
+  DQEP_CHECK(input != nullptr);
+  DQEP_CHECK(!predicates.empty());
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kFilter));
+  node->predicates_ = std::move(predicates);
+  node->width_ = input->width();
+  node->output_order_ = input->output_order();
+  node->children_.push_back(std::move(input));
+  return node;
+}
+
+PhysNodePtr PhysNode::FilterBTreeScan(const Catalog& catalog,
+                                      RelationId relation,
+                                      SelectionPredicate predicate) {
+  DQEP_CHECK_EQ(predicate.attr.relation, relation);
+  DQEP_CHECK(catalog.relation(relation).HasIndexOn(predicate.attr.column));
+  auto node =
+      std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kFilterBTreeScan));
+  const RelationInfo& info = catalog.relation(relation);
+  node->relation_ = relation;
+  node->column_ = predicate.attr.column;
+  node->predicates_.push_back(std::move(predicate));
+  node->width_ = static_cast<double>(info.record_width());
+  node->base_cardinality_ = static_cast<double>(info.cardinality());
+  node->output_order_ =
+      SortOrder::On(AttrRef{relation, node->column_});
+  return node;
+}
+
+PhysNodePtr PhysNode::HashJoin(std::vector<JoinPredicate> joins,
+                               PhysNodePtr build, PhysNodePtr probe) {
+  DQEP_CHECK(!joins.empty());
+  DQEP_CHECK(build != nullptr);
+  DQEP_CHECK(probe != nullptr);
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kHashJoin));
+  node->joins_ = std::move(joins);
+  node->width_ = build->width() + probe->width();
+  node->children_.push_back(std::move(build));
+  node->children_.push_back(std::move(probe));
+  return node;
+}
+
+PhysNodePtr PhysNode::MergeJoin(std::vector<JoinPredicate> joins,
+                                PhysNodePtr left, PhysNodePtr right) {
+  DQEP_CHECK(!joins.empty());
+  DQEP_CHECK(left != nullptr);
+  DQEP_CHECK(right != nullptr);
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kMergeJoin));
+  node->width_ = left->width() + right->width();
+  node->output_order_ = left->output_order();
+  node->joins_ = std::move(joins);
+  node->children_.push_back(std::move(left));
+  node->children_.push_back(std::move(right));
+  return node;
+}
+
+PhysNodePtr PhysNode::IndexJoin(const Catalog& catalog, JoinPredicate join,
+                                std::vector<SelectionPredicate> residual,
+                                PhysNodePtr outer) {
+  DQEP_CHECK(outer != nullptr);
+  const RelationInfo& inner = catalog.relation(join.right.relation);
+  DQEP_CHECK(inner.HasIndexOn(join.right.column));
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kIndexJoin));
+  node->relation_ = join.right.relation;
+  node->column_ = join.right.column;
+  node->joins_.push_back(join);
+  node->predicates_ = std::move(residual);
+  node->width_ = outer->width() + static_cast<double>(inner.record_width());
+  node->base_cardinality_ = static_cast<double>(inner.cardinality());
+  node->output_order_ = outer->output_order();
+  node->children_.push_back(std::move(outer));
+  return node;
+}
+
+PhysNodePtr PhysNode::Sort(const AttrRef& attr, PhysNodePtr input) {
+  DQEP_CHECK(input != nullptr);
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kSort));
+  node->sort_attr_ = attr;
+  node->width_ = input->width();
+  node->output_order_ = SortOrder::On(attr);
+  node->children_.push_back(std::move(input));
+  return node;
+}
+
+PhysNodePtr PhysNode::Project(const Catalog& catalog,
+                              std::vector<AttrRef> attrs,
+                              PhysNodePtr input) {
+  DQEP_CHECK(input != nullptr);
+  DQEP_CHECK(!attrs.empty());
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kProject));
+  double width = 0.0;
+  bool keeps_order = false;
+  for (const AttrRef& attr : attrs) {
+    width += static_cast<double>(catalog.column(attr).width_bytes);
+    if (input->output_order().IsSorted() &&
+        input->output_order().attr() == attr) {
+      keeps_order = true;
+    }
+  }
+  node->projections_ = std::move(attrs);
+  node->width_ = width;
+  if (keeps_order) {
+    node->output_order_ = input->output_order();
+  }
+  node->children_.push_back(std::move(input));
+  return node;
+}
+
+PhysNodePtr PhysNode::ChoosePlan(std::vector<PhysNodePtr> alternatives,
+                                 const SortOrder& order) {
+  DQEP_CHECK_GE(alternatives.size(), 2u);
+  auto node = std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kChoosePlan));
+  node->width_ = alternatives.front()->width();
+  node->output_order_ = order;
+  for (const PhysNodePtr& alt : alternatives) {
+    DQEP_CHECK(alt != nullptr);
+    DQEP_CHECK(alt->output_order().Satisfies(order));
+  }
+  node->children_ = std::move(alternatives);
+  return node;
+}
+
+void PhysNode::SetEstimates(const Interval& cardinality,
+                            const Interval& cost) const {
+  est_cardinality_ = cardinality;
+  est_cost_ = cost;
+}
+
+namespace {
+
+void TopoVisit(const PhysNode* node,
+               std::unordered_set<const PhysNode*>* seen,
+               std::vector<const PhysNode*>* order) {
+  if (!seen->insert(node).second) {
+    return;
+  }
+  for (const PhysNodePtr& child : node->children()) {
+    TopoVisit(child.get(), seen, order);
+  }
+  order->push_back(node);
+}
+
+}  // namespace
+
+std::vector<const PhysNode*> PhysNode::TopologicalOrder() const {
+  std::unordered_set<const PhysNode*> seen;
+  std::vector<const PhysNode*> order;
+  TopoVisit(this, &seen, &order);
+  return order;
+}
+
+int64_t PhysNode::CountNodes() const {
+  return static_cast<int64_t>(TopologicalOrder().size());
+}
+
+double PhysNode::CountExpandedTreeNodes() const {
+  std::unordered_map<const PhysNode*, double> sizes;
+  for (const PhysNode* node : TopologicalOrder()) {
+    double size = 1.0;
+    for (const PhysNodePtr& child : node->children()) {
+      size += sizes.at(child.get());
+    }
+    sizes[node] = size;
+  }
+  return sizes.at(this);
+}
+
+double PhysNode::CountEmbeddedPlans() const {
+  std::unordered_map<const PhysNode*, double> counts;
+  for (const PhysNode* node : TopologicalOrder()) {
+    double count = node->kind() == PhysOpKind::kChoosePlan ? 0.0 : 1.0;
+    if (node->kind() == PhysOpKind::kChoosePlan) {
+      for (const PhysNodePtr& child : node->children()) {
+        count += counts.at(child.get());
+      }
+    } else {
+      for (const PhysNodePtr& child : node->children()) {
+        count *= counts.at(child.get());
+      }
+    }
+    counts[node] = count;
+  }
+  return counts.at(this);
+}
+
+int64_t PhysNode::CountChooseNodes() const {
+  int64_t count = 0;
+  for (const PhysNode* node : TopologicalOrder()) {
+    if (node->kind() == PhysOpKind::kChoosePlan) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+void AppendNode(const PhysNode* node, int indent,
+                std::map<const PhysNode*, int>* ids, int* next_id,
+                std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  auto it = ids->find(node);
+  if (it != ids->end()) {
+    out->append("@" + std::to_string(it->second) + " (shared)\n");
+    return;
+  }
+  int id = (*next_id)++;
+  (*ids)[node] = id;
+  std::ostringstream line;
+  line << "@" << id << " " << PhysOpKindName(node->kind());
+  if (node->relation() != kInvalidRelation) {
+    line << " R" << node->relation();
+    if (node->column() >= 0) {
+      line << ".c" << node->column();
+    }
+  }
+  for (const SelectionPredicate& pred : node->predicates()) {
+    line << " [" << pred << "]";
+  }
+  for (const JoinPredicate& join : node->joins()) {
+    line << " [" << join << "]";
+  }
+  if (node->kind() == PhysOpKind::kSort) {
+    line << " on " << node->sort_attr();
+  }
+  if (node->kind() == PhysOpKind::kProject) {
+    line << " [";
+    for (size_t i = 0; i < node->projections().size(); ++i) {
+      if (i > 0) {
+        line << ", ";
+      }
+      line << node->projections()[i];
+    }
+    line << "]";
+  }
+  if (!node->est_cost().IsPoint() || node->est_cost().lo() != 0.0) {
+    line << "  cost=" << node->est_cost();
+  }
+  out->append(line.str());
+  out->append("\n");
+  for (const PhysNodePtr& child : node->children()) {
+    AppendNode(child.get(), indent + 1, ids, next_id, out);
+  }
+}
+
+}  // namespace
+
+std::string PhysNode::ToString() const {
+  std::map<const PhysNode*, int> ids;
+  int next_id = 0;
+  std::string out;
+  AppendNode(this, 0, &ids, &next_id, &out);
+  return out;
+}
+
+}  // namespace dqep

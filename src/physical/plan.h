@@ -1,0 +1,180 @@
+// Physical query evaluation plans.
+//
+// Plans are immutable DAGs of operator nodes.  Sharing is essential (paper
+// §3 "Techniques to Reduce the Search Effort"): alternative plans linked by
+// choose-plan operators share common subplans, so the exponential number of
+// plan *combinations* is represented by a polynomial number of nodes.
+//
+// The physical algebra (paper Table 1): File-Scan, B-tree-Scan, Filter,
+// Filter-B-tree-Scan, Hash-Join, Merge-Join, Index-Join, the Sort enforcer,
+// and the Choose-Plan enforcer of plan robustness.
+
+#ifndef DQEP_PHYSICAL_PLAN_H_
+#define DQEP_PHYSICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/interval.h"
+#include "logical/expr.h"
+#include "physical/properties.h"
+
+namespace dqep {
+
+/// Kinds of physical operators.
+enum class PhysOpKind : uint8_t {
+  kFileScan,
+  kBTreeScan,
+  kFilter,
+  kFilterBTreeScan,
+  kHashJoin,
+  kMergeJoin,
+  kIndexJoin,
+  kSort,
+  kChoosePlan,
+  kProject,
+};
+
+const char* PhysOpKindName(PhysOpKind kind);
+
+class PhysNode;
+using PhysNodePtr = std::shared_ptr<const PhysNode>;
+
+/// An immutable physical plan operator.  Construct through the factory
+/// functions, which derive output width and sort order.
+///
+/// Nodes carry their *compile-time* cost and cardinality estimates
+/// (intervals).  Start-up-time re-evaluation with bound parameters is done
+/// externally (physical/costing.h) and never mutates the plan.
+class PhysNode {
+ public:
+  /// Sequential scan of a base relation.
+  static PhysNodePtr FileScan(const Catalog& catalog, RelationId relation);
+
+  /// Full scan through the B-tree on `column` (output sorted on it).
+  static PhysNodePtr BTreeScan(const Catalog& catalog, RelationId relation,
+                               int32_t column);
+
+  /// Predicate filter over `input`.
+  static PhysNodePtr Filter(std::vector<SelectionPredicate> predicates,
+                            PhysNodePtr input);
+
+  /// B-tree range scan retrieving only tuples satisfying `predicate`
+  /// (which must compare the indexed column).  Output sorted on it.
+  static PhysNodePtr FilterBTreeScan(const Catalog& catalog,
+                                     RelationId relation,
+                                     SelectionPredicate predicate);
+
+  /// Hash join; children[0] is the build input, children[1] the probe.
+  static PhysNodePtr HashJoin(std::vector<JoinPredicate> joins,
+                              PhysNodePtr build, PhysNodePtr probe);
+
+  /// Merge join of inputs sorted on the first join predicate's attributes.
+  static PhysNodePtr MergeJoin(std::vector<JoinPredicate> joins,
+                               PhysNodePtr left, PhysNodePtr right);
+
+  /// Index nested-loops join: probes the B-tree on `join.right`'s column
+  /// for each outer tuple; `residual` holds the inner relation's selection
+  /// predicates, applied after the fetch.  Preserves the outer's order.
+  static PhysNodePtr IndexJoin(const Catalog& catalog, JoinPredicate join,
+                               std::vector<SelectionPredicate> residual,
+                               PhysNodePtr outer);
+
+  /// Sort enforcer: orders `input` on `attr`.
+  static PhysNodePtr Sort(const AttrRef& attr, PhysNodePtr input);
+
+  /// Projection: restricts output to `attrs` (in order).  Preserves the
+  /// input's sort order only if the ordering attribute survives.
+  static PhysNodePtr Project(const Catalog& catalog,
+                             std::vector<AttrRef> attrs, PhysNodePtr input);
+
+  /// Choose-plan enforcer: links equivalent `alternatives` whose costs are
+  /// incomparable at compile-time; the choice is made at start-up-time.
+  /// All alternatives must deliver `order`.
+  static PhysNodePtr ChoosePlan(std::vector<PhysNodePtr> alternatives,
+                                const SortOrder& order);
+
+  PhysOpKind kind() const { return kind_; }
+  RelationId relation() const { return relation_; }
+  int32_t column() const { return column_; }
+  const std::vector<SelectionPredicate>& predicates() const {
+    return predicates_;
+  }
+  const std::vector<JoinPredicate>& joins() const { return joins_; }
+  const AttrRef& sort_attr() const { return sort_attr_; }
+  const std::vector<AttrRef>& projections() const { return projections_; }
+  const std::vector<PhysNodePtr>& children() const { return children_; }
+
+  const PhysNodePtr& child(size_t i) const {
+    DQEP_CHECK_LT(i, children_.size());
+    return children_[i];
+  }
+
+  /// Output record width in bytes.
+  double width() const { return width_; }
+
+  /// Base-relation cardinality for scans / the inner of an index join.
+  double base_cardinality() const { return base_cardinality_; }
+
+  /// Output sort order.
+  const SortOrder& output_order() const { return output_order_; }
+
+  /// Compile-time estimates, set once by the optimizer.
+  const Interval& est_cardinality() const { return est_cardinality_; }
+  const Interval& est_cost() const { return est_cost_; }
+  void SetEstimates(const Interval& cardinality, const Interval& cost) const;
+
+  /// Number of distinct operator nodes in the DAG rooted here (shared
+  /// subplans counted once) — the paper's plan-size metric (Figure 6).
+  int64_t CountNodes() const;
+
+  /// Number of choose-plan nodes in the DAG (counted once each).
+  int64_t CountChooseNodes() const;
+
+  /// Size of the plan if expanded to a tree (shared subplans counted once
+  /// per use).  Grows exponentially where CountNodes() stays polynomial —
+  /// the quantitative argument for representing dynamic plans as DAGs
+  /// (paper §3).  Returned as double: it overflows int64 for large plans.
+  double CountExpandedTreeNodes() const;
+
+  /// Number of distinct choose-plan-free plans embedded in the DAG (the
+  /// number of alternatives a start-up decision selects among).
+  double CountEmbeddedPlans() const;
+
+  /// All distinct nodes in the DAG, children before parents.
+  std::vector<const PhysNode*> TopologicalOrder() const;
+
+  /// Indented rendering; shared subplans are expanded once and referenced
+  /// by id afterwards.
+  std::string ToString() const;
+
+ private:
+  // The access-module codec reconstructs nodes field-by-field.
+  friend class AccessModuleCodec;
+
+  explicit PhysNode(PhysOpKind kind) : kind_(kind) {}
+
+  PhysOpKind kind_;
+  RelationId relation_ = kInvalidRelation;
+  int32_t column_ = -1;
+  std::vector<SelectionPredicate> predicates_;
+  std::vector<JoinPredicate> joins_;
+  AttrRef sort_attr_;
+  std::vector<AttrRef> projections_;
+  std::vector<PhysNodePtr> children_;
+  double width_ = 0.0;
+  double base_cardinality_ = 0.0;
+  SortOrder output_order_;
+
+  // Estimates are annotations, not identity; setting them post-construction
+  // keeps factories usable before costing.  Logically const.
+  mutable Interval est_cardinality_;
+  mutable Interval est_cost_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_PHYSICAL_PLAN_H_

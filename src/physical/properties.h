@@ -1,0 +1,72 @@
+// Physical properties (paper §2: "Volcano Optimizer Generator").
+//
+// The only physical property in the prototype's algebra is sort order
+// (plan robustness, the property enforced by choose-plan, is handled by
+// the search engine itself).  An optimization goal is a logical expression
+// plus required physical properties; merge-join requests sorted inputs,
+// which the search satisfies either natively (B-tree scans, merge joins)
+// or through the sort enforcer.
+
+#ifndef DQEP_PHYSICAL_PROPERTIES_H_
+#define DQEP_PHYSICAL_PROPERTIES_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "catalog/schema.h"
+
+namespace dqep {
+
+/// An (optional) ascending sort order on one attribute.
+class SortOrder {
+ public:
+  /// No particular order.
+  SortOrder() = default;
+
+  /// Sorted ascending on `attr`.
+  static SortOrder On(const AttrRef& attr) {
+    SortOrder order;
+    order.attr_ = attr;
+    return order;
+  }
+
+  bool IsSorted() const { return attr_.has_value(); }
+
+  const AttrRef& attr() const {
+    DQEP_CHECK(IsSorted());
+    return *attr_;
+  }
+
+  /// True iff this order satisfies `required` (any order satisfies "none").
+  bool Satisfies(const SortOrder& required) const {
+    if (!required.IsSorted()) {
+      return true;
+    }
+    return IsSorted() && attr() == required.attr();
+  }
+
+  friend bool operator==(const SortOrder& a, const SortOrder& b) {
+    return a.attr_ == b.attr_;
+  }
+  friend bool operator!=(const SortOrder& a, const SortOrder& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SortOrder& a, const SortOrder& b) {
+    if (!a.attr_.has_value() || !b.attr_.has_value()) {
+      return a.attr_.has_value() < b.attr_.has_value();
+    }
+    return *a.attr_ < *b.attr_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::optional<AttrRef> attr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const SortOrder& order);
+
+}  // namespace dqep
+
+#endif  // DQEP_PHYSICAL_PROPERTIES_H_

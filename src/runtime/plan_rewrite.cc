@@ -1,0 +1,74 @@
+#include "runtime/plan_rewrite.h"
+
+#include <unordered_map>
+
+namespace dqep {
+
+PhysNodePtr CloneWithChildren(const Catalog& catalog, const PhysNode& node,
+                              std::vector<PhysNodePtr> children) {
+  DQEP_CHECK_EQ(children.size(), node.children().size());
+  switch (node.kind()) {
+    case PhysOpKind::kFilter:
+      return PhysNode::Filter(node.predicates(), std::move(children[0]));
+    case PhysOpKind::kHashJoin:
+      return PhysNode::HashJoin(node.joins(), std::move(children[0]),
+                                std::move(children[1]));
+    case PhysOpKind::kMergeJoin:
+      return PhysNode::MergeJoin(node.joins(), std::move(children[0]),
+                                 std::move(children[1]));
+    case PhysOpKind::kIndexJoin:
+      return PhysNode::IndexJoin(catalog, node.joins().front(),
+                                 node.predicates(), std::move(children[0]));
+    case PhysOpKind::kSort:
+      return PhysNode::Sort(node.sort_attr(), std::move(children[0]));
+    case PhysOpKind::kProject:
+      return PhysNode::Project(catalog, node.projections(),
+                               std::move(children[0]));
+    case PhysOpKind::kChoosePlan:
+      return PhysNode::ChoosePlan(std::move(children), node.output_order());
+    case PhysOpKind::kFileScan:
+    case PhysOpKind::kBTreeScan:
+    case PhysOpKind::kFilterBTreeScan:
+      break;
+  }
+  DQEP_CHECK(false);  // Scans have no children to replace.
+  return nullptr;
+}
+
+namespace {
+
+PhysNodePtr RewriteNode(
+    const Catalog& catalog, const PhysNodePtr& node,
+    const NodeTransform& transform,
+    std::unordered_map<const PhysNode*, PhysNodePtr>* memo) {
+  auto it = memo->find(node.get());
+  if (it != memo->end()) {
+    return it->second;
+  }
+  std::vector<PhysNodePtr> children;
+  children.reserve(node->children().size());
+  bool changed = false;
+  for (const PhysNodePtr& child : node->children()) {
+    PhysNodePtr rewritten = RewriteNode(catalog, child, transform, memo);
+    changed = changed || rewritten != child;
+    children.push_back(std::move(rewritten));
+  }
+  PhysNodePtr result = transform(*node, children);
+  if (result == nullptr) {
+    result = changed ? CloneWithChildren(catalog, *node, std::move(children))
+                     : node;
+  }
+  memo->emplace(node.get(), result);
+  return result;
+}
+
+}  // namespace
+
+PhysNodePtr RewritePlan(const Catalog& catalog, const PhysNodePtr& root,
+                        const NodeTransform& transform) {
+  DQEP_CHECK(root != nullptr);
+  std::unordered_map<const PhysNode*, PhysNodePtr> memo;
+  return RewriteNode(catalog, root, transform, &memo);
+}
+
+}  // namespace dqep

@@ -1,0 +1,33 @@
+// Bottom-up rewriting of plan DAGs (shared by start-up resolution and the
+// plan-shrinking heuristic).
+
+#ifndef DQEP_RUNTIME_PLAN_REWRITE_H_
+#define DQEP_RUNTIME_PLAN_REWRITE_H_
+
+#include <functional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "physical/plan.h"
+
+namespace dqep {
+
+/// Clones `node` with new children (same operator, predicates, and
+/// arguments).  Requires node.children().size() == children.size() > 0.
+PhysNodePtr CloneWithChildren(const Catalog& catalog, const PhysNode& node,
+                              std::vector<PhysNodePtr> children);
+
+/// Applied to each node after its children have been rewritten; returns
+/// the replacement node, or nullptr to keep the node (updating children if
+/// they changed).
+using NodeTransform = std::function<PhysNodePtr(
+    const PhysNode& original, const std::vector<PhysNodePtr>& new_children)>;
+
+/// Rewrites the DAG rooted at `root` bottom-up, visiting each distinct
+/// node once (shared subplans stay shared in the result).
+PhysNodePtr RewritePlan(const Catalog& catalog, const PhysNodePtr& root,
+                        const NodeTransform& transform);
+
+}  // namespace dqep
+
+#endif  // DQEP_RUNTIME_PLAN_REWRITE_H_

@@ -1,0 +1,36 @@
+#include "runtime/shrink.h"
+
+#include <vector>
+
+#include "runtime/plan_rewrite.h"
+
+namespace dqep {
+
+PhysNodePtr ShrinkDynamicPlan(const Catalog& catalog, const PhysNodePtr& root,
+                              const PlanUsageTracker& tracker) {
+  return RewritePlan(
+      catalog, root,
+      [&tracker](const PhysNode& node,
+                 const std::vector<PhysNodePtr>& children) -> PhysNodePtr {
+        if (node.kind() != PhysOpKind::kChoosePlan) {
+          return nullptr;
+        }
+        const std::set<size_t>* used = tracker.UsedAlternatives(&node);
+        if (used == nullptr || used->empty() ||
+            used->size() == node.children().size()) {
+          return nullptr;  // Never reached, or everything was used.
+        }
+        std::vector<PhysNodePtr> kept;
+        kept.reserve(used->size());
+        for (size_t index : *used) {
+          DQEP_CHECK_LT(index, children.size());
+          kept.push_back(children[index]);
+        }
+        if (kept.size() == 1) {
+          return kept.front();
+        }
+        return PhysNode::ChoosePlan(std::move(kept), node.output_order());
+      });
+}
+
+}  // namespace dqep

@@ -1,0 +1,57 @@
+// The plan-shrinking heuristic (paper §4).
+//
+// An access module keeps statistics of which dynamic-plan components each
+// invocation actually chose.  After a number of invocations it replaces
+// itself with a module containing only the components used so far —
+// cheaper to read and to decide over, at the (heuristic) risk of dropping
+// alternatives that later bindings would have preferred.
+
+#ifndef DQEP_RUNTIME_SHRINK_H_
+#define DQEP_RUNTIME_SHRINK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "physical/plan.h"
+#include "runtime/startup.h"
+
+namespace dqep {
+
+/// Accumulates choose-plan usage across invocations of one dynamic plan.
+class PlanUsageTracker {
+ public:
+  /// Records the choices of one invocation.
+  void Record(const StartupResult& startup) {
+    ++invocations_;
+    for (const auto& [node, choice] : startup.choices) {
+      used_[node].insert(choice);
+    }
+  }
+
+  int64_t invocations() const { return invocations_; }
+
+  /// Alternatives of `node` chosen at least once (empty if never seen —
+  /// e.g. a choose node inside never-chosen alternatives).
+  const std::set<size_t>* UsedAlternatives(const PhysNode* node) const {
+    auto it = used_.find(node);
+    return it == used_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  int64_t invocations_ = 0;
+  std::unordered_map<const PhysNode*, std::set<size_t>> used_;
+};
+
+/// Produces the shrunk dynamic plan: every choose-plan node retains only
+/// the alternatives `tracker` saw chosen; choose nodes with one survivor
+/// collapse into it.  Choose nodes that were never reached (inside dropped
+/// alternatives) are left intact — they disappear with their parents.
+PhysNodePtr ShrinkDynamicPlan(const Catalog& catalog, const PhysNodePtr& root,
+                              const PlanUsageTracker& tracker);
+
+}  // namespace dqep
+
+#endif  // DQEP_RUNTIME_SHRINK_H_

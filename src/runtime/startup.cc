@@ -1,0 +1,230 @@
+#include "runtime/startup.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "physical/costing.h"
+#include "runtime/plan_rewrite.h"
+
+namespace dqep {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Depth-first point-cost evaluator with an optional abort budget
+/// (start-up branch-and-bound): evaluation of a subtree stops as soon as
+/// its accumulated cost exceeds the cheapest complete alternative seen so
+/// far.  Completed node evaluations are memoized so shared subplans are
+/// costed once.
+class StartupEvaluator {
+ public:
+  StartupEvaluator(const CostModel& model, const ParamEnv& env,
+                   const StartupOptions& options)
+      : model_(model),
+        env_(env),
+        branch_and_bound_(options.use_branch_and_bound),
+        observed_(options.observed_cardinalities) {}
+
+  struct EvalOut {
+    NodeEstimate estimate;
+    bool aborted = false;
+  };
+
+  EvalOut Eval(const PhysNode* node, double budget) {
+    auto it = memo_.find(node);
+    if (it != memo_.end()) {
+      return EvalOut{it->second, false};
+    }
+    if (branch_and_bound_) {
+      // A node that already aborted under a budget >= this one will abort
+      // again; skip the re-descent.  (Without this, shared subplans inside
+      // abandoned alternatives are re-evaluated once per parent budget and
+      // the "optimization" costs far more than it saves.)
+      auto aborted = abort_budgets_.find(node);
+      if (aborted != abort_budgets_.end() && budget <= aborted->second) {
+        return EvalOut{NodeEstimate{}, true};
+      }
+    }
+    EvalOut out;
+    if (node->kind() == PhysOpKind::kChoosePlan) {
+      ++decisions_;
+      double best = kInf;
+      size_t best_index = 0;
+      NodeEstimate best_estimate;
+      for (size_t i = 0; i < node->children().size(); ++i) {
+        double alt_budget = branch_and_bound_ ? std::min(budget, best) : kInf;
+        EvalOut alt = Eval(node->child(i).get(), alt_budget);
+        if (alt.aborted) {
+          continue;
+        }
+        double cost = alt.estimate.cost.lo();
+        if (cost < best) {
+          best = cost;
+          best_index = i;
+          best_estimate = alt.estimate;
+        }
+      }
+      if (best == kInf) {
+        return Abort(node, budget);
+      }
+      choices_[node] = best_index;
+      out.estimate.cardinality = best_estimate.cardinality;
+      out.estimate.cost =
+          best_estimate.cost +
+          Interval::Point(model_.config().choose_plan_decision_seconds);
+      memo_.emplace(node, out.estimate);
+      return out;
+    }
+    // Regular operator: children first, aborting if the running total
+    // exceeds the budget.
+    std::vector<NodeEstimate> child_estimates;
+    child_estimates.reserve(node->children().size());
+    double spent = 0.0;
+    for (const PhysNodePtr& child : node->children()) {
+      EvalOut child_out = Eval(child.get(), budget - spent);
+      if (child_out.aborted) {
+        return Abort(node, budget);
+      }
+      spent += child_out.estimate.cost.lo();
+      if (branch_and_bound_ && spent > budget) {
+        return Abort(node, budget);
+      }
+      child_estimates.push_back(child_out.estimate);
+    }
+    std::vector<const NodeEstimate*> child_ptrs;
+    child_ptrs.reserve(child_estimates.size());
+    for (const NodeEstimate& estimate : child_estimates) {
+      child_ptrs.push_back(&estimate);
+    }
+    ++evaluations_;
+    evaluated_.insert(node);
+    out.estimate = EstimateNode(*node, child_ptrs, model_, env_,
+                                EstimationMode::kExpectedValue);
+    if (observed_ != nullptr) {
+      auto observed = observed_->find(node);
+      if (observed != observed_->end()) {
+        out.estimate.cardinality = Interval::Point(observed->second);
+        // For access paths whose cost is a direct function of the rows
+        // they produce, the observation corrects the cost as well — this
+        // is what lets observed decisions fix a mis-estimated index scan.
+        if (node->kind() == PhysOpKind::kFilterBTreeScan) {
+          out.estimate.cost =
+              Interval::Point(model_.FilterBTreeScanCost(observed->second));
+        }
+      }
+    }
+    if (branch_and_bound_ && out.estimate.cost.lo() > budget) {
+      return Abort(node, budget);
+    }
+    memo_.emplace(node, out.estimate);
+    return out;
+  }
+
+  int64_t evaluations() const { return evaluations_; }
+  int64_t decisions() const { return decisions_; }
+  int64_t distinct_evaluated() const {
+    return static_cast<int64_t>(evaluated_.size());
+  }
+  const std::unordered_map<const PhysNode*, size_t>& choices() const {
+    return choices_;
+  }
+
+ private:
+  /// Records that `node` cannot complete within `budget` and returns the
+  /// aborted result.
+  EvalOut Abort(const PhysNode* node, double budget) {
+    if (budget != kInf) {
+      auto [it, inserted] = abort_budgets_.emplace(node, budget);
+      if (!inserted && budget > it->second) {
+        it->second = budget;
+      }
+    }
+    EvalOut out;
+    out.aborted = true;
+    return out;
+  }
+
+  const CostModel& model_;
+  const ParamEnv& env_;
+  bool branch_and_bound_;
+  const std::unordered_map<const PhysNode*, double>* observed_;
+  std::unordered_map<const PhysNode*, NodeEstimate> memo_;
+  std::unordered_map<const PhysNode*, double> abort_budgets_;
+  std::unordered_set<const PhysNode*> evaluated_;
+  std::unordered_map<const PhysNode*, size_t> choices_;
+  int64_t evaluations_ = 0;
+  int64_t decisions_ = 0;
+};
+
+}  // namespace
+
+std::vector<ParamId> PlanParams(const PhysNode& root) {
+  std::set<ParamId> params;
+  for (const PhysNode* node : root.TopologicalOrder()) {
+    for (const SelectionPredicate& pred : node->predicates()) {
+      if (pred.HasParam()) {
+        params.insert(pred.operand.param());
+      }
+    }
+  }
+  return std::vector<ParamId>(params.begin(), params.end());
+}
+
+Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
+                                         const CostModel& model,
+                                         const ParamEnv& env,
+                                         const StartupOptions& options) {
+  DQEP_CHECK(root != nullptr);
+  std::vector<ParamId> params = PlanParams(*root);
+  if (!env.FullyBound(params)) {
+    return Status::InvalidArgument(
+        "start-up requires all host variables bound and a point memory "
+        "grant");
+  }
+  CpuTimer timer;
+  StartupEvaluator evaluator(model, env, options);
+  StartupEvaluator::EvalOut top = evaluator.Eval(root.get(), kInf);
+  DQEP_CHECK(!top.aborted);
+
+  const auto& choices = evaluator.choices();
+  StartupResult result;
+  result.resolved = RewritePlan(
+      model.catalog(), root,
+      [&choices](const PhysNode& node,
+                 const std::vector<PhysNodePtr>& children) -> PhysNodePtr {
+        if (node.kind() != PhysOpKind::kChoosePlan) {
+          return nullptr;
+        }
+        auto it = choices.find(&node);
+        if (it == choices.end()) {
+          // Under start-up branch-and-bound a choose node nested inside
+          // alternatives that were all abandoned never completes a
+          // decision.  Such a node cannot lie on the chosen plan's path
+          // (its parents were not chosen either), so any placeholder
+          // works; the rewriter visits every DAG node regardless.
+          return children.front();
+        }
+        return children[it->second];
+      });
+  result.measured_cpu_seconds = timer.ElapsedSeconds();
+  result.cost_evaluations = evaluator.evaluations();
+  result.decisions = evaluator.decisions();
+  result.nodes_skipped =
+      root->CountNodes() - evaluator.distinct_evaluated();
+  result.modeled_cpu_seconds = model.StartupDecisionCost(
+      evaluator.evaluations(), evaluator.decisions());
+  result.choices = evaluator.choices();
+  // Execution cost of the chosen plan excludes the decision overhead that
+  // the top-level cost estimate carries.
+  result.execution_cost =
+      EstimateRoot(*result.resolved, model, env,
+                   EstimationMode::kExpectedValue)
+          .cost.lo();
+  return result;
+}
+
+}  // namespace dqep

@@ -1,0 +1,85 @@
+// Start-up-time evaluation of dynamic plans (paper §4).
+//
+// When a dynamic plan is activated, all host variables are bound.  The
+// decision procedure of every choose-plan operator is simply a cost
+// comparison of its alternatives with the bindings instantiated: the
+// original cost functions are re-evaluated bottom-up over the plan DAG,
+// each shared subplan exactly once; no cost-function inverses are needed.
+// Optionally, branch-and-bound abandons the evaluation of an alternative
+// as soon as its partial cost exceeds the best alternative so far (the
+// paper proposes this but did not implement it; we provide it as an
+// ablation).
+
+#ifndef DQEP_RUNTIME_STARTUP_H_
+#define DQEP_RUNTIME_STARTUP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "physical/plan.h"
+
+namespace dqep {
+
+/// Options for start-up resolution.
+struct StartupOptions {
+  /// Abort an alternative's cost evaluation once it exceeds the best
+  /// alternative found so far (paper §4; off by default, matching the
+  /// paper's experiments).
+  bool use_branch_and_bound = false;
+
+  /// Observed output cardinalities for specific nodes (paper §7: once a
+  /// subplan has been evaluated into a temporary result, its cardinality
+  /// is *known*).  When a node appears here, its estimate is replaced by
+  /// the observed value before parents are costed.  Not owned.
+  const std::unordered_map<const PhysNode*, double>* observed_cardinalities =
+      nullptr;
+};
+
+/// Outcome of resolving one dynamic plan under bound parameters.
+struct StartupResult {
+  /// The chosen plan: all choose-plan operators replaced by their cheapest
+  /// alternative.  Shared subplans remain shared.
+  PhysNodePtr resolved;
+
+  /// Predicted execution cost of `resolved` under the bindings (a point).
+  double execution_cost = 0.0;
+
+  /// Cost-function evaluations performed (== DAG nodes visited).
+  int64_t cost_evaluations = 0;
+
+  /// Choose-plan decisions made.
+  int64_t decisions = 0;
+
+  /// Nodes skipped thanks to start-up branch-and-bound.
+  int64_t nodes_skipped = 0;
+
+  /// Measured CPU seconds spent deciding and rebuilding.
+  double measured_cpu_seconds = 0.0;
+
+  /// Modeled decision CPU time (paper-style analytic model, portable
+  /// across machines).
+  double modeled_cpu_seconds = 0.0;
+
+  /// Chosen alternative index per choose-plan node.
+  std::unordered_map<const PhysNode*, size_t> choices;
+};
+
+/// All host-variable ids referenced anywhere in the plan DAG.
+std::vector<ParamId> PlanParams(const PhysNode& root);
+
+/// Resolves `root` under fully bound `env`.
+///
+/// Fails with InvalidArgument if any referenced host variable is unbound
+/// or the memory grant is still an interval.  Works on static plans too
+/// (no decisions; returns the plan unchanged).
+Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
+                                         const CostModel& model,
+                                         const ParamEnv& env,
+                                         const StartupOptions& options = {});
+
+}  // namespace dqep
+
+#endif  // DQEP_RUNTIME_STARTUP_H_

@@ -1,0 +1,174 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace dqep {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kFrom:
+      return "FROM";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOrder:
+      return "ORDER";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kHostVariable:
+      return "host variable";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kEq:
+      return "=";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto error = [&](const std::string& message) {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(i));
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = static_cast<int32_t>(i);
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < sql.size() && IsIdentChar(sql[i])) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string lower = ToLower(word);
+      if (lower == "select") {
+        token.kind = TokenKind::kSelect;
+      } else if (lower == "from") {
+        token.kind = TokenKind::kFrom;
+      } else if (lower == "where") {
+        token.kind = TokenKind::kWhere;
+      } else if (lower == "and") {
+        token.kind = TokenKind::kAnd;
+      } else if (lower == "order") {
+        token.kind = TokenKind::kOrder;
+      } else if (lower == "by") {
+        token.kind = TokenKind::kBy;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = i;
+      while (i < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[i])) != 0) {
+        ++i;
+      }
+      token.kind = TokenKind::kInteger;
+      token.integer = std::stoll(sql.substr(start, i - start));
+    } else if (c == ':') {
+      ++i;
+      if (i >= sql.size() || !IsIdentStart(sql[i])) {
+        return error("expected host variable name after ':'");
+      }
+      size_t start = i;
+      while (i < sql.size() && IsIdentChar(sql[i])) {
+        ++i;
+      }
+      token.kind = TokenKind::kHostVariable;
+      token.text = sql.substr(start, i - start);
+    } else {
+      switch (c) {
+        case '*':
+          token.kind = TokenKind::kStar;
+          ++i;
+          break;
+        case ',':
+          token.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case '.':
+          token.kind = TokenKind::kDot;
+          ++i;
+          break;
+        case '=':
+          token.kind = TokenKind::kEq;
+          ++i;
+          break;
+        case '<':
+          ++i;
+          if (i < sql.size() && sql[i] == '=') {
+            token.kind = TokenKind::kLe;
+            ++i;
+          } else {
+            token.kind = TokenKind::kLt;
+          }
+          break;
+        case '>':
+          ++i;
+          if (i < sql.size() && sql[i] == '=') {
+            token.kind = TokenKind::kGe;
+            ++i;
+          } else {
+            token.kind = TokenKind::kGt;
+          }
+          break;
+        default:
+          return error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int32_t>(sql.size());
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace dqep

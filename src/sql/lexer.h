@@ -1,0 +1,55 @@
+// Lexer for the embedded-SQL subset.
+//
+// The paper's motivating scenario is an SQL query embedded in an
+// application program with host variables in the predicate; this module
+// provides that surface.  Tokens: keywords (case-insensitive), identifiers,
+// integer literals, host variables (:name), and the punctuation of simple
+// conjunctive select-project-join queries.
+
+#ifndef DQEP_SQL_LEXER_H_
+#define DQEP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dqep {
+
+enum class TokenKind {
+  kSelect,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOrder,
+  kBy,
+  kIdentifier,
+  kInteger,
+  kHostVariable,  // :name
+  kStar,
+  kComma,
+  kDot,
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier/variable name (lowercased keywords)
+  int64_t integer = 0;   // kInteger payload
+  int32_t position = 0;  // byte offset in the input, for diagnostics
+};
+
+/// Tokenizes `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dqep
+
+#endif  // DQEP_SQL_LEXER_H_

@@ -1,0 +1,42 @@
+// Parser and semantic analyzer for the embedded-SQL subset.
+//
+// Grammar (conjunctive select-project-join queries):
+//
+//   query    := SELECT '*' FROM table (',' table)*
+//               (WHERE conjunct (AND conjunct)*)?
+//   table    := identifier
+//   conjunct := operand cmp operand
+//   operand  := identifier '.' identifier | integer | ':' identifier
+//   cmp      := '=' | '<' | '<=' | '>' | '>='
+//
+// Semantic analysis resolves table and column names against the catalog,
+// pushes single-table predicates to their relations, classifies
+// attribute-equality conjuncts between relations as join predicates, and
+// assigns dense ParamIds to host variables in order of first appearance.
+
+#ifndef DQEP_SQL_PARSER_H_
+#define DQEP_SQL_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "logical/query.h"
+
+namespace dqep {
+
+/// A parsed and resolved query.
+struct ParsedQuery {
+  Query query;
+  /// Host-variable name -> ParamId, in order of first appearance.
+  std::map<std::string, ParamId> params;
+};
+
+/// Parses `sql` against `catalog`.
+Result<ParsedQuery> ParseQuery(const std::string& sql,
+                               const Catalog& catalog);
+
+}  // namespace dqep
+
+#endif  // DQEP_SQL_PARSER_H_

@@ -1,0 +1,33 @@
+#include "storage/analyze.h"
+
+namespace dqep {
+
+StatisticsCatalog AnalyzeDatabase(const Database& db, int32_t num_buckets) {
+  StatisticsCatalog stats;
+  for (RelationId id = 0; id < db.catalog().num_relations(); ++id) {
+    const RelationInfo& relation = db.catalog().relation(id);
+    const Table& table = db.table(id);
+    std::vector<std::vector<int64_t>> columns(
+        static_cast<size_t>(relation.num_columns()));
+    HeapFile::Scanner scanner = table.heap().CreateScanner();
+    Tuple tuple;
+    while (scanner.Next(&tuple)) {
+      for (int32_t c = 0; c < relation.num_columns(); ++c) {
+        if (relation.column(c).type == ColumnType::kInt64) {
+          columns[static_cast<size_t>(c)].push_back(
+              tuple.value(c).AsInt64());
+        }
+      }
+    }
+    for (int32_t c = 0; c < relation.num_columns(); ++c) {
+      if (relation.column(c).type == ColumnType::kInt64) {
+        stats.Put(AttrRef{id, c},
+                  Histogram::Build(columns[static_cast<size_t>(c)],
+                                   num_buckets));
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace dqep

@@ -1,0 +1,18 @@
+// Statistics collection: builds histograms from stored data.
+
+#ifndef DQEP_STORAGE_ANALYZE_H_
+#define DQEP_STORAGE_ANALYZE_H_
+
+#include "catalog/histogram.h"
+#include "storage/database.h"
+
+namespace dqep {
+
+/// Scans every table and builds a histogram for each int64 column
+/// (the ANALYZE of production systems).
+StatisticsCatalog AnalyzeDatabase(const Database& db,
+                                  int32_t num_buckets = 32);
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_ANALYZE_H_

@@ -1,0 +1,427 @@
+#include "storage/bplus_tree.h"
+
+#include <algorithm>
+
+namespace dqep {
+
+// Node layout.  Routing uses weak separators: an interior node with keys
+// k1..km and children c0..cm routes a key to the *first* child that may
+// contain it — child ci covers keys in [k(i-1), ki] with both ends weak,
+// so duplicates may straddle separators.  Descent takes
+// lower_bound(keys, key), which reaches the leftmost candidate leaf;
+// scans then walk the leaf chain rightward, which is what makes duplicate
+// handling correct.
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  Interior* parent = nullptr;
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BPlusTree::Leaf : BPlusTree::Node {
+  std::vector<int64_t> keys;
+  std::vector<RowId> values;
+  Leaf* prev = nullptr;
+  Leaf* next = nullptr;
+
+  Leaf() : Node(/*leaf=*/true) {}
+};
+
+struct BPlusTree::Interior : BPlusTree::Node {
+  std::vector<int64_t> keys;  // separators; children.size() == keys.size()+1
+  std::vector<std::unique_ptr<Node>> children;
+
+  Interior() : Node(/*leaf=*/false) {}
+
+  /// Index of the child that routing sends `key` to.
+  size_t RouteIndex(int64_t key) const {
+    return static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+
+  /// Position of `child` among children.
+  size_t IndexOfChild(const Node* child) const {
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i].get() == child) {
+        return i;
+      }
+    }
+    DQEP_CHECK(false);
+    return 0;
+  }
+};
+
+BPlusTree::BPlusTree(int32_t max_entries) : max_entries_(max_entries) {
+  DQEP_CHECK_GE(max_entries, 4);
+  auto leaf = std::make_unique<Leaf>();
+  first_leaf_ = leaf.get();
+  root_ = std::move(leaf);
+}
+
+BPlusTree::~BPlusTree() = default;
+
+BPlusTree::Leaf* BPlusTree::FindLeaf(int64_t key) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* interior = static_cast<Interior*>(node);
+    node = interior->children[interior->RouteIndex(key)].get();
+  }
+  return static_cast<Leaf*>(node);
+}
+
+void BPlusTree::Insert(int64_t key, RowId value) {
+  Leaf* leaf = FindLeaf(key);
+  size_t pos = static_cast<size_t>(
+      std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  leaf->keys.insert(leaf->keys.begin() + static_cast<ptrdiff_t>(pos), key);
+  leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(pos),
+                      value);
+  ++size_;
+
+  if (leaf->keys.size() <= static_cast<size_t>(max_entries_)) {
+    return;
+  }
+  // Split the leaf: right half moves to a new sibling.
+  auto right = std::make_unique<Leaf>();
+  size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(leaf->keys.begin() + static_cast<ptrdiff_t>(mid),
+                     leaf->keys.end());
+  right->values.assign(leaf->values.begin() + static_cast<ptrdiff_t>(mid),
+                       leaf->values.end());
+  leaf->keys.resize(mid);
+  leaf->values.resize(mid);
+  right->next = leaf->next;
+  right->prev = leaf;
+  if (leaf->next != nullptr) {
+    leaf->next->prev = right.get();
+  }
+  leaf->next = right.get();
+  int64_t separator = right->keys.front();
+  InsertIntoParent(leaf, separator, std::move(right));
+}
+
+void BPlusTree::InsertIntoParent(Node* left, int64_t separator,
+                                 std::unique_ptr<Node> right) {
+  Interior* parent = left->parent;
+  if (parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Interior>();
+    new_root->keys.push_back(separator);
+    right->parent = new_root.get();
+    std::unique_ptr<Node> old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(right));
+    root_ = std::move(new_root);
+    ++height_;
+    return;
+  }
+  size_t index = parent->IndexOfChild(left);
+  right->parent = parent;
+  parent->keys.insert(parent->keys.begin() + static_cast<ptrdiff_t>(index),
+                      separator);
+  parent->children.insert(
+      parent->children.begin() + static_cast<ptrdiff_t>(index) + 1,
+      std::move(right));
+
+  if (parent->keys.size() <= static_cast<size_t>(max_entries_)) {
+    return;
+  }
+  // Split the interior node; the middle separator moves up.
+  auto new_right = std::make_unique<Interior>();
+  size_t mid = parent->keys.size() / 2;
+  int64_t up_key = parent->keys[mid];
+  new_right->keys.assign(parent->keys.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                         parent->keys.end());
+  for (size_t i = mid + 1; i < parent->children.size(); ++i) {
+    parent->children[i]->parent = new_right.get();
+    new_right->children.push_back(std::move(parent->children[i]));
+  }
+  parent->keys.resize(mid);
+  parent->children.resize(mid + 1);
+  InsertIntoParent(parent, up_key, std::move(new_right));
+}
+
+bool BPlusTree::Remove(int64_t key, RowId value) {
+  // Duplicates may straddle leaves: walk the chain while keys match.
+  Leaf* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    auto begin = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (begin == leaf->keys.end()) {
+      // Key would be beyond this leaf; duplicates may continue right only
+      // if the leaf is empty of larger keys — the next leaf's first key
+      // decides below.
+      leaf = leaf->next;
+      if (leaf == nullptr || leaf->keys.empty() || leaf->keys.front() > key) {
+        return false;
+      }
+      continue;
+    }
+    if (*begin != key) {
+      return false;
+    }
+    for (auto it = begin; it != leaf->keys.end() && *it == key; ++it) {
+      size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+      if (leaf->values[pos] == value) {
+        leaf->keys.erase(it);
+        leaf->values.erase(leaf->values.begin() + static_cast<ptrdiff_t>(pos));
+        --size_;
+        RebalanceAfterRemove(leaf);
+        return true;
+      }
+    }
+    leaf = leaf->next;
+    if (leaf == nullptr || leaf->keys.empty() || leaf->keys.front() != key) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void BPlusTree::RebalanceAfterRemove(Node* node) {
+  size_t min_fill = static_cast<size_t>(max_entries_) / 2;
+  while (true) {
+    if (node->parent == nullptr) {
+      // Root: collapse an interior root with a single child.
+      if (!node->is_leaf) {
+        auto* interior = static_cast<Interior*>(node);
+        if (interior->children.size() == 1) {
+          std::unique_ptr<Node> only = std::move(interior->children[0]);
+          only->parent = nullptr;
+          root_ = std::move(only);
+          --height_;
+        }
+      }
+      return;
+    }
+    size_t fill = node->is_leaf
+                      ? static_cast<Leaf*>(node)->keys.size()
+                      : static_cast<Interior*>(node)->keys.size();
+    if (fill >= min_fill) {
+      return;
+    }
+    Interior* parent = node->parent;
+    size_t index = parent->IndexOfChild(node);
+    Node* left_sibling =
+        index > 0 ? parent->children[index - 1].get() : nullptr;
+    Node* right_sibling = index + 1 < parent->children.size()
+                              ? parent->children[index + 1].get()
+                              : nullptr;
+
+    auto sibling_fill = [](Node* sibling) -> size_t {
+      if (sibling == nullptr) {
+        return 0;
+      }
+      return sibling->is_leaf ? static_cast<Leaf*>(sibling)->keys.size()
+                              : static_cast<Interior*>(sibling)->keys.size();
+    };
+
+    // Borrow from a sibling that can spare an entry.
+    if (sibling_fill(left_sibling) > min_fill) {
+      if (node->is_leaf) {
+        auto* leaf = static_cast<Leaf*>(node);
+        auto* left = static_cast<Leaf*>(left_sibling);
+        leaf->keys.insert(leaf->keys.begin(), left->keys.back());
+        leaf->values.insert(leaf->values.begin(), left->values.back());
+        left->keys.pop_back();
+        left->values.pop_back();
+        parent->keys[index - 1] = leaf->keys.front();
+      } else {
+        auto* interior = static_cast<Interior*>(node);
+        auto* left = static_cast<Interior*>(left_sibling);
+        interior->keys.insert(interior->keys.begin(),
+                              parent->keys[index - 1]);
+        parent->keys[index - 1] = left->keys.back();
+        left->keys.pop_back();
+        std::unique_ptr<Node> moved = std::move(left->children.back());
+        left->children.pop_back();
+        moved->parent = interior;
+        interior->children.insert(interior->children.begin(),
+                                  std::move(moved));
+      }
+      return;
+    }
+    if (sibling_fill(right_sibling) > min_fill) {
+      if (node->is_leaf) {
+        auto* leaf = static_cast<Leaf*>(node);
+        auto* right = static_cast<Leaf*>(right_sibling);
+        leaf->keys.push_back(right->keys.front());
+        leaf->values.push_back(right->values.front());
+        right->keys.erase(right->keys.begin());
+        right->values.erase(right->values.begin());
+        parent->keys[index] = right->keys.front();
+      } else {
+        auto* interior = static_cast<Interior*>(node);
+        auto* right = static_cast<Interior*>(right_sibling);
+        interior->keys.push_back(parent->keys[index]);
+        parent->keys[index] = right->keys.front();
+        right->keys.erase(right->keys.begin());
+        std::unique_ptr<Node> moved = std::move(right->children.front());
+        right->children.erase(right->children.begin());
+        moved->parent = interior;
+        interior->children.push_back(std::move(moved));
+      }
+      return;
+    }
+
+    // Merge with a sibling (prefer left so `node` disappears rightward).
+    Node* merge_left = left_sibling != nullptr ? left_sibling : node;
+    Node* merge_right = left_sibling != nullptr ? node : right_sibling;
+    DQEP_CHECK(merge_right != nullptr);
+    size_t sep_index = parent->IndexOfChild(merge_left);
+    if (merge_left->is_leaf) {
+      auto* left = static_cast<Leaf*>(merge_left);
+      auto* right = static_cast<Leaf*>(merge_right);
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      left->values.insert(left->values.end(), right->values.begin(),
+                          right->values.end());
+      left->next = right->next;
+      if (right->next != nullptr) {
+        right->next->prev = left;
+      }
+    } else {
+      auto* left = static_cast<Interior*>(merge_left);
+      auto* right = static_cast<Interior*>(merge_right);
+      left->keys.push_back(parent->keys[sep_index]);
+      left->keys.insert(left->keys.end(), right->keys.begin(),
+                        right->keys.end());
+      for (auto& child : right->children) {
+        child->parent = left;
+        left->children.push_back(std::move(child));
+      }
+    }
+    parent->keys.erase(parent->keys.begin() +
+                       static_cast<ptrdiff_t>(sep_index));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<ptrdiff_t>(sep_index) + 1);
+    node = parent;  // parent may now underflow; continue upward
+  }
+}
+
+std::vector<RowId> BPlusTree::RangeScan(int64_t lo, int64_t hi) const {
+  std::vector<RowId> result;
+  if (lo > hi || size_ == 0) {
+    return result;
+  }
+  const Leaf* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    auto begin =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo);
+    for (auto it = begin; it != leaf->keys.end(); ++it) {
+      if (*it > hi) {
+        return result;
+      }
+      result.push_back(
+          leaf->values[static_cast<size_t>(it - leaf->keys.begin())]);
+    }
+    leaf = leaf->next;
+  }
+  return result;
+}
+
+std::vector<RowId> BPlusTree::ScanBelow(int64_t bound) const {
+  std::vector<RowId> result;
+  const Leaf* leaf = first_leaf_;
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] >= bound) {
+        return result;
+      }
+      result.push_back(leaf->values[i]);
+    }
+    leaf = leaf->next;
+  }
+  return result;
+}
+
+std::vector<RowId> BPlusTree::Lookup(int64_t key) const {
+  return RangeScan(key, key);
+}
+
+std::vector<RowId> BPlusTree::FullScan() const {
+  std::vector<RowId> result;
+  result.reserve(static_cast<size_t>(size_));
+  for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+    result.insert(result.end(), leaf->values.begin(), leaf->values.end());
+  }
+  return result;
+}
+
+void BPlusTree::CheckNode(const Node* node, int32_t depth, int64_t lower,
+                          int64_t upper, bool has_lower, bool has_upper,
+                          int32_t* leaf_depth) const {
+  size_t min_fill = static_cast<size_t>(max_entries_) / 2;
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const Leaf*>(node);
+    DQEP_CHECK_EQ(leaf->keys.size(), leaf->values.size());
+    DQEP_CHECK(std::is_sorted(leaf->keys.begin(), leaf->keys.end()));
+    for (int64_t key : leaf->keys) {
+      if (has_lower) DQEP_CHECK_GE(key, lower);
+      if (has_upper) DQEP_CHECK_LE(key, upper);
+    }
+    if (node->parent != nullptr) {
+      DQEP_CHECK_GE(leaf->keys.size(), min_fill);
+    }
+    DQEP_CHECK_LE(leaf->keys.size(), static_cast<size_t>(max_entries_));
+    if (*leaf_depth < 0) {
+      *leaf_depth = depth;
+    }
+    DQEP_CHECK_EQ(*leaf_depth, depth);
+    return;
+  }
+  const auto* interior = static_cast<const Interior*>(node);
+  DQEP_CHECK_EQ(interior->children.size(), interior->keys.size() + 1);
+  DQEP_CHECK(std::is_sorted(interior->keys.begin(), interior->keys.end()));
+  if (node->parent != nullptr) {
+    DQEP_CHECK_GE(interior->keys.size(), min_fill);
+  } else {
+    DQEP_CHECK_GE(interior->children.size(), 2u);
+  }
+  DQEP_CHECK_LE(interior->keys.size(), static_cast<size_t>(max_entries_));
+  for (size_t i = 0; i < interior->children.size(); ++i) {
+    DQEP_CHECK(interior->children[i]->parent == interior);
+    int64_t child_lower = i == 0 ? lower : interior->keys[i - 1];
+    bool child_has_lower = i == 0 ? has_lower : true;
+    int64_t child_upper =
+        i == interior->keys.size() ? upper : interior->keys[i];
+    bool child_has_upper = i == interior->keys.size() ? has_upper : true;
+    CheckNode(interior->children[i].get(), depth + 1, child_lower,
+              child_upper, child_has_lower, child_has_upper, leaf_depth);
+  }
+}
+
+void BPlusTree::CheckInvariants() const {
+  DQEP_CHECK(root_ != nullptr);
+  DQEP_CHECK(root_->parent == nullptr);
+  int32_t leaf_depth = -1;
+  CheckNode(root_.get(), 1, 0, 0, false, false, &leaf_depth);
+  DQEP_CHECK_EQ(leaf_depth, height_);
+  // Leaf chain covers exactly size_ entries in sorted order.
+  int64_t counted = 0;
+  const Leaf* leaf = first_leaf_;
+  DQEP_CHECK(leaf != nullptr);
+  DQEP_CHECK(leaf->prev == nullptr);
+  int64_t previous_key = 0;
+  bool have_previous = false;
+  while (leaf != nullptr) {
+    for (int64_t key : leaf->keys) {
+      if (have_previous) {
+        DQEP_CHECK_LE(previous_key, key);
+      }
+      previous_key = key;
+      have_previous = true;
+      ++counted;
+    }
+    if (leaf->next != nullptr) {
+      DQEP_CHECK(leaf->next->prev == leaf);
+    }
+    leaf = leaf->next;
+  }
+  DQEP_CHECK_EQ(counted, size_);
+}
+
+}  // namespace dqep

@@ -1,0 +1,89 @@
+// A from-scratch B+-tree over (int64 key, RowId) pairs.
+//
+// Classic textbook structure: interior nodes route by separator keys,
+// leaves store entries and are chained for range scans.  Duplicate keys
+// are allowed (secondary-index semantics).  Insert splits on overflow;
+// Remove borrows from or merges with siblings on underflow.  The fanout
+// is deliberately small by default so unit tests exercise deep trees and
+// every rebalancing path.
+
+#ifndef DQEP_STORAGE_BPLUS_TREE_H_
+#define DQEP_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+#include "storage/heap_file.h"
+
+namespace dqep {
+
+/// B+-tree mapping int64 keys to RowIds; duplicates allowed.
+class BPlusTree {
+ public:
+  /// `max_entries` is the capacity of a node (leaf entries or interior
+  /// children - 1 keys); minimum 4 keeps split/merge arithmetic simple.
+  explicit BPlusTree(int32_t max_entries = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts an entry (duplicates allowed).
+  void Insert(int64_t key, RowId value);
+
+  /// Removes one entry matching (key, value); returns false if absent.
+  bool Remove(int64_t key, RowId value);
+
+  /// Number of stored entries.
+  int64_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 = root is a leaf).
+  int32_t height() const { return height_; }
+
+  /// Values of all entries with key in [lo, hi], in key order (ties in
+  /// insertion order).
+  std::vector<RowId> RangeScan(int64_t lo, int64_t hi) const;
+
+  /// Values of all entries with key strictly below `bound`, in key order.
+  std::vector<RowId> ScanBelow(int64_t bound) const;
+
+  /// Values of entries with exactly `key`.
+  std::vector<RowId> Lookup(int64_t key) const;
+
+  /// All values in key order.
+  std::vector<RowId> FullScan() const;
+
+  /// Structural invariants: key ordering within nodes, separator
+  /// consistency, leaf chain order, node fill bounds, uniform leaf depth.
+  /// Aborts (CHECK) on violation; used by tests after every mutation.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Interior;
+
+  Leaf* FindLeaf(int64_t key) const;
+  /// Splits `node` (which just overflowed); returns the new right sibling
+  /// and the separator key to push up.
+  void InsertIntoParent(Node* left, int64_t separator,
+                        std::unique_ptr<Node> right);
+  void RebalanceAfterRemove(Node* node);
+  void CheckNode(const Node* node, int32_t depth, int64_t lower,
+                 int64_t upper, bool has_lower, bool has_upper,
+                 int32_t* leaf_depth) const;
+
+  int32_t max_entries_;
+  std::unique_ptr<Node> root_;
+  Leaf* first_leaf_ = nullptr;
+  int64_t size_ = 0;
+  int32_t height_ = 1;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_BPLUS_TREE_H_

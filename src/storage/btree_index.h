@@ -1,0 +1,58 @@
+// Unclustered B-tree indexes over int64 columns.
+//
+// Provides ordered traversal and range scans of (key, RowId) entries with
+// duplicate keys, backed by the from-scratch B+-tree in bplus_tree.h.
+
+#ifndef DQEP_STORAGE_BTREE_INDEX_H_
+#define DQEP_STORAGE_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/bplus_tree.h"
+#include "storage/heap_file.h"
+
+namespace dqep {
+
+/// An ordered secondary index mapping int64 keys to RowIds.
+class BTreeIndex {
+ public:
+  BTreeIndex() = default;
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts an entry; duplicate keys are allowed.
+  void Insert(int64_t key, RowId rid) { tree_.Insert(key, rid); }
+
+  /// Removes the entry (key, rid); returns false if absent.
+  bool Remove(int64_t key, RowId rid) { return tree_.Remove(key, rid); }
+
+  int64_t num_entries() const { return tree_.size(); }
+
+  /// RowIds of all entries with key in [lo, hi], in key order.
+  std::vector<RowId> RangeScan(int64_t lo, int64_t hi) const {
+    return tree_.RangeScan(lo, hi);
+  }
+
+  /// RowIds of all entries with key strictly below `bound`, in key order.
+  std::vector<RowId> ScanBelow(int64_t bound) const {
+    return tree_.ScanBelow(bound);
+  }
+
+  /// RowIds of entries with key exactly `key` (equality probe).
+  std::vector<RowId> Lookup(int64_t key) const { return tree_.Lookup(key); }
+
+  /// All RowIds in key order (full index scan).
+  std::vector<RowId> FullScan() const { return tree_.FullScan(); }
+
+  /// The underlying tree (exposed for structural tests/statistics).
+  const BPlusTree& tree() const { return tree_; }
+
+ private:
+  BPlusTree tree_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,110 @@
+#include "storage/buffer_pool.h"
+
+namespace dqep {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPage;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+PageData& PageGuard::MutableData() {
+  DQEP_CHECK(valid());
+  // Mark dirty now; the pin stays until Release.
+  pool_->frames_.at(id_).dirty = true;
+  return *data_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Unpin(id_, /*dirty=*/false);  // dirtiness already recorded
+  }
+  pool_ = nullptr;
+  id_ = kInvalidPage;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(PageStore* store, int32_t capacity)
+    : store_(store), capacity_(capacity) {
+  DQEP_CHECK(store != nullptr);
+  DQEP_CHECK_GE(capacity, 1);
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+PageGuard BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame& frame = it->second;
+    ++hits_;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_position);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageGuard(this, id, &frame.data);
+  }
+  ++misses_;
+  if (last_missed_page_ != kInvalidPage &&
+      (id == last_missed_page_ + 1 || id == last_missed_page_)) {
+    ++sequential_misses_;
+  }
+  last_missed_page_ = id;
+  if (static_cast<int32_t>(frames_.size()) >= capacity_) {
+    Frame* victim = EvictableFrame();
+    DQEP_CHECK(victim != nullptr);  // all frames pinned: caller bug
+    if (victim->dirty) {
+      store_->Write(victim->id, victim->data);
+    }
+    lru_.erase(victim->lru_position);
+    frames_.erase(victim->id);
+  }
+  Frame& frame = frames_[id];
+  frame.id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_lru = false;
+  store_->Read(id, &frame.data);
+  return PageGuard(this, id, &frame.data);
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      store_->Write(id, frame.data);
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  DQEP_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  DQEP_CHECK_GT(frame.pin_count, 0);
+  frame.dirty = frame.dirty || dirty;
+  --frame.pin_count;
+  if (frame.pin_count == 0) {
+    frame.lru_position = lru_.insert(lru_.end(), id);
+    frame.in_lru = true;
+  }
+}
+
+BufferPool::Frame* BufferPool::EvictableFrame() {
+  // lru_ holds only unpinned pages, least recently used first.
+  if (lru_.empty()) {
+    return nullptr;
+  }
+  return &frames_.at(lru_.front());
+}
+
+}  // namespace dqep

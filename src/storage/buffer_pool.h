@@ -1,0 +1,119 @@
+// A pin-counted LRU buffer pool over the page store.
+//
+// Pages are accessed through RAII PageGuards that pin a frame for the
+// guard's lifetime.  Unpinned frames are evicted in LRU order (dirty
+// frames written back).  Hit/miss statistics feed the cost-model
+// validation experiments.
+
+#ifndef DQEP_STORAGE_BUFFER_POOL_H_
+#define DQEP_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page_store.h"
+
+namespace dqep {
+
+class BufferPool;
+
+/// RAII pin on one buffered page.  Movable, not copyable.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, PageId id, PageData* data)
+      : pool_(pool), id_(id), data_(data) {}
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return data_ != nullptr; }
+  PageId id() const { return id_; }
+
+  const PageData& data() const {
+    DQEP_CHECK(valid());
+    return *data_;
+  }
+
+  /// Grants mutable access and marks the frame dirty.
+  PageData& MutableData();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  PageData* data_ = nullptr;
+};
+
+/// Fixed-capacity page cache with pin counting and LRU replacement.
+class BufferPool {
+ public:
+  /// `capacity` is the number of frames; must be >= 1.
+  BufferPool(PageStore* store, int32_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Pins `id` (reading it from the store on a miss) and returns a guard.
+  /// Aborts if every frame is pinned (callers pin O(1) pages at a time).
+  PageGuard Fetch(PageId id);
+
+  /// Writes all dirty frames back to the store.
+  void FlushAll();
+
+  int32_t capacity() const { return capacity_; }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+  /// Misses whose page follows the previously missed page (a sequential
+  /// scan pattern); the complement of random_misses().
+  int64_t sequential_misses() const { return sequential_misses_; }
+
+  /// Misses that jumped to an unrelated page (index fetch pattern).
+  int64_t random_misses() const { return misses_ - sequential_misses_; }
+
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+    sequential_misses_ = 0;
+    last_missed_page_ = kInvalidPage;
+  }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    PageData data;
+    int32_t pin_count = 0;
+    bool dirty = false;
+    /// Recency: iterator into lru_ when unpinned.
+    std::list<PageId>::iterator lru_position;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  Frame* EvictableFrame();
+
+  PageStore* store_;
+  int32_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  /// Unpinned pages, least recently used first.
+  std::list<PageId> lru_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t sequential_misses_ = 0;
+  PageId last_missed_page_ = kInvalidPage;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_BUFFER_POOL_H_

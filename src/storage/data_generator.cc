@@ -1,0 +1,53 @@
+#include "storage/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <string>
+#include <vector>
+
+namespace dqep {
+
+Status GenerateTableData(Rng* rng, Table* table, double skew_exponent) {
+  DQEP_CHECK(rng != nullptr);
+  DQEP_CHECK(table != nullptr);
+  DQEP_CHECK_GT(skew_exponent, 0.0);
+  const RelationInfo& relation = table->relation();
+  for (int64_t row = 0; row < relation.cardinality(); ++row) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(relation.num_columns()));
+    for (int32_t c = 0; c < relation.num_columns(); ++c) {
+      const ColumnInfo& column = relation.column(c);
+      switch (column.type) {
+        case ColumnType::kInt64: {
+          double u = std::pow(rng->NextDouble(), skew_exponent);
+          auto v = static_cast<int64_t>(
+              u * static_cast<double>(column.domain_size));
+          values.emplace_back(
+              std::min(v, column.domain_size - 1));
+          break;
+        }
+        case ColumnType::kString:
+          values.emplace_back(
+              std::string(static_cast<size_t>(column.width_bytes), 'x'));
+          break;
+      }
+    }
+    DQEP_RETURN_IF_ERROR(table->Insert(Tuple(std::move(values))));
+  }
+  return Status::OK();
+}
+
+Status GenerateDatabaseData(uint64_t seed, Database* db,
+                            double skew_exponent) {
+  DQEP_CHECK(db != nullptr);
+  Rng rng(seed);
+  for (RelationId id = 0; id < db->catalog().num_relations(); ++id) {
+    Rng table_rng = rng.Fork();
+    DQEP_RETURN_IF_ERROR(
+        GenerateTableData(&table_rng, &db->table(id), skew_exponent));
+  }
+  return Status::OK();
+}
+
+}  // namespace dqep

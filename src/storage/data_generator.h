@@ -1,0 +1,32 @@
+// Synthetic data generation for experiments and tests.
+//
+// Populates tables with the paper's workload characteristics (§6): int64
+// attributes drawn uniformly from [0, domain_size), fixed record widths,
+// deterministic given a seed.
+
+#ifndef DQEP_STORAGE_DATA_GENERATOR_H_
+#define DQEP_STORAGE_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace dqep {
+
+/// Fills `table` with `relation.cardinality()` rows: each int64 column
+/// drawn from [0, domain_size), each string column a fixed-width filler of
+/// its declared byte width.  `skew_exponent` shapes the distribution:
+/// values are floor(domain * u^skew) for u ~ U[0,1), so 1.0 is uniform and
+/// larger exponents concentrate mass toward small values (a Zipf-like
+/// skew that breaks the uniformity assumption).
+Status GenerateTableData(Rng* rng, Table* table, double skew_exponent = 1.0);
+
+/// Generates data for every table in `db`.
+Status GenerateDatabaseData(uint64_t seed, Database* db,
+                            double skew_exponent = 1.0);
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_DATA_GENERATOR_H_

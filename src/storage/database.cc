@@ -1,0 +1,23 @@
+#include "storage/database.h"
+
+namespace dqep {
+
+Result<RelationId> Database::CreateTable(const std::string& name,
+                                         std::vector<ColumnInfo> columns,
+                                         int64_t cardinality) {
+  Result<RelationId> id =
+      catalog_.CreateRelation(name, std::move(columns), cardinality);
+  if (!id.ok()) {
+    return id.status();
+  }
+  tables_.push_back(std::make_unique<Table>(&catalog_.relation(*id),
+                                            store_.get(), pool_.get()));
+  return *id;
+}
+
+Status Database::CreateIndex(RelationId relation, int32_t column) {
+  DQEP_RETURN_IF_ERROR(catalog_.CreateIndex(relation, column));
+  return table(relation).BuildIndex(column);
+}
+
+}  // namespace dqep

@@ -1,0 +1,108 @@
+#include "storage/heap_file.h"
+
+#include "storage/record_codec.h"
+#include "storage/slotted_page.h"
+
+namespace dqep {
+
+HeapFile::HeapFile(PageStore* store, BufferPool* pool)
+    : store_(store), pool_(pool) {
+  DQEP_CHECK(store != nullptr);
+  DQEP_CHECK(pool != nullptr);
+}
+
+Result<RowId> HeapFile::Append(const Tuple& tuple) {
+  std::string record = EncodeTuple(tuple);
+  // Page payload minus the page header and one slot entry.
+  constexpr size_t kMaxRecordBytes = kPageSize - 8;
+  if (record.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes exceeds the page payload");
+  }
+  if (!pages_.empty()) {
+    PageGuard guard = pool_->Fetch(pages_.back());
+    if (slotted_page::RecordCount(guard.data()) < kMaxSlots) {
+      std::optional<SlotId> slot =
+          slotted_page::Insert(&guard.MutableData(), record);
+      if (slot.has_value()) {
+        ++num_tuples_;
+        return MakeRowId(static_cast<int64_t>(pages_.size()) - 1, *slot);
+      }
+    }
+  }
+  // Start a fresh page.
+  PageId page = store_->Allocate();
+  PageGuard guard = pool_->Fetch(page);
+  slotted_page::Initialize(&guard.MutableData());
+  std::optional<SlotId> slot =
+      slotted_page::Insert(&guard.MutableData(), record);
+  if (!slot.has_value()) {
+    return Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes does not fit a page");
+  }
+  pages_.push_back(page);
+  ++num_tuples_;
+  return MakeRowId(static_cast<int64_t>(pages_.size()) - 1, *slot);
+}
+
+Tuple HeapFile::tuple(RowId rid) const {
+  int64_t page_ordinal = rid >> kSlotBits;
+  int32_t slot = static_cast<int32_t>(rid & (kMaxSlots - 1));
+  DQEP_CHECK_GE(page_ordinal, 0);
+  DQEP_CHECK_LT(page_ordinal, NumPages());
+  PageGuard guard = pool_->Fetch(pages_[static_cast<size_t>(page_ordinal)]);
+  Result<Tuple> decoded =
+      DecodeTuple(slotted_page::Read(guard.data(), slot));
+  DQEP_CHECK(decoded.ok());
+  return std::move(*decoded);
+}
+
+bool HeapFile::Scanner::Next(Tuple* out) {
+  DQEP_CHECK(out != nullptr);
+  while (true) {
+    if (!guard_open_) {
+      if (page_index_ >= file_->pages_.size()) {
+        return false;
+      }
+      guard_ = file_->pool_->Fetch(file_->pages_[page_index_]);
+      guard_open_ = true;
+      slot_ = 0;
+    }
+    if (slot_ < slotted_page::RecordCount(guard_.data())) {
+      Result<Tuple> decoded =
+          DecodeTuple(slotted_page::Read(guard_.data(), slot_));
+      DQEP_CHECK(decoded.ok());
+      *out = std::move(*decoded);
+      last_row_id_ =
+          MakeRowId(static_cast<int64_t>(page_index_), slot_);
+      ++slot_;
+      return true;
+    }
+    guard_.Release();
+    guard_open_ = false;
+    ++page_index_;
+  }
+}
+
+void HeapFile::Scanner::Reset() {
+  guard_.Release();
+  guard_open_ = false;
+  page_index_ = 0;
+  slot_ = 0;
+  last_row_id_ = -1;
+}
+
+std::vector<Tuple> HeapFile::Materialize() const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(static_cast<size_t>(num_tuples_));
+  Scanner scanner = CreateScanner();
+  Tuple tuple;
+  while (scanner.Next(&tuple)) {
+    tuples.push_back(tuple);
+  }
+  return tuples;
+}
+
+}  // namespace dqep

@@ -1,0 +1,91 @@
+// Heap files: unordered, append-only tuple storage on slotted pages.
+//
+// All access goes through the buffer pool, so full scans incur sequential
+// page reads and RowId fetches (e.g. from unclustered B-tree lookups)
+// incur random page reads — the same I/O pattern the cost model charges.
+
+#ifndef DQEP_STORAGE_HEAP_FILE_H_
+#define DQEP_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "storage/tuple.h"
+
+namespace dqep {
+
+/// Position of a tuple: (page ordinal within the file, slot within page),
+/// packed into one integer.
+using RowId = int64_t;
+
+/// An append-only collection of tuples on slotted pages.
+class HeapFile {
+ public:
+  HeapFile(PageStore* store, BufferPool* pool);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a tuple and returns its RowId.  Fails only if the encoded
+  /// record cannot fit a fresh page.
+  Result<RowId> Append(const Tuple& tuple);
+
+  /// Fetches one tuple by RowId (a random page access).
+  Tuple tuple(RowId rid) const;
+
+  int64_t num_tuples() const { return num_tuples_; }
+
+  /// Pages allocated by this file.
+  int64_t NumPages() const { return static_cast<int64_t>(pages_.size()); }
+
+  /// Sequential scan cursor; reads each page once, in order.
+  class Scanner {
+   public:
+    explicit Scanner(const HeapFile* file) : file_(file) {}
+
+    /// Produces the next tuple; false at end of file.
+    bool Next(Tuple* out);
+
+    /// RowId of the tuple most recently produced by Next().
+    RowId last_row_id() const { return last_row_id_; }
+
+    /// Restarts from the beginning.
+    void Reset();
+
+   private:
+    const HeapFile* file_;
+    size_t page_index_ = 0;
+    int32_t slot_ = 0;
+    RowId last_row_id_ = -1;
+    PageGuard guard_;
+    bool guard_open_ = false;
+  };
+
+  Scanner CreateScanner() const { return Scanner(this); }
+
+  /// All tuples in RowId order (test/reference helper; copies everything).
+  std::vector<Tuple> Materialize() const;
+
+  /// RowId of (page ordinal, slot).
+  static RowId MakeRowId(int64_t page_ordinal, int32_t slot) {
+    return (page_ordinal << kSlotBits) | slot;
+  }
+
+ private:
+  friend class Scanner;
+
+  static constexpr int32_t kSlotBits = 10;  // up to 1024 slots per page
+  static constexpr int32_t kMaxSlots = 1 << kSlotBits;
+
+  PageStore* store_;
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  int64_t num_tuples_ = 0;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,86 @@
+// The "disk": a flat array of fixed-size pages with I/O accounting.
+//
+// All table data lives in pages reached through the buffer pool; the
+// store counts physical reads and writes, which lets experiments compare
+// the cost model's predicted I/O against the I/O a plan actually incurs.
+
+#ifndef DQEP_STORAGE_PAGE_STORE_H_
+#define DQEP_STORAGE_PAGE_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// Identifies a page within the store.
+using PageId = int64_t;
+
+inline constexpr PageId kInvalidPage = -1;
+
+/// Physical page size in bytes (paper geometry: 2 KB pages).
+inline constexpr int32_t kPageSize = 2048;
+
+/// Raw page contents.
+struct PageData {
+  std::array<uint8_t, kPageSize> bytes{};
+};
+
+/// Cumulative physical I/O counters.
+struct IoStats {
+  int64_t page_reads = 0;
+  int64_t page_writes = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{page_reads - other.page_reads,
+                   page_writes - other.page_writes};
+  }
+};
+
+/// An in-memory array of pages standing in for secondary storage.
+class PageStore {
+ public:
+  PageStore() = default;
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate() {
+    pages_.push_back(std::make_unique<PageData>());
+    return static_cast<PageId>(pages_.size()) - 1;
+  }
+
+  int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
+
+  /// Reads a page into `out`, counting one physical read.
+  void Read(PageId id, PageData* out) const {
+    DQEP_CHECK(out != nullptr);
+    DQEP_CHECK_GE(id, 0);
+    DQEP_CHECK_LT(id, num_pages());
+    *out = *pages_[static_cast<size_t>(id)];
+    ++stats_.page_reads;
+  }
+
+  /// Writes a page, counting one physical write.
+  void Write(PageId id, const PageData& data) {
+    DQEP_CHECK_GE(id, 0);
+    DQEP_CHECK_LT(id, num_pages());
+    *pages_[static_cast<size_t>(id)] = data;
+    ++stats_.page_writes;
+  }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats(); }
+
+ private:
+  std::vector<std::unique_ptr<PageData>> pages_;
+  mutable IoStats stats_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_PAGE_STORE_H_

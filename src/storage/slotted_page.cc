@@ -1,0 +1,73 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+namespace dqep::slotted_page {
+
+namespace {
+
+constexpr int32_t kHeaderBytes = 4;   // slot_count + cell_start
+constexpr int32_t kSlotBytes = 4;     // offset + length
+
+uint16_t GetU16(const PageData& page, int32_t offset) {
+  uint16_t v;
+  std::memcpy(&v, page.bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+void PutU16(PageData* page, int32_t offset, uint16_t v) {
+  std::memcpy(page->bytes.data() + offset, &v, sizeof(v));
+}
+
+uint16_t SlotCount(const PageData& page) { return GetU16(page, 0); }
+uint16_t CellStart(const PageData& page) { return GetU16(page, 2); }
+
+}  // namespace
+
+void Initialize(PageData* page) {
+  DQEP_CHECK(page != nullptr);
+  page->bytes.fill(0);
+  PutU16(page, 0, 0);
+  PutU16(page, 2, kPageSize);
+}
+
+int32_t RecordCount(const PageData& page) { return SlotCount(page); }
+
+int32_t FreeSpace(const PageData& page) {
+  int32_t slots_end = kHeaderBytes + SlotCount(page) * kSlotBytes;
+  int32_t free = static_cast<int32_t>(CellStart(page)) - slots_end;
+  // One more record also needs its slot entry.
+  return free - kSlotBytes;
+}
+
+std::optional<SlotId> Insert(PageData* page, std::string_view record) {
+  DQEP_CHECK(page != nullptr);
+  DQEP_CHECK_LE(record.size(), static_cast<size_t>(kPageSize));
+  int32_t length = static_cast<int32_t>(record.size());
+  if (FreeSpace(*page) < length) {
+    return std::nullopt;
+  }
+  uint16_t slot_count = SlotCount(*page);
+  int32_t cell_offset = static_cast<int32_t>(CellStart(*page)) - length;
+  std::memcpy(page->bytes.data() + cell_offset, record.data(),
+              record.size());
+  int32_t slot_offset = kHeaderBytes + slot_count * kSlotBytes;
+  PutU16(page, slot_offset, static_cast<uint16_t>(cell_offset));
+  PutU16(page, slot_offset + 2, static_cast<uint16_t>(length));
+  PutU16(page, 0, static_cast<uint16_t>(slot_count + 1));
+  PutU16(page, 2, static_cast<uint16_t>(cell_offset));
+  return static_cast<SlotId>(slot_count);
+}
+
+std::string_view Read(const PageData& page, SlotId slot) {
+  DQEP_CHECK_GE(slot, 0);
+  DQEP_CHECK_LT(slot, RecordCount(page));
+  int32_t slot_offset = kHeaderBytes + slot * kSlotBytes;
+  uint16_t cell_offset = GetU16(page, slot_offset);
+  uint16_t length = GetU16(page, slot_offset + 2);
+  return std::string_view(
+      reinterpret_cast<const char*>(page.bytes.data()) + cell_offset,
+      length);
+}
+
+}  // namespace dqep::slotted_page

@@ -1,0 +1,45 @@
+// Slotted-page layout for variable-length records.
+//
+//   [u16 slot_count][u16 cell_start][slot 0][slot 1]... ...cells... |end
+//
+// Slots (u16 offset, u16 length) grow forward from the header; record
+// cells grow backward from the page end.  cell_start is the offset of the
+// lowest cell byte.  Records are never moved or deleted in this engine
+// (append-only heap files), which keeps the layout minimal.
+
+#ifndef DQEP_STORAGE_SLOTTED_PAGE_H_
+#define DQEP_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "storage/page_store.h"
+
+namespace dqep {
+
+/// Slot index within a page.
+using SlotId = int32_t;
+
+namespace slotted_page {
+
+/// Prepares an empty page.
+void Initialize(PageData* page);
+
+/// Number of records stored in the page.
+int32_t RecordCount(const PageData& page);
+
+/// Free bytes available for one more record (including its slot entry).
+int32_t FreeSpace(const PageData& page);
+
+/// Appends a record; returns its slot, or nullopt if it does not fit.
+/// Records longer than the page payload can never fit.
+std::optional<SlotId> Insert(PageData* page, std::string_view record);
+
+/// Returns the stored record bytes (view into `page`).
+std::string_view Read(const PageData& page, SlotId slot);
+
+}  // namespace slotted_page
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,51 @@
+#include "storage/table.h"
+
+namespace dqep {
+
+Status Table::Insert(Tuple tuple) {
+  if (tuple.size() != relation_->num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match " +
+        relation_->name() + " arity " +
+        std::to_string(relation_->num_columns()));
+  }
+  for (const auto& [column, index] : indexes_) {
+    if (!tuple.value(column).is_int64()) {
+      return Status::InvalidArgument("indexed column " +
+                                     relation_->column(column).name +
+                                     " requires int64 values");
+    }
+  }
+  Result<RowId> rid = heap_.Append(tuple);
+  if (!rid.ok()) {
+    return rid.status();
+  }
+  for (auto& [column, index] : indexes_) {
+    index->Insert(tuple.value(column).AsInt64(), *rid);
+  }
+  return Status::OK();
+}
+
+Status Table::BuildIndex(int32_t column) {
+  if (column < 0 || column >= relation_->num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (HasIndexOn(column)) {
+    return Status::AlreadyExists("index already built on column " +
+                                 std::to_string(column));
+  }
+  if (relation_->column(column).type != ColumnType::kInt64) {
+    return Status::InvalidArgument("cannot index non-int64 column");
+  }
+  auto index = std::make_unique<BTreeIndex>();
+  // Back-fill with one sequential pass.
+  HeapFile::Scanner scanner = heap_.CreateScanner();
+  Tuple tuple;
+  while (scanner.Next(&tuple)) {
+    index->Insert(tuple.value(column).AsInt64(), scanner.last_row_id());
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+}  // namespace dqep

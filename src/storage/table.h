@@ -1,0 +1,63 @@
+// A table binds a relation's metadata to its stored data and indexes.
+
+#ifndef DQEP_STORAGE_TABLE_H_
+#define DQEP_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/btree_index.h"
+#include "storage/heap_file.h"
+#include "storage/tuple.h"
+
+namespace dqep {
+
+/// Heap file plus secondary indexes for one base relation.
+class Table {
+ public:
+  Table(const RelationInfo* relation, PageStore* store, BufferPool* pool)
+      : relation_(relation),
+        layout_(TupleLayout::ForRelation(*relation)),
+        heap_(store, pool) {
+    DQEP_CHECK(relation != nullptr);
+  }
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const RelationInfo& relation() const { return *relation_; }
+  const TupleLayout& layout() const { return layout_; }
+  const HeapFile& heap() const { return heap_; }
+
+  /// Inserts a tuple, maintaining all indexes.  The tuple must match the
+  /// relation's column count and indexed columns must hold int64 values.
+  Status Insert(Tuple tuple);
+
+  /// True iff an index exists on `column`.
+  bool HasIndexOn(int32_t column) const {
+    return indexes_.find(column) != indexes_.end();
+  }
+
+  /// The index on `column`; requires HasIndexOn(column).
+  const BTreeIndex& IndexOn(int32_t column) const {
+    auto it = indexes_.find(column);
+    DQEP_CHECK(it != indexes_.end());
+    return *it->second;
+  }
+
+  /// Creates an index on `column`, back-filling existing tuples.  The
+  /// catalog's RelationInfo must already list this index.
+  Status BuildIndex(int32_t column);
+
+ private:
+  const RelationInfo* relation_;
+  TupleLayout layout_;
+  HeapFile heap_;
+  std::map<int32_t, std::unique_ptr<BTreeIndex>> indexes_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_TABLE_H_

@@ -1,0 +1,46 @@
+#include "storage/tuple.h"
+
+#include <sstream>
+
+namespace dqep {
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (int32_t i = 0; i < size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << value(i);
+  }
+  os << ")";
+  return os.str();
+}
+
+TupleLayout TupleLayout::ForRelation(const RelationInfo& relation) {
+  TupleLayout layout;
+  for (int32_t c = 0; c < relation.num_columns(); ++c) {
+    layout.Append(AttrRef{relation.id(), c});
+  }
+  return layout;
+}
+
+TupleLayout TupleLayout::Concat(const TupleLayout& left,
+                                const TupleLayout& right) {
+  TupleLayout layout = left;
+  for (int32_t s = 0; s < right.num_slots(); ++s) {
+    layout.Append(right.attr(s));
+  }
+  return layout;
+}
+
+int32_t TupleLayout::SlotOf(const AttrRef& attr) const {
+  for (int32_t s = 0; s < num_slots(); ++s) {
+    if (attrs_[static_cast<size_t>(s)] == attr) {
+      return s;
+    }
+  }
+  return -1;
+}
+
+}  // namespace dqep

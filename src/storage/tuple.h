@@ -1,0 +1,93 @@
+// Tuples: flat sequences of values.
+//
+// A tuple's layout is described externally by a TupleLayout, which maps
+// AttrRefs (base-relation attribute identities) to slots.  Join outputs
+// concatenate their inputs' layouts, so attribute identity is preserved
+// through arbitrary plan shapes.
+
+#ifndef DQEP_STORAGE_TUPLE_H_
+#define DQEP_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+#include "storage/value.h"
+
+namespace dqep {
+
+/// A row: values in slot order.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+
+  const Value& value(int32_t slot) const {
+    DQEP_CHECK_GE(slot, 0);
+    DQEP_CHECK_LT(slot, size());
+    return values_[static_cast<size_t>(slot)];
+  }
+
+  void Append(Value value) { values_.push_back(std::move(value)); }
+
+  /// Concatenates two tuples (join output).
+  static Tuple Concat(const Tuple& left, const Tuple& right) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(left.size() + right.size()));
+    values.insert(values.end(), left.values_.begin(), left.values_.end());
+    values.insert(values.end(), right.values_.begin(), right.values_.end());
+    return Tuple(std::move(values));
+  }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Maps attribute identities to tuple slots.
+class TupleLayout {
+ public:
+  TupleLayout() = default;
+
+  /// Layout of a base relation's stored tuples: one slot per column.
+  static TupleLayout ForRelation(const RelationInfo& relation);
+
+  /// Concatenated layout (left slots then right slots).
+  static TupleLayout Concat(const TupleLayout& left, const TupleLayout& right);
+
+  int32_t num_slots() const { return static_cast<int32_t>(attrs_.size()); }
+
+  const AttrRef& attr(int32_t slot) const {
+    DQEP_CHECK_GE(slot, 0);
+    DQEP_CHECK_LT(slot, num_slots());
+    return attrs_[static_cast<size_t>(slot)];
+  }
+
+  /// Slot holding `attr`, or -1 if absent.
+  int32_t SlotOf(const AttrRef& attr) const;
+
+  void Append(const AttrRef& attr) { attrs_.push_back(attr); }
+
+  friend bool operator==(const TupleLayout& a, const TupleLayout& b) {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  std::vector<AttrRef> attrs_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_TUPLE_H_

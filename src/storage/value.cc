@@ -1,0 +1,23 @@
+#include "storage/value.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dqep {
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  if (value.is_int64()) {
+    os << value.AsInt64();
+  } else {
+    os << '"' << value.AsString() << '"';
+  }
+  return os;
+}
+
+}  // namespace dqep

@@ -1,0 +1,61 @@
+// Runtime values stored in tuples and used in predicate evaluation.
+
+#ifndef DQEP_STORAGE_VALUE_H_
+#define DQEP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// A dynamically typed scalar: int64 or string.  Int64 carries all join and
+/// selection attributes; strings exist for payload realism.
+class Value {
+ public:
+  /// Default-constructs the int64 zero.
+  Value() : data_(int64_t{0}) {}
+
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  int64_t AsInt64() const {
+    DQEP_CHECK(is_int64());
+    return std::get<int64_t>(data_);
+  }
+
+  const std::string& AsString() const {
+    DQEP_CHECK(is_string());
+    return std::get<std::string>(data_);
+  }
+
+  /// Total order: int64s before strings, then by value.  Cross-type
+  /// comparisons never occur in well-typed plans but are deterministic.
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_VALUE_H_

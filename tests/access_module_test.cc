@@ -1,0 +1,143 @@
+#include "physical/access_module.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "physical/costing.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class AccessModuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/4, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  PhysNodePtr OptimizeDynamic(int32_t n) {
+    Query query = workload_->ChainQuery(n);
+    Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+    auto plan =
+        optimizer.Optimize(query, workload_->CompileTimeEnv(false));
+    EXPECT_TRUE(plan.ok());
+    return plan->root;
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(AccessModuleTest, CountsNodes) {
+  PhysNodePtr root = OptimizeDynamic(2);
+  AccessModule module(root);
+  EXPECT_EQ(module.num_nodes(), root->CountNodes());
+  EXPECT_EQ(module.num_choose_nodes(), root->CountChooseNodes());
+  EXPECT_GT(module.num_choose_nodes(), 0);
+}
+
+TEST_F(AccessModuleTest, SizeAndTransferModel) {
+  PhysNodePtr root = OptimizeDynamic(2);
+  AccessModule module(root);
+  const SystemConfig& config = workload_->config();
+  EXPECT_EQ(module.ModeledSizeBytes(config),
+            static_cast<double>(module.num_nodes()) * config.plan_node_bytes);
+  EXPECT_NEAR(module.TransferSeconds(config),
+              module.ModeledSizeBytes(config) /
+                  config.disk_bandwidth_bytes_per_sec,
+              1e-12);
+}
+
+TEST_F(AccessModuleTest, RoundTripPreservesStructure) {
+  PhysNodePtr root = OptimizeDynamic(4);
+  AccessModule module(root);
+  std::string bytes = module.Serialize();
+  auto restored = AccessModule::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_nodes(), module.num_nodes());
+  EXPECT_EQ(restored->num_choose_nodes(), module.num_choose_nodes());
+  // The textual rendering is identical (same operators, same sharing).
+  EXPECT_EQ(restored->root()->ToString(), root->ToString());
+}
+
+TEST_F(AccessModuleTest, RoundTripPreservesEstimates) {
+  PhysNodePtr root = OptimizeDynamic(2);
+  AccessModule module(root);
+  auto restored = AccessModule::Deserialize(module.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->root()->est_cost(), root->est_cost());
+  EXPECT_EQ(restored->root()->est_cardinality(), root->est_cardinality());
+}
+
+TEST_F(AccessModuleTest, RoundTripPreservesCosting) {
+  // A deserialized module must produce the same start-up cost estimates —
+  // access modules are self-contained (no catalog needed to decide).
+  PhysNodePtr root = OptimizeDynamic(2);
+  AccessModule module(root);
+  auto restored = AccessModule::Deserialize(module.Serialize());
+  ASSERT_TRUE(restored.ok());
+  Rng rng(5);
+  Query query = workload_->ChainQuery(2);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  NodeEstimate original = EstimateRoot(*root, workload_->model(), bound,
+                                       EstimationMode::kExpectedValue);
+  NodeEstimate copy = EstimateRoot(*restored->root(), workload_->model(),
+                                   bound, EstimationMode::kExpectedValue);
+  EXPECT_EQ(original.cost, copy.cost);
+}
+
+TEST_F(AccessModuleTest, SharingSurvivesSerialization) {
+  PhysNodePtr root = OptimizeDynamic(4);
+  AccessModule module(root);
+  auto restored = AccessModule::Deserialize(module.Serialize());
+  ASSERT_TRUE(restored.ok());
+  // If sharing were lost, node count would blow up to tree size.
+  EXPECT_EQ(restored->root()->CountNodes(), root->CountNodes());
+  EXPECT_EQ(restored->root()->CountExpandedTreeNodes(),
+            root->CountExpandedTreeNodes());
+}
+
+TEST_F(AccessModuleTest, CorruptionRejected) {
+  PhysNodePtr root = OptimizeDynamic(1);
+  AccessModule module(root);
+  std::string bytes = module.Serialize();
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(AccessModule::Deserialize(bad_magic).ok());
+
+  // Truncated stream.
+  std::string truncated = bytes.substr(0, bytes.size() / 2);
+  EXPECT_FALSE(AccessModule::Deserialize(truncated).ok());
+
+  // Empty.
+  EXPECT_FALSE(AccessModule::Deserialize("").ok());
+}
+
+TEST_F(AccessModuleTest, VersionChecked) {
+  PhysNodePtr root = OptimizeDynamic(1);
+  AccessModule module(root);
+  std::string bytes = module.Serialize();
+  bytes[4] = 99;  // version field
+  auto restored = AccessModule::Deserialize(bytes);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(AccessModuleTest, StaticModuleSmallerThanDynamic) {
+  Query query = workload_->ChainQuery(4);
+  Optimizer stat(&workload_->model(), OptimizerOptions::Static());
+  auto static_plan =
+      stat.Optimize(query, workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(static_plan.ok());
+  AccessModule static_module(static_plan->root);
+  AccessModule dynamic_module(OptimizeDynamic(4));
+  EXPECT_LT(static_module.num_nodes(), dynamic_module.num_nodes());
+  EXPECT_LT(static_module.Serialize().size(),
+            dynamic_module.Serialize().size());
+}
+
+}  // namespace
+}  // namespace dqep

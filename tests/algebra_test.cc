@@ -1,0 +1,120 @@
+#include "logical/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/1, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  SelectionPredicate SelOn(RelationId rel, ParamId param) {
+    return SelectionPredicate{AttrRef{rel, ExperimentColumns::kSelect},
+                              CompareOp::kLt, Operand::Param(param)};
+  }
+
+  JoinPredicate ChainJoin(RelationId left, RelationId right) {
+    return JoinPredicate{AttrRef{left, ExperimentColumns::kJoinNext},
+                         AttrRef{right, ExperimentColumns::kJoinPrev}};
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(AlgebraTest, GetSetToQuery) {
+  auto tree = LogicalOp::GetSet(0);
+  EXPECT_EQ(tree->kind(), LogicalOpKind::kGetSet);
+  auto query = tree->ToQuery();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->num_terms(), 1);
+  EXPECT_TRUE(query->Validate(workload_->catalog()).ok());
+}
+
+TEST_F(AlgebraTest, SelectPushesToTerm) {
+  auto tree = LogicalOp::Select(LogicalOp::GetSet(0), SelOn(0, 0));
+  auto query = tree->ToQuery();
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->term(0).predicates.size(), 1u);
+  EXPECT_TRUE(query->term(0).predicates[0].HasParam());
+}
+
+TEST_F(AlgebraTest, FigureOneQuery) {
+  // Paper Figure 1(a): Select over Get-Set with an unbound predicate.
+  auto tree = LogicalOp::Select(LogicalOp::GetSet(0), SelOn(0, 0));
+  std::string text = tree->ToString();
+  EXPECT_NE(text.find("Select"), std::string::npos);
+  EXPECT_NE(text.find("Get-Set"), std::string::npos);
+  EXPECT_NE(text.find(":p0"), std::string::npos);
+}
+
+TEST_F(AlgebraTest, JoinTreeNormalizes) {
+  // Paper Figure 2's query: Select(R) join S.
+  auto tree = LogicalOp::Join(
+      LogicalOp::Select(LogicalOp::GetSet(0), SelOn(0, 0)),
+      LogicalOp::GetSet(1), ChainJoin(0, 1));
+  auto query = tree->ToQuery();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->num_terms(), 2);
+  EXPECT_EQ(query->joins().size(), 1u);
+  EXPECT_EQ(query->term(0).predicates.size(), 1u);
+  EXPECT_TRUE(query->term(1).predicates.empty());
+  EXPECT_TRUE(query->Validate(workload_->catalog()).ok());
+}
+
+TEST_F(AlgebraTest, SelectionAboveJoinPushesThrough) {
+  auto tree = LogicalOp::Select(
+      LogicalOp::Join(LogicalOp::GetSet(0), LogicalOp::GetSet(1),
+                      ChainJoin(0, 1)),
+      SelOn(1, 0));
+  auto query = tree->ToQuery();
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(query->term(0).predicates.empty());
+  ASSERT_EQ(query->term(1).predicates.size(), 1u);
+}
+
+TEST_F(AlgebraTest, DeepChainNormalizes) {
+  auto tree = LogicalOp::Select(LogicalOp::GetSet(0), SelOn(0, 0));
+  auto full = LogicalOp::Join(
+      std::move(tree),
+      LogicalOp::Select(LogicalOp::GetSet(1), SelOn(1, 1)), ChainJoin(0, 1));
+  full = LogicalOp::Join(std::move(full), LogicalOp::GetSet(2),
+                         ChainJoin(1, 2));
+  auto query = full->ToQuery();
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->num_terms(), 3);
+  EXPECT_EQ(query->joins().size(), 2u);
+  EXPECT_TRUE(query->Validate(workload_->catalog()).ok());
+}
+
+TEST_F(AlgebraTest, DuplicateRelationRejected) {
+  auto tree = LogicalOp::Join(LogicalOp::GetSet(0), LogicalOp::GetSet(0),
+                              ChainJoin(0, 0));
+  EXPECT_FALSE(tree->ToQuery().ok());
+}
+
+TEST_F(AlgebraTest, SelectionOnAbsentRelationRejected) {
+  auto tree = LogicalOp::Select(LogicalOp::GetSet(0), SelOn(1, 0));
+  EXPECT_FALSE(tree->ToQuery().ok());
+}
+
+TEST_F(AlgebraTest, JoinPredicateMustConnectInputs) {
+  auto tree = LogicalOp::Join(LogicalOp::GetSet(0), LogicalOp::GetSet(1),
+                              ChainJoin(2, 3));
+  EXPECT_FALSE(tree->ToQuery().ok());
+}
+
+TEST_F(AlgebraTest, KindNames) {
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kGetSet), "Get-Set");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kSelect), "Select");
+  EXPECT_STREQ(LogicalOpKindName(LogicalOpKind::kJoin), "Join");
+}
+
+}  // namespace
+}  // namespace dqep

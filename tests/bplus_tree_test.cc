@@ -1,0 +1,210 @@
+// Structural and property tests for the from-scratch B+-tree, including a
+// randomized differential test against std::multimap.
+
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqep {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree(4);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.FullScan().empty());
+  EXPECT_TRUE(tree.Lookup(1).empty());
+  EXPECT_TRUE(tree.RangeScan(0, 100).empty());
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, SingleEntry) {
+  BPlusTree tree(4);
+  tree.Insert(42, 7);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.Lookup(42), std::vector<RowId>{7});
+  EXPECT_TRUE(tree.Lookup(41).empty());
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 100; ++k) {
+    tree.Insert(k, k);
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 100);
+  EXPECT_GT(tree.height(), 2);
+  std::vector<RowId> all = tree.FullScan();
+  ASSERT_EQ(all.size(), 100u);
+  for (int64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(all[static_cast<size_t>(k)], k);
+  }
+}
+
+TEST(BPlusTreeTest, ReverseInsertionOrder) {
+  BPlusTree tree(4);
+  for (int64_t k = 99; k >= 0; --k) {
+    tree.Insert(k, k);
+  }
+  tree.CheckInvariants();
+  std::vector<RowId> all = tree.FullScan();
+  ASSERT_EQ(all.size(), 100u);
+  EXPECT_EQ(all.front(), 0);
+  EXPECT_EQ(all.back(), 99);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAcrossSplits) {
+  BPlusTree tree(4);
+  // Many duplicates force splits *between* equal keys.
+  for (RowId r = 0; r < 50; ++r) {
+    tree.Insert(5, r);
+    tree.CheckInvariants();
+  }
+  tree.Insert(4, 100);
+  tree.Insert(6, 101);
+  EXPECT_EQ(tree.Lookup(5).size(), 50u);
+  EXPECT_EQ(tree.Lookup(4).size(), 1u);
+  EXPECT_EQ(tree.Lookup(6).size(), 1u);
+  EXPECT_EQ(tree.size(), 52);
+}
+
+TEST(BPlusTreeTest, RangeScanBoundaries) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 50; ++k) {
+    tree.Insert(k * 2, k);  // even keys 0..98
+  }
+  EXPECT_EQ(tree.RangeScan(10, 20).size(), 6u);   // 10,12,...,20
+  EXPECT_EQ(tree.RangeScan(11, 19).size(), 4u);   // 12,...,18
+  EXPECT_EQ(tree.RangeScan(98, 200).size(), 1u);
+  EXPECT_EQ(tree.RangeScan(-10, -1).size(), 0u);
+  EXPECT_EQ(tree.RangeScan(20, 10).size(), 0u);   // inverted
+  EXPECT_EQ(tree.ScanBelow(10).size(), 5u);       // 0,2,4,6,8
+  EXPECT_EQ(tree.ScanBelow(0).size(), 0u);
+  EXPECT_EQ(tree.ScanBelow(1000).size(), 50u);
+}
+
+TEST(BPlusTreeTest, RemoveSimple) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 10; ++k) {
+    tree.Insert(k, k);
+  }
+  EXPECT_TRUE(tree.Remove(5, 5));
+  EXPECT_FALSE(tree.Remove(5, 5));   // already gone
+  EXPECT_FALSE(tree.Remove(99, 0));  // never existed
+  EXPECT_FALSE(tree.Remove(4, 99));  // key exists, value does not
+  EXPECT_EQ(tree.size(), 9);
+  EXPECT_TRUE(tree.Lookup(5).empty());
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, RemoveTriggersMergesAndShrinksHeight) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 200; ++k) {
+    tree.Insert(k, k);
+  }
+  int32_t tall = tree.height();
+  EXPECT_GT(tall, 2);
+  for (int64_t k = 0; k < 195; ++k) {
+    ASSERT_TRUE(tree.Remove(k, k)) << k;
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 5);
+  EXPECT_LT(tree.height(), tall);
+  EXPECT_EQ(tree.FullScan().size(), 5u);
+}
+
+TEST(BPlusTreeTest, RemoveDuplicateSpecificValue) {
+  BPlusTree tree(4);
+  for (RowId r = 0; r < 20; ++r) {
+    tree.Insert(7, r);
+  }
+  // Remove a value that lives in a later duplicate leaf.
+  EXPECT_TRUE(tree.Remove(7, 19));
+  EXPECT_TRUE(tree.Remove(7, 0));
+  EXPECT_EQ(tree.Lookup(7).size(), 18u);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, DrainToEmptyAndReuse) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 64; ++k) {
+    tree.Insert(k, k);
+  }
+  for (int64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(tree.Remove(k, k));
+    tree.CheckInvariants();
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 1);
+  tree.Insert(3, 3);
+  EXPECT_EQ(tree.Lookup(3).size(), 1u);
+}
+
+/// Differential test: random interleaved inserts/removes/scans checked
+/// against std::multimap, with invariants verified throughout.
+class BPlusTreeFuzz : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(BPlusTreeFuzz, MatchesMultimapReference) {
+  const int32_t fanout = GetParam();
+  BPlusTree tree(fanout);
+  std::multimap<int64_t, RowId> reference;
+  Rng rng(0xF00D + static_cast<uint64_t>(fanout));
+  RowId next_rid = 0;
+
+  auto scan_reference = [&reference](int64_t lo, int64_t hi) {
+    std::vector<RowId> out;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first <= hi; ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55 || reference.empty()) {
+      int64_t key = rng.NextInt(0, 60);  // small domain -> many duplicates
+      tree.Insert(key, next_rid);
+      reference.emplace(key, next_rid);
+      ++next_rid;
+    } else if (dice < 0.85) {
+      // Remove a uniformly chosen existing entry.
+      size_t victim = static_cast<size_t>(
+          rng.NextInt(0, static_cast<int64_t>(reference.size()) - 1));
+      auto it = reference.begin();
+      std::advance(it, static_cast<ptrdiff_t>(victim));
+      ASSERT_TRUE(tree.Remove(it->first, it->second)) << "step " << step;
+      reference.erase(it);
+    } else {
+      int64_t lo = rng.NextInt(-5, 65);
+      int64_t hi = lo + rng.NextInt(0, 30);
+      std::vector<RowId> got = tree.RangeScan(lo, hi);
+      std::vector<RowId> expected = scan_reference(lo, hi);
+      // Key order is guaranteed; order among duplicates is not specified,
+      // so compare as sorted multisets per scan.
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << "step " << step;
+    }
+    if (step % 64 == 0) {
+      tree.CheckInvariants();
+      ASSERT_EQ(tree.size(), static_cast<int64_t>(reference.size()));
+    }
+  }
+  tree.CheckInvariants();
+  std::vector<RowId> all = tree.FullScan();
+  ASSERT_EQ(all.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BPlusTreeFuzz,
+                         ::testing::Values(4, 5, 8, 64));
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,135 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace dqep {
+namespace {
+
+std::vector<ColumnInfo> TwoColumns() {
+  return {
+      {.name = "k", .type = ColumnType::kInt64, .domain_size = 100,
+       .width_bytes = 8},
+      {.name = "v", .type = ColumnType::kString, .domain_size = 1,
+       .width_bytes = 24},
+  };
+}
+
+TEST(CatalogTest, CreateAndLookupRelation) {
+  Catalog catalog;
+  auto id = catalog.CreateRelation("orders", TwoColumns(), 500);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.num_relations(), 1);
+  EXPECT_TRUE(catalog.HasRelation(*id));
+  const RelationInfo& rel = catalog.relation(*id);
+  EXPECT_EQ(rel.name(), "orders");
+  EXPECT_EQ(rel.cardinality(), 500);
+  EXPECT_EQ(rel.num_columns(), 2);
+  EXPECT_EQ(rel.record_width(), 32);
+}
+
+TEST(CatalogTest, DenseIdsAssigned) {
+  Catalog catalog;
+  auto a = catalog.CreateRelation("a", TwoColumns(), 1);
+  auto b = catalog.CreateRelation("b", TwoColumns(), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 1);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateRelation("r", TwoColumns(), 1).ok());
+  auto dup = catalog.CreateRelation("r", TwoColumns(), 1);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, EmptyNameRejected) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.CreateRelation("", TwoColumns(), 1).ok());
+}
+
+TEST(CatalogTest, NoColumnsRejected) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.CreateRelation("r", {}, 1).ok());
+}
+
+TEST(CatalogTest, NegativeCardinalityRejected) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.CreateRelation("r", TwoColumns(), -1).ok());
+}
+
+TEST(CatalogTest, DuplicateColumnNameRejected) {
+  Catalog catalog;
+  std::vector<ColumnInfo> columns = TwoColumns();
+  columns[1].name = "k";
+  auto result = catalog.CreateRelation("r", std::move(columns), 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, FindRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateRelation("x", TwoColumns(), 1).ok());
+  auto found = catalog.FindRelation("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0);
+  EXPECT_FALSE(catalog.FindRelation("y").ok());
+}
+
+TEST(CatalogTest, FindColumn) {
+  Catalog catalog;
+  auto id = catalog.CreateRelation("r", TwoColumns(), 1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.relation(*id).FindColumn("v"), 1);
+  EXPECT_EQ(catalog.relation(*id).FindColumn("nope"), -1);
+}
+
+TEST(CatalogTest, CreateIndex) {
+  Catalog catalog;
+  auto id = catalog.CreateRelation("r", TwoColumns(), 1);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(catalog.CreateIndex(*id, 0).ok());
+  EXPECT_TRUE(catalog.HasIndexOn(AttrRef{*id, 0}));
+  EXPECT_FALSE(catalog.HasIndexOn(AttrRef{*id, 1}));
+  const IndexInfo& index = catalog.relation(*id).IndexOn(0);
+  EXPECT_FALSE(index.clustered);  // unclustered B-trees only (paper §6)
+  EXPECT_EQ(index.column, 0);
+}
+
+TEST(CatalogTest, DuplicateIndexRejected) {
+  Catalog catalog;
+  auto id = catalog.CreateRelation("r", TwoColumns(), 1);
+  ASSERT_TRUE(catalog.CreateIndex(*id, 0).ok());
+  EXPECT_EQ(catalog.CreateIndex(*id, 0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, IndexOnStringColumnRejected) {
+  Catalog catalog;
+  auto id = catalog.CreateRelation("r", TwoColumns(), 1);
+  EXPECT_EQ(catalog.CreateIndex(*id, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, IndexBadRelationOrColumn) {
+  Catalog catalog;
+  auto id = catalog.CreateRelation("r", TwoColumns(), 1);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(catalog.CreateIndex(99, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.CreateIndex(*id, 9).code(), StatusCode::kOutOfRange);
+}
+
+TEST(AttrRefTest, OrderingAndEquality) {
+  AttrRef a{0, 1};
+  AttrRef b{0, 2};
+  AttrRef c{1, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (AttrRef{0, 1}));
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_FALSE(AttrRef{}.IsValid());
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,255 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/5, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  const CostModel& model() { return workload_->model(); }
+
+  SelectionPredicate ParamPred(RelationId rel = 0, ParamId param = 0) {
+    return SelectionPredicate{AttrRef{rel, ExperimentColumns::kSelect},
+                              CompareOp::kLt, Operand::Param(param)};
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(CostModelTest, LiteralSelectivityLt) {
+  AttrRef attr{0, ExperimentColumns::kSelect};
+  int64_t domain = workload_->catalog().column(attr).domain_size;
+  Interval sel = model().LiteralSelectivity(attr, CompareOp::kLt,
+                                            Value(domain / 2));
+  EXPECT_TRUE(sel.IsPoint());
+  EXPECT_NEAR(sel.lo(), 0.5, 0.01);
+  // Boundary values clamp.
+  EXPECT_EQ(model().LiteralSelectivity(attr, CompareOp::kLt, Value(int64_t{0}))
+                .lo(),
+            0.0);
+  EXPECT_EQ(
+      model().LiteralSelectivity(attr, CompareOp::kLt, Value(domain * 2)).lo(),
+      1.0);
+}
+
+TEST_F(CostModelTest, LiteralSelectivityComplements) {
+  AttrRef attr{0, ExperimentColumns::kSelect};
+  int64_t domain = workload_->catalog().column(attr).domain_size;
+  Value v(domain / 4);
+  double lt = model().LiteralSelectivity(attr, CompareOp::kLt, v).lo();
+  double ge = model().LiteralSelectivity(attr, CompareOp::kGe, v).lo();
+  EXPECT_NEAR(lt + ge, 1.0, 1e-12);
+  double le = model().LiteralSelectivity(attr, CompareOp::kLe, v).lo();
+  double gt = model().LiteralSelectivity(attr, CompareOp::kGt, v).lo();
+  EXPECT_NEAR(le + gt, 1.0, 1e-12);
+  EXPECT_GE(le, lt);
+}
+
+TEST_F(CostModelTest, EqualitySelectivityIsOneOverDomain) {
+  AttrRef attr{0, ExperimentColumns::kSelect};
+  int64_t domain = workload_->catalog().column(attr).domain_size;
+  Interval sel =
+      model().LiteralSelectivity(attr, CompareOp::kEq, Value(int64_t{3}));
+  EXPECT_NEAR(sel.lo(), 1.0 / static_cast<double>(domain), 1e-12);
+}
+
+TEST_F(CostModelTest, UnboundParamSelectivityByMode) {
+  SelectionPredicate pred = ParamPred();
+  ParamEnv env;
+  Interval expected =
+      model().Selectivity(pred, env, EstimationMode::kExpectedValue);
+  EXPECT_TRUE(expected.IsPoint());
+  EXPECT_EQ(expected.lo(), model().config().default_selectivity);
+  Interval interval =
+      model().Selectivity(pred, env, EstimationMode::kInterval);
+  EXPECT_EQ(interval, Interval(0.0, 1.0));
+}
+
+TEST_F(CostModelTest, BoundParamSelectivityIsPointInBothModes) {
+  SelectionPredicate pred = ParamPred();
+  ParamEnv env;
+  env.Bind(0, model().ValueForSelectivity(pred, 0.3));
+  Interval a = model().Selectivity(pred, env, EstimationMode::kExpectedValue);
+  Interval b = model().Selectivity(pred, env, EstimationMode::kInterval);
+  EXPECT_TRUE(a.IsPoint());
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(a.lo(), 0.3, 0.01);
+}
+
+TEST_F(CostModelTest, TermSelectivityIsProduct) {
+  RelationTerm term;
+  term.relation = 0;
+  term.predicates.push_back(ParamPred(0, 0));
+  term.predicates.push_back(ParamPred(0, 1));
+  ParamEnv env;
+  env.Bind(0, model().ValueForSelectivity(term.predicates[0], 0.5));
+  env.Bind(1, model().ValueForSelectivity(term.predicates[1], 0.5));
+  Interval sel =
+      model().TermSelectivity(term, env, EstimationMode::kExpectedValue);
+  EXPECT_NEAR(sel.lo(), 0.25, 0.02);
+}
+
+TEST_F(CostModelTest, ValueForSelectivityRoundTrips) {
+  Rng rng(3);
+  for (CompareOp op : {CompareOp::kLt, CompareOp::kLe, CompareOp::kGe,
+                       CompareOp::kGt}) {
+    SelectionPredicate pred = ParamPred();
+    pred.op = op;
+    for (int trial = 0; trial < 50; ++trial) {
+      double target = rng.NextDouble();
+      Value v = model().ValueForSelectivity(pred, target);
+      Interval sel = model().LiteralSelectivity(pred.attr, op, v);
+      // Integer domains quantize; R1's select domain is ~900 values.
+      EXPECT_NEAR(sel.lo(), target, 0.01)
+          << "op=" << CompareOpName(op) << " target=" << target;
+    }
+  }
+}
+
+TEST_F(CostModelTest, JoinSelectivityUsesLargerDomain) {
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  double left_domain = static_cast<double>(
+      workload_->catalog().column(join.left).domain_size);
+  double right_domain = static_cast<double>(
+      workload_->catalog().column(join.right).domain_size);
+  EXPECT_NEAR(model().JoinPredicateSelectivity(join),
+              1.0 / std::max(left_domain, right_domain), 1e-12);
+  EXPECT_NEAR(model().JoinSelectivity({join, join}),
+              model().JoinPredicateSelectivity(join) *
+                  model().JoinPredicateSelectivity(join),
+              1e-15);
+}
+
+TEST_F(CostModelTest, MemoryPagesByMode) {
+  ParamEnv uncertain(model().config().UncertainMemoryPages());
+  Interval expected =
+      model().MemoryPages(uncertain, EstimationMode::kExpectedValue);
+  EXPECT_TRUE(expected.IsPoint());
+  EXPECT_EQ(expected.lo(), model().config().expected_memory_pages);
+  Interval interval =
+      model().MemoryPages(uncertain, EstimationMode::kInterval);
+  EXPECT_EQ(interval, model().config().UncertainMemoryPages());
+  ParamEnv known(Interval::Point(32.0));
+  EXPECT_EQ(model().MemoryPages(known, EstimationMode::kExpectedValue),
+            Interval::Point(32.0));
+}
+
+TEST_F(CostModelTest, PagesFor) {
+  // 512-byte records on 2048-byte pages: 4 per page.
+  EXPECT_EQ(model().PagesFor(1000, 512), 250);
+  EXPECT_EQ(model().PagesFor(1, 512), 1);
+  EXPECT_EQ(model().PagesFor(0, 512), 0);
+  // Oversized records: one per page.
+  EXPECT_EQ(model().PagesFor(3, 4096), 3);
+}
+
+TEST_F(CostModelTest, FileScanCostScalesWithPages) {
+  double small = model().FileScanCost(100, 512);
+  double large = model().FileScanCost(1000, 512);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(large / small, 10.0, 1.0);
+}
+
+TEST_F(CostModelTest, BTreeScanBeatsFileScanOnlyWhenSelective) {
+  // The motivating trade-off of paper Figure 1.
+  double file_scan = model().FileScanCost(1000, 512);
+  double selective = model().FilterBTreeScanCost(0.01 * 1000);
+  double unselective = model().FilterBTreeScanCost(0.9 * 1000);
+  EXPECT_LT(selective, file_scan);
+  EXPECT_GT(unselective, file_scan);
+}
+
+TEST_F(CostModelTest, DefaultSelectivityFavorsIndexForLargeRelations) {
+  // Calibration invariant: a traditional optimizer assuming the default
+  // selectivity picks the B-tree for a 1000-tuple relation — the choice
+  // that gets burned when the actual selectivity is large.
+  double sel = model().config().default_selectivity;
+  EXPECT_LT(model().FilterBTreeScanCost(sel * 1000),
+            model().FileScanCost(1000, 512));
+}
+
+TEST_F(CostModelTest, SortCostMemorySensitive) {
+  double in_memory = model().SortCost(200, 512, 64.0);
+  double external = model().SortCost(200, 512, 8.0);
+  EXPECT_GT(external, in_memory);
+}
+
+TEST_F(CostModelTest, HashJoinSpillsWhenBuildExceedsMemory) {
+  double fits = model().HashJoinCost(200, 512, 500, 512, 100, 64.0);
+  double spills = model().HashJoinCost(200, 512, 500, 512, 100, 16.0);
+  EXPECT_GT(spills, fits);
+  // Probe-side size is irrelevant while the build fits.
+  double more_probe = model().HashJoinCost(200, 512, 5000, 512, 100, 64.0);
+  EXPECT_GT(more_probe, fits);  // CPU only
+  EXPECT_LT(more_probe - fits, 0.1);
+}
+
+TEST_F(CostModelTest, MergeJoinLinearInInputs) {
+  double base = model().MergeJoinCost(100, 100, 50);
+  double doubled = model().MergeJoinCost(200, 200, 100);
+  EXPECT_NEAR(doubled / base, 2.0, 0.1);
+}
+
+TEST_F(CostModelTest, IndexJoinScalesWithOuter) {
+  double base = model().IndexJoinCost(10, 1.0);
+  double more = model().IndexJoinCost(100, 1.0);
+  EXPECT_NEAR(more / base, 10.0, 0.5);
+}
+
+TEST_F(CostModelTest, StartupDecisionCostComposition) {
+  const SystemConfig& config = model().config();
+  double cost = model().StartupDecisionCost(100, 7);
+  EXPECT_NEAR(cost,
+              100 * config.cost_eval_seconds +
+                  7 * config.choose_plan_decision_seconds,
+              1e-15);
+}
+
+// Property: every cost formula is monotonically non-decreasing in its
+// cardinality arguments and non-increasing in memory — the premise of
+// interval extension (paper §5).
+TEST_F(CostModelTest, MonotonicityProperty) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    double t1 = rng.NextDouble(1, 5000);
+    double t2 = t1 + rng.NextDouble(0, 5000);
+    double mem1 = rng.NextDouble(4, 64);
+    double mem2 = mem1 + rng.NextDouble(0, 64);
+    EXPECT_LE(model().FileScanCost(t1, 512), model().FileScanCost(t2, 512));
+    EXPECT_LE(model().BTreeFullScanCost(t1), model().BTreeFullScanCost(t2));
+    EXPECT_LE(model().FilterBTreeScanCost(t1),
+              model().FilterBTreeScanCost(t2));
+    EXPECT_LE(model().FilterCost(t1), model().FilterCost(t2));
+    EXPECT_LE(model().SortCost(t1, 512, mem1), model().SortCost(t2, 512, mem1));
+    EXPECT_GE(model().SortCost(t1, 512, mem1), model().SortCost(t1, 512, mem2));
+    EXPECT_LE(model().MergeJoinCost(t1, t1, t1),
+              model().MergeJoinCost(t2, t2, t2));
+    EXPECT_LE(model().HashJoinCost(t1, 512, t1, 512, t1, mem1),
+              model().HashJoinCost(t2, 512, t2, 512, t2, mem1));
+    EXPECT_GE(model().HashJoinCost(t1, 512, t1, 512, t1, mem1),
+              model().HashJoinCost(t1, 512, t1, 512, t1, mem2));
+    EXPECT_LE(model().IndexJoinCost(t1, 2.0), model().IndexJoinCost(t2, 2.0));
+  }
+}
+
+TEST_F(CostModelTest, SystemConfigDerivedQuantities) {
+  SystemConfig config;
+  EXPECT_NEAR(config.SeqPageIoSeconds(), 2048.0 / (2.0 * 1024 * 1024), 1e-12);
+  // 16,000 nodes/second at 128 B/node and 2 MB/s (paper §6).
+  EXPECT_NEAR(config.PlanTransferSeconds(16384), 1.0, 0.01);
+  EXPECT_EQ(config.UncertainMemoryPages(), Interval(16, 112));
+}
+
+}  // namespace
+}  // namespace dqep

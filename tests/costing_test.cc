@@ -1,0 +1,209 @@
+// Plan estimation: per-operator formulas over DAGs, interval-vs-point
+// consistency, and the dynamic-plan cost combination rule.
+
+#include "physical/costing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class CostingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/3, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  const Catalog& catalog() { return workload_->catalog(); }
+  const CostModel& model() { return workload_->model(); }
+
+  SelectionPredicate Pred(RelationId rel, ParamId param) {
+    return SelectionPredicate{AttrRef{rel, ExperimentColumns::kSelect},
+                              CompareOp::kLt, Operand::Param(param)};
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(CostingTest, FileScanPointEstimate) {
+  PhysNodePtr scan = PhysNode::FileScan(catalog(), 0);
+  ParamEnv env;
+  NodeEstimate est =
+      EstimateRoot(*scan, model(), env, EstimationMode::kInterval);
+  EXPECT_TRUE(est.cardinality.IsPoint());
+  EXPECT_TRUE(est.cost.IsPoint());
+  EXPECT_EQ(est.cardinality.lo(),
+            static_cast<double>(catalog().relation(0).cardinality()));
+}
+
+TEST_F(CostingTest, UnboundFilterWidensCardinality) {
+  PhysNodePtr plan =
+      PhysNode::Filter({Pred(0, 0)}, PhysNode::FileScan(catalog(), 0));
+  ParamEnv env;
+  NodeEstimate est =
+      EstimateRoot(*plan, model(), env, EstimationMode::kInterval);
+  EXPECT_FALSE(est.cardinality.IsPoint());
+  EXPECT_EQ(est.cardinality.lo(), 0.0);
+  EXPECT_EQ(est.cardinality.hi(),
+            static_cast<double>(catalog().relation(0).cardinality()));
+  // Filter cost itself is card-independent (scans all input), so the cost
+  // interval is a point even though cardinality is not.
+  EXPECT_TRUE(est.cost.IsPoint());
+}
+
+TEST_F(CostingTest, UnboundFilterBTreeScanWidensCost) {
+  PhysNodePtr plan = PhysNode::FilterBTreeScan(catalog(), 0, Pred(0, 0));
+  ParamEnv env;
+  NodeEstimate est =
+      EstimateRoot(*plan, model(), env, EstimationMode::kInterval);
+  EXPECT_FALSE(est.cost.IsPoint());
+  EXPECT_GT(est.cost.hi(), est.cost.lo());
+}
+
+TEST_F(CostingTest, BoundEnvCollapsesToPoint) {
+  PhysNodePtr plan = PhysNode::FilterBTreeScan(catalog(), 0, Pred(0, 0));
+  ParamEnv env;
+  env.Bind(0, model().ValueForSelectivity(Pred(0, 0), 0.4));
+  for (EstimationMode mode :
+       {EstimationMode::kExpectedValue, EstimationMode::kInterval}) {
+    NodeEstimate est = EstimateRoot(*plan, model(), env, mode);
+    EXPECT_TRUE(est.cost.IsPoint());
+    EXPECT_TRUE(est.cardinality.IsPoint());
+  }
+}
+
+TEST_F(CostingTest, ChoosePlanCostIsMinCombinePlusOverhead) {
+  PhysNodePtr file = PhysNode::Filter({Pred(0, 0)},
+                                      PhysNode::FileScan(catalog(), 0));
+  PhysNodePtr btree = PhysNode::FilterBTreeScan(catalog(), 0, Pred(0, 0));
+  PhysNodePtr choose = PhysNode::ChoosePlan({file, btree}, SortOrder());
+  ParamEnv env;
+  PlanEstimateMap map =
+      EstimatePlan(*choose, model(), env, EstimationMode::kInterval);
+  const Interval& file_cost = map.at(file.get()).cost;
+  const Interval& btree_cost = map.at(btree.get()).cost;
+  Interval expected =
+      Interval::MinCombine(file_cost, btree_cost) +
+      Interval::Point(model().config().choose_plan_decision_seconds);
+  EXPECT_EQ(map.at(choose.get()).cost, expected);
+}
+
+TEST_F(CostingTest, SharedSubplanEvaluatedOnce) {
+  PhysNodePtr shared = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr f1 = PhysNode::Filter({Pred(0, 0)}, shared);
+  PhysNodePtr f2 = PhysNode::Filter({Pred(0, 1)}, shared);
+  PhysNodePtr choose = PhysNode::ChoosePlan({f1, f2}, SortOrder());
+  ParamEnv env;
+  int64_t evaluations = 0;
+  EstimatePlan(*choose, model(), env, EstimationMode::kInterval,
+               &evaluations);
+  // 4 distinct nodes: shared scan costed once despite two parents.
+  EXPECT_EQ(evaluations, 4);
+}
+
+TEST_F(CostingTest, HashJoinMemorySensitivity) {
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  PhysNodePtr plan = PhysNode::HashJoin({join},
+                                        PhysNode::FileScan(catalog(), 0),
+                                        PhysNode::FileScan(catalog(), 1));
+  ParamEnv plenty(Interval::Point(512.0));
+  ParamEnv scarce(Interval::Point(8.0));
+  double cheap = EstimateRoot(*plan, model(), plenty,
+                              EstimationMode::kExpectedValue)
+                     .cost.lo();
+  double dear = EstimateRoot(*plan, model(), scarce,
+                             EstimationMode::kExpectedValue)
+                    .cost.lo();
+  EXPECT_GT(dear, cheap);
+}
+
+TEST_F(CostingTest, UncertainMemoryWidensHashJoinCost) {
+  // Build side sized to fit in memory at the grant's upper bound but spill
+  // at its lower bound; only then does memory uncertainty widen cost.
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  SelectionPredicate shrink{AttrRef{0, ExperimentColumns::kSelect},
+                            CompareOp::kLt, Operand::Param(0)};
+  ParamEnv env(model().config().UncertainMemoryPages());
+  env.Bind(0, model().ValueForSelectivity(shrink, 0.3));
+  PhysNodePtr build =
+      PhysNode::Filter({shrink}, PhysNode::FileScan(catalog(), 0));
+  PhysNodePtr plan = PhysNode::HashJoin({join}, build,
+                                        PhysNode::FileScan(catalog(), 1));
+  NodeEstimate est =
+      EstimateRoot(*plan, model(), env, EstimationMode::kInterval);
+  EXPECT_FALSE(est.cost.IsPoint());
+}
+
+TEST_F(CostingTest, IndexJoinCardinalityConsistentWithHashJoin) {
+  // Equivalent plans must estimate the same output cardinality, or
+  // choose-plan decisions would be incoherent.
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  SelectionPredicate inner_pred = Pred(1, 0);
+  ParamEnv env;
+  env.Bind(0, model().ValueForSelectivity(inner_pred, 0.5));
+
+  PhysNodePtr outer = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr index_join =
+      PhysNode::IndexJoin(catalog(), join, {inner_pred}, outer);
+  PhysNodePtr hash_join = PhysNode::HashJoin(
+      {join}, outer,
+      PhysNode::Filter({inner_pred}, PhysNode::FileScan(catalog(), 1)));
+  double ij_card = EstimateRoot(*index_join, model(), env,
+                                EstimationMode::kExpectedValue)
+                       .cardinality.lo();
+  double hj_card = EstimateRoot(*hash_join, model(), env,
+                                EstimationMode::kExpectedValue)
+                       .cardinality.lo();
+  EXPECT_NEAR(ij_card, hj_card, 1e-9 * (1 + hj_card));
+}
+
+TEST_F(CostingTest, AnnotatePlanWritesEstimates) {
+  PhysNodePtr plan =
+      PhysNode::Filter({Pred(0, 0)}, PhysNode::FileScan(catalog(), 0));
+  ParamEnv env;
+  AnnotatePlan(*plan, model(), env, EstimationMode::kInterval);
+  EXPECT_GT(plan->est_cost().hi(), 0.0);
+  EXPECT_GT(plan->child(0)->est_cost().hi(), 0.0);
+}
+
+// Property: the interval estimate contains the point estimate for any
+// binding of the parameters (soundness of interval extension).
+TEST_F(CostingTest, IntervalContainsAllPointOutcomes) {
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  SelectionPredicate p0 = Pred(0, 0);
+  SelectionPredicate p1 = Pred(1, 1);
+  PhysNodePtr plan = PhysNode::HashJoin(
+      {join}, PhysNode::Filter({p0}, PhysNode::FileScan(catalog(), 0)),
+      PhysNode::FilterBTreeScan(catalog(), 1, p1));
+
+  ParamEnv compile(model().config().UncertainMemoryPages());
+  NodeEstimate interval_est =
+      EstimateRoot(*plan, model(), compile, EstimationMode::kInterval);
+
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    ParamEnv bound(Interval::Point(
+        rng.NextDouble(model().config().memory_pages_min,
+                       model().config().memory_pages_max)));
+    bound.Bind(0, model().ValueForSelectivity(p0, rng.NextDouble()));
+    bound.Bind(1, model().ValueForSelectivity(p1, rng.NextDouble()));
+    NodeEstimate point =
+        EstimateRoot(*plan, model(), bound, EstimationMode::kExpectedValue);
+    EXPECT_TRUE(interval_est.cost.Contains(point.cost.lo()))
+        << "trial " << trial << ": " << point.cost.lo() << " not in "
+        << interval_est.cost.ToString();
+    EXPECT_TRUE(interval_est.cardinality.Contains(point.cardinality.lo()));
+  }
+}
+
+}  // namespace
+}  // namespace dqep

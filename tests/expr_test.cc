@@ -1,0 +1,73 @@
+#include "logical/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace dqep {
+namespace {
+
+TEST(CompareOpTest, Names) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kLt), "<");
+  EXPECT_STREQ(CompareOpName(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kGe), ">=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kGt), ">");
+}
+
+TEST(EvalCompareTest, AllOperators) {
+  Value a(int64_t{3});
+  Value b(int64_t{5});
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_FALSE(EvalCompare(b, CompareOp::kLt, a));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLe, a));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kEq, a));
+  EXPECT_FALSE(EvalCompare(a, CompareOp::kEq, b));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGe, b));
+  EXPECT_TRUE(EvalCompare(b, CompareOp::kGt, a));
+}
+
+TEST(EvalCompareTest, EvalOnStrings) {
+  Value a(std::string("apple"));
+  Value b(std::string("banana"));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kLt, b));
+  EXPECT_TRUE(EvalCompare(a, CompareOp::kEq, Value(std::string("apple"))));
+}
+
+TEST(OperandTest, Literal) {
+  Operand op = Operand::Literal(Value(int64_t{10}));
+  EXPECT_TRUE(op.is_literal());
+  EXPECT_FALSE(op.is_param());
+  EXPECT_EQ(op.literal().AsInt64(), 10);
+  EXPECT_EQ(op.ToString(), "10");
+}
+
+TEST(OperandTest, Param) {
+  Operand op = Operand::Param(3);
+  EXPECT_TRUE(op.is_param());
+  EXPECT_FALSE(op.is_literal());
+  EXPECT_EQ(op.param(), 3);
+  EXPECT_EQ(op.ToString(), ":p3");
+}
+
+TEST(SelectionPredicateTest, HasParamAndPrinting) {
+  SelectionPredicate bound{AttrRef{0, 2}, CompareOp::kLt,
+                           Operand::Literal(Value(int64_t{7}))};
+  SelectionPredicate unbound{AttrRef{1, 0}, CompareOp::kGe,
+                             Operand::Param(0)};
+  EXPECT_FALSE(bound.HasParam());
+  EXPECT_TRUE(unbound.HasParam());
+  EXPECT_EQ(bound.ToString(), "R0.2 < 7");
+  EXPECT_EQ(unbound.ToString(), "R1.0 >= :p0");
+}
+
+TEST(JoinPredicateTest, ConnectsAndSideOf) {
+  JoinPredicate join{AttrRef{0, 1}, AttrRef{1, 0}};
+  EXPECT_TRUE(join.Connects(0, 1));
+  EXPECT_TRUE(join.Connects(1, 0));
+  EXPECT_FALSE(join.Connects(0, 2));
+  EXPECT_EQ(join.SideOf(0), (AttrRef{0, 1}));
+  EXPECT_EQ(join.SideOf(1), (AttrRef{1, 0}));
+  EXPECT_EQ(join.ToString(), "R0.1 = R1.0");
+}
+
+}  // namespace
+}  // namespace dqep

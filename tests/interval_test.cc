@@ -1,0 +1,177 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dqep {
+namespace {
+
+TEST(IntervalTest, DefaultIsZeroPoint) {
+  Interval i;
+  EXPECT_TRUE(i.IsPoint());
+  EXPECT_EQ(i.lo(), 0.0);
+  EXPECT_EQ(i.hi(), 0.0);
+}
+
+TEST(IntervalTest, PointProperties) {
+  Interval p = Interval::Point(3.5);
+  EXPECT_TRUE(p.IsPoint());
+  EXPECT_EQ(p.Width(), 0.0);
+  EXPECT_EQ(p.Mid(), 3.5);
+  EXPECT_TRUE(p.Contains(3.5));
+  EXPECT_FALSE(p.Contains(3.4));
+}
+
+TEST(IntervalTest, WidthAndMid) {
+  Interval i(2.0, 6.0);
+  EXPECT_FALSE(i.IsPoint());
+  EXPECT_EQ(i.Width(), 4.0);
+  EXPECT_EQ(i.Mid(), 4.0);
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval outer(0.0, 10.0);
+  EXPECT_TRUE(outer.Contains(Interval(2.0, 3.0)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Interval(5.0, 11.0)));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(Interval(0, 2).Overlaps(Interval(1, 3)));
+  EXPECT_TRUE(Interval(0, 2).Overlaps(Interval(2, 3)));  // touching
+  EXPECT_FALSE(Interval(0, 2).Overlaps(Interval(2.1, 3)));
+  EXPECT_TRUE(Interval(0, 10).Overlaps(Interval(3, 4)));  // containment
+}
+
+TEST(IntervalTest, CompareDisjoint) {
+  EXPECT_EQ(Interval(0, 1).Compare(Interval(2, 3)), PartialOrdering::kLess);
+  EXPECT_EQ(Interval(2, 3).Compare(Interval(0, 1)), PartialOrdering::kGreater);
+}
+
+TEST(IntervalTest, CompareTouchingIsDecisive) {
+  // [0,2] is never more expensive than [2,5].
+  EXPECT_EQ(Interval(0, 2).Compare(Interval(2, 5)), PartialOrdering::kLess);
+  EXPECT_EQ(Interval(2, 5).Compare(Interval(0, 2)), PartialOrdering::kGreater);
+}
+
+TEST(IntervalTest, CompareOverlappingIsIncomparable) {
+  EXPECT_EQ(Interval(0, 5).Compare(Interval(3, 8)),
+            PartialOrdering::kIncomparable);
+  EXPECT_EQ(Interval(3, 8).Compare(Interval(0, 5)),
+            PartialOrdering::kIncomparable);
+  // Identical non-point intervals are incomparable (paper: equal-cost plans
+  // are both retained).
+  EXPECT_EQ(Interval(1, 2).Compare(Interval(1, 2)),
+            PartialOrdering::kIncomparable);
+  // Containment overlaps.
+  EXPECT_EQ(Interval(0, 10).Compare(Interval(4, 5)),
+            PartialOrdering::kIncomparable);
+}
+
+TEST(IntervalTest, CompareEqualPoints) {
+  EXPECT_EQ(Interval::Point(4).Compare(Interval::Point(4)),
+            PartialOrdering::kEqual);
+  EXPECT_EQ(Interval::Point(4).Compare(Interval::Point(5)),
+            PartialOrdering::kLess);
+}
+
+TEST(IntervalTest, PointComparisonIsTotalOrder) {
+  // In expected-value mode all costs are points; any two points compare.
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    Interval a = Interval::Point(rng.NextDouble(0, 10));
+    Interval b = Interval::Point(rng.NextDouble(0, 10));
+    EXPECT_NE(a.Compare(b), PartialOrdering::kIncomparable);
+  }
+}
+
+TEST(IntervalTest, Addition) {
+  Interval sum = Interval(1, 2) + Interval(10, 20);
+  EXPECT_EQ(sum.lo(), 11.0);
+  EXPECT_EQ(sum.hi(), 22.0);
+  Interval acc(1, 1);
+  acc += Interval(2, 3);
+  EXPECT_EQ(acc, Interval(3, 4));
+}
+
+TEST(IntervalTest, MultiplicationNonNegative) {
+  Interval product = Interval(2, 3) * Interval(4, 5);
+  EXPECT_EQ(product, Interval(8, 15));
+  EXPECT_EQ(Interval(2, 3) * 2.0, Interval(4, 6));
+  EXPECT_EQ(Interval(0, 1) * Interval(0, 1), Interval(0, 1));
+}
+
+TEST(IntervalTest, MinCombineIsDynamicPlanCost) {
+  // Paper §5 example: alternatives [0,10] and [1,1] combine to [0,1].
+  Interval combined = Interval::MinCombine(Interval(0, 10), Interval(1, 1));
+  EXPECT_EQ(combined, Interval(0, 1));
+}
+
+TEST(IntervalTest, MaxCombineAndHull) {
+  EXPECT_EQ(Interval::MaxCombine(Interval(0, 10), Interval(1, 1)),
+            Interval(1, 10));
+  EXPECT_EQ(Interval::Hull(Interval(0, 2), Interval(5, 6)), Interval(0, 6));
+}
+
+TEST(IntervalTest, ClampedTo) {
+  EXPECT_EQ(Interval(-1, 5).ClampedTo(0, 3), Interval(0, 3));
+  EXPECT_EQ(Interval(1, 2).ClampedTo(0, 3), Interval(1, 2));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval::Point(2).ToString(), "2");
+  EXPECT_EQ(Interval(1, 2).ToString(), "[1, 2]");
+}
+
+TEST(IntervalDeathTest, InvertedBoundsRejected) {
+  EXPECT_DEATH(Interval(2.0, 1.0), "CHECK failed");
+}
+
+// Property: MinCombine is the exact cost of choosing the cheaper plan when
+// both plans' costs are realized anywhere in their intervals, in the two
+// extreme scenarios (both at lo, both at hi).
+TEST(IntervalPropertyTest, MinCombineBoundsChoice) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    double a_lo = rng.NextDouble(0, 5);
+    double a_hi = a_lo + rng.NextDouble(0, 5);
+    double b_lo = rng.NextDouble(0, 5);
+    double b_hi = b_lo + rng.NextDouble(0, 5);
+    Interval a(a_lo, a_hi);
+    Interval b(b_lo, b_hi);
+    Interval combined = Interval::MinCombine(a, b);
+    // Any realized pair (x in a, y in b) has min(x, y) within `combined`.
+    for (int sample = 0; sample < 10; ++sample) {
+      double x = rng.NextDouble(a_lo, a_hi);
+      double y = rng.NextDouble(b_lo, b_hi);
+      EXPECT_TRUE(combined.Contains(std::min(x, y)));
+    }
+  }
+}
+
+// Property: Compare is antisymmetric and consistent with Overlaps.
+TEST(IntervalPropertyTest, CompareAntisymmetry) {
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    Interval a(rng.NextDouble(0, 5), rng.NextDouble(5, 10));
+    Interval b(rng.NextDouble(0, 5), rng.NextDouble(5, 10));
+    PartialOrdering ab = a.Compare(b);
+    PartialOrdering ba = b.Compare(a);
+    switch (ab) {
+      case PartialOrdering::kLess:
+        EXPECT_EQ(ba, PartialOrdering::kGreater);
+        break;
+      case PartialOrdering::kGreater:
+        EXPECT_EQ(ba, PartialOrdering::kLess);
+        break;
+      case PartialOrdering::kEqual:
+      case PartialOrdering::kIncomparable:
+        EXPECT_EQ(ba, ab);
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqep

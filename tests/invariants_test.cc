@@ -1,0 +1,212 @@
+// Cross-cutting invariants of dynamic plans, checked over randomized
+// sweeps: frontier incomparability, cost-combination identities,
+// resolution membership, and serializer robustness under corruption.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "physical/access_module.h"
+#include "physical/costing.h"
+#include "runtime/startup.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/30, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  OptimizedPlan OptimizeDynamic(int32_t n, bool uncertain_memory) {
+    Query query = workload_->ChainQuery(n);
+    Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+    auto plan = optimizer.Optimize(
+        query, workload_->CompileTimeEnv(uncertain_memory));
+    EXPECT_TRUE(plan.ok());
+    return std::move(*plan);
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+// Every choose-plan operator's alternatives are pairwise incomparable at
+// compile time — if any pair compared, the optimizer should have pruned
+// the worse one (paper §3).
+TEST_F(InvariantsTest, ChooseAlternativesPairwiseIncomparable) {
+  for (int32_t n : {1, 2, 4, 6}) {
+    for (bool memory : {false, true}) {
+      OptimizedPlan plan = OptimizeDynamic(n, memory);
+      PlanEstimateMap estimates =
+          EstimatePlan(*plan.root, workload_->model(),
+                       workload_->CompileTimeEnv(memory),
+                       EstimationMode::kInterval);
+      for (const PhysNode* node : plan.root->TopologicalOrder()) {
+        if (node->kind() != PhysOpKind::kChoosePlan) {
+          continue;
+        }
+        const auto& children = node->children();
+        for (size_t i = 0; i < children.size(); ++i) {
+          for (size_t j = i + 1; j < children.size(); ++j) {
+            PartialOrdering cmp =
+                estimates.at(children[i].get())
+                    .cost.Compare(estimates.at(children[j].get()).cost);
+            EXPECT_EQ(cmp, PartialOrdering::kIncomparable)
+                << "n=" << n << " memory=" << memory << " alternatives " << i
+                << "," << j << " compare "
+                << PartialOrderingName(cmp);
+          }
+        }
+      }
+    }
+  }
+}
+
+// A choose node's cost interval equals the pointwise minimum of its
+// alternatives plus the decision overhead (paper §3 / §5).
+TEST_F(InvariantsTest, ChooseCostIsMinCombinePlusOverhead) {
+  OptimizedPlan plan = OptimizeDynamic(4, true);
+  PlanEstimateMap estimates =
+      EstimatePlan(*plan.root, workload_->model(),
+                   workload_->CompileTimeEnv(true),
+                   EstimationMode::kInterval);
+  double overhead = workload_->config().choose_plan_decision_seconds;
+  for (const PhysNode* node : plan.root->TopologicalOrder()) {
+    if (node->kind() != PhysOpKind::kChoosePlan) {
+      continue;
+    }
+    Interval combined = estimates.at(node->child(0).get()).cost;
+    for (size_t i = 1; i < node->children().size(); ++i) {
+      combined = Interval::MinCombine(
+          combined, estimates.at(node->child(i).get()).cost);
+    }
+    combined += Interval::Point(overhead);
+    EXPECT_EQ(estimates.at(node).cost, combined);
+  }
+}
+
+// The resolved plan is literally embedded in the dynamic plan: every node
+// of the resolution whose children are unchanged is a node of the DAG.
+TEST_F(InvariantsTest, ResolvedPlanDrawnFromDynamicPlan) {
+  OptimizedPlan plan = OptimizeDynamic(4, false);
+  Rng rng(1);
+  Query query = workload_->ChainQuery(4);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  auto startup = ResolveDynamicPlan(plan.root, workload_->model(), bound);
+  ASSERT_TRUE(startup.ok());
+  std::unordered_set<const PhysNode*> dag_nodes;
+  for (const PhysNode* node : plan.root->TopologicalOrder()) {
+    dag_nodes.insert(node);
+  }
+  // Leaves of the resolution are original DAG nodes; interior nodes are
+  // either original or clones whose kind matches an original's.
+  int64_t original = 0;
+  int64_t cloned = 0;
+  for (const PhysNode* node : startup->resolved->TopologicalOrder()) {
+    if (dag_nodes.count(node) > 0) {
+      ++original;
+    } else {
+      ++cloned;
+      EXPECT_NE(node->kind(), PhysOpKind::kChoosePlan);
+    }
+  }
+  EXPECT_GT(original, 0);
+  EXPECT_EQ(startup->resolved->CountChooseNodes(), 0);
+  // The resolution is one of the embedded plans: its node count is bounded
+  // by the dynamic plan's (sharing only shrinks).
+  EXPECT_LE(startup->resolved->CountNodes(), plan.root->CountNodes());
+}
+
+// Memory uncertainty can only widen intervals: the memory-uncertain plan's
+// cost interval contains the memory-certain plan's.
+TEST_F(InvariantsTest, MemoryUncertaintyWidensCost) {
+  for (int32_t n : {2, 4, 6}) {
+    OptimizedPlan certain = OptimizeDynamic(n, false);
+    OptimizedPlan uncertain = OptimizeDynamic(n, true);
+    EXPECT_GE(certain.cost.lo() + 1e-12, uncertain.cost.lo()) << n;
+    EXPECT_LE(certain.cost.hi(), uncertain.cost.hi() + 1e-12) << n;
+    EXPECT_GE(uncertain.root->CountNodes(), certain.root->CountNodes());
+  }
+}
+
+// Plan annotations written by the optimizer agree with a fresh DAG
+// evaluation under the same environment.
+TEST_F(InvariantsTest, AnnotationsMatchFreshEvaluation) {
+  OptimizedPlan plan = OptimizeDynamic(4, false);
+  PlanEstimateMap estimates =
+      EstimatePlan(*plan.root, workload_->model(),
+                   workload_->CompileTimeEnv(false),
+                   EstimationMode::kInterval);
+  for (const PhysNode* node : plan.root->TopologicalOrder()) {
+    EXPECT_EQ(node->est_cost(), estimates.at(node).cost);
+    EXPECT_EQ(node->est_cardinality(), estimates.at(node).cardinality);
+  }
+}
+
+// Deserializing randomly corrupted access modules must fail cleanly (or
+// succeed on a benign flip) — never crash or hang.
+TEST_F(InvariantsTest, DeserializerSurvivesCorruptionFuzz) {
+  OptimizedPlan plan = OptimizeDynamic(4, false);
+  std::string bytes = AccessModule(plan.root).Serialize();
+  Rng rng(99);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = bytes;
+    int flips = static_cast<int>(rng.NextInt(1, 4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = static_cast<size_t>(
+          rng.NextInt(0, static_cast<int64_t>(corrupted.size()) - 1));
+      corrupted[pos] = static_cast<char>(rng.NextInt(0, 255));
+    }
+    auto restored = AccessModule::Deserialize(corrupted);
+    if (restored.ok()) {
+      ++accepted;  // benign flip (e.g. a cost estimate byte)
+      EXPECT_GT(restored->num_nodes(), 0);
+    }
+  }
+  // Most random corruption must be detected.
+  EXPECT_LT(accepted, 250);
+}
+
+// Truncation at every prefix length must fail cleanly.
+TEST_F(InvariantsTest, DeserializerRejectsAllTruncations) {
+  OptimizedPlan plan = OptimizeDynamic(2, false);
+  std::string bytes = AccessModule(plan.root).Serialize();
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    auto restored = AccessModule::Deserialize(bytes.substr(0, len));
+    EXPECT_FALSE(restored.ok()) << "prefix " << len;
+  }
+}
+
+// Static plans are always embedded in the dynamic plan's alternatives:
+// for the *same* compile-time environment, the static plan's expected cost
+// is reachable by the dynamic plan's decision procedure under the
+// expected-value bindings.
+TEST_F(InvariantsTest, DynamicNeverWorseThanStaticUnderAnyBinding) {
+  Query query = workload_->ChainQuery(4);
+  Optimizer stat(&workload_->model(), OptimizerOptions::Static());
+  auto static_plan =
+      stat.Optimize(query, workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(static_plan.ok());
+  OptimizedPlan dynamic_plan = OptimizeDynamic(4, false);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+    double c = EstimateRoot(*static_plan->root, workload_->model(), bound,
+                            EstimationMode::kExpectedValue)
+                   .cost.lo();
+    auto startup =
+        ResolveDynamicPlan(dynamic_plan.root, workload_->model(), bound);
+    ASSERT_TRUE(startup.ok());
+    EXPECT_LE(startup->execution_cost, c * (1 + 1e-9)) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,153 @@
+// The three optimization scenarios of paper Figure 3 and the overall
+// superiority claims of §6.
+
+#include "runtime/lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/10, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(LifecycleTest, CompileStaticAndDynamic) {
+  Query query = workload_->ChainQuery(2);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  auto stat = CompileQuery(query, workload_->model(),
+                           OptimizerOptions::Static(), env);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(), env);
+  ASSERT_TRUE(stat.ok());
+  ASSERT_TRUE(dyn.ok());
+  EXPECT_EQ(stat->module.num_choose_nodes(), 0);
+  EXPECT_GT(dyn->module.num_choose_nodes(), 0);
+  EXPECT_GE(stat->optimize_seconds, 0.0);
+}
+
+TEST_F(LifecycleTest, InvokeStaticChargesActivation) {
+  Query query = workload_->ChainQuery(2);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  auto compiled = CompileQuery(query, workload_->model(),
+                               OptimizerOptions::Static(), env);
+  ASSERT_TRUE(compiled.ok());
+  Rng rng(1);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  auto invocation = InvokeStatic(*compiled, workload_->model(), bound);
+  ASSERT_TRUE(invocation.ok());
+  const SystemConfig& config = workload_->config();
+  EXPECT_NEAR(invocation->activation_seconds,
+              config.activation_constant_seconds +
+                  compiled->module.TransferSeconds(config),
+              1e-12);
+  EXPECT_GT(invocation->execution_cost, 0.0);
+  EXPECT_EQ(invocation->optimize_seconds, 0.0);
+  EXPECT_FALSE(invocation->startup.has_value());
+}
+
+TEST_F(LifecycleTest, InvokeStaticRejectsDynamicPlan) {
+  Query query = workload_->ChainQuery(2);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(), env);
+  ASSERT_TRUE(dyn.ok());
+  Rng rng(2);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  EXPECT_FALSE(InvokeStatic(*dyn, workload_->model(), bound).ok());
+}
+
+TEST_F(LifecycleTest, InvokeDynamicResolvesAndCharges) {
+  Query query = workload_->ChainQuery(4);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(), env);
+  ASSERT_TRUE(dyn.ok());
+  Rng rng(3);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  auto invocation = InvokeDynamic(*dyn, workload_->model(), bound);
+  ASSERT_TRUE(invocation.ok());
+  ASSERT_TRUE(invocation->startup.has_value());
+  EXPECT_EQ(invocation->executed_plan->CountChooseNodes(), 0);
+  const SystemConfig& config = workload_->config();
+  // Activation covers the constant, the (larger) module transfer, and the
+  // measured decision CPU.
+  EXPECT_GE(invocation->activation_seconds,
+            config.activation_constant_seconds +
+                dyn->module.TransferSeconds(config));
+}
+
+TEST_F(LifecycleTest, RunTimeOptimizationHasNoActivation) {
+  Query query = workload_->ChainQuery(2);
+  Rng rng(4);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  auto invocation = OptimizeAtRunTime(query, workload_->model(), bound);
+  ASSERT_TRUE(invocation.ok());
+  EXPECT_EQ(invocation->activation_seconds, 0.0);
+  EXPECT_GT(invocation->optimize_seconds, 0.0);
+  EXPECT_EQ(invocation->executed_plan->CountChooseNodes(), 0);
+}
+
+TEST_F(LifecycleTest, DynamicNeverWorseThanStaticExecution) {
+  // g_i <= c_i for every binding: the dynamic plan embeds the static
+  // plan's choice among its alternatives.
+  Query query = workload_->ChainQuery(4);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  auto stat = CompileQuery(query, workload_->model(),
+                           OptimizerOptions::Static(), env);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(), env);
+  ASSERT_TRUE(stat.ok());
+  ASSERT_TRUE(dyn.ok());
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+    auto s = InvokeStatic(*stat, workload_->model(), bound);
+    auto d = InvokeDynamic(*dyn, workload_->model(), bound);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(d.ok());
+    EXPECT_LE(d->execution_cost, s->execution_cost * (1 + 1e-9))
+        << "trial " << trial;
+  }
+}
+
+TEST_F(LifecycleTest, DynamicMatchesRunTimeOptimization) {
+  // g_i == d_i (paper's guarantee), while avoiding per-invocation
+  // optimization time.
+  Query query = workload_->ChainQuery(4);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(), env);
+  ASSERT_TRUE(dyn.ok());
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+    auto d = InvokeDynamic(*dyn, workload_->model(), bound);
+    auto r = OptimizeAtRunTime(query, workload_->model(), bound);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(d->execution_cost, r->execution_cost,
+                1e-9 * (1 + r->execution_cost));
+  }
+}
+
+TEST_F(LifecycleTest, TotalSecondsComposition) {
+  InvocationResult r;
+  r.activation_seconds = 0.25;
+  r.execution_cost = 1.0;
+  r.optimize_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(), 1.75);
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,191 @@
+// Core optimizer behavior: static plans, dynamic plans, choose-plan
+// structure, and the paper's central optimality guarantee.
+
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "physical/costing.h"
+#include "runtime/startup.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/42, /*populate=*/false);
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    workload_ = std::move(*workload);
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(OptimizerTest, StaticPlanForSelectionIsSingleAlternative) {
+  Query query = workload_->ChainQuery(1);
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Static());
+  auto plan = optimizer.Optimize(query, workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->root->CountChooseNodes(), 0);
+  EXPECT_TRUE(plan->cost.IsPoint());
+}
+
+TEST_F(OptimizerTest, DynamicPlanForSelectionHasChoosePlan) {
+  // Paper Figure 1: with an unbound predicate, file scan and B-tree scan
+  // are incomparable and must both be retained.
+  Query query = workload_->ChainQuery(1);
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+  auto plan = optimizer.Optimize(query, workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->root->kind(), PhysOpKind::kChoosePlan);
+  EXPECT_GE(plan->root->children().size(), 2u);
+  EXPECT_FALSE(plan->cost.IsPoint());
+}
+
+TEST_F(OptimizerTest, DynamicPlanIsLargerThanStatic) {
+  Query query = workload_->ChainQuery(4);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  Optimizer stat(&workload_->model(), OptimizerOptions::Static());
+  Optimizer dyn(&workload_->model(), OptimizerOptions::Dynamic());
+  auto static_plan = stat.Optimize(query, env);
+  auto dynamic_plan = dyn.Optimize(query, env);
+  ASSERT_TRUE(static_plan.ok());
+  ASSERT_TRUE(dynamic_plan.ok());
+  EXPECT_GT(dynamic_plan->root->CountNodes(), static_plan->root->CountNodes());
+  EXPECT_GT(dynamic_plan->root->CountChooseNodes(), 0);
+}
+
+TEST_F(OptimizerTest, StaticModeKeepsTotalOrder) {
+  // Expected-value estimation must never produce choose-plan operators.
+  for (int32_t n : {1, 2, 4}) {
+    Query query = workload_->ChainQuery(n);
+    Optimizer optimizer(&workload_->model(), OptimizerOptions::Static());
+    auto plan = optimizer.Optimize(query, workload_->CompileTimeEnv(false));
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->root->CountChooseNodes(), 0) << "n=" << n;
+  }
+}
+
+TEST_F(OptimizerTest, DynamicCostIntervalContainsStaticExpectedCost) {
+  // The dynamic plan's interval covers every possible outcome, and its
+  // bounds can only improve on any single plan's bounds.
+  Query query = workload_->ChainQuery(2);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  Optimizer dyn(&workload_->model(), OptimizerOptions::Dynamic());
+  auto dynamic_plan = dyn.Optimize(query, env);
+  ASSERT_TRUE(dynamic_plan.ok());
+  EXPECT_GE(dynamic_plan->cost.hi(), dynamic_plan->cost.lo());
+  EXPECT_GT(dynamic_plan->cost.hi(), 0.0);
+}
+
+TEST_F(OptimizerTest, RunTimeOptimizationProducesStaticPlan) {
+  // With all parameters bound, interval mode degenerates: no choose nodes.
+  Query query = workload_->ChainQuery(2);
+  Rng rng(7);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  Optimizer dyn(&workload_->model(), OptimizerOptions::Dynamic());
+  auto plan = dyn.Optimize(query, bound);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root->CountChooseNodes(), 0);
+  EXPECT_TRUE(plan->cost.IsPoint());
+}
+
+TEST_F(OptimizerTest, LogicalAlternativesMatchChainFormula) {
+  // Ordered connected partitions of a chain give
+  // T(n) = sum_k T(k) T(n-k) over contiguous splits x commutativity.
+  // Known values for chains: T(1)=1, T(2)=2, T(3)=8, T(4)=40.
+  struct Expectation {
+    int32_t n;
+    double trees;
+  };
+  for (const auto& [n, trees] :
+       {Expectation{1, 1.0}, Expectation{2, 2.0}, Expectation{4, 40.0}}) {
+    Query query = workload_->ChainQuery(n);
+    Optimizer optimizer(&workload_->model(), OptimizerOptions::Static());
+    auto plan = optimizer.Optimize(query, workload_->CompileTimeEnv(false));
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan->stats.logical_alternatives, trees) << "n=" << n;
+  }
+}
+
+TEST_F(OptimizerTest, ExhaustiveModeKeepsEverything) {
+  Query query = workload_->ChainQuery(2);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  OptimizerOptions exhaustive = OptimizerOptions::Dynamic();
+  exhaustive.force_incomparable = true;
+  Optimizer dyn(&workload_->model(), OptimizerOptions::Dynamic());
+  Optimizer all(&workload_->model(), exhaustive);
+  auto dynamic_plan = dyn.Optimize(query, env);
+  auto exhaustive_plan = all.Optimize(query, env);
+  ASSERT_TRUE(dynamic_plan.ok());
+  ASSERT_TRUE(exhaustive_plan.ok());
+  EXPECT_GE(exhaustive_plan->root->CountNodes(),
+            dynamic_plan->root->CountNodes());
+  EXPECT_EQ(exhaustive_plan->stats.plans_dominated, 0);
+}
+
+TEST_F(OptimizerTest, AlgorithmTogglesRespected) {
+  Query query = workload_->ChainQuery(2);
+  ParamEnv env = workload_->CompileTimeEnv(false);
+  OptimizerOptions options = OptimizerOptions::Dynamic();
+  options.use_merge_join = false;
+  options.use_index_join = false;
+  Optimizer optimizer(&workload_->model(), options);
+  auto plan = optimizer.Optimize(query, env);
+  ASSERT_TRUE(plan.ok());
+  for (const PhysNode* node : plan->root->TopologicalOrder()) {
+    EXPECT_NE(node->kind(), PhysOpKind::kMergeJoin);
+    EXPECT_NE(node->kind(), PhysOpKind::kIndexJoin);
+    EXPECT_NE(node->kind(), PhysOpKind::kSort);
+  }
+}
+
+TEST_F(OptimizerTest, InvalidQueryRejected) {
+  Query query;  // empty
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Static());
+  auto plan = optimizer.Optimize(query, workload_->CompileTimeEnv(false));
+  EXPECT_FALSE(plan.ok());
+}
+
+// --- The paper's central guarantee (∀i g_i = d_i) -------------------------
+//
+// For any run-time bindings, resolving the compile-time dynamic plan at
+// start-up yields a plan with the same predicted cost as optimizing from
+// scratch with those bindings.
+
+class OptimalityTest : public OptimizerTest,
+                       public ::testing::WithParamInterface<int32_t> {};
+
+TEST_P(OptimalityTest, DynamicPlanMatchesRunTimeOptimization) {
+  int32_t n = GetParam();
+  Query query = workload_->ChainQuery(n);
+  ParamEnv compile_env = workload_->CompileTimeEnv(false);
+  Optimizer dyn(&workload_->model(), OptimizerOptions::Dynamic());
+  auto dynamic_plan = dyn.Optimize(query, compile_env);
+  ASSERT_TRUE(dynamic_plan.ok()) << dynamic_plan.status().ToString();
+
+  Rng rng(1234 + static_cast<uint64_t>(n));
+  for (int trial = 0; trial < 20; ++trial) {
+    ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+    auto startup =
+        ResolveDynamicPlan(dynamic_plan->root, workload_->model(), bound);
+    ASSERT_TRUE(startup.ok()) << startup.status().ToString();
+
+    Optimizer runtime_opt(&workload_->model(), OptimizerOptions::Static());
+    auto fresh = runtime_opt.Optimize(query, bound);
+    ASSERT_TRUE(fresh.ok());
+
+    EXPECT_NEAR(startup->execution_cost, fresh->cost.lo(),
+                1e-9 * (1.0 + fresh->cost.lo()))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, OptimalityTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,205 @@
+// Page store, buffer pool, slotted pages, and the record codec.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "storage/record_codec.h"
+#include "storage/slotted_page.h"
+
+namespace dqep {
+namespace {
+
+TEST(PageStoreTest, AllocateReadWrite) {
+  PageStore store;
+  EXPECT_EQ(store.num_pages(), 0);
+  PageId a = store.Allocate();
+  PageId b = store.Allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.num_pages(), 2);
+
+  PageData data;
+  data.bytes[0] = 0xAB;
+  store.Write(a, data);
+  PageData read;
+  store.Read(a, &read);
+  EXPECT_EQ(read.bytes[0], 0xAB);
+  store.Read(b, &read);
+  EXPECT_EQ(read.bytes[0], 0);  // fresh pages are zeroed
+}
+
+TEST(PageStoreTest, CountsPhysicalIo) {
+  PageStore store;
+  PageId p = store.Allocate();
+  PageData data;
+  store.Read(p, &data);
+  store.Read(p, &data);
+  store.Write(p, data);
+  EXPECT_EQ(store.stats().page_reads, 2);
+  EXPECT_EQ(store.stats().page_writes, 1);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().page_reads, 0);
+}
+
+TEST(BufferPoolTest, HitAvoidsPhysicalRead) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  PageId p = store.Allocate();
+  {
+    PageGuard g1 = pool.Fetch(p);
+    EXPECT_TRUE(g1.valid());
+  }
+  {
+    PageGuard g2 = pool.Fetch(p);  // cached
+    EXPECT_TRUE(g2.valid());
+  }
+  EXPECT_EQ(store.stats().page_reads, 1);
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+}
+
+TEST(BufferPoolTest, EvictsLruUnpinned) {
+  PageStore store;
+  BufferPool pool(&store, 2);
+  PageId a = store.Allocate();
+  PageId b = store.Allocate();
+  PageId c = store.Allocate();
+  pool.Fetch(a);            // released immediately
+  pool.Fetch(b);            // released immediately
+  pool.Fetch(c);            // evicts a (LRU)
+  EXPECT_EQ(store.stats().page_reads, 3);
+  pool.Fetch(b);            // still cached
+  EXPECT_EQ(store.stats().page_reads, 3);
+  pool.Fetch(a);            // was evicted: re-read
+  EXPECT_EQ(store.stats().page_reads, 4);
+}
+
+TEST(BufferPoolTest, DirtyPagesWrittenBackOnEviction) {
+  PageStore store;
+  BufferPool pool(&store, 1);
+  PageId a = store.Allocate();
+  PageId b = store.Allocate();
+  {
+    PageGuard g = pool.Fetch(a);
+    g.MutableData().bytes[7] = 0x7F;
+  }
+  pool.Fetch(b);  // evicts dirty a -> write-back
+  EXPECT_EQ(store.stats().page_writes, 1);
+  PageData data;
+  store.Read(a, &data);
+  EXPECT_EQ(data.bytes[7], 0x7F);
+}
+
+TEST(BufferPoolTest, FlushAllWritesDirtyFrames) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  PageId a = store.Allocate();
+  {
+    PageGuard g = pool.Fetch(a);
+    g.MutableData().bytes[1] = 0x11;
+  }
+  pool.FlushAll();
+  PageData data;
+  store.Read(a, &data);
+  EXPECT_EQ(data.bytes[1], 0x11);
+}
+
+TEST(BufferPoolTest, MoveOnlyGuards) {
+  PageStore store;
+  BufferPool pool(&store, 2);
+  PageId a = store.Allocate();
+  PageGuard g1 = pool.Fetch(a);
+  PageGuard g2 = std::move(g1);
+  EXPECT_FALSE(g1.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(g2.valid());
+  g2.Release();
+  EXPECT_FALSE(g2.valid());
+}
+
+TEST(SlottedPageTest, InsertAndRead) {
+  PageData page;
+  slotted_page::Initialize(&page);
+  EXPECT_EQ(slotted_page::RecordCount(page), 0);
+  auto s0 = slotted_page::Insert(&page, "hello");
+  auto s1 = slotted_page::Insert(&page, "world!");
+  ASSERT_TRUE(s0.has_value());
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(slotted_page::RecordCount(page), 2);
+  EXPECT_EQ(slotted_page::Read(page, *s0), "hello");
+  EXPECT_EQ(slotted_page::Read(page, *s1), "world!");
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  PageData page;
+  slotted_page::Initialize(&page);
+  std::string record(100, 'r');
+  int inserted = 0;
+  while (slotted_page::Insert(&page, record).has_value()) {
+    ++inserted;
+  }
+  // 2048 bytes: header 4, per record 100 + 4 slot -> 19 records.
+  EXPECT_EQ(inserted, 19);
+  EXPECT_EQ(slotted_page::RecordCount(page), 19);
+  // Everything is still readable after the page filled up.
+  for (SlotId s = 0; s < 19; ++s) {
+    EXPECT_EQ(slotted_page::Read(page, s), record);
+  }
+}
+
+TEST(SlottedPageTest, EmptyRecordsSupported) {
+  PageData page;
+  slotted_page::Initialize(&page);
+  auto slot = slotted_page::Insert(&page, "");
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slotted_page::Read(page, *slot), "");
+}
+
+TEST(RecordCodecTest, RoundTripMixedTuple) {
+  Tuple tuple({Value(int64_t{-5}), Value(std::string("abc")),
+               Value(int64_t{1} << 40), Value(std::string(""))});
+  auto decoded = DecodeTuple(EncodeTuple(tuple));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tuple);
+}
+
+TEST(RecordCodecTest, RoundTripEmptyTuple) {
+  Tuple tuple;
+  auto decoded = DecodeTuple(EncodeTuple(tuple));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 0);
+}
+
+TEST(RecordCodecTest, CorruptionRejected) {
+  Tuple tuple({Value(int64_t{1}), Value(std::string("xyz"))});
+  std::string bytes = EncodeTuple(tuple);
+  EXPECT_FALSE(DecodeTuple(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(DecodeTuple(bytes + "junk").ok());
+  EXPECT_FALSE(DecodeTuple("").ok());
+  std::string bad_tag = bytes;
+  bad_tag[2] = 9;  // first value's type tag
+  EXPECT_FALSE(DecodeTuple(bad_tag).ok());
+}
+
+TEST(RecordCodecTest, RandomizedRoundTrip) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    Tuple tuple;
+    int32_t arity = static_cast<int32_t>(rng.NextInt(0, 6));
+    for (int32_t i = 0; i < arity; ++i) {
+      if (rng.NextBool(0.5)) {
+        tuple.Append(Value(rng.NextInt(-1000000, 1000000)));
+      } else {
+        tuple.Append(Value(std::string(
+            static_cast<size_t>(rng.NextInt(0, 50)),
+            static_cast<char>('a' + rng.NextInt(0, 25)))));
+      }
+    }
+    auto decoded = DecodeTuple(EncodeTuple(tuple));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, tuple);
+  }
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,114 @@
+#include "runtime/plan_rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class PlanRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/9, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  const Catalog& catalog() { return workload_->catalog(); }
+
+  SelectionPredicate Pred(RelationId rel) {
+    return SelectionPredicate{AttrRef{rel, ExperimentColumns::kSelect},
+                              CompareOp::kLt, Operand::Param(rel)};
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(PlanRewriteTest, IdentityTransformReturnsSameNodes) {
+  PhysNodePtr plan =
+      PhysNode::Filter({Pred(0)}, PhysNode::FileScan(catalog(), 0));
+  PhysNodePtr rewritten = RewritePlan(
+      catalog(), plan,
+      [](const PhysNode&, const std::vector<PhysNodePtr>&) -> PhysNodePtr {
+        return nullptr;
+      });
+  EXPECT_EQ(rewritten, plan);  // no copies made
+}
+
+TEST_F(PlanRewriteTest, CloneEachOperatorKind) {
+  PhysNodePtr scan0 = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr scan1 = PhysNode::FileScan(catalog(), 1);
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+
+  PhysNodePtr filter = PhysNode::Filter({Pred(0)}, scan0);
+  PhysNodePtr clone = CloneWithChildren(catalog(), *filter, {scan0});
+  EXPECT_EQ(clone->kind(), PhysOpKind::kFilter);
+  EXPECT_EQ(clone->predicates().size(), 1u);
+
+  PhysNodePtr hash = PhysNode::HashJoin({join}, scan0, scan1);
+  clone = CloneWithChildren(catalog(), *hash, {scan1, scan0});
+  EXPECT_EQ(clone->kind(), PhysOpKind::kHashJoin);
+  EXPECT_EQ(clone->child(0), scan1);
+
+  PhysNodePtr sl = PhysNode::Sort(join.left, scan0);
+  PhysNodePtr sr = PhysNode::Sort(join.right, scan1);
+  PhysNodePtr merge = PhysNode::MergeJoin({join}, sl, sr);
+  clone = CloneWithChildren(catalog(), *merge, {sl, sr});
+  EXPECT_EQ(clone->kind(), PhysOpKind::kMergeJoin);
+
+  PhysNodePtr index = PhysNode::IndexJoin(catalog(), join, {Pred(1)}, scan0);
+  clone = CloneWithChildren(catalog(), *index, {scan0});
+  EXPECT_EQ(clone->kind(), PhysOpKind::kIndexJoin);
+  EXPECT_EQ(clone->relation(), 1);
+
+  PhysNodePtr sort = PhysNode::Sort(AttrRef{0, 0}, scan0);
+  clone = CloneWithChildren(catalog(), *sort, {scan0});
+  EXPECT_EQ(clone->kind(), PhysOpKind::kSort);
+  EXPECT_EQ(clone->sort_attr(), (AttrRef{0, 0}));
+
+  PhysNodePtr choose = PhysNode::ChoosePlan({scan0, filter}, SortOrder());
+  clone = CloneWithChildren(catalog(), *choose, {scan0, filter});
+  EXPECT_EQ(clone->kind(), PhysOpKind::kChoosePlan);
+}
+
+TEST_F(PlanRewriteTest, ReplacementPropagatesUpward) {
+  PhysNodePtr scan = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr filter = PhysNode::Filter({Pred(0)}, scan);
+  PhysNodePtr replacement =
+      PhysNode::BTreeScan(catalog(), 0, ExperimentColumns::kSelect);
+  PhysNodePtr rewritten = RewritePlan(
+      catalog(), filter,
+      [&](const PhysNode& node,
+          const std::vector<PhysNodePtr>&) -> PhysNodePtr {
+        if (node.kind() == PhysOpKind::kFileScan) {
+          return replacement;
+        }
+        return nullptr;
+      });
+  EXPECT_NE(rewritten, filter);  // parent cloned because child changed
+  EXPECT_EQ(rewritten->kind(), PhysOpKind::kFilter);
+  EXPECT_EQ(rewritten->child(0), replacement);
+}
+
+TEST_F(PlanRewriteTest, SharingPreserved) {
+  PhysNodePtr shared = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr f1 = PhysNode::Filter({Pred(0)}, shared);
+  PhysNodePtr f2 = PhysNode::Filter({Pred(0)}, shared);
+  PhysNodePtr choose = PhysNode::ChoosePlan({f1, f2}, SortOrder());
+  // Replace the shared scan; both parents must point at ONE new scan.
+  PhysNodePtr replacement =
+      PhysNode::BTreeScan(catalog(), 0, ExperimentColumns::kSelect);
+  PhysNodePtr rewritten = RewritePlan(
+      catalog(), choose,
+      [&](const PhysNode& node,
+          const std::vector<PhysNodePtr>&) -> PhysNodePtr {
+        return node.kind() == PhysOpKind::kFileScan ? replacement : nullptr;
+      });
+  EXPECT_EQ(rewritten->CountNodes(), 4);  // choose + 2 filters + 1 scan
+  EXPECT_EQ(rewritten->child(0)->child(0), rewritten->child(1)->child(0));
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,200 @@
+#include "physical/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/2, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  const Catalog& catalog() { return workload_->catalog(); }
+
+  SelectionPredicate Pred(RelationId rel = 0) {
+    return SelectionPredicate{AttrRef{rel, ExperimentColumns::kSelect},
+                              CompareOp::kLt, Operand::Param(0)};
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(PlanTest, FileScanProperties) {
+  PhysNodePtr scan = PhysNode::FileScan(catalog(), 0);
+  EXPECT_EQ(scan->kind(), PhysOpKind::kFileScan);
+  EXPECT_EQ(scan->relation(), 0);
+  EXPECT_EQ(scan->width(), 512.0);
+  EXPECT_EQ(scan->base_cardinality(),
+            static_cast<double>(catalog().relation(0).cardinality()));
+  EXPECT_FALSE(scan->output_order().IsSorted());
+  EXPECT_TRUE(scan->children().empty());
+}
+
+TEST_F(PlanTest, BTreeScanDeliversOrder) {
+  PhysNodePtr scan =
+      PhysNode::BTreeScan(catalog(), 0, ExperimentColumns::kSelect);
+  ASSERT_TRUE(scan->output_order().IsSorted());
+  EXPECT_EQ(scan->output_order().attr(),
+            (AttrRef{0, ExperimentColumns::kSelect}));
+}
+
+TEST_F(PlanTest, FilterPreservesOrderAndWidth) {
+  PhysNodePtr scan =
+      PhysNode::BTreeScan(catalog(), 0, ExperimentColumns::kSelect);
+  PhysNodePtr filter = PhysNode::Filter({Pred()}, scan);
+  EXPECT_EQ(filter->width(), scan->width());
+  EXPECT_EQ(filter->output_order(), scan->output_order());
+  EXPECT_EQ(filter->children().size(), 1u);
+}
+
+TEST_F(PlanTest, FilterBTreeScanSortedOnPredicateColumn) {
+  PhysNodePtr scan = PhysNode::FilterBTreeScan(catalog(), 0, Pred());
+  EXPECT_EQ(scan->kind(), PhysOpKind::kFilterBTreeScan);
+  ASSERT_TRUE(scan->output_order().IsSorted());
+  EXPECT_EQ(scan->output_order().attr(),
+            (AttrRef{0, ExperimentColumns::kSelect}));
+}
+
+TEST_F(PlanTest, JoinWidthsAdd) {
+  PhysNodePtr left = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr right = PhysNode::FileScan(catalog(), 1);
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  PhysNodePtr hash = PhysNode::HashJoin({join}, left, right);
+  EXPECT_EQ(hash->width(), 1024.0);
+  EXPECT_FALSE(hash->output_order().IsSorted());
+}
+
+TEST_F(PlanTest, MergeJoinInheritsLeftOrder) {
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  PhysNodePtr left =
+      PhysNode::Sort(join.left, PhysNode::FileScan(catalog(), 0));
+  PhysNodePtr right =
+      PhysNode::Sort(join.right, PhysNode::FileScan(catalog(), 1));
+  PhysNodePtr merge = PhysNode::MergeJoin({join}, left, right);
+  ASSERT_TRUE(merge->output_order().IsSorted());
+  EXPECT_EQ(merge->output_order().attr(), join.left);
+}
+
+TEST_F(PlanTest, IndexJoinPreservesOuterOrder) {
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  PhysNodePtr outer = PhysNode::Sort(AttrRef{0, 0},
+                                     PhysNode::FileScan(catalog(), 0));
+  PhysNodePtr index_join =
+      PhysNode::IndexJoin(catalog(), join, {Pred(1)}, outer);
+  EXPECT_EQ(index_join->output_order(), outer->output_order());
+  EXPECT_EQ(index_join->relation(), 1);
+  EXPECT_EQ(index_join->width(), 1024.0);
+}
+
+TEST_F(PlanTest, ChoosePlanRequiresConsistentOrder) {
+  PhysNodePtr a = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr b =
+      PhysNode::BTreeScan(catalog(), 0, ExperimentColumns::kSelect);
+  PhysNodePtr choose = PhysNode::ChoosePlan({a, b}, SortOrder());
+  EXPECT_EQ(choose->kind(), PhysOpKind::kChoosePlan);
+  EXPECT_EQ(choose->children().size(), 2u);
+}
+
+TEST_F(PlanTest, NodeCountSharesSubplans) {
+  PhysNodePtr shared = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr f1 = PhysNode::Filter({Pred()}, shared);
+  PhysNodePtr f2 =
+      PhysNode::Filter({Pred()}, shared);  // shares the scan
+  PhysNodePtr choose = PhysNode::ChoosePlan({f1, f2}, SortOrder());
+  // Nodes: choose, f1, f2, shared scan -> 4, not 5.
+  EXPECT_EQ(choose->CountNodes(), 4);
+  EXPECT_EQ(choose->CountChooseNodes(), 1);
+  // Tree expansion duplicates the shared scan.
+  EXPECT_EQ(choose->CountExpandedTreeNodes(), 5.0);
+  // Two embedded alternatives.
+  EXPECT_EQ(choose->CountEmbeddedPlans(), 2.0);
+}
+
+TEST_F(PlanTest, TopologicalOrderChildrenFirst) {
+  PhysNodePtr scan = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr filter = PhysNode::Filter({Pred()}, scan);
+  std::vector<const PhysNode*> order = filter->TopologicalOrder();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], scan.get());
+  EXPECT_EQ(order[1], filter.get());
+}
+
+TEST_F(PlanTest, EmbeddedPlanCounting) {
+  // choose(A, B) join choose(C, D) as shared inputs of one join: the DAG
+  // embeds 4 distinct static plans.
+  PhysNodePtr a = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr b =
+      PhysNode::Filter({Pred(0)}, PhysNode::FileScan(catalog(), 0));
+  PhysNodePtr left = PhysNode::ChoosePlan({a, b}, SortOrder());
+  PhysNodePtr c = PhysNode::FileScan(catalog(), 1);
+  PhysNodePtr d =
+      PhysNode::Filter({Pred(1)}, PhysNode::FileScan(catalog(), 1));
+  PhysNodePtr right = PhysNode::ChoosePlan({c, d}, SortOrder());
+  JoinPredicate join{AttrRef{0, ExperimentColumns::kJoinNext},
+                     AttrRef{1, ExperimentColumns::kJoinPrev}};
+  PhysNodePtr hash = PhysNode::HashJoin({join}, left, right);
+  EXPECT_EQ(hash->CountEmbeddedPlans(), 4.0);
+}
+
+TEST_F(PlanTest, ToStringMarksSharing) {
+  PhysNodePtr shared = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr choose = PhysNode::ChoosePlan(
+      {PhysNode::Filter({Pred()}, shared), PhysNode::Filter({Pred()}, shared)},
+      SortOrder());
+  std::string text = choose->ToString();
+  EXPECT_NE(text.find("Choose-Plan"), std::string::npos);
+  EXPECT_NE(text.find("(shared)"), std::string::npos);
+}
+
+TEST_F(PlanTest, EstimateAnnotationsStored) {
+  PhysNodePtr scan = PhysNode::FileScan(catalog(), 0);
+  scan->SetEstimates(Interval::Point(100), Interval(1, 2));
+  EXPECT_EQ(scan->est_cardinality(), Interval::Point(100));
+  EXPECT_EQ(scan->est_cost(), Interval(1, 2));
+}
+
+TEST_F(PlanTest, KindNamesMatchPaperTable1) {
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kFileScan), "File-Scan");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kBTreeScan), "B-tree-Scan");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kFilter), "Filter");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kFilterBTreeScan),
+               "Filter-B-tree-Scan");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kHashJoin), "Hash-Join");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kMergeJoin), "Merge-Join");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kIndexJoin), "Index-Join");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kSort), "Sort");
+  EXPECT_STREQ(PhysOpKindName(PhysOpKind::kChoosePlan), "Choose-Plan");
+}
+
+TEST_F(PlanTest, SortOrderSatisfies) {
+  SortOrder none;
+  SortOrder on_a = SortOrder::On(AttrRef{0, 1});
+  SortOrder on_b = SortOrder::On(AttrRef{0, 2});
+  EXPECT_TRUE(none.Satisfies(none));
+  EXPECT_TRUE(on_a.Satisfies(none));
+  EXPECT_TRUE(on_a.Satisfies(on_a));
+  EXPECT_FALSE(on_a.Satisfies(on_b));
+  EXPECT_FALSE(none.Satisfies(on_a));
+  EXPECT_EQ(none.ToString(), "none");
+}
+
+TEST_F(PlanTest, ChoosePlanRejectsOrderViolations) {
+  PhysNodePtr unsorted = PhysNode::FileScan(catalog(), 0);
+  PhysNodePtr sorted =
+      PhysNode::BTreeScan(catalog(), 0, ExperimentColumns::kSelect);
+  EXPECT_DEATH(PhysNode::ChoosePlan({unsorted, sorted},
+                                    sorted->output_order()),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,175 @@
+#include "logical/query.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+TEST(RelSetTest, Basics) {
+  RelSet set = RelSetOf(0) | RelSetOf(3);
+  EXPECT_TRUE(RelSetContains(set, 0));
+  EXPECT_TRUE(RelSetContains(set, 3));
+  EXPECT_FALSE(RelSetContains(set, 1));
+  EXPECT_EQ(RelSetSize(set), 2);
+  std::vector<int32_t> members = RelSetMembers(set);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], 0);
+  EXPECT_EQ(members[1], 3);
+}
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/1, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+TEST_F(QueryTest, ChainQueryValidates) {
+  for (int32_t n : PaperWorkload::PaperQuerySizes()) {
+    Query query = workload_->ChainQuery(n);
+    EXPECT_TRUE(query.Validate(workload_->catalog()).ok()) << "n=" << n;
+    EXPECT_EQ(query.num_terms(), n);
+    EXPECT_EQ(static_cast<int32_t>(query.joins().size()), n - 1);
+    EXPECT_EQ(static_cast<int32_t>(query.Params().size()), n);
+  }
+}
+
+TEST_F(QueryTest, AllTermsAndTermOf) {
+  Query query = workload_->ChainQuery(3);
+  EXPECT_EQ(query.AllTerms(), RelSet{0b111});
+  EXPECT_EQ(query.TermOf(1), 1);
+  EXPECT_EQ(query.TermOf(99), -1);
+}
+
+TEST_F(QueryTest, JoinsBetweenChain) {
+  Query query = workload_->ChainQuery(4);
+  // {R0,R1} vs {R2,R3} are connected via the R1-R2 edge only.
+  auto joins = query.JoinsBetween(0b0011, 0b1100);
+  ASSERT_EQ(joins.size(), 1u);
+  EXPECT_TRUE(joins[0].Connects(1, 2));
+  EXPECT_TRUE(query.Connected(0b0011, 0b1100));
+  // {R0} and {R2} are not adjacent.
+  EXPECT_FALSE(query.Connected(0b0001, 0b0100));
+}
+
+TEST_F(QueryTest, ConnectedSets) {
+  Query query = workload_->ChainQuery(4);
+  EXPECT_TRUE(query.IsConnectedSet(0b0001));   // singleton
+  EXPECT_TRUE(query.IsConnectedSet(0b0011));   // adjacent pair
+  EXPECT_FALSE(query.IsConnectedSet(0b0101));  // R0, R2: gap
+  EXPECT_TRUE(query.IsConnectedSet(0b1111));
+  EXPECT_FALSE(query.IsConnectedSet(0b1001));
+}
+
+TEST_F(QueryTest, SelfJoinRejected) {
+  Query query;
+  RelationTerm term;
+  term.relation = 0;
+  query.AddTerm(term);
+  query.AddTerm(term);
+  JoinPredicate self_join{AttrRef{0, 0}, AttrRef{0, 1}};
+  query.AddJoin(self_join);
+  EXPECT_FALSE(query.Validate(workload_->catalog()).ok());
+}
+
+TEST_F(QueryTest, UnknownRelationRejected) {
+  Query query;
+  RelationTerm term;
+  term.relation = 999;
+  query.AddTerm(term);
+  EXPECT_EQ(query.Validate(workload_->catalog()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, ForeignPredicateRejected) {
+  Query query;
+  RelationTerm term;
+  term.relation = 0;
+  term.predicates.push_back(SelectionPredicate{
+      AttrRef{1, 0}, CompareOp::kLt, Operand::Literal(Value(int64_t{1}))});
+  query.AddTerm(term);
+  EXPECT_FALSE(query.Validate(workload_->catalog()).ok());
+}
+
+TEST_F(QueryTest, BadColumnRejected) {
+  Query query;
+  RelationTerm term;
+  term.relation = 0;
+  term.predicates.push_back(SelectionPredicate{
+      AttrRef{0, 99}, CompareOp::kLt, Operand::Literal(Value(int64_t{1}))});
+  query.AddTerm(term);
+  EXPECT_EQ(query.Validate(workload_->catalog()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryTest, StringSelectionRejected) {
+  Query query;
+  RelationTerm term;
+  term.relation = 0;
+  // Column 3 is the string payload.
+  term.predicates.push_back(SelectionPredicate{
+      AttrRef{0, 3}, CompareOp::kLt, Operand::Literal(Value(int64_t{1}))});
+  query.AddTerm(term);
+  EXPECT_FALSE(query.Validate(workload_->catalog()).ok());
+}
+
+TEST_F(QueryTest, DisconnectedJoinGraphRejected) {
+  Query query;
+  RelationTerm t0;
+  t0.relation = 0;
+  RelationTerm t1;
+  t1.relation = 1;
+  query.AddTerm(t0);
+  query.AddTerm(t1);
+  // No join predicates: cross product, rejected.
+  EXPECT_FALSE(query.Validate(workload_->catalog()).ok());
+}
+
+TEST_F(QueryTest, JoinToAbsentRelationRejected) {
+  Query query;
+  RelationTerm t0;
+  t0.relation = 0;
+  query.AddTerm(t0);
+  query.AddJoin(JoinPredicate{AttrRef{0, 1}, AttrRef{5, 0}});
+  EXPECT_FALSE(query.Validate(workload_->catalog()).ok());
+}
+
+TEST_F(QueryTest, EmptyQueryRejected) {
+  Query query;
+  EXPECT_FALSE(query.Validate(workload_->catalog()).ok());
+}
+
+TEST_F(QueryTest, ToStringMentionsEverything) {
+  Query query = workload_->ChainQuery(2);
+  std::string text = query.ToString(workload_->catalog());
+  EXPECT_NE(text.find("R1"), std::string::npos);
+  EXPECT_NE(text.find("R2"), std::string::npos);
+  EXPECT_NE(text.find(":p0"), std::string::npos);
+  EXPECT_NE(text.find("WHERE"), std::string::npos);
+}
+
+TEST_F(QueryTest, ParamsSortedAndDeduplicated) {
+  Query query;
+  RelationTerm t0;
+  t0.relation = 0;
+  t0.predicates.push_back(SelectionPredicate{
+      AttrRef{0, 2}, CompareOp::kLt, Operand::Param(5)});
+  t0.predicates.push_back(SelectionPredicate{
+      AttrRef{0, 0}, CompareOp::kGt, Operand::Param(2)});
+  t0.predicates.push_back(SelectionPredicate{
+      AttrRef{0, 1}, CompareOp::kLt, Operand::Param(5)});
+  query.AddTerm(t0);
+  std::vector<ParamId> params = query.Params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0], 2);
+  EXPECT_EQ(params[1], 5);
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,132 @@
+// A deliberately naive reference evaluator for correctness testing: folds
+// relations left-to-right with nested-loop joins and evaluates every
+// predicate directly.  Shares no code with the execution engine.
+
+#ifndef DQEP_TESTS_REFERENCE_EVAL_H_
+#define DQEP_TESTS_REFERENCE_EVAL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "cost/param_env.h"
+#include "logical/query.h"
+#include "storage/database.h"
+
+namespace dqep {
+
+/// Evaluates `query` against `db` with host variables bound in `env`.
+/// Output column order: all columns of term 0, then term 1, ...
+inline std::vector<Tuple> ReferenceEval(const Query& query, const Database& db,
+                                        const ParamEnv& env) {
+  auto resolve = [&env](const Operand& operand) -> Value {
+    if (operand.is_literal()) {
+      return operand.literal();
+    }
+    return env.ValueOf(operand.param());
+  };
+
+  auto filtered_rows = [&](const RelationTerm& term) {
+    std::vector<Tuple> rows;
+    const Table& table = db.table(term.relation);
+    for (const Tuple& tuple : table.heap().Materialize()) {
+      bool pass = true;
+      for (const SelectionPredicate& pred : term.predicates) {
+        if (!EvalCompare(tuple.value(pred.attr.column), pred.op,
+                         resolve(pred.operand))) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        rows.push_back(tuple);
+      }
+    }
+    return rows;
+  };
+
+  // Slot bookkeeping: base offset of each term's columns in the output.
+  std::vector<int32_t> offsets(static_cast<size_t>(query.num_terms()), 0);
+  for (int32_t i = 1; i < query.num_terms(); ++i) {
+    offsets[static_cast<size_t>(i)] =
+        offsets[static_cast<size_t>(i - 1)] +
+        db.table(query.term(i - 1).relation).relation().num_columns();
+  }
+  auto slot_of = [&](const AttrRef& attr) {
+    int32_t term = query.TermOf(attr.relation);
+    return offsets[static_cast<size_t>(term)] + attr.column;
+  };
+
+  std::vector<Tuple> result = filtered_rows(query.term(0));
+  RelSet joined = RelSetOf(0);
+  for (int32_t i = 1; i < query.num_terms(); ++i) {
+    std::vector<Tuple> next_rows = filtered_rows(query.term(i));
+    std::vector<JoinPredicate> joins =
+        query.JoinsBetween(joined, RelSetOf(i));
+    std::vector<Tuple> merged;
+    for (const Tuple& left : result) {
+      for (const Tuple& right : next_rows) {
+        bool pass = true;
+        for (const JoinPredicate& join : joins) {
+          // Orient: one side is in the accumulated prefix, the other in
+          // term i.
+          const AttrRef& in_right =
+              query.TermOf(join.left.relation) == i ? join.left : join.right;
+          const AttrRef& in_left =
+              query.TermOf(join.left.relation) == i ? join.right : join.left;
+          if (!(left.value(slot_of(in_left)) ==
+                right.value(in_right.column))) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          merged.push_back(Tuple::Concat(left, right));
+        }
+      }
+    }
+    result = std::move(merged);
+    joined |= RelSetOf(i);
+  }
+  return result;
+}
+
+/// Canonical multiset form for order-insensitive comparison.
+inline std::vector<Tuple> Canonicalize(std::vector<Tuple> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Reorders each tuple's slots from `actual_layout` into reference order
+/// (term 0's columns, then term 1's, ...), so plans with different join
+/// orders compare equal.
+inline std::vector<Tuple> ToReferenceOrder(const std::vector<Tuple>& rows,
+                                           const TupleLayout& actual_layout,
+                                           const Query& query,
+                                           const Database& db) {
+  std::vector<int32_t> slots;
+  for (int32_t t = 0; t < query.num_terms(); ++t) {
+    RelationId rel = query.term(t).relation;
+    int32_t columns = db.table(rel).relation().num_columns();
+    for (int32_t c = 0; c < columns; ++c) {
+      int32_t slot = actual_layout.SlotOf(AttrRef{rel, c});
+      if (slot < 0) {
+        return {};  // layout mismatch; caller's assertions will fire
+      }
+      slots.push_back(slot);
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    Tuple reordered;
+    for (int32_t slot : slots) {
+      reordered.Append(row.value(slot));
+    }
+    out.push_back(std::move(reordered));
+  }
+  return out;
+}
+
+}  // namespace dqep
+
+#endif  // DQEP_TESTS_REFERENCE_EVAL_H_

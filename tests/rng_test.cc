@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dqep {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  // All five values should appear across 1000 draws.
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.NextInt(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformityRoughly) {
+  // Mean of U[0,1) draws should approach 0.5.
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += rng.NextDouble();
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBool(0.25)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(33);
+  Rng b(33);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  }
+  // Parent sequence continues deterministically after the fork.
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+}  // namespace
+}  // namespace dqep

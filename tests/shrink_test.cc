@@ -1,0 +1,151 @@
+// The plan-shrinking heuristic (paper §4).
+
+#include "runtime/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class ShrinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/8, /*populate=*/false);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+    query_ = workload_->ChainQuery(4);
+    Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+    auto plan =
+        optimizer.Optimize(query_, workload_->CompileTimeEnv(false));
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::move(*plan);
+  }
+
+  StartupResult Invoke(const ParamEnv& bound) {
+    auto startup = ResolveDynamicPlan(plan_.root, workload_->model(), bound);
+    EXPECT_TRUE(startup.ok());
+    return std::move(*startup);
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+  Query query_;
+  OptimizedPlan plan_;
+};
+
+TEST_F(ShrinkTest, TrackerCountsInvocations) {
+  PlanUsageTracker tracker;
+  EXPECT_EQ(tracker.invocations(), 0);
+  Rng rng(1);
+  tracker.Record(Invoke(workload_->DrawBindings(&rng, query_, false)));
+  tracker.Record(Invoke(workload_->DrawBindings(&rng, query_, false)));
+  EXPECT_EQ(tracker.invocations(), 2);
+}
+
+TEST_F(ShrinkTest, ShrunkPlanIsSmaller) {
+  PlanUsageTracker tracker;
+  Rng rng(2);
+  for (int i = 0; i < 5; ++i) {
+    tracker.Record(Invoke(workload_->DrawBindings(&rng, query_, false)));
+  }
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload_->catalog(), plan_.root, tracker);
+  EXPECT_LT(shrunk->CountNodes(), plan_.root->CountNodes());
+  EXPECT_LE(shrunk->CountChooseNodes(), plan_.root->CountChooseNodes());
+}
+
+TEST_F(ShrinkTest, SingleInvocationCollapsesToStaticPlan) {
+  // After one invocation only one alternative per reachable choose node
+  // was used; shrinking yields that static plan.
+  PlanUsageTracker tracker;
+  Rng rng(3);
+  ParamEnv bound = workload_->DrawBindings(&rng, query_, false);
+  StartupResult startup = Invoke(bound);
+  tracker.Record(startup);
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload_->catalog(), plan_.root, tracker);
+  EXPECT_EQ(shrunk->CountChooseNodes(), 0);
+  EXPECT_EQ(shrunk->ToString(), startup.resolved->ToString());
+}
+
+TEST_F(ShrinkTest, ShrunkPlanStillResolvesForSeenBindings) {
+  PlanUsageTracker tracker;
+  Rng rng(4);
+  std::vector<ParamEnv> seen;
+  for (int i = 0; i < 10; ++i) {
+    ParamEnv bound = workload_->DrawBindings(&rng, query_, false);
+    seen.push_back(bound);
+    tracker.Record(Invoke(bound));
+  }
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload_->catalog(), plan_.root, tracker);
+  // For the already-seen bindings, the shrunk plan resolves to (almost)
+  // the cost the full plan achieved: their choices were retained, but
+  // collapsed choose nodes no longer charge decision overhead, which can
+  // legitimately flip near-tie decisions by up to that overhead per node.
+  double slack = static_cast<double>(plan_.root->CountChooseNodes()) *
+                 workload_->config().choose_plan_decision_seconds;
+  for (const ParamEnv& bound : seen) {
+    auto full = ResolveDynamicPlan(plan_.root, workload_->model(), bound);
+    auto small = ResolveDynamicPlan(shrunk, workload_->model(), bound);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(small.ok());
+    EXPECT_NEAR(small->execution_cost, full->execution_cost, slack);
+  }
+}
+
+TEST_F(ShrinkTest, ShrinkIsHeuristicNotOptimal) {
+  // For *unseen* bindings the shrunk plan may be worse — by design.
+  PlanUsageTracker tracker;
+  Rng rng(5);
+  tracker.Record(Invoke(workload_->DrawBindings(&rng, query_, false)));
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload_->catalog(), plan_.root, tracker);
+  Rng rng2(999);
+  double worst_ratio = 1.0;
+  for (int i = 0; i < 30; ++i) {
+    ParamEnv bound = workload_->DrawBindings(&rng2, query_, false);
+    auto full = ResolveDynamicPlan(plan_.root, workload_->model(), bound);
+    auto small = ResolveDynamicPlan(shrunk, workload_->model(), bound);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(small.ok());
+    // Shrunk is never better than the full dynamic plan...
+    EXPECT_GE(small->execution_cost + 1e-12, full->execution_cost);
+    worst_ratio = std::max(worst_ratio,
+                           small->execution_cost / full->execution_cost);
+  }
+  // ...and is strictly worse somewhere (it dropped useful alternatives).
+  EXPECT_GT(worst_ratio, 1.0);
+}
+
+TEST_F(ShrinkTest, FullUsageKeepsPlanIntact) {
+  // If every alternative of every choose node was used, nothing shrinks.
+  PlanUsageTracker tracker;
+  // Synthesize usage covering all alternatives.
+  StartupResult fake;
+  for (const PhysNode* node : plan_.root->TopologicalOrder()) {
+    if (node->kind() == PhysOpKind::kChoosePlan) {
+      for (size_t i = 0; i < node->children().size(); ++i) {
+        StartupResult r;
+        r.choices[node] = i;
+        tracker.Record(r);
+      }
+    }
+  }
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload_->catalog(), plan_.root, tracker);
+  EXPECT_EQ(shrunk->CountNodes(), plan_.root->CountNodes());
+}
+
+TEST_F(ShrinkTest, UnseenTrackerKeepsPlanIntact) {
+  PlanUsageTracker tracker;  // no invocations recorded
+  PhysNodePtr shrunk =
+      ShrinkDynamicPlan(workload_->catalog(), plan_.root, tracker);
+  EXPECT_EQ(shrunk->CountNodes(), plan_.root->CountNodes());
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dqep {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctions) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status status = Status::NotFound("relation 'R99'");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "relation 'R99'");
+  EXPECT_EQ(status.ToString(), "NotFound: relation 'R99'");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("gone"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH(result.value(), "CHECK failed");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::OutOfRange("nope"); };
+  auto wrapper = [&]() -> Status {
+    DQEP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    DQEP_RETURN_IF_ERROR(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace dqep

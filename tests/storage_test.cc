@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "storage/btree_index.h"
+#include "storage/data_generator.h"
+#include "storage/database.h"
+#include "storage/heap_file.h"
+
+namespace dqep {
+namespace {
+
+TEST(ValueTest, Int64Semantics) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, StringSemantics) {
+  Value v(std::string("abc"));
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "abc");
+  EXPECT_EQ(v.ToString(), "\"abc\"");
+}
+
+TEST(ValueTest, ComparisonOperators) {
+  Value a(int64_t{1});
+  Value b(int64_t{2});
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == Value(int64_t{1}));
+}
+
+TEST(TupleTest, ConcatPreservesOrder) {
+  Tuple left({Value(int64_t{1}), Value(int64_t{2})});
+  Tuple right({Value(int64_t{3})});
+  Tuple joined = Tuple::Concat(left, right);
+  ASSERT_EQ(joined.size(), 3);
+  EXPECT_EQ(joined.value(0).AsInt64(), 1);
+  EXPECT_EQ(joined.value(2).AsInt64(), 3);
+}
+
+TEST(HeapFileTest, AppendAndRead) {
+  PageStore store;
+  BufferPool pool(&store, 8);
+  HeapFile heap(&store, &pool);
+  EXPECT_EQ(heap.num_tuples(), 0);
+  auto r0 = heap.Append(Tuple({Value(int64_t{7})}));
+  auto r1 = heap.Append(Tuple({Value(int64_t{8})}));
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_NE(*r0, *r1);
+  EXPECT_EQ(heap.tuple(*r1).value(0).AsInt64(), 8);
+  EXPECT_EQ(heap.tuple(*r0).value(0).AsInt64(), 7);
+  EXPECT_EQ(heap.num_tuples(), 2);
+}
+
+TEST(HeapFileTest, SpillsAcrossPages) {
+  PageStore store;
+  BufferPool pool(&store, 8);
+  HeapFile heap(&store, &pool);
+  // ~500-byte records: a 2 KB page fits 3-4, so 10 records span pages.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        heap.Append(Tuple({Value(int64_t{i}),
+                           Value(std::string(492, 'x'))}))
+            .ok());
+  }
+  EXPECT_GE(heap.NumPages(), 3);
+  EXPECT_EQ(heap.num_tuples(), 10);
+  // Sequential scan returns all rows in insertion order.
+  std::vector<Tuple> all = heap.Materialize();
+  ASSERT_EQ(all.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(all[static_cast<size_t>(i)].value(0).AsInt64(), i);
+  }
+}
+
+TEST(HeapFileTest, OversizedRecordRejected) {
+  PageStore store;
+  BufferPool pool(&store, 8);
+  HeapFile heap(&store, &pool);
+  auto rid = heap.Append(Tuple({Value(std::string(5000, 'x'))}));
+  EXPECT_FALSE(rid.ok());
+}
+
+TEST(HeapFileTest, ScannerTracksRowIds) {
+  PageStore store;
+  BufferPool pool(&store, 8);
+  HeapFile heap(&store, &pool);
+  std::vector<RowId> rids;
+  for (int i = 0; i < 20; ++i) {
+    auto rid = heap.Append(Tuple({Value(int64_t{i}),
+                                  Value(std::string(400, 'p'))}));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  HeapFile::Scanner scanner = heap.CreateScanner();
+  Tuple tuple;
+  size_t i = 0;
+  while (scanner.Next(&tuple)) {
+    ASSERT_LT(i, rids.size());
+    EXPECT_EQ(scanner.last_row_id(), rids[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, rids.size());
+}
+
+TEST(BTreeIndexTest, RangeScanInclusive) {
+  BTreeIndex index;
+  for (int64_t k = 0; k < 10; ++k) {
+    index.Insert(k, k * 100);
+  }
+  std::vector<RowId> rids = index.RangeScan(3, 5);
+  ASSERT_EQ(rids.size(), 3u);
+  EXPECT_EQ(rids.front(), 300);
+  EXPECT_EQ(rids.back(), 500);
+}
+
+TEST(BTreeIndexTest, ScanBelowIsExclusive) {
+  BTreeIndex index;
+  for (int64_t k = 0; k < 10; ++k) {
+    index.Insert(k, k);
+  }
+  EXPECT_EQ(index.ScanBelow(3).size(), 3u);
+  EXPECT_EQ(index.ScanBelow(0).size(), 0u);
+  EXPECT_EQ(index.ScanBelow(100).size(), 10u);
+}
+
+TEST(BTreeIndexTest, DuplicateKeys) {
+  BTreeIndex index;
+  index.Insert(5, 1);
+  index.Insert(5, 2);
+  index.Insert(5, 3);
+  EXPECT_EQ(index.Lookup(5).size(), 3u);
+  EXPECT_EQ(index.Lookup(6).size(), 0u);
+  EXPECT_EQ(index.num_entries(), 3);
+}
+
+TEST(BTreeIndexTest, FullScanIsKeyOrdered) {
+  BTreeIndex index;
+  index.Insert(3, 30);
+  index.Insert(1, 10);
+  index.Insert(2, 20);
+  std::vector<RowId> rids = index.FullScan();
+  ASSERT_EQ(rids.size(), 3u);
+  EXPECT_EQ(rids[0], 10);
+  EXPECT_EQ(rids[1], 20);
+  EXPECT_EQ(rids[2], 30);
+}
+
+TEST(BTreeIndexTest, EmptyRangeBehaviors) {
+  BTreeIndex index;
+  index.Insert(1, 1);
+  EXPECT_TRUE(index.RangeScan(5, 3).empty());  // inverted bounds
+  EXPECT_TRUE(index.RangeScan(2, 9).empty());
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<ColumnInfo> columns = {
+        {.name = "k", .type = ColumnType::kInt64, .domain_size = 100,
+         .width_bytes = 8},
+        {.name = "p", .type = ColumnType::kString, .domain_size = 1,
+         .width_bytes = 8},
+    };
+    auto id = db_.CreateTable("t", std::move(columns), 4);
+    ASSERT_TRUE(id.ok());
+    id_ = *id;
+    ASSERT_TRUE(db_.CreateIndex(id_, 0).ok());
+  }
+
+  Database db_;
+  RelationId id_ = kInvalidRelation;
+};
+
+TEST_F(TableTest, InsertMaintainsIndex) {
+  Table& table = db_.table(id_);
+  ASSERT_TRUE(
+      table.Insert(Tuple({Value(int64_t{9}), Value(std::string("a"))})).ok());
+  ASSERT_TRUE(
+      table.Insert(Tuple({Value(int64_t{4}), Value(std::string("b"))})).ok());
+  ASSERT_TRUE(table.HasIndexOn(0));
+  std::vector<RowId> rids = table.IndexOn(0).FullScan();
+  ASSERT_EQ(rids.size(), 2u);
+  // Key order: 4 before 9.
+  EXPECT_EQ(table.heap().tuple(rids[0]).value(0).AsInt64(), 4);
+}
+
+TEST_F(TableTest, ArityMismatchRejected) {
+  Table& table = db_.table(id_);
+  EXPECT_FALSE(table.Insert(Tuple({Value(int64_t{1})})).ok());
+}
+
+TEST_F(TableTest, NonInt64IndexedValueRejected) {
+  Table& table = db_.table(id_);
+  EXPECT_FALSE(
+      table.Insert(Tuple({Value(std::string("x")), Value(std::string("y"))}))
+          .ok());
+}
+
+TEST_F(TableTest, BuildIndexBackfills) {
+  Table& table = db_.table(id_);
+  ASSERT_TRUE(
+      table.Insert(Tuple({Value(int64_t{5}), Value(std::string("a"))})).ok());
+  // Second index (catalog-side first).
+  ASSERT_FALSE(table.HasIndexOn(1));
+  // String column cannot be indexed.
+  EXPECT_FALSE(table.BuildIndex(1).ok());
+  EXPECT_EQ(table.BuildIndex(0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(table.BuildIndex(9).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DataGeneratorTest, GeneratesCardinalityRows) {
+  Database db;
+  std::vector<ColumnInfo> columns = {
+      {.name = "k", .type = ColumnType::kInt64, .domain_size = 10,
+       .width_bytes = 8},
+      {.name = "p", .type = ColumnType::kString, .domain_size = 1,
+       .width_bytes = 16},
+  };
+  auto id = db.CreateTable("t", std::move(columns), 200);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db.CreateIndex(*id, 0).ok());
+  ASSERT_TRUE(GenerateDatabaseData(1, &db).ok());
+  const Table& table = db.table(*id);
+  EXPECT_EQ(table.heap().num_tuples(), 200);
+  EXPECT_EQ(table.IndexOn(0).num_entries(), 200);
+  // Values respect the domain and roughly cover it.
+  std::map<int64_t, int> histogram;
+  for (const Tuple& tuple : table.heap().Materialize()) {
+    int64_t v = tuple.value(0).AsInt64();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+    histogram[v]++;
+  }
+  EXPECT_GE(histogram.size(), 8u);
+  // Payload has declared width.
+  EXPECT_EQ(table.heap().Materialize().front().value(1).AsString().size(),
+            16u);
+}
+
+TEST(DataGeneratorTest, DeterministicAcrossRuns) {
+  auto build = [] {
+    auto db = std::make_unique<Database>();
+    std::vector<ColumnInfo> columns = {
+        {.name = "k", .type = ColumnType::kInt64, .domain_size = 50,
+         .width_bytes = 8},
+    };
+    auto id = db->CreateTable("t", std::move(columns), 100);
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(GenerateDatabaseData(77, db.get()).ok());
+    return db;
+  };
+  auto db1 = build();
+  auto db2 = build();
+  for (RowId r = 0; r < 100; ++r) {
+    EXPECT_EQ(db1->table(0).heap().tuple(r), db2->table(0).heap().tuple(r));
+  }
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,64 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dqep {
+namespace {
+
+TEST(TextTableTest, HeaderOnly) {
+  TextTable table({"col_a", "b"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(table.NumRows(), 0u);
+}
+
+TEST(TextTableTest, RowsAligned) {
+  TextTable table({"q", "value"});
+  table.AddRow({"1", "10"});
+  table.AddRow({"10", "3"});
+  std::string out = table.ToString();
+  std::istringstream stream(out);
+  std::string header;
+  std::string sep;
+  std::string row1;
+  std::string row2;
+  std::getline(stream, header);
+  std::getline(stream, sep);
+  std::getline(stream, row1);
+  std::getline(stream, row2);
+  // Columns are padded to a common width: the second column starts at the
+  // same offset in every line.
+  EXPECT_EQ(header.find("value"), row1.find("10"));
+  EXPECT_EQ(row1.rfind("10"), row2.rfind("3"));
+}
+
+TEST(TextTableTest, PrintWritesToStream) {
+  TextTable table({"x"});
+  table.AddRow({"42"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str(), table.ToString());
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(1.0, 3), "1.000");
+  EXPECT_EQ(TextTable::Num(0.000123, 4), "0.0001");
+}
+
+TEST(TextTableTest, CountFormatsIntegers) {
+  EXPECT_EQ(TextTable::Count(0), "0");
+  EXPECT_EQ(TextTable::Count(14090), "14090");
+  EXPECT_EQ(TextTable::Count(-3), "-3");
+}
+
+TEST(TextTableDeathTest, WrongArityRejected) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dqep

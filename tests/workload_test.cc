@@ -1,0 +1,108 @@
+#include "workload/paper_workload.h"
+
+#include <gtest/gtest.h>
+
+namespace dqep {
+namespace {
+
+TEST(PaperWorkloadTest, TenRelationsWithPaperGeometry) {
+  auto workload = PaperWorkload::Create(/*seed=*/42, /*populate=*/false);
+  ASSERT_TRUE(workload.ok());
+  const Catalog& catalog = (*workload)->catalog();
+  ASSERT_EQ(catalog.num_relations(), 10);
+  for (RelationId id = 0; id < 10; ++id) {
+    const RelationInfo& rel = catalog.relation(id);
+    EXPECT_GE(rel.cardinality(), 100);
+    EXPECT_LE(rel.cardinality(), 1000);
+    EXPECT_EQ(rel.record_width(), 512);  // paper: 512-byte records
+    // Unclustered B-trees on join and selection attributes.
+    EXPECT_TRUE(rel.HasIndexOn(ExperimentColumns::kJoinPrev));
+    EXPECT_TRUE(rel.HasIndexOn(ExperimentColumns::kJoinNext));
+    EXPECT_TRUE(rel.HasIndexOn(ExperimentColumns::kSelect));
+    // Domains are 0.2-1.25 x cardinality.
+    for (int32_t c = 0; c < 3; ++c) {
+      double ratio = static_cast<double>(rel.column(c).domain_size) /
+                     static_cast<double>(rel.cardinality());
+      EXPECT_GE(ratio, 0.19);
+      EXPECT_LE(ratio, 1.26);
+    }
+  }
+}
+
+TEST(PaperWorkloadTest, DeterministicAcrossCreations) {
+  auto a = PaperWorkload::Create(7, false);
+  auto b = PaperWorkload::Create(7, false);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (RelationId id = 0; id < 10; ++id) {
+    EXPECT_EQ((*a)->catalog().relation(id).cardinality(),
+              (*b)->catalog().relation(id).cardinality());
+  }
+}
+
+TEST(PaperWorkloadTest, PopulationMatchesCatalog) {
+  auto workload = PaperWorkload::Create(3, /*populate=*/true);
+  ASSERT_TRUE(workload.ok());
+  for (RelationId id = 0; id < 10; ++id) {
+    EXPECT_EQ((*workload)->db().table(id).heap().num_tuples(),
+              (*workload)->catalog().relation(id).cardinality());
+  }
+}
+
+TEST(PaperWorkloadTest, PaperQuerySizes) {
+  EXPECT_EQ(PaperWorkload::PaperQuerySizes(),
+            (std::vector<int32_t>{1, 2, 4, 6, 10}));
+}
+
+TEST(PaperWorkloadTest, ChainQueriesValid) {
+  auto workload = PaperWorkload::Create(1, false);
+  ASSERT_TRUE(workload.ok());
+  for (int32_t n : PaperWorkload::PaperQuerySizes()) {
+    Query query = (*workload)->ChainQuery(n);
+    EXPECT_TRUE(query.Validate((*workload)->catalog()).ok());
+  }
+}
+
+TEST(PaperWorkloadTest, CompileTimeEnvMemoryModes) {
+  auto workload = PaperWorkload::Create(1, false);
+  ASSERT_TRUE(workload.ok());
+  ParamEnv known = (*workload)->CompileTimeEnv(false);
+  EXPECT_TRUE(known.memory_pages().IsPoint());
+  EXPECT_EQ(known.memory_pages().lo(), 64.0);
+  ParamEnv uncertain = (*workload)->CompileTimeEnv(true);
+  EXPECT_EQ(uncertain.memory_pages(), Interval(16, 112));
+  EXPECT_EQ(known.num_bound(), 0u);
+}
+
+TEST(PaperWorkloadTest, DrawnBindingsCoverQueryParams) {
+  auto workload = PaperWorkload::Create(1, false);
+  ASSERT_TRUE(workload.ok());
+  Query query = (*workload)->ChainQuery(4);
+  Rng rng(5);
+  ParamEnv env = (*workload)->DrawBindings(&rng, query, true);
+  EXPECT_TRUE(env.FullyBound(query.Params()));
+  EXPECT_TRUE(env.memory_pages().IsPoint());
+  EXPECT_GE(env.memory_pages().lo(), 16.0);
+  EXPECT_LE(env.memory_pages().lo(), 112.0);
+}
+
+TEST(PaperWorkloadTest, DrawnSelectivitiesRoughlyUniform) {
+  auto workload = PaperWorkload::Create(1, false);
+  ASSERT_TRUE(workload.ok());
+  Query query = (*workload)->ChainQuery(1);
+  const SelectionPredicate& pred = query.term(0).predicates[0];
+  const CostModel& model = (*workload)->model();
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    ParamEnv env = (*workload)->DrawBindings(&rng, query, false);
+    sum += model
+               .Selectivity(pred, env, EstimationMode::kExpectedValue)
+               .lo();
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,0 +1,240 @@
+// dqep_cli — an interactive shell over the paper's experiment database.
+//
+// Reads one command per line from stdin:
+//
+//   SELECT ...                 parse, compile a dynamic plan, resolve with
+//                              the current bindings, execute, print rows
+//   \explain SELECT ...        show static plan, dynamic plan, and the
+//                              resolution under the current bindings
+//   \set <name> <int>          bind host variable :<name>
+//   \unset <name>              remove a binding
+//   \memory <pages>            set the memory grant
+//   \bindings                  list current bindings
+//   \tables                    list relations
+//   \analyze                   build histograms and use them for estimates
+//   \quit
+//
+// Example session:
+//   \set v 300
+//   \explain SELECT * FROM R1 WHERE R1.s < :v
+//   SELECT R1.s FROM R1 WHERE R1.s < :v ORDER BY R1.s
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "runtime/startup.h"
+#include "sql/parser.h"
+#include "storage/analyze.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class Shell {
+ public:
+  explicit Shell(std::unique_ptr<PaperWorkload> workload)
+      : workload_(std::move(workload)) {}
+
+  int Run() {
+    std::printf(
+        "dqep shell — paper experiment database loaded (R1..R10).\n"
+        "Type SELECT ..., \\explain SELECT ..., \\set <var> <int>, "
+        "\\tables, \\quit.\n");
+    std::string line;
+    while (std::printf("dqep> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (line.empty()) {
+        continue;
+      }
+      if (line[0] == '\\') {
+        if (!Command(line)) {
+          break;
+        }
+      } else {
+        Query(line, /*explain=*/false);
+      }
+    }
+    return 0;
+  }
+
+ private:
+  const CostModel& model() const {
+    return use_stats_ ? *stats_model_ : workload_->model();
+  }
+
+  bool Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command == "\\quit" || command == "\\q") {
+      return false;
+    }
+    if (command == "\\set") {
+      std::string name;
+      int64_t value = 0;
+      if (in >> name >> value) {
+        bindings_[name] = value;
+        std::printf(":%s = %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      } else {
+        std::printf("usage: \\set <name> <int>\n");
+      }
+      return true;
+    }
+    if (command == "\\unset") {
+      std::string name;
+      in >> name;
+      bindings_.erase(name);
+      return true;
+    }
+    if (command == "\\memory") {
+      double pages = 0;
+      if (in >> pages && pages >= 2) {
+        memory_pages_ = pages;
+        std::printf("memory grant = %.0f pages\n", pages);
+      } else {
+        std::printf("usage: \\memory <pages>\n");
+      }
+      return true;
+    }
+    if (command == "\\bindings") {
+      for (const auto& [name, value] : bindings_) {
+        std::printf(":%s = %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      }
+      std::printf("memory = %.0f pages\n", memory_pages_);
+      return true;
+    }
+    if (command == "\\tables") {
+      const Catalog& catalog = workload_->catalog();
+      for (RelationId id = 0; id < catalog.num_relations(); ++id) {
+        const RelationInfo& rel = catalog.relation(id);
+        std::printf("%s(%lld rows):", rel.name().c_str(),
+                    static_cast<long long>(rel.cardinality()));
+        for (int32_t c = 0; c < rel.num_columns(); ++c) {
+          std::printf(" %s%s", rel.column(c).name.c_str(),
+                      rel.HasIndexOn(c) ? "*" : "");
+        }
+        std::printf("   (* = B-tree index)\n");
+      }
+      return true;
+    }
+    if (command == "\\analyze") {
+      stats_ = AnalyzeDatabase(workload_->db());
+      stats_model_ = std::make_unique<CostModel>(
+          &workload_->catalog(), workload_->config(), &stats_);
+      use_stats_ = true;
+      std::printf("histograms built for %zu columns; estimator now uses "
+                  "them\n",
+                  stats_.size());
+      return true;
+    }
+    if (command == "\\explain") {
+      std::string rest;
+      std::getline(in, rest);
+      Query(rest, /*explain=*/true);
+      return true;
+    }
+    std::printf("unknown command %s\n", command.c_str());
+    return true;
+  }
+
+  void Query(const std::string& sql, bool explain) {
+    Result<ParsedQuery> parsed = ParseQuery(sql, workload_->catalog());
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    // Compile with unbound parameters: the dynamic plan.
+    ParamEnv compile_env(Interval::Point(memory_pages_));
+    Optimizer dynamic_opt(&model(), OptimizerOptions::Dynamic());
+    Result<OptimizedPlan> plan =
+        dynamic_opt.Optimize(parsed->query, compile_env);
+    if (!plan.ok()) {
+      std::printf("optimizer error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    if (explain) {
+      Optimizer static_opt(&model(), OptimizerOptions::Static());
+      Result<OptimizedPlan> static_plan =
+          static_opt.Optimize(parsed->query, compile_env);
+      if (static_plan.ok()) {
+        std::printf("--- static plan (cost %s) ---\n%s",
+                    static_plan->cost.ToString().c_str(),
+                    static_plan->root->ToString().c_str());
+      }
+      std::printf("--- dynamic plan (cost %s, %lld nodes, %lld choose) ---\n%s",
+                  plan->cost.ToString().c_str(),
+                  static_cast<long long>(plan->root->CountNodes()),
+                  static_cast<long long>(plan->root->CountChooseNodes()),
+                  plan->root->ToString().c_str());
+    }
+    // Bind and resolve.
+    ParamEnv bound(Interval::Point(memory_pages_));
+    for (const auto& [name, id] : parsed->params) {
+      auto it = bindings_.find(name);
+      if (it == bindings_.end()) {
+        std::printf("host variable :%s is unbound; use \\set %s <int>\n",
+                    name.c_str(), name.c_str());
+        return;
+      }
+      bound.Bind(id, Value(it->second));
+    }
+    Result<StartupResult> startup =
+        ResolveDynamicPlan(plan->root, model(), bound);
+    if (!startup.ok()) {
+      std::printf("start-up error: %s\n",
+                  startup.status().ToString().c_str());
+      return;
+    }
+    if (explain) {
+      std::printf("--- chosen at start-up (predicted %.4f s, %lld "
+                  "decisions) ---\n%s",
+                  startup->execution_cost,
+                  static_cast<long long>(startup->decisions),
+                  startup->resolved->ToString().c_str());
+      return;
+    }
+    Result<std::vector<Tuple>> rows =
+        ExecutePlan(startup->resolved, workload_->db(), bound);
+    if (!rows.ok()) {
+      std::printf("execution error: %s\n", rows.status().ToString().c_str());
+      return;
+    }
+    size_t shown = 0;
+    for (const Tuple& row : *rows) {
+      if (shown++ >= 10) {
+        std::printf("... (%zu rows total)\n", rows->size());
+        return;
+      }
+      std::printf("%s\n", row.ToString().c_str());
+    }
+    std::printf("(%zu rows)\n", rows->size());
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+  std::map<std::string, int64_t> bindings_;
+  double memory_pages_ = 64.0;
+  StatisticsCatalog stats_;
+  std::unique_ptr<CostModel> stats_model_;
+  bool use_stats_ = false;
+};
+
+}  // namespace
+}  // namespace dqep
+
+int main() {
+  auto workload = dqep::PaperWorkload::Create(/*seed=*/42, /*populate=*/true);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "failed to build database: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  dqep::Shell shell(std::move(*workload));
+  return shell.Run();
+}
