@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exhaustive.dir/ablation_exhaustive.cc.o"
+  "CMakeFiles/ablation_exhaustive.dir/ablation_exhaustive.cc.o.d"
+  "ablation_exhaustive"
+  "ablation_exhaustive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

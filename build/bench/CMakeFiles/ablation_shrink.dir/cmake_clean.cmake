@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shrink.dir/ablation_shrink.cc.o"
+  "CMakeFiles/ablation_shrink.dir/ablation_shrink.cc.o.d"
+  "ablation_shrink"
+  "ablation_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_startup_bnb.dir/ablation_startup_bnb.cc.o"
+  "CMakeFiles/ablation_startup_bnb.dir/ablation_startup_bnb.cc.o.d"
+  "ablation_startup_bnb"
+  "ablation_startup_bnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_startup_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

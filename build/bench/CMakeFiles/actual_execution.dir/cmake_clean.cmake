@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actual_execution.dir/actual_execution.cc.o"
+  "CMakeFiles/actual_execution.dir/actual_execution.cc.o.d"
+  "actual_execution"
+  "actual_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actual_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scenarios.dir/fig3_scenarios.cc.o"
+  "CMakeFiles/fig3_scenarios.dir/fig3_scenarios.cc.o.d"
+  "fig3_scenarios"
+  "fig3_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

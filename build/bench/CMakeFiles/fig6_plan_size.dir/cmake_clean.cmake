@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_plan_size.dir/fig6_plan_size.cc.o"
+  "CMakeFiles/fig6_plan_size.dir/fig6_plan_size.cc.o.d"
+  "fig6_plan_size"
+  "fig6_plan_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_plan_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

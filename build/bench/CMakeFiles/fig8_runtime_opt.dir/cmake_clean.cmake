@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_runtime_opt.dir/fig8_runtime_opt.cc.o"
+  "CMakeFiles/fig8_runtime_opt.dir/fig8_runtime_opt.cc.o.d"
+  "fig8_runtime_opt"
+  "fig8_runtime_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_runtime_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

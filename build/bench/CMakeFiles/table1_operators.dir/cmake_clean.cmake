@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_operators.dir/table1_operators.cc.o"
+  "CMakeFiles/table1_operators.dir/table1_operators.cc.o.d"
+  "table1_operators"
+  "table1_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

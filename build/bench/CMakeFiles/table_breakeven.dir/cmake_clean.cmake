@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_breakeven.dir/table_breakeven.cc.o"
+  "CMakeFiles/table_breakeven.dir/table_breakeven.cc.o.d"
+  "table_breakeven"
+  "table_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_memory.dir/adaptive_memory.cpp.o"
+  "CMakeFiles/adaptive_memory.dir/adaptive_memory.cpp.o.d"
+  "adaptive_memory"
+  "adaptive_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

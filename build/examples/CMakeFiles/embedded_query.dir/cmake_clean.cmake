@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_query.dir/embedded_query.cpp.o"
+  "CMakeFiles/embedded_query.dir/embedded_query.cpp.o.d"
+  "embedded_query"
+  "embedded_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

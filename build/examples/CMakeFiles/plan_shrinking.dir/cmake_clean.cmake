@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_shrinking.dir/plan_shrinking.cpp.o"
+  "CMakeFiles/plan_shrinking.dir/plan_shrinking.cpp.o.d"
+  "plan_shrinking"
+  "plan_shrinking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_shrinking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_explain.dir/sql_explain.cpp.o"
+  "CMakeFiles/sql_explain.dir/sql_explain.cpp.o.d"
+  "sql_explain"
+  "sql_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_catalog.dir/catalog.cc.o"
+  "CMakeFiles/dqep_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/dqep_catalog.dir/histogram.cc.o"
+  "CMakeFiles/dqep_catalog.dir/histogram.cc.o.d"
+  "CMakeFiles/dqep_catalog.dir/schema.cc.o"
+  "CMakeFiles/dqep_catalog.dir/schema.cc.o.d"
+  "libdqep_catalog.a"
+  "libdqep_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

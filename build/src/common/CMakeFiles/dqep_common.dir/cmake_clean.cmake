@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_common.dir/interval.cc.o"
+  "CMakeFiles/dqep_common.dir/interval.cc.o.d"
+  "CMakeFiles/dqep_common.dir/status.cc.o"
+  "CMakeFiles/dqep_common.dir/status.cc.o.d"
+  "CMakeFiles/dqep_common.dir/text_table.cc.o"
+  "CMakeFiles/dqep_common.dir/text_table.cc.o.d"
+  "libdqep_common.a"
+  "libdqep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_cost.dir/cost_model.cc.o"
+  "CMakeFiles/dqep_cost.dir/cost_model.cc.o.d"
+  "libdqep_cost.a"
+  "libdqep_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

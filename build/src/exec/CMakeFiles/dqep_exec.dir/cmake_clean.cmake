@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_exec.dir/executor.cc.o"
+  "CMakeFiles/dqep_exec.dir/executor.cc.o.d"
+  "libdqep_exec.a"
+  "libdqep_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

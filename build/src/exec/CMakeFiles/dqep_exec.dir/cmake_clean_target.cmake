@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdqep_exec.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_logical.dir/algebra.cc.o"
+  "CMakeFiles/dqep_logical.dir/algebra.cc.o.d"
+  "CMakeFiles/dqep_logical.dir/expr.cc.o"
+  "CMakeFiles/dqep_logical.dir/expr.cc.o.d"
+  "CMakeFiles/dqep_logical.dir/query.cc.o"
+  "CMakeFiles/dqep_logical.dir/query.cc.o.d"
+  "libdqep_logical.a"
+  "libdqep_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/dqep_optimizer.dir/optimizer.cc.o.d"
+  "libdqep_optimizer.a"
+  "libdqep_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

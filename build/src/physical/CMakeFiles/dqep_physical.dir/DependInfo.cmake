@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physical/access_module.cc" "src/physical/CMakeFiles/dqep_physical.dir/access_module.cc.o" "gcc" "src/physical/CMakeFiles/dqep_physical.dir/access_module.cc.o.d"
+  "/root/repo/src/physical/costing.cc" "src/physical/CMakeFiles/dqep_physical.dir/costing.cc.o" "gcc" "src/physical/CMakeFiles/dqep_physical.dir/costing.cc.o.d"
+  "/root/repo/src/physical/plan.cc" "src/physical/CMakeFiles/dqep_physical.dir/plan.cc.o" "gcc" "src/physical/CMakeFiles/dqep_physical.dir/plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/dqep_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/dqep_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dqep_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqep_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dqep_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_physical.dir/access_module.cc.o"
+  "CMakeFiles/dqep_physical.dir/access_module.cc.o.d"
+  "CMakeFiles/dqep_physical.dir/costing.cc.o"
+  "CMakeFiles/dqep_physical.dir/costing.cc.o.d"
+  "CMakeFiles/dqep_physical.dir/plan.cc.o"
+  "CMakeFiles/dqep_physical.dir/plan.cc.o.d"
+  "libdqep_physical.a"
+  "libdqep_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

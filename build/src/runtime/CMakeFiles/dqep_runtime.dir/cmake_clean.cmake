@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_runtime.dir/adaptive.cc.o"
+  "CMakeFiles/dqep_runtime.dir/adaptive.cc.o.d"
+  "CMakeFiles/dqep_runtime.dir/lifecycle.cc.o"
+  "CMakeFiles/dqep_runtime.dir/lifecycle.cc.o.d"
+  "CMakeFiles/dqep_runtime.dir/plan_rewrite.cc.o"
+  "CMakeFiles/dqep_runtime.dir/plan_rewrite.cc.o.d"
+  "CMakeFiles/dqep_runtime.dir/shrink.cc.o"
+  "CMakeFiles/dqep_runtime.dir/shrink.cc.o.d"
+  "CMakeFiles/dqep_runtime.dir/startup.cc.o"
+  "CMakeFiles/dqep_runtime.dir/startup.cc.o.d"
+  "libdqep_runtime.a"
+  "libdqep_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_sql.dir/lexer.cc.o"
+  "CMakeFiles/dqep_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dqep_sql.dir/parser.cc.o"
+  "CMakeFiles/dqep_sql.dir/parser.cc.o.d"
+  "libdqep_sql.a"
+  "libdqep_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/analyze.cc" "src/storage/CMakeFiles/dqep_storage.dir/analyze.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/analyze.cc.o.d"
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/dqep_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/dqep_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/data_generator.cc" "src/storage/CMakeFiles/dqep_storage.dir/data_generator.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/data_generator.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/dqep_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/storage/CMakeFiles/dqep_storage.dir/heap_file.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/heap_file.cc.o.d"
+  "/root/repo/src/storage/record_codec.cc" "src/storage/CMakeFiles/dqep_storage.dir/record_codec.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/record_codec.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/storage/CMakeFiles/dqep_storage.dir/slotted_page.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/slotted_page.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/dqep_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/table.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/dqep_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/dqep_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/dqep_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/dqep_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

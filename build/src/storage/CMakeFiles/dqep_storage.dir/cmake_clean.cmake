@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_storage.dir/analyze.cc.o"
+  "CMakeFiles/dqep_storage.dir/analyze.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/dqep_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/dqep_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/data_generator.cc.o"
+  "CMakeFiles/dqep_storage.dir/data_generator.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/database.cc.o"
+  "CMakeFiles/dqep_storage.dir/database.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/heap_file.cc.o"
+  "CMakeFiles/dqep_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/record_codec.cc.o"
+  "CMakeFiles/dqep_storage.dir/record_codec.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/dqep_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/table.cc.o"
+  "CMakeFiles/dqep_storage.dir/table.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/tuple.cc.o"
+  "CMakeFiles/dqep_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/dqep_storage.dir/value.cc.o"
+  "CMakeFiles/dqep_storage.dir/value.cc.o.d"
+  "libdqep_storage.a"
+  "libdqep_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

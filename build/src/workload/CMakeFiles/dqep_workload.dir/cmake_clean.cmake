@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_workload.dir/paper_workload.cc.o"
+  "CMakeFiles/dqep_workload.dir/paper_workload.cc.o.d"
+  "libdqep_workload.a"
+  "libdqep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

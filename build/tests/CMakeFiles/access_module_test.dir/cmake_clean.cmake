@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_module_test.dir/access_module_test.cc.o"
+  "CMakeFiles/access_module_test.dir/access_module_test.cc.o.d"
+  "access_module_test"
+  "access_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

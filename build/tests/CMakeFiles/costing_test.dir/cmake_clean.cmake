@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costing_test.dir/costing_test.cc.o"
+  "CMakeFiles/costing_test.dir/costing_test.cc.o.d"
+  "costing_test"
+  "costing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

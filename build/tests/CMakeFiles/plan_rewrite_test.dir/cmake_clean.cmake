@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_rewrite_test.dir/plan_rewrite_test.cc.o"
+  "CMakeFiles/plan_rewrite_test.dir/plan_rewrite_test.cc.o.d"
+  "plan_rewrite_test"
+  "plan_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/projection_orderby_test.cc" "tests/CMakeFiles/projection_orderby_test.dir/projection_orderby_test.cc.o" "gcc" "tests/CMakeFiles/projection_orderby_test.dir/projection_orderby_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/dqep_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dqep_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dqep_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/dqep_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dqep_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/physical/CMakeFiles/dqep_physical.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/dqep_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/logical/CMakeFiles/dqep_logical.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dqep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dqep_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dqep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_orderby_test.dir/projection_orderby_test.cc.o"
+  "CMakeFiles/projection_orderby_test.dir/projection_orderby_test.cc.o.d"
+  "projection_orderby_test"
+  "projection_orderby_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_orderby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

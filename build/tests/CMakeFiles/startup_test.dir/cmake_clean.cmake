@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/startup_test.dir/startup_test.cc.o"
+  "CMakeFiles/startup_test.dir/startup_test.cc.o.d"
+  "startup_test"
+  "startup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/startup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqep_cli.dir/dqep_cli.cc.o"
+  "CMakeFiles/dqep_cli.dir/dqep_cli.cc.o.d"
+  "dqep_cli"
+  "dqep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
