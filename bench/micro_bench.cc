@@ -1,11 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the primitives whose speed the
 // paper's argument depends on: interval cost comparison, cost-function
 // evaluation over plan DAGs, start-up resolution, optimization in both
-// modes, and access-module (de)serialization.
+// modes, access-module (de)serialization, and tuple- vs. batch-mode
+// execution of scan, scan+filter, and hash-join pipelines.
+//
+// `--json` is shorthand for --benchmark_format=json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench/bench_common.h"
+#include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "physical/access_module.h"
 #include "physical/costing.h"
@@ -16,6 +22,13 @@ namespace {
 
 const PaperWorkload& Workload() {
   static const PaperWorkload* workload = MustCreateWorkload().release();
+  return *workload;
+}
+
+/// Workload with populated tables, for execution benchmarks.
+const PaperWorkload& PopulatedWorkload() {
+  static const PaperWorkload* workload =
+      MustCreateWorkload(/*populate=*/true).release();
   return *workload;
 }
 
@@ -123,7 +136,116 @@ void BM_AccessModuleDeserialize(benchmark::State& state) {
 }
 BENCHMARK(BM_AccessModuleDeserialize)->Arg(4)->Arg(10);
 
+// --- Execution: tuple vs. batch ----------------------------------------------
+
+/// Publishes each operator's counters (averaged per iteration) under a
+/// path-prefixed name, e.g. "filter/0:file-scan.tuples".
+void ExportCounters(benchmark::State& state, const ExecNode& node,
+                    const std::string& prefix) {
+  std::string path = prefix + node.op_name();
+  const OperatorCounters& c = node.counters();
+  state.counters[path + ".next_calls"] = benchmark::Counter(
+      static_cast<double>(c.next_calls), benchmark::Counter::kAvgIterations);
+  state.counters[path + ".tuples"] = benchmark::Counter(
+      static_cast<double>(c.tuples), benchmark::Counter::kAvgIterations);
+  if (c.batches > 0) {
+    state.counters[path + ".batches"] = benchmark::Counter(
+        static_cast<double>(c.batches), benchmark::Counter::kAvgIterations);
+  }
+  std::vector<const ExecNode*> children = node.child_nodes();
+  for (size_t i = 0; i < children.size(); ++i) {
+    ExportCounters(state, *children[i],
+                   path + "/" + std::to_string(i) + ":");
+  }
+}
+
+/// Runs `plan` to exhaustion once per iteration in the mode selected by
+/// state.range(0) (0 = tuple, 1 = batch), without materializing results.
+void RunExecBenchmark(benchmark::State& state, const PhysNodePtr& plan) {
+  const PaperWorkload& workload = PopulatedWorkload();
+  ParamEnv env;
+  ExecMode mode = state.range(0) == 0 ? ExecMode::kTuple : ExecMode::kBatch;
+  state.SetLabel(ExecModeName(mode));
+  int64_t rows = 0;
+  if (mode == ExecMode::kBatch) {
+    auto iter = BuildBatchExecutor(plan, workload.db(), env);
+    DQEP_CHECK(iter.ok());
+    TupleBatch batch;
+    for (auto _ : state) {
+      (*iter)->Open();
+      while ((*iter)->Next(&batch)) {
+        rows += batch.num_rows();
+      }
+      (*iter)->Close();
+    }
+    ExportCounters(state, **iter, "");
+  } else {
+    auto iter = BuildExecutor(plan, workload.db(), env);
+    DQEP_CHECK(iter.ok());
+    Tuple tuple;
+    for (auto _ : state) {
+      (*iter)->Open();
+      while ((*iter)->Next(&tuple)) {
+        ++rows;
+      }
+      (*iter)->Close();
+    }
+    ExportCounters(state, **iter, "");
+  }
+  state.SetItemsProcessed(rows);
+}
+
+void BM_ExecScan(benchmark::State& state) {
+  const PaperWorkload& workload = PopulatedWorkload();
+  PhysNodePtr plan =
+      PhysNode::FileScan(workload.catalog(), /*relation=*/0);
+  RunExecBenchmark(state, plan);
+}
+BENCHMARK(BM_ExecScan)->Arg(0)->Arg(1);
+
+void BM_ExecScanFilter(benchmark::State& state) {
+  const PaperWorkload& workload = PopulatedWorkload();
+  SelectionPredicate pred;
+  pred.attr = AttrRef{0, ExperimentColumns::kSelect};
+  pred.op = CompareOp::kLt;
+  pred.operand = Operand::Literal(
+      workload.model().ValueForSelectivity(pred, /*sel=*/0.5));
+  PhysNodePtr plan = PhysNode::Filter(
+      {pred}, PhysNode::FileScan(workload.catalog(), /*relation=*/0));
+  RunExecBenchmark(state, plan);
+}
+BENCHMARK(BM_ExecScanFilter)->Arg(0)->Arg(1);
+
+void BM_ExecHashJoin(benchmark::State& state) {
+  const PaperWorkload& workload = PopulatedWorkload();
+  JoinPredicate join;
+  join.left = AttrRef{0, ExperimentColumns::kJoinNext};
+  join.right = AttrRef{1, ExperimentColumns::kJoinPrev};
+  PhysNodePtr plan = PhysNode::HashJoin(
+      {join}, PhysNode::FileScan(workload.catalog(), /*relation=*/0),
+      PhysNode::FileScan(workload.catalog(), /*relation=*/1));
+  RunExecBenchmark(state, plan);
+}
+BENCHMARK(BM_ExecHashJoin)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace dqep::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json` is shorthand for google-benchmark's JSON reporter.
+  static char kJsonFlag[] = "--benchmark_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  for (char*& arg : args) {
+    if (std::strcmp(arg, "--json") == 0) {
+      arg = kJsonFlag;
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

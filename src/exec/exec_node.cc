@@ -1,0 +1,37 @@
+#include "exec/exec_node.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dqep {
+
+namespace {
+
+void RenderNode(const ExecNode& node, int depth, std::ostringstream* os) {
+  std::string name(static_cast<size_t>(depth) * 2, ' ');
+  name += node.op_name();
+  const OperatorCounters& c = node.counters();
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-28s %10lld %10lld %10lld %10.6f\n",
+                name.c_str(), static_cast<long long>(c.next_calls),
+                static_cast<long long>(c.batches),
+                static_cast<long long>(c.tuples), c.wall_seconds);
+  *os << line;
+  for (const ExecNode* child : node.child_nodes()) {
+    RenderNode(*child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string RenderProfile(const ExecNode& root) {
+  std::ostringstream os;
+  char header[160];
+  std::snprintf(header, sizeof(header), "%-28s %10s %10s %10s %10s\n",
+                "operator", "next_calls", "batches", "tuples", "wall_s");
+  os << header;
+  RenderNode(root, 0, &os);
+  return os.str();
+}
+
+}  // namespace dqep

@@ -1,0 +1,70 @@
+// Common base of both executor flavors: operator identity, output layout,
+// and per-operator perf counters.
+//
+// Every operator — tuple-at-a-time or batch-at-a-time — counts its Next
+// calls, tuples and batches produced, and inclusive wall time (children
+// included, since Next calls nest).  The counters quantify the
+// interpretation overhead the batch engine exists to amortize: in tuple
+// mode next_calls == tuples + operators, in batch mode it collapses by
+// the batch capacity.
+
+#ifndef DQEP_EXEC_EXEC_NODE_H_
+#define DQEP_EXEC_EXEC_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace dqep {
+
+/// Perf counters maintained by every operator in both execution modes.
+struct OperatorCounters {
+  /// Next() invocations (including the final end-of-stream call).
+  int64_t next_calls = 0;
+
+  /// Tuples produced (batch mode: live rows summed over batches).
+  int64_t tuples = 0;
+
+  /// Batches produced (always 0 in tuple mode).
+  int64_t batches = 0;
+
+  /// Inclusive wall-clock seconds spent inside Next (children included).
+  double wall_seconds = 0.0;
+};
+
+/// Base class of Iterator and BatchIterator: the stable surface the
+/// profiler and tools see, independent of execution mode.
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+
+  /// Slot layout of produced tuples.
+  const TupleLayout& layout() const { return layout_; }
+
+  /// Operator display name (e.g. "file-scan", "batch-hash-join").
+  const char* op_name() const { return op_name_; }
+
+  const OperatorCounters& counters() const { return counters_; }
+
+  /// Child operators, for profile rendering.
+  virtual std::vector<const ExecNode*> child_nodes() const { return {}; }
+
+ protected:
+  TupleLayout layout_;
+  const char* op_name_ = "op";
+  OperatorCounters counters_;
+};
+
+/// Renders the operator tree with counters, one indented line per
+/// operator:
+///
+///   operator                    next_calls    batches     tuples     wall_s
+///   batch-filter                        13         12      3072   0.001234
+///     batch-file-scan                   13         13     12288   0.000987
+std::string RenderProfile(const ExecNode& root);
+
+}  // namespace dqep
+
+#endif  // DQEP_EXEC_EXEC_NODE_H_

@@ -5,21 +5,11 @@
 #include <map>
 #include <utility>
 
+#include "exec/executor_internal.h"
+
 namespace dqep {
 
-namespace {
-
-/// A selection predicate with its operand bound and its attribute resolved
-/// to a tuple slot.
-struct BoundPredicate {
-  int32_t slot = -1;
-  CompareOp op = CompareOp::kLt;
-  Value value;
-
-  bool Eval(const Tuple& tuple) const {
-    return EvalCompare(tuple.value(slot), op, value);
-  }
-};
+namespace exec_internal {
 
 Result<Value> ResolveOperand(const Operand& operand, const ParamEnv& env) {
   if (operand.is_literal()) {
@@ -50,40 +40,121 @@ Result<BoundPredicate> BindPredicate(const SelectionPredicate& pred,
   return bound;
 }
 
+Result<std::vector<BoundPredicate>> BindPredicates(
+    const std::vector<SelectionPredicate>& predicates,
+    const TupleLayout& layout, const ParamEnv& env) {
+  std::vector<BoundPredicate> bound;
+  bound.reserve(predicates.size());
+  for (const SelectionPredicate& pred : predicates) {
+    Result<BoundPredicate> b = BindPredicate(pred, layout, env);
+    if (!b.ok()) {
+      return b.status();
+    }
+    bound.push_back(*b);
+  }
+  return bound;
+}
+
+std::vector<RowId> BTreeRids(const Table& table, int32_t column,
+                             const BoundPredicate* predicate) {
+  const BTreeIndex& index = table.IndexOn(column);
+  if (predicate == nullptr) {
+    return index.FullScan();
+  }
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  DQEP_CHECK(predicate->value.is_int64());
+  int64_t v = predicate->value.AsInt64();
+  switch (predicate->op) {
+    case CompareOp::kLt:
+      return index.ScanBelow(v);
+    case CompareOp::kLe:
+      return index.RangeScan(kMin, v);
+    case CompareOp::kEq:
+      return index.Lookup(v);
+    case CompareOp::kGe:
+      return index.RangeScan(v, kMax);
+    case CompareOp::kGt:
+      return v == kMax ? std::vector<RowId>() : index.RangeScan(v + 1, kMax);
+  }
+  return {};
+}
+
+Status ResolveHashJoinSlots(const PhysNode& node, const TupleLayout& build,
+                            const TupleLayout& probe,
+                            std::vector<int32_t>* build_slots,
+                            std::vector<int32_t>* probe_slots) {
+  for (const JoinPredicate& join : node.joins()) {
+    int32_t bs = build.SlotOf(join.left);
+    int32_t ps = probe.SlotOf(join.right);
+    if (bs < 0 || ps < 0) {
+      // The predicate may be oriented the other way around.
+      bs = build.SlotOf(join.right);
+      ps = probe.SlotOf(join.left);
+    }
+    if (bs < 0 || ps < 0) {
+      return Status::Internal("join attribute missing from inputs");
+    }
+    build_slots->push_back(bs);
+    probe_slots->push_back(ps);
+  }
+  return Status::OK();
+}
+
+}  // namespace exec_internal
+
+namespace {
+
+using exec_internal::BindPredicate;
+using exec_internal::BindPredicates;
+using exec_internal::BoundPredicate;
+using exec_internal::BTreeRids;
+using exec_internal::JoinKey;
+using exec_internal::JoinKeyInto;
+using exec_internal::ResolveHashJoinSlots;
+
 // --- Scans -----------------------------------------------------------------
 
 class FileScanIter : public Iterator {
  public:
   explicit FileScanIter(const Table* table)
-      : table_(table), scanner_(table->heap().CreateScanner()) {
+      : scanner_(table->heap().CreateScanner()) {
     layout_ = table->layout();
+    op_name_ = "file-scan";
   }
 
   void Open() override { scanner_.Reset(); }
 
-  bool Next(Tuple* out) override { return scanner_.Next(out); }
-
   void Close() override { scanner_.Reset(); }
 
+ protected:
+  bool NextImpl(Tuple* out) override { return scanner_.Next(out); }
+
  private:
-  const Table* table_;
   HeapFile::Scanner scanner_;
 };
 
-/// Full B-tree scan: all rows in key order.
+/// B-tree scan over `column`, full or bounded by one predicate on the
+/// indexed column (all rows arrive in key order either way).
 class BTreeScanIter : public Iterator {
  public:
-  BTreeScanIter(const Table* table, int32_t column)
-      : table_(table), column_(column) {
+  BTreeScanIter(const Table* table, int32_t column,
+                std::optional<BoundPredicate> predicate)
+      : table_(table), column_(column), predicate_(std::move(predicate)) {
     layout_ = table->layout();
+    op_name_ = predicate_.has_value() ? "filter-btree-scan" : "btree-scan";
   }
 
   void Open() override {
-    rids_ = table_->IndexOn(column_).FullScan();
+    rids_ = BTreeRids(*table_, column_,
+                      predicate_.has_value() ? &*predicate_ : nullptr);
     next_ = 0;
   }
 
-  bool Next(Tuple* out) override {
+  void Close() override { rids_.clear(); }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     if (next_ >= rids_.size()) {
       return false;
     }
@@ -91,65 +162,10 @@ class BTreeScanIter : public Iterator {
     return true;
   }
 
-  void Close() override { rids_.clear(); }
-
  private:
   const Table* table_;
   int32_t column_;
-  std::vector<RowId> rids_;
-  size_t next_ = 0;
-};
-
-/// B-tree range scan driven by one bound predicate on the indexed column.
-class FilterBTreeScanIter : public Iterator {
- public:
-  FilterBTreeScanIter(const Table* table, int32_t column,
-                      BoundPredicate predicate)
-      : table_(table), column_(column), predicate_(predicate) {
-    layout_ = table->layout();
-  }
-
-  void Open() override {
-    const BTreeIndex& index = table_->IndexOn(column_);
-    constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
-    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
-    DQEP_CHECK(predicate_.value.is_int64());
-    int64_t v = predicate_.value.AsInt64();
-    switch (predicate_.op) {
-      case CompareOp::kLt:
-        rids_ = index.ScanBelow(v);
-        break;
-      case CompareOp::kLe:
-        rids_ = index.RangeScan(kMin, v);
-        break;
-      case CompareOp::kEq:
-        rids_ = index.Lookup(v);
-        break;
-      case CompareOp::kGe:
-        rids_ = index.RangeScan(v, kMax);
-        break;
-      case CompareOp::kGt:
-        rids_ = v == kMax ? std::vector<RowId>()
-                          : index.RangeScan(v + 1, kMax);
-        break;
-    }
-    next_ = 0;
-  }
-
-  bool Next(Tuple* out) override {
-    if (next_ >= rids_.size()) {
-      return false;
-    }
-    *out = table_->heap().tuple(rids_[next_++]);
-    return true;
-  }
-
-  void Close() override { rids_.clear(); }
-
- private:
-  const Table* table_;
-  int32_t column_;
-  BoundPredicate predicate_;
+  std::optional<BoundPredicate> predicate_;
   std::vector<RowId> rids_;
   size_t next_ = 0;
 };
@@ -162,11 +178,19 @@ class FilterIter : public Iterator {
              std::unique_ptr<Iterator> input)
       : predicates_(std::move(predicates)), input_(std::move(input)) {
     layout_ = input_->layout();
+    op_name_ = "filter";
   }
 
   void Open() override { input_->Open(); }
 
-  bool Next(Tuple* out) override {
+  void Close() override { input_->Close(); }
+
+  std::vector<const ExecNode*> child_nodes() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     Tuple tuple;
     while (input_->Next(&tuple)) {
       bool pass = true;
@@ -183,8 +207,6 @@ class FilterIter : public Iterator {
     }
     return false;
   }
-
-  void Close() override { input_->Close(); }
 
  private:
   std::vector<BoundPredicate> predicates_;
@@ -205,13 +227,16 @@ class HashJoinIter : public Iterator {
         build_(std::move(build)),
         probe_(std::move(probe)) {
     layout_ = TupleLayout::Concat(build_->layout(), probe_->layout());
+    op_name_ = "hash-join";
   }
 
   void Open() override {
     build_->Open();
     Tuple tuple;
+    JoinKey key;
     while (build_->Next(&tuple)) {
-      table_.emplace(KeyOf(tuple, build_slots_), std::move(tuple));
+      JoinKeyInto(tuple, build_slots_, &key);
+      table_.emplace(key, std::move(tuple));
     }
     build_->Close();
     probe_->Open();
@@ -219,7 +244,17 @@ class HashJoinIter : public Iterator {
     match_end_ = table_.end();
   }
 
-  bool Next(Tuple* out) override {
+  void Close() override {
+    probe_->Close();
+    table_.clear();
+  }
+
+  std::vector<const ExecNode*> child_nodes() const override {
+    return {build_.get(), probe_.get()};
+  }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     while (true) {
       if (match_it_ != match_end_) {
         *out = Tuple::Concat(match_it_->second, probe_tuple_);
@@ -229,36 +264,21 @@ class HashJoinIter : public Iterator {
       if (!probe_->Next(&probe_tuple_)) {
         return false;
       }
-      std::tie(match_it_, match_end_) =
-          table_.equal_range(KeyOf(probe_tuple_, probe_slots_));
+      JoinKeyInto(probe_tuple_, probe_slots_, &probe_key_);
+      std::tie(match_it_, match_end_) = table_.equal_range(probe_key_);
     }
-  }
-
-  void Close() override {
-    probe_->Close();
-    table_.clear();
   }
 
  private:
-  using Key = std::vector<int64_t>;
-
-  static Key KeyOf(const Tuple& tuple, const std::vector<int32_t>& slots) {
-    Key key;
-    key.reserve(slots.size());
-    for (int32_t slot : slots) {
-      key.push_back(tuple.value(slot).AsInt64());
-    }
-    return key;
-  }
-
   std::vector<int32_t> build_slots_;
   std::vector<int32_t> probe_slots_;
   std::unique_ptr<Iterator> build_;
   std::unique_ptr<Iterator> probe_;
-  std::multimap<Key, Tuple> table_;
-  std::multimap<Key, Tuple>::iterator match_it_;
-  std::multimap<Key, Tuple>::iterator match_end_;
+  std::multimap<JoinKey, Tuple> table_;
+  std::multimap<JoinKey, Tuple>::iterator match_it_;
+  std::multimap<JoinKey, Tuple>::iterator match_end_;
   Tuple probe_tuple_;  // overwritten before first use
+  JoinKey probe_key_;
 };
 
 /// Merge join over inputs sorted on the first join predicate; additional
@@ -275,6 +295,7 @@ class MergeJoinIter : public Iterator {
         left_(std::move(left)),
         right_(std::move(right)) {
     layout_ = TupleLayout::Concat(left_->layout(), right_->layout());
+    op_name_ = "merge-join";
   }
 
   void Open() override {
@@ -299,7 +320,17 @@ class MergeJoinIter : public Iterator {
     gr_ = rg_begin_ = rg_end_ = 0;
   }
 
-  bool Next(Tuple* out) override {
+  void Close() override {
+    left_rows_.clear();
+    right_rows_.clear();
+  }
+
+  std::vector<const ExecNode*> child_nodes() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     while (true) {
       // Emit the cross product of the current duplicate-key groups.
       while (gl_ < lg_end_) {
@@ -340,11 +371,6 @@ class MergeJoinIter : public Iterator {
       li_ = lg_end_;
       ri_ = rg_end_;
     }
-  }
-
-  void Close() override {
-    left_rows_.clear();
-    right_rows_.clear();
   }
 
  private:
@@ -392,6 +418,7 @@ class IndexJoinIter : public Iterator {
         residual_(std::move(residual)),
         outer_(std::move(outer)) {
     layout_ = TupleLayout::Concat(outer_->layout(), inner->layout());
+    op_name_ = "index-join";
   }
 
   void Open() override {
@@ -400,7 +427,17 @@ class IndexJoinIter : public Iterator {
     match_pos_ = 0;
   }
 
-  bool Next(Tuple* out) override {
+  void Close() override {
+    outer_->Close();
+    matches_.clear();
+  }
+
+  std::vector<const ExecNode*> child_nodes() const override {
+    return {outer_.get()};
+  }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     while (true) {
       while (match_pos_ < matches_.size()) {
         Tuple inner_tuple = inner_->heap().tuple(matches_[match_pos_++]);
@@ -425,11 +462,6 @@ class IndexJoinIter : public Iterator {
     }
   }
 
-  void Close() override {
-    outer_->Close();
-    matches_.clear();
-  }
-
  private:
   int32_t outer_slot_;
   const Table* inner_;
@@ -448,6 +480,7 @@ class SortIter : public Iterator {
   SortIter(int32_t slot, std::unique_ptr<Iterator> input)
       : slot_(slot), input_(std::move(input)) {
     layout_ = input_->layout();
+    op_name_ = "sort";
   }
 
   void Open() override {
@@ -465,15 +498,20 @@ class SortIter : public Iterator {
     next_ = 0;
   }
 
-  bool Next(Tuple* out) override {
+  void Close() override { rows_.clear(); }
+
+  std::vector<const ExecNode*> child_nodes() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     if (next_ >= rows_.size()) {
       return false;
     }
     *out = rows_[next_++];
     return true;
   }
-
-  void Close() override { rows_.clear(); }
 
  private:
   int32_t slot_;
@@ -490,11 +528,19 @@ class ProjectIter : public Iterator {
               std::unique_ptr<Iterator> input)
       : slots_(std::move(slots)), input_(std::move(input)) {
     layout_ = std::move(layout);
+    op_name_ = "project";
   }
 
   void Open() override { input_->Open(); }
 
-  bool Next(Tuple* out) override {
+  void Close() override { input_->Close(); }
+
+  std::vector<const ExecNode*> child_nodes() const override {
+    return {input_.get()};
+  }
+
+ protected:
+  bool NextImpl(Tuple* out) override {
     Tuple tuple;
     if (!input_->Next(&tuple)) {
       return false;
@@ -506,8 +552,6 @@ class ProjectIter : public Iterator {
     *out = std::move(projected);
     return true;
   }
-
-  void Close() override { input_->Close(); }
 
  private:
   std::vector<int32_t> slots_;
@@ -525,7 +569,7 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
           std::make_unique<FileScanIter>(&db.table(node.relation())));
     case PhysOpKind::kBTreeScan:
       return std::unique_ptr<Iterator>(std::make_unique<BTreeScanIter>(
-          &db.table(node.relation()), node.column()));
+          &db.table(node.relation()), node.column(), std::nullopt));
     case PhysOpKind::kFilterBTreeScan: {
       const Table& table = db.table(node.relation());
       DQEP_CHECK_EQ(node.predicates().size(), 1u);
@@ -534,7 +578,7 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
       if (!pred.ok()) {
         return pred.status();
       }
-      return std::unique_ptr<Iterator>(std::make_unique<FilterBTreeScanIter>(
+      return std::unique_ptr<Iterator>(std::make_unique<BTreeScanIter>(
           &table, node.column(), *pred));
     }
     case PhysOpKind::kFilter: {
@@ -543,17 +587,13 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
       if (!input.ok()) {
         return input.status();
       }
-      std::vector<BoundPredicate> bound;
-      for (const SelectionPredicate& pred : node.predicates()) {
-        Result<BoundPredicate> b =
-            BindPredicate(pred, (*input)->layout(), env);
-        if (!b.ok()) {
-          return b.status();
-        }
-        bound.push_back(*b);
+      Result<std::vector<BoundPredicate>> bound =
+          BindPredicates(node.predicates(), (*input)->layout(), env);
+      if (!bound.ok()) {
+        return bound.status();
       }
       return std::unique_ptr<Iterator>(std::make_unique<FilterIter>(
-          std::move(bound), std::move(*input)));
+          std::move(*bound), std::move(*input)));
     }
     case PhysOpKind::kHashJoin: {
       Result<std::unique_ptr<Iterator>> build = Build(*node.child(0), db, env);
@@ -562,20 +602,9 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
       if (!probe.ok()) return probe.status();
       std::vector<int32_t> build_slots;
       std::vector<int32_t> probe_slots;
-      for (const JoinPredicate& join : node.joins()) {
-        int32_t bs = (*build)->layout().SlotOf(join.left);
-        int32_t ps = (*probe)->layout().SlotOf(join.right);
-        if (bs < 0 || ps < 0) {
-          // The predicate may be oriented the other way around.
-          bs = (*build)->layout().SlotOf(join.right);
-          ps = (*probe)->layout().SlotOf(join.left);
-        }
-        if (bs < 0 || ps < 0) {
-          return Status::Internal("join attribute missing from inputs");
-        }
-        build_slots.push_back(bs);
-        probe_slots.push_back(ps);
-      }
+      DQEP_RETURN_IF_ERROR(ResolveHashJoinSlots(node, (*build)->layout(),
+                                                (*probe)->layout(),
+                                                &build_slots, &probe_slots));
       return std::unique_ptr<Iterator>(std::make_unique<HashJoinIter>(
           std::move(build_slots), std::move(probe_slots), std::move(*build),
           std::move(*probe)));
@@ -585,49 +614,14 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
       if (!left.ok()) return left.status();
       Result<std::unique_ptr<Iterator>> right = Build(*node.child(1), db, env);
       if (!right.ok()) return right.status();
-      const JoinPredicate& key = node.joins().front();
-      int32_t ls = (*left)->layout().SlotOf(key.left);
-      int32_t rs = (*right)->layout().SlotOf(key.right);
-      if (ls < 0 || rs < 0) {
-        return Status::Internal("merge key missing from inputs");
-      }
-      std::vector<std::pair<int32_t, int32_t>> residual;
-      for (size_t i = 1; i < node.joins().size(); ++i) {
-        const JoinPredicate& join = node.joins()[i];
-        int32_t l = (*left)->layout().SlotOf(join.left);
-        int32_t r = (*right)->layout().SlotOf(join.right);
-        if (l < 0 || r < 0) {
-          l = (*left)->layout().SlotOf(join.right);
-          r = (*right)->layout().SlotOf(join.left);
-        }
-        if (l < 0 || r < 0) {
-          return Status::Internal("join attribute missing from inputs");
-        }
-        residual.emplace_back(l, r);
-      }
-      return std::unique_ptr<Iterator>(std::make_unique<MergeJoinIter>(
-          ls, rs, std::move(residual), std::move(*left), std::move(*right)));
+      return exec_internal::MakeMergeJoinIter(node, std::move(*left),
+                                              std::move(*right));
     }
     case PhysOpKind::kIndexJoin: {
       Result<std::unique_ptr<Iterator>> outer = Build(*node.child(0), db, env);
       if (!outer.ok()) return outer.status();
-      const JoinPredicate& key = node.joins().front();
-      int32_t outer_slot = (*outer)->layout().SlotOf(key.left);
-      if (outer_slot < 0) {
-        return Status::Internal("index join outer key missing from input");
-      }
-      const Table& inner = db.table(node.relation());
-      std::vector<BoundPredicate> residual;
-      for (const SelectionPredicate& pred : node.predicates()) {
-        Result<BoundPredicate> b = BindPredicate(pred, inner.layout(), env);
-        if (!b.ok()) {
-          return b.status();
-        }
-        residual.push_back(*b);
-      }
-      return std::unique_ptr<Iterator>(std::make_unique<IndexJoinIter>(
-          outer_slot, &inner, node.column(), std::move(residual),
-          std::move(*outer)));
+      return exec_internal::MakeIndexJoinIter(node, db, env,
+                                              std::move(*outer));
     }
     case PhysOpKind::kSort: {
       Result<std::unique_ptr<Iterator>> input = Build(*node.child(0), db, env);
@@ -663,7 +657,87 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
   return Status::Internal("unknown operator kind");
 }
 
+/// Rows to pre-allocate for a drain, from the plan's annotated
+/// compile-time cardinality (zero for unannotated plans, capped so a
+/// loose upper bound cannot trigger a pathological allocation).
+size_t ReserveHint(const PhysNode& plan) {
+  constexpr double kMaxReserve = 1 << 20;
+  double hint = std::clamp(plan.est_cardinality().hi(), 0.0, kMaxReserve);
+  return static_cast<size_t>(hint);
+}
+
 }  // namespace
+
+namespace exec_internal {
+
+Result<std::unique_ptr<Iterator>> MakeMergeJoinIter(
+    const PhysNode& node, std::unique_ptr<Iterator> left,
+    std::unique_ptr<Iterator> right) {
+  const JoinPredicate& key = node.joins().front();
+  int32_t ls = left->layout().SlotOf(key.left);
+  int32_t rs = right->layout().SlotOf(key.right);
+  if (ls < 0 || rs < 0) {
+    return Status::Internal("merge key missing from inputs");
+  }
+  std::vector<std::pair<int32_t, int32_t>> residual;
+  for (size_t i = 1; i < node.joins().size(); ++i) {
+    const JoinPredicate& join = node.joins()[i];
+    int32_t l = left->layout().SlotOf(join.left);
+    int32_t r = right->layout().SlotOf(join.right);
+    if (l < 0 || r < 0) {
+      l = left->layout().SlotOf(join.right);
+      r = right->layout().SlotOf(join.left);
+    }
+    if (l < 0 || r < 0) {
+      return Status::Internal("join attribute missing from inputs");
+    }
+    residual.emplace_back(l, r);
+  }
+  return std::unique_ptr<Iterator>(std::make_unique<MergeJoinIter>(
+      ls, rs, std::move(residual), std::move(left), std::move(right)));
+}
+
+Result<std::unique_ptr<Iterator>> MakeIndexJoinIter(
+    const PhysNode& node, const Database& db, const ParamEnv& env,
+    std::unique_ptr<Iterator> outer) {
+  const JoinPredicate& key = node.joins().front();
+  int32_t outer_slot = outer->layout().SlotOf(key.left);
+  if (outer_slot < 0) {
+    return Status::Internal("index join outer key missing from input");
+  }
+  const Table& inner = db.table(node.relation());
+  Result<std::vector<BoundPredicate>> residual =
+      BindPredicates(node.predicates(), inner.layout(), env);
+  if (!residual.ok()) {
+    return residual.status();
+  }
+  return std::unique_ptr<Iterator>(std::make_unique<IndexJoinIter>(
+      outer_slot, &inner, node.column(), std::move(*residual),
+      std::move(outer)));
+}
+
+}  // namespace exec_internal
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kTuple:
+      return "tuple";
+    case ExecMode::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+Result<ExecMode> ParseExecMode(std::string_view name) {
+  if (name == "tuple") {
+    return ExecMode::kTuple;
+  }
+  if (name == "batch") {
+    return ExecMode::kBatch;
+  }
+  return Status::InvalidArgument("unknown exec mode '" + std::string(name) +
+                                 "' (expected tuple or batch)");
+}
 
 Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
                                                 const Database& db,
@@ -674,12 +748,31 @@ Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
 
 Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
                                        const Database& db,
-                                       const ParamEnv& env) {
+                                       const ParamEnv& env,
+                                       ExecMode mode) {
+  DQEP_CHECK(plan != nullptr);
+  std::vector<Tuple> rows;
+  rows.reserve(ReserveHint(*plan));
+  if (mode == ExecMode::kBatch) {
+    Result<std::unique_ptr<BatchIterator>> iter =
+        BuildBatchExecutor(plan, db, env);
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    (*iter)->Open();
+    TupleBatch batch;
+    while ((*iter)->Next(&batch)) {
+      for (int32_t i = 0; i < batch.num_rows(); ++i) {
+        rows.push_back(batch.row(i));
+      }
+    }
+    (*iter)->Close();
+    return rows;
+  }
   Result<std::unique_ptr<Iterator>> iter = BuildExecutor(plan, db, env);
   if (!iter.ok()) {
     return iter.status();
   }
-  std::vector<Tuple> rows;
   (*iter)->Open();
   Tuple tuple;
   while ((*iter)->Next(&tuple)) {

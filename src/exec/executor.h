@@ -1,46 +1,107 @@
-// The Volcano-style execution engine.
+// The execution engine: Volcano iterators in two granularities.
 //
-// Physical plans execute as trees of demand-driven iterators
-// (Open/Next/Close).  Plans must be *resolved* before execution: every
-// choose-plan operator replaced by its chosen alternative (see
-// runtime/startup.h).  Host variables are bound through the ParamEnv.
+// Physical plans execute as trees of demand-driven operators
+// (Open/Next/Close) in one of two modes:
+//
+//   kTuple — classic tuple-at-a-time Volcano: one virtual Next(Tuple*)
+//            call per tuple per operator.
+//   kBatch — batch-at-a-time (vectorized Volcano): one Next(TupleBatch*)
+//            call per ~1024 tuples; scans decode into reused batch rows,
+//            filters narrow a selection vector in place.  Operators
+//            without a batch implementation (merge join, index join) run
+//            tuple-at-a-time behind generic adaptors, so every plan
+//            executes end-to-end in either mode.
+//
+// Plans must be *resolved* before execution: every choose-plan operator
+// replaced by its chosen alternative (see runtime/startup.h).  Host
+// variables are bound through the ParamEnv.  Both modes produce identical
+// result multisets; tests/exec_batch_test.cc enforces this differentially.
 
 #ifndef DQEP_EXEC_EXECUTOR_H_
 #define DQEP_EXEC_EXECUTOR_H_
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "common/timer.h"
 #include "cost/param_env.h"
+#include "exec/exec_node.h"
 #include "physical/plan.h"
 #include "storage/database.h"
 #include "storage/tuple.h"
+#include "storage/tuple_batch.h"
 
 namespace dqep {
 
-/// Demand-driven tuple iterator.
-class Iterator {
- public:
-  virtual ~Iterator() = default;
+/// Execution granularity.
+enum class ExecMode {
+  kTuple,
+  kBatch,
+};
 
+/// "tuple" / "batch".
+const char* ExecModeName(ExecMode mode);
+
+/// Parses "tuple" / "batch" (case-sensitive).
+Result<ExecMode> ParseExecMode(std::string_view name);
+
+/// Demand-driven tuple iterator.
+class Iterator : public ExecNode {
+ public:
   /// Prepares the iterator (allocates state, opens children).
   virtual void Open() = 0;
 
   /// Produces the next tuple; returns false at end of stream.
-  virtual bool Next(Tuple* out) = 0;
+  bool Next(Tuple* out) {
+    WallTimer timer;
+    bool produced = NextImpl(out);
+    counters_.wall_seconds += timer.ElapsedSeconds();
+    ++counters_.next_calls;
+    if (produced) {
+      ++counters_.tuples;
+    }
+    return produced;
+  }
 
   /// Releases resources; the iterator may be re-Opened afterwards.
   virtual void Close() = 0;
 
-  /// Slot layout of produced tuples.
-  const TupleLayout& layout() const { return layout_; }
-
  protected:
-  TupleLayout layout_;
+  virtual bool NextImpl(Tuple* out) = 0;
 };
 
-/// Builds an iterator tree for a resolved plan.
+/// Demand-driven batch iterator.
+class BatchIterator : public ExecNode {
+ public:
+  /// Prepares the iterator (allocates state, opens children).
+  virtual void Open() = 0;
+
+  /// Clears and refills `out`; returns false at end of stream.  A true
+  /// return guarantees at least one live row; batches may otherwise be
+  /// partially full anywhere in the stream.  Callers should reuse the
+  /// same batch across calls so row storage is recycled.
+  bool Next(TupleBatch* out) {
+    WallTimer timer;
+    bool produced = NextImpl(out);
+    counters_.wall_seconds += timer.ElapsedSeconds();
+    ++counters_.next_calls;
+    if (produced) {
+      ++counters_.batches;
+      counters_.tuples += out->num_rows();
+    }
+    return produced;
+  }
+
+  /// Releases resources; the iterator may be re-Opened afterwards.
+  virtual void Close() = 0;
+
+ protected:
+  virtual bool NextImpl(TupleBatch* out) = 0;
+};
+
+/// Builds a tuple-at-a-time iterator tree for a resolved plan.
 ///
 /// Fails with InvalidArgument if the plan still contains choose-plan
 /// operators (resolve it at start-up first) or references unbound host
@@ -49,10 +110,19 @@ Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
                                                 const Database& db,
                                                 const ParamEnv& env);
 
-/// Convenience: builds, opens, drains, and closes; returns all tuples.
+/// Builds a batch-at-a-time iterator tree for a resolved plan; operators
+/// without a batch implementation run tuple-at-a-time behind adaptors.
+/// Same failure modes as BuildExecutor.
+Result<std::unique_ptr<BatchIterator>> BuildBatchExecutor(
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env);
+
+/// Convenience: builds in `mode`, opens, drains, and closes; returns all
+/// tuples.  The output vector is pre-sized from the plan's annotated
+/// compile-time cardinality estimate when one is present.
 Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
                                        const Database& db,
-                                       const ParamEnv& env);
+                                       const ParamEnv& env,
+                                       ExecMode mode = ExecMode::kTuple);
 
 }  // namespace dqep
 

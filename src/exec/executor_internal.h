@@ -1,0 +1,84 @@
+// Internals shared by the tuple-at-a-time (executor.cc) and
+// batch-at-a-time (batch_operators.cc) operator implementations:
+// predicate binding, B-tree rid production, join-slot resolution, and the
+// constructors the batch builder uses to instantiate not-yet-batched
+// tuple operators behind adaptors.
+
+#ifndef DQEP_EXEC_EXECUTOR_INTERNAL_H_
+#define DQEP_EXEC_EXECUTOR_INTERNAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+#include "storage/table.h"
+
+namespace dqep {
+namespace exec_internal {
+
+/// A selection predicate with its operand bound and its attribute resolved
+/// to a tuple slot.
+struct BoundPredicate {
+  int32_t slot = -1;
+  CompareOp op = CompareOp::kLt;
+  Value value;
+
+  bool Eval(const Tuple& tuple) const {
+    return EvalCompare(tuple.value(slot), op, value);
+  }
+};
+
+/// Resolves an operand to a value (fails on unbound host variables).
+Result<Value> ResolveOperand(const Operand& operand, const ParamEnv& env);
+
+/// Binds one predicate against `layout`.
+Result<BoundPredicate> BindPredicate(const SelectionPredicate& pred,
+                                     const TupleLayout& layout,
+                                     const ParamEnv& env);
+
+/// Binds all of `node`'s predicates against `layout`.
+Result<std::vector<BoundPredicate>> BindPredicates(
+    const std::vector<SelectionPredicate>& predicates,
+    const TupleLayout& layout, const ParamEnv& env);
+
+/// RowIds delivered by the B-tree on `column`: the full scan when
+/// `predicate` is null, else the range satisfying it (which must compare
+/// the indexed column against an int64).
+std::vector<RowId> BTreeRids(const Table& table, int32_t column,
+                             const BoundPredicate* predicate);
+
+/// Resolves a hash join's composite key attributes into (build, probe)
+/// slot pairs, trying both predicate orientations.
+Status ResolveHashJoinSlots(const PhysNode& node, const TupleLayout& build,
+                            const TupleLayout& probe,
+                            std::vector<int32_t>* build_slots,
+                            std::vector<int32_t>* probe_slots);
+
+/// Composite equality-join key.
+using JoinKey = std::vector<int64_t>;
+
+/// Fills `key` from `tuple`'s `slots`, reusing the vector's capacity.
+inline void JoinKeyInto(const Tuple& tuple, const std::vector<int32_t>& slots,
+                        JoinKey* key) {
+  key->clear();
+  for (int32_t slot : slots) {
+    key->push_back(tuple.value(slot).AsInt64());
+  }
+}
+
+/// Constructs a tuple-at-a-time merge join over pre-built children (used
+/// by both mode builders; the batch builder wraps the children in
+/// adaptors).
+Result<std::unique_ptr<Iterator>> MakeMergeJoinIter(
+    const PhysNode& node, std::unique_ptr<Iterator> left,
+    std::unique_ptr<Iterator> right);
+
+/// Constructs a tuple-at-a-time index join over a pre-built outer child.
+Result<std::unique_ptr<Iterator>> MakeIndexJoinIter(
+    const PhysNode& node, const Database& db, const ParamEnv& env,
+    std::unique_ptr<Iterator> outer);
+
+}  // namespace exec_internal
+}  // namespace dqep
+
+#endif  // DQEP_EXEC_EXECUTOR_INTERNAL_H_

@@ -1,8 +1,8 @@
 #include "optimizer/optimizer.h"
 
 #include <limits>
-#include <map>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -27,9 +27,27 @@ struct GoalKey {
   RelSet set;
   SortOrder order;
 
-  friend bool operator<(const GoalKey& a, const GoalKey& b) {
-    if (a.set != b.set) return a.set < b.set;
-    return a.order < b.order;
+  friend bool operator==(const GoalKey& a, const GoalKey& b) {
+    return a.set == b.set && a.order == b.order;
+  }
+};
+
+struct GoalKeyHash {
+  size_t operator()(const GoalKey& key) const {
+    uint64_t h = key.set;
+    if (key.order.IsSorted()) {
+      const AttrRef& attr = key.order.attr();
+      h ^= (static_cast<uint64_t>(attr.relation) << 32) ^
+           (static_cast<uint64_t>(static_cast<uint32_t>(attr.column)) + 1);
+    }
+    // Finalizer from splitmix64: spreads the relation-set bits, which are
+    // dense in the low positions, across the whole word.
+    h ^= h >> 30;
+    h *= UINT64_C(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h *= UINT64_C(0x94d049bb133111eb);
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
   }
 };
 
@@ -133,7 +151,11 @@ class SearchContext {
     }
 
     // 2. Filter-B-tree-scan on each indexable predicate; remaining
-    //    predicates apply as a residual filter.
+    //    predicates apply as a residual filter.  The residual vector is
+    //    hoisted out of the loop and refilled in place so each indexable
+    //    predicate reuses its capacity.
+    std::vector<SelectionPredicate> residual;
+    residual.reserve(term.predicates.size());
     for (size_t i = 0; i < term.predicates.size(); ++i) {
       const SelectionPredicate& pred = term.predicates[i];
       if (!relation.HasIndexOn(pred.attr.column)) {
@@ -141,7 +163,7 @@ class SearchContext {
       }
       PhysNodePtr scan =
           PhysNode::FilterBTreeScan(catalog, term.relation, pred);
-      std::vector<SelectionPredicate> residual;
+      residual.clear();
       for (size_t j = 0; j < term.predicates.size(); ++j) {
         if (j != i) {
           residual.push_back(term.predicates[j]);
@@ -290,25 +312,28 @@ class SearchContext {
     ++stats_.plans_considered;
     NodeEstimate estimate = Estimate(*plan);
     if (!options_.force_incomparable) {
+      // Single pass: the frontier is mutually incomparable, so by
+      // transitivity of the interval partial order a candidate dominated
+      // by one member cannot also dominate another — an early return on
+      // kGreater/kEqual never strands evictions already performed.
+      size_t kept = 0;
       for (size_t i = 0; i < goal->frontier.size(); ++i) {
-        PartialOrdering cmp =
-            estimate.cost.Compare(goal->estimates[i].cost);
-        if (cmp == PartialOrdering::kGreater ||
-            cmp == PartialOrdering::kEqual) {
+        PartialOrdering cmp = estimate.cost.Compare(goal->estimates[i].cost);
+        if (cmp == PartialOrdering::kGreater || cmp == PartialOrdering::kEqual) {
+          // No eviction can have preceded this: a member above the
+          // candidate and a member below it would be mutually comparable.
+          DQEP_CHECK_EQ(kept, i);
           ++stats_.plans_dominated;
           return;  // An existing plan is never worse; drop the candidate.
         }
-      }
-      // Evict existing plans the candidate strictly dominates.
-      size_t kept = 0;
-      for (size_t i = 0; i < goal->frontier.size(); ++i) {
-        if (estimate.cost.Compare(goal->estimates[i].cost) ==
-            PartialOrdering::kLess) {
+        if (cmp == PartialOrdering::kLess) {
           ++stats_.plans_dominated;
-          continue;
+          continue;  // Candidate strictly dominates this plan: evict it.
         }
-        goal->frontier[kept] = std::move(goal->frontier[i]);
-        goal->estimates[kept] = goal->estimates[i];
+        if (kept != i) {
+          goal->frontier[kept] = std::move(goal->frontier[i]);
+          goal->estimates[kept] = goal->estimates[i];
+        }
         ++kept;
       }
       goal->frontier.resize(kept);
@@ -414,9 +439,9 @@ class SearchContext {
   const ParamEnv& env_;
   const OptimizerOptions& options_;
 
-  std::map<GoalKey, std::unique_ptr<Goal>> memo_;
-  std::map<RelSet, bool> connected_;
-  std::map<RelSet, double> tree_counts_;
+  std::unordered_map<GoalKey, std::unique_ptr<Goal>, GoalKeyHash> memo_;
+  std::unordered_map<RelSet, bool> connected_;
+  std::unordered_map<RelSet, double> tree_counts_;
   /// Compile-time estimates for every node referenced during this search.
   std::unordered_map<const PhysNode*, NodeEstimate> node_estimates_;
   /// Every candidate ever considered (see Consider: pointer-keyed caches

@@ -20,8 +20,8 @@ uint64_t RelationBit(RelationId relation) {
 
 Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
                                               const CostModel& model,
-                                              const ParamEnv& env,
-                                              Database& db) {
+                                              const ParamEnv& env, Database& db,
+                                              ExecMode exec_mode) {
   DQEP_CHECK(root != nullptr);
   std::vector<const PhysNode*> order = root->TopologicalOrder();
 
@@ -77,7 +77,7 @@ Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
     }
     int64_t reads_before = db.page_store().stats().page_reads;
     Result<std::vector<Tuple>> rows =
-        ExecutePlan(resolved->resolved, db, env);
+        ExecutePlan(resolved->resolved, db, env, exec_mode);
     if (!rows.ok()) {
       return rows.status();
     }

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "exec/executor.h"
 #include "physical/plan.h"
 #include "runtime/startup.h"
 #include "storage/database.h"
@@ -47,11 +48,11 @@ struct AdaptiveResult {
 
 /// Resolves `root` like ResolveDynamicPlan, but first executes each
 /// maximal single-relation subplan to learn its true cardinality.
-/// Requires a fully bound environment and populated tables.
-Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
-                                              const CostModel& model,
-                                              const ParamEnv& env,
-                                              Database& db);
+/// Requires a fully bound environment and populated tables.  Observation
+/// subplans execute in `exec_mode`.
+Result<AdaptiveResult> ResolveWithObservation(
+    const PhysNodePtr& root, const CostModel& model, const ParamEnv& env,
+    Database& db, ExecMode exec_mode = ExecMode::kTuple);
 
 }  // namespace dqep
 

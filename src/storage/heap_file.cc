@@ -48,15 +48,20 @@ Result<RowId> HeapFile::Append(const Tuple& tuple) {
 }
 
 Tuple HeapFile::tuple(RowId rid) const {
+  Tuple out;
+  TupleInto(rid, &out);
+  return out;
+}
+
+void HeapFile::TupleInto(RowId rid, Tuple* out) const {
   int64_t page_ordinal = rid >> kSlotBits;
   int32_t slot = static_cast<int32_t>(rid & (kMaxSlots - 1));
   DQEP_CHECK_GE(page_ordinal, 0);
   DQEP_CHECK_LT(page_ordinal, NumPages());
   PageGuard guard = pool_->Fetch(pages_[static_cast<size_t>(page_ordinal)]);
-  Result<Tuple> decoded =
-      DecodeTuple(slotted_page::Read(guard.data(), slot));
+  Status decoded =
+      DecodeTupleInto(slotted_page::Read(guard.data(), slot), out);
   DQEP_CHECK(decoded.ok());
-  return std::move(*decoded);
 }
 
 bool HeapFile::Scanner::Next(Tuple* out) {
@@ -84,6 +89,36 @@ bool HeapFile::Scanner::Next(Tuple* out) {
     guard_open_ = false;
     ++page_index_;
   }
+}
+
+int32_t HeapFile::Scanner::NextBatch(TupleBatch* out) {
+  DQEP_CHECK(out != nullptr);
+  int32_t added = 0;
+  while (!out->full()) {
+    if (!guard_open_) {
+      if (page_index_ >= file_->pages_.size()) {
+        break;
+      }
+      guard_ = file_->pool_->Fetch(file_->pages_[page_index_]);
+      guard_open_ = true;
+      slot_ = 0;
+    }
+    int32_t records = slotted_page::RecordCount(guard_.data());
+    while (slot_ < records && !out->full()) {
+      Status decoded = DecodeTupleInto(
+          slotted_page::Read(guard_.data(), slot_), &out->AppendRow());
+      DQEP_CHECK(decoded.ok());
+      last_row_id_ = MakeRowId(static_cast<int64_t>(page_index_), slot_);
+      ++slot_;
+      ++added;
+    }
+    if (slot_ >= records) {
+      guard_.Release();
+      guard_open_ = false;
+      ++page_index_;
+    }
+  }
+  return added;
 }
 
 void HeapFile::Scanner::Reset() {

@@ -14,6 +14,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "storage/tuple.h"
+#include "storage/tuple_batch.h"
 
 namespace dqep {
 
@@ -36,6 +37,9 @@ class HeapFile {
   /// Fetches one tuple by RowId (a random page access).
   Tuple tuple(RowId rid) const;
 
+  /// Fetches one tuple by RowId into `out`, reusing its value storage.
+  void TupleInto(RowId rid, Tuple* out) const;
+
   int64_t num_tuples() const { return num_tuples_; }
 
   /// Pages allocated by this file.
@@ -48,6 +52,11 @@ class HeapFile {
 
     /// Produces the next tuple; false at end of file.
     bool Next(Tuple* out);
+
+    /// Appends up to `out`'s remaining capacity tuples, decoding into the
+    /// batch's reused row slots; returns the number appended (0 at end of
+    /// file).
+    int32_t NextBatch(TupleBatch* out);
 
     /// RowId of the tuple most recently produced by Next().
     RowId last_row_id() const { return last_row_id_; }

@@ -45,11 +45,18 @@ std::string EncodeTuple(const Tuple& tuple) {
 }
 
 Result<Tuple> DecodeTuple(std::string_view bytes) {
+  Tuple tuple;
+  DQEP_RETURN_IF_ERROR(DecodeTupleInto(bytes, &tuple));
+  return tuple;
+}
+
+Status DecodeTupleInto(std::string_view bytes, Tuple* out) {
+  DQEP_CHECK(out != nullptr);
   uint16_t count = 0;
   if (!GetRaw(&bytes, &count)) {
     return Status::Corruption("truncated tuple header");
   }
-  Tuple tuple;
+  out->Resize(count);
   for (uint16_t i = 0; i < count; ++i) {
     if (bytes.empty()) {
       return Status::Corruption("truncated tuple value tag");
@@ -61,13 +68,13 @@ Result<Tuple> DecodeTuple(std::string_view bytes) {
       if (!GetRaw(&bytes, &v)) {
         return Status::Corruption("truncated int64 value");
       }
-      tuple.Append(Value(v));
+      out->mutable_value(i)->SetInt64(v);
     } else if (tag == kTagString) {
       uint32_t length = 0;
       if (!GetRaw(&bytes, &length) || bytes.size() < length) {
         return Status::Corruption("truncated string value");
       }
-      tuple.Append(Value(std::string(bytes.substr(0, length))));
+      out->mutable_value(i)->SetString(bytes.substr(0, length));
       bytes.remove_prefix(length);
     } else {
       return Status::Corruption("unknown value tag");
@@ -76,7 +83,7 @@ Result<Tuple> DecodeTuple(std::string_view bytes) {
   if (!bytes.empty()) {
     return Status::Corruption("trailing bytes after tuple");
   }
-  return tuple;
+  return Status::OK();
 }
 
 }  // namespace dqep

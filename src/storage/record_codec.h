@@ -18,6 +18,11 @@ std::string EncodeTuple(const Tuple& tuple);
 /// Decodes EncodeTuple output.
 Result<Tuple> DecodeTuple(std::string_view bytes);
 
+/// Decodes into `out`, overwriting slots in place and reusing their value
+/// storage (no allocations once `out` has seen a tuple of the same shape).
+/// The batch scan path decodes every tuple through this.
+Status DecodeTupleInto(std::string_view bytes, Tuple* out);
+
 }  // namespace dqep
 
 #endif  // DQEP_STORAGE_RECORD_CODEC_H_

@@ -34,6 +34,42 @@ class Tuple {
 
   void Append(Value value) { values_.push_back(std::move(value)); }
 
+  /// Mutable slot access for in-place overwrites (batch row reuse).
+  Value* mutable_value(int32_t slot) {
+    DQEP_CHECK_GE(slot, 0);
+    DQEP_CHECK_LT(slot, size());
+    return &values_[static_cast<size_t>(slot)];
+  }
+
+  /// Grows or shrinks to `n` slots (new slots hold int64 zero).  Surviving
+  /// slots keep their storage, so a resized-then-assigned tuple reuses
+  /// string capacity.
+  void Resize(int32_t n) {
+    DQEP_CHECK_GE(n, 0);
+    values_.resize(static_cast<size_t>(n));
+  }
+
+  /// Copy-assigns from `other`, reusing per-slot storage (Value::Assign).
+  void AssignFrom(const Tuple& other) {
+    Resize(other.size());
+    for (int32_t i = 0; i < size(); ++i) {
+      values_[static_cast<size_t>(i)].Assign(other.values_[static_cast<size_t>(i)]);
+    }
+  }
+
+  /// Assigns the concatenation of `left` and `right` (join output),
+  /// reusing per-slot storage.
+  void AssignConcat(const Tuple& left, const Tuple& right) {
+    Resize(left.size() + right.size());
+    for (int32_t i = 0; i < left.size(); ++i) {
+      values_[static_cast<size_t>(i)].Assign(left.values_[static_cast<size_t>(i)]);
+    }
+    for (int32_t i = 0; i < right.size(); ++i) {
+      values_[static_cast<size_t>(left.size() + i)].Assign(
+          right.values_[static_cast<size_t>(i)]);
+    }
+  }
+
   /// Concatenates two tuples (join output).
   static Tuple Concat(const Tuple& left, const Tuple& right) {
     std::vector<Value> values;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/macros.h"
@@ -33,6 +34,29 @@ class Value {
   const std::string& AsString() const {
     DQEP_CHECK(is_string());
     return std::get<std::string>(data_);
+  }
+
+  /// Overwrites in place with an int64.
+  void SetInt64(int64_t v) { data_ = v; }
+
+  /// Overwrites in place with string contents, reusing the existing
+  /// string's capacity when this value already holds one.  The batch
+  /// execution engine leans on this to decode tuples without allocating.
+  void SetString(std::string_view s) {
+    if (is_string()) {
+      std::get<std::string>(data_).assign(s.data(), s.size());
+    } else {
+      data_.emplace<std::string>(s);
+    }
+  }
+
+  /// Copy-assigns from `other`, reusing storage like SetString.
+  void Assign(const Value& other) {
+    if (other.is_int64()) {
+      SetInt64(other.AsInt64());
+    } else {
+      SetString(other.AsString());
+    }
   }
 
   /// Total order: int64s before strings, then by value.  Cross-type

@@ -1,0 +1,259 @@
+// Differential tests for the batch execution engine: every plan must
+// produce, in kBatch mode, the exact result multiset of kTuple mode — for
+// the five paper queries under random bindings (through choose-plan
+// resolution), against the independent reference evaluator, and for
+// handcrafted plans that exercise the tuple-operator adaptors (merge
+// join, index join).  Also checks order preservation and the per-operator
+// perf counters.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "runtime/lifecycle.h"
+#include "runtime/startup.h"
+#include "tests/reference_eval.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+class ExecBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto workload = PaperWorkload::Create(/*seed=*/31, /*populate=*/true);
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::move(*workload);
+  }
+
+  /// Random bindings with selectivities in [lo, hi].  The reference-eval
+  /// tests keep selectivities low so nested-loop evaluation stays fast;
+  /// the parity sweeps use high selectivities so long join chains still
+  /// produce rows.
+  ParamEnv DrawBindings(Rng* rng, const Query& query, double lo, double hi) {
+    ParamEnv bound;
+    for (const RelationTerm& term : query.terms()) {
+      for (const SelectionPredicate& pred : term.predicates) {
+        bound.Bind(pred.operand.param(),
+                   workload_->model().ValueForSelectivity(
+                       pred, rng->NextDouble(lo, hi)));
+      }
+    }
+    return bound;
+  }
+
+  /// Executes `plan` in `mode` and returns the rows in production order.
+  std::vector<Tuple> Run(const PhysNodePtr& plan, const ParamEnv& env,
+                         ExecMode mode) {
+    auto rows = ExecutePlan(plan, workload_->db(), env, mode);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? std::move(*rows) : std::vector<Tuple>();
+  }
+
+  std::unique_ptr<PaperWorkload> workload_;
+};
+
+/// The five paper queries (1, 2, 4, 6, 10 relations): dynamic compilation,
+/// choose-plan resolution under random bindings, then tuple- and
+/// batch-mode execution must agree exactly as multisets.
+class PaperQueryParity : public ExecBatchTest,
+                         public ::testing::WithParamInterface<int32_t> {};
+
+TEST_P(PaperQueryParity, TupleAndBatchProduceIdenticalMultisets) {
+  int32_t n = GetParam();
+  Query query = workload_->ChainQuery(n);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(),
+                          workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(dyn.ok());
+
+  Rng rng(500 + static_cast<uint64_t>(n));
+  int64_t total_rows = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    ParamEnv bound = DrawBindings(&rng, query, 0.2, 1.0);
+    auto startup =
+        ResolveDynamicPlan(dyn->plan.root, workload_->model(), bound);
+    ASSERT_TRUE(startup.ok());
+    std::vector<Tuple> via_tuple =
+        Canonicalize(Run(startup->resolved, bound, ExecMode::kTuple));
+    std::vector<Tuple> via_batch =
+        Canonicalize(Run(startup->resolved, bound, ExecMode::kBatch));
+    EXPECT_EQ(via_tuple, via_batch) << "n=" << n << " trial=" << trial;
+    total_rows += static_cast<int64_t>(via_tuple.size());
+  }
+  // The sweep should exercise non-empty results, not just vacuous parity.
+  EXPECT_GT(total_rows, 0) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperQueries, PaperQueryParity,
+                         ::testing::ValuesIn(PaperWorkload::PaperQuerySizes()));
+
+/// Both modes must match the independent reference evaluator (the
+/// scenarios integration_test runs in tuple mode).
+class ReferenceParity : public ExecBatchTest,
+                        public ::testing::WithParamInterface<int32_t> {};
+
+TEST_P(ReferenceParity, BothModesMatchReferenceEval) {
+  int32_t n = GetParam();
+  Query query = workload_->ChainQuery(n);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(),
+                          workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(dyn.ok());
+
+  Rng rng(900 + static_cast<uint64_t>(n));
+  for (int trial = 0; trial < 3; ++trial) {
+    ParamEnv bound = DrawBindings(&rng, query, 0.0, 0.4);
+    std::vector<Tuple> expected =
+        Canonicalize(ReferenceEval(query, workload_->db(), bound));
+    auto startup =
+        ResolveDynamicPlan(dyn->plan.root, workload_->model(), bound);
+    ASSERT_TRUE(startup.ok());
+    for (ExecMode mode : {ExecMode::kTuple, ExecMode::kBatch}) {
+      auto iter_layout = BuildExecutor(startup->resolved, workload_->db(),
+                                       bound);
+      ASSERT_TRUE(iter_layout.ok());
+      std::vector<Tuple> rows = Run(startup->resolved, bound, mode);
+      std::vector<Tuple> canonical = Canonicalize(ToReferenceOrder(
+          rows, (*iter_layout)->layout(), query, workload_->db()));
+      EXPECT_EQ(canonical, expected)
+          << ExecModeName(mode) << " n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainQueries, ReferenceParity,
+                         ::testing::Values(1, 2, 3));
+
+TEST_F(ExecBatchTest, MergeJoinRunsBehindAdaptorsInBatchMode) {
+  // Handcrafted sort-merge plan: batch mode must route it through the
+  // tuple-from-batch / batch-from-tuple adaptor sandwich.
+  JoinPredicate join;
+  join.left = AttrRef{0, ExperimentColumns::kJoinNext};
+  join.right = AttrRef{1, ExperimentColumns::kJoinPrev};
+  const Catalog& catalog = workload_->catalog();
+  PhysNodePtr plan = PhysNode::MergeJoin(
+      {join},
+      PhysNode::Sort(join.left, PhysNode::FileScan(catalog, 0)),
+      PhysNode::Sort(join.right, PhysNode::FileScan(catalog, 1)));
+  ParamEnv env;
+  std::vector<Tuple> via_tuple =
+      Canonicalize(Run(plan, env, ExecMode::kTuple));
+  std::vector<Tuple> via_batch =
+      Canonicalize(Run(plan, env, ExecMode::kBatch));
+  EXPECT_GT(via_tuple.size(), 0u);
+  EXPECT_EQ(via_tuple, via_batch);
+}
+
+TEST_F(ExecBatchTest, IndexJoinRunsBehindAdaptorsInBatchMode) {
+  JoinPredicate join;
+  join.left = AttrRef{0, ExperimentColumns::kJoinNext};
+  join.right = AttrRef{1, ExperimentColumns::kJoinPrev};
+  const Catalog& catalog = workload_->catalog();
+  SelectionPredicate residual;
+  residual.attr = AttrRef{1, ExperimentColumns::kSelect};
+  residual.op = CompareOp::kLt;
+  residual.operand = Operand::Literal(
+      workload_->model().ValueForSelectivity(residual, 0.5));
+  PhysNodePtr plan = PhysNode::IndexJoin(
+      catalog, join, {residual}, PhysNode::FileScan(catalog, 0));
+  ParamEnv env;
+  std::vector<Tuple> via_tuple =
+      Canonicalize(Run(plan, env, ExecMode::kTuple));
+  std::vector<Tuple> via_batch =
+      Canonicalize(Run(plan, env, ExecMode::kBatch));
+  EXPECT_GT(via_tuple.size(), 0u);
+  EXPECT_EQ(via_tuple, via_batch);
+}
+
+TEST_F(ExecBatchTest, BatchModePreservesSortOrder) {
+  // A sort at the root must survive batch-wise delivery: compare exact
+  // sequences, not canonicalized multisets.
+  const Catalog& catalog = workload_->catalog();
+  AttrRef attr{0, ExperimentColumns::kSelect};
+  PhysNodePtr plan = PhysNode::Sort(attr, PhysNode::FileScan(catalog, 0));
+  ParamEnv env;
+  std::vector<Tuple> via_tuple = Run(plan, env, ExecMode::kTuple);
+  std::vector<Tuple> via_batch = Run(plan, env, ExecMode::kBatch);
+  EXPECT_GT(via_tuple.size(), 0u);
+  EXPECT_EQ(via_tuple, via_batch);
+}
+
+TEST_F(ExecBatchTest, UnresolvedChoosePlanIsRejectedInBothModes) {
+  Query query = workload_->ChainQuery(2);
+  auto dyn = CompileQuery(query, workload_->model(),
+                          OptimizerOptions::Dynamic(),
+                          workload_->CompileTimeEnv(false));
+  ASSERT_TRUE(dyn.ok());
+  ASSERT_GT(dyn->plan.root->CountChooseNodes(), 0);
+  ParamEnv env;
+  EXPECT_FALSE(BuildExecutor(dyn->plan.root, workload_->db(), env).ok());
+  EXPECT_FALSE(BuildBatchExecutor(dyn->plan.root, workload_->db(), env).ok());
+}
+
+TEST_F(ExecBatchTest, PerfCountersTrackProduction) {
+  const Catalog& catalog = workload_->catalog();
+  SelectionPredicate pred;
+  pred.attr = AttrRef{0, ExperimentColumns::kSelect};
+  pred.op = CompareOp::kLt;
+  pred.operand =
+      Operand::Literal(workload_->model().ValueForSelectivity(pred, 0.5));
+  PhysNodePtr plan =
+      PhysNode::Filter({pred}, PhysNode::FileScan(catalog, 0));
+  ParamEnv env;
+
+  // Tuple mode: the root's tuples counter equals the result size and
+  // next_calls includes the final end-of-stream call.
+  auto tuple_iter = BuildExecutor(plan, workload_->db(), env);
+  ASSERT_TRUE(tuple_iter.ok());
+  (*tuple_iter)->Open();
+  Tuple tuple;
+  int64_t rows = 0;
+  while ((*tuple_iter)->Next(&tuple)) {
+    ++rows;
+  }
+  (*tuple_iter)->Close();
+  ASSERT_GT(rows, 0);
+  const OperatorCounters& tc = (*tuple_iter)->counters();
+  EXPECT_EQ(tc.tuples, rows);
+  EXPECT_EQ(tc.next_calls, rows + 1);
+  EXPECT_EQ(tc.batches, 0);
+  ASSERT_EQ((*tuple_iter)->child_nodes().size(), 1u);
+  EXPECT_GE((*tuple_iter)->child_nodes()[0]->counters().tuples, rows);
+
+  // Batch mode: same tuple total, collapsed Next calls, batches counted.
+  auto batch_iter = BuildBatchExecutor(plan, workload_->db(), env);
+  ASSERT_TRUE(batch_iter.ok());
+  (*batch_iter)->Open();
+  TupleBatch batch;
+  int64_t batch_rows = 0;
+  while ((*batch_iter)->Next(&batch)) {
+    batch_rows += batch.num_rows();
+  }
+  (*batch_iter)->Close();
+  const OperatorCounters& bc = (*batch_iter)->counters();
+  EXPECT_EQ(batch_rows, rows);
+  EXPECT_EQ(bc.tuples, rows);
+  EXPECT_GT(bc.batches, 0);
+  EXPECT_LT(bc.next_calls, tc.next_calls);
+
+  // The rendered profile mentions every operator in the tree.
+  std::string profile = RenderProfile(**batch_iter);
+  EXPECT_NE(profile.find("batch-filter"), std::string::npos);
+  EXPECT_NE(profile.find("batch-file-scan"), std::string::npos);
+}
+
+TEST_F(ExecBatchTest, ExecModeRoundTripsThroughParser) {
+  auto tuple_mode = ParseExecMode("tuple");
+  ASSERT_TRUE(tuple_mode.ok());
+  EXPECT_EQ(*tuple_mode, ExecMode::kTuple);
+  auto batch_mode = ParseExecMode("batch");
+  ASSERT_TRUE(batch_mode.ok());
+  EXPECT_EQ(*batch_mode, ExecMode::kBatch);
+  EXPECT_STREQ(ExecModeName(ExecMode::kTuple), "tuple");
+  EXPECT_STREQ(ExecModeName(ExecMode::kBatch), "batch");
+  EXPECT_FALSE(ParseExecMode("vectorized").ok());
+}
+
+}  // namespace
+}  // namespace dqep

@@ -1,5 +1,9 @@
 // dqep_cli — an interactive shell over the paper's experiment database.
 //
+// Flags:
+//   --exec-mode=tuple|batch    execution granularity (default tuple)
+//   --profile                  print per-operator counters after each query
+//
 // Reads one command per line from stdin:
 //
 //   SELECT ...                 parse, compile a dynamic plan, resolve with
@@ -9,6 +13,8 @@
 //   \set <name> <int>          bind host variable :<name>
 //   \unset <name>              remove a binding
 //   \memory <pages>            set the memory grant
+//   \mode <tuple|batch>        switch execution granularity
+//   \profile <on|off>          toggle per-operator counter output
 //   \bindings                  list current bindings
 //   \tables                    list relations
 //   \analyze                   build histograms and use them for estimates
@@ -20,6 +26,7 @@
 //   SELECT R1.s FROM R1 WHERE R1.s < :v ORDER BY R1.s
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -37,14 +44,19 @@ namespace {
 
 class Shell {
  public:
-  explicit Shell(std::unique_ptr<PaperWorkload> workload)
-      : workload_(std::move(workload)) {}
+  Shell(std::unique_ptr<PaperWorkload> workload, ExecMode exec_mode,
+        bool profile)
+      : workload_(std::move(workload)),
+        exec_mode_(exec_mode),
+        profile_(profile) {}
 
   int Run() {
     std::printf(
-        "dqep shell — paper experiment database loaded (R1..R10).\n"
+        "dqep shell — paper experiment database loaded (R1..R10), "
+        "exec mode %s.\n"
         "Type SELECT ..., \\explain SELECT ..., \\set <var> <int>, "
-        "\\tables, \\quit.\n");
+        "\\mode <tuple|batch>, \\profile <on|off>, \\tables, \\quit.\n",
+        ExecModeName(exec_mode_));
     std::string line;
     while (std::printf("dqep> "), std::fflush(stdout),
            std::getline(std::cin, line)) {
@@ -102,6 +114,29 @@ class Shell {
       }
       return true;
     }
+    if (command == "\\mode") {
+      std::string name;
+      in >> name;
+      Result<ExecMode> mode = ParseExecMode(name);
+      if (mode.ok()) {
+        exec_mode_ = *mode;
+        std::printf("exec mode = %s\n", ExecModeName(exec_mode_));
+      } else {
+        std::printf("usage: \\mode <tuple|batch>\n");
+      }
+      return true;
+    }
+    if (command == "\\profile") {
+      std::string setting;
+      in >> setting;
+      if (setting == "on" || setting == "off") {
+        profile_ = setting == "on";
+        std::printf("profile = %s\n", setting.c_str());
+      } else {
+        std::printf("usage: \\profile <on|off>\n");
+      }
+      return true;
+    }
     if (command == "\\bindings") {
       for (const auto& [name, value] : bindings_) {
         std::printf(":%s = %lld\n", name.c_str(),
@@ -142,6 +177,47 @@ class Shell {
     }
     std::printf("unknown command %s\n", command.c_str());
     return true;
+  }
+
+  /// Executes the resolved plan in the current mode, printing the
+  /// per-operator profile afterwards when enabled.
+  Result<std::vector<Tuple>> Execute(const PhysNodePtr& plan,
+                                     const ParamEnv& env) {
+    std::vector<Tuple> rows;
+    if (exec_mode_ == ExecMode::kBatch) {
+      Result<std::unique_ptr<BatchIterator>> iter =
+          BuildBatchExecutor(plan, workload_->db(), env);
+      if (!iter.ok()) {
+        return iter.status();
+      }
+      (*iter)->Open();
+      TupleBatch batch;
+      while ((*iter)->Next(&batch)) {
+        for (int32_t i = 0; i < batch.num_rows(); ++i) {
+          rows.push_back(batch.row(i));
+        }
+      }
+      (*iter)->Close();
+      if (profile_) {
+        std::printf("%s", RenderProfile(**iter).c_str());
+      }
+      return rows;
+    }
+    Result<std::unique_ptr<Iterator>> iter =
+        BuildExecutor(plan, workload_->db(), env);
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    (*iter)->Open();
+    Tuple tuple;
+    while ((*iter)->Next(&tuple)) {
+      rows.push_back(std::move(tuple));
+    }
+    (*iter)->Close();
+    if (profile_) {
+      std::printf("%s", RenderProfile(**iter).c_str());
+    }
+    return rows;
   }
 
   void Query(const std::string& sql, bool explain) {
@@ -200,8 +276,7 @@ class Shell {
                   startup->resolved->ToString().c_str());
       return;
     }
-    Result<std::vector<Tuple>> rows =
-        ExecutePlan(startup->resolved, workload_->db(), bound);
+    Result<std::vector<Tuple>> rows = Execute(startup->resolved, bound);
     if (!rows.ok()) {
       std::printf("execution error: %s\n", rows.status().ToString().c_str());
       return;
@@ -218,6 +293,8 @@ class Shell {
   }
 
   std::unique_ptr<PaperWorkload> workload_;
+  ExecMode exec_mode_;
+  bool profile_;
   std::map<std::string, int64_t> bindings_;
   double memory_pages_ = 64.0;
   StatisticsCatalog stats_;
@@ -228,13 +305,34 @@ class Shell {
 }  // namespace
 }  // namespace dqep
 
-int main() {
+int main(int argc, char** argv) {
+  dqep::ExecMode exec_mode = dqep::ExecMode::kTuple;
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--exec-mode=", 12) == 0) {
+      dqep::Result<dqep::ExecMode> mode = dqep::ParseExecMode(arg + 12);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 1;
+      }
+      exec_mode = *mode;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: dqep_cli [--exec-mode=tuple|batch] [--profile]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
+      return 1;
+    }
+  }
   auto workload = dqep::PaperWorkload::Create(/*seed=*/42, /*populate=*/true);
   if (!workload.ok()) {
     std::fprintf(stderr, "failed to build database: %s\n",
                  workload.status().ToString().c_str());
     return 1;
   }
-  dqep::Shell shell(std::move(*workload));
+  dqep::Shell shell(std::move(*workload), exec_mode, profile);
   return shell.Run();
 }
