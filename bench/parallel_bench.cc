@@ -1,0 +1,146 @@
+// Thread-count sweep for the exchange operator: scan, scan+filter, and
+// hash-join pipelines at 1/2/4/8 workers over tables large enough that
+// morsel dispatch, not setup, dominates.  Items-per-second across the
+// Arg=threads rows gives the speedup curve checked into
+// BENCH_parallel.json.
+//
+// `--json` is shorthand for --benchmark_format=json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "physical/plan.h"
+#include "storage/data_generator.h"
+#include "storage/database.h"
+
+namespace dqep::bench {
+namespace {
+
+// The paper workload's relations (<1000 rows) finish in microseconds, too
+// small to amortize worker dispatch; the sweep uses dedicated tables.
+constexpr int64_t kProbeRows = 200'000;
+constexpr int64_t kBuildRows = 50'000;
+constexpr int64_t kDomain = 50'000;
+
+std::vector<ColumnInfo> SweepColumns() {
+  std::vector<ColumnInfo> columns;
+  for (const char* name : {"k0", "k1", "s", "pay"}) {
+    ColumnInfo column;
+    column.name = name;
+    column.type = ColumnType::kInt64;
+    column.domain_size = kDomain;
+    column.width_bytes = 8;
+    columns.push_back(column);
+  }
+  return columns;
+}
+
+struct SweepDb {
+  Database db{/*buffer_pool_pages=*/8192};
+  RelationId probe = kInvalidRelation;
+  RelationId build = kInvalidRelation;
+};
+
+const SweepDb& Db() {
+  static const SweepDb* instance = [] {
+    auto* sweep = new SweepDb();
+    auto probe = sweep->db.CreateTable("probe", SweepColumns(), kProbeRows);
+    auto build = sweep->db.CreateTable("build", SweepColumns(), kBuildRows);
+    DQEP_CHECK(probe.ok());
+    DQEP_CHECK(build.ok());
+    sweep->probe = *probe;
+    sweep->build = *build;
+    Rng rng(11);
+    for (RelationId id : {sweep->probe, sweep->build}) {
+      Rng table_rng = rng.Fork();
+      Status status = GenerateTableData(&table_rng, &sweep->db.table(id));
+      DQEP_CHECK(status.ok());
+    }
+    return sweep;
+  }();
+  return *instance;
+}
+
+/// Runs `plan` to exhaustion once per iteration with state.range(0)
+/// worker threads.
+void RunSweep(benchmark::State& state, const PhysNodePtr& plan) {
+  const SweepDb& sweep = Db();
+  ParamEnv env;
+  ExecOptions options;
+  options.mode = ExecMode::kBatch;
+  options.threads = static_cast<int32_t>(state.range(0));
+  state.SetLabel("threads=" + std::to_string(options.threads));
+  auto iter = BuildParallelBatchExecutor(plan, sweep.db, env, options);
+  DQEP_CHECK(iter.ok());
+  int64_t rows = 0;
+  TupleBatch batch;
+  for (auto _ : state) {
+    (*iter)->Open();
+    while ((*iter)->Next(&batch)) {
+      rows += batch.num_rows();
+    }
+    (*iter)->Close();
+  }
+  state.SetItemsProcessed(rows);
+}
+
+void BM_ParallelScan(benchmark::State& state) {
+  const SweepDb& sweep = Db();
+  RunSweep(state, PhysNode::FileScan(sweep.db.catalog(), sweep.probe));
+}
+BENCHMARK(BM_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelScanFilter(benchmark::State& state) {
+  const SweepDb& sweep = Db();
+  SelectionPredicate pred;
+  pred.attr = AttrRef{sweep.probe, 2};
+  pred.op = CompareOp::kLt;
+  pred.operand = Operand::Literal(Value(kDomain / 2));  // ~50% selectivity
+  RunSweep(state,
+           PhysNode::Filter({pred}, PhysNode::FileScan(sweep.db.catalog(),
+                                                       sweep.probe)));
+}
+BENCHMARK(BM_ParallelScanFilter)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  const SweepDb& sweep = Db();
+  JoinPredicate join;
+  join.left = AttrRef{sweep.build, 0};
+  join.right = AttrRef{sweep.probe, 1};
+  // Serial shared build over 50k rows, parallel probe over 200k (~1 match
+  // per probe row at domain 50k).
+  RunSweep(state, PhysNode::HashJoin(
+                      {join}, PhysNode::FileScan(sweep.db.catalog(),
+                                                 sweep.build),
+                      PhysNode::FileScan(sweep.db.catalog(), sweep.probe)));
+}
+BENCHMARK(BM_ParallelHashJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main(int argc, char** argv) {
+  // `--json` is shorthand for google-benchmark's JSON reporter.
+  static char kJsonFlag[] = "--benchmark_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  for (char*& arg : args) {
+    if (std::strcmp(arg, "--json") == 0) {
+      arg = kJsonFlag;
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

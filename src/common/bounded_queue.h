@@ -1,0 +1,98 @@
+// A bounded multi-producer single-consumer queue with backpressure and
+// cancellation.  Producers block in Push while the queue is full; the
+// consumer blocks in Pop until an item arrives, every producer has called
+// ProducerDone, or the queue is cancelled.  Cancel unblocks everyone and
+// makes further Push/Pop fail, so a consumer abandoning mid-stream (early
+// Close) never strands a producer.
+
+#ifndef DQEP_COMMON_BOUNDED_QUEUE_H_
+#define DQEP_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` bounds buffered items; `producers` is how many Push-side
+  /// threads will eventually call ProducerDone.
+  BoundedQueue(size_t capacity, int32_t producers)
+      : capacity_(capacity), active_producers_(producers) {
+    DQEP_CHECK_GT(capacity, 0u);
+    DQEP_CHECK_GT(producers, 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full.  Returns false iff the queue was cancelled, in
+  /// which case `item` was not enqueued and the producer should stop.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return cancelled_ || items_.size() < capacity_; });
+    if (cancelled_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available.  Returns false when the stream is
+  /// over: all producers done and the buffer drained, or cancelled.
+  bool Pop(T* item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] {
+      return cancelled_ || !items_.empty() || active_producers_ == 0;
+    });
+    if (cancelled_ || items_.empty()) {
+      return false;
+    }
+    *item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Each producer calls this exactly once after its last Push.
+  void ProducerDone() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DQEP_CHECK_GT(active_producers_, 0);
+    if (--active_producers_ == 0) {
+      not_empty_.notify_all();
+    }
+  }
+
+  /// Unblocks all waiters and fails subsequent Push/Pop.  Idempotent.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  int32_t active_producers_;
+  bool cancelled_ = false;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,84 @@
+// A minimal fixed-size thread pool — deliberately work-stealing-free.
+//
+// Tasks enter one shared FIFO queue guarded by a mutex and are drained by
+// `num_threads` long-lived worker threads.  The execution engine's
+// exchange operator keeps tasks coarse (one task per worker, looping over
+// a shared morsel counter), so a central queue is never contended enough
+// to justify per-thread deques.  Destruction joins all workers after the
+// queue drains.
+
+#ifndef DQEP_COMMON_THREAD_POOL_H_
+#define DQEP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dqep {
+
+/// Blocks waiters until CountDown() has been called `count` times.
+/// Establishes a happens-before edge from every CountDown to the return
+/// of Wait, so state written by workers is safely readable afterwards.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(int32_t count) : count_(count) {
+    DQEP_CHECK_GE(count, 0);
+  }
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DQEP_CHECK_GT(count_, 0);
+    if (--count_ == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int32_t count_;
+};
+
+/// Fixed-size pool of worker threads draining one shared task queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues `task`; it runs on some worker thread in FIFO order.
+  /// Tasks must not block waiting for a *later-submitted* task to start
+  /// (all workers could be occupied), but may block on external events
+  /// such as queue backpressure relieved by the submitting thread.
+  void Submit(std::function<void()> task);
+
+  int32_t size() const { return static_cast<int32_t>(threads_.size()); }
+
+ private:
+  void WorkerMain();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_THREAD_POOL_H_

@@ -13,6 +13,7 @@
 
 #include "exec/executor.h"
 #include "exec/executor_internal.h"
+#include "exec/parallel.h"
 
 namespace dqep {
 
@@ -31,7 +32,12 @@ using exec_internal::ResolveHashJoinSlots;
 class BatchFileScanIter : public BatchIterator {
  public:
   explicit BatchFileScanIter(const Table* table)
-      : scanner_(table->heap().CreateScanner()) {
+      : BatchFileScanIter(table, 0, -1) {}
+
+  /// Scan restricted to the page range [begin_page, end_page); -1 means
+  /// the live end of the file.  Morsel pipelines use explicit ranges.
+  BatchFileScanIter(const Table* table, int64_t begin_page, int64_t end_page)
+      : scanner_(table->heap().CreateScanner(begin_page, end_page)) {
     layout_ = table->layout();
     op_name_ = "batch-file-scan";
   }
@@ -49,6 +55,40 @@ class BatchFileScanIter : public BatchIterator {
 
  private:
   HeapFile::Scanner scanner_;
+};
+
+/// Batch heap fetch of a pre-computed rid run [begin, end), in order.  The
+/// exchange operator computes the full B-tree rid run once at Open and
+/// hands each morsel pipeline a slice of it, shared read-only.
+class BatchRidScanIter : public BatchIterator {
+ public:
+  BatchRidScanIter(const Table* table,
+                   std::shared_ptr<const std::vector<RowId>> rids,
+                   size_t begin, size_t end, const char* op_name)
+      : table_(table), rids_(std::move(rids)), begin_(begin), end_(end) {
+    layout_ = table->layout();
+    op_name_ = op_name;
+  }
+
+  void Open() override { next_ = begin_; }
+
+  void Close() override {}
+
+ protected:
+  bool NextImpl(TupleBatch* out) override {
+    out->Clear();
+    while (!out->full() && next_ < end_) {
+      table_->heap().TupleInto((*rids_)[next_++], &out->AppendRow());
+    }
+    return out->size() > 0;
+  }
+
+ private:
+  const Table* table_;
+  std::shared_ptr<const std::vector<RowId>> rids_;
+  size_t begin_;
+  size_t end_;
+  size_t next_ = 0;
 };
 
 /// Batch B-tree scan, full or bounded by one predicate on the indexed
@@ -397,9 +437,14 @@ class BatchFromTupleIter : public BatchIterator {
 
 // --- Builder --------------------------------------------------------------------
 
-Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
-                                                  const Database& db,
-                                                  const ParamEnv& env) {
+/// Recursive batch builder.  With a non-null `par`, any parallelizable
+/// chain becomes an exchange operator fanning it across worker threads.
+Result<std::unique_ptr<BatchIterator>> BuildBatch(
+    const PhysNode& node, const Database& db, const ParamEnv& env,
+    const exec_internal::ParallelEnv* par) {
+  if (par != nullptr && exec_internal::IsParallelizableChain(node)) {
+    return exec_internal::MakeExchange(node, db, env, *par);
+  }
   switch (node.kind()) {
     case PhysOpKind::kFileScan:
       return std::unique_ptr<BatchIterator>(
@@ -421,7 +466,7 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
     }
     case PhysOpKind::kFilter: {
       Result<std::unique_ptr<BatchIterator>> input =
-          BuildBatch(*node.child(0), db, env);
+          BuildBatch(*node.child(0), db, env, par);
       if (!input.ok()) {
         return input.status();
       }
@@ -435,10 +480,10 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
     }
     case PhysOpKind::kHashJoin: {
       Result<std::unique_ptr<BatchIterator>> build =
-          BuildBatch(*node.child(0), db, env);
+          BuildBatch(*node.child(0), db, env, par);
       if (!build.ok()) return build.status();
       Result<std::unique_ptr<BatchIterator>> probe =
-          BuildBatch(*node.child(1), db, env);
+          BuildBatch(*node.child(1), db, env, par);
       if (!probe.ok()) return probe.status();
       std::vector<int32_t> build_slots;
       std::vector<int32_t> probe_slots;
@@ -453,10 +498,10 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
       // No native batch merge join yet: run the tuple implementation
       // between adaptors so the subtrees stay batched.
       Result<std::unique_ptr<BatchIterator>> left =
-          BuildBatch(*node.child(0), db, env);
+          BuildBatch(*node.child(0), db, env, par);
       if (!left.ok()) return left.status();
       Result<std::unique_ptr<BatchIterator>> right =
-          BuildBatch(*node.child(1), db, env);
+          BuildBatch(*node.child(1), db, env, par);
       if (!right.ok()) return right.status();
       Result<std::unique_ptr<Iterator>> join = exec_internal::MakeMergeJoinIter(
           node, std::make_unique<TupleFromBatchIter>(std::move(*left)),
@@ -467,7 +512,7 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
     }
     case PhysOpKind::kIndexJoin: {
       Result<std::unique_ptr<BatchIterator>> outer =
-          BuildBatch(*node.child(0), db, env);
+          BuildBatch(*node.child(0), db, env, par);
       if (!outer.ok()) return outer.status();
       Result<std::unique_ptr<Iterator>> join = exec_internal::MakeIndexJoinIter(
           node, db, env,
@@ -478,7 +523,7 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
     }
     case PhysOpKind::kSort: {
       Result<std::unique_ptr<BatchIterator>> input =
-          BuildBatch(*node.child(0), db, env);
+          BuildBatch(*node.child(0), db, env, par);
       if (!input.ok()) return input.status();
       int32_t slot = (*input)->layout().SlotOf(node.sort_attr());
       if (slot < 0) {
@@ -489,7 +534,7 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
     }
     case PhysOpKind::kProject: {
       Result<std::unique_ptr<BatchIterator>> input =
-          BuildBatch(*node.child(0), db, env);
+          BuildBatch(*node.child(0), db, env, par);
       if (!input.ok()) return input.status();
       std::vector<int32_t> slots;
       TupleLayout layout;
@@ -514,10 +559,65 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(const PhysNode& node,
 
 }  // namespace
 
+namespace exec_internal {
+
+Result<std::unique_ptr<BatchIterator>> BuildBatchTree(
+    const PhysNode& node, const Database& db, const ParamEnv& env,
+    const ParallelEnv* parallel) {
+  return BuildBatch(node, db, env, parallel);
+}
+
+std::unique_ptr<BatchIterator> MakeBatchFileScan(const Table* table,
+                                                 int64_t begin_page,
+                                                 int64_t end_page) {
+  return std::make_unique<BatchFileScanIter>(table, begin_page, end_page);
+}
+
+std::unique_ptr<BatchIterator> MakeBatchRidScan(
+    const Table* table, std::shared_ptr<const std::vector<RowId>> rids,
+    size_t begin, size_t end, const char* op_name) {
+  return std::make_unique<BatchRidScanIter>(table, std::move(rids), begin, end,
+                                            op_name);
+}
+
+std::unique_ptr<BatchIterator> MakeBatchFilter(
+    std::vector<BoundPredicate> predicates,
+    std::unique_ptr<BatchIterator> input) {
+  return std::make_unique<BatchFilterIter>(std::move(predicates),
+                                           std::move(input));
+}
+
+std::unique_ptr<BatchIterator> MakeBatchProject(
+    std::vector<int32_t> slots, TupleLayout layout,
+    std::unique_ptr<BatchIterator> input) {
+  return std::make_unique<BatchProjectIter>(std::move(slots), std::move(layout),
+                                            std::move(input));
+}
+
+}  // namespace exec_internal
+
 Result<std::unique_ptr<BatchIterator>> BuildBatchExecutor(
     const PhysNodePtr& plan, const Database& db, const ParamEnv& env) {
   DQEP_CHECK(plan != nullptr);
-  return BuildBatch(*plan, db, env);
+  return BuildBatch(*plan, db, env, /*par=*/nullptr);
+}
+
+Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    const ExecOptions& options) {
+  DQEP_CHECK(plan != nullptr);
+  DQEP_CHECK_GE(options.threads, 1);
+  if (options.threads == 1) {
+    // Serial: the exact single-threaded batch engine, no pool, no
+    // exchanges.
+    return BuildBatchExecutor(plan, db, env);
+  }
+  exec_internal::ParallelEnv par;
+  par.pool = std::make_shared<ThreadPool>(options.threads);
+  par.threads = options.threads;
+  par.morsel_pages = std::max<int64_t>(options.morsel_pages, 1);
+  par.morsel_rids = std::max<int64_t>(options.morsel_rids, 1);
+  return BuildBatch(*plan, db, env, &par);
 }
 
 }  // namespace dqep

@@ -782,4 +782,30 @@ Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
   return rows;
 }
 
+Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
+                                       const Database& db,
+                                       const ParamEnv& env,
+                                       const ExecOptions& options) {
+  DQEP_CHECK(plan != nullptr);
+  if (options.threads <= 1) {
+    return ExecutePlan(plan, db, env, options.mode);
+  }
+  Result<std::unique_ptr<BatchIterator>> iter =
+      BuildParallelBatchExecutor(plan, db, env, options);
+  if (!iter.ok()) {
+    return iter.status();
+  }
+  std::vector<Tuple> rows;
+  rows.reserve(ReserveHint(*plan));
+  (*iter)->Open();
+  TupleBatch batch;
+  while ((*iter)->Next(&batch)) {
+    for (int32_t i = 0; i < batch.num_rows(); ++i) {
+      rows.push_back(batch.row(i));
+    }
+  }
+  (*iter)->Close();
+  return rows;
+}
+
 }  // namespace dqep

@@ -47,6 +47,29 @@ const char* ExecModeName(ExecMode mode);
 /// Parses "tuple" / "batch" (case-sensitive).
 Result<ExecMode> ParseExecMode(std::string_view name);
 
+/// Execution configuration: granularity plus intra-query parallelism.
+///
+/// With threads == 1 execution is exactly the serial engine in `mode` —
+/// no thread pool, no exchange operators, bit-identical behavior to a
+/// plain BuildExecutor/BuildBatchExecutor run.  With threads > 1 the plan
+/// runs on the batch engine with exchange operators fanning parallelizable
+/// subtrees (scan / filter / project / hash-join-probe chains) across
+/// worker threads over morsels; `mode` is ignored in that case.  Results
+/// are deterministic: the exchange merges morsel outputs in morsel order,
+/// so the produced row sequence is identical for every thread count.
+struct ExecOptions {
+  ExecMode mode = ExecMode::kTuple;
+
+  /// Worker threads for intra-query parallelism (>= 1).
+  int32_t threads = 1;
+
+  /// Heap-file pages per morsel for parallel file scans.
+  int64_t morsel_pages = 8;
+
+  /// B-tree row ids per morsel for parallel (filter-)btree scans.
+  int64_t morsel_rids = 2048;
+};
+
 /// Demand-driven tuple iterator.
 class Iterator : public ExecNode {
  public:
@@ -116,6 +139,17 @@ Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
 Result<std::unique_ptr<BatchIterator>> BuildBatchExecutor(
     const PhysNodePtr& plan, const Database& db, const ParamEnv& env);
 
+/// Builds a batch iterator tree with exchange operators fanning
+/// parallelizable chains across options.threads workers (see ExecOptions).
+/// With options.threads == 1 this is exactly BuildBatchExecutor.  The
+/// returned tree owns its thread pool; per-worker operator counters are
+/// aggregated into the tree's profile nodes at Close, so RenderProfile
+/// works unchanged (child wall times are summed across workers and may
+/// exceed elapsed wall clock).
+Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    const ExecOptions& options);
+
 /// Convenience: builds in `mode`, opens, drains, and closes; returns all
 /// tuples.  The output vector is pre-sized from the plan's annotated
 /// compile-time cardinality estimate when one is present.
@@ -123,6 +157,13 @@ Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
                                        const Database& db,
                                        const ParamEnv& env,
                                        ExecMode mode = ExecMode::kTuple);
+
+/// As above, honoring ExecOptions: serial in options.mode when
+/// options.threads == 1, parallel batch execution otherwise.
+Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
+                                       const Database& db,
+                                       const ParamEnv& env,
+                                       const ExecOptions& options);
 
 }  // namespace dqep
 

@@ -78,6 +78,37 @@ Result<std::unique_ptr<Iterator>> MakeIndexJoinIter(
     const PhysNode& node, const Database& db, const ParamEnv& env,
     std::unique_ptr<Iterator> outer);
 
+// --- Parallel execution hooks (see exec/parallel.h) -------------------------
+
+struct ParallelEnv;
+
+/// Builds a batch iterator for `node`.  When `parallel` is non-null,
+/// subtrees that form parallelizable chains become exchange operators.
+Result<std::unique_ptr<BatchIterator>> BuildBatchTree(
+    const PhysNode& node, const Database& db, const ParamEnv& env,
+    const ParallelEnv* parallel);
+
+/// Morsel-pipeline operator factories: the exchange operator instantiates
+/// one cheap pipeline per morsel from these (all binding already done).
+/// Batch file scan over the half-open page range [begin_page, end_page).
+std::unique_ptr<BatchIterator> MakeBatchFileScan(const Table* table,
+                                                 int64_t begin_page,
+                                                 int64_t end_page);
+
+/// Batch fetch of `rids` [begin, end) from the heap, in order.  The rid
+/// vector is shared read-only across all morsel pipelines.
+std::unique_ptr<BatchIterator> MakeBatchRidScan(
+    const Table* table, std::shared_ptr<const std::vector<RowId>> rids,
+    size_t begin, size_t end, const char* op_name);
+
+std::unique_ptr<BatchIterator> MakeBatchFilter(
+    std::vector<BoundPredicate> predicates,
+    std::unique_ptr<BatchIterator> input);
+
+std::unique_ptr<BatchIterator> MakeBatchProject(
+    std::vector<int32_t> slots, TupleLayout layout,
+    std::unique_ptr<BatchIterator> input);
+
 }  // namespace exec_internal
 }  // namespace dqep
 

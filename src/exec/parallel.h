@@ -1,0 +1,61 @@
+// Intra-query parallelism: the Volcano exchange operator.
+//
+// An exchange fans a *parallelizable chain* — a scan leaf with any stack
+// of filter / project / hash-join-probe operators above it — out across N
+// worker threads.  Work is split into morsels (ranges of heap-file pages,
+// or ranges of the B-tree rid run for index scans); each worker claims
+// morsels from a shared counter, runs a private pipeline instance over its
+// morsel, and ships the resulting batches to the consumer through a
+// bounded MPSC queue.  The consumer reassembles morsel outputs *in morsel
+// order*, so the produced row sequence is identical for every thread
+// count (and identical to the serial batch engine's row sequence).
+//
+// Hash joins inside a chain share one build table: the build subtree is
+// drained once (serially, in plan order, so insertion order matches the
+// serial engine), partitioned by key hash, and the per-partition maps are
+// constructed in parallel; workers then probe it read-only.
+//
+// Everything here presents as an ordinary BatchIterator, exactly as
+// Volcano prescribes: operators above and below an exchange are oblivious
+// to the parallelism.
+
+#ifndef DQEP_EXEC_PARALLEL_H_
+#define DQEP_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+
+namespace dqep {
+namespace exec_internal {
+
+/// Shared context for building a parallel executor tree: the worker pool
+/// (shared by every exchange in the plan) and morsel sizing.
+struct ParallelEnv {
+  std::shared_ptr<ThreadPool> pool;
+  int32_t threads = 1;
+  int64_t morsel_pages = 8;
+  int64_t morsel_rids = 2048;
+};
+
+/// True iff `node` is a chain an exchange can execute: a file-scan /
+/// btree-scan / filter-btree-scan leaf under any stack of filters,
+/// projections, and hash joins entered through their probe side.  (Hash
+/// join *build* subtrees are arbitrary — they are planned separately and
+/// may contain their own exchanges.)
+bool IsParallelizableChain(const PhysNode& node);
+
+/// Builds an exchange operator executing the chain rooted at `node`
+/// across `parallel.threads` workers.  Requires IsParallelizableChain.
+Result<std::unique_ptr<BatchIterator>> MakeExchange(const PhysNode& node,
+                                                    const Database& db,
+                                                    const ParamEnv& env,
+                                                    const ParallelEnv& parallel);
+
+}  // namespace exec_internal
+}  // namespace dqep
+
+#endif  // DQEP_EXEC_PARALLEL_H_

@@ -22,6 +22,15 @@ Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
                                               const CostModel& model,
                                               const ParamEnv& env, Database& db,
                                               ExecMode exec_mode) {
+  ExecOptions options;
+  options.mode = exec_mode;
+  return ResolveWithObservation(root, model, env, db, options);
+}
+
+Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
+                                              const CostModel& model,
+                                              const ParamEnv& env, Database& db,
+                                              const ExecOptions& exec_options) {
   DQEP_CHECK(root != nullptr);
   std::vector<const PhysNode*> order = root->TopologicalOrder();
 
@@ -77,7 +86,7 @@ Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
     }
     int64_t reads_before = db.page_store().stats().page_reads;
     Result<std::vector<Tuple>> rows =
-        ExecutePlan(resolved->resolved, db, env, exec_mode);
+        ExecutePlan(resolved->resolved, db, env, exec_options);
     if (!rows.ok()) {
       return rows.status();
     }

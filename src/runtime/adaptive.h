@@ -54,6 +54,12 @@ Result<AdaptiveResult> ResolveWithObservation(
     const PhysNodePtr& root, const CostModel& model, const ParamEnv& env,
     Database& db, ExecMode exec_mode = ExecMode::kTuple);
 
+/// As above with full execution options: observation subplans run with
+/// `exec_options` (parallel across exec_options.threads workers when > 1).
+Result<AdaptiveResult> ResolveWithObservation(
+    const PhysNodePtr& root, const CostModel& model, const ParamEnv& env,
+    Database& db, const ExecOptions& exec_options);
+
 }  // namespace dqep
 
 #endif  // DQEP_RUNTIME_ADAPTIVE_H_

@@ -20,7 +20,7 @@ PageGuard::~PageGuard() { Release(); }
 PageData& PageGuard::MutableData() {
   DQEP_CHECK(valid());
   // Mark dirty now; the pin stays until Release.
-  pool_->frames_.at(id_).dirty = true;
+  pool_->MarkDirty(id_);
   return *data_;
 }
 
@@ -42,10 +42,11 @@ BufferPool::BufferPool(PageStore* store, int32_t capacity)
 BufferPool::~BufferPool() { FlushAll(); }
 
 PageGuard BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     Frame& frame = it->second;
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     if (frame.in_lru) {
       lru_.erase(frame.lru_position);
       frame.in_lru = false;
@@ -53,10 +54,10 @@ PageGuard BufferPool::Fetch(PageId id) {
     ++frame.pin_count;
     return PageGuard(this, id, &frame.data);
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (last_missed_page_ != kInvalidPage &&
       (id == last_missed_page_ + 1 || id == last_missed_page_)) {
-    ++sequential_misses_;
+    sequential_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   last_missed_page_ = id;
   if (static_cast<int32_t>(frames_.size()) >= capacity_) {
@@ -78,6 +79,7 @@ PageGuard BufferPool::Fetch(PageId id) {
 }
 
 void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
       store_->Write(id, frame.data);
@@ -87,6 +89,7 @@ void BufferPool::FlushAll() {
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = frames_.find(id);
   DQEP_CHECK(it != frames_.end());
   Frame& frame = it->second;
@@ -99,8 +102,14 @@ void BufferPool::Unpin(PageId id, bool dirty) {
   }
 }
 
+void BufferPool::MarkDirty(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frames_.at(id).dirty = true;
+}
+
 BufferPool::Frame* BufferPool::EvictableFrame() {
   // lru_ holds only unpinned pages, least recently used first.
+  // Caller holds mutex_.
   if (lru_.empty()) {
     return nullptr;
   }

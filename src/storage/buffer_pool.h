@@ -4,12 +4,30 @@
 // guard's lifetime.  Unpinned frames are evicted in LRU order (dirty
 // frames written back).  Hit/miss statistics feed the cost-model
 // validation experiments.
+//
+// Locking contract (the pool is shared by all exchange worker threads):
+//  - One internal mutex guards the frame map, the LRU list, pin counts,
+//    dirty bits, and the sequential-miss tracker.  Every Fetch / Unpin /
+//    FlushAll acquires it, as does PageGuard::MutableData (dirty-bit
+//    write).  Store reads/writes also happen under it, which keeps
+//    PageStore's IoStats counters consistent without their own lock.
+//  - hits/misses/sequential_misses are std::atomic so readers (profilers,
+//    benchmarks) can sample them without taking the pool mutex.
+//  - Page *data* is not latched: a pinned frame's bytes may be read by
+//    any thread, but writers must externally ensure no concurrent reader
+//    of the same page.  The engine satisfies this by only writing pages
+//    during single-threaded data loading.
+//  - Pinned frames are never evicted, and unordered_map nodes are stable,
+//    so the PageData* inside a guard stays valid across other threads'
+//    fetches and evictions.
 
 #ifndef DQEP_STORAGE_BUFFER_POOL_H_
 #define DQEP_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/page_store.h"
@@ -18,7 +36,9 @@ namespace dqep {
 
 class BufferPool;
 
-/// RAII pin on one buffered page.  Movable, not copyable.
+/// RAII pin on one buffered page.  Movable, not copyable.  A guard is
+/// owned by one thread at a time; distinct threads may hold guards on the
+/// same page concurrently (the frame's pin count tracks both).
 class PageGuard {
  public:
   PageGuard() = default;
@@ -39,7 +59,8 @@ class PageGuard {
     return *data_;
   }
 
-  /// Grants mutable access and marks the frame dirty.
+  /// Grants mutable access and marks the frame dirty.  Callers must
+  /// ensure no other thread is reading this page (see header comment).
   PageData& MutableData();
 
   /// Releases the pin early.
@@ -52,6 +73,7 @@ class PageGuard {
 };
 
 /// Fixed-capacity page cache with pin counting and LRU replacement.
+/// Thread-safe: see the locking contract at the top of this header.
 class BufferPool {
  public:
   /// `capacity` is the number of frames; must be >= 1.
@@ -62,7 +84,8 @@ class BufferPool {
   ~BufferPool();
 
   /// Pins `id` (reading it from the store on a miss) and returns a guard.
-  /// Aborts if every frame is pinned (callers pin O(1) pages at a time).
+  /// Aborts if every frame is pinned (callers pin O(1) pages at a time,
+  /// so this only fires if capacity < concurrent pinning threads).
   PageGuard Fetch(PageId id);
 
   /// Writes all dirty frames back to the store.
@@ -70,20 +93,25 @@ class BufferPool {
 
   int32_t capacity() const { return capacity_; }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
   /// Misses whose page follows the previously missed page (a sequential
-  /// scan pattern); the complement of random_misses().
-  int64_t sequential_misses() const { return sequential_misses_; }
+  /// scan pattern); the complement of random_misses().  Under concurrent
+  /// scans the interleaving of misses is nondeterministic, so this split
+  /// is only meaningful for single-threaded calibration runs.
+  int64_t sequential_misses() const {
+    return sequential_misses_.load(std::memory_order_relaxed);
+  }
 
   /// Misses that jumped to an unrelated page (index fetch pattern).
-  int64_t random_misses() const { return misses_ - sequential_misses_; }
+  int64_t random_misses() const { return misses() - sequential_misses(); }
 
   void ResetStats() {
-    hits_ = 0;
-    misses_ = 0;
-    sequential_misses_ = 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    sequential_misses_.store(0, std::memory_order_relaxed);
     last_missed_page_ = kInvalidPage;
   }
 
@@ -101,16 +129,21 @@ class BufferPool {
   };
 
   void Unpin(PageId id, bool dirty);
+  void MarkDirty(PageId id);
   Frame* EvictableFrame();
 
   PageStore* store_;
   int32_t capacity_;
+
+  /// Guards frames_, lru_, last_missed_page_, and all store_ I/O.
+  std::mutex mutex_;
   std::unordered_map<PageId, Frame> frames_;
   /// Unpinned pages, least recently used first.
   std::list<PageId> lru_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t sequential_misses_ = 0;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> sequential_misses_{0};
   PageId last_missed_page_ = kInvalidPage;
 };
 

@@ -1,5 +1,7 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
+
 #include "storage/record_codec.h"
 #include "storage/slotted_page.h"
 
@@ -64,11 +66,19 @@ void HeapFile::TupleInto(RowId rid, Tuple* out) const {
   DQEP_CHECK(decoded.ok());
 }
 
+size_t HeapFile::Scanner::PageLimit() const {
+  size_t live_end = file_->pages_.size();
+  if (end_page_ < 0) {
+    return live_end;
+  }
+  return std::min(static_cast<size_t>(end_page_), live_end);
+}
+
 bool HeapFile::Scanner::Next(Tuple* out) {
   DQEP_CHECK(out != nullptr);
   while (true) {
     if (!guard_open_) {
-      if (page_index_ >= file_->pages_.size()) {
+      if (page_index_ >= PageLimit()) {
         return false;
       }
       guard_ = file_->pool_->Fetch(file_->pages_[page_index_]);
@@ -96,7 +106,7 @@ int32_t HeapFile::Scanner::NextBatch(TupleBatch* out) {
   int32_t added = 0;
   while (!out->full()) {
     if (!guard_open_) {
-      if (page_index_ >= file_->pages_.size()) {
+      if (page_index_ >= PageLimit()) {
         break;
       }
       guard_ = file_->pool_->Fetch(file_->pages_[page_index_]);
@@ -124,7 +134,7 @@ int32_t HeapFile::Scanner::NextBatch(TupleBatch* out) {
 void HeapFile::Scanner::Reset() {
   guard_.Release();
   guard_open_ = false;
-  page_index_ = 0;
+  page_index_ = static_cast<size_t>(begin_page_);
   slot_ = 0;
   last_row_id_ = -1;
 }

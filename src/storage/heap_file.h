@@ -45,10 +45,23 @@ class HeapFile {
   /// Pages allocated by this file.
   int64_t NumPages() const { return static_cast<int64_t>(pages_.size()); }
 
-  /// Sequential scan cursor; reads each page once, in order.
+  /// Sequential scan cursor; reads each page once, in order.  A scanner
+  /// may be restricted to a half-open page range [begin_page, end_page)
+  /// — the unit of work for parallel morsel-driven scans.  end_page == -1
+  /// means "to the live end of the file" (so appends after construction
+  /// are still visible, matching the unranged scanner).
   class Scanner {
    public:
-    explicit Scanner(const HeapFile* file) : file_(file) {}
+    explicit Scanner(const HeapFile* file) : Scanner(file, 0, -1) {}
+
+    Scanner(const HeapFile* file, int64_t begin_page, int64_t end_page)
+        : file_(file),
+          begin_page_(begin_page),
+          end_page_(end_page),
+          page_index_(static_cast<size_t>(begin_page)) {
+      DQEP_CHECK_GE(begin_page, 0);
+      DQEP_CHECK(end_page == -1 || end_page >= begin_page);
+    }
 
     /// Produces the next tuple; false at end of file.
     bool Next(Tuple* out);
@@ -61,11 +74,16 @@ class HeapFile {
     /// RowId of the tuple most recently produced by Next().
     RowId last_row_id() const { return last_row_id_; }
 
-    /// Restarts from the beginning.
+    /// Restarts from the beginning of the range.
     void Reset();
 
    private:
+    /// First page index past the range (clamped to the current file end).
+    size_t PageLimit() const;
+
     const HeapFile* file_;
+    int64_t begin_page_ = 0;
+    int64_t end_page_ = -1;  // -1: live end of file
     size_t page_index_ = 0;
     int32_t slot_ = 0;
     RowId last_row_id_ = -1;
@@ -74,6 +92,12 @@ class HeapFile {
   };
 
   Scanner CreateScanner() const { return Scanner(this); }
+
+  /// Scanner over the half-open page range [begin_page, end_page);
+  /// end_page == -1 means the live end of the file.
+  Scanner CreateScanner(int64_t begin_page, int64_t end_page) const {
+    return Scanner(this, begin_page, end_page);
+  }
 
   /// All tuples in RowId order (test/reference helper; copies everything).
   std::vector<Tuple> Materialize() const;

@@ -2,6 +2,9 @@
 //
 // Flags:
 //   --exec-mode=tuple|batch    execution granularity (default tuple)
+//   --threads=N                intra-query worker threads (default 1; N > 1
+//                              runs on the batch engine with exchange
+//                              operators, results identical to serial)
 //   --profile                  print per-operator counters after each query
 //
 // Reads one command per line from stdin:
@@ -14,6 +17,7 @@
 //   \unset <name>              remove a binding
 //   \memory <pages>            set the memory grant
 //   \mode <tuple|batch>        switch execution granularity
+//   \threads <N>               set intra-query worker threads
 //   \profile <on|off>          toggle per-operator counter output
 //   \bindings                  list current bindings
 //   \tables                    list relations
@@ -45,18 +49,20 @@ namespace {
 class Shell {
  public:
   Shell(std::unique_ptr<PaperWorkload> workload, ExecMode exec_mode,
-        bool profile)
+        int32_t threads, bool profile)
       : workload_(std::move(workload)),
         exec_mode_(exec_mode),
+        threads_(threads),
         profile_(profile) {}
 
   int Run() {
     std::printf(
         "dqep shell — paper experiment database loaded (R1..R10), "
-        "exec mode %s.\n"
+        "exec mode %s, %d thread%s.\n"
         "Type SELECT ..., \\explain SELECT ..., \\set <var> <int>, "
-        "\\mode <tuple|batch>, \\profile <on|off>, \\tables, \\quit.\n",
-        ExecModeName(exec_mode_));
+        "\\mode <tuple|batch>, \\threads <N>, \\profile <on|off>, "
+        "\\tables, \\quit.\n",
+        ExecModeName(exec_mode_), threads_, threads_ == 1 ? "" : "s");
     std::string line;
     while (std::printf("dqep> "), std::fflush(stdout),
            std::getline(std::cin, line)) {
@@ -126,6 +132,18 @@ class Shell {
       }
       return true;
     }
+    if (command == "\\threads") {
+      int32_t threads = 0;
+      if (in >> threads && threads >= 1 && threads <= 256) {
+        threads_ = threads;
+        std::printf("threads = %d%s\n", threads_,
+                    threads_ > 1 ? " (batch engine with exchange operators)"
+                                 : "");
+      } else {
+        std::printf("usage: \\threads <N>   (1 <= N <= 256)\n");
+      }
+      return true;
+    }
     if (command == "\\profile") {
       std::string setting;
       in >> setting;
@@ -184,9 +202,14 @@ class Shell {
   Result<std::vector<Tuple>> Execute(const PhysNodePtr& plan,
                                      const ParamEnv& env) {
     std::vector<Tuple> rows;
-    if (exec_mode_ == ExecMode::kBatch) {
+    if (threads_ > 1 || exec_mode_ == ExecMode::kBatch) {
+      // threads > 1 always executes on the batch engine: the exchange
+      // operator is a BatchIterator.  Results are identical either way.
+      ExecOptions options;
+      options.mode = ExecMode::kBatch;
+      options.threads = threads_;
       Result<std::unique_ptr<BatchIterator>> iter =
-          BuildBatchExecutor(plan, workload_->db(), env);
+          BuildParallelBatchExecutor(plan, workload_->db(), env, options);
       if (!iter.ok()) {
         return iter.status();
       }
@@ -294,6 +317,7 @@ class Shell {
 
   std::unique_ptr<PaperWorkload> workload_;
   ExecMode exec_mode_;
+  int32_t threads_ = 1;
   bool profile_;
   std::map<std::string, int64_t> bindings_;
   double memory_pages_ = 64.0;
@@ -307,10 +331,17 @@ class Shell {
 
 int main(int argc, char** argv) {
   dqep::ExecMode exec_mode = dqep::ExecMode::kTuple;
+  int threads = 1;
   bool profile = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--exec-mode=", 12) == 0) {
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+      if (threads < 1 || threads > 256) {
+        std::fprintf(stderr, "--threads must be in [1, 256]\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--exec-mode=", 12) == 0) {
       dqep::Result<dqep::ExecMode> mode = dqep::ParseExecMode(arg + 12);
       if (!mode.ok()) {
         std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
@@ -320,7 +351,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(arg, "--help") == 0) {
-      std::printf("usage: dqep_cli [--exec-mode=tuple|batch] [--profile]\n");
+      std::printf(
+          "usage: dqep_cli [--exec-mode=tuple|batch] [--threads=N] "
+          "[--profile]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
@@ -333,6 +366,6 @@ int main(int argc, char** argv) {
                  workload.status().ToString().c_str());
     return 1;
   }
-  dqep::Shell shell(std::move(*workload), exec_mode, profile);
+  dqep::Shell shell(std::move(*workload), exec_mode, threads, profile);
   return shell.Run();
 }
