@@ -25,9 +25,10 @@ const PaperWorkload& Workload() {
   return *workload;
 }
 
-/// Workload with populated tables, for execution benchmarks.
-const PaperWorkload& PopulatedWorkload() {
-  static const PaperWorkload* workload =
+/// Workload with populated tables, for execution benchmarks.  Mutable so
+/// each benchmark can reset the shared buffer-pool statistics.
+PaperWorkload& PopulatedWorkload() {
+  static PaperWorkload* workload =
       MustCreateWorkload(/*populate=*/true).release();
   return *workload;
 }
@@ -159,13 +160,24 @@ void ExportCounters(benchmark::State& state, const ExecNode& node,
   }
 }
 
+/// Publishes per-iteration buffer-pool statistics.  The pool is shared by
+/// every benchmark in the binary, so the caller must ResetStats() before
+/// its timed loop or the averages would mix in earlier benchmarks' I/O.
+void ExportPoolCounters(benchmark::State& state, const BufferPool& pool) {
+  state.counters["pool.hits"] = benchmark::Counter(
+      static_cast<double>(pool.hits()), benchmark::Counter::kAvgIterations);
+  state.counters["pool.misses"] = benchmark::Counter(
+      static_cast<double>(pool.misses()), benchmark::Counter::kAvgIterations);
+}
+
 /// Runs `plan` to exhaustion once per iteration in the mode selected by
 /// state.range(0) (0 = tuple, 1 = batch), without materializing results.
 void RunExecBenchmark(benchmark::State& state, const PhysNodePtr& plan) {
-  const PaperWorkload& workload = PopulatedWorkload();
+  PaperWorkload& workload = PopulatedWorkload();
   ParamEnv env;
   ExecMode mode = state.range(0) == 0 ? ExecMode::kTuple : ExecMode::kBatch;
   state.SetLabel(ExecModeName(mode));
+  workload.db().buffer_pool().ResetStats();
   int64_t rows = 0;
   if (mode == ExecMode::kBatch) {
     auto iter = BuildBatchExecutor(plan, workload.db(), env);
@@ -179,6 +191,7 @@ void RunExecBenchmark(benchmark::State& state, const PhysNodePtr& plan) {
       (*iter)->Close();
     }
     ExportCounters(state, **iter, "");
+    ExportPoolCounters(state, workload.db().buffer_pool());
   } else {
     auto iter = BuildExecutor(plan, workload.db(), env);
     DQEP_CHECK(iter.ok());
@@ -191,6 +204,7 @@ void RunExecBenchmark(benchmark::State& state, const PhysNodePtr& plan) {
       (*iter)->Close();
     }
     ExportCounters(state, **iter, "");
+    ExportPoolCounters(state, workload.db().buffer_pool());
   }
   state.SetItemsProcessed(rows);
 }

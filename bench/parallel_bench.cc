@@ -48,8 +48,8 @@ struct SweepDb {
   RelationId build = kInvalidRelation;
 };
 
-const SweepDb& Db() {
-  static const SweepDb* instance = [] {
+SweepDb& Db() {
+  static SweepDb* instance = [] {
     auto* sweep = new SweepDb();
     auto probe = sweep->db.CreateTable("probe", SweepColumns(), kProbeRows);
     auto build = sweep->db.CreateTable("build", SweepColumns(), kBuildRows);
@@ -71,7 +71,7 @@ const SweepDb& Db() {
 /// Runs `plan` to exhaustion once per iteration with state.range(0)
 /// worker threads.
 void RunSweep(benchmark::State& state, const PhysNodePtr& plan) {
-  const SweepDb& sweep = Db();
+  SweepDb& sweep = Db();
   ParamEnv env;
   ExecOptions options;
   options.mode = ExecMode::kBatch;
@@ -79,6 +79,9 @@ void RunSweep(benchmark::State& state, const PhysNodePtr& plan) {
   state.SetLabel("threads=" + std::to_string(options.threads));
   auto iter = BuildParallelBatchExecutor(plan, sweep.db, env, options);
   DQEP_CHECK(iter.ok());
+  // The pool is shared across the whole sweep; reset so the hit/miss
+  // averages below describe this benchmark's iterations only.
+  sweep.db.buffer_pool().ResetStats();
   int64_t rows = 0;
   TupleBatch batch;
   for (auto _ : state) {
@@ -88,6 +91,11 @@ void RunSweep(benchmark::State& state, const PhysNodePtr& plan) {
     }
     (*iter)->Close();
   }
+  const BufferPool& pool = sweep.db.buffer_pool();
+  state.counters["pool.hits"] = benchmark::Counter(
+      static_cast<double>(pool.hits()), benchmark::Counter::kAvgIterations);
+  state.counters["pool.misses"] = benchmark::Counter(
+      static_cast<double>(pool.misses()), benchmark::Counter::kAvgIterations);
   state.SetItemsProcessed(rows);
 }
 

@@ -8,12 +8,13 @@
 // adaptors, keeping the subtrees above and below them batched.
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
+#include "exec/exec_context.h"
 #include "exec/executor.h"
 #include "exec/executor_internal.h"
 #include "exec/parallel.h"
+#include "exec/spill.h"
 
 namespace dqep {
 
@@ -23,8 +24,8 @@ using exec_internal::BindPredicate;
 using exec_internal::BindPredicates;
 using exec_internal::BoundPredicate;
 using exec_internal::BTreeRids;
-using exec_internal::JoinKey;
-using exec_internal::JoinKeyInto;
+using exec_internal::ExternalSorter;
+using exec_internal::HashJoinState;
 using exec_internal::ResolveHashJoinSlots;
 
 // --- Scans -----------------------------------------------------------------
@@ -179,16 +180,21 @@ class BatchFilterIter : public BatchIterator {
 
 // --- Hash join ----------------------------------------------------------------
 
-/// Batch hash join; drains the build side batch-wise into the hash table,
-/// then streams concatenated matches into reused output rows.
+/// Batch hash join; drains the build side batch-wise into the shared
+/// HashJoinState (an unordered_map from key to the rows bearing it —
+/// insertion order preserved per key, so output matches the old multimap
+/// implementation row for row), then streams concatenated matches into
+/// reused output rows.  Under a bounded context the state spills
+/// grace-style (see exec/spill.h).
 class BatchHashJoinIter : public BatchIterator {
  public:
   BatchHashJoinIter(std::vector<int32_t> build_slots,
                     std::vector<int32_t> probe_slots,
                     std::unique_ptr<BatchIterator> build,
-                    std::unique_ptr<BatchIterator> probe)
-      : build_slots_(std::move(build_slots)),
-        probe_slots_(std::move(probe_slots)),
+                    std::unique_ptr<BatchIterator> probe, const Database* db,
+                    ExecContext* ctx)
+      : state_(std::move(build_slots), std::move(probe_slots), db, ctx),
+        ctx_(ctx),
         build_(std::move(build)),
         probe_(std::move(probe)) {
     layout_ = TupleLayout::Concat(build_->layout(), probe_->layout());
@@ -196,28 +202,42 @@ class BatchHashJoinIter : public BatchIterator {
   }
 
   void Open() override {
-    table_.clear();
     build_->Open();
-    TupleBatch build_batch;
-    JoinKey key;
-    while (build_->Next(&build_batch)) {
-      for (int32_t i = 0; i < build_batch.num_rows(); ++i) {
-        const Tuple& tuple = build_batch.row(i);
-        JoinKeyInto(tuple, build_slots_, &key);
-        table_.emplace(key, tuple);
+    TupleBatch batch;
+    while (build_->Next(&batch)) {
+      if (ctx_ != nullptr && ctx_->cancelled()) {
+        break;
+      }
+      for (int32_t i = 0; i < batch.num_rows(); ++i) {
+        state_.AddBuild(batch.row(i));
       }
     }
     build_->Close();
+    state_.FinishBuild();
     probe_->Open();
-    match_it_ = table_.end();
-    match_end_ = table_.end();
+    if (state_.spilled()) {
+      while (probe_->Next(&batch)) {
+        if (ctx_ != nullptr && ctx_->cancelled()) {
+          break;
+        }
+        for (int32_t i = 0; i < batch.num_rows(); ++i) {
+          state_.AddProbe(batch.row(i));
+        }
+      }
+      state_.FinishProbe();
+    }
+    matches_ = nullptr;
+    match_pos_ = 0;
     probe_batch_.Clear();
     probe_pos_ = 0;
+    SyncSpillCounters();
   }
 
   void Close() override {
     probe_->Close();
-    table_.clear();
+    SyncSpillCounters();
+    state_.Reset();
+    matches_ = nullptr;
   }
 
   std::vector<const ExecNode*> child_nodes() const override {
@@ -227,67 +247,89 @@ class BatchHashJoinIter : public BatchIterator {
  protected:
   bool NextImpl(TupleBatch* out) override {
     out->Clear();
+    if (state_.spilled()) {
+      while (!out->full()) {
+        Tuple& row = out->AppendRow();
+        if (!state_.NextJoined(&row)) {
+          out->PopRow();
+          SyncSpillCounters();
+          break;
+        }
+      }
+      return out->size() > 0;
+    }
     while (!out->full()) {
-      if (match_it_ != match_end_) {
-        out->AppendRow().AssignConcat(match_it_->second, probe_tuple_);
-        ++match_it_;
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        out->AppendRow().AssignConcat((*matches_)[match_pos_++], probe_tuple_);
         continue;
       }
       if (probe_pos_ >= probe_batch_.num_rows()) {
-        if (!probe_->Next(&probe_batch_)) {
+        if ((ctx_ != nullptr && ctx_->cancelled()) ||
+            !probe_->Next(&probe_batch_)) {
           break;
         }
         probe_pos_ = 0;
       }
       probe_tuple_.AssignFrom(probe_batch_.row(probe_pos_++));
-      JoinKeyInto(probe_tuple_, probe_slots_, &probe_key_);
-      std::tie(match_it_, match_end_) = table_.equal_range(probe_key_);
+      matches_ = state_.Lookup(probe_tuple_);
+      match_pos_ = 0;
     }
     return out->size() > 0;
   }
 
  private:
-  std::vector<int32_t> build_slots_;
-  std::vector<int32_t> probe_slots_;
+  void SyncSpillCounters() {
+    counters_.spill_files = state_.spill_files();
+    counters_.spill_tuples = state_.spill_tuples();
+  }
+
+  HashJoinState state_;
+  ExecContext* ctx_;
   std::unique_ptr<BatchIterator> build_;
   std::unique_ptr<BatchIterator> probe_;
-  std::multimap<JoinKey, Tuple> table_;
-  std::multimap<JoinKey, Tuple>::iterator match_it_;
-  std::multimap<JoinKey, Tuple>::iterator match_end_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
   TupleBatch probe_batch_;
   int32_t probe_pos_ = 0;
   Tuple probe_tuple_;  // current probe row, storage reused across rows
-  JoinKey probe_key_;
 };
 
 // --- Sort ---------------------------------------------------------------------
 
+/// Batch sort enforcer backed by the shared ExternalSorter; spill
+/// decisions and output sequence are identical to the tuple-mode SortIter
+/// because both drive the same state with the same tracked byte model.
 class BatchSortIter : public BatchIterator {
  public:
-  BatchSortIter(int32_t slot, std::unique_ptr<BatchIterator> input)
-      : slot_(slot), input_(std::move(input)) {
+  BatchSortIter(int32_t slot, std::unique_ptr<BatchIterator> input,
+                const Database* db, ExecContext* ctx)
+      : sorter_(slot, db, ctx), ctx_(ctx), input_(std::move(input)) {
     layout_ = input_->layout();
     op_name_ = "batch-sort";
   }
 
   void Open() override {
-    rows_.clear();
+    sorter_.Reset();
     input_->Open();
     TupleBatch batch;
     while (input_->Next(&batch)) {
+      if (ctx_ != nullptr && ctx_->cancelled()) {
+        break;
+      }
       for (int32_t i = 0; i < batch.num_rows(); ++i) {
-        rows_.push_back(batch.row(i));
+        sorter_.Add(batch.row(i));
       }
     }
     input_->Close();
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [this](const Tuple& a, const Tuple& b) {
-                       return a.value(slot_) < b.value(slot_);
-                     });
+    sorter_.Finish();
     next_ = 0;
+    SyncSpillCounters();
   }
 
-  void Close() override { rows_.clear(); }
+  void Close() override {
+    SyncSpillCounters();
+    sorter_.Reset();
+  }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};
@@ -296,16 +338,31 @@ class BatchSortIter : public BatchIterator {
  protected:
   bool NextImpl(TupleBatch* out) override {
     out->Clear();
-    while (!out->full() && next_ < rows_.size()) {
-      out->AppendRow().AssignFrom(rows_[next_++]);
+    if (sorter_.spilled()) {
+      while (!out->full()) {
+        Tuple& row = out->AppendRow();
+        if (!sorter_.Next(&row)) {
+          out->PopRow();
+          break;
+        }
+      }
+      return out->size() > 0;
+    }
+    while (!out->full() && next_ < sorter_.rows().size()) {
+      out->AppendRow().AssignFrom(sorter_.rows()[next_++]);
     }
     return out->size() > 0;
   }
 
  private:
-  int32_t slot_;
+  void SyncSpillCounters() {
+    counters_.spill_files = sorter_.spill_files();
+    counters_.spill_tuples = sorter_.spill_tuples();
+  }
+
+  ExternalSorter sorter_;
+  ExecContext* ctx_;
   std::unique_ptr<BatchIterator> input_;
-  std::vector<Tuple> rows_;
   size_t next_ = 0;
 };
 
@@ -439,10 +496,16 @@ class BatchFromTupleIter : public BatchIterator {
 
 /// Recursive batch builder.  With a non-null `par`, any parallelizable
 /// chain becomes an exchange operator fanning it across worker threads.
+/// Under a bounded context hash joins are excluded from exchange chains
+/// (a spilling join must run serially so its spill decisions and output
+/// order are thread-count-independent); their scan/filter inputs still
+/// parallelize.
 Result<std::unique_ptr<BatchIterator>> BuildBatch(
     const PhysNode& node, const Database& db, const ParamEnv& env,
-    const exec_internal::ParallelEnv* par) {
-  if (par != nullptr && exec_internal::IsParallelizableChain(node)) {
+    ExecContext* ctx, const exec_internal::ParallelEnv* par) {
+  bool chain_joins = ctx == nullptr || !ctx->bounded();
+  if (par != nullptr &&
+      exec_internal::IsParallelizableChain(node, chain_joins)) {
     return exec_internal::MakeExchange(node, db, env, *par);
   }
   switch (node.kind()) {
@@ -466,7 +529,7 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
     }
     case PhysOpKind::kFilter: {
       Result<std::unique_ptr<BatchIterator>> input =
-          BuildBatch(*node.child(0), db, env, par);
+          BuildBatch(*node.child(0), db, env, ctx, par);
       if (!input.ok()) {
         return input.status();
       }
@@ -480,10 +543,10 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
     }
     case PhysOpKind::kHashJoin: {
       Result<std::unique_ptr<BatchIterator>> build =
-          BuildBatch(*node.child(0), db, env, par);
+          BuildBatch(*node.child(0), db, env, ctx, par);
       if (!build.ok()) return build.status();
       Result<std::unique_ptr<BatchIterator>> probe =
-          BuildBatch(*node.child(1), db, env, par);
+          BuildBatch(*node.child(1), db, env, ctx, par);
       if (!probe.ok()) return probe.status();
       std::vector<int32_t> build_slots;
       std::vector<int32_t> probe_slots;
@@ -492,27 +555,27 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
                                                 &build_slots, &probe_slots));
       return std::unique_ptr<BatchIterator>(std::make_unique<BatchHashJoinIter>(
           std::move(build_slots), std::move(probe_slots), std::move(*build),
-          std::move(*probe)));
+          std::move(*probe), &db, ctx));
     }
     case PhysOpKind::kMergeJoin: {
       // No native batch merge join yet: run the tuple implementation
       // between adaptors so the subtrees stay batched.
       Result<std::unique_ptr<BatchIterator>> left =
-          BuildBatch(*node.child(0), db, env, par);
+          BuildBatch(*node.child(0), db, env, ctx, par);
       if (!left.ok()) return left.status();
       Result<std::unique_ptr<BatchIterator>> right =
-          BuildBatch(*node.child(1), db, env, par);
+          BuildBatch(*node.child(1), db, env, ctx, par);
       if (!right.ok()) return right.status();
       Result<std::unique_ptr<Iterator>> join = exec_internal::MakeMergeJoinIter(
           node, std::make_unique<TupleFromBatchIter>(std::move(*left)),
-          std::make_unique<TupleFromBatchIter>(std::move(*right)));
+          std::make_unique<TupleFromBatchIter>(std::move(*right)), ctx);
       if (!join.ok()) return join.status();
       return std::unique_ptr<BatchIterator>(
           std::make_unique<BatchFromTupleIter>(std::move(*join)));
     }
     case PhysOpKind::kIndexJoin: {
       Result<std::unique_ptr<BatchIterator>> outer =
-          BuildBatch(*node.child(0), db, env, par);
+          BuildBatch(*node.child(0), db, env, ctx, par);
       if (!outer.ok()) return outer.status();
       Result<std::unique_ptr<Iterator>> join = exec_internal::MakeIndexJoinIter(
           node, db, env,
@@ -523,18 +586,18 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
     }
     case PhysOpKind::kSort: {
       Result<std::unique_ptr<BatchIterator>> input =
-          BuildBatch(*node.child(0), db, env, par);
+          BuildBatch(*node.child(0), db, env, ctx, par);
       if (!input.ok()) return input.status();
       int32_t slot = (*input)->layout().SlotOf(node.sort_attr());
       if (slot < 0) {
         return Status::Internal("sort attribute missing from input");
       }
       return std::unique_ptr<BatchIterator>(
-          std::make_unique<BatchSortIter>(slot, std::move(*input)));
+          std::make_unique<BatchSortIter>(slot, std::move(*input), &db, ctx));
     }
     case PhysOpKind::kProject: {
       Result<std::unique_ptr<BatchIterator>> input =
-          BuildBatch(*node.child(0), db, env, par);
+          BuildBatch(*node.child(0), db, env, ctx, par);
       if (!input.ok()) return input.status();
       std::vector<int32_t> slots;
       TupleLayout layout;
@@ -563,8 +626,8 @@ namespace exec_internal {
 
 Result<std::unique_ptr<BatchIterator>> BuildBatchTree(
     const PhysNode& node, const Database& db, const ParamEnv& env,
-    const ParallelEnv* parallel) {
-  return BuildBatch(node, db, env, parallel);
+    ExecContext* ctx, const ParallelEnv* parallel) {
+  return BuildBatch(node, db, env, ctx, parallel);
 }
 
 std::unique_ptr<BatchIterator> MakeBatchFileScan(const Table* table,
@@ -597,27 +660,45 @@ std::unique_ptr<BatchIterator> MakeBatchProject(
 }  // namespace exec_internal
 
 Result<std::unique_ptr<BatchIterator>> BuildBatchExecutor(
-    const PhysNodePtr& plan, const Database& db, const ParamEnv& env) {
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    ExecContext* ctx) {
   DQEP_CHECK(plan != nullptr);
-  return BuildBatch(*plan, db, env, /*par=*/nullptr);
+  return BuildBatch(*plan, db, env, ctx, /*par=*/nullptr);
 }
 
-Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
+namespace {
+
+Result<std::unique_ptr<BatchIterator>> BuildParallel(
     const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
-    const ExecOptions& options) {
+    const ExecOptions& options, ExecContext* ctx) {
   DQEP_CHECK(plan != nullptr);
   DQEP_CHECK_GE(options.threads, 1);
   if (options.threads == 1) {
     // Serial: the exact single-threaded batch engine, no pool, no
     // exchanges.
-    return BuildBatchExecutor(plan, db, env);
+    return BuildBatchExecutor(plan, db, env, ctx);
   }
   exec_internal::ParallelEnv par;
   par.pool = std::make_shared<ThreadPool>(options.threads);
   par.threads = options.threads;
   par.morsel_pages = std::max<int64_t>(options.morsel_pages, 1);
   par.morsel_rids = std::max<int64_t>(options.morsel_rids, 1);
-  return BuildBatch(*plan, db, env, &par);
+  par.ctx = ctx;
+  return BuildBatch(*plan, db, env, ctx, &par);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    const ExecOptions& options) {
+  return BuildParallel(plan, db, env, options, /*ctx=*/nullptr);
+}
+
+Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    ExecContext& ctx) {
+  return BuildParallel(plan, db, env, ctx.options(), &ctx);
 }
 
 }  // namespace dqep

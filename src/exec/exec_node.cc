@@ -11,11 +11,14 @@ void RenderNode(const ExecNode& node, int depth, std::ostringstream* os) {
   std::string name(static_cast<size_t>(depth) * 2, ' ');
   name += node.op_name();
   const OperatorCounters& c = node.counters();
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-28s %10lld %10lld %10lld %10.6f\n",
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "%-28s %10lld %10lld %10lld %10.6f %8lld %10lld\n",
                 name.c_str(), static_cast<long long>(c.next_calls),
                 static_cast<long long>(c.batches),
-                static_cast<long long>(c.tuples), c.wall_seconds);
+                static_cast<long long>(c.tuples), c.wall_seconds,
+                static_cast<long long>(c.spill_files),
+                static_cast<long long>(c.spill_tuples));
   *os << line;
   for (const ExecNode* child : node.child_nodes()) {
     RenderNode(*child, depth + 1, os);
@@ -26,9 +29,11 @@ void RenderNode(const ExecNode& node, int depth, std::ostringstream* os) {
 
 std::string RenderProfile(const ExecNode& root) {
   std::ostringstream os;
-  char header[160];
-  std::snprintf(header, sizeof(header), "%-28s %10s %10s %10s %10s\n",
-                "operator", "next_calls", "batches", "tuples", "wall_s");
+  char header[200];
+  std::snprintf(header, sizeof(header),
+                "%-28s %10s %10s %10s %10s %8s %10s\n", "operator",
+                "next_calls", "batches", "tuples", "wall_s", "spills",
+                "spill_rows");
   os << header;
   RenderNode(root, 0, &os);
   return os.str();

@@ -32,6 +32,14 @@ struct OperatorCounters {
 
   /// Inclusive wall-clock seconds spent inside Next (children included).
   double wall_seconds = 0.0;
+
+  /// Temp heap files this operator created (grace-join partitions,
+  /// external-sort runs).  0 unless the operator ran over budget.
+  int64_t spill_files = 0;
+
+  /// Tuples written to temp heaps (repartitioned tuples count once per
+  /// rewrite, matching the I/O performed).
+  int64_t spill_tuples = 0;
 };
 
 /// Base class of Iterator and BatchIterator: the stable surface the
@@ -60,9 +68,9 @@ class ExecNode {
 /// Renders the operator tree with counters, one indented line per
 /// operator:
 ///
-///   operator                    next_calls    batches     tuples     wall_s
-///   batch-filter                        13         12      3072   0.001234
-///     batch-file-scan                   13         13     12288   0.000987
+///   operator                    next_calls    batches     tuples     wall_s   spills spill_rows
+///   batch-filter                        13         12      3072   0.001234        0          0
+///     batch-file-scan                   13         13     12288   0.000987        0          0
 std::string RenderProfile(const ExecNode& root);
 
 }  // namespace dqep

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <utility>
 
+#include "exec/exec_context.h"
 #include "exec/executor_internal.h"
+#include "exec/spill.h"
 
 namespace dqep {
 
@@ -109,9 +110,10 @@ using exec_internal::BindPredicate;
 using exec_internal::BindPredicates;
 using exec_internal::BoundPredicate;
 using exec_internal::BTreeRids;
-using exec_internal::JoinKey;
-using exec_internal::JoinKeyInto;
+using exec_internal::ExternalSorter;
+using exec_internal::HashJoinState;
 using exec_internal::ResolveHashJoinSlots;
+using exec_internal::TrackedTupleBytes;
 
 // --- Scans -----------------------------------------------------------------
 
@@ -216,14 +218,17 @@ class FilterIter : public Iterator {
 // --- Joins -------------------------------------------------------------------
 
 /// Hash join on composite equality keys; children[0] is the build side.
+/// All build/probe state lives in the shared HashJoinState, which spills
+/// grace-style under a bounded context (see exec/spill.h).
 class HashJoinIter : public Iterator {
  public:
   HashJoinIter(std::vector<int32_t> build_slots,
                std::vector<int32_t> probe_slots,
                std::unique_ptr<Iterator> build,
-               std::unique_ptr<Iterator> probe)
-      : build_slots_(std::move(build_slots)),
-        probe_slots_(std::move(probe_slots)),
+               std::unique_ptr<Iterator> probe, const Database* db,
+               ExecContext* ctx)
+      : state_(std::move(build_slots), std::move(probe_slots), db, ctx),
+        ctx_(ctx),
         build_(std::move(build)),
         probe_(std::move(probe)) {
     layout_ = TupleLayout::Concat(build_->layout(), probe_->layout());
@@ -233,20 +238,34 @@ class HashJoinIter : public Iterator {
   void Open() override {
     build_->Open();
     Tuple tuple;
-    JoinKey key;
     while (build_->Next(&tuple)) {
-      JoinKeyInto(tuple, build_slots_, &key);
-      table_.emplace(key, std::move(tuple));
+      if (ctx_ != nullptr && ctx_->cancelled()) {
+        break;
+      }
+      state_.AddBuild(tuple);
     }
     build_->Close();
+    state_.FinishBuild();
     probe_->Open();
-    match_it_ = table_.end();
-    match_end_ = table_.end();
+    if (state_.spilled()) {
+      while (probe_->Next(&tuple)) {
+        if (ctx_ != nullptr && ctx_->cancelled()) {
+          break;
+        }
+        state_.AddProbe(tuple);
+      }
+      state_.FinishProbe();
+    }
+    matches_ = nullptr;
+    match_pos_ = 0;
+    SyncSpillCounters();
   }
 
   void Close() override {
     probe_->Close();
-    table_.clear();
+    SyncSpillCounters();
+    state_.Reset();
+    matches_ = nullptr;
   }
 
   std::vector<const ExecNode*> child_nodes() const override {
@@ -255,43 +274,62 @@ class HashJoinIter : public Iterator {
 
  protected:
   bool NextImpl(Tuple* out) override {
+    if (state_.spilled()) {
+      bool produced = state_.NextJoined(out);
+      if (!produced) {
+        SyncSpillCounters();
+      }
+      return produced;
+    }
     while (true) {
-      if (match_it_ != match_end_) {
-        *out = Tuple::Concat(match_it_->second, probe_tuple_);
-        ++match_it_;
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        out->AssignConcat((*matches_)[match_pos_++], probe_tuple_);
         return true;
+      }
+      if (ctx_ != nullptr && ctx_->cancelled()) {
+        return false;
       }
       if (!probe_->Next(&probe_tuple_)) {
         return false;
       }
-      JoinKeyInto(probe_tuple_, probe_slots_, &probe_key_);
-      std::tie(match_it_, match_end_) = table_.equal_range(probe_key_);
+      matches_ = state_.Lookup(probe_tuple_);
+      match_pos_ = 0;
     }
   }
 
  private:
-  std::vector<int32_t> build_slots_;
-  std::vector<int32_t> probe_slots_;
+  void SyncSpillCounters() {
+    counters_.spill_files = state_.spill_files();
+    counters_.spill_tuples = state_.spill_tuples();
+  }
+
+  HashJoinState state_;
+  ExecContext* ctx_;
   std::unique_ptr<Iterator> build_;
   std::unique_ptr<Iterator> probe_;
-  std::multimap<JoinKey, Tuple> table_;
-  std::multimap<JoinKey, Tuple>::iterator match_it_;
-  std::multimap<JoinKey, Tuple>::iterator match_end_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
   Tuple probe_tuple_;  // overwritten before first use
-  JoinKey probe_key_;
 };
 
 /// Merge join over inputs sorted on the first join predicate; additional
 /// join predicates are residual equality checks.
+///
+/// Streams both inputs and buffers only the current right-side
+/// duplicate-key group (a left row must rescan the whole right group, so
+/// the group is the join's minimum working set; its bytes are accounted
+/// against `ctx`).  Output order is left-major within each key — the
+/// same sequence the historical materialize-both implementation emitted.
 class MergeJoinIter : public Iterator {
  public:
   MergeJoinIter(int32_t left_slot, int32_t right_slot,
                 std::vector<std::pair<int32_t, int32_t>> residual,
                 std::unique_ptr<Iterator> left,
-                std::unique_ptr<Iterator> right)
+                std::unique_ptr<Iterator> right, ExecContext* ctx)
       : left_slot_(left_slot),
         right_slot_(right_slot),
         residual_(std::move(residual)),
+        ctx_(ctx),
         left_(std::move(left)),
         right_(std::move(right)) {
     layout_ = TupleLayout::Concat(left_->layout(), right_->layout());
@@ -299,30 +337,18 @@ class MergeJoinIter : public Iterator {
   }
 
   void Open() override {
-    // Materialize both inputs (they arrive sorted); the cost model charges
-    // the sort enforcers, not the join, for ordering work.
-    left_rows_.clear();
-    right_rows_.clear();
-    Tuple tuple;
     left_->Open();
-    while (left_->Next(&tuple)) {
-      left_rows_.push_back(tuple);
-    }
-    left_->Close();
     right_->Open();
-    while (right_->Next(&tuple)) {
-      right_rows_.push_back(tuple);
-    }
-    right_->Close();
-    li_ = 0;
-    ri_ = 0;
-    gl_ = lg_end_ = 0;
-    gr_ = rg_begin_ = rg_end_ = 0;
+    ReleaseGroup();
+    group_pos_ = 0;
+    right_valid_ = right_->Next(&right_tuple_);
   }
 
   void Close() override {
-    left_rows_.clear();
-    right_rows_.clear();
+    left_->Close();
+    right_->Close();
+    ReleaseGroup();
+    group_pos_ = 0;
   }
 
   std::vector<const ExecNode*> child_nodes() const override {
@@ -332,53 +358,60 @@ class MergeJoinIter : public Iterator {
  protected:
   bool NextImpl(Tuple* out) override {
     while (true) {
-      // Emit the cross product of the current duplicate-key groups.
-      while (gl_ < lg_end_) {
-        while (gr_ < rg_end_) {
-          const Tuple& lt = left_rows_[gl_];
-          const Tuple& rt = right_rows_[gr_++];
-          if (ResidualOk(lt, rt)) {
-            *out = Tuple::Concat(lt, rt);
-            return true;
-          }
-        }
-        ++gl_;
-        gr_ = rg_begin_;
-      }
-      // Two-pointer advance to the next pair of matching key groups.
-      while (li_ < left_rows_.size() && ri_ < right_rows_.size() &&
-             KeyL(li_) != KeyR(ri_)) {
-        if (KeyL(li_) < KeyR(ri_)) {
-          ++li_;
-        } else {
-          ++ri_;
+      // Emit the current left row against the buffered right group.
+      while (group_pos_ < right_group_.size()) {
+        const Tuple& rt = right_group_[group_pos_++];
+        if (ResidualOk(left_tuple_, rt)) {
+          out->AssignConcat(left_tuple_, rt);
+          return true;
         }
       }
-      if (li_ >= left_rows_.size() || ri_ >= right_rows_.size()) {
+      if (ctx_ != nullptr && ctx_->cancelled()) {
         return false;
       }
-      int64_t key = KeyL(li_);
-      gl_ = li_;
-      lg_end_ = li_;
-      while (lg_end_ < left_rows_.size() && KeyL(lg_end_) == key) {
-        ++lg_end_;
+      if (!left_->Next(&left_tuple_)) {
+        return false;
       }
-      gr_ = rg_begin_ = ri_;
-      rg_end_ = ri_;
-      while (rg_end_ < right_rows_.size() && KeyR(rg_end_) == key) {
-        ++rg_end_;
+      int64_t key = left_tuple_.value(left_slot_).AsInt64();
+      if (group_loaded_ && key == group_key_) {
+        group_pos_ = 0;  // same key: rescan the buffered group
+        continue;
       }
-      li_ = lg_end_;
-      ri_ = rg_end_;
+      // Left keys ascend, so a buffered group with a smaller key is dead.
+      ReleaseGroup();
+      while (right_valid_ && RightKey() < key) {
+        right_valid_ = right_->Next(&right_tuple_);
+      }
+      if (!right_valid_) {
+        return false;  // all future left keys are >= key too
+      }
+      group_pos_ = 0;
+      if (RightKey() > key) {
+        continue;  // this left key has no matches; advance left
+      }
+      group_key_ = key;
+      group_loaded_ = true;
+      while (right_valid_ && RightKey() == key) {
+        if (ctx_ != nullptr) {
+          int64_t bytes = TrackedTupleBytes(right_tuple_);
+          // The duplicate group is the merge join's minimum working set;
+          // it cannot spill, so exceeding the budget here is a forced
+          // overflow, not a policy choice.
+          if (ctx_->bounded() && ctx_->tracker().WouldExceed(bytes)) {
+            ctx_->RecordOverflow();
+          }
+          ctx_->tracker().Acquire(bytes);
+          group_bytes_ += bytes;
+        }
+        right_group_.push_back(right_tuple_);
+        right_valid_ = right_->Next(&right_tuple_);
+      }
     }
   }
 
  private:
-  int64_t KeyL(size_t i) const {
-    return left_rows_[i].value(left_slot_).AsInt64();
-  }
-  int64_t KeyR(size_t i) const {
-    return right_rows_[i].value(right_slot_).AsInt64();
+  int64_t RightKey() const {
+    return right_tuple_.value(right_slot_).AsInt64();
   }
 
   bool ResidualOk(const Tuple& lt, const Tuple& rt) const {
@@ -390,20 +423,29 @@ class MergeJoinIter : public Iterator {
     return true;
   }
 
+  void ReleaseGroup() {
+    if (ctx_ != nullptr) {
+      ctx_->tracker().Release(group_bytes_);
+    }
+    group_bytes_ = 0;
+    right_group_.clear();
+    group_loaded_ = false;
+  }
+
   int32_t left_slot_;
   int32_t right_slot_;
   std::vector<std::pair<int32_t, int32_t>> residual_;
+  ExecContext* ctx_;
   std::unique_ptr<Iterator> left_;
   std::unique_ptr<Iterator> right_;
-  std::vector<Tuple> left_rows_;
-  std::vector<Tuple> right_rows_;
-  size_t li_ = 0;
-  size_t ri_ = 0;
-  size_t gl_ = 0;       // cursor within the current left group
-  size_t lg_end_ = 0;   // end of the current left group
-  size_t gr_ = 0;       // cursor within the current right group
-  size_t rg_begin_ = 0; // start of the current right group
-  size_t rg_end_ = 0;   // end of the current right group
+  Tuple left_tuple_;
+  Tuple right_tuple_;        // lookahead past the buffered group
+  bool right_valid_ = false;
+  std::vector<Tuple> right_group_;
+  int64_t group_key_ = 0;
+  bool group_loaded_ = false;
+  int64_t group_bytes_ = 0;
+  size_t group_pos_ = 0;
 };
 
 /// Index nested-loops join: probes the inner table's B-tree per outer row.
@@ -475,30 +517,38 @@ class IndexJoinIter : public Iterator {
 
 // --- Sort ---------------------------------------------------------------------
 
+/// Sort enforcer backed by the shared ExternalSorter: an in-memory
+/// stable sort until the budget forces runs out to temp heaps, then a
+/// k-way merge whose output sequence is identical to the in-memory sort.
 class SortIter : public Iterator {
  public:
-  SortIter(int32_t slot, std::unique_ptr<Iterator> input)
-      : slot_(slot), input_(std::move(input)) {
+  SortIter(int32_t slot, std::unique_ptr<Iterator> input, const Database* db,
+           ExecContext* ctx)
+      : sorter_(slot, db, ctx), ctx_(ctx), input_(std::move(input)) {
     layout_ = input_->layout();
     op_name_ = "sort";
   }
 
   void Open() override {
-    rows_.clear();
+    sorter_.Reset();
     input_->Open();
     Tuple tuple;
     while (input_->Next(&tuple)) {
-      rows_.push_back(std::move(tuple));
+      if (ctx_ != nullptr && ctx_->cancelled()) {
+        break;
+      }
+      sorter_.Add(tuple);
     }
     input_->Close();
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [this](const Tuple& a, const Tuple& b) {
-                       return a.value(slot_) < b.value(slot_);
-                     });
+    sorter_.Finish();
     next_ = 0;
+    SyncSpillCounters();
   }
 
-  void Close() override { rows_.clear(); }
+  void Close() override {
+    SyncSpillCounters();
+    sorter_.Reset();
+  }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};
@@ -506,17 +556,25 @@ class SortIter : public Iterator {
 
  protected:
   bool NextImpl(Tuple* out) override {
-    if (next_ >= rows_.size()) {
+    if (sorter_.spilled()) {
+      return sorter_.Next(out);
+    }
+    if (next_ >= sorter_.rows().size()) {
       return false;
     }
-    *out = rows_[next_++];
+    out->AssignFrom(sorter_.rows()[next_++]);
     return true;
   }
 
  private:
-  int32_t slot_;
+  void SyncSpillCounters() {
+    counters_.spill_files = sorter_.spill_files();
+    counters_.spill_tuples = sorter_.spill_tuples();
+  }
+
+  ExternalSorter sorter_;
+  ExecContext* ctx_;
   std::unique_ptr<Iterator> input_;
-  std::vector<Tuple> rows_;
   size_t next_ = 0;
 };
 
@@ -562,7 +620,8 @@ class ProjectIter : public Iterator {
 
 Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
                                         const Database& db,
-                                        const ParamEnv& env) {
+                                        const ParamEnv& env,
+                                        ExecContext* ctx) {
   switch (node.kind()) {
     case PhysOpKind::kFileScan:
       return std::unique_ptr<Iterator>(
@@ -583,7 +642,7 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
     }
     case PhysOpKind::kFilter: {
       Result<std::unique_ptr<Iterator>> input =
-          Build(*node.child(0), db, env);
+          Build(*node.child(0), db, env, ctx);
       if (!input.ok()) {
         return input.status();
       }
@@ -596,9 +655,11 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
           std::move(*bound), std::move(*input)));
     }
     case PhysOpKind::kHashJoin: {
-      Result<std::unique_ptr<Iterator>> build = Build(*node.child(0), db, env);
+      Result<std::unique_ptr<Iterator>> build =
+          Build(*node.child(0), db, env, ctx);
       if (!build.ok()) return build.status();
-      Result<std::unique_ptr<Iterator>> probe = Build(*node.child(1), db, env);
+      Result<std::unique_ptr<Iterator>> probe =
+          Build(*node.child(1), db, env, ctx);
       if (!probe.ok()) return probe.status();
       std::vector<int32_t> build_slots;
       std::vector<int32_t> probe_slots;
@@ -607,34 +668,39 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
                                                 &build_slots, &probe_slots));
       return std::unique_ptr<Iterator>(std::make_unique<HashJoinIter>(
           std::move(build_slots), std::move(probe_slots), std::move(*build),
-          std::move(*probe)));
+          std::move(*probe), &db, ctx));
     }
     case PhysOpKind::kMergeJoin: {
-      Result<std::unique_ptr<Iterator>> left = Build(*node.child(0), db, env);
+      Result<std::unique_ptr<Iterator>> left =
+          Build(*node.child(0), db, env, ctx);
       if (!left.ok()) return left.status();
-      Result<std::unique_ptr<Iterator>> right = Build(*node.child(1), db, env);
+      Result<std::unique_ptr<Iterator>> right =
+          Build(*node.child(1), db, env, ctx);
       if (!right.ok()) return right.status();
       return exec_internal::MakeMergeJoinIter(node, std::move(*left),
-                                              std::move(*right));
+                                              std::move(*right), ctx);
     }
     case PhysOpKind::kIndexJoin: {
-      Result<std::unique_ptr<Iterator>> outer = Build(*node.child(0), db, env);
+      Result<std::unique_ptr<Iterator>> outer =
+          Build(*node.child(0), db, env, ctx);
       if (!outer.ok()) return outer.status();
       return exec_internal::MakeIndexJoinIter(node, db, env,
                                               std::move(*outer));
     }
     case PhysOpKind::kSort: {
-      Result<std::unique_ptr<Iterator>> input = Build(*node.child(0), db, env);
+      Result<std::unique_ptr<Iterator>> input =
+          Build(*node.child(0), db, env, ctx);
       if (!input.ok()) return input.status();
       int32_t slot = (*input)->layout().SlotOf(node.sort_attr());
       if (slot < 0) {
         return Status::Internal("sort attribute missing from input");
       }
       return std::unique_ptr<Iterator>(
-          std::make_unique<SortIter>(slot, std::move(*input)));
+          std::make_unique<SortIter>(slot, std::move(*input), &db, ctx));
     }
     case PhysOpKind::kProject: {
-      Result<std::unique_ptr<Iterator>> input = Build(*node.child(0), db, env);
+      Result<std::unique_ptr<Iterator>> input =
+          Build(*node.child(0), db, env, ctx);
       if (!input.ok()) return input.status();
       std::vector<int32_t> slots;
       TupleLayout layout;
@@ -672,7 +738,7 @@ namespace exec_internal {
 
 Result<std::unique_ptr<Iterator>> MakeMergeJoinIter(
     const PhysNode& node, std::unique_ptr<Iterator> left,
-    std::unique_ptr<Iterator> right) {
+    std::unique_ptr<Iterator> right, ExecContext* ctx) {
   const JoinPredicate& key = node.joins().front();
   int32_t ls = left->layout().SlotOf(key.left);
   int32_t rs = right->layout().SlotOf(key.right);
@@ -694,7 +760,7 @@ Result<std::unique_ptr<Iterator>> MakeMergeJoinIter(
     residual.emplace_back(l, r);
   }
   return std::unique_ptr<Iterator>(std::make_unique<MergeJoinIter>(
-      ls, rs, std::move(residual), std::move(left), std::move(right)));
+      ls, rs, std::move(residual), std::move(left), std::move(right), ctx));
 }
 
 Result<std::unique_ptr<Iterator>> MakeIndexJoinIter(
@@ -741,9 +807,10 @@ Result<ExecMode> ParseExecMode(std::string_view name) {
 
 Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
                                                 const Database& db,
-                                                const ParamEnv& env) {
+                                                const ParamEnv& env,
+                                                ExecContext* ctx) {
   DQEP_CHECK(plan != nullptr);
-  return Build(*plan, db, env);
+  return Build(*plan, db, env, ctx);
 }
 
 Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
@@ -803,6 +870,43 @@ Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
     for (int32_t i = 0; i < batch.num_rows(); ++i) {
       rows.push_back(batch.row(i));
     }
+  }
+  (*iter)->Close();
+  return rows;
+}
+
+Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
+                                       const Database& db,
+                                       const ParamEnv& env, ExecContext& ctx) {
+  DQEP_CHECK(plan != nullptr);
+  const ExecOptions& options = ctx.options();
+  std::vector<Tuple> rows;
+  rows.reserve(ReserveHint(*plan));
+  if (options.threads > 1 || options.mode == ExecMode::kBatch) {
+    Result<std::unique_ptr<BatchIterator>> iter =
+        options.threads > 1 ? BuildParallelBatchExecutor(plan, db, env, ctx)
+                            : BuildBatchExecutor(plan, db, env, &ctx);
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    (*iter)->Open();
+    TupleBatch batch;
+    while (!ctx.cancelled() && (*iter)->Next(&batch)) {
+      for (int32_t i = 0; i < batch.num_rows(); ++i) {
+        rows.push_back(batch.row(i));
+      }
+    }
+    (*iter)->Close();
+    return rows;
+  }
+  Result<std::unique_ptr<Iterator>> iter = BuildExecutor(plan, db, env, &ctx);
+  if (!iter.ok()) {
+    return iter.status();
+  }
+  (*iter)->Open();
+  Tuple tuple;
+  while (!ctx.cancelled() && (*iter)->Next(&tuple)) {
+    rows.push_back(std::move(tuple));
   }
   (*iter)->Close();
   return rows;

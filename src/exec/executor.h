@@ -35,6 +35,8 @@
 
 namespace dqep {
 
+class ExecContext;  // exec/exec_context.h
+
 /// Execution granularity.
 enum class ExecMode {
   kTuple,
@@ -126,18 +128,28 @@ class BatchIterator : public ExecNode {
 
 /// Builds a tuple-at-a-time iterator tree for a resolved plan.
 ///
+/// `ctx` is the per-query execution context (exec/exec_context.h); it
+/// must outlive the returned tree.  Null means legacy unbounded
+/// execution.  Under a bounded context, hash joins spill grace-style and
+/// sorts spill to external merge sort when the tracked build/sort state
+/// would exceed the budget; a spilled hash join emits its rows in
+/// partition-major order (a different — but deterministic — order from
+/// the in-memory join's probe order).
+///
 /// Fails with InvalidArgument if the plan still contains choose-plan
 /// operators (resolve it at start-up first) or references unbound host
 /// variables.
 Result<std::unique_ptr<Iterator>> BuildExecutor(const PhysNodePtr& plan,
                                                 const Database& db,
-                                                const ParamEnv& env);
+                                                const ParamEnv& env,
+                                                ExecContext* ctx = nullptr);
 
 /// Builds a batch-at-a-time iterator tree for a resolved plan; operators
 /// without a batch implementation run tuple-at-a-time behind adaptors.
-/// Same failure modes as BuildExecutor.
+/// Same failure modes and context semantics as BuildExecutor.
 Result<std::unique_ptr<BatchIterator>> BuildBatchExecutor(
-    const PhysNodePtr& plan, const Database& db, const ParamEnv& env);
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    ExecContext* ctx = nullptr);
 
 /// Builds a batch iterator tree with exchange operators fanning
 /// parallelizable chains across options.threads workers (see ExecOptions).
@@ -149,6 +161,15 @@ Result<std::unique_ptr<BatchIterator>> BuildBatchExecutor(
 Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
     const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
     const ExecOptions& options);
+
+/// As above, threading a per-query context: thread count and morsel
+/// geometry come from ctx.options(), and the memory budget governs every
+/// operator.  Under a bounded context hash joins are kept out of exchange
+/// chains (they run serially on the consumer thread), so spill decisions
+/// and the output row sequence are identical at every thread count.
+Result<std::unique_ptr<BatchIterator>> BuildParallelBatchExecutor(
+    const PhysNodePtr& plan, const Database& db, const ParamEnv& env,
+    ExecContext& ctx);
 
 /// Convenience: builds in `mode`, opens, drains, and closes; returns all
 /// tuples.  The output vector is pre-sized from the plan's annotated
@@ -164,6 +185,13 @@ Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
                                        const Database& db,
                                        const ParamEnv& env,
                                        const ExecOptions& options);
+
+/// As above, under a per-query context: options from ctx.options(),
+/// memory governed by ctx's budget, cancellable via ctx.RequestCancel()
+/// (a cancelled run returns the rows produced so far).
+Result<std::vector<Tuple>> ExecutePlan(const PhysNodePtr& plan,
+                                       const Database& db,
+                                       const ParamEnv& env, ExecContext& ctx);
 
 }  // namespace dqep
 

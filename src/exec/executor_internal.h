@@ -66,12 +66,27 @@ inline void JoinKeyInto(const Tuple& tuple, const std::vector<int32_t>& slots,
   }
 }
 
+/// FNV-style combiner over the key's components (hash-table hashing for
+/// join build tables; spill partitioning uses the independent mixer in
+/// exec/spill.h so map-bucket skew cannot correlate with partition skew).
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& key) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (int64_t v : key) {
+      h ^= std::hash<int64_t>()(static_cast<int64_t>(v)) +
+           0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
 /// Constructs a tuple-at-a-time merge join over pre-built children (used
 /// by both mode builders; the batch builder wraps the children in
-/// adaptors).
+/// adaptors).  The join streams both inputs and buffers only the current
+/// right-side duplicate-key group, accounted against `ctx` (nullable).
 Result<std::unique_ptr<Iterator>> MakeMergeJoinIter(
     const PhysNode& node, std::unique_ptr<Iterator> left,
-    std::unique_ptr<Iterator> right);
+    std::unique_ptr<Iterator> right, ExecContext* ctx);
 
 /// Constructs a tuple-at-a-time index join over a pre-built outer child.
 Result<std::unique_ptr<Iterator>> MakeIndexJoinIter(
@@ -82,11 +97,12 @@ Result<std::unique_ptr<Iterator>> MakeIndexJoinIter(
 
 struct ParallelEnv;
 
-/// Builds a batch iterator for `node`.  When `parallel` is non-null,
-/// subtrees that form parallelizable chains become exchange operators.
+/// Builds a batch iterator for `node`.  `ctx` may be null (legacy
+/// unbounded execution).  When `parallel` is non-null, subtrees that form
+/// parallelizable chains become exchange operators.
 Result<std::unique_ptr<BatchIterator>> BuildBatchTree(
     const PhysNode& node, const Database& db, const ParamEnv& env,
-    const ParallelEnv* parallel);
+    ExecContext* ctx, const ParallelEnv* parallel);
 
 /// Morsel-pipeline operator factories: the exchange operator instantiates
 /// one cheap pipeline per morsel from these (all binding already done).

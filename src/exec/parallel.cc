@@ -11,29 +11,21 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "exec/exec_context.h"
 #include "exec/executor_internal.h"
+#include "exec/spill.h"
 
 namespace dqep {
 namespace exec_internal {
 namespace {
-
-/// FNV-style combiner over the key's components.
-struct JoinKeyHash {
-  size_t operator()(const JoinKey& key) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (int64_t v : key) {
-      h ^= std::hash<int64_t>()(static_cast<int64_t>(v)) +
-           0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
 
 void Accumulate(const OperatorCounters& src, OperatorCounters* dst) {
   dst->next_calls += src.next_calls;
   dst->tuples += src.tuples;
   dst->batches += src.batches;
   dst->wall_seconds += src.wall_seconds;
+  dst->spill_files += src.spill_files;
+  dst->spill_tuples += src.spill_tuples;
 }
 
 /// A counters-only stand-in for one chain operator in the profile tree.
@@ -68,12 +60,19 @@ class ProfileNode : public ExecNode {
 /// Build returns the state is immutable; workers only Lookup.
 class SharedJoinState {
  public:
+  /// `ctx` may be null; a non-null context only tracks the build's bytes
+  /// (shared builds never spill — under a *bounded* context the batch
+  /// builder keeps hash joins out of exchange chains entirely, so only
+  /// track-only contexts reach here).
   SharedJoinState(std::vector<int32_t> build_slots,
                   std::vector<int32_t> probe_slots,
-                  std::unique_ptr<BatchIterator> build)
+                  std::unique_ptr<BatchIterator> build, ExecContext* ctx)
       : build_slots_(std::move(build_slots)),
         probe_slots_(std::move(probe_slots)),
-        build_(std::move(build)) {}
+        build_(std::move(build)),
+        ctx_(ctx) {}
+
+  ~SharedJoinState() { Reset(); }
 
   const TupleLayout& build_layout() const { return build_->layout(); }
   const std::vector<int32_t>& probe_slots() const { return probe_slots_; }
@@ -91,6 +90,11 @@ class SharedJoinState {
     while (build_->Next(&batch)) {
       for (int32_t i = 0; i < batch.num_rows(); ++i) {
         const Tuple& tuple = batch.row(i);
+        if (ctx_ != nullptr) {
+          int64_t bytes = TrackedTupleBytes(tuple);
+          ctx_->tracker().Acquire(bytes);
+          tracked_bytes_ += bytes;
+        }
         JoinKeyInto(tuple, build_slots_, &key);
         (*rows)[JoinKeyHash()(key) % kPartitions].emplace_back(key, tuple);
       }
@@ -110,7 +114,13 @@ class SharedJoinState {
     latch->Wait();
   }
 
-  void Reset() { partitions_.clear(); }
+  void Reset() {
+    partitions_.clear();
+    if (ctx_ != nullptr) {
+      ctx_->tracker().Release(tracked_bytes_);
+    }
+    tracked_bytes_ = 0;
+  }
 
   /// Matches for `key` in serial insertion order, or nullptr.
   const std::vector<Tuple>* Lookup(const JoinKey& key) const {
@@ -129,6 +139,8 @@ class SharedJoinState {
   std::vector<int32_t> build_slots_;
   std::vector<int32_t> probe_slots_;
   std::unique_ptr<BatchIterator> build_;
+  ExecContext* ctx_;
+  int64_t tracked_bytes_ = 0;
   std::vector<Partition> partitions_;
 };
 
@@ -484,7 +496,7 @@ class ExchangeIter : public BatchIterator {
 
 }  // namespace
 
-bool IsParallelizableChain(const PhysNode& node) {
+bool IsParallelizableChain(const PhysNode& node, bool include_hash_joins) {
   switch (node.kind()) {
     case PhysOpKind::kFileScan:
     case PhysOpKind::kBTreeScan:
@@ -492,9 +504,10 @@ bool IsParallelizableChain(const PhysNode& node) {
       return true;
     case PhysOpKind::kFilter:
     case PhysOpKind::kProject:
-      return IsParallelizableChain(*node.child(0));
+      return IsParallelizableChain(*node.child(0), include_hash_joins);
     case PhysOpKind::kHashJoin:
-      return IsParallelizableChain(*node.child(1));
+      return include_hash_joins &&
+             IsParallelizableChain(*node.child(1), include_hash_joins);
     default:
       return false;
   }
@@ -587,7 +600,8 @@ Result<std::unique_ptr<BatchIterator>> MakeExchange(
       }
       case PhysOpKind::kHashJoin: {
         Result<std::unique_ptr<BatchIterator>> build =
-            BuildBatchTree(*stage_node.child(0), db, env, &parallel);
+            BuildBatchTree(*stage_node.child(0), db, env, parallel.ctx,
+                           &parallel);
         if (!build.ok()) {
           return build.status();
         }
@@ -598,7 +612,8 @@ Result<std::unique_ptr<BatchIterator>> MakeExchange(
                                                   &build_slots, &probe_slots));
         stage.kind = ChainStage::Kind::kProbe;
         stage.join = std::make_shared<SharedJoinState>(
-            std::move(build_slots), std::move(probe_slots), std::move(*build));
+            std::move(build_slots), std::move(probe_slots), std::move(*build),
+            parallel.ctx);
         layout = TupleLayout::Concat(stage.join->build_layout(), layout);
         stage.out_layout = layout;
         stage.op_name = "batch-hash-join";

@@ -33,12 +33,14 @@ namespace dqep {
 namespace exec_internal {
 
 /// Shared context for building a parallel executor tree: the worker pool
-/// (shared by every exchange in the plan) and morsel sizing.
+/// (shared by every exchange in the plan), morsel sizing, and the
+/// per-query ExecContext (null for legacy unbounded execution).
 struct ParallelEnv {
   std::shared_ptr<ThreadPool> pool;
   int32_t threads = 1;
   int64_t morsel_pages = 8;
   int64_t morsel_rids = 2048;
+  ExecContext* ctx = nullptr;
 };
 
 /// True iff `node` is a chain an exchange can execute: a file-scan /
@@ -46,7 +48,13 @@ struct ParallelEnv {
 /// projections, and hash joins entered through their probe side.  (Hash
 /// join *build* subtrees are arbitrary — they are planned separately and
 /// may contain their own exchanges.)
-bool IsParallelizableChain(const PhysNode& node);
+///
+/// With `include_hash_joins` false, hash joins end the chain: a bounded
+/// memory budget requires joins that may spill to run serially on the
+/// consumer thread, so spill decisions and output order cannot depend on
+/// the thread count.  Their scan/filter subtrees still parallelize.
+bool IsParallelizableChain(const PhysNode& node,
+                           bool include_hash_joins = true);
 
 /// Builds an exchange operator executing the chain rooted at `node`
 /// across `parallel.threads` workers.  Requires IsParallelizableChain.

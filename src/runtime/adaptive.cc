@@ -18,19 +18,14 @@ uint64_t RelationBit(RelationId relation) {
 
 }  // namespace
 
-Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
-                                              const CostModel& model,
-                                              const ParamEnv& env, Database& db,
-                                              ExecMode exec_mode) {
-  ExecOptions options;
-  options.mode = exec_mode;
-  return ResolveWithObservation(root, model, env, db, options);
-}
+namespace {
 
-Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
-                                              const CostModel& model,
-                                              const ParamEnv& env, Database& db,
-                                              const ExecOptions& exec_options) {
+/// Shared implementation; with a non-null `ctx` observation subplans
+/// execute through it (budgeted, cancellable), otherwise with
+/// `exec_options` on the legacy unbounded path.
+Result<AdaptiveResult> ResolveWithObservationImpl(
+    const PhysNodePtr& root, const CostModel& model, const ParamEnv& env,
+    Database& db, const ExecOptions& exec_options, ExecContext* ctx) {
   DQEP_CHECK(root != nullptr);
   std::vector<const PhysNode*> order = root->TopologicalOrder();
 
@@ -86,7 +81,8 @@ Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
     }
     int64_t reads_before = db.page_store().stats().page_reads;
     Result<std::vector<Tuple>> rows =
-        ExecutePlan(resolved->resolved, db, env, exec_options);
+        ctx != nullptr ? ExecutePlan(resolved->resolved, db, env, *ctx)
+                       : ExecutePlan(resolved->resolved, db, env, exec_options);
     if (!rows.ok()) {
       return rows.status();
     }
@@ -119,6 +115,32 @@ Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
   }
   result.startup = std::move(*startup);
   return result;
+}
+
+}  // namespace
+
+Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
+                                              const CostModel& model,
+                                              const ParamEnv& env, Database& db,
+                                              ExecMode exec_mode) {
+  ExecOptions options;
+  options.mode = exec_mode;
+  return ResolveWithObservation(root, model, env, db, options);
+}
+
+Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
+                                              const CostModel& model,
+                                              const ParamEnv& env, Database& db,
+                                              const ExecOptions& exec_options) {
+  return ResolveWithObservationImpl(root, model, env, db, exec_options,
+                                    /*ctx=*/nullptr);
+}
+
+Result<AdaptiveResult> ResolveWithObservation(const PhysNodePtr& root,
+                                              const CostModel& model,
+                                              const ParamEnv& env, Database& db,
+                                              ExecContext& ctx) {
+  return ResolveWithObservationImpl(root, model, env, db, ctx.options(), &ctx);
 }
 
 }  // namespace dqep

@@ -60,6 +60,14 @@ Result<AdaptiveResult> ResolveWithObservation(
     const PhysNodePtr& root, const CostModel& model, const ParamEnv& env,
     Database& db, const ExecOptions& exec_options);
 
+/// As above under a per-query execution context: observation subplans
+/// execute through `ctx`, so their materialization is charged against the
+/// same memory budget (and spills to the same temp heaps) as the main
+/// execution, and cancellation cuts observation short too.
+Result<AdaptiveResult> ResolveWithObservation(
+    const PhysNodePtr& root, const CostModel& model, const ParamEnv& env,
+    Database& db, ExecContext& ctx);
+
 }  // namespace dqep
 
 #endif  // DQEP_RUNTIME_ADAPTIVE_H_

@@ -227,4 +227,14 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
   return result;
 }
 
+std::unique_ptr<ExecContext> MakeExecContext(const ParamEnv& env,
+                                             const SystemConfig& config,
+                                             const ExecOptions& options) {
+  double pages = env.memory_pages().IsPoint()
+                     ? env.memory_pages().lo()
+                     : config.expected_memory_pages;
+  int64_t budget_pages = std::max<int64_t>(static_cast<int64_t>(pages), 0);
+  return std::make_unique<ExecContext>(options, budget_pages);
+}
+
 }  // namespace dqep

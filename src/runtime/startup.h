@@ -14,11 +14,14 @@
 #define DQEP_RUNTIME_STARTUP_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "cost/system_config.h"
+#include "exec/exec_context.h"
 #include "physical/plan.h"
 
 namespace dqep {
@@ -79,6 +82,17 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
                                          const CostModel& model,
                                          const ParamEnv& env,
                                          const StartupOptions& options = {});
+
+/// The grant → budget handoff: builds the per-query ExecContext from the
+/// memory grant the plan was just resolved under.  A point grant (the
+/// normal case at start-up, after choose-plan resolution) becomes the
+/// context's tracked budget in pages; an interval grant falls back to
+/// config.expected_memory_pages.  The optimizer and the executor thereby
+/// price and enforce the same number.  Heap-allocated because ExecContext
+/// is pinned (operators hold stable pointers to it).
+std::unique_ptr<ExecContext> MakeExecContext(const ParamEnv& env,
+                                             const SystemConfig& config,
+                                             const ExecOptions& options = {});
 
 }  // namespace dqep
 

@@ -88,6 +88,20 @@ void BufferPool::FlushAll() {
   }
 }
 
+void BufferPool::Discard(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return;
+  }
+  Frame& frame = it->second;
+  DQEP_CHECK_EQ(frame.pin_count, 0);  // caller still holds a guard: bug
+  if (frame.in_lru) {
+    lru_.erase(frame.lru_position);
+  }
+  frames_.erase(it);
+}
+
 void BufferPool::Unpin(PageId id, bool dirty) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = frames_.find(id);

@@ -91,6 +91,12 @@ class BufferPool {
   /// Writes all dirty frames back to the store.
   void FlushAll();
 
+  /// Drops the frame caching `id`, if any, without writing it back.  Used
+  /// when a temp heap's pages are freed: once the store recycles the page
+  /// id, a stale frame would serve the old bytes.  The frame must be
+  /// unpinned (aborts otherwise); a page absent from the pool is a no-op.
+  void Discard(PageId id);
+
   int32_t capacity() const { return capacity_; }
 
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }

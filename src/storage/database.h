@@ -3,6 +3,7 @@
 #ifndef DQEP_STORAGE_DATABASE_H_
 #define DQEP_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "storage/table.h"
+#include "storage/temp_heap.h"
 
 namespace dqep {
 
@@ -51,6 +53,18 @@ class Database {
   const PageStore& page_store() const { return *store_; }
   BufferPool& buffer_pool() { return *pool_; }
 
+  /// Creates a scratch heap file for spilling operators.  Const because
+  /// temp pages are invisible to the catalog and allocation is
+  /// thread-safe, so executors holding `const Database&` may spill.
+  std::unique_ptr<TempHeap> CreateTempHeap() const {
+    return std::make_unique<TempHeap>(store_.get(), pool_.get(), this);
+  }
+
+  /// Temp heaps currently alive — zero once every query is closed.
+  int64_t live_temp_heaps() const {
+    return live_temp_heaps_.load(std::memory_order_relaxed);
+  }
+
   /// Zeroes all physical and buffer statistics (e.g. between experiment
   /// runs).
   void ResetIoStats() {
@@ -59,10 +73,13 @@ class Database {
   }
 
  private:
+  friend class TempHeap;  // maintains live_temp_heaps_
+
   Catalog catalog_;
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<Table>> tables_;
+  mutable std::atomic<int64_t> live_temp_heaps_{0};
 };
 
 }  // namespace dqep

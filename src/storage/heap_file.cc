@@ -49,6 +49,15 @@ Result<RowId> HeapFile::Append(const Tuple& tuple) {
   return MakeRowId(static_cast<int64_t>(pages_.size()) - 1, *slot);
 }
 
+void HeapFile::FreePages() {
+  for (PageId page : pages_) {
+    pool_->Discard(page);
+    store_->Free(page);
+  }
+  pages_.clear();
+  num_tuples_ = 0;
+}
+
 Tuple HeapFile::tuple(RowId rid) const {
   Tuple out;
   TupleInto(rid, &out);

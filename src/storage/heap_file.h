@@ -102,6 +102,12 @@ class HeapFile {
   /// All tuples in RowId order (test/reference helper; copies everything).
   std::vector<Tuple> Materialize() const;
 
+  /// Discards this file's pages from the buffer pool and returns them to
+  /// the store's free list, emptying the file.  Only temp (spill) heaps
+  /// do this; cataloged tables live forever.  No scanner or guard on this
+  /// file may be live, and the caller must serialize with appends.
+  void FreePages();
+
   /// RowId of (page ordinal, slot).
   static RowId MakeRowId(int64_t page_ordinal, int32_t slot) {
     return (page_ordinal << kSlotBits) | slot;

@@ -3,6 +3,13 @@
 // All table data lives in pages reached through the buffer pool; the
 // store counts physical reads and writes, which lets experiments compare
 // the cost model's predicted I/O against the I/O a plan actually incurs.
+//
+// Freed pages (spill temp heaps release theirs on close) go on a free
+// list and are recycled by later Allocate calls.  The store has its own
+// mutex because spilling operators allocate and free pages while exchange
+// workers are concurrently reading table pages; lock order is buffer-pool
+// mutex before store mutex (the pool performs store I/O under its lock),
+// and the store never calls back into the pool.
 
 #ifndef DQEP_STORAGE_PAGE_STORE_H_
 #define DQEP_STORAGE_PAGE_STORE_H_
@@ -10,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
@@ -48,36 +56,74 @@ class PageStore {
   PageStore(const PageStore&) = delete;
   PageStore& operator=(const PageStore&) = delete;
 
-  /// Allocates a zeroed page and returns its id.
+  /// Allocates a zeroed page — recycling a freed one if available — and
+  /// returns its id.
   PageId Allocate() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_list_.empty()) {
+      PageId id = free_list_.back();
+      free_list_.pop_back();
+      pages_[static_cast<size_t>(id)]->bytes.fill(0);
+      return id;
+    }
     pages_.push_back(std::make_unique<PageData>());
     return static_cast<PageId>(pages_.size()) - 1;
   }
 
-  int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
+  /// Returns `id` to the free list for reuse.  The caller must first drop
+  /// any buffer-pool frame caching it (BufferPool::Discard), or a later
+  /// reallocation would resurrect stale cached bytes.
+  void Free(PageId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DQEP_CHECK_GE(id, 0);
+    DQEP_CHECK_LT(id, static_cast<int64_t>(pages_.size()));
+    free_list_.push_back(id);
+  }
+
+  int64_t num_pages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(pages_.size());
+  }
+
+  int64_t num_free_pages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(free_list_.size());
+  }
 
   /// Reads a page into `out`, counting one physical read.
   void Read(PageId id, PageData* out) const {
     DQEP_CHECK(out != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
     DQEP_CHECK_GE(id, 0);
-    DQEP_CHECK_LT(id, num_pages());
+    DQEP_CHECK_LT(id, static_cast<int64_t>(pages_.size()));
     *out = *pages_[static_cast<size_t>(id)];
     ++stats_.page_reads;
   }
 
   /// Writes a page, counting one physical write.
   void Write(PageId id, const PageData& data) {
+    std::lock_guard<std::mutex> lock(mutex_);
     DQEP_CHECK_GE(id, 0);
-    DQEP_CHECK_LT(id, num_pages());
+    DQEP_CHECK_LT(id, static_cast<int64_t>(pages_.size()));
     *pages_[static_cast<size_t>(id)] = data;
     ++stats_.page_writes;
   }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = IoStats();
+  }
 
  private:
+  /// Guards pages_, free_list_, and stats_.  See the header comment for
+  /// the lock order relative to the buffer pool.
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<PageData>> pages_;
+  std::vector<PageId> free_list_;
   mutable IoStats stats_;
 };
 

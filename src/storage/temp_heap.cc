@@ -1,0 +1,18 @@
+#include "storage/temp_heap.h"
+
+#include "storage/database.h"
+
+namespace dqep {
+
+TempHeap::TempHeap(PageStore* store, BufferPool* pool, const Database* owner)
+    : owner_(owner), heap_(store, pool) {
+  DQEP_CHECK(owner != nullptr);
+  owner_->live_temp_heaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TempHeap::~TempHeap() {
+  heap_.FreePages();
+  owner_->live_temp_heaps_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace dqep

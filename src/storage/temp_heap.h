@@ -1,0 +1,41 @@
+// Scratch heap files for spilling operators.
+//
+// A TempHeap is an anonymous (uncataloged) heap file whose pages come
+// from the database's shared page store and whose lifetime is one
+// operator phase: grace hash-join partitions and external-sort runs write
+// through the buffer pool like any table, and the destructor discards the
+// file's frames and returns its pages to the store's free list.  The
+// owning Database counts live temp heaps so tests can assert that a
+// query — including one cancelled mid-flight — leaks no spill storage.
+
+#ifndef DQEP_STORAGE_TEMP_HEAP_H_
+#define DQEP_STORAGE_TEMP_HEAP_H_
+
+#include <memory>
+
+#include "storage/heap_file.h"
+
+namespace dqep {
+
+class Database;
+
+/// RAII spill file: heap-file storage that frees its pages on destruction.
+class TempHeap {
+ public:
+  TempHeap(PageStore* store, BufferPool* pool, const Database* owner);
+  ~TempHeap();
+
+  TempHeap(const TempHeap&) = delete;
+  TempHeap& operator=(const TempHeap&) = delete;
+
+  HeapFile& heap() { return heap_; }
+  const HeapFile& heap() const { return heap_; }
+
+ private:
+  const Database* owner_;
+  HeapFile heap_;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_STORAGE_TEMP_HEAP_H_

@@ -5,6 +5,10 @@
 //   --threads=N                intra-query worker threads (default 1; N > 1
 //                              runs on the batch engine with exchange
 //                              operators, results identical to serial)
+//   --memory-pages=N           execution memory budget in pages; the same
+//                              number feeds the optimizer's memory grant and
+//                              the per-query ExecContext, so joins and sorts
+//                              spill to temp heaps rather than exceed it
 //   --profile                  print per-operator counters after each query
 //
 // Reads one command per line from stdin:
@@ -15,7 +19,8 @@
 //                              resolution under the current bindings
 //   \set <name> <int>          bind host variable :<name>
 //   \unset <name>              remove a binding
-//   \memory <pages>            set the memory grant
+//   \mem <pages>               set the memory grant AND enforce it as the
+//                              execution budget (alias: \memory)
 //   \mode <tuple|batch>        switch execution granularity
 //   \threads <N>               set intra-query worker threads
 //   \profile <on|off>          toggle per-operator counter output
@@ -36,6 +41,7 @@
 #include <sstream>
 #include <string>
 
+#include "exec/exec_context.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "runtime/startup.h"
@@ -49,11 +55,16 @@ namespace {
 class Shell {
  public:
   Shell(std::unique_ptr<PaperWorkload> workload, ExecMode exec_mode,
-        int32_t threads, bool profile)
+        int32_t threads, bool profile, double memory_pages)
       : workload_(std::move(workload)),
         exec_mode_(exec_mode),
         threads_(threads),
-        profile_(profile) {}
+        profile_(profile) {
+    if (memory_pages > 0) {
+      memory_pages_ = memory_pages;
+      enforce_memory_ = true;
+    }
+  }
 
   int Run() {
     std::printf(
@@ -110,13 +121,16 @@ class Shell {
       bindings_.erase(name);
       return true;
     }
-    if (command == "\\memory") {
+    if (command == "\\memory" || command == "\\mem") {
       double pages = 0;
       if (in >> pages && pages >= 2) {
         memory_pages_ = pages;
-        std::printf("memory grant = %.0f pages\n", pages);
+        enforce_memory_ = true;
+        std::printf("memory grant = %.0f pages (enforced: joins and sorts "
+                    "spill rather than exceed it)\n",
+                    pages);
       } else {
-        std::printf("usage: \\memory <pages>\n");
+        std::printf("usage: \\mem <pages>\n");
       }
       return true;
     }
@@ -197,19 +211,44 @@ class Shell {
     return true;
   }
 
+  /// Prints the context's memory/spill summary after a governed run.
+  void PrintMemorySummary(const ExecContext& ctx) {
+    std::printf(
+        "memory: peak %lld bytes of %lld-byte budget (%lld pages); "
+        "%lld temp files, %lld tuples (%lld bytes) spilled, "
+        "%lld forced overflows\n",
+        static_cast<long long>(ctx.tracker().peak_bytes()),
+        static_cast<long long>(ctx.tracker().budget_bytes()),
+        static_cast<long long>(ctx.memory_pages()),
+        static_cast<long long>(ctx.temp_files_created()),
+        static_cast<long long>(ctx.tuples_spilled()),
+        static_cast<long long>(ctx.bytes_spilled()),
+        static_cast<long long>(ctx.overflows()));
+  }
+
   /// Executes the resolved plan in the current mode, printing the
-  /// per-operator profile afterwards when enabled.
+  /// per-operator profile afterwards when enabled.  When a memory budget
+  /// was set (`--memory-pages` or \mem), the query runs under an
+  /// ExecContext built from the grant, so joins and sorts spill rather
+  /// than exceed it.
   Result<std::vector<Tuple>> Execute(const PhysNodePtr& plan,
                                      const ParamEnv& env) {
     std::vector<Tuple> rows;
+    ExecOptions options;
+    options.threads = threads_;
+    std::unique_ptr<ExecContext> ctx;
     if (threads_ > 1 || exec_mode_ == ExecMode::kBatch) {
       // threads > 1 always executes on the batch engine: the exchange
       // operator is a BatchIterator.  Results are identical either way.
-      ExecOptions options;
       options.mode = ExecMode::kBatch;
-      options.threads = threads_;
+      if (enforce_memory_) {
+        ctx = MakeExecContext(env, workload_->config(), options);
+      }
       Result<std::unique_ptr<BatchIterator>> iter =
-          BuildParallelBatchExecutor(plan, workload_->db(), env, options);
+          ctx != nullptr ? BuildParallelBatchExecutor(plan, workload_->db(),
+                                                      env, *ctx)
+                         : BuildParallelBatchExecutor(plan, workload_->db(),
+                                                      env, options);
       if (!iter.ok()) {
         return iter.status();
       }
@@ -224,10 +263,17 @@ class Shell {
       if (profile_) {
         std::printf("%s", RenderProfile(**iter).c_str());
       }
+      if (ctx != nullptr) {
+        PrintMemorySummary(*ctx);
+      }
       return rows;
     }
+    options.mode = ExecMode::kTuple;
+    if (enforce_memory_) {
+      ctx = MakeExecContext(env, workload_->config(), options);
+    }
     Result<std::unique_ptr<Iterator>> iter =
-        BuildExecutor(plan, workload_->db(), env);
+        BuildExecutor(plan, workload_->db(), env, ctx.get());
     if (!iter.ok()) {
       return iter.status();
     }
@@ -239,6 +285,9 @@ class Shell {
     (*iter)->Close();
     if (profile_) {
       std::printf("%s", RenderProfile(**iter).c_str());
+    }
+    if (ctx != nullptr) {
+      PrintMemorySummary(*ctx);
     }
     return rows;
   }
@@ -321,6 +370,9 @@ class Shell {
   bool profile_;
   std::map<std::string, int64_t> bindings_;
   double memory_pages_ = 64.0;
+  /// Set once the user pins a budget (flag or \mem): execution then runs
+  /// under an ExecContext so the grant is enforced, not just priced.
+  bool enforce_memory_ = false;
   StatisticsCatalog stats_;
   std::unique_ptr<CostModel> stats_model_;
   bool use_stats_ = false;
@@ -333,6 +385,7 @@ int main(int argc, char** argv) {
   dqep::ExecMode exec_mode = dqep::ExecMode::kTuple;
   int threads = 1;
   bool profile = false;
+  double memory_pages = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -348,12 +401,18 @@ int main(int argc, char** argv) {
         return 1;
       }
       exec_mode = *mode;
+    } else if (std::strncmp(arg, "--memory-pages=", 15) == 0) {
+      memory_pages = std::atof(arg + 15);
+      if (memory_pages < 2) {
+        std::fprintf(stderr, "--memory-pages must be >= 2\n");
+        return 1;
+      }
     } else if (std::strcmp(arg, "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: dqep_cli [--exec-mode=tuple|batch] [--threads=N] "
-          "[--profile]\n");
+          "[--memory-pages=N] [--profile]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
@@ -366,6 +425,7 @@ int main(int argc, char** argv) {
                  workload.status().ToString().c_str());
     return 1;
   }
-  dqep::Shell shell(std::move(*workload), exec_mode, threads, profile);
+  dqep::Shell shell(std::move(*workload), exec_mode, threads, profile,
+                    memory_pages);
   return shell.Run();
 }
