@@ -13,17 +13,20 @@
 // whatever hash joins remain turn into spilling grace joins — so spill
 // I/O does not grow monotonically as memory falls; the plan adapts first.
 //
-// Output is a JSON document on stdout; the committed copy lives in
-// BENCH_memory.json (regeneration: `build/bench/memory_bench >
-// BENCH_memory.json`).
+// Output is a JSON document on stdout in the unified bench schema
+// ({bench, config, rows, metrics} — see bench/unified_report.h); the
+// committed copy lives in BENCH_memory.json (regeneration:
+// `build/bench/memory_bench --json > BENCH_memory.json`).
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "exec/exec_context.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "runtime/startup.h"
 #include "tests/reference_eval.h"
 
@@ -145,14 +148,17 @@ void Run() {
   }
   std::unique_ptr<PaperWorkload> workload = std::move(*workload_result);
 
-  std::printf("{\n  \"bench\": \"memory_sweep\",\n");
-  std::printf("  \"invocations_per_point\": %d,\n", kInvocations);
-  std::printf("  \"budgets_pages\": [");
+  std::printf("{\n  \"bench\": \"memory\",\n");
+  std::printf("  \"config\": {\"invocations_per_point\": %d, "
+              "\"workload_seed\": %llu, \"binding_seed\": %llu, "
+              "\"budgets_pages\": [",
+              kInvocations, static_cast<unsigned long long>(kWorkloadSeed),
+              static_cast<unsigned long long>(kBindingSeed));
   for (size_t i = 0; i < std::size(kBudgets); ++i) {
     std::printf("%s%lld", i ? ", " : "",
                 static_cast<long long>(kBudgets[i]));
   }
-  std::printf("],\n  \"queries\": [\n");
+  std::printf("]},\n  \"rows\": [\n");
 
   const std::vector<int32_t>& sizes = PaperWorkload::PaperQuerySizes();
   for (size_t qi = 0; qi < sizes.size(); ++qi) {
@@ -163,19 +169,20 @@ void Run() {
     CompiledQuery compiled = MustCompile(*workload, query,
                                          OptimizerOptions::Dynamic(),
                                          /*uncertain_memory=*/true);
-    std::printf("    {\"query\": \"Q%zu\", \"relations\": %d, \"points\": [\n",
-                qi + 1, n);
     for (size_t bi = 0; bi < std::size(kBudgets); ++bi) {
       int64_t budget = kBudgets[bi];
       SweepPoint p = SweepQueryAtBudget(*workload, compiled, query, budget);
+      bool last = qi + 1 == sizes.size() && bi + 1 == std::size(kBudgets);
       std::printf(
-          "      {\"memory_pages\": %lld, \"budget_bytes\": %lld, "
+          "    {\"query\": \"Q%zu\", \"relations\": %d, "
+          "\"memory_pages\": %lld, \"budget_bytes\": %lld, "
           "\"peak_bytes_max\": %lld, \"temp_files\": %lld, "
           "\"tuples_spilled\": %lld, \"bytes_spilled\": %lld, "
           "\"page_reads\": %lld, \"page_writes\": %lld, \"rows\": %lld, "
           "\"forced_overflows\": %lld, \"hash_joins\": %lld, "
           "\"index_joins\": %lld, \"merge_joins\": %lld, "
           "\"results_match\": %s}%s\n",
+          qi + 1, n,
           static_cast<long long>(budget),
           static_cast<long long>(budget * kPageSize),
           static_cast<long long>(p.peak_bytes),
@@ -190,17 +197,35 @@ void Run() {
           static_cast<long long>(p.joins.index),
           static_cast<long long>(p.joins.merge),
           p.results_match ? "true" : "false",
-          bi + 1 < std::size(kBudgets) ? "," : "");
+          last ? "" : ",");
     }
-    std::printf("    ]}%s\n", qi + 1 < sizes.size() ? "," : "");
   }
-  std::printf("  ]\n}\n");
+  // Metrics snapshot last, so it reflects the whole sweep.  Re-indent
+  // the registry's document to nest at this depth.
+  std::string metrics = obs::MetricsRegistry::Instance().RenderJson();
+  std::string indented;
+  for (char c : metrics) {
+    indented += c;
+    if (c == '\n') {
+      indented += "  ";
+    }
+  }
+  std::printf("  ],\n  \"metrics\": %s\n}\n", indented.c_str());
 }
 
 }  // namespace
 }  // namespace dqep::bench
 
-int main() {
+int main(int argc, char** argv) {
+  // Output is always the unified JSON document; `--json` is accepted so
+  // all three bench binaries share one CLI convention.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) {
+      std::fprintf(stderr, "unknown flag: %s (only --json is accepted)\n",
+                   argv[i]);
+      return 1;
+    }
+  }
   dqep::bench::Run();
   return 0;
 }

@@ -4,13 +4,12 @@
 // modes, access-module (de)serialization, and tuple- vs. batch-mode
 // execution of scan, scan+filter, and hash-join pipelines.
 //
-// `--json` is shorthand for --benchmark_format=json.
+// `--json` emits the unified bench schema (see bench/unified_report.h).
 
 #include <benchmark/benchmark.h>
 
-#include <cstring>
-
 #include "bench/bench_common.h"
+#include "bench/unified_report.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "physical/access_module.h"
@@ -246,20 +245,5 @@ BENCHMARK(BM_ExecHashJoin)->Arg(0)->Arg(1);
 }  // namespace dqep::bench
 
 int main(int argc, char** argv) {
-  // `--json` is shorthand for google-benchmark's JSON reporter.
-  static char kJsonFlag[] = "--benchmark_format=json";
-  std::vector<char*> args(argv, argv + argc);
-  for (char*& arg : args) {
-    if (std::strcmp(arg, "--json") == 0) {
-      arg = kJsonFlag;
-    }
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return dqep::bench::RunUnifiedBenchmarkMain(argc, argv, "micro");
 }

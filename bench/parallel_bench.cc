@@ -4,16 +4,15 @@
 // Arg=threads rows gives the speedup curve checked into
 // BENCH_parallel.json.
 //
-// `--json` is shorthand for --benchmark_format=json.
+// `--json` emits the unified bench schema (see bench/unified_report.h).
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/unified_report.h"
 #include "common/rng.h"
 #include "exec/executor.h"
 #include "physical/plan.h"
@@ -135,20 +134,5 @@ BENCHMARK(BM_ParallelHashJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 }  // namespace dqep::bench
 
 int main(int argc, char** argv) {
-  // `--json` is shorthand for google-benchmark's JSON reporter.
-  static char kJsonFlag[] = "--benchmark_format=json";
-  std::vector<char*> args(argv, argv + argc);
-  for (char*& arg : args) {
-    if (std::strcmp(arg, "--json") == 0) {
-      arg = kJsonFlag;
-    }
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return dqep::bench::RunUnifiedBenchmarkMain(argc, argv, "parallel");
 }

@@ -4,7 +4,11 @@
 
 namespace dqep {
 
-ThreadPool::ThreadPool(int32_t num_threads) {
+ThreadPool::ThreadPool(int32_t num_threads)
+    : submitted_(obs::MetricsRegistry::Instance().NewCounter(
+          "common.threadpool.tasks_submitted")),
+      completed_(obs::MetricsRegistry::Instance().NewCounter(
+          "common.threadpool.tasks_completed")) {
   DQEP_CHECK_GE(num_threads, 1);
   threads_.reserve(static_cast<size_t>(num_threads));
   for (int32_t i = 0; i < num_threads; ++i) {
@@ -30,6 +34,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     DQEP_CHECK(!stopping_);
     tasks_.push_back(std::move(task));
   }
+  submitted_.Add(1);
   cv_.notify_one();
 }
 
@@ -46,6 +51,7 @@ void ThreadPool::WorkerMain() {
       tasks_.pop_front();
     }
     task();
+    completed_.Add(1);
   }
 }
 

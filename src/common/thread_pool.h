@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace dqep {
 
@@ -69,6 +70,9 @@ class ThreadPool {
 
   int32_t size() const { return static_cast<int32_t>(threads_.size()); }
 
+  int64_t tasks_submitted() const { return submitted_.value(); }
+  int64_t tasks_completed() const { return completed_.value(); }
+
  private:
   void WorkerMain();
 
@@ -77,6 +81,9 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> threads_;
   bool stopping_ = false;
+  /// "common.threadpool.tasks_{submitted,completed}" registry cells.
+  obs::CellHandle submitted_;
+  obs::CellHandle completed_;
 };
 
 }  // namespace dqep

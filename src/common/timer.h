@@ -29,7 +29,10 @@ class WallTimer {
   Clock::time_point start_;
 };
 
-/// Measures elapsed per-process CPU time in seconds.
+/// Measures elapsed per-process CPU time in seconds.  This sums CPU over
+/// *all* threads of the process; only use it when that is what you mean
+/// (whole-process accounting).  Per-operator and per-worker counters want
+/// ThreadCpuTimer below, which a concurrent worker cannot inflate.
 class CpuTimer {
  public:
   CpuTimer() : start_(Now()) {}
@@ -42,6 +45,30 @@ class CpuTimer {
   static double Now() {
     timespec ts;
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
+/// Measures elapsed CPU time of the *calling thread* in seconds.  Both
+/// calls (construction and ElapsedSeconds) must happen on the same
+/// thread.  Unlike CpuTimer this does not over-report when exchange
+/// workers run concurrently, so per-operator/per-worker counters and the
+/// optimization/start-up timings use it.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
     return static_cast<double>(ts.tv_sec) +
            static_cast<double>(ts.tv_nsec) * 1e-9;
   }

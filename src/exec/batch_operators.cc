@@ -43,9 +43,9 @@ class BatchFileScanIter : public BatchIterator {
     op_name_ = "batch-file-scan";
   }
 
-  void Open() override { scanner_.Reset(); }
+  void OpenImpl() override { scanner_.Reset(); }
 
-  void Close() override { scanner_.Reset(); }
+  void CloseImpl() override { scanner_.Reset(); }
 
  protected:
   bool NextImpl(TupleBatch* out) override {
@@ -71,9 +71,9 @@ class BatchRidScanIter : public BatchIterator {
     op_name_ = op_name;
   }
 
-  void Open() override { next_ = begin_; }
+  void OpenImpl() override { next_ = begin_; }
 
-  void Close() override {}
+  void CloseImpl() override {}
 
  protected:
   bool NextImpl(TupleBatch* out) override {
@@ -104,13 +104,13 @@ class BatchBTreeScanIter : public BatchIterator {
         predicate_.has_value() ? "batch-filter-btree-scan" : "batch-btree-scan";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     rids_ = BTreeRids(*table_, column_,
                       predicate_.has_value() ? &*predicate_ : nullptr);
     next_ = 0;
   }
 
-  void Close() override { rids_.clear(); }
+  void CloseImpl() override { rids_.clear(); }
 
  protected:
   bool NextImpl(TupleBatch* out) override {
@@ -142,9 +142,9 @@ class BatchFilterIter : public BatchIterator {
     op_name_ = "batch-filter";
   }
 
-  void Open() override { input_->Open(); }
+  void OpenImpl() override { input_->Open(); }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};
@@ -201,7 +201,7 @@ class BatchHashJoinIter : public BatchIterator {
     op_name_ = "batch-hash-join";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     build_->Open();
     TupleBatch batch;
     while (build_->Next(&batch)) {
@@ -233,7 +233,7 @@ class BatchHashJoinIter : public BatchIterator {
     SyncSpillCounters();
   }
 
-  void Close() override {
+  void CloseImpl() override {
     probe_->Close();
     SyncSpillCounters();
     state_.Reset();
@@ -308,7 +308,7 @@ class BatchSortIter : public BatchIterator {
     op_name_ = "batch-sort";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     sorter_.Reset();
     input_->Open();
     TupleBatch batch;
@@ -326,7 +326,7 @@ class BatchSortIter : public BatchIterator {
     SyncSpillCounters();
   }
 
-  void Close() override {
+  void CloseImpl() override {
     SyncSpillCounters();
     sorter_.Reset();
   }
@@ -377,13 +377,13 @@ class BatchProjectIter : public BatchIterator {
     op_name_ = "batch-project";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     input_->Open();
     in_batch_.Clear();
     pos_ = 0;
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};
@@ -428,13 +428,13 @@ class TupleFromBatchIter : public Iterator {
     op_name_ = "tuple-from-batch";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     input_->Open();
     batch_.Clear();
     pos_ = 0;
   }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};
@@ -467,9 +467,9 @@ class BatchFromTupleIter : public BatchIterator {
     op_name_ = "batch-from-tuple";
   }
 
-  void Open() override { input_->Open(); }
+  void OpenImpl() override { input_->Open(); }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};

@@ -33,19 +33,34 @@
 
 #include "common/macros.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "storage/page_store.h"
 
 namespace dqep {
+
+namespace obs {
+class TraceSession;  // obs/trace.h
+}  // namespace obs
 
 /// Tracked-allocation accounting against an optional byte budget.
 /// Thread-safe: exchange workers and the consumer may account
 /// concurrently.  Acquire is unconditional — callers that must stay under
 /// budget check WouldExceed first and spill instead of acquiring.
+///
+/// Usage and peak live in MetricsRegistry cells ("exec.memory.used_bytes"
+/// gauge / "exec.memory.peak_bytes" max-gauge): same relaxed atomics as
+/// the former private members, but visible in the process-wide snapshot.
+/// Accessors read this tracker's own cells, so per-query semantics are
+/// unchanged.
 class MemoryTracker {
  public:
   /// `budget_bytes` == 0 means unbounded (track, never refuse).
   explicit MemoryTracker(int64_t budget_bytes = 0)
-      : budget_bytes_(budget_bytes) {
+      : budget_bytes_(budget_bytes),
+        used_(obs::MetricsRegistry::Instance().NewGauge(
+            "exec.memory.used_bytes")),
+        peak_(obs::MetricsRegistry::Instance().NewGaugeMax(
+            "exec.memory.peak_bytes")) {
     DQEP_CHECK_GE(budget_bytes, 0);
   }
 
@@ -58,27 +73,22 @@ class MemoryTracker {
   /// True if acquiring `extra_bytes` now would push usage past the
   /// budget.  Always false when unbounded.
   bool WouldExceed(int64_t extra_bytes) const {
-    return bounded() &&
-           used_.load(std::memory_order_relaxed) + extra_bytes > budget_bytes_;
+    return bounded() && used_.value() + extra_bytes > budget_bytes_;
   }
 
   void Acquire(int64_t bytes) {
     DQEP_CHECK_GE(bytes, 0);
-    int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    int64_t peak = peak_.load(std::memory_order_relaxed);
-    while (now > peak &&
-           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
-    }
+    peak_.RecordMax(used_.Add(bytes));
   }
 
   void Release(int64_t bytes) {
     DQEP_CHECK_GE(bytes, 0);
-    int64_t before = used_.fetch_sub(bytes, std::memory_order_relaxed);
-    DQEP_CHECK_GE(before, bytes);  // release without matching acquire
+    int64_t after = used_.Add(-bytes);
+    DQEP_CHECK_GE(after, 0);  // release without matching acquire
   }
 
-  int64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
-  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t used_bytes() const { return used_.value(); }
+  int64_t peak_bytes() const { return peak_.value(); }
 
   /// Bytes still under budget (clamped at 0); INT64_MAX when unbounded.
   int64_t available_bytes() const {
@@ -91,8 +101,8 @@ class MemoryTracker {
 
  private:
   const int64_t budget_bytes_;
-  std::atomic<int64_t> used_{0};
-  std::atomic<int64_t> peak_{0};
+  obs::CellHandle used_;
+  obs::CellHandle peak_;
 };
 
 /// Everything one query execution needs at run time.  Not copyable or
@@ -109,7 +119,15 @@ class ExecContext {
                        int32_t page_size_bytes = kPageSize)
       : options_(options),
         memory_pages_(memory_pages),
-        tracker_(memory_pages * page_size_bytes) {
+        tracker_(memory_pages * page_size_bytes),
+        temp_files_(obs::MetricsRegistry::Instance().NewCounter(
+            "exec.spill.temp_files")),
+        tuples_spilled_(obs::MetricsRegistry::Instance().NewCounter(
+            "exec.spill.tuples")),
+        bytes_spilled_(obs::MetricsRegistry::Instance().NewCounter(
+            "exec.spill.bytes")),
+        overflows_(obs::MetricsRegistry::Instance().NewCounter(
+            "exec.memory.forced_overflows")) {
     DQEP_CHECK_GE(memory_pages, 0);
   }
 
@@ -132,15 +150,14 @@ class ExecContext {
   }
 
   /// Spill accounting, aggregated across all operators under this
-  /// context.  `RecordSpill` counts tuples written to temp heaps (a tuple
-  /// repartitioned at two recursion depths counts twice, matching the
-  /// I/O actually performed).
-  void RecordTempFile() {
-    temp_files_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// context (and, through the registry cells, into the process-wide
+  /// "exec.spill.*" counters).  `RecordSpill` counts tuples written to
+  /// temp heaps (a tuple repartitioned at two recursion depths counts
+  /// twice, matching the I/O actually performed).
+  void RecordTempFile() { temp_files_.Add(1); }
   void RecordSpill(int64_t tuples, int64_t bytes) {
-    tuples_spilled_.fetch_add(tuples, std::memory_order_relaxed);
-    bytes_spilled_.fetch_add(bytes, std::memory_order_relaxed);
+    tuples_spilled_.Add(tuples);
+    bytes_spilled_.Add(bytes);
   }
 
   /// An operator was forced to acquire past the budget: its minimum
@@ -148,32 +165,29 @@ class ExecContext {
   /// sort tuple, one merge-join duplicate group, the heads of a two-way
   /// merge) did not fit the headroom left by the rest of the pipeline.
   /// When this stays 0, peak_bytes() <= budget is guaranteed.
-  void RecordOverflow() {
-    overflows_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordOverflow() { overflows_.Add(1); }
 
-  int64_t temp_files_created() const {
-    return temp_files_.load(std::memory_order_relaxed);
-  }
-  int64_t tuples_spilled() const {
-    return tuples_spilled_.load(std::memory_order_relaxed);
-  }
-  int64_t bytes_spilled() const {
-    return bytes_spilled_.load(std::memory_order_relaxed);
-  }
-  int64_t overflows() const {
-    return overflows_.load(std::memory_order_relaxed);
-  }
+  int64_t temp_files_created() const { return temp_files_.value(); }
+  int64_t tuples_spilled() const { return tuples_spilled_.value(); }
+  int64_t bytes_spilled() const { return bytes_spilled_.value(); }
+  int64_t overflows() const { return overflows_.value(); }
+
+  /// Optional tracing sink for this query (see obs/trace.h).  Null — the
+  /// default — means tracing is off; instrumentation sites must tolerate
+  /// that.  The session must outlive the context.
+  obs::TraceSession* trace() const { return trace_; }
+  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
 
  private:
   ExecOptions options_;
   int64_t memory_pages_ = 0;
   MemoryTracker tracker_;
   std::atomic<bool> cancelled_{false};
-  std::atomic<int64_t> temp_files_{0};
-  std::atomic<int64_t> tuples_spilled_{0};
-  std::atomic<int64_t> bytes_spilled_{0};
-  std::atomic<int64_t> overflows_{0};
+  obs::CellHandle temp_files_;
+  obs::CellHandle tuples_spilled_;
+  obs::CellHandle bytes_spilled_;
+  obs::CellHandle overflows_;
+  obs::TraceSession* trace_ = nullptr;
 };
 
 }  // namespace dqep

@@ -11,12 +11,15 @@ void RenderNode(const ExecNode& node, int depth, std::ostringstream* os) {
   std::string name(static_cast<size_t>(depth) * 2, ' ');
   name += node.op_name();
   const OperatorCounters& c = node.counters();
-  char line[200];
+  // wall_s spans the operator's whole lifecycle so pipeline breakers
+  // (whose work happens in Open) report honestly.
+  double wall = c.wall_seconds + c.open_seconds + c.close_seconds;
+  char line[220];
   std::snprintf(line, sizeof(line),
-                "%-28s %10lld %10lld %10lld %10.6f %8lld %10lld\n",
+                "%-28s %10lld %10lld %10lld %10.6f %10.6f %8lld %10lld\n",
                 name.c_str(), static_cast<long long>(c.next_calls),
                 static_cast<long long>(c.batches),
-                static_cast<long long>(c.tuples), c.wall_seconds,
+                static_cast<long long>(c.tuples), wall, c.cpu_seconds,
                 static_cast<long long>(c.spill_files),
                 static_cast<long long>(c.spill_tuples));
   *os << line;
@@ -29,11 +32,11 @@ void RenderNode(const ExecNode& node, int depth, std::ostringstream* os) {
 
 std::string RenderProfile(const ExecNode& root) {
   std::ostringstream os;
-  char header[200];
+  char header[220];
   std::snprintf(header, sizeof(header),
-                "%-28s %10s %10s %10s %10s %8s %10s\n", "operator",
-                "next_calls", "batches", "tuples", "wall_s", "spills",
-                "spill_rows");
+                "%-28s %10s %10s %10s %10s %10s %8s %10s\n", "operator",
+                "next_calls", "batches", "tuples", "wall_s", "cpu_s",
+                "spills", "spill_rows");
   os << header;
   RenderNode(root, 0, &os);
   return os.str();

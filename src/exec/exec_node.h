@@ -33,6 +33,18 @@ struct OperatorCounters {
   /// Inclusive wall-clock seconds spent inside Next (children included).
   double wall_seconds = 0.0;
 
+  /// Inclusive wall-clock seconds spent inside Open / Close.  Pipeline
+  /// breakers (hash-join build, sort) do their heavy lifting in Open, so
+  /// wall_seconds alone under-reports them.
+  double open_seconds = 0.0;
+  double close_seconds = 0.0;
+
+  /// Inclusive CPU seconds of the calling thread across Open, Next, and
+  /// Close (CLOCK_THREAD_CPUTIME_ID — concurrent workers don't inflate
+  /// it, unlike process CPU time).  wall - cpu ≈ blocking (I/O, queue
+  /// waits in exchange operators).
+  double cpu_seconds = 0.0;
+
   /// Temp heap files this operator created (grace-join partitions,
   /// external-sort runs).  0 unless the operator ran over budget.
   int64_t spill_files = 0;
@@ -68,9 +80,12 @@ class ExecNode {
 /// Renders the operator tree with counters, one indented line per
 /// operator:
 ///
-///   operator                    next_calls    batches     tuples     wall_s   spills spill_rows
-///   batch-filter                        13         12      3072   0.001234        0          0
-///     batch-file-scan                   13         13     12288   0.000987        0          0
+///   operator                    next_calls    batches     tuples     wall_s      cpu_s   spills spill_rows
+///   batch-filter                        13         12      3072   0.001234   0.001120        0          0
+///     batch-file-scan                   13         13     12288   0.000987   0.000911        0          0
+///
+/// wall_s covers Open+Next+Close (children included); cpu_s is the same
+/// scope in thread CPU time.
 std::string RenderProfile(const ExecNode& root);
 
 }  // namespace dqep

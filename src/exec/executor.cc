@@ -125,9 +125,9 @@ class FileScanIter : public Iterator {
     op_name_ = "file-scan";
   }
 
-  void Open() override { scanner_.Reset(); }
+  void OpenImpl() override { scanner_.Reset(); }
 
-  void Close() override { scanner_.Reset(); }
+  void CloseImpl() override { scanner_.Reset(); }
 
  protected:
   bool NextImpl(Tuple* out) override { return scanner_.Next(out); }
@@ -147,13 +147,13 @@ class BTreeScanIter : public Iterator {
     op_name_ = predicate_.has_value() ? "filter-btree-scan" : "btree-scan";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     rids_ = BTreeRids(*table_, column_,
                       predicate_.has_value() ? &*predicate_ : nullptr);
     next_ = 0;
   }
 
-  void Close() override { rids_.clear(); }
+  void CloseImpl() override { rids_.clear(); }
 
  protected:
   bool NextImpl(Tuple* out) override {
@@ -183,9 +183,9 @@ class FilterIter : public Iterator {
     op_name_ = "filter";
   }
 
-  void Open() override { input_->Open(); }
+  void OpenImpl() override { input_->Open(); }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};
@@ -235,7 +235,7 @@ class HashJoinIter : public Iterator {
     op_name_ = "hash-join";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     build_->Open();
     Tuple tuple;
     while (build_->Next(&tuple)) {
@@ -261,7 +261,7 @@ class HashJoinIter : public Iterator {
     SyncSpillCounters();
   }
 
-  void Close() override {
+  void CloseImpl() override {
     probe_->Close();
     SyncSpillCounters();
     state_.Reset();
@@ -336,7 +336,7 @@ class MergeJoinIter : public Iterator {
     op_name_ = "merge-join";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     left_->Open();
     right_->Open();
     ReleaseGroup();
@@ -344,7 +344,7 @@ class MergeJoinIter : public Iterator {
     right_valid_ = right_->Next(&right_tuple_);
   }
 
-  void Close() override {
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
     ReleaseGroup();
@@ -463,13 +463,13 @@ class IndexJoinIter : public Iterator {
     op_name_ = "index-join";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     outer_->Open();
     matches_.clear();
     match_pos_ = 0;
   }
 
-  void Close() override {
+  void CloseImpl() override {
     outer_->Close();
     matches_.clear();
   }
@@ -529,7 +529,7 @@ class SortIter : public Iterator {
     op_name_ = "sort";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     sorter_.Reset();
     input_->Open();
     Tuple tuple;
@@ -545,7 +545,7 @@ class SortIter : public Iterator {
     SyncSpillCounters();
   }
 
-  void Close() override {
+  void CloseImpl() override {
     SyncSpillCounters();
     sorter_.Reset();
   }
@@ -589,9 +589,9 @@ class ProjectIter : public Iterator {
     op_name_ = "project";
   }
 
-  void Open() override { input_->Open(); }
+  void OpenImpl() override { input_->Open(); }
 
-  void Close() override { input_->Close(); }
+  void CloseImpl() override { input_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {input_.get()};

@@ -73,16 +73,29 @@ struct ExecOptions {
 };
 
 /// Demand-driven tuple iterator.
+///
+/// Open/Next/Close are non-virtual timing wrappers around the virtual
+/// *Impl methods: every call accrues inclusive wall time and thread CPU
+/// time (ThreadCpuTimer, so concurrent exchange workers don't inflate
+/// each other's counters) into the operator's OperatorCounters.
 class Iterator : public ExecNode {
  public:
   /// Prepares the iterator (allocates state, opens children).
-  virtual void Open() = 0;
+  void Open() {
+    WallTimer timer;
+    ThreadCpuTimer cpu;
+    OpenImpl();
+    counters_.open_seconds += timer.ElapsedSeconds();
+    counters_.cpu_seconds += cpu.ElapsedSeconds();
+  }
 
   /// Produces the next tuple; returns false at end of stream.
   bool Next(Tuple* out) {
     WallTimer timer;
+    ThreadCpuTimer cpu;
     bool produced = NextImpl(out);
     counters_.wall_seconds += timer.ElapsedSeconds();
+    counters_.cpu_seconds += cpu.ElapsedSeconds();
     ++counters_.next_calls;
     if (produced) {
       ++counters_.tuples;
@@ -91,17 +104,32 @@ class Iterator : public ExecNode {
   }
 
   /// Releases resources; the iterator may be re-Opened afterwards.
-  virtual void Close() = 0;
+  void Close() {
+    WallTimer timer;
+    ThreadCpuTimer cpu;
+    CloseImpl();
+    counters_.close_seconds += timer.ElapsedSeconds();
+    counters_.cpu_seconds += cpu.ElapsedSeconds();
+  }
 
  protected:
+  virtual void OpenImpl() = 0;
   virtual bool NextImpl(Tuple* out) = 0;
+  virtual void CloseImpl() = 0;
 };
 
-/// Demand-driven batch iterator.
+/// Demand-driven batch iterator.  Same lifecycle/timing contract as
+/// Iterator (non-virtual wrappers around *Impl).
 class BatchIterator : public ExecNode {
  public:
   /// Prepares the iterator (allocates state, opens children).
-  virtual void Open() = 0;
+  void Open() {
+    WallTimer timer;
+    ThreadCpuTimer cpu;
+    OpenImpl();
+    counters_.open_seconds += timer.ElapsedSeconds();
+    counters_.cpu_seconds += cpu.ElapsedSeconds();
+  }
 
   /// Clears and refills `out`; returns false at end of stream.  A true
   /// return guarantees at least one live row; batches may otherwise be
@@ -109,8 +137,10 @@ class BatchIterator : public ExecNode {
   /// same batch across calls so row storage is recycled.
   bool Next(TupleBatch* out) {
     WallTimer timer;
+    ThreadCpuTimer cpu;
     bool produced = NextImpl(out);
     counters_.wall_seconds += timer.ElapsedSeconds();
+    counters_.cpu_seconds += cpu.ElapsedSeconds();
     ++counters_.next_calls;
     if (produced) {
       ++counters_.batches;
@@ -120,10 +150,18 @@ class BatchIterator : public ExecNode {
   }
 
   /// Releases resources; the iterator may be re-Opened afterwards.
-  virtual void Close() = 0;
+  void Close() {
+    WallTimer timer;
+    ThreadCpuTimer cpu;
+    CloseImpl();
+    counters_.close_seconds += timer.ElapsedSeconds();
+    counters_.cpu_seconds += cpu.ElapsedSeconds();
+  }
 
  protected:
+  virtual void OpenImpl() = 0;
   virtual bool NextImpl(TupleBatch* out) = 0;
+  virtual void CloseImpl() = 0;
 };
 
 /// Builds a tuple-at-a-time iterator tree for a resolved plan.

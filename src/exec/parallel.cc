@@ -14,6 +14,8 @@
 #include "exec/exec_context.h"
 #include "exec/executor_internal.h"
 #include "exec/spill.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dqep {
 namespace exec_internal {
@@ -24,6 +26,9 @@ void Accumulate(const OperatorCounters& src, OperatorCounters* dst) {
   dst->tuples += src.tuples;
   dst->batches += src.batches;
   dst->wall_seconds += src.wall_seconds;
+  dst->open_seconds += src.open_seconds;
+  dst->close_seconds += src.close_seconds;
+  dst->cpu_seconds += src.cpu_seconds;
   dst->spill_files += src.spill_files;
   dst->spill_tuples += src.spill_tuples;
 }
@@ -155,7 +160,7 @@ class SharedProbeIter : public BatchIterator {
     op_name_ = "batch-hash-join";
   }
 
-  void Open() override {
+  void OpenImpl() override {
     probe_->Open();
     matches_ = nullptr;
     match_pos_ = 0;
@@ -163,7 +168,7 @@ class SharedProbeIter : public BatchIterator {
     probe_pos_ = 0;
   }
 
-  void Close() override { probe_->Close(); }
+  void CloseImpl() override { probe_->Close(); }
 
   std::vector<const ExecNode*> child_nodes() const override {
     return {probe_.get()};
@@ -257,7 +262,7 @@ class ExchangeIter : public BatchIterator {
 
   ~ExchangeIter() override { Close(); }
 
-  void Open() override {
+  void OpenImpl() override {
     DQEP_CHECK(!open_);
     // Shared join builds run now (sequentially, bottom-up), before any
     // worker exists: build subtrees may themselves contain exchanges.
@@ -291,13 +296,22 @@ class ExchangeIter : public BatchIterator {
     started_ = false;
   }
 
-  void Close() override {
+  void CloseImpl() override {
     if (!open_) {
       return;
     }
     if (started_) {
       queue_->Cancel();  // unblocks producers mid-Push on early close
       latch_->Wait();    // all worker counters merged past this point
+      // Mirror this run's exchange totals into the process-wide registry
+      // (delta against the accumulating profile skeleton, so re-opened
+      // exchanges don't double-publish).
+      int64_t batches = profile_chain_.back()->counters().batches;
+      auto& registry = obs::MetricsRegistry::Instance();
+      registry.SharedCounter("exec.exchange.batches")
+          ->Add(batches - published_batches_);
+      published_batches_ = batches;
+      registry.SharedCounter("exec.exchange.workers")->Add(num_workers_);
     }
     queue_.reset();
     latch_.reset();
@@ -376,21 +390,29 @@ class ExchangeIter : public BatchIterator {
       // not touched after the final CountDown, which Close awaits.
       std::shared_ptr<BoundedQueue<MorselResult>> queue = queue_;
       std::shared_ptr<CountDownLatch> latch = latch_;
-      par_.pool->Submit([this, queue, latch] {
-        WorkerMain(queue.get());
+      par_.pool->Submit([this, queue, latch, w] {
+        WorkerMain(queue.get(), w);
         queue->ProducerDone();
         latch->CountDown();
       });
     }
   }
 
-  void WorkerMain(BoundedQueue<MorselResult>* queue) {
+  void WorkerMain(BoundedQueue<MorselResult>* queue, int32_t worker) {
+    obs::TraceSession* trace =
+        par_.ctx == nullptr ? nullptr : par_.ctx->trace();
+    int64_t track = 0;
+    if (trace != nullptr) {
+      track = trace->RegisterTrack("worker-" + std::to_string(worker));
+    }
     std::vector<OperatorCounters> local(profile_chain_.size());
+    int64_t morsels_run = 0;
     while (true) {
       int64_t morsel = next_morsel_.fetch_add(1, std::memory_order_relaxed);
       if (morsel >= num_morsels_) {
         break;
       }
+      int64_t span_start = trace == nullptr ? 0 : trace->NowMicros();
       Pipeline pipeline = BuildMorselPipeline(morsel);
       pipeline.top->Open();
       MorselResult result;
@@ -405,10 +427,22 @@ class ExchangeIter : public BatchIterator {
       for (size_t i = 0; i < pipeline.nodes.size(); ++i) {
         Accumulate(pipeline.nodes[i]->counters(), &local[i]);
       }
+      int64_t rows = pipeline.top->counters().tuples;
+      ++morsels_run;
+      if (trace != nullptr) {
+        trace->AddSpan("morsel", "exchange", span_start,
+                       trace->NowMicros() - span_start, track,
+                       {{"morsel", std::to_string(morsel)},
+                        {"leaf", spec_.leaf.op_name},
+                        {"rows", std::to_string(rows)}});
+      }
       if (!queue->Push(std::move(result))) {
         break;  // cancelled: consumer closed early
       }
     }
+    obs::MetricsRegistry::Instance()
+        .SharedCounter("exec.exchange.morsels")
+        ->Add(morsels_run);
     std::lock_guard<std::mutex> lock(state_mutex_);
     for (size_t i = 0; i < profile_chain_.size(); ++i) {
       profile_chain_[i]->Add(local[i]);
@@ -480,6 +514,7 @@ class ExchangeIter : public BatchIterator {
   int64_t leaf_pages_ = 0;
   int64_t num_morsels_ = 0;
   int32_t num_workers_ = 0;
+  int64_t published_batches_ = 0;
   std::atomic<int64_t> next_morsel_{0};
   std::shared_ptr<BoundedQueue<MorselResult>> queue_;
   std::shared_ptr<CountDownLatch> latch_;

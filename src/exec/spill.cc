@@ -1,5 +1,7 @@
 #include "exec/spill.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <string_view>
 #include <utility>
@@ -160,6 +162,9 @@ void HashJoinState::AddBuild(const Tuple& tuple) {
 }
 
 void HashJoinState::SpillBuildTable() {
+  obs::SpanScope span(ctx_ == nullptr ? nullptr : ctx_->trace(),
+                      "spill build-table", "spill");
+  span.AddArg("keys", static_cast<int64_t>(table_.size()));
   spilled_ = true;
   build_parts_.clear();
   for (size_t i = 0; i < kSpillFanout; ++i) {
@@ -304,7 +309,12 @@ bool HashJoinState::LoadBuildBlock() {
 }
 
 void HashJoinState::RepartitionJob(Job job) {
+  obs::SpanScope span(ctx_ == nullptr ? nullptr : ctx_->trace(),
+                      "spill repartition", "spill");
   int32_t depth = job.depth + 1;
+  span.AddArg("depth", static_cast<int64_t>(depth));
+  span.AddArg("build_tuples", job.build->num_tuples());
+  span.AddArg("probe_tuples", job.probe->num_tuples());
   std::vector<Job> subs(kSpillFanout);
   for (Job& sub : subs) {
     sub.build = NewSpillFile();
@@ -496,6 +506,9 @@ void ExternalSorter::Add(const Tuple& tuple) {
 }
 
 void ExternalSorter::SpillRun() {
+  obs::SpanScope span(ctx_ == nullptr ? nullptr : ctx_->trace(),
+                      "spill sort-run", "spill");
+  span.AddArg("rows", static_cast<int64_t>(rows_.size()));
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const Tuple& a, const Tuple& b) {
                      return RowLess(a, b);
@@ -558,6 +571,9 @@ void ExternalSorter::PreMergeToFit() {
 }
 
 void ExternalSorter::MergePrefix(size_t count) {
+  obs::SpanScope span(ctx_ == nullptr ? nullptr : ctx_->trace(),
+                      "spill merge-runs", "spill");
+  span.AddArg("runs", static_cast<int64_t>(count));
   int64_t cost = HeadBytes(count);
   if (ctx_ != nullptr) {
     if (ctx_->tracker().WouldExceed(cost)) {

@@ -1,0 +1,77 @@
+// EXPLAIN ANALYZE: the plan tree re-rendered with predicted vs. observed
+// numbers after a query has executed.
+//
+// For every operator of the resolved plan this joins three sources:
+//   * the compile-time annotations (cost and cardinality *intervals* —
+//     the ambiguity the optimizer faced; re-annotate the resolved plan
+//     with the compile-time ParamEnv first, since plan rewriting rebuilds
+//     nodes above replaced choose-plan operators without annotations),
+//   * the start-up resolution (which alternative each choose-plan picked
+//     and what every alternative's point cost was, from
+//     StartupResult::alternative_costs),
+//   * the executed iterator tree's OperatorCounters (actual seconds
+//     across Open/Next/Close, actual rows).
+//
+// Per operator it reports actual cost against the compile-time interval
+// (the cost-interval calibration the paper's evaluation turns on) and
+// actual vs. estimated cardinality.  Per choose-plan decision it reports
+// the *regret*: the chosen alternative's measured cost minus the model's
+// start-up estimate for the best alternative not taken.  Negative regret
+// means the decision beat the model's price for the road not taken.
+//
+// The walk descends the dynamic plan, the resolved plan, and the exec
+// tree in lockstep; exec-side adaptors ("tuple-from-batch",
+// "batch-from-tuple") and exchange operators are transparent.  Model cost
+// units are modeled seconds, so predicted and measured columns are
+// directly comparable (to the extent the model is calibrated — that gap
+// is exactly what this report makes visible).
+
+#ifndef DQEP_OBS_ANALYZE_H_
+#define DQEP_OBS_ANALYZE_H_
+
+#include <string>
+
+#include "exec/exec_node.h"
+#include "physical/plan.h"
+#include "runtime/startup.h"
+
+namespace dqep {
+namespace obs {
+
+enum class AnalyzeFormat {
+  kText,
+  kJson,
+};
+
+/// Everything RenderAnalyze joins.  `dynamic_root` and `startup` may be
+/// null for static plans (no decisions to report); `exec_root` may be
+/// null (operator rows then carry estimates only).
+struct AnalyzeInput {
+  /// The optimizer's plan, possibly containing choose-plan operators.
+  const PhysNode* dynamic_root = nullptr;
+
+  /// The resolved plan that actually executed, annotated with
+  /// compile-time interval estimates (call AnnotatePlan with the
+  /// compile-time env before rendering).
+  const PhysNode* resolved_root = nullptr;
+
+  /// Start-up resolution outcome: choices and per-alternative costs.
+  const StartupResult* startup = nullptr;
+
+  /// The executed iterator tree (after Close, so counters are final).
+  const ExecNode* exec_root = nullptr;
+};
+
+/// Renders the analyze report.  Text: one aligned row per operator plus
+/// one "choose-plan" line per decision.  JSON: {"operators": [...],
+/// "decisions": [...]} with one object per row (depth-encoded tree).
+std::string RenderAnalyze(const AnalyzeInput& input, AnalyzeFormat format);
+
+/// Inclusive measured seconds of `node`: Open + Next + Close wall time
+/// (children included).  The "actual cost" column.
+double ActualSeconds(const ExecNode& node);
+
+}  // namespace obs
+}  // namespace dqep
+
+#endif  // DQEP_OBS_ANALYZE_H_

@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dqep {
+namespace obs {
+
+namespace {
+
+/// True when `s` is a valid JSON number (so trace args keep numeric type
+/// in the viewer instead of becoming strings).
+bool LooksLikeJsonNumber(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) {
+    return false;
+  }
+  bool digits = false;
+  bool dot = false;
+  bool exp = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits = true;
+    } else if (c == '.' && !dot && !exp) {
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digits && !exp) {
+      exp = true;
+      digits = false;
+      if (i + 1 < s.size() && (s[i + 1] == '+' || s[i + 1] == '-')) {
+        ++i;
+      }
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+TraceSession::TraceSession() : start_(std::chrono::steady_clock::now()) {
+  track_labels_.push_back("query");
+}
+
+int64_t TraceSession::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+int64_t TraceSession::RegisterTrack(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  track_labels_.push_back(label);
+  return static_cast<int64_t>(track_labels_.size()) - 1;
+}
+
+void TraceSession::AddSpan(
+    const std::string& name, const std::string& category, int64_t start_us,
+    int64_t duration_us, int64_t track,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_us = start_us;
+  ev.duration_us = duration_us < 0 ? 0 : duration_us;
+  ev.track = track;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceSession::ToChromeJson() const {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> labels;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+    labels = track_labels_;
+  }
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[160];
+  bool first = true;
+  // Metadata events name each track in the viewer's thread list.
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %zu, \"args\": {\"name\": \"%s\"}}",
+                  t, JsonEscape(labels[t]).c_str());
+    out += buf;
+  }
+  for (const TraceEvent& ev : events) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %" PRId64 ", \"dur\": %" PRId64
+                  ", \"pid\": 1, \"tid\": %" PRId64,
+                  JsonEscape(ev.name).c_str(),
+                  JsonEscape(ev.category).c_str(), ev.start_us,
+                  ev.duration_us, ev.track);
+    out += buf;
+    if (!ev.args.empty()) {
+      out += ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : ev.args) {
+        if (!first_arg) {
+          out += ", ";
+        }
+        first_arg = false;
+        out += "\"" + JsonEscape(key) + "\": ";
+        if (LooksLikeJsonNumber(value)) {
+          out += value;
+        } else {
+          out += "\"" + JsonEscape(value) + "\"";
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceSession::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void SpanScope::AddArg(const std::string& key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  AddArg(key, std::string(buf));
+}
+
+}  // namespace obs
+}  // namespace dqep

@@ -1,0 +1,139 @@
+// TraceSession: per-query span recording, serialized as Chrome trace
+// events ("catapult" JSON) so a run loads directly in chrome://tracing or
+// Perfetto (ui.perfetto.dev → "Open trace file").
+//
+// A span is a named duration with a category, a begin/end timestamp pair
+// (microseconds since session start, steady clock), a track id, and a
+// flat set of string/number args.  Spans are recorded from any thread:
+// workers call RegisterThread() once to get a human-labelled track, then
+// record spans with Begin/End or the RAII SpanScope.  Completed spans are
+// appended under a mutex — tracing is opt-in (--trace-out), so the lock
+// is not on any default hot path, and per-operator Next() calls are
+// aggregated into one span per operator rather than one per call.
+//
+// The session pointer is threaded through ExecContext and StartupOptions
+// as a nullable raw pointer: nullptr (the default everywhere) means
+// tracing is off and instrumentation sites cost one branch.
+
+#ifndef DQEP_OBS_TRACE_H_
+#define DQEP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dqep {
+namespace obs {
+
+/// One completed span ("X" phase event in the Chrome trace format).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;  ///< microseconds since session start
+  int64_t duration_us = 0;
+  int64_t track = 0;  ///< Chrome "tid"; see RegisterThread
+  /// Flat args, rendered into the event's "args" object.  Numeric values
+  /// are emitted unquoted when the string parses as a JSON number.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceSession {
+ public:
+  TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds since the session was created (steady clock).
+  int64_t NowMicros() const;
+
+  /// Assigns the calling context a numbered track with `label` shown as
+  /// the thread name in the trace viewer.  Track 0 ("query") is
+  /// pre-registered for the main thread; exchange workers register
+  /// "worker-N" tracks.  Returns the track id.
+  int64_t RegisterTrack(const std::string& label);
+
+  /// Records a completed span.  `args` may be empty.  Thread-safe.
+  void AddSpan(const std::string& name, const std::string& category,
+               int64_t start_us, int64_t duration_us, int64_t track,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Convenience: span on track 0 starting at `start_us` and ending now.
+  void EndSpan(const std::string& name, const std::string& category,
+               int64_t start_us,
+               std::vector<std::pair<std::string, std::string>> args = {}) {
+    AddSpan(name, category, start_us, NowMicros() - start_us, /*track=*/0,
+            std::move(args));
+  }
+
+  size_t event_count() const;
+  std::vector<TraceEvent> Events() const;
+
+  /// The full trace as {"traceEvents": [...]} Chrome-format JSON,
+  /// including thread_name metadata events for registered tracks.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path`.  Returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> track_labels_;
+};
+
+/// RAII span: records `name` on `track` from construction to destruction.
+/// Args can be attached any time before the scope closes.
+class SpanScope {
+ public:
+  SpanScope(TraceSession* session, std::string name, std::string category,
+            int64_t track = 0)
+      : session_(session),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        track_(track),
+        start_us_(session == nullptr ? 0 : session->NowMicros()) {}
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() {
+    if (session_ != nullptr) {
+      session_->AddSpan(name_, category_, start_us_,
+                        session_->NowMicros() - start_us_, track_,
+                        std::move(args_));
+    }
+  }
+
+  void AddArg(const std::string& key, const std::string& value) {
+    if (session_ != nullptr) {
+      args_.emplace_back(key, value);
+    }
+  }
+  void AddArg(const std::string& key, int64_t value) {
+    AddArg(key, std::to_string(value));
+  }
+  void AddArg(const std::string& key, double value);
+
+ private:
+  TraceSession* session_;
+  std::string name_;
+  std::string category_;
+  int64_t track_;
+  int64_t start_us_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (shared by the
+/// trace writer and the EXPLAIN ANALYZE JSON renderer).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace dqep
+
+#endif  // DQEP_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace dqep {
 
@@ -68,7 +69,9 @@ class SearchContext {
       : query_(query), model_(model), env_(env), options_(options) {}
 
   Result<OptimizedPlan> Run() {
-    CpuTimer timer;
+    // Thread CPU time: the search is single-threaded, and process CPU
+    // time would absorb concurrent exchange workers of other queries.
+    ThreadCpuTimer timer;
     // ORDER BY becomes the root goal's required physical property, the
     // generalization of System R's interesting orders.
     SortOrder root_order = query_.HasOrderBy()
@@ -92,11 +95,31 @@ class SearchContext {
     stats_.logical_alternatives = CountLogicalTrees(query_.AllTerms());
     stats_.optimize_seconds = timer.ElapsedSeconds();
     plan.stats = stats_;
+    PublishStats(stats_);
     AnnotatePlan(*plan.root, model_, env_, options_.estimation);
     return plan;
   }
 
  private:
+  /// Mirrors one search's statistics into the process-wide
+  /// "optimizer.*" registry metrics (counters accumulate across
+  /// optimizations; the histogram buckets per-call latency).
+  static void PublishStats(const SearchStats& stats) {
+    auto& registry = obs::MetricsRegistry::Instance();
+    registry.SharedCounter("optimizer.goals")->Add(stats.goals);
+    registry.SharedCounter("optimizer.plans_considered")
+        ->Add(stats.plans_considered);
+    registry.SharedCounter("optimizer.plans_pruned")->Add(stats.plans_pruned);
+    registry.SharedCounter("optimizer.plans_dominated")
+        ->Add(stats.plans_dominated);
+    registry.SharedCounter("optimizer.frontier_plans")
+        ->Add(stats.frontier_plans);
+    registry.SharedCounter("optimizer.logical_alternatives")
+        ->Add(stats.logical_alternatives);
+    registry.SharedHistogram("optimizer.optimize_us")
+        ->Record(static_cast<int64_t>(stats.optimize_seconds * 1e6));
+  }
+
   /// Optimizes (set, order), memoized.
   Result<const Goal*> OptimizeGoal(RelSet set, const SortOrder& order) {
     GoalKey key{set, order};

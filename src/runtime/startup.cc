@@ -1,11 +1,13 @@
 #include "runtime/startup.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <set>
 #include <unordered_set>
 
 #include "common/timer.h"
+#include "obs/trace.h"
 #include "physical/costing.h"
 #include "runtime/plan_rewrite.h"
 
@@ -27,7 +29,8 @@ class StartupEvaluator {
       : model_(model),
         env_(env),
         branch_and_bound_(options.use_branch_and_bound),
-        observed_(options.observed_cardinalities) {}
+        observed_(options.observed_cardinalities),
+        trace_(options.trace) {}
 
   struct EvalOut {
     NodeEstimate estimate;
@@ -52,9 +55,11 @@ class StartupEvaluator {
     EvalOut out;
     if (node->kind() == PhysOpKind::kChoosePlan) {
       ++decisions_;
+      int64_t span_start = trace_ == nullptr ? 0 : trace_->NowMicros();
       double best = kInf;
       size_t best_index = 0;
       NodeEstimate best_estimate;
+      std::vector<double> alt_costs(node->children().size(), kInf);
       for (size_t i = 0; i < node->children().size(); ++i) {
         double alt_budget = branch_and_bound_ ? std::min(budget, best) : kInf;
         EvalOut alt = Eval(node->child(i).get(), alt_budget);
@@ -62,6 +67,7 @@ class StartupEvaluator {
           continue;
         }
         double cost = alt.estimate.cost.lo();
+        alt_costs[i] = cost;
         if (cost < best) {
           best = cost;
           best_index = i;
@@ -72,6 +78,10 @@ class StartupEvaluator {
         return Abort(node, budget);
       }
       choices_[node] = best_index;
+      if (trace_ != nullptr) {
+        RecordDecisionSpan(node, alt_costs, best_index, span_start);
+      }
+      alt_costs_[node] = std::move(alt_costs);
       out.estimate.cardinality = best_estimate.cardinality;
       out.estimate.cost =
           best_estimate.cost +
@@ -132,8 +142,39 @@ class StartupEvaluator {
   const std::unordered_map<const PhysNode*, size_t>& choices() const {
     return choices_;
   }
+  std::unordered_map<const PhysNode*, std::vector<double>>&
+  mutable_alternative_costs() {
+    return alt_costs_;
+  }
 
  private:
+  /// One trace span per completed choose-plan decision: each
+  /// alternative's resolved point cost plus its compile-time cost
+  /// interval (the optimizer's annotation — the ambiguity this decision
+  /// just resolved).
+  void RecordDecisionSpan(const PhysNode* node,
+                          const std::vector<double>& alt_costs,
+                          size_t chosen, int64_t span_start) {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.emplace_back("alternatives", std::to_string(alt_costs.size()));
+    args.emplace_back("chosen", std::to_string(chosen));
+    for (size_t i = 0; i < alt_costs.size(); ++i) {
+      std::string prefix = "alt" + std::to_string(i);
+      args.emplace_back(prefix + "_op",
+                        PhysOpKindName(node->child(i)->kind()));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", alt_costs[i]);
+      args.emplace_back(prefix + "_resolved_cost", std::string(buf));
+      const Interval& interval = node->child(i)->est_cost();
+      std::snprintf(buf, sizeof(buf), "%.6g", interval.lo());
+      args.emplace_back(prefix + "_cost_lo", std::string(buf));
+      std::snprintf(buf, sizeof(buf), "%.6g", interval.hi());
+      args.emplace_back(prefix + "_cost_hi", std::string(buf));
+    }
+    trace_->AddSpan("choose-plan decision", "resolve", span_start,
+                    trace_->NowMicros() - span_start, /*track=*/0,
+                    std::move(args));
+  }
   /// Records that `node` cannot complete within `budget` and returns the
   /// aborted result.
   EvalOut Abort(const PhysNode* node, double budget) {
@@ -152,10 +193,12 @@ class StartupEvaluator {
   const ParamEnv& env_;
   bool branch_and_bound_;
   const std::unordered_map<const PhysNode*, double>* observed_;
+  obs::TraceSession* trace_;
   std::unordered_map<const PhysNode*, NodeEstimate> memo_;
   std::unordered_map<const PhysNode*, double> abort_budgets_;
   std::unordered_set<const PhysNode*> evaluated_;
   std::unordered_map<const PhysNode*, size_t> choices_;
+  std::unordered_map<const PhysNode*, std::vector<double>> alt_costs_;
   int64_t evaluations_ = 0;
   int64_t decisions_ = 0;
 };
@@ -185,7 +228,11 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
         "start-up requires all host variables bound and a point memory "
         "grant");
   }
-  CpuTimer timer;
+  // Thread CPU time: resolution runs on the calling thread, and process
+  // CPU time would absorb any concurrently-running workers.
+  ThreadCpuTimer timer;
+  int64_t span_start =
+      options.trace == nullptr ? 0 : options.trace->NowMicros();
   StartupEvaluator evaluator(model, env, options);
   StartupEvaluator::EvalOut top = evaluator.Eval(root.get(), kInf);
   DQEP_CHECK(!top.aborted);
@@ -218,12 +265,22 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
   result.modeled_cpu_seconds = model.StartupDecisionCost(
       evaluator.evaluations(), evaluator.decisions());
   result.choices = evaluator.choices();
+  result.alternative_costs = std::move(evaluator.mutable_alternative_costs());
   // Execution cost of the chosen plan excludes the decision overhead that
   // the top-level cost estimate carries.
   result.execution_cost =
       EstimateRoot(*result.resolved, model, env,
                    EstimationMode::kExpectedValue)
           .cost.lo();
+  if (options.trace != nullptr) {
+    options.trace->AddSpan(
+        "resolve", "startup", span_start,
+        options.trace->NowMicros() - span_start, /*track=*/0,
+        {{"decisions", std::to_string(result.decisions)},
+         {"cost_evaluations", std::to_string(result.cost_evaluations)},
+         {"nodes_skipped", std::to_string(result.nodes_skipped)},
+         {"execution_cost", std::to_string(result.execution_cost)}});
+  }
   return result;
 }
 

@@ -39,6 +39,12 @@ struct StartupOptions {
   /// the observed value before parents are costed.  Not owned.
   const std::unordered_map<const PhysNode*, double>* observed_cardinalities =
       nullptr;
+
+  /// Optional tracing sink (obs/trace.h): the resolution emits one
+  /// "resolve" span plus one "choose-plan decision" span per decision,
+  /// carrying every alternative's resolved point cost and compile-time
+  /// cost interval.  Null (default) disables tracing.  Not owned.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Outcome of resolving one dynamic plan under bound parameters.
@@ -68,6 +74,13 @@ struct StartupResult {
 
   /// Chosen alternative index per choose-plan node.
   std::unordered_map<const PhysNode*, size_t> choices;
+
+  /// Every alternative's resolved point cost per choose-plan node,
+  /// indexed like the node's children (infinity for alternatives
+  /// abandoned by branch-and-bound).  This is what EXPLAIN ANALYZE's
+  /// regret report compares actual cost against: the model's start-up
+  /// estimate for the road not taken.
+  std::unordered_map<const PhysNode*, std::vector<double>> alternative_costs;
 };
 
 /// All host-variable ids referenced anywhere in the plan DAG.

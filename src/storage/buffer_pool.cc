@@ -34,7 +34,14 @@ void PageGuard::Release() {
 }
 
 BufferPool::BufferPool(PageStore* store, int32_t capacity)
-    : store_(store), capacity_(capacity) {
+    : store_(store),
+      capacity_(capacity),
+      hits_(obs::MetricsRegistry::Instance().NewCounter(
+          "storage.bufferpool.hits")),
+      misses_(obs::MetricsRegistry::Instance().NewCounter(
+          "storage.bufferpool.misses")),
+      sequential_misses_(obs::MetricsRegistry::Instance().NewCounter(
+          "storage.bufferpool.sequential_misses")) {
   DQEP_CHECK(store != nullptr);
   DQEP_CHECK_GE(capacity, 1);
 }
@@ -46,7 +53,7 @@ PageGuard BufferPool::Fetch(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     Frame& frame = it->second;
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Add(1);
     if (frame.in_lru) {
       lru_.erase(frame.lru_position);
       frame.in_lru = false;
@@ -54,10 +61,10 @@ PageGuard BufferPool::Fetch(PageId id) {
     ++frame.pin_count;
     return PageGuard(this, id, &frame.data);
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
   if (last_missed_page_ != kInvalidPage &&
       (id == last_missed_page_ + 1 || id == last_missed_page_)) {
-    sequential_misses_.fetch_add(1, std::memory_order_relaxed);
+    sequential_misses_.Add(1);
   }
   last_missed_page_ = id;
   if (static_cast<int32_t>(frames_.size()) >= capacity_) {

@@ -11,8 +11,9 @@
 //    FlushAll acquires it, as does PageGuard::MutableData (dirty-bit
 //    write).  Store reads/writes also happen under it, which keeps
 //    PageStore's IoStats counters consistent without their own lock.
-//  - hits/misses/sequential_misses are std::atomic so readers (profilers,
-//    benchmarks) can sample them without taking the pool mutex.
+//  - hits/misses/sequential_misses live in atomic MetricsRegistry cells
+//    ("storage.bufferpool.*") so readers (profilers, benchmarks, registry
+//    snapshots) can sample them without taking the pool mutex.
 //  - Page *data* is not latched: a pinned frame's bytes may be read by
 //    any thread, but writers must externally ensure no concurrent reader
 //    of the same page.  The engine satisfies this by only writing pages
@@ -24,12 +25,12 @@
 #ifndef DQEP_STORAGE_BUFFER_POOL_H_
 #define DQEP_STORAGE_BUFFER_POOL_H_
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/page_store.h"
 
 namespace dqep {
@@ -99,25 +100,25 @@ class BufferPool {
 
   int32_t capacity() const { return capacity_; }
 
-  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t hits() const { return hits_.value(); }
+  int64_t misses() const { return misses_.value(); }
 
   /// Misses whose page follows the previously missed page (a sequential
   /// scan pattern); the complement of random_misses().  Under concurrent
   /// scans the interleaving of misses is nondeterministic, so this split
   /// is only meaningful for single-threaded calibration runs.
-  int64_t sequential_misses() const {
-    return sequential_misses_.load(std::memory_order_relaxed);
-  }
+  int64_t sequential_misses() const { return sequential_misses_.value(); }
 
   /// Misses that jumped to an unrelated page (index fetch pattern).
   int64_t random_misses() const { return misses() - sequential_misses(); }
 
+  /// Resets this pool's own cells (not other pools' contributions to the
+  /// process-wide "storage.bufferpool.*" aggregates).
   void ResetStats() {
     std::lock_guard<std::mutex> lock(mutex_);
-    hits_.store(0, std::memory_order_relaxed);
-    misses_.store(0, std::memory_order_relaxed);
-    sequential_misses_.store(0, std::memory_order_relaxed);
+    hits_.Reset();
+    misses_.Reset();
+    sequential_misses_.Reset();
     last_missed_page_ = kInvalidPage;
   }
 
@@ -147,9 +148,13 @@ class BufferPool {
   /// Unpinned pages, least recently used first.
   std::list<PageId> lru_;
 
-  std::atomic<int64_t> hits_{0};
-  std::atomic<int64_t> misses_{0};
-  std::atomic<int64_t> sequential_misses_{0};
+  /// MetricsRegistry cells ("storage.bufferpool.{hits,misses,
+  /// sequential_misses}"): same relaxed atomics as the former members, so
+  /// the locking contract above is unchanged — readers sample without the
+  /// pool mutex.
+  obs::CellHandle hits_;
+  obs::CellHandle misses_;
+  obs::CellHandle sequential_misses_;
   PageId last_missed_page_ = kInvalidPage;
 };
 

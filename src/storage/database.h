@@ -3,11 +3,11 @@
 #ifndef DQEP_STORAGE_DATABASE_H_
 #define DQEP_STORAGE_DATABASE_H_
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "obs/metrics.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -61,9 +61,7 @@ class Database {
   }
 
   /// Temp heaps currently alive — zero once every query is closed.
-  int64_t live_temp_heaps() const {
-    return live_temp_heaps_.load(std::memory_order_relaxed);
-  }
+  int64_t live_temp_heaps() const { return live_temp_heaps_.value(); }
 
   /// Zeroes all physical and buffer statistics (e.g. between experiment
   /// runs).
@@ -79,7 +77,9 @@ class Database {
   std::unique_ptr<PageStore> store_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<Table>> tables_;
-  mutable std::atomic<int64_t> live_temp_heaps_{0};
+  /// "storage.tempheap.live" registry gauge cell (this database's slice).
+  mutable obs::CellHandle live_temp_heaps_ =
+      obs::MetricsRegistry::Instance().NewGauge("storage.tempheap.live");
 };
 
 }  // namespace dqep

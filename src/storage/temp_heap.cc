@@ -1,5 +1,6 @@
 #include "storage/temp_heap.h"
 
+#include "obs/metrics.h"
 #include "storage/database.h"
 
 namespace dqep {
@@ -7,12 +8,15 @@ namespace dqep {
 TempHeap::TempHeap(PageStore* store, BufferPool* pool, const Database* owner)
     : owner_(owner), heap_(store, pool) {
   DQEP_CHECK(owner != nullptr);
-  owner_->live_temp_heaps_.fetch_add(1, std::memory_order_relaxed);
+  owner_->live_temp_heaps_.Add(1);
+  obs::MetricsRegistry::Instance()
+      .SharedCounter("storage.tempheap.created")
+      ->Add(1);
 }
 
 TempHeap::~TempHeap() {
   heap_.FreePages();
-  owner_->live_temp_heaps_.fetch_sub(1, std::memory_order_relaxed);
+  owner_->live_temp_heaps_.Add(-1);
 }
 
 }  // namespace dqep

@@ -1,0 +1,599 @@
+// Observability suite (ctest label "obs"): MetricsRegistry semantics and
+// 8-thread concurrency, Chrome-trace JSON well-formedness (checked with a
+// test-side JSON parser — the trace must load in chrome://tracing, so a
+// parse failure here is a real regression), EXPLAIN ANALYZE structure for
+// the paper's Q1, and the choose-plan regret arithmetic under bindings
+// that deliberately contradict the ones the plan was resolved with.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/analyze.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/optimizer.h"
+#include "physical/costing.h"
+#include "runtime/startup.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace {
+
+// --- Minimal JSON parser (test-side only) ----------------------------------
+//
+// Just enough of RFC 8259 to validate the trace and analyze output:
+// objects, arrays, strings with escapes, numbers, true/false/null.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    *out = ParseValue();
+    SkipWs();
+    return ok_ && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    JsonValue v;
+    if (pos_ >= text_.size()) {
+      ok_ = false;
+      return v;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == 't') {
+      ConsumeLiteral("true");
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      ConsumeLiteral("false");
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      ConsumeLiteral("null");
+      return v;
+    }
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (!Consume('{')) {
+      ok_ = false;
+      return v;
+    }
+    if (Consume('}')) {
+      return v;
+    }
+    do {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        ok_ = false;
+        return v;
+      }
+      std::string key = ParseString();
+      if (!Consume(':')) {
+        ok_ = false;
+        return v;
+      }
+      v.object[key] = ParseValue();
+    } while (ok_ && Consume(','));
+    if (!Consume('}')) {
+      ok_ = false;
+    }
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (!Consume('[')) {
+      ok_ = false;
+      return v;
+    }
+    if (Consume(']')) {
+      return v;
+    }
+    do {
+      v.array.push_back(ParseValue());
+    } while (ok_ && Consume(','));
+    if (!Consume(']')) {
+      ok_ = false;
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        ok_ = false;
+        return out;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (pos_ + 4 <= text_.size()) {
+            pos_ += 4;
+            out += '?';
+          } else {
+            ok_ = false;
+          }
+          break;
+        default: ok_ = false;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      ok_ = false;
+    } else {
+      ++pos_;  // closing quote
+    }
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ok_ = false;
+      return v;
+    }
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAggregateAndSurviveRetirement) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::CellHandle a = registry.NewCounter("test.counter");
+  a.Add(5);
+  {
+    obs::CellHandle b = registry.NewCounter("test.counter");
+    b.Add(7);
+    EXPECT_EQ(registry.Snapshot().at("test.counter").value, 12);
+  }
+  // b retired: its 7 folds into the metric's retired total.
+  EXPECT_EQ(registry.Snapshot().at("test.counter").value, 12);
+  a.Add(1);
+  EXPECT_EQ(registry.Snapshot().at("test.counter").value, 13);
+  EXPECT_EQ(a.value(), 6);  // the per-owner view stays per-owner
+}
+
+TEST(MetricsRegistryTest, GaugesDropOnRetirementMaxesPersist) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::CellHandle gauge = registry.NewGauge("test.gauge");
+  gauge.Add(10);
+  {
+    obs::CellHandle other = registry.NewGauge("test.gauge");
+    other.Add(32);
+    EXPECT_EQ(registry.Snapshot().at("test.gauge").value, 42);
+  }
+  EXPECT_EQ(registry.Snapshot().at("test.gauge").value, 10);
+
+  {
+    obs::CellHandle peak = registry.NewGaugeMax("test.peak");
+    peak.RecordMax(99);
+    peak.RecordMax(50);
+  }
+  EXPECT_EQ(registry.Snapshot().at("test.peak").value, 99);
+}
+
+TEST(MetricsRegistryTest, HistogramBuckets) {
+  EXPECT_EQ(obs::HistogramCell::BucketOf(-3), 0);
+  EXPECT_EQ(obs::HistogramCell::BucketOf(0), 0);
+  EXPECT_EQ(obs::HistogramCell::BucketOf(1), 1);
+  EXPECT_EQ(obs::HistogramCell::BucketOf(2), 2);
+  EXPECT_EQ(obs::HistogramCell::BucketOf(3), 2);
+  EXPECT_EQ(obs::HistogramCell::BucketOf(4), 3);
+  EXPECT_EQ(obs::HistogramCell::BucketOf(1024), 11);
+
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::HistogramHandle h = registry.NewHistogram("test.hist_us");
+  h.Record(1);
+  h.Record(3);
+  h.Record(1000);
+  obs::MetricValue v = registry.Snapshot().at("test.hist_us");
+  EXPECT_EQ(v.count, 3);
+  EXPECT_EQ(v.sum, 1004);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesFromEightThreads) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Per-thread owned cell plus the process-shared cell plus a
+      // histogram: the three update paths the engine uses.
+      obs::CellHandle own = registry.NewCounter("test.mt.owned");
+      obs::Cell* shared = registry.SharedCounter("test.mt.shared");
+      obs::HistogramCell* hist = registry.SharedHistogram("test.mt.hist");
+      obs::CellHandle peak = registry.NewGaugeMax("test.mt.peak");
+      for (int i = 0; i < kOps; ++i) {
+        own.Add(1);
+        shared->Add(1);
+        hist->Record(i + 1);
+        peak.RecordMax(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.at("test.mt.owned").value, kThreads * kOps);
+  EXPECT_EQ(snapshot.at("test.mt.shared").value, kThreads * kOps);
+  EXPECT_EQ(snapshot.at("test.mt.hist").count, kThreads * kOps);
+  EXPECT_EQ(snapshot.at("test.mt.peak").value, kOps - 1);
+}
+
+TEST(MetricsRegistryTest, RenderJsonIsValidJson) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  registry.NewCounter("test.render.counter").Add(3);
+  registry.SharedHistogram("test.render.hist")->Record(17);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.RenderJson()).Parse(&root));
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  EXPECT_TRUE(root.Has("test.render.counter"));
+  EXPECT_TRUE(root.Has("test.render.hist"));
+}
+
+// --- Query pipeline fixtures ------------------------------------------------
+
+class ObsQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto workload = PaperWorkload::Create(/*seed=*/42, /*populate=*/true);
+    ASSERT_TRUE(workload.ok());
+    workload_ = workload->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+
+  /// Binds every selection parameter of `query` to the value whose
+  /// predicted selectivity is `sel`.
+  static ParamEnv BindAll(const Query& query, double sel) {
+    ParamEnv bound = workload_->CompileTimeEnv(/*uncertain_memory=*/false);
+    for (const RelationTerm& term : query.terms()) {
+      for (const SelectionPredicate& pred : term.predicates) {
+        bound.Bind(pred.operand.param(),
+                   workload_->model().ValueForSelectivity(pred, sel));
+      }
+    }
+    return bound;
+  }
+
+  static PaperWorkload* workload_;
+};
+
+PaperWorkload* ObsQueryTest::workload_ = nullptr;
+
+// The full Q5 lifecycle under tracing must serialize to well-formed
+// Chrome-trace JSON carrying optimize / resolve / execute spans and
+// exactly one "choose-plan decision" span per decision made.
+TEST_F(ObsQueryTest, TraceJsonWellFormedForQ5) {
+  obs::TraceSession trace;
+  Query query = workload_->ChainQuery(10);
+  ParamEnv compile_env = workload_->CompileTimeEnv(false);
+
+  int64_t start = trace.NowMicros();
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+  Result<OptimizedPlan> plan = optimizer.Optimize(query, compile_env);
+  ASSERT_TRUE(plan.ok());
+  trace.EndSpan("optimize", "query", start);
+
+  ParamEnv bound = BindAll(query, 0.05);
+  StartupOptions options;
+  options.trace = &trace;
+  Result<StartupResult> startup =
+      ResolveDynamicPlan(plan->root, workload_->model(), bound, options);
+  ASSERT_TRUE(startup.ok());
+  ASSERT_GT(startup->decisions, 0);
+
+  start = trace.NowMicros();
+  Result<std::vector<Tuple>> rows =
+      ExecutePlan(startup->resolved, workload_->db(), bound);
+  ASSERT_TRUE(rows.ok());
+  trace.EndSpan("execute", "query", start,
+                {{"rows", std::to_string(rows->size())}});
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(trace.ToChromeJson()).Parse(&root))
+      << trace.ToChromeJson();
+  ASSERT_TRUE(root.Has("traceEvents"));
+  const JsonValue& events = root.At("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  ASSERT_FALSE(events.array.empty());
+
+  int64_t optimize_spans = 0, resolve_spans = 0, execute_spans = 0;
+  int64_t decision_spans = 0;
+  for (const JsonValue& event : events.array) {
+    ASSERT_EQ(event.type, JsonValue::Type::kObject);
+    // Required Chrome-trace fields on every event.
+    ASSERT_TRUE(event.Has("name"));
+    ASSERT_TRUE(event.Has("ph"));
+    ASSERT_TRUE(event.Has("pid"));
+    ASSERT_TRUE(event.Has("tid"));
+    const std::string& ph = event.At("ph").str;
+    if (ph == "M") {
+      continue;  // thread_name metadata
+    }
+    ASSERT_EQ(ph, "X");
+    ASSERT_TRUE(event.Has("ts"));
+    ASSERT_TRUE(event.Has("dur"));
+    const std::string& name = event.At("name").str;
+    if (name == "optimize") ++optimize_spans;
+    if (name == "resolve") ++resolve_spans;
+    if (name == "execute") ++execute_spans;
+    if (name == "choose-plan decision") {
+      ++decision_spans;
+      const JsonValue& args = event.At("args");
+      ASSERT_EQ(args.type, JsonValue::Type::kObject);
+      EXPECT_TRUE(args.Has("alternatives"));
+      EXPECT_TRUE(args.Has("chosen"));
+      EXPECT_TRUE(args.Has("alt0_resolved_cost"));
+      EXPECT_TRUE(args.Has("alt0_cost_lo"));
+      EXPECT_TRUE(args.Has("alt0_cost_hi"));
+      // The chosen index must address an existing alternative.
+      EXPECT_LT(args.At("chosen").number, args.At("alternatives").number);
+    }
+  }
+  EXPECT_EQ(optimize_spans, 1);
+  EXPECT_EQ(resolve_spans, 1);
+  EXPECT_EQ(execute_spans, 1);
+  EXPECT_EQ(decision_spans, startup->decisions);
+}
+
+TEST_F(ObsQueryTest, ExplainAnalyzeGoldenForQ1) {
+  Query query = workload_->ChainQuery(1);
+  ParamEnv compile_env = workload_->CompileTimeEnv(false);
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+  Result<OptimizedPlan> plan = optimizer.Optimize(query, compile_env);
+  ASSERT_TRUE(plan.ok());
+
+  ParamEnv bound = BindAll(query, 0.1);
+  Result<StartupResult> startup =
+      ResolveDynamicPlan(plan->root, workload_->model(), bound);
+  ASSERT_TRUE(startup.ok());
+  ASSERT_GT(startup->decisions, 0);  // Q1's selection is uncertain
+
+  Result<std::unique_ptr<Iterator>> iter =
+      BuildExecutor(startup->resolved, workload_->db(), bound);
+  ASSERT_TRUE(iter.ok());
+  (*iter)->Open();
+  Tuple tuple;
+  size_t row_count = 0;
+  while ((*iter)->Next(&tuple)) {
+    ++row_count;
+  }
+  (*iter)->Close();
+
+  AnnotatePlan(*startup->resolved, workload_->model(), compile_env,
+               EstimationMode::kInterval);
+  obs::AnalyzeInput input;
+  input.dynamic_root = plan->root.get();
+  input.resolved_root = startup->resolved.get();
+  input.startup = &*startup;
+  input.exec_root = iter->get();
+
+  // Text golden: header plus the operator/decision skeleton (numeric
+  // columns vary run to run, the structure must not).
+  std::string text = obs::RenderAnalyze(input, obs::AnalyzeFormat::kText);
+  EXPECT_EQ(text.compare(0, 8, "operator"), 0) << text;
+  EXPECT_NE(text.find("choose-plan: 2 alternatives"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("regret"), std::string::npos);
+  EXPECT_NE(text.find("startup: 1 decisions"), std::string::npos) << text;
+  // The resolved plan's operator sequence must appear in pre-order.
+  size_t at = 0;
+  std::vector<const char*> expected;
+  for (const PhysNode* node = startup->resolved.get();;) {
+    expected.push_back(PhysOpKindName(node->kind()));
+    if (node->children().empty()) {
+      break;
+    }
+    node = node->child(0).get();  // Q1 resolves to a single chain
+  }
+  for (const char* op : expected) {
+    size_t found = text.find(op, at);
+    ASSERT_NE(found, std::string::npos) << op << " missing in\n" << text;
+    at = found;
+  }
+
+  // JSON structure: parseable, one operator object per resolved node,
+  // actual_rows at the root equal to the executed row count, and the
+  // in-interval flag consistent with the reported bounds.
+  std::string json = obs::RenderAnalyze(input, obs::AnalyzeFormat::kJson);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& operators = root.At("operators");
+  ASSERT_EQ(operators.type, JsonValue::Type::kArray);
+  ASSERT_EQ(operators.array.size(), expected.size());
+  const JsonValue& top = operators.array.front();
+  EXPECT_EQ(top.At("op").str, expected.front());
+  EXPECT_EQ(static_cast<size_t>(top.At("actual_rows").number), row_count);
+  for (const JsonValue& op : operators.array) {
+    double lo = op.At("est_cost_lo").number;
+    double hi = op.At("est_cost_hi").number;
+    double actual = op.At("actual_cost").number;
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(op.At("cost_in_interval").boolean,
+              lo <= actual && actual <= hi);
+  }
+  const JsonValue& decisions = root.At("decisions");
+  ASSERT_EQ(decisions.type, JsonValue::Type::kArray);
+  EXPECT_EQ(static_cast<int64_t>(decisions.array.size()),
+            startup->decisions);
+  EXPECT_EQ(static_cast<int64_t>(root.At("startup").At("decisions").number),
+            startup->decisions);
+}
+
+// Resolve under near-zero selectivity, execute under high selectivity:
+// the decision was made on premises the execution contradicts, and the
+// regret report must still be well-defined, with regret equal to the
+// chosen alternative's measured cost minus the best not-taken estimate.
+TEST_F(ObsQueryTest, ChoosePlanRegretUnderForcedBadBinding) {
+  Query query = workload_->ChainQuery(2);
+  ParamEnv compile_env = workload_->CompileTimeEnv(false);
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+  Result<OptimizedPlan> plan = optimizer.Optimize(query, compile_env);
+  ASSERT_TRUE(plan.ok());
+
+  ParamEnv resolve_env = BindAll(query, 0.001);
+  Result<StartupResult> startup =
+      ResolveDynamicPlan(plan->root, workload_->model(), resolve_env);
+  ASSERT_TRUE(startup.ok());
+  ASSERT_GT(startup->decisions, 0);
+  ASSERT_FALSE(startup->alternative_costs.empty());
+
+  ParamEnv execute_env = BindAll(query, 0.9);
+  Result<std::unique_ptr<Iterator>> iter =
+      BuildExecutor(startup->resolved, workload_->db(), execute_env);
+  ASSERT_TRUE(iter.ok());
+  (*iter)->Open();
+  Tuple tuple;
+  while ((*iter)->Next(&tuple)) {
+  }
+  (*iter)->Close();
+
+  AnnotatePlan(*startup->resolved, workload_->model(), compile_env,
+               EstimationMode::kInterval);
+  obs::AnalyzeInput input;
+  input.dynamic_root = plan->root.get();
+  input.resolved_root = startup->resolved.get();
+  input.startup = &*startup;
+  input.exec_root = iter->get();
+  std::string json = obs::RenderAnalyze(input, obs::AnalyzeFormat::kJson);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& decisions = root.At("decisions");
+  ASSERT_EQ(decisions.type, JsonValue::Type::kArray);
+  ASSERT_FALSE(decisions.array.empty());
+  for (const JsonValue& decision : decisions.array) {
+    ASSERT_TRUE(decision.Has("chosen_est"));
+    ASSERT_TRUE(decision.Has("best_other_est"));
+    ASSERT_TRUE(decision.Has("chosen_actual"));
+    ASSERT_TRUE(decision.Has("regret"));
+    double actual = decision.At("chosen_actual").number;
+    double best_other = decision.At("best_other_est").number;
+    double regret = decision.At("regret").number;
+    EXPECT_TRUE(std::isfinite(regret));
+    EXPECT_NEAR(regret, actual - best_other,
+                1e-6 * std::max(1.0, std::fabs(actual - best_other)));
+    // Start-up chose the alternative the model priced cheapest under the
+    // (bad) resolve bindings.
+    EXPECT_LE(decision.At("chosen_est").number, best_other);
+  }
+}
+
+}  // namespace
+}  // namespace dqep

@@ -10,6 +10,15 @@
 //                              the per-query ExecContext, so joins and sorts
 //                              spill to temp heaps rather than exceed it
 //   --profile                  print per-operator counters after each query
+//   --stats=text|json          print EXPLAIN ANALYZE after each query:
+//                              per-operator compile-time cost interval vs.
+//                              actual cost, est vs. actual rows, and per
+//                              choose-plan decision the regret
+//   --trace-out=FILE           record the session as Chrome-trace JSON
+//                              (open in chrome://tracing or Perfetto):
+//                              parse/optimize/resolve/execute spans, one
+//                              span per choose-plan decision, per-operator
+//                              spans, spill passes, exchange morsels
 //
 // Reads one command per line from stdin:
 //
@@ -27,6 +36,9 @@
 //   \bindings                  list current bindings
 //   \tables                    list relations
 //   \analyze                   build histograms and use them for estimates
+//   \analyze SELECT ...        execute and print EXPLAIN ANALYZE (interval
+//                              calibration + choose-plan regret)
+//   \metrics                   dump the process-wide metrics registry
 //   \quit
 //
 // Example session:
@@ -41,9 +53,15 @@
 #include <sstream>
 #include <string>
 
+#include <cmath>
+
 #include "exec/exec_context.h"
 #include "exec/executor.h"
+#include "obs/analyze.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "physical/costing.h"
 #include "runtime/startup.h"
 #include "sql/parser.h"
 #include "storage/analyze.h"
@@ -52,17 +70,45 @@
 namespace dqep {
 namespace {
 
+/// Synthesizes per-operator trace spans from the executed tree's
+/// counters: each operator covers its inclusive seconds, children laid
+/// out sequentially inside the parent (counter totals carry no real
+/// timestamps, so nesting is reconstructed from inclusiveness).  Returns
+/// the node's span duration in microseconds.
+int64_t EmitOperatorSpans(obs::TraceSession* trace, const ExecNode& node,
+                          int64_t start_us) {
+  int64_t duration_us =
+      std::llround(obs::ActualSeconds(node) * 1e6);
+  trace->AddSpan(node.op_name(), "operator", start_us, duration_us,
+                 /*track=*/0,
+                 {{"tuples", std::to_string(node.counters().tuples)},
+                  {"next_calls", std::to_string(node.counters().next_calls)}});
+  int64_t child_start = start_us;
+  for (const ExecNode* child : node.child_nodes()) {
+    child_start += EmitOperatorSpans(trace, *child, child_start);
+  }
+  return duration_us;
+}
+
 class Shell {
  public:
   Shell(std::unique_ptr<PaperWorkload> workload, ExecMode exec_mode,
-        int32_t threads, bool profile, double memory_pages)
+        int32_t threads, bool profile, double memory_pages,
+        std::string trace_path, bool stats_every_query,
+        obs::AnalyzeFormat stats_format)
       : workload_(std::move(workload)),
         exec_mode_(exec_mode),
         threads_(threads),
-        profile_(profile) {
+        profile_(profile),
+        trace_path_(std::move(trace_path)),
+        stats_every_query_(stats_every_query),
+        stats_format_(stats_format) {
     if (memory_pages > 0) {
       memory_pages_ = memory_pages;
       enforce_memory_ = true;
+    }
+    if (!trace_path_.empty()) {
+      trace_ = std::make_unique<obs::TraceSession>();
     }
   }
 
@@ -70,9 +116,9 @@ class Shell {
     std::printf(
         "dqep shell — paper experiment database loaded (R1..R10), "
         "exec mode %s, %d thread%s.\n"
-        "Type SELECT ..., \\explain SELECT ..., \\set <var> <int>, "
-        "\\mode <tuple|batch>, \\threads <N>, \\profile <on|off>, "
-        "\\tables, \\quit.\n",
+        "Type SELECT ..., \\explain SELECT ..., \\analyze SELECT ..., "
+        "\\set <var> <int>, \\mode <tuple|batch>, \\threads <N>, "
+        "\\profile <on|off>, \\metrics, \\tables, \\quit.\n",
         ExecModeName(exec_mode_), threads_, threads_ == 1 ? "" : "s");
     std::string line;
     while (std::printf("dqep> "), std::fflush(stdout),
@@ -85,7 +131,17 @@ class Shell {
           break;
         }
       } else {
-        Query(line, /*explain=*/false);
+        Query(line, /*explain=*/false, stats_every_query_);
+      }
+    }
+    if (trace_ != nullptr) {
+      if (trace_->WriteChromeJson(trace_path_)) {
+        std::printf("trace: %lld events written to %s (load in "
+                    "chrome://tracing or Perfetto)\n",
+                    static_cast<long long>(trace_->event_count()),
+                    trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: cannot write %s\n", trace_path_.c_str());
       }
     }
     return 0;
@@ -192,6 +248,14 @@ class Shell {
       return true;
     }
     if (command == "\\analyze") {
+      std::string rest;
+      std::getline(in, rest);
+      size_t start = rest.find_first_not_of(" \t");
+      if (start != std::string::npos) {
+        // \analyze SELECT ... — EXPLAIN ANALYZE for one query.
+        Query(rest.substr(start), /*explain=*/false, /*analyze=*/true);
+        return true;
+      }
       stats_ = AnalyzeDatabase(workload_->db());
       stats_model_ = std::make_unique<CostModel>(
           &workload_->catalog(), workload_->config(), &stats_);
@@ -205,6 +269,11 @@ class Shell {
       std::string rest;
       std::getline(in, rest);
       Query(rest, /*explain=*/true);
+      return true;
+    }
+    if (command == "\\metrics") {
+      std::fputs(obs::MetricsRegistry::Instance().RenderText().c_str(),
+                 stdout);
       return true;
     }
     std::printf("unknown command %s\n", command.c_str());
@@ -226,23 +295,58 @@ class Shell {
         static_cast<long long>(ctx.overflows()));
   }
 
+  /// Post-execution reporting common to both engines: per-operator trace
+  /// spans, the profile, and (when requested) the EXPLAIN ANALYZE report
+  /// joining the plan's compile-time intervals with the measured tree.
+  void Report(const ExecNode& exec_root, const PhysNodePtr& dynamic_root,
+              const PhysNodePtr& resolved, const StartupResult* startup,
+              int64_t exec_start_us, bool analyze) {
+    if (trace_ != nullptr) {
+      EmitOperatorSpans(trace_.get(), exec_root, exec_start_us);
+    }
+    if (profile_) {
+      std::printf("%s", RenderProfile(exec_root).c_str());
+    }
+    if (analyze) {
+      // Re-annotate with the compile-time (unbound, interval) env: plan
+      // rewriting rebuilt the nodes above replaced choose-plan operators
+      // without estimates.
+      ParamEnv compile_env(Interval::Point(memory_pages_));
+      AnnotatePlan(*resolved, model(), compile_env, EstimationMode::kInterval);
+      obs::AnalyzeInput input;
+      input.dynamic_root = dynamic_root.get();
+      input.resolved_root = resolved.get();
+      input.startup = startup;
+      input.exec_root = &exec_root;
+      std::printf("%s", obs::RenderAnalyze(input, stats_format_).c_str());
+    }
+  }
+
   /// Executes the resolved plan in the current mode, printing the
   /// per-operator profile afterwards when enabled.  When a memory budget
   /// was set (`--memory-pages` or \mem), the query runs under an
   /// ExecContext built from the grant, so joins and sorts spill rather
-  /// than exceed it.
+  /// than exceed it.  `dynamic_root`/`startup` feed the EXPLAIN ANALYZE
+  /// report when `analyze` is set.
   Result<std::vector<Tuple>> Execute(const PhysNodePtr& plan,
-                                     const ParamEnv& env) {
+                                     const ParamEnv& env,
+                                     const PhysNodePtr& dynamic_root,
+                                     const StartupResult* startup,
+                                     bool analyze) {
     std::vector<Tuple> rows;
     ExecOptions options;
     options.threads = threads_;
     std::unique_ptr<ExecContext> ctx;
+    int64_t exec_start_us = trace_ == nullptr ? 0 : trace_->NowMicros();
     if (threads_ > 1 || exec_mode_ == ExecMode::kBatch) {
       // threads > 1 always executes on the batch engine: the exchange
       // operator is a BatchIterator.  Results are identical either way.
       options.mode = ExecMode::kBatch;
       if (enforce_memory_) {
         ctx = MakeExecContext(env, workload_->config(), options);
+      }
+      if (ctx != nullptr) {
+        ctx->set_trace(trace_.get());
       }
       Result<std::unique_ptr<BatchIterator>> iter =
           ctx != nullptr ? BuildParallelBatchExecutor(plan, workload_->db(),
@@ -260,9 +364,13 @@ class Shell {
         }
       }
       (*iter)->Close();
-      if (profile_) {
-        std::printf("%s", RenderProfile(**iter).c_str());
+      if (trace_ != nullptr) {
+        trace_->EndSpan("execute", "query", exec_start_us,
+                        {{"rows", std::to_string(rows.size())},
+                         {"mode", "batch"},
+                         {"threads", std::to_string(threads_)}});
       }
+      Report(**iter, dynamic_root, plan, startup, exec_start_us, analyze);
       if (ctx != nullptr) {
         PrintMemorySummary(*ctx);
       }
@@ -271,6 +379,9 @@ class Shell {
     options.mode = ExecMode::kTuple;
     if (enforce_memory_) {
       ctx = MakeExecContext(env, workload_->config(), options);
+    }
+    if (ctx != nullptr) {
+      ctx->set_trace(trace_.get());
     }
     Result<std::unique_ptr<Iterator>> iter =
         BuildExecutor(plan, workload_->db(), env, ctx.get());
@@ -283,17 +394,24 @@ class Shell {
       rows.push_back(std::move(tuple));
     }
     (*iter)->Close();
-    if (profile_) {
-      std::printf("%s", RenderProfile(**iter).c_str());
+    if (trace_ != nullptr) {
+      trace_->EndSpan("execute", "query", exec_start_us,
+                      {{"rows", std::to_string(rows.size())},
+                       {"mode", "tuple"}});
     }
+    Report(**iter, dynamic_root, plan, startup, exec_start_us, analyze);
     if (ctx != nullptr) {
       PrintMemorySummary(*ctx);
     }
     return rows;
   }
 
-  void Query(const std::string& sql, bool explain) {
+  void Query(const std::string& sql, bool explain, bool analyze = false) {
+    int64_t span_start = trace_ == nullptr ? 0 : trace_->NowMicros();
     Result<ParsedQuery> parsed = ParseQuery(sql, workload_->catalog());
+    if (trace_ != nullptr) {
+      trace_->EndSpan("parse", "query", span_start);
+    }
     if (!parsed.ok()) {
       std::printf("error: %s\n", parsed.status().ToString().c_str());
       return;
@@ -301,8 +419,15 @@ class Shell {
     // Compile with unbound parameters: the dynamic plan.
     ParamEnv compile_env(Interval::Point(memory_pages_));
     Optimizer dynamic_opt(&model(), OptimizerOptions::Dynamic());
+    span_start = trace_ == nullptr ? 0 : trace_->NowMicros();
     Result<OptimizedPlan> plan =
         dynamic_opt.Optimize(parsed->query, compile_env);
+    if (trace_ != nullptr && plan.ok()) {
+      trace_->EndSpan(
+          "optimize", "query", span_start,
+          {{"nodes", std::to_string(plan->root->CountNodes())},
+           {"choose_nodes", std::to_string(plan->root->CountChooseNodes())}});
+    }
     if (!plan.ok()) {
       std::printf("optimizer error: %s\n", plan.status().ToString().c_str());
       return;
@@ -333,8 +458,10 @@ class Shell {
       }
       bound.Bind(id, Value(it->second));
     }
+    StartupOptions startup_options;
+    startup_options.trace = trace_.get();
     Result<StartupResult> startup =
-        ResolveDynamicPlan(plan->root, model(), bound);
+        ResolveDynamicPlan(plan->root, model(), bound, startup_options);
     if (!startup.ok()) {
       std::printf("start-up error: %s\n",
                   startup.status().ToString().c_str());
@@ -348,7 +475,8 @@ class Shell {
                   startup->resolved->ToString().c_str());
       return;
     }
-    Result<std::vector<Tuple>> rows = Execute(startup->resolved, bound);
+    Result<std::vector<Tuple>> rows =
+        Execute(startup->resolved, bound, plan->root, &*startup, analyze);
     if (!rows.ok()) {
       std::printf("execution error: %s\n", rows.status().ToString().c_str());
       return;
@@ -376,6 +504,13 @@ class Shell {
   StatisticsCatalog stats_;
   std::unique_ptr<CostModel> stats_model_;
   bool use_stats_ = false;
+  /// Session trace, created iff --trace-out was given; written on exit.
+  std::unique_ptr<obs::TraceSession> trace_;
+  std::string trace_path_;
+  /// --stats: EXPLAIN ANALYZE after every query; \analyze SELECT does it
+  /// for one query in stats_format_.
+  bool stats_every_query_ = false;
+  obs::AnalyzeFormat stats_format_ = obs::AnalyzeFormat::kText;
 };
 
 }  // namespace
@@ -386,6 +521,9 @@ int main(int argc, char** argv) {
   int threads = 1;
   bool profile = false;
   double memory_pages = 0;
+  std::string trace_path;
+  bool stats_every_query = false;
+  dqep::obs::AnalyzeFormat stats_format = dqep::obs::AnalyzeFormat::kText;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -409,10 +547,38 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--profile") == 0) {
       profile = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_path = arg + 12;
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "--trace-out needs a file path\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--stats=", 8) == 0) {
+      stats_every_query = true;
+      if (std::strcmp(arg + 8, "text") == 0) {
+        stats_format = dqep::obs::AnalyzeFormat::kText;
+      } else if (std::strcmp(arg + 8, "json") == 0) {
+        stats_format = dqep::obs::AnalyzeFormat::kJson;
+      } else {
+        std::fprintf(stderr, "--stats must be text or json\n");
+        return 1;
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: dqep_cli [--exec-mode=tuple|batch] [--threads=N] "
-          "[--memory-pages=N] [--profile]\n");
+          "usage: dqep_cli [flags]\n"
+          "  --exec-mode=tuple|batch  execution granularity "
+          "(default tuple)\n"
+          "  --threads=N              intra-query worker threads "
+          "(default 1; N > 1 uses the batch engine)\n"
+          "  --memory-pages=N         enforced memory budget in pages "
+          "(joins/sorts spill rather than exceed it)\n"
+          "  --profile                per-operator counters after each "
+          "query\n"
+          "  --stats=text|json        EXPLAIN ANALYZE after each query: "
+          "cost interval vs. actual, rows, choose-plan regret\n"
+          "  --trace-out=FILE         write Chrome-trace JSON on exit "
+          "(chrome://tracing / Perfetto)\n"
+          "  --help                   this message\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
@@ -426,6 +592,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   dqep::Shell shell(std::move(*workload), exec_mode, threads, profile,
-                    memory_pages);
+                    memory_pages, std::move(trace_path), stats_every_query,
+                    stats_format);
   return shell.Run();
 }

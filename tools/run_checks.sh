@@ -1,0 +1,48 @@
+#!/bin/sh
+# Build-and-test gauntlet: plain tree (full suite), then the ThreadSanitizer
+# and AddressSanitizer trees over the labeled suites (parallel, spill, obs).
+# One command for the checks the verify skill lists individually:
+#
+#   tools/run_checks.sh            # all three trees
+#   tools/run_checks.sh plain      # just the plain tree + full ctest
+#   tools/run_checks.sh tsan asan  # just the sanitizer trees
+#
+# Exits non-zero on the first failing step.  Sanitizer trees live in
+# build-tsan/ and build-asan/, separate from build/ — DQEP_SANITIZE
+# poisons every target in a tree.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+steps="${*:-plain tsan asan}"
+labels='parallel|spill|obs'
+
+for step in $steps; do
+  case "$step" in
+    plain)
+      echo "== plain: full build + full ctest =="
+      cmake -B build -S . >/dev/null
+      cmake --build build -j
+      ctest --test-dir build --output-on-failure
+      ;;
+    tsan)
+      echo "== tsan: labeled suites ($labels) =="
+      cmake -B build-tsan -S . -DDQEP_SANITIZE=thread >/dev/null
+      cmake --build build-tsan -j --target \
+        exec_parallel_test exec_spill_test obs_test
+      ctest --test-dir build-tsan -L "$labels" --output-on-failure
+      ;;
+    asan)
+      echo "== asan: labeled suites ($labels) =="
+      cmake -B build-asan -S . -DDQEP_SANITIZE=address >/dev/null
+      cmake --build build-asan -j --target \
+        exec_parallel_test exec_spill_test obs_test
+      ctest --test-dir build-asan -L "$labels" --output-on-failure
+      ;;
+    *)
+      echo "unknown step: $step (want plain, tsan, asan)" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "run_checks: all steps passed"
