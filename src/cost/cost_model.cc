@@ -248,6 +248,145 @@ double CostModel::IndexJoinCost(double outer, double matches_per_outer) const {
   return outer * per_probe + cpu;
 }
 
+double CostTerms::component(int i) const {
+  switch (i) {
+    case 0:
+      return seq_pages;
+    case 1:
+      return random_pages;
+    case 2:
+      return tuple_ops;
+    case 3:
+      return compare_ops;
+    case 4:
+      return hash_ops;
+  }
+  DQEP_CHECK(false);
+  return 0.0;
+}
+
+void CostTerms::set_component(int i, double v) {
+  switch (i) {
+    case 0:
+      seq_pages = v;
+      return;
+    case 1:
+      random_pages = v;
+      return;
+    case 2:
+      tuple_ops = v;
+      return;
+    case 3:
+      compare_ops = v;
+      return;
+    case 4:
+      hash_ops = v;
+      return;
+  }
+  DQEP_CHECK(false);
+}
+
+const char* CostTerms::ComponentName(int i) {
+  switch (i) {
+    case 0:
+      return "seq_page_io";
+    case 1:
+      return "random_page_io";
+    case 2:
+      return "cpu_tuple";
+    case 3:
+      return "cpu_compare";
+    case 4:
+      return "cpu_hash";
+  }
+  return "?";
+}
+
+CostTerms CostModel::FileScanTerms(double tuples, double width) const {
+  CostTerms t;
+  t.seq_pages = PagesFor(tuples, width);
+  t.tuple_ops = tuples;
+  return t;
+}
+
+CostTerms CostModel::BTreeFullScanTerms(double tuples) const {
+  CostTerms t;
+  t.random_pages = config_.btree_descent_pages + tuples;
+  t.tuple_ops = tuples;
+  return t;
+}
+
+CostTerms CostModel::FilterBTreeScanTerms(double matching) const {
+  CostTerms t;
+  t.random_pages = config_.btree_descent_pages + matching;
+  t.tuple_ops = matching;
+  return t;
+}
+
+CostTerms CostModel::FilterTerms(double input) const {
+  CostTerms t;
+  t.compare_ops = input;
+  return t;
+}
+
+CostTerms CostModel::SortTerms(double tuples, double width,
+                               double memory_pages) const {
+  DQEP_CHECK_GE(memory_pages, 2.0);
+  CostTerms t;
+  t.compare_ops = tuples * std::log2(std::max(2.0, tuples));
+  double pages = PagesFor(tuples, width);
+  if (pages <= memory_pages) {
+    return t;
+  }
+  double runs = std::ceil(pages / memory_pages);
+  double fan_in = std::max(2.0, memory_pages - 1.0);
+  double merge_passes = std::ceil(std::log(runs) / std::log(fan_in));
+  double total_passes = 1.0 + std::max(0.0, merge_passes);
+  t.seq_pages = 2.0 * pages * total_passes;
+  return t;
+}
+
+CostTerms CostModel::MergeJoinTerms(double left, double right,
+                                    double output) const {
+  CostTerms t;
+  t.compare_ops = (left + right) * 2.0;
+  t.tuple_ops = output;
+  return t;
+}
+
+CostTerms CostModel::HashJoinTerms(double build, double build_width,
+                                   double probe, double probe_width,
+                                   double output, double memory_pages) const {
+  CostTerms t;
+  t.hash_ops = build + probe;
+  t.tuple_ops = output;
+  double build_pages = PagesFor(build, build_width);
+  if (build_pages <= memory_pages) {
+    return t;
+  }
+  double probe_pages = PagesFor(probe, probe_width);
+  t.seq_pages = 2.0 * (build_pages + probe_pages);
+  return t;
+}
+
+CostTerms CostModel::IndexJoinTerms(double outer,
+                                    double matches_per_outer) const {
+  CostTerms t;
+  t.random_pages =
+      outer * (config_.btree_descent_pages + matches_per_outer);
+  t.hash_ops = outer;
+  t.tuple_ops = outer * matches_per_outer;
+  return t;
+}
+
+double CostModel::TermsCost(const CostTerms& terms) const {
+  return terms.seq_pages * config_.SeqPageIoSeconds() +
+         terms.random_pages * config_.random_page_io_seconds +
+         terms.tuple_ops * config_.cpu_tuple_seconds +
+         terms.compare_ops * config_.cpu_compare_seconds +
+         terms.hash_ops * config_.cpu_hash_seconds;
+}
+
 double CostModel::StartupDecisionCost(int64_t num_nodes,
                                       int64_t num_decisions) const {
   return static_cast<double>(num_nodes) * config_.cost_eval_seconds +

@@ -24,6 +24,47 @@
 
 namespace dqep {
 
+/// Quantity decomposition of one cost formula: how many unit operations
+/// of each kind the formula charges for.  The scalar cost is the dot
+/// product of these quantities with the corresponding unit constants
+/// (CostModel::TermsCost), up to floating-point association.
+///
+/// The calibration pass (obs/calibrate.*) logs the quantities next to
+/// measured seconds and re-fits the unit constants by least squares; the
+/// scalar formulas above remain the single source of truth for planning
+/// (the *Terms methods mirror them, guarded by a differential test).
+struct CostTerms {
+  double seq_pages = 0.0;     ///< x SystemConfig::SeqPageIoSeconds()
+  double random_pages = 0.0;  ///< x random_page_io_seconds
+  double tuple_ops = 0.0;     ///< x cpu_tuple_seconds
+  double compare_ops = 0.0;   ///< x cpu_compare_seconds
+  double hash_ops = 0.0;      ///< x cpu_hash_seconds
+
+  /// Number of fitted unit kinds (the vector dimension of a fit).
+  static constexpr int kCount = 5;
+
+  /// Component by index, in the declaration order above.
+  double component(int i) const;
+  void set_component(int i, double v);
+
+  /// Unit-constant name for component `i` ("seq_page_io", ...).
+  static const char* ComponentName(int i);
+
+  CostTerms& operator+=(const CostTerms& other) {
+    seq_pages += other.seq_pages;
+    random_pages += other.random_pages;
+    tuple_ops += other.tuple_ops;
+    compare_ops += other.compare_ops;
+    hash_ops += other.hash_ops;
+    return *this;
+  }
+
+  bool IsZero() const {
+    return seq_pages == 0.0 && random_pages == 0.0 && tuple_ops == 0.0 &&
+           compare_ops == 0.0 && hash_ops == 0.0;
+  }
+};
+
 /// Selectivity estimation and per-algorithm cost functions.
 ///
 /// Stateless apart from configuration; safe to share across optimizations.
@@ -123,6 +164,25 @@ class CostModel {
   /// Start-up CPU model: cost-function evaluations over `num_nodes` plan
   /// nodes plus `num_decisions` choose-plan comparisons.
   double StartupDecisionCost(int64_t num_nodes, int64_t num_decisions) const;
+
+  // --- Quantity decompositions (for calibration) -----------------------------
+  // Each *Terms method returns the unit-operation counts of the matching
+  // scalar formula, so TermsCost(XTerms(args)) == XCost(args) up to
+  // floating-point association (asserted by cost_model_test).
+
+  CostTerms FileScanTerms(double tuples, double width) const;
+  CostTerms BTreeFullScanTerms(double tuples) const;
+  CostTerms FilterBTreeScanTerms(double matching) const;
+  CostTerms FilterTerms(double input) const;
+  CostTerms SortTerms(double tuples, double width, double memory_pages) const;
+  CostTerms MergeJoinTerms(double left, double right, double output) const;
+  CostTerms HashJoinTerms(double build, double build_width, double probe,
+                          double probe_width, double output,
+                          double memory_pages) const;
+  CostTerms IndexJoinTerms(double outer, double matches_per_outer) const;
+
+  /// Dot product of `terms` with the configured unit constants.
+  double TermsCost(const CostTerms& terms) const;
 
  private:
   const Catalog* catalog_;

@@ -96,6 +96,41 @@ struct SystemConfig {
   }
 };
 
+/// Multiplicative calibration of the unit constants, fitted from logged
+/// executions by the feedback pass (obs/calibrate.*) and loadable via
+/// dqep_cli --cost-profile.
+///
+/// A profile rescales only *time* constants — device and CPU unit times
+/// plus the start-up bookkeeping constants — never geometry (page size,
+/// widths) or policy (default selectivity, memory range), so cardinality
+/// estimates and plan shapes are untouched; only the cost scale changes.
+/// The start-up constants follow the fit's global scale so the relative
+/// weight of decision overhead against operator cost is preserved, which
+/// is part of the decision-preservation guarantee the calibration pass
+/// gives (see obs/calibrate.h).
+struct CostProfile {
+  // Multipliers relative to the SystemConfig the profile is applied to.
+  double seq_page_io = 1.0;     ///< scales SeqPageIoSeconds (1/bandwidth)
+  double random_page_io = 1.0;  ///< scales random_page_io_seconds
+  double cpu_tuple = 1.0;       ///< scales cpu_tuple_seconds
+  double cpu_compare = 1.0;     ///< scales cpu_compare_seconds
+  double cpu_hash = 1.0;        ///< scales cpu_hash_seconds
+  /// Applied to choose_plan_decision_seconds and cost_eval_seconds.
+  double startup = 1.0;
+
+  void ApplyTo(SystemConfig* config) const {
+    // Sequential I/O is derived (page_size / bandwidth), so the
+    // multiplier lands on the bandwidth.
+    config->disk_bandwidth_bytes_per_sec /= seq_page_io;
+    config->random_page_io_seconds *= random_page_io;
+    config->cpu_tuple_seconds *= cpu_tuple;
+    config->cpu_compare_seconds *= cpu_compare;
+    config->cpu_hash_seconds *= cpu_hash;
+    config->choose_plan_decision_seconds *= startup;
+    config->cost_eval_seconds *= startup;
+  }
+};
+
 }  // namespace dqep
 
 #endif  // DQEP_COST_SYSTEM_CONFIG_H_

@@ -13,7 +13,7 @@ void RenderNode(const ExecNode& node, int depth, std::ostringstream* os) {
   const OperatorCounters& c = node.counters();
   // wall_s spans the operator's whole lifecycle so pipeline breakers
   // (whose work happens in Open) report honestly.
-  double wall = c.wall_seconds + c.open_seconds + c.close_seconds;
+  double wall = c.InclusiveWallSeconds();
   char line[220];
   std::snprintf(line, sizeof(line),
                 "%-28s %10lld %10lld %10lld %10.6f %10.6f %8lld %10lld\n",

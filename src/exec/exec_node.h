@@ -52,6 +52,16 @@ struct OperatorCounters {
   /// Tuples written to temp heaps (repartitioned tuples count once per
   /// rewrite, matching the I/O performed).
   int64_t spill_tuples = 0;
+
+  /// Inclusive wall seconds across the whole operator lifecycle
+  /// (Open + Next + Close) — the "actual cost" every report compares
+  /// against estimates.
+  double InclusiveWallSeconds() const {
+    return open_seconds + wall_seconds + close_seconds;
+  }
+
+  /// Inclusive thread-CPU seconds over the same scope.
+  double InclusiveCpuSeconds() const { return cpu_seconds; }
 };
 
 /// Base class of Iterator and BatchIterator: the stable surface the

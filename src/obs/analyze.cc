@@ -7,37 +7,14 @@
 #include <limits>
 #include <vector>
 
+#include "obs/json_util.h"
+
 namespace dqep {
 namespace obs {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// One report line; either an operator of the resolved plan or a
-/// choose-plan decision the start-up phase made above it.
-struct Row {
-  enum class Kind { kOperator, kDecision } kind = Kind::kOperator;
-  int depth = 0;
-
-  // Operator rows.
-  const char* op = "";
-  Interval est_cost;
-  Interval est_rows;
-  double actual_seconds = 0.0;
-  int64_t actual_rows = 0;
-  bool have_actual = false;
-  bool cost_in_interval = false;
-
-  // Decision rows.
-  size_t alternatives = 0;
-  size_t chosen = 0;
-  const char* chosen_op = "";
-  double chosen_est = kInf;
-  double best_other_est = kInf;
-  double regret = 0.0;
-  bool have_regret = false;
-};
 
 /// Exec-side wrappers that have no plan-side counterpart: batch/tuple
 /// adaptors and the exchange operator (whose single child is the top of
@@ -61,7 +38,7 @@ class AnalyzeWalker {
  public:
   explicit AnalyzeWalker(const AnalyzeInput& input) : input_(input) {}
 
-  std::vector<Row> Run() {
+  std::vector<AnalyzeRow> Run() {
     const PhysNode* res = input_.resolved_root;
     if (res != nullptr) {
       Walk(input_.dynamic_root, res, SkipTransparent(input_.exec_root), 0);
@@ -81,19 +58,21 @@ class AnalyzeWalker {
       Walk(dyn->child(chosen).get(), res, exec, depth);
       return;
     }
-    Row row;
-    row.kind = Row::Kind::kOperator;
+    AnalyzeRow row;
+    row.kind = AnalyzeRow::Kind::kOperator;
     row.depth = depth;
+    row.plan_node = res;
     row.op = PhysOpKindName(res->kind());
     row.est_cost = res->est_cost();
     row.est_rows = res->est_cardinality();
     if (exec != nullptr) {
       row.have_actual = true;
       row.actual_seconds = ActualSeconds(*exec);
+      row.actual_cpu_seconds = ActualCpuSeconds(*exec);
       row.actual_rows = exec->counters().tuples;
       row.cost_in_interval = row.est_cost.Contains(row.actual_seconds);
     }
-    rows_.push_back(row);
+    rows_.push_back(std::move(row));
 
     std::vector<const ExecNode*> exec_children;
     if (exec != nullptr) {
@@ -127,16 +106,27 @@ class AnalyzeWalker {
   }
 
   void EmitDecision(const PhysNode* node, const ExecNode* exec, int depth) {
-    Row row;
-    row.kind = Row::Kind::kDecision;
+    AnalyzeRow row;
+    row.kind = AnalyzeRow::Kind::kDecision;
     row.depth = depth;
+    row.plan_node = node;
     row.alternatives = node->children().size();
     row.chosen = ChosenIndex(node);
     row.chosen_op = PhysOpKindName(node->child(row.chosen)->kind());
+    row.chosen_est = kInf;
+    row.best_other_est = kInf;
+    row.alternative_est.assign(row.alternatives, kInf);
+    row.alternative_ops.reserve(row.alternatives);
+    for (size_t i = 0; i < row.alternatives; ++i) {
+      row.alternative_ops.push_back(PhysOpKindName(node->child(i)->kind()));
+    }
     if (input_.startup != nullptr) {
       auto it = input_.startup->alternative_costs.find(node);
       if (it != input_.startup->alternative_costs.end()) {
         const std::vector<double>& costs = it->second;
+        for (size_t i = 0; i < costs.size() && i < row.alternatives; ++i) {
+          row.alternative_est[i] = costs[i];
+        }
         if (row.chosen < costs.size()) {
           row.chosen_est = costs[row.chosen];
         }
@@ -150,6 +140,7 @@ class AnalyzeWalker {
     if (exec != nullptr) {
       row.have_actual = true;
       row.actual_seconds = ActualSeconds(*exec);
+      row.actual_cpu_seconds = ActualCpuSeconds(*exec);
       if (row.best_other_est != kInf) {
         // Regret: what the chosen alternative actually cost, minus the
         // model's start-up price for the best road not taken.  Negative
@@ -158,11 +149,11 @@ class AnalyzeWalker {
         row.have_regret = true;
       }
     }
-    rows_.push_back(row);
+    rows_.push_back(std::move(row));
   }
 
   const AnalyzeInput& input_;
-  std::vector<Row> rows_;
+  std::vector<AnalyzeRow> rows_;
 };
 
 void AppendF(std::string* out, const char* fmt, ...)
@@ -194,15 +185,15 @@ std::string FormatInterval(const Interval& interval) {
   return std::string(buf);
 }
 
-std::string RenderText(const std::vector<Row>& rows,
+std::string RenderText(const std::vector<AnalyzeRow>& rows,
                        const AnalyzeInput& input) {
   std::string out;
   AppendF(&out, "%-34s %-24s %10s %4s %-22s %10s\n", "operator",
           "est_cost[lo,hi]", "act_cost", "in", "est_rows[lo,hi]",
           "act_rows");
-  for (const Row& row : rows) {
+  for (const AnalyzeRow& row : rows) {
     std::string indent(static_cast<size_t>(row.depth) * 2, ' ');
-    if (row.kind == Row::Kind::kDecision) {
+    if (row.kind == AnalyzeRow::Kind::kDecision) {
       std::string line = indent + "choose-plan: ";
       AppendF(&line, "%zu alternatives, chose #%zu (%s)", row.alternatives,
               row.chosen, row.chosen_op);
@@ -249,20 +240,12 @@ std::string RenderText(const std::vector<Row>& rows,
   return out;
 }
 
-void AppendJsonNumber(std::string* out, double v) {
-  if (std::isinf(v) || std::isnan(v)) {
-    *out += "null";
-    return;
-  }
-  AppendF(out, "%.6g", v);
-}
-
-std::string RenderJson(const std::vector<Row>& rows,
+std::string RenderJson(const std::vector<AnalyzeRow>& rows,
                        const AnalyzeInput& input) {
   std::string out = "{\n  \"operators\": [";
   bool first = true;
-  for (const Row& row : rows) {
-    if (row.kind != Row::Kind::kOperator) {
+  for (const AnalyzeRow& row : rows) {
+    if (row.kind != AnalyzeRow::Kind::kOperator) {
       continue;
     }
     out += first ? "\n" : ",\n";
@@ -279,6 +262,8 @@ std::string RenderJson(const std::vector<Row>& rows,
     if (row.have_actual) {
       out += ", \"actual_cost\": ";
       AppendJsonNumber(&out, row.actual_seconds);
+      out += ", \"actual_cpu\": ";
+      AppendJsonNumber(&out, row.actual_cpu_seconds);
       AppendF(&out, ", \"actual_rows\": %lld",
               static_cast<long long>(row.actual_rows));
       AppendF(&out, ", \"cost_in_interval\": %s",
@@ -288,8 +273,8 @@ std::string RenderJson(const std::vector<Row>& rows,
   }
   out += "\n  ],\n  \"decisions\": [";
   first = true;
-  for (const Row& row : rows) {
-    if (row.kind != Row::Kind::kDecision) {
+  for (const AnalyzeRow& row : rows) {
+    if (row.kind != AnalyzeRow::Kind::kDecision) {
       continue;
     }
     out += first ? "\n" : ",\n";
@@ -317,11 +302,13 @@ std::string RenderJson(const std::vector<Row>& rows,
     const StartupResult& s = *input.startup;
     AppendF(&out,
             ",\n  \"startup\": {\"decisions\": %lld, "
-            "\"cost_evaluations\": %lld, \"resolve_cpu_seconds\": %.6g, "
-            "\"predicted_execution_cost\": %.6g}",
+            "\"cost_evaluations\": %lld, \"resolve_cpu_seconds\": ",
             static_cast<long long>(s.decisions),
-            static_cast<long long>(s.cost_evaluations),
-            s.measured_cpu_seconds, s.execution_cost);
+            static_cast<long long>(s.cost_evaluations));
+    AppendJsonNumber(&out, s.measured_cpu_seconds);
+    out += ", \"predicted_execution_cost\": ";
+    AppendJsonNumber(&out, s.execution_cost);
+    out += "}";
   }
   out += "\n}\n";
   return out;
@@ -330,13 +317,20 @@ std::string RenderJson(const std::vector<Row>& rows,
 }  // namespace
 
 double ActualSeconds(const ExecNode& node) {
-  const OperatorCounters& c = node.counters();
-  return c.open_seconds + c.wall_seconds + c.close_seconds;
+  return node.counters().InclusiveWallSeconds();
+}
+
+double ActualCpuSeconds(const ExecNode& node) {
+  return node.counters().InclusiveCpuSeconds();
+}
+
+std::vector<AnalyzeRow> CollectAnalyzeRows(const AnalyzeInput& input) {
+  AnalyzeWalker walker(input);
+  return walker.Run();
 }
 
 std::string RenderAnalyze(const AnalyzeInput& input, AnalyzeFormat format) {
-  AnalyzeWalker walker(input);
-  std::vector<Row> rows = walker.Run();
+  std::vector<AnalyzeRow> rows = CollectAnalyzeRows(input);
   return format == AnalyzeFormat::kJson ? RenderJson(rows, input)
                                         : RenderText(rows, input);
 }

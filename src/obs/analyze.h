@@ -30,6 +30,7 @@
 #define DQEP_OBS_ANALYZE_H_
 
 #include <string>
+#include <vector>
 
 #include "exec/exec_node.h"
 #include "physical/plan.h"
@@ -62,6 +63,53 @@ struct AnalyzeInput {
   const ExecNode* exec_root = nullptr;
 };
 
+/// One joined report line: either an operator of the resolved plan or a
+/// choose-plan decision the start-up phase made above it.  Rows come out
+/// of the triple-walk in pre-order; a decision row shares its depth with
+/// the operator row that follows (the resolved plan spliced the chosen
+/// alternative in place of the choose node).
+///
+/// This is the shared currency of the observability layer: RenderAnalyze
+/// formats it, the query log (obs/querylog.*) persists it.
+struct AnalyzeRow {
+  enum class Kind { kOperator, kDecision };
+  Kind kind = Kind::kOperator;
+  int depth = 0;
+
+  /// Operator rows: the resolved-plan node.  Decision rows: the dynamic
+  /// plan's choose-plan node.  Never null.
+  const PhysNode* plan_node = nullptr;
+
+  // --- Operator rows ----------------------------------------------------
+  const char* op = "";
+  Interval est_cost;  ///< compile-time inclusive cost interval
+  Interval est_rows;
+  double actual_seconds = 0.0;      ///< inclusive wall (Open+Next+Close)
+  double actual_cpu_seconds = 0.0;  ///< inclusive thread CPU, same scope
+  int64_t actual_rows = 0;
+  bool have_actual = false;
+  bool cost_in_interval = false;
+
+  // --- Decision rows ----------------------------------------------------
+  size_t alternatives = 0;
+  size_t chosen = 0;
+  const char* chosen_op = "";
+  /// Resolved start-up point cost of the chosen / best-other
+  /// alternative; +infinity when unavailable (e.g. abandoned by
+  /// branch-and-bound).
+  double chosen_est = 0.0;
+  double best_other_est = 0.0;
+  double regret = 0.0;
+  bool have_regret = false;
+  /// Every alternative's resolved point cost and operator name, indexed
+  /// like the choose node's children (cost +infinity when abandoned).
+  std::vector<double> alternative_est;
+  std::vector<const char*> alternative_ops;
+};
+
+/// Runs the triple-walk and returns the joined rows in pre-order.
+std::vector<AnalyzeRow> CollectAnalyzeRows(const AnalyzeInput& input);
+
 /// Renders the analyze report.  Text: one aligned row per operator plus
 /// one "choose-plan" line per decision.  JSON: {"operators": [...],
 /// "decisions": [...]} with one object per row (depth-encoded tree).
@@ -70,6 +118,9 @@ std::string RenderAnalyze(const AnalyzeInput& input, AnalyzeFormat format);
 /// Inclusive measured seconds of `node`: Open + Next + Close wall time
 /// (children included).  The "actual cost" column.
 double ActualSeconds(const ExecNode& node);
+
+/// Inclusive thread-CPU seconds of `node` across Open/Next/Close.
+double ActualCpuSeconds(const ExecNode& node);
 
 }  // namespace obs
 }  // namespace dqep

@@ -1,0 +1,77 @@
+// Minimal JSON utilities shared by the observability tools.
+//
+// Two halves:
+//   * a self-contained recursive-descent parser (objects, arrays,
+//     strings, numbers, booleans, null) used to read query-log lines
+//     (obs/querylog.*) and calibration profiles (obs/calibrate.*)
+//     without an external dependency, and
+//   * non-finite-safe number formatting for every JSON *writer* in the
+//     tree: IEEE infinities and NaNs have no JSON representation, so a
+//     raw "%g" of an unmeasured rate or a branch-and-bound-abandoned
+//     cost silently corrupts the document.  AppendJsonNumber emits
+//     `null` for them instead, which every consumer treats as "absent".
+//
+// The parser favors simplicity over speed (it copies strings, it is not
+// SAX); log files are read once per calibration pass, never on a query
+// path.  It accepts exactly the JSON our writers produce plus ordinary
+// whitespace; it does not implement \uXXXX surrogate pairs (escapes
+// decode to '?') because none of our writers emit non-ASCII.
+
+#ifndef DQEP_OBS_JSON_UTIL_H_
+#define DQEP_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dqep {
+namespace obs {
+
+/// One parsed JSON value.  A tagged union kept deliberately dumb:
+/// objects are member vectors (source order preserved), arrays are item
+/// vectors.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+  std::vector<JsonValue> items;                            ///< kArray
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// The member's number, or `fallback` when absent / not numeric.
+  double NumberOr(const std::string& key, double fallback) const;
+  int64_t IntOr(const std::string& key, int64_t fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed).
+/// Returns false on malformed input; `error` (optional) receives a
+/// one-line description with the byte offset.
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+/// Appends `v` as a JSON number, or `null` when `v` is NaN or infinite.
+/// "%.9g" keeps seconds-scale doubles round-trippable enough for
+/// calibration without bloating log lines.
+void AppendJsonNumber(std::string* out, double v);
+
+/// AppendJsonNumber into a fresh string.
+std::string JsonNumber(double v);
+
+}  // namespace obs
+}  // namespace dqep
+
+#endif  // DQEP_OBS_JSON_UTIL_H_

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 namespace dqep {
@@ -29,6 +30,33 @@ int32_t HistogramCell::BucketOf(int64_t value) {
   int32_t b = 64 - static_cast<int32_t>(
                        __builtin_clzll(static_cast<uint64_t>(value)));
   return b < kBuckets ? b : kBuckets - 1;
+}
+
+void HistogramCell::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+int64_t MetricValue::Percentile(double p) const {
+  if (count <= 0) {
+    return 0;
+  }
+  double target = p * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (const auto& [b, c] : buckets) {
+    cumulative += c;
+    if (static_cast<double>(cumulative) >= target) {
+      if (b <= 0) {
+        return 0;
+      }
+      return b >= 63 ? std::numeric_limits<int64_t>::max()
+                     : (int64_t{1} << b);
+    }
+  }
+  return 0;
 }
 
 void HistogramCell::Record(int64_t value) {
@@ -274,9 +302,11 @@ std::string MetricsRegistry::RenderText() const {
                               static_cast<double>(value.count);
       std::snprintf(line, sizeof(line),
                     "%-*s  histogram  count=%" PRId64 " sum=%" PRId64
-                    " mean=%.1f\n",
+                    " mean=%.1f p50=%" PRId64 " p95=%" PRId64
+                    " p99=%" PRId64 "\n",
                     static_cast<int>(width), name.c_str(), value.count,
-                    value.sum, mean);
+                    value.sum, mean, value.Percentile(0.50),
+                    value.Percentile(0.95), value.Percentile(0.99));
     } else {
       std::snprintf(line, sizeof(line), "%-*s  %-9s  %" PRId64 "\n",
                     static_cast<int>(width), name.c_str(),
@@ -303,8 +333,10 @@ std::string MetricsRegistry::RenderJson() const {
     if (value.kind == MetricKind::kHistogram) {
       std::snprintf(buf, sizeof(buf),
                     ", \"count\": %" PRId64 ", \"sum\": %" PRId64
-                    ", \"buckets\": {",
-                    value.count, value.sum);
+                    ", \"p50\": %" PRId64 ", \"p95\": %" PRId64
+                    ", \"p99\": %" PRId64 ", \"buckets\": {",
+                    value.count, value.sum, value.Percentile(0.50),
+                    value.Percentile(0.95), value.Percentile(0.99));
       out += buf;
       bool first_bucket = true;
       for (const auto& [b, c] : value.buckets) {
@@ -324,6 +356,25 @@ std::string MetricsRegistry::RenderJson() const {
   }
   out += first ? "}" : "\n}";
   return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& mp : metrics_) {
+    Metric& m = *mp;
+    if (m.kind != MetricKind::kGauge) {
+      for (auto& c : m.cells) {
+        c->Reset();
+      }
+      m.retired = 0;
+    }
+    for (auto& c : m.histogram_cells) {
+      c->Reset();
+    }
+    m.retired_count = 0;
+    m.retired_sum = 0;
+    m.retired_buckets.fill(0);
+  }
 }
 
 void MetricsRegistry::ResetForTest() {

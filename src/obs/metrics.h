@@ -100,6 +100,9 @@ class HistogramCell {
   /// Bucket index for `value` (exposed for tests).
   static int32_t BucketOf(int64_t value);
 
+  /// Zeroes count, sum, and every bucket (for MetricsRegistry::ResetAll).
+  void Reset();
+
  private:
   friend class MetricsRegistry;
   std::atomic<int64_t> count_{0};
@@ -191,6 +194,13 @@ struct MetricValue {
   int64_t sum = 0;        ///< histogram: sum of recorded values
   /// Histogram: (bucket index, count) for every non-empty bucket.
   std::vector<std::pair<int32_t, int64_t>> buckets;
+
+  /// Histogram quantile estimate from the log2 buckets: the upper bound
+  /// 2^b of the first bucket whose cumulative count reaches `p` (in
+  /// [0, 1]) of the total — a conservative (over-) estimate with at most
+  /// one power of two of slack.  Bucket 0 (values <= 0) reports 0.
+  /// Returns 0 for an empty histogram.
+  int64_t Percentile(double p) const;
 };
 
 /// The singleton registry.  See the header comment for the model.
@@ -225,6 +235,13 @@ class MetricsRegistry {
 
   /// Rendered snapshot as a JSON object {"name": {...}, ...}.
   std::string RenderJson() const;
+
+  /// Zeroes every counter, max-gauge, and histogram — live cells and
+  /// retired totals alike — so the next snapshot counts from now
+  /// (`\metrics reset` in the shell).  Plain gauges are left alone: they
+  /// mirror current state (e.g. memory in use), which resetting would
+  /// falsify.  Metrics and handles all stay registered.
+  void ResetAll();
 
   /// Drops every metric and cell.  Outstanding handles stay valid (their
   /// cells are kept alive, just detached); only tests should call this.

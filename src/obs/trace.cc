@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 namespace dqep {
@@ -162,7 +163,8 @@ std::string TraceSession::ToChromeJson() const {
         }
         first_arg = false;
         out += "\"" + JsonEscape(key) + "\": ";
-        if (LooksLikeJsonNumber(value)) {
+        if (LooksLikeJsonNumber(value) || value == "null" ||
+            value == "true" || value == "false") {
           out += value;
         } else {
           out += "\"" + JsonEscape(value) + "\"";
@@ -189,6 +191,12 @@ bool TraceSession::WriteChromeJson(const std::string& path) const {
 }
 
 void SpanScope::AddArg(const std::string& key, double value) {
+  // "inf"/"nan" are not JSON; they would serialize as quoted strings and
+  // break numeric consumers.  Encode non-finite values as null instead.
+  if (!std::isfinite(value)) {
+    AddArg(key, std::string("null"));
+    return;
+  }
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   AddArg(key, std::string(buf));

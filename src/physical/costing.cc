@@ -186,4 +186,83 @@ void AnnotatePlan(const PhysNode& root, const CostModel& model,
   }
 }
 
+CostTerms NodeSelfTerms(const PhysNode& node,
+                        const std::vector<const NodeEstimate*>& children,
+                        const CostModel& model, const ParamEnv& env) {
+  constexpr EstimationMode kMode = EstimationMode::kExpectedValue;
+  double memory = model.MemoryPages(env, kMode).lo();
+  switch (node.kind()) {
+    case PhysOpKind::kFileScan:
+      return model.FileScanTerms(node.base_cardinality(), node.width());
+    case PhysOpKind::kBTreeScan:
+      return model.BTreeFullScanTerms(node.base_cardinality());
+    case PhysOpKind::kFilterBTreeScan: {
+      Interval sel =
+          PredicatesSelectivity(node.predicates(), model, env, kMode);
+      return model.FilterBTreeScanTerms(sel.lo() * node.base_cardinality());
+    }
+    case PhysOpKind::kFilter: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      return model.FilterTerms(children[0]->cardinality.lo());
+    }
+    case PhysOpKind::kHashJoin: {
+      DQEP_CHECK_EQ(children.size(), 2u);
+      double build = children[0]->cardinality.lo();
+      double probe = children[1]->cardinality.lo();
+      double output = build * probe * model.JoinSelectivity(node.joins());
+      return model.HashJoinTerms(build, node.child(0)->width(), probe,
+                                 node.child(1)->width(), output, memory);
+    }
+    case PhysOpKind::kMergeJoin: {
+      DQEP_CHECK_EQ(children.size(), 2u);
+      double left = children[0]->cardinality.lo();
+      double right = children[1]->cardinality.lo();
+      double output = left * right * model.JoinSelectivity(node.joins());
+      return model.MergeJoinTerms(left, right, output);
+    }
+    case PhysOpKind::kIndexJoin: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      double outer = children[0]->cardinality.lo();
+      DQEP_CHECK_EQ(node.joins().size(), 1u);
+      double matches = node.base_cardinality() *
+                       model.JoinPredicateSelectivity(node.joins().front());
+      CostTerms t = model.IndexJoinTerms(outer, matches);
+      t += model.FilterTerms(outer * matches);
+      return t;
+    }
+    case PhysOpKind::kSort: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      return model.SortTerms(children[0]->cardinality.lo(), node.width(),
+                             memory);
+    }
+    case PhysOpKind::kProject: {
+      DQEP_CHECK_EQ(children.size(), 1u);
+      CostTerms t;
+      t.tuple_ops = children[0]->cardinality.lo();
+      return t;
+    }
+    case PhysOpKind::kChoosePlan:
+      // The decision constant is not one of the fitted units.
+      return CostTerms{};
+  }
+  DQEP_CHECK(false);
+  return CostTerms{};
+}
+
+PlanTermsMap ComputePlanTerms(const PhysNode& root, const CostModel& model,
+                              const ParamEnv& env) {
+  PlanEstimateMap estimates =
+      EstimatePlan(root, model, env, EstimationMode::kExpectedValue);
+  PlanTermsMap terms;
+  for (const PhysNode* node : root.TopologicalOrder()) {
+    std::vector<const NodeEstimate*> children;
+    children.reserve(node->children().size());
+    for (const PhysNodePtr& child : node->children()) {
+      children.push_back(&estimates.at(child.get()));
+    }
+    terms.emplace(node, NodeSelfTerms(*node, children, model, env));
+  }
+  return terms;
+}
+
 }  // namespace dqep

@@ -51,6 +51,26 @@ NodeEstimate EstimateRoot(const PhysNode& root, const CostModel& model,
 void AnnotatePlan(const PhysNode& root, const CostModel& model,
                   const ParamEnv& env, EstimationMode mode);
 
+/// Exclusive (self-only) unit-operation counts per node, keyed by node
+/// identity.  Summing TermsCost over the map reproduces the root's
+/// inclusive point cost minus any choose-plan decision constants.
+using PlanTermsMap = std::unordered_map<const PhysNode*, CostTerms>;
+
+/// The quantity decomposition of one node's *own* cost contribution
+/// under `env` in expected-value (point) mode — the `self` component of
+/// EstimateNode expressed as unit-operation counts (CostTerms).
+/// Choose-plan nodes contribute no quantities: their decision constant
+/// is not a fitted unit.  Used by the query log so the calibration pass
+/// can re-fit unit constants from (quantities, measured seconds) pairs.
+CostTerms NodeSelfTerms(const PhysNode& node,
+                        const std::vector<const NodeEstimate*>& children,
+                        const CostModel& model, const ParamEnv& env);
+
+/// NodeSelfTerms over the whole DAG (point mode; `env` should be the
+/// fully bound start-up environment).
+PlanTermsMap ComputePlanTerms(const PhysNode& root, const CostModel& model,
+                              const ParamEnv& env);
+
 }  // namespace dqep
 
 #endif  // DQEP_PHYSICAL_COSTING_H_

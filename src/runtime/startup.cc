@@ -1,6 +1,7 @@
 #include "runtime/startup.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <set>
@@ -162,14 +163,21 @@ class StartupEvaluator {
       std::string prefix = "alt" + std::to_string(i);
       args.emplace_back(prefix + "_op",
                         PhysOpKindName(node->child(i)->kind()));
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.6g", alt_costs[i]);
-      args.emplace_back(prefix + "_resolved_cost", std::string(buf));
+      // Alternatives abandoned by branch-and-bound carry an infinite
+      // cost, which "%.6g" would render as "inf" — not JSON.  Encode
+      // non-finite values as null.
+      auto format_cost = [](double v) {
+        if (!std::isfinite(v)) {
+          return std::string("null");
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+      };
+      args.emplace_back(prefix + "_resolved_cost", format_cost(alt_costs[i]));
       const Interval& interval = node->child(i)->est_cost();
-      std::snprintf(buf, sizeof(buf), "%.6g", interval.lo());
-      args.emplace_back(prefix + "_cost_lo", std::string(buf));
-      std::snprintf(buf, sizeof(buf), "%.6g", interval.hi());
-      args.emplace_back(prefix + "_cost_hi", std::string(buf));
+      args.emplace_back(prefix + "_cost_lo", format_cost(interval.lo()));
+      args.emplace_back(prefix + "_cost_hi", format_cost(interval.hi()));
     }
     trace_->AddSpan("choose-plan decision", "resolve", span_start,
                     trace_->NowMicros() - span_start, /*track=*/0,

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.h"
 #include "workload/paper_workload.h"
 
@@ -240,6 +243,57 @@ TEST_F(CostModelTest, MonotonicityProperty) {
     EXPECT_GE(model().HashJoinCost(t1, 512, t1, 512, t1, mem1),
               model().HashJoinCost(t1, 512, t1, 512, t1, mem2));
     EXPECT_LE(model().IndexJoinCost(t1, 2.0), model().IndexJoinCost(t2, 2.0));
+  }
+}
+
+// Differential guard for the calibration feedback loop: every *Terms
+// quantity decomposition must price identically to its scalar cost
+// formula (TermsCost is the dot product with the unit constants), across
+// in-memory and spill regimes alike.  If a formula and its decomposition
+// drift apart, calibration would fit against quantities the planner never
+// charges.
+TEST_F(CostModelTest, TermsDecompositionsMatchScalarFormulas) {
+  Rng rng(71);
+  auto expect_match = [](double scalar, double from_terms, const char* what) {
+    EXPECT_NEAR(from_terms, scalar,
+                1e-9 * std::max(1.0, std::fabs(scalar)))
+        << what;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    double tuples = rng.NextDouble(1, 20000);
+    double width = rng.NextDouble(16, 512);
+    // Grants from 4 pages up: small grants force the sort and hash-join
+    // formulas into their external/spilling regimes.
+    double memory = rng.NextDouble(4, 128);
+    double matching = rng.NextDouble(0, tuples);
+    double probe = rng.NextDouble(1, 20000);
+    double output = rng.NextDouble(0, probe);
+    expect_match(model().FileScanCost(tuples, width),
+                 model().TermsCost(model().FileScanTerms(tuples, width)),
+                 "FileScan");
+    expect_match(model().BTreeFullScanCost(tuples),
+                 model().TermsCost(model().BTreeFullScanTerms(tuples)),
+                 "BTreeFullScan");
+    expect_match(model().FilterBTreeScanCost(matching),
+                 model().TermsCost(model().FilterBTreeScanTerms(matching)),
+                 "FilterBTreeScan");
+    expect_match(model().FilterCost(tuples),
+                 model().TermsCost(model().FilterTerms(tuples)), "Filter");
+    expect_match(model().SortCost(tuples, width, memory),
+                 model().TermsCost(model().SortTerms(tuples, width, memory)),
+                 "Sort");
+    expect_match(model().MergeJoinCost(tuples, probe, output),
+                 model().TermsCost(
+                     model().MergeJoinTerms(tuples, probe, output)),
+                 "MergeJoin");
+    expect_match(
+        model().HashJoinCost(tuples, width, probe, width, output, memory),
+        model().TermsCost(model().HashJoinTerms(tuples, width, probe, width,
+                                                output, memory)),
+        "HashJoin");
+    expect_match(model().IndexJoinCost(tuples, 2.5),
+                 model().TermsCost(model().IndexJoinTerms(tuples, 2.5)),
+                 "IndexJoin");
   }
 }
 

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -297,6 +298,75 @@ TEST(MetricsRegistryTest, HistogramBuckets) {
   obs::MetricValue v = registry.Snapshot().at("test.hist_us");
   EXPECT_EQ(v.count, 3);
   EXPECT_EQ(v.sum, 1004);
+}
+
+TEST(MetricsRegistryTest, PercentilesFromLog2Buckets) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::HistogramHandle h = registry.NewHistogram("test.pct_us");
+  h.Record(1);     // bucket 1, upper bound 2
+  h.Record(3);     // bucket 2, upper bound 4
+  h.Record(1000);  // bucket 10, upper bound 1024
+  obs::MetricValue v = registry.Snapshot().at("test.pct_us");
+  // Percentiles are conservative upper bounds of the covering bucket.
+  EXPECT_EQ(v.Percentile(0.50), 4);
+  EXPECT_EQ(v.Percentile(0.95), 1024);
+  EXPECT_EQ(v.Percentile(0.99), 1024);
+
+  // Zero-or-negative values land in bucket 0, whose upper bound is 0.
+  obs::HistogramHandle zeros = registry.NewHistogram("test.pct_zero");
+  zeros.Record(0);
+  zeros.Record(-5);
+  EXPECT_EQ(registry.Snapshot().at("test.pct_zero").Percentile(0.99), 0);
+
+  // The top bucket saturates to INT64_MAX instead of overflowing 1<<63.
+  obs::HistogramHandle top = registry.NewHistogram("test.pct_top");
+  top.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(registry.Snapshot().at("test.pct_top").Percentile(0.5),
+            std::numeric_limits<int64_t>::max());
+
+  // Empty histogram: all percentiles are 0.
+  obs::MetricValue empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0);
+
+  // Both render paths surface the percentile columns.
+  EXPECT_NE(registry.RenderText().find("p50="), std::string::npos);
+  EXPECT_NE(registry.RenderJson().find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesCountersAndKeepsGauges) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::CellHandle counter = registry.NewCounter("test.reset.counter");
+  counter.Add(5);
+  {
+    obs::CellHandle retired = registry.NewCounter("test.reset.counter");
+    retired.Add(7);  // folds into the retired total on scope exit
+  }
+  obs::CellHandle gauge = registry.NewGauge("test.reset.gauge");
+  gauge.Add(11);
+  obs::CellHandle peak = registry.NewGaugeMax("test.reset.peak");
+  peak.RecordMax(99);
+  obs::HistogramHandle hist = registry.NewHistogram("test.reset.hist");
+  hist.Record(17);
+  hist.Record(4);
+
+  registry.ResetAll();
+  auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("test.reset.counter").value, 0);
+  // Live gauges mirror current state (open files, pool residency) and
+  // must survive a reset.
+  EXPECT_EQ(snap.at("test.reset.gauge").value, 11);
+  EXPECT_EQ(snap.at("test.reset.peak").value, 0);
+  EXPECT_EQ(snap.at("test.reset.hist").count, 0);
+  EXPECT_EQ(snap.at("test.reset.hist").sum, 0);
+
+  // Counting resumes cleanly after the reset.
+  counter.Add(3);
+  hist.Record(8);
+  snap = registry.Snapshot();
+  EXPECT_EQ(snap.at("test.reset.counter").value, 3);
+  EXPECT_EQ(snap.at("test.reset.hist").count, 1);
 }
 
 TEST(MetricsRegistryTest, ConcurrentUpdatesFromEightThreads) {
@@ -593,6 +663,163 @@ TEST_F(ObsQueryTest, ChoosePlanRegretUnderForcedBadBinding) {
     // (bad) resolve bindings.
     EXPECT_LE(decision.At("chosen_est").number, best_other);
   }
+}
+
+// Non-finite span args (infinite cost bounds, NaN ratios) must serialize
+// as JSON null, never as bare "inf"/"nan" tokens that break the parser.
+TEST(TraceSessionTest, NonFiniteArgsSerializeAsNull) {
+  obs::TraceSession trace;
+  {
+    obs::SpanScope span(&trace, "edge-args", "test");
+    span.AddArg("finite", 0.5);
+    span.AddArg("pos_inf", std::numeric_limits<double>::infinity());
+    span.AddArg("neg_inf", -std::numeric_limits<double>::infinity());
+    span.AddArg("nan", std::numeric_limits<double>::quiet_NaN());
+  }
+  std::string json = trace.ToChromeJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& events = root.At("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  bool found = false;
+  for (const JsonValue& event : events.array) {
+    if (event.At("name").str != "edge-args") {
+      continue;
+    }
+    found = true;
+    const JsonValue& args = event.At("args");
+    EXPECT_EQ(args.At("finite").type, JsonValue::Type::kNumber);
+    EXPECT_EQ(args.At("pos_inf").type, JsonValue::Type::kNull);
+    EXPECT_EQ(args.At("neg_inf").type, JsonValue::Type::kNull);
+    EXPECT_EQ(args.At("nan").type, JsonValue::Type::kNull);
+  }
+  EXPECT_TRUE(found);
+}
+
+// The full Q5 lifecycle at --threads 4: resolution decision spans plus
+// exchange worker spans from four concurrent tracks must still serialize
+// to well-formed Chrome JSON (this is the TSan-exercised path).
+TEST_F(ObsQueryTest, TraceJsonWellFormedAtFourThreads) {
+  obs::TraceSession trace;
+  Query query = workload_->ChainQuery(10);
+  ParamEnv compile_env = workload_->CompileTimeEnv(false);
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+  Result<OptimizedPlan> plan = optimizer.Optimize(query, compile_env);
+  ASSERT_TRUE(plan.ok());
+
+  ParamEnv bound = BindAll(query, 0.05);
+  StartupOptions startup_options;
+  startup_options.trace = &trace;
+  Result<StartupResult> startup = ResolveDynamicPlan(
+      plan->root, workload_->model(), bound, startup_options);
+  ASSERT_TRUE(startup.ok());
+  ASSERT_GT(startup->decisions, 0);
+
+  ExecOptions exec_options;
+  exec_options.threads = 4;
+  std::unique_ptr<ExecContext> ctx =
+      MakeExecContext(bound, workload_->model().config(), exec_options);
+  ctx->set_trace(&trace);
+  int64_t start = trace.NowMicros();
+  Result<std::vector<Tuple>> rows =
+      ExecutePlan(startup->resolved, workload_->db(), bound, *ctx);
+  ASSERT_TRUE(rows.ok());
+  trace.EndSpan("execute", "query", start,
+                {{"rows", std::to_string(rows->size())}});
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(trace.ToChromeJson()).Parse(&root));
+  const JsonValue& events = root.At("traceEvents");
+  ASSERT_EQ(events.type, JsonValue::Type::kArray);
+  int64_t decision_spans = 0;
+  for (const JsonValue& event : events.array) {
+    ASSERT_TRUE(event.Has("name"));
+    ASSERT_TRUE(event.Has("ph"));
+    if (event.At("name").str == "choose-plan decision") {
+      ++decision_spans;
+    }
+  }
+  EXPECT_EQ(decision_spans, startup->decisions);
+}
+
+// EXPLAIN ANALYZE parity: the serial tuple engine and the 4-thread
+// exchange engine must report the same operator skeleton and the same
+// root row count for the same resolved plan (exchange/adaptor wrappers
+// are transparent to the analyze walk).
+TEST_F(ObsQueryTest, ExplainAnalyzeParitySerialVsFourThreads) {
+  Query query = workload_->ChainQuery(4);
+  ParamEnv compile_env = workload_->CompileTimeEnv(false);
+  Optimizer optimizer(&workload_->model(), OptimizerOptions::Dynamic());
+  Result<OptimizedPlan> plan = optimizer.Optimize(query, compile_env);
+  ASSERT_TRUE(plan.ok());
+  ParamEnv bound = BindAll(query, 0.3);
+  Result<StartupResult> startup =
+      ResolveDynamicPlan(plan->root, workload_->model(), bound);
+  ASSERT_TRUE(startup.ok());
+  AnnotatePlan(*startup->resolved, workload_->model(), compile_env,
+               EstimationMode::kInterval);
+
+  auto analyze_json = [&](const ExecNode* exec_root, JsonValue* out) {
+    obs::AnalyzeInput input;
+    input.dynamic_root = plan->root.get();
+    input.resolved_root = startup->resolved.get();
+    input.startup = &*startup;
+    input.exec_root = exec_root;
+    std::string json = obs::RenderAnalyze(input, obs::AnalyzeFormat::kJson);
+    return JsonParser(json).Parse(out);
+  };
+
+  // Serial tuple engine.
+  Result<std::unique_ptr<Iterator>> serial =
+      BuildExecutor(startup->resolved, workload_->db(), bound);
+  ASSERT_TRUE(serial.ok());
+  (*serial)->Open();
+  Tuple tuple;
+  size_t serial_rows = 0;
+  while ((*serial)->Next(&tuple)) {
+    ++serial_rows;
+  }
+  (*serial)->Close();
+  JsonValue serial_doc;
+  ASSERT_TRUE(analyze_json(serial->get(), &serial_doc));
+
+  // 4-thread exchange engine over the same resolved plan.
+  ExecOptions exec_options;
+  exec_options.threads = 4;
+  Result<std::unique_ptr<BatchIterator>> parallel = BuildParallelBatchExecutor(
+      startup->resolved, workload_->db(), bound, exec_options);
+  ASSERT_TRUE(parallel.ok());
+  (*parallel)->Open();
+  TupleBatch batch;
+  size_t parallel_rows = 0;
+  while ((*parallel)->Next(&batch)) {
+    parallel_rows += batch.num_rows();
+  }
+  (*parallel)->Close();  // aggregates per-worker counters into the profile
+  JsonValue parallel_doc;
+  ASSERT_TRUE(analyze_json(parallel->get(), &parallel_doc));
+
+  EXPECT_EQ(serial_rows, parallel_rows);
+  const JsonValue& serial_ops = serial_doc.At("operators");
+  const JsonValue& parallel_ops = parallel_doc.At("operators");
+  ASSERT_EQ(serial_ops.type, JsonValue::Type::kArray);
+  ASSERT_EQ(parallel_ops.type, JsonValue::Type::kArray);
+  ASSERT_EQ(serial_ops.array.size(), parallel_ops.array.size());
+  for (size_t i = 0; i < serial_ops.array.size(); ++i) {
+    EXPECT_EQ(serial_ops.array[i].At("op").str,
+              parallel_ops.array[i].At("op").str)
+        << "operator skeleton diverged at index " << i;
+    EXPECT_EQ(serial_ops.array[i].At("depth").number,
+              parallel_ops.array[i].At("depth").number);
+  }
+  EXPECT_EQ(
+      static_cast<size_t>(serial_ops.array.front().At("actual_rows").number),
+      serial_rows);
+  EXPECT_EQ(
+      static_cast<size_t>(parallel_ops.array.front().At("actual_rows").number),
+      parallel_rows);
+  EXPECT_EQ(serial_doc.At("decisions").array.size(),
+            parallel_doc.At("decisions").array.size());
 }
 
 }  // namespace

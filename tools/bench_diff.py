@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Diff two unified-schema bench result files and flag regressions.
+
+Every bench binary in bench/ emits the same document shape (see
+bench/unified_report.h):
+
+    {"bench": "...", "config": {...}, "rows": [{...}], "metrics": {...}}
+
+Usage:
+
+    bench_diff.py --validate FILE...
+        Schema-check each file; exit 2 on the first violation.
+
+    bench_diff.py BASELINE CURRENT [options]
+        Join rows by key, compare timing metrics, and exit 1 when any
+        metric slowed down by more than --max-ratio.
+
+Rows are joined by their "name" field (google-benchmark rows) or, when
+absent, by the composite of every non-numeric field plus "memory_pages"
+(memory_bench rows).  Only rows present in both files are compared; rows
+that appear or disappear are reported but are not regressions (bench
+sets are allowed to grow).
+
+Exit codes: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_METRICS = ["real_time", "cpu_time"]
+# Measurements shorter than this are timer noise; ratios between them
+# are meaningless and must not fail CI.
+DEFAULT_MIN_TIME_NS = 1e5
+
+SCHEMA_KEYS = {
+    "bench": str,
+    "config": dict,
+    "rows": list,
+    "metrics": dict,
+}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot load {path}: {e}")
+
+
+def validate_doc(doc, path):
+    """Returns a list of schema violations (empty when valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    for key, expected in SCHEMA_KEYS.items():
+        if key not in doc:
+            errors.append(f"{path}: missing key \"{key}\"")
+        elif not isinstance(doc[key], expected):
+            errors.append(
+                f"{path}: \"{key}\" is {type(doc[key]).__name__}, "
+                f"expected {expected.__name__}")
+    for i, row in enumerate(doc.get("rows", [])):
+        if not isinstance(row, dict):
+            errors.append(f"{path}: rows[{i}] is not an object")
+    return errors
+
+
+def row_key(row):
+    if "name" in row:
+        return str(row["name"])
+    parts = [f"{k}={v}" for k, v in sorted(row.items())
+             if isinstance(v, str)]
+    if "memory_pages" in row:
+        parts.append(f"memory_pages={row['memory_pages']}")
+    return "/".join(parts) if parts else None
+
+
+def index_rows(doc, path):
+    rows = {}
+    for row in doc["rows"]:
+        key = row_key(row)
+        if key is None:
+            raise SystemExit(f"bench_diff: {path}: row without a usable key: "
+                             f"{json.dumps(row)[:120]}")
+        if key in rows:
+            raise SystemExit(f"bench_diff: {path}: duplicate row key {key!r}")
+        rows[key] = row
+    return rows
+
+
+def to_ns(row, metric):
+    """Metric value normalized to nanoseconds when it is a timing."""
+    value = row.get(metric)
+    if not isinstance(value, (int, float)):
+        return None
+    unit = row.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+    if scale is None:
+        raise SystemExit(f"bench_diff: unknown time_unit {unit!r}")
+    return float(value) * scale
+
+
+def diff(baseline_path, current_path, metrics, max_ratio, min_time_ns):
+    base_doc = load(baseline_path)
+    cur_doc = load(current_path)
+    for doc, path in ((base_doc, baseline_path), (cur_doc, current_path)):
+        errors = validate_doc(doc, path)
+        if errors:
+            for e in errors:
+                print(e, file=sys.stderr)
+            return 2
+    if base_doc["bench"] != cur_doc["bench"]:
+        print(f"bench_diff: comparing different benches: "
+              f"{base_doc['bench']!r} vs {cur_doc['bench']!r}",
+              file=sys.stderr)
+        return 2
+
+    base_rows = index_rows(base_doc, baseline_path)
+    cur_rows = index_rows(cur_doc, current_path)
+
+    only_base = sorted(set(base_rows) - set(cur_rows))
+    only_cur = sorted(set(cur_rows) - set(base_rows))
+    for key in only_base:
+        print(f"  gone: {key}")
+    for key in only_cur:
+        print(f"  new:  {key}")
+
+    regressions = []
+    compared = 0
+    for key in sorted(set(base_rows) & set(cur_rows)):
+        for metric in metrics:
+            base_ns = to_ns(base_rows[key], metric)
+            cur_ns = to_ns(cur_rows[key], metric)
+            if base_ns is None or cur_ns is None:
+                continue
+            compared += 1
+            if base_ns < min_time_ns and cur_ns < min_time_ns:
+                continue  # both under the noise floor
+            ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+            marker = ""
+            if ratio > max_ratio:
+                marker = "  REGRESSION"
+                regressions.append((key, metric, ratio))
+            elif ratio < 1.0 / max_ratio:
+                marker = "  improved"
+            if marker:
+                print(f"  {key} {metric}: {base_ns:.0f} ns -> "
+                      f"{cur_ns:.0f} ns  ({ratio:.2f}x){marker}")
+
+    print(f"bench_diff: {base_doc['bench']}: compared {compared} metric "
+          f"values, {len(regressions)} regression(s) beyond "
+          f"{max_ratio:.2f}x")
+    return 1 if regressions else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff unified-schema bench results.")
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE CURRENT, or files for --validate")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check the files instead of diffing")
+    parser.add_argument("--max-ratio", type=float, default=1.5,
+                        help="fail when current/baseline exceeds this "
+                             "(default: 1.5)")
+    parser.add_argument("--min-time-ns", type=float,
+                        default=DEFAULT_MIN_TIME_NS,
+                        help="ignore timings where both sides are below "
+                             "this noise floor (default: 1e5)")
+    parser.add_argument("--metric", action="append", default=None,
+                        help="timing metric to compare (repeatable; "
+                             "default: real_time, cpu_time)")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        status = 0
+        for path in args.files:
+            errors = validate_doc(load(path), path)
+            if errors:
+                for e in errors:
+                    print(e, file=sys.stderr)
+                status = 2
+            else:
+                doc = load(path)
+                print(f"{path}: ok ({doc['bench']}, {len(doc['rows'])} rows)")
+        return status
+
+    if len(args.files) != 2:
+        parser.error("diff mode takes exactly two files: BASELINE CURRENT")
+    if args.max_ratio <= 1.0:
+        parser.error("--max-ratio must be > 1")
+    metrics = args.metric if args.metric else DEFAULT_METRICS
+    return diff(args.files[0], args.files[1], metrics, args.max_ratio,
+                args.min_time_ns)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

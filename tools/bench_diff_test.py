@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Tests for bench_diff.py: exit codes on identical inputs, a synthetic
+2x slowdown, schema validation, and the noise floor.
+
+Run directly (python3 tools/bench_diff_test.py) or via ctest."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_diff.py")
+
+
+def doc(rows, bench="micro_bench"):
+    return {"bench": bench, "config": {"threads": 1}, "rows": rows,
+            "metrics": {}}
+
+
+def gb_row(name, real_time, cpu_time=None, unit="ns"):
+    return {"name": name, "real_time": real_time,
+            "cpu_time": cpu_time if cpu_time is not None else real_time,
+            "time_unit": unit}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_tool(self, *argv):
+        return subprocess.run([sys.executable, TOOL, *argv],
+                              capture_output=True, text=True)
+
+    def test_identical_inputs_exit_zero(self):
+        base = self.write("base.json", doc([gb_row("q1", 2.5e6),
+                                            gb_row("q5", 8.0e7)]))
+        cur = self.write("cur.json", doc([gb_row("q1", 2.5e6),
+                                          gb_row("q5", 8.0e7)]))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_synthetic_two_x_slowdown_fails(self):
+        base = self.write("base.json", doc([gb_row("q1", 2.5e6)]))
+        cur = self.write("cur.json", doc([gb_row("q1", 5.0e6)]))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_improvement_is_not_a_failure(self):
+        base = self.write("base.json", doc([gb_row("q1", 5.0e6)]))
+        cur = self.write("cur.json", doc([gb_row("q1", 2.5e6)]))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("improved", result.stdout)
+
+    def test_noise_floor_suppresses_tiny_timings(self):
+        # 10 us -> 30 us is a 3x ratio but both sides sit under the 100 us
+        # noise floor, so it must not fail.
+        base = self.write("base.json", doc([gb_row("tiny", 1.0e4)]))
+        cur = self.write("cur.json", doc([gb_row("tiny", 3.0e4)]))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_time_unit_normalization(self):
+        # 2.5 ms baseline vs 6 ms current expressed in different units:
+        # the 2.4x slowdown must be detected across units.
+        base = self.write("base.json", doc([gb_row("q1", 2.5, unit="ms")]))
+        cur = self.write("cur.json", doc([gb_row("q1", 6.0e3, unit="us")]))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+
+    def test_new_and_gone_rows_are_informational(self):
+        base = self.write("base.json", doc([gb_row("q1", 2.5e6),
+                                            gb_row("gone", 1.0e6)]))
+        cur = self.write("cur.json", doc([gb_row("q1", 2.5e6),
+                                          gb_row("fresh", 1.0e6)]))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("gone: gone", result.stdout)
+        self.assertIn("new:  fresh", result.stdout)
+
+    def test_different_benches_is_a_usage_error(self):
+        base = self.write("base.json", doc([gb_row("q1", 2.5e6)], "a"))
+        cur = self.write("cur.json", doc([gb_row("q1", 2.5e6)], "b"))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+
+    def test_memory_bench_composite_keys(self):
+        rows = [{"query": "Q4", "mode": "spill", "memory_pages": 16,
+                 "real_time": 4.0e6, "time_unit": "ns"},
+                {"query": "Q4", "mode": "spill", "memory_pages": 64,
+                 "real_time": 2.0e6, "time_unit": "ns"}]
+        slower = [dict(r) for r in rows]
+        slower[1] = dict(slower[1], real_time=5.0e6)
+        base = self.write("base.json", doc(rows, "memory_bench"))
+        cur = self.write("cur.json", doc(slower, "memory_bench"))
+        result = self.run_tool(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("memory_pages=64", result.stdout)
+
+    def test_validate_accepts_good_rejects_bad(self):
+        good = self.write("good.json", doc([gb_row("q1", 1.0e6)]))
+        result = self.run_tool("--validate", good)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("ok", result.stdout)
+
+        bad = self.write("bad.json", {"bench": "x", "rows": "nope"})
+        result = self.run_tool("--validate", bad)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("missing key", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -19,6 +19,16 @@
 //                              parse/optimize/resolve/execute spans, one
 //                              span per choose-plan decision, per-operator
 //                              spans, spill passes, exchange morsels
+//   --query-log=FILE           append one JSON line per executed query:
+//                              estimates vs. actuals per operator, the
+//                              choose-plan decisions, memory/spill/buffer-
+//                              pool readings ($DQEP_QUERY_LOG sets the
+//                              default)
+//   --cost-profile=FILE        load fitted cost-model multipliers
+//                              (calibration.json) before optimizing
+//   --calibrate=LOG            fit a profile from a query log, write it
+//                              (--calibration-out, default
+//                              calibration.json), and exit
 //
 // Reads one command per line from stdin:
 //
@@ -39,6 +49,7 @@
 //   \analyze SELECT ...        execute and print EXPLAIN ANALYZE (interval
 //                              calibration + choose-plan regret)
 //   \metrics                   dump the process-wide metrics registry
+//   \metrics reset             zero counters, maxima, and histograms
 //   \quit
 //
 // Example session:
@@ -47,6 +58,7 @@
 //   SELECT R1.s FROM R1 WHERE R1.s < :v ORDER BY R1.s
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -58,7 +70,9 @@
 #include "exec/exec_context.h"
 #include "exec/executor.h"
 #include "obs/analyze.h"
+#include "obs/calibrate.h"
 #include "obs/metrics.h"
+#include "obs/querylog.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "physical/costing.h"
@@ -95,7 +109,8 @@ class Shell {
   Shell(std::unique_ptr<PaperWorkload> workload, ExecMode exec_mode,
         int32_t threads, bool profile, double memory_pages,
         std::string trace_path, bool stats_every_query,
-        obs::AnalyzeFormat stats_format)
+        obs::AnalyzeFormat stats_format, const CostProfile& cost_profile,
+        const std::string& query_log_path)
       : workload_(std::move(workload)),
         exec_mode_(exec_mode),
         threads_(threads),
@@ -109,6 +124,21 @@ class Shell {
     }
     if (!trace_path_.empty()) {
       trace_ = std::make_unique<obs::TraceSession>();
+    }
+    // The session's config: the workload's constants with the calibration
+    // profile (if any) applied.  Every estimator in the shell — the base
+    // model, the histogram-backed model, memory budgeting — derives from
+    // this one config so estimates and reports agree.
+    config_ = workload_->config();
+    cost_profile.ApplyTo(&config_);
+    base_model_ = std::make_unique<CostModel>(&workload_->catalog(), config_);
+    if (!query_log_path.empty()) {
+      std::string error;
+      if (query_log_.Open(query_log_path, &error)) {
+        std::printf("query log: appending to %s\n", query_log_path.c_str());
+      } else {
+        std::fprintf(stderr, "query log: %s\n", error.c_str());
+      }
     }
   }
 
@@ -149,7 +179,7 @@ class Shell {
 
  private:
   const CostModel& model() const {
-    return use_stats_ ? *stats_model_ : workload_->model();
+    return use_stats_ ? *stats_model_ : *base_model_;
   }
 
   bool Command(const std::string& line) {
@@ -257,8 +287,8 @@ class Shell {
         return true;
       }
       stats_ = AnalyzeDatabase(workload_->db());
-      stats_model_ = std::make_unique<CostModel>(
-          &workload_->catalog(), workload_->config(), &stats_);
+      stats_model_ = std::make_unique<CostModel>(&workload_->catalog(),
+                                                 config_, &stats_);
       use_stats_ = true;
       std::printf("histograms built for %zu columns; estimator now uses "
                   "them\n",
@@ -272,8 +302,18 @@ class Shell {
       return true;
     }
     if (command == "\\metrics") {
-      std::fputs(obs::MetricsRegistry::Instance().RenderText().c_str(),
-                 stdout);
+      std::string arg;
+      in >> arg;
+      if (arg == "reset") {
+        obs::MetricsRegistry::Instance().ResetAll();
+        std::printf("metrics reset (counters, maxima, and histograms "
+                    "zeroed; gauges keep their current state)\n");
+      } else if (arg.empty()) {
+        std::fputs(obs::MetricsRegistry::Instance().RenderText().c_str(),
+                   stdout);
+      } else {
+        std::printf("usage: \\metrics [reset]\n");
+      }
       return true;
     }
     std::printf("unknown command %s\n", command.c_str());
@@ -296,29 +336,61 @@ class Shell {
   }
 
   /// Post-execution reporting common to both engines: per-operator trace
-  /// spans, the profile, and (when requested) the EXPLAIN ANALYZE report
-  /// joining the plan's compile-time intervals with the measured tree.
+  /// spans, the profile, (when requested) the EXPLAIN ANALYZE report
+  /// joining the plan's compile-time intervals with the measured tree,
+  /// and (when a query log is open) one persisted record of the run.
   void Report(const ExecNode& exec_root, const PhysNodePtr& dynamic_root,
               const PhysNodePtr& resolved, const StartupResult* startup,
-              int64_t exec_start_us, bool analyze) {
+              int64_t exec_start_us, bool analyze, const ParamEnv& bound_env,
+              const ExecContext* ctx) {
     if (trace_ != nullptr) {
       EmitOperatorSpans(trace_.get(), exec_root, exec_start_us);
     }
     if (profile_) {
       std::printf("%s", RenderProfile(exec_root).c_str());
     }
+    if (!analyze && !query_log_.is_open()) {
+      return;
+    }
+    // Re-annotate with the compile-time (unbound, interval) env: plan
+    // rewriting rebuilt the nodes above replaced choose-plan operators
+    // without estimates.
+    ParamEnv compile_env(Interval::Point(memory_pages_));
+    AnnotatePlan(*resolved, model(), compile_env, EstimationMode::kInterval);
+    obs::AnalyzeInput input;
+    input.dynamic_root = dynamic_root.get();
+    input.resolved_root = resolved.get();
+    input.startup = startup;
+    input.exec_root = &exec_root;
     if (analyze) {
-      // Re-annotate with the compile-time (unbound, interval) env: plan
-      // rewriting rebuilt the nodes above replaced choose-plan operators
-      // without estimates.
-      ParamEnv compile_env(Interval::Point(memory_pages_));
-      AnnotatePlan(*resolved, model(), compile_env, EstimationMode::kInterval);
-      obs::AnalyzeInput input;
-      input.dynamic_root = dynamic_root.get();
-      input.resolved_root = resolved.get();
-      input.startup = startup;
-      input.exec_root = &exec_root;
       std::printf("%s", obs::RenderAnalyze(input, stats_format_).c_str());
+    }
+    if (query_log_.is_open()) {
+      obs::QueryLogRecord record =
+          obs::BuildQueryLogRecord(pending_sql_, input, model(), bound_env);
+      record.bindings = pending_bindings_;
+      record.exec_mode =
+          threads_ > 1 || exec_mode_ == ExecMode::kBatch ? "batch" : "tuple";
+      record.threads = threads_;
+      record.memory_pages = memory_pages_;
+      if (ctx != nullptr) {
+        record.peak_memory_bytes = ctx->tracker().peak_bytes();
+        record.spill_files = ctx->temp_files_created();
+        record.spill_tuples = ctx->tuples_spilled();
+      }
+      auto snap = obs::MetricsRegistry::Instance().Snapshot();
+      auto counter = [&snap](const char* name) -> int64_t {
+        auto it = snap.find(name);
+        return it == snap.end() ? 0 : it->second.value;
+      };
+      record.pool_hits =
+          counter("storage.bufferpool.hits") - pool_hits_before_;
+      record.pool_misses =
+          counter("storage.bufferpool.misses") - pool_misses_before_;
+      if (!query_log_.Append(record)) {
+        std::fprintf(stderr, "query log: append to %s failed\n",
+                     query_log_.path().c_str());
+      }
     }
   }
 
@@ -343,7 +415,7 @@ class Shell {
       // operator is a BatchIterator.  Results are identical either way.
       options.mode = ExecMode::kBatch;
       if (enforce_memory_) {
-        ctx = MakeExecContext(env, workload_->config(), options);
+        ctx = MakeExecContext(env, config_, options);
       }
       if (ctx != nullptr) {
         ctx->set_trace(trace_.get());
@@ -370,7 +442,8 @@ class Shell {
                          {"mode", "batch"},
                          {"threads", std::to_string(threads_)}});
       }
-      Report(**iter, dynamic_root, plan, startup, exec_start_us, analyze);
+      Report(**iter, dynamic_root, plan, startup, exec_start_us, analyze,
+             env, ctx.get());
       if (ctx != nullptr) {
         PrintMemorySummary(*ctx);
       }
@@ -378,7 +451,7 @@ class Shell {
     }
     options.mode = ExecMode::kTuple;
     if (enforce_memory_) {
-      ctx = MakeExecContext(env, workload_->config(), options);
+      ctx = MakeExecContext(env, config_, options);
     }
     if (ctx != nullptr) {
       ctx->set_trace(trace_.get());
@@ -399,7 +472,8 @@ class Shell {
                       {{"rows", std::to_string(rows.size())},
                        {"mode", "tuple"}});
     }
-    Report(**iter, dynamic_root, plan, startup, exec_start_us, analyze);
+    Report(**iter, dynamic_root, plan, startup, exec_start_us, analyze,
+           env, ctx.get());
     if (ctx != nullptr) {
       PrintMemorySummary(*ctx);
     }
@@ -460,6 +534,27 @@ class Shell {
     }
     StartupOptions startup_options;
     startup_options.trace = trace_.get();
+    if (query_log_.is_open()) {
+      // Capture what only this scope knows for the log record Report
+      // writes after execution: the query text, the bindings it used, and
+      // the buffer-pool counters to delta against.
+      pending_sql_ = sql;
+      pending_bindings_.clear();
+      for (const auto& [name, id] : parsed->params) {
+        (void)id;
+        auto it = bindings_.find(name);
+        if (it != bindings_.end()) {
+          pending_bindings_.emplace_back(name, it->second);
+        }
+      }
+      auto snap = obs::MetricsRegistry::Instance().Snapshot();
+      auto counter = [&snap](const char* name) -> int64_t {
+        auto it = snap.find(name);
+        return it == snap.end() ? 0 : it->second.value;
+      };
+      pool_hits_before_ = counter("storage.bufferpool.hits");
+      pool_misses_before_ = counter("storage.bufferpool.misses");
+    }
     Result<StartupResult> startup =
         ResolveDynamicPlan(plan->root, model(), bound, startup_options);
     if (!startup.ok()) {
@@ -493,11 +588,21 @@ class Shell {
   }
 
   std::unique_ptr<PaperWorkload> workload_;
+  /// Workload constants with the --cost-profile multipliers applied.
+  SystemConfig config_;
+  std::unique_ptr<CostModel> base_model_;
   ExecMode exec_mode_;
   int32_t threads_ = 1;
   bool profile_;
   std::map<std::string, int64_t> bindings_;
   double memory_pages_ = 64.0;
+  /// Persistent query log (--query-log / DQEP_QUERY_LOG); closed = off.
+  obs::QueryLogWriter query_log_;
+  /// Per-query capture for the log record (set in Query, read in Report).
+  std::string pending_sql_;
+  std::vector<std::pair<std::string, int64_t>> pending_bindings_;
+  int64_t pool_hits_before_ = 0;
+  int64_t pool_misses_before_ = 0;
   /// Set once the user pins a budget (flag or \mem): execution then runs
   /// under an ExecContext so the grant is enforced, not just priced.
   bool enforce_memory_ = false;
@@ -524,6 +629,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool stats_every_query = false;
   dqep::obs::AnalyzeFormat stats_format = dqep::obs::AnalyzeFormat::kText;
+  std::string query_log_path;
+  bool query_log_flag_seen = false;
+  std::string cost_profile_path;
+  std::string calibrate_log;
+  std::string calibration_out = "calibration.json";
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -553,6 +663,31 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--trace-out needs a file path\n");
         return 1;
       }
+    } else if (std::strncmp(arg, "--query-log=", 12) == 0) {
+      query_log_path = arg + 12;
+      query_log_flag_seen = true;
+      if (query_log_path.empty()) {
+        std::fprintf(stderr, "--query-log needs a file path\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--cost-profile=", 15) == 0) {
+      cost_profile_path = arg + 15;
+      if (cost_profile_path.empty()) {
+        std::fprintf(stderr, "--cost-profile needs a file path\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--calibrate=", 12) == 0) {
+      calibrate_log = arg + 12;
+      if (calibrate_log.empty()) {
+        std::fprintf(stderr, "--calibrate needs a query-log path\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--calibration-out=", 18) == 0) {
+      calibration_out = arg + 18;
+      if (calibration_out.empty()) {
+        std::fprintf(stderr, "--calibration-out needs a file path\n");
+        return 1;
+      }
     } else if (std::strncmp(arg, "--stats=", 8) == 0) {
       stats_every_query = true;
       if (std::strcmp(arg + 8, "text") == 0) {
@@ -578,12 +713,83 @@ int main(int argc, char** argv) {
           "cost interval vs. actual, rows, choose-plan regret\n"
           "  --trace-out=FILE         write Chrome-trace JSON on exit "
           "(chrome://tracing / Perfetto)\n"
+          "  --query-log=FILE         append one JSON line per executed "
+          "query (estimates, actuals, decisions, spill/memory);\n"
+          "                           defaults to $DQEP_QUERY_LOG when set\n"
+          "  --cost-profile=FILE      load calibration multipliers "
+          "(calibration.json) into the cost model\n"
+          "  --calibrate=LOG          fit a cost profile from a query log "
+          "and exit (no shell)\n"
+          "  --calibration-out=FILE   where --calibrate writes the profile "
+          "(default calibration.json)\n"
           "  --help                   this message\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
       return 1;
     }
+  }
+  if (!query_log_flag_seen) {
+    // Environment default: set DQEP_QUERY_LOG once and every session
+    // feeds the same feedback log.
+    const char* env = std::getenv("DQEP_QUERY_LOG");
+    if (env != nullptr && env[0] != '\0') {
+      query_log_path = env;
+    }
+  }
+  dqep::CostProfile cost_profile;
+  if (!cost_profile_path.empty()) {
+    dqep::Result<dqep::CostProfile> loaded =
+        dqep::obs::LoadCostProfile(cost_profile_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    cost_profile = *loaded;
+  }
+  if (!calibrate_log.empty()) {
+    // Calibration mode: fit a profile from the log and exit.  Uses the
+    // same config the shell estimates under (workload constants plus any
+    // --cost-profile), so iterating calibration against a recalibrated
+    // log is well defined.
+    int64_t skipped = 0;
+    dqep::Result<std::vector<dqep::obs::QueryLogRecord>> records =
+        dqep::obs::LoadQueryLog(calibrate_log, &skipped);
+    if (!records.ok()) {
+      std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+      return 1;
+    }
+    if (skipped > 0) {
+      std::fprintf(stderr, "query log: skipped %lld malformed line(s)\n",
+                   static_cast<long long>(skipped));
+    }
+    auto config_source =
+        dqep::PaperWorkload::Create(/*seed=*/42, /*populate=*/false);
+    if (!config_source.ok()) {
+      std::fprintf(stderr, "failed to build catalog: %s\n",
+                   config_source.status().ToString().c_str());
+      return 1;
+    }
+    dqep::SystemConfig base_config = (*config_source)->config();
+    cost_profile.ApplyTo(&base_config);
+    dqep::Result<dqep::obs::CalibrationReport> report =
+        dqep::obs::Calibrate(*records, base_config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(dqep::obs::RenderCalibrationReport(*report).c_str(), stdout);
+    std::string json = dqep::obs::RenderCostProfileJson(*report);
+    std::FILE* out = std::fopen(calibration_out.c_str(), "w");
+    if (out == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), out) != json.size() ||
+        std::fclose(out) != 0) {
+      std::fprintf(stderr, "cannot write %s\n", calibration_out.c_str());
+      return 1;
+    }
+    std::printf("profile written to %s (load with --cost-profile=%s)\n",
+                calibration_out.c_str(), calibration_out.c_str());
+    return 0;
   }
   auto workload = dqep::PaperWorkload::Create(/*seed=*/42, /*populate=*/true);
   if (!workload.ok()) {
@@ -593,6 +799,6 @@ int main(int argc, char** argv) {
   }
   dqep::Shell shell(std::move(*workload), exec_mode, threads, profile,
                     memory_pages, std::move(trace_path), stats_every_query,
-                    stats_format);
+                    stats_format, cost_profile, query_log_path);
   return shell.Run();
 }

@@ -1,11 +1,13 @@
 #!/bin/sh
-# Build-and-test gauntlet: plain tree (full suite), then the ThreadSanitizer
-# and AddressSanitizer trees over the labeled suites (parallel, spill, obs).
-# One command for the checks the verify skill lists individually:
+# Build-and-test gauntlet: the bench-schema gate, the plain tree (full
+# suite), then the ThreadSanitizer and AddressSanitizer trees over the
+# labeled suites (parallel, spill, obs — the obs label includes the
+# calibration feedback tests).  One command for the checks the verify
+# skill lists individually:
 #
-#   tools/run_checks.sh            # all three trees
-#   tools/run_checks.sh plain      # just the plain tree + full ctest
-#   tools/run_checks.sh tsan asan  # just the sanitizer trees
+#   tools/run_checks.sh                  # everything
+#   tools/run_checks.sh bench plain      # schema gate + plain tree
+#   tools/run_checks.sh tsan asan        # just the sanitizer trees
 #
 # Exits non-zero on the first failing step.  Sanitizer trees live in
 # build-tsan/ and build-asan/, separate from build/ — DQEP_SANITIZE
@@ -14,11 +16,16 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-steps="${*:-plain tsan asan}"
+steps="${*:-bench plain tsan asan}"
 labels='parallel|spill|obs'
 
 for step in $steps; do
   case "$step" in
+    bench)
+      echo "== bench: unified-schema gate over checked-in results =="
+      python3 tools/bench_diff.py --validate BENCH_*.json
+      python3 tools/bench_diff_test.py
+      ;;
     plain)
       echo "== plain: full build + full ctest =="
       cmake -B build -S . >/dev/null
@@ -29,18 +36,18 @@ for step in $steps; do
       echo "== tsan: labeled suites ($labels) =="
       cmake -B build-tsan -S . -DDQEP_SANITIZE=thread >/dev/null
       cmake --build build-tsan -j --target \
-        exec_parallel_test exec_spill_test obs_test
+        exec_parallel_test exec_spill_test obs_test obs_feedback_test
       ctest --test-dir build-tsan -L "$labels" --output-on-failure
       ;;
     asan)
       echo "== asan: labeled suites ($labels) =="
       cmake -B build-asan -S . -DDQEP_SANITIZE=address >/dev/null
       cmake --build build-asan -j --target \
-        exec_parallel_test exec_spill_test obs_test
+        exec_parallel_test exec_spill_test obs_test obs_feedback_test
       ctest --test-dir build-asan -L "$labels" --output-on-failure
       ;;
     *)
-      echo "unknown step: $step (want plain, tsan, asan)" >&2
+      echo "unknown step: $step (want bench, plain, tsan, asan)" >&2
       exit 2
       ;;
   esac
