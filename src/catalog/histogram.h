@@ -84,8 +84,17 @@ class StatisticsCatalog {
 
   size_t size() const { return histograms_.size(); }
 
+  /// Monotonic statistics version.  AnalyzeDatabase stamps every catalog
+  /// it builds from a process-wide counter, so "the stats changed" is a
+  /// single integer comparison — the plan cache invalidates entries
+  /// compiled under an older epoch (runtime/plan_cache.h).  0 = no
+  /// statistics collected yet.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
  private:
   std::map<AttrRef, Histogram> histograms_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace dqep

@@ -1,0 +1,28 @@
+// FNV-1a 64-bit hashing, shared by the query log (record identity) and
+// the SQL normalizer (plan-cache fingerprints).  One definition so the
+// two layers agree: a query-log record's hash and the plan cache's
+// fingerprint of the same normalized template are the same number.
+
+#ifndef DQEP_COMMON_HASH_H_
+#define DQEP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dqep {
+
+/// FNV-1a over `data` (64-bit offset basis / prime).  `seed` allows
+/// chaining: pass a previous hash to fold additional data in.
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = 14695981039346656037ull) {
+  uint64_t hash = seed;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace dqep
+
+#endif  // DQEP_COMMON_HASH_H_

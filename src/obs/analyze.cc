@@ -237,6 +237,9 @@ std::string RenderText(const std::vector<AnalyzeRow>& rows,
     }
     out += '\n';
   }
+  if (!input.plan_cache.empty()) {
+    AppendF(&out, "plan cache: %s\n", input.plan_cache.c_str());
+  }
   return out;
 }
 
@@ -309,6 +312,9 @@ std::string RenderJson(const std::vector<AnalyzeRow>& rows,
     out += ", \"predicted_execution_cost\": ";
     AppendJsonNumber(&out, s.execution_cost);
     out += "}";
+  }
+  if (!input.plan_cache.empty()) {
+    AppendF(&out, ",\n  \"plan_cache\": \"%s\"", input.plan_cache.c_str());
   }
   out += "\n}\n";
   return out;

@@ -61,6 +61,12 @@ struct AnalyzeInput {
 
   /// The executed iterator tree (after Close, so counters are final).
   const ExecNode* exec_root = nullptr;
+
+  /// Plan-cache outcome for this query: "hit", "miss", "off", or ""
+  /// (planned outside the cache path).  Rendered in the report footer so
+  /// "this plan was reused, not re-optimized" is visible next to the
+  /// estimates it carried over.
+  std::string plan_cache;
 };
 
 /// One joined report line: either an operator of the resolved plan or a

@@ -5,9 +5,11 @@
 #include <cstring>
 #include <limits>
 
+#include "common/hash.h"
 #include "obs/json_util.h"
 #include "obs/trace.h"
 #include "physical/costing.h"
+#include "sql/normalize.h"
 
 namespace dqep {
 namespace obs {
@@ -73,6 +75,8 @@ bool ParseRecord(const JsonValue& doc, QueryLogRecord* record) {
     record->query_hash =
         std::strtoull(hash->string_value.c_str(), nullptr, 16);
   }
+  record->query_template = doc.StringOr("query_template", "");
+  record->plan_cache = doc.StringOr("plan_cache", "");
   if (const JsonValue* bindings = doc.Find("bindings");
       bindings != nullptr && bindings->is_object()) {
     for (const auto& [name, value] : bindings->members) {
@@ -152,12 +156,11 @@ bool ParseRecord(const JsonValue& doc, QueryLogRecord* record) {
 }  // namespace
 
 uint64_t HashQueryText(const std::string& text) {
-  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
-  for (char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;  // FNV prime
+  Result<NormalizedQuery> normalized = NormalizeQuery(text);
+  if (normalized.ok()) {
+    return normalized->fingerprint;
   }
-  return hash;
+  return Fnv1a64(text);
 }
 
 QueryLogRecord BuildQueryLogRecord(const std::string& query_text,
@@ -166,7 +169,13 @@ QueryLogRecord BuildQueryLogRecord(const std::string& query_text,
                                    const ParamEnv& bound_env) {
   QueryLogRecord record;
   record.query = query_text;
-  record.query_hash = HashQueryText(query_text);
+  Result<NormalizedQuery> normalized = NormalizeQuery(query_text);
+  if (normalized.ok()) {
+    record.query_hash = normalized->fingerprint;
+    record.query_template = normalized->template_text;
+  } else {
+    record.query_hash = Fnv1a64(query_text);
+  }
   if (input.startup != nullptr) {
     record.predicted_cost = input.startup->execution_cost;
     record.decision_count = input.startup->decisions;
@@ -265,6 +274,14 @@ std::string RenderQueryLogRecordJson(const QueryLogRecord& record) {
   char hash[24];
   std::snprintf(hash, sizeof(hash), "%016" PRIx64, record.query_hash);
   AppendStringField(&out, "query_hash", hash);
+  if (!record.query_template.empty()) {
+    out += ", ";
+    AppendStringField(&out, "query_template", record.query_template);
+  }
+  if (!record.plan_cache.empty()) {
+    out += ", ";
+    AppendStringField(&out, "plan_cache", record.plan_cache);
+  }
   out += ", \"bindings\": {";
   bool first = true;
   for (const auto& [name, value] : record.bindings) {

@@ -15,6 +15,17 @@
 // malformed lines and reports how many.  Field reference: see
 // RenderQueryLogRecordJson in querylog.cc and README "Feedback &
 // calibration".
+//
+// Hash semantics (changed with the plan cache): `query_hash` is the
+// FNV-1a fingerprint of the *normalized template* (sql/normalize.h —
+// literals lifted to '?', keywords canonicalized, whitespace collapsed),
+// not of the raw text, so "R1.s < 10" and "R1.s < 97" aggregate under
+// one identity — the same identity the plan cache keys on.  The raw text
+// is still stored verbatim in `query`.  Text that fails to lex falls
+// back to hashing the raw bytes.  Hashes written by earlier versions
+// (raw-text hashing, and an offset basis with a transcription typo) do
+// not match current ones; the log reader never joins on hashes across
+// records, so old logs stay loadable.
 
 #ifndef DQEP_OBS_QUERYLOG_H_
 #define DQEP_OBS_QUERYLOG_H_
@@ -80,7 +91,15 @@ struct QueryLogDecision {
 /// alone can see.
 struct QueryLogRecord {
   std::string query;
-  uint64_t query_hash = 0;  ///< FNV-1a of `query`
+  /// FNV-1a of the normalized template of `query` (raw bytes when the
+  /// text does not lex) — see the header comment on hash semantics.
+  uint64_t query_hash = 0;
+  /// The normalized template itself ("SELECT * FROM R1 WHERE R1.s < ?");
+  /// empty when the text does not lex.
+  std::string query_template;
+  /// Plan-cache outcome for this run: "hit", "miss", "off" (cache
+  /// disabled), or "" (planned outside the cache path, e.g. old logs).
+  std::string plan_cache;
   std::vector<std::pair<std::string, int64_t>> bindings;
 
   std::string exec_mode;  ///< "tuple" | "batch"
@@ -110,8 +129,10 @@ struct QueryLogRecord {
   std::vector<QueryLogDecision> decisions;
 };
 
-/// FNV-1a 64-bit hash of the query text (stable record identity across
-/// sessions without logging-order coupling).
+/// FNV-1a 64-bit hash of the query's *normalized template* (stable
+/// record identity across sessions AND across literal values — equal to
+/// the plan cache's fingerprint).  Text that fails to lex hashes as raw
+/// bytes.
 uint64_t HashQueryText(const std::string& text);
 
 /// Builds the plan/actuals core of a record from the same inputs EXPLAIN

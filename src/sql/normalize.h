@@ -1,0 +1,57 @@
+// Query normalization: the parameterization pass of the plan cache.
+//
+// The paper's premise is that a dynamic plan is compiled once and reused
+// across many bindings.  Queries arriving as text with embedded constants
+// ("R1.s < 10") defeat that unless the constants are lifted out: this
+// pass rewrites the token stream into a canonical *template* — keywords
+// upper-cased, whitespace collapsed, every integer literal replaced by
+// '?' — and extracts the literal values in template order.  Two query
+// texts with the same template are the same query under different
+// bindings; the template's FNV-1a fingerprint is the plan-cache key, and
+// the extracted literals become the bindings of the synthetic parameters
+// the parameterizing parser (sql/parser.h, ParseQueryParameterized)
+// assigns to the lifted literals.
+//
+// Identifiers keep their case: catalog name lookup is case-sensitive, so
+// "r1" and "R1" are genuinely different queries (one may not parse) and
+// must not share a template.  Host variables (:name) likewise keep their
+// case and appear verbatim in the template — they are already parameters.
+//
+// Normalization is purely lexical (no catalog): it can run before parse
+// on the hot path and costs one tokenize plus one string render.
+
+#ifndef DQEP_SQL_NORMALIZE_H_
+#define DQEP_SQL_NORMALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dqep {
+
+/// The canonical form of one query text.
+struct NormalizedQuery {
+  /// Canonical template: single-space-separated canonical tokens,
+  /// keywords upper-case, integer literals as '?', "R1.s" rendered
+  /// without spaces.  Equal templates == same query modulo literals,
+  /// case of keywords, and whitespace.
+  std::string template_text;
+
+  /// Integer literal values in order of '?' appearance in the template.
+  std::vector<int64_t> literals;
+
+  /// FNV-1a 64-bit hash of `template_text` — the plan-cache key and the
+  /// query log's record identity.
+  uint64_t fingerprint = 0;
+};
+
+/// Normalizes `sql`.  Fails only when tokenization fails (the query
+/// would not parse either); callers fall back to treating the raw text
+/// as its own template.
+Result<NormalizedQuery> NormalizeQuery(const std::string& sql);
+
+}  // namespace dqep
+
+#endif  // DQEP_SQL_NORMALIZE_H_

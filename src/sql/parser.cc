@@ -18,8 +18,11 @@ struct ParsedOperand {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, const Catalog& catalog)
-      : tokens_(std::move(tokens)), catalog_(catalog) {}
+  Parser(std::vector<Token> tokens, const Catalog& catalog,
+         bool parameterize = false)
+      : tokens_(std::move(tokens)),
+        catalog_(catalog),
+        parameterize_(parameterize) {}
 
   Result<ParsedQuery> Parse() {
     DQEP_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
@@ -241,8 +244,16 @@ class Parser {
     if (it != result_.params.end()) {
       return it->second;
     }
-    ParamId id = static_cast<ParamId>(result_.params.size());
+    ParamId id = next_param_++;
     result_.params.emplace(name, id);
+    return id;
+  }
+
+  /// Lifts one literal occurrence into a fresh synthetic parameter.
+  ParamId LiftLiteral(int64_t value) {
+    ParamId id = next_param_++;
+    result_.lifted_params.push_back(id);
+    result_.lifted_values.push_back(value);
     return id;
   }
 
@@ -252,7 +263,9 @@ class Parser {
     pred.attr = attr;
     pred.op = op;
     if (rhs.kind == ParsedOperand::Kind::kInteger) {
-      pred.operand = Operand::Literal(Value(rhs.integer));
+      pred.operand = parameterize_
+                         ? Operand::Param(LiftLiteral(rhs.integer))
+                         : Operand::Literal(Value(rhs.integer));
     } else {
       pred.operand = Operand::Param(ParamFor(rhs.variable));
     }
@@ -303,19 +316,35 @@ class Parser {
   std::vector<Token> tokens_;
   size_t index_ = 0;
   const Catalog& catalog_;
+  /// Lift integer literals into synthetic parameters (the plan cache's
+  /// parameterization pass).
+  bool parameterize_ = false;
+  /// Next dense ParamId, shared by host variables and lifted literals so
+  /// the assignment is a pure function of the token stream.
+  ParamId next_param_ = 0;
   ParsedQuery result_;
 };
+
+Result<ParsedQuery> ParseImpl(const std::string& sql, const Catalog& catalog,
+                              bool parameterize) {
+  Result<std::vector<Token>> tokens = Tokenize(sql);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(std::move(*tokens), catalog, parameterize);
+  return parser.Parse();
+}
 
 }  // namespace
 
 Result<ParsedQuery> ParseQuery(const std::string& sql,
                                const Catalog& catalog) {
-  Result<std::vector<Token>> tokens = Tokenize(sql);
-  if (!tokens.ok()) {
-    return tokens.status();
-  }
-  Parser parser(std::move(*tokens), catalog);
-  return parser.Parse();
+  return ParseImpl(sql, catalog, /*parameterize=*/false);
+}
+
+Result<ParsedQuery> ParseQueryParameterized(const std::string& sql,
+                                            const Catalog& catalog) {
+  return ParseImpl(sql, catalog, /*parameterize=*/true);
 }
 
 }  // namespace dqep

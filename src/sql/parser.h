@@ -31,11 +31,33 @@ struct ParsedQuery {
   Query query;
   /// Host-variable name -> ParamId, in order of first appearance.
   std::map<std::string, ParamId> params;
+  /// Synthetic parameters created by ParseQueryParameterized, one per
+  /// lifted integer literal, in order of appearance — the same order
+  /// NormalizeQuery (sql/normalize.h) extracts the literal values, so
+  /// lifted_params[i] binds to NormalizedQuery::literals[i].  Every
+  /// literal occurrence gets its own parameter (two conjuncts comparing
+  /// against 10 are two parameters: the template must serve any literal
+  /// pair).  Empty for ParseQuery.
+  std::vector<ParamId> lifted_params;
+  /// The literal value each lifted parameter replaced (parallel to
+  /// lifted_params) — callers re-binding the *same* text need no second
+  /// normalization pass.
+  std::vector<int64_t> lifted_values;
 };
 
 /// Parses `sql` against `catalog`.
 Result<ParsedQuery> ParseQuery(const std::string& sql,
                                const Catalog& catalog);
+
+/// Parses `sql` with the parameterization pass: every integer literal in
+/// the WHERE clause is lifted into a fresh synthetic parameter (see
+/// ParsedQuery::lifted_params), so the compiled plan is a *template*
+/// plan reusable for any literal values — the plan cache's unit of
+/// compilation.  Parameter ids are assigned densely in order of first
+/// appearance across host variables and lifted literals alike, making
+/// the assignment a pure function of the normalized template.
+Result<ParsedQuery> ParseQueryParameterized(const std::string& sql,
+                                            const Catalog& catalog);
 
 }  // namespace dqep
 

@@ -1,9 +1,19 @@
 #include "storage/analyze.h"
 
+#include <atomic>
+
 namespace dqep {
+
+namespace {
+/// Process-wide ANALYZE run counter: every statistics catalog built gets
+/// a strictly increasing epoch, so consumers (the plan cache) detect "a
+/// newer ANALYZE happened" with one integer comparison.
+std::atomic<uint64_t> g_stats_epoch{0};
+}  // namespace
 
 StatisticsCatalog AnalyzeDatabase(const Database& db, int32_t num_buckets) {
   StatisticsCatalog stats;
+  stats.set_epoch(g_stats_epoch.fetch_add(1, std::memory_order_relaxed) + 1);
   for (RelationId id = 0; id < db.catalog().num_relations(); ++id) {
     const RelationInfo& relation = db.catalog().relation(id);
     const Table& table = db.table(id);

@@ -29,6 +29,11 @@
 //   --calibrate=LOG            fit a profile from a query log, write it
 //                              (--calibration-out, default
 //                              calibration.json), and exit
+//   --plan-cache=N|off         plan-cache capacity in entries (default
+//                              128); "off" or 0 disables it.  Repeated
+//                              query templates (same shape, different
+//                              literals) then reuse one compiled dynamic
+//                              plan and pay only start-up resolution
 //
 // Reads one command per line from stdin:
 //
@@ -50,6 +55,8 @@
 //                              calibration + choose-plan regret)
 //   \metrics                   dump the process-wide metrics registry
 //   \metrics reset             zero counters, maxima, and histograms
+//   \cache                     plan-cache status (hits/misses/size/...)
+//   \cache clear               drop every cached plan
 //   \quit
 //
 // Example session:
@@ -76,6 +83,7 @@
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "physical/costing.h"
+#include "runtime/plan_cache.h"
 #include "runtime/startup.h"
 #include "sql/parser.h"
 #include "storage/analyze.h"
@@ -110,7 +118,8 @@ class Shell {
         int32_t threads, bool profile, double memory_pages,
         std::string trace_path, bool stats_every_query,
         obs::AnalyzeFormat stats_format, const CostProfile& cost_profile,
-        const std::string& query_log_path)
+        bool cost_profile_loaded, const std::string& query_log_path,
+        size_t plan_cache_capacity)
       : workload_(std::move(workload)),
         exec_mode_(exec_mode),
         threads_(threads),
@@ -132,6 +141,16 @@ class Shell {
     config_ = workload_->config();
     cost_profile.ApplyTo(&config_);
     base_model_ = std::make_unique<CostModel>(&workload_->catalog(), config_);
+    // The process-wide plan cache.  Loading a calibration profile changes
+    // what the optimizer would pick, so it bumps the cost-profile epoch —
+    // a no-op for this fresh process, but the same invalidation a
+    // long-lived server would need on a live profile swap.
+    DynamicPlanCache::Instance().set_capacity(plan_cache_capacity);
+    if (cost_profile_loaded) {
+      DynamicPlanCache::Instance().BumpProfileEpoch();
+    }
+    plan_cache_ =
+        plan_cache_capacity > 0 ? &DynamicPlanCache::Instance() : nullptr;
     if (!query_log_path.empty()) {
       std::string error;
       if (query_log_.Open(query_log_path, &error)) {
@@ -290,6 +309,11 @@ class Shell {
       stats_model_ = std::make_unique<CostModel>(&workload_->catalog(),
                                                  config_, &stats_);
       use_stats_ = true;
+      if (plan_cache_ != nullptr) {
+        // Plans compiled against the old estimates are stale the moment
+        // the estimator changes.
+        plan_cache_->SetStatsEpoch(stats_.epoch());
+      }
       std::printf("histograms built for %zu columns; estimator now uses "
                   "them\n",
                   stats_.size());
@@ -314,6 +338,34 @@ class Shell {
       } else {
         std::printf("usage: \\metrics [reset]\n");
       }
+      return true;
+    }
+    if (command == "\\cache") {
+      std::string arg;
+      in >> arg;
+      if (plan_cache_ == nullptr) {
+        std::printf("plan cache: off (restart with --plan-cache=N to "
+                    "enable)\n");
+        return true;
+      }
+      if (arg == "clear") {
+        plan_cache_->Clear();
+        std::printf("plan cache cleared\n");
+        return true;
+      }
+      if (!arg.empty()) {
+        std::printf("usage: \\cache [clear]\n");
+        return true;
+      }
+      PlanCacheStats stats = plan_cache_->stats();
+      std::printf(
+          "plan cache: %zu/%zu entries; %lld hits, %lld misses, "
+          "%lld inserts, %lld evictions, %lld invalidations\n",
+          stats.size, stats.capacity, static_cast<long long>(stats.hits),
+          static_cast<long long>(stats.misses),
+          static_cast<long long>(stats.inserts),
+          static_cast<long long>(stats.evictions),
+          static_cast<long long>(stats.invalidations));
       return true;
     }
     std::printf("unknown command %s\n", command.c_str());
@@ -362,12 +414,14 @@ class Shell {
     input.resolved_root = resolved.get();
     input.startup = startup;
     input.exec_root = &exec_root;
+    input.plan_cache = pending_cache_status_;
     if (analyze) {
       std::printf("%s", obs::RenderAnalyze(input, stats_format_).c_str());
     }
     if (query_log_.is_open()) {
       obs::QueryLogRecord record =
           obs::BuildQueryLogRecord(pending_sql_, input, model(), bound_env);
+      record.plan_cache = pending_cache_status_;
       record.bindings = pending_bindings_;
       record.exec_mode =
           threads_ > 1 || exec_mode_ == ExecMode::kBatch ? "batch" : "tuple";
@@ -480,48 +534,37 @@ class Shell {
     return rows;
   }
 
-  void Query(const std::string& sql, bool explain, bool analyze = false) {
-    int64_t span_start = trace_ == nullptr ? 0 : trace_->NowMicros();
+  /// \explain: static plan vs. dynamic plan vs. start-up resolution.
+  /// Deliberately bypasses the plan cache — the point of \explain is to
+  /// watch the optimizer work, and the static-plan compile needs the
+  /// parsed query anyway.
+  void Explain(const std::string& sql) {
     Result<ParsedQuery> parsed = ParseQuery(sql, workload_->catalog());
-    if (trace_ != nullptr) {
-      trace_->EndSpan("parse", "query", span_start);
-    }
     if (!parsed.ok()) {
       std::printf("error: %s\n", parsed.status().ToString().c_str());
       return;
     }
-    // Compile with unbound parameters: the dynamic plan.
     ParamEnv compile_env(Interval::Point(memory_pages_));
     Optimizer dynamic_opt(&model(), OptimizerOptions::Dynamic());
-    span_start = trace_ == nullptr ? 0 : trace_->NowMicros();
     Result<OptimizedPlan> plan =
         dynamic_opt.Optimize(parsed->query, compile_env);
-    if (trace_ != nullptr && plan.ok()) {
-      trace_->EndSpan(
-          "optimize", "query", span_start,
-          {{"nodes", std::to_string(plan->root->CountNodes())},
-           {"choose_nodes", std::to_string(plan->root->CountChooseNodes())}});
-    }
     if (!plan.ok()) {
       std::printf("optimizer error: %s\n", plan.status().ToString().c_str());
       return;
     }
-    if (explain) {
-      Optimizer static_opt(&model(), OptimizerOptions::Static());
-      Result<OptimizedPlan> static_plan =
-          static_opt.Optimize(parsed->query, compile_env);
-      if (static_plan.ok()) {
-        std::printf("--- static plan (cost %s) ---\n%s",
-                    static_plan->cost.ToString().c_str(),
-                    static_plan->root->ToString().c_str());
-      }
-      std::printf("--- dynamic plan (cost %s, %lld nodes, %lld choose) ---\n%s",
-                  plan->cost.ToString().c_str(),
-                  static_cast<long long>(plan->root->CountNodes()),
-                  static_cast<long long>(plan->root->CountChooseNodes()),
-                  plan->root->ToString().c_str());
+    Optimizer static_opt(&model(), OptimizerOptions::Static());
+    Result<OptimizedPlan> static_plan =
+        static_opt.Optimize(parsed->query, compile_env);
+    if (static_plan.ok()) {
+      std::printf("--- static plan (cost %s) ---\n%s",
+                  static_plan->cost.ToString().c_str(),
+                  static_plan->root->ToString().c_str());
     }
-    // Bind and resolve.
+    std::printf("--- dynamic plan (cost %s, %lld nodes, %lld choose) ---\n%s",
+                plan->cost.ToString().c_str(),
+                static_cast<long long>(plan->root->CountNodes()),
+                static_cast<long long>(plan->root->CountChooseNodes()),
+                plan->root->ToString().c_str());
     ParamEnv bound(Interval::Point(memory_pages_));
     for (const auto& [name, id] : parsed->params) {
       auto it = bindings_.find(name);
@@ -534,13 +577,57 @@ class Shell {
     }
     StartupOptions startup_options;
     startup_options.trace = trace_.get();
+    Result<StartupResult> startup =
+        ResolveDynamicPlan(plan->root, model(), bound, startup_options);
+    if (!startup.ok()) {
+      std::printf("start-up error: %s\n",
+                  startup.status().ToString().c_str());
+      return;
+    }
+    std::printf("--- chosen at start-up (predicted %.4f s, %lld "
+                "decisions) ---\n%s",
+                startup->execution_cost,
+                static_cast<long long>(startup->decisions),
+                startup->resolved->ToString().c_str());
+  }
+
+  void Query(const std::string& sql, bool explain, bool analyze = false) {
+    if (explain) {
+      Explain(sql);
+      return;
+    }
+    // Plan through the cache: normalize -> lookup -> (miss) parameterized
+    // parse + dynamic optimize + insert.  The returned environment binds
+    // the lifted literals and host variables; every execution below —
+    // hit or miss — runs the start-up decision procedure afresh.
+    CachedPlanRequest request;
+    request.catalog = &workload_->catalog();
+    request.model = &model();
+    request.cache = plan_cache_;
+    request.memory_pages = memory_pages_;
+    request.host_bindings = &bindings_;
+    request.trace = trace_.get();
+    Result<CachedPlanResult> planned = PlanQueryWithCache(sql, request);
+    if (!planned.ok()) {
+      const std::string& message = planned.status().message();
+      if (message.find("is unbound") != std::string::npos) {
+        std::printf("%s\n", message.c_str());
+      } else {
+        std::printf("error: %s\n", planned.status().ToString().c_str());
+      }
+      return;
+    }
+    pending_cache_status_ =
+        planned->cache_used ? (planned->cache_hit ? "hit" : "miss") : "off";
+    StartupOptions startup_options;
+    startup_options.trace = trace_.get();
     if (query_log_.is_open()) {
       // Capture what only this scope knows for the log record Report
       // writes after execution: the query text, the bindings it used, and
       // the buffer-pool counters to delta against.
       pending_sql_ = sql;
       pending_bindings_.clear();
-      for (const auto& [name, id] : parsed->params) {
+      for (const auto& [name, id] : planned->host_params) {
         (void)id;
         auto it = bindings_.find(name);
         if (it != bindings_.end()) {
@@ -555,23 +642,15 @@ class Shell {
       pool_hits_before_ = counter("storage.bufferpool.hits");
       pool_misses_before_ = counter("storage.bufferpool.misses");
     }
-    Result<StartupResult> startup =
-        ResolveDynamicPlan(plan->root, model(), bound, startup_options);
+    Result<StartupResult> startup = ResolveDynamicPlan(
+        planned->root, model(), planned->bound, startup_options);
     if (!startup.ok()) {
       std::printf("start-up error: %s\n",
                   startup.status().ToString().c_str());
       return;
     }
-    if (explain) {
-      std::printf("--- chosen at start-up (predicted %.4f s, %lld "
-                  "decisions) ---\n%s",
-                  startup->execution_cost,
-                  static_cast<long long>(startup->decisions),
-                  startup->resolved->ToString().c_str());
-      return;
-    }
-    Result<std::vector<Tuple>> rows =
-        Execute(startup->resolved, bound, plan->root, &*startup, analyze);
+    Result<std::vector<Tuple>> rows = Execute(
+        startup->resolved, planned->bound, planned->root, &*startup, analyze);
     if (!rows.ok()) {
       std::printf("execution error: %s\n", rows.status().ToString().c_str());
       return;
@@ -601,6 +680,10 @@ class Shell {
   /// Per-query capture for the log record (set in Query, read in Report).
   std::string pending_sql_;
   std::vector<std::pair<std::string, int64_t>> pending_bindings_;
+  /// Plan-cache outcome of the current query: "hit", "miss", or "off".
+  std::string pending_cache_status_;
+  /// The process-wide cache, or null when --plan-cache=off.
+  DynamicPlanCache* plan_cache_ = nullptr;
   int64_t pool_hits_before_ = 0;
   int64_t pool_misses_before_ = 0;
   /// Set once the user pins a budget (flag or \mem): execution then runs
@@ -634,6 +717,7 @@ int main(int argc, char** argv) {
   std::string cost_profile_path;
   std::string calibrate_log;
   std::string calibration_out = "calibration.json";
+  size_t plan_cache_capacity = dqep::DynamicPlanCache::kDefaultCapacity;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -688,6 +772,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--calibration-out needs a file path\n");
         return 1;
       }
+    } else if (std::strncmp(arg, "--plan-cache=", 13) == 0) {
+      const char* value = arg + 13;
+      if (std::strcmp(value, "off") == 0) {
+        plan_cache_capacity = 0;
+      } else {
+        char* end = nullptr;
+        long capacity = std::strtol(value, &end, 10);
+        if (end == value || *end != '\0' || capacity < 0) {
+          std::fprintf(stderr,
+                       "--plan-cache must be a non-negative entry count "
+                       "or \"off\"\n");
+          return 1;
+        }
+        plan_cache_capacity = static_cast<size_t>(capacity);
+      }
     } else if (std::strncmp(arg, "--stats=", 8) == 0) {
       stats_every_query = true;
       if (std::strcmp(arg + 8, "text") == 0) {
@@ -722,6 +821,10 @@ int main(int argc, char** argv) {
           "and exit (no shell)\n"
           "  --calibration-out=FILE   where --calibrate writes the profile "
           "(default calibration.json)\n"
+          "  --plan-cache=N|off       plan-cache capacity in entries "
+          "(default 128; repeated query templates reuse one compiled\n"
+          "                           dynamic plan); \\cache in the shell "
+          "shows hits/misses\n"
           "  --help                   this message\n");
       return 0;
     } else {
@@ -799,6 +902,7 @@ int main(int argc, char** argv) {
   }
   dqep::Shell shell(std::move(*workload), exec_mode, threads, profile,
                     memory_pages, std::move(trace_path), stats_every_query,
-                    stats_format, cost_profile, query_log_path);
+                    stats_format, cost_profile, !cost_profile_path.empty(),
+                    query_log_path, plan_cache_capacity);
   return shell.Run();
 }

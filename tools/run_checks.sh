@@ -1,12 +1,13 @@
 #!/bin/sh
 # Build-and-test gauntlet: the bench-schema gate, the plain tree (full
-# suite), then the ThreadSanitizer and AddressSanitizer trees over the
-# labeled suites (parallel, spill, obs — the obs label includes the
-# calibration feedback tests).  One command for the checks the verify
-# skill lists individually:
+# suite), the plan-cache amortization gate, then the ThreadSanitizer and
+# AddressSanitizer trees over the labeled suites (parallel, spill, obs,
+# cache — the obs label includes the calibration feedback tests).  One
+# command for the checks the verify skill lists individually:
 #
 #   tools/run_checks.sh                  # everything
 #   tools/run_checks.sh bench plain      # schema gate + plain tree
+#   tools/run_checks.sh cachebench       # plan-cache amortization gate
 #   tools/run_checks.sh tsan asan        # just the sanitizer trees
 #
 # Exits non-zero on the first failing step.  Sanitizer trees live in
@@ -16,8 +17,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-steps="${*:-bench plain tsan asan}"
-labels='parallel|spill|obs'
+steps="${*:-bench plain cachebench tsan asan}"
+labels='parallel|spill|obs|cache'
 
 for step in $steps; do
   case "$step" in
@@ -32,18 +33,39 @@ for step in $steps; do
       cmake --build build -j
       ctest --test-dir build --output-on-failure
       ;;
+    cachebench)
+      # Functional gate, not a timing diff: the bench's headline claim —
+      # planning amortizes >= 5x at a 90% template repeat rate — is a
+      # within-run ratio, so it holds on any machine speed.
+      echo "== cachebench: plan-cache amortization gate =="
+      cmake -B build -S . >/dev/null
+      cmake --build build -j --target plan_cache_bench
+      build/bench/plan_cache_bench --json > build/BENCH_plan_cache.json
+      python3 tools/bench_diff.py --validate build/BENCH_plan_cache.json
+      python3 - <<'EOF'
+import json
+rows = {r["name"]: r for r in json.load(open("build/BENCH_plan_cache.json"))["rows"]}
+row = rows["plan_cache/repeat_90/cache_on"]
+assert row["median_speedup"] >= 5.0, \
+    f"plan cache amortization regressed: {row['median_speedup']:.2f}x < 5x"
+print(f"cachebench: {row['median_speedup']:.2f}x median planning speedup "
+      f"at 90% repeat rate (hit rate {row['hit_rate']:.2f})")
+EOF
+      ;;
     tsan)
       echo "== tsan: labeled suites ($labels) =="
       cmake -B build-tsan -S . -DDQEP_SANITIZE=thread >/dev/null
       cmake --build build-tsan -j --target \
-        exec_parallel_test exec_spill_test obs_test obs_feedback_test
+        exec_parallel_test exec_spill_test obs_test obs_feedback_test \
+        plan_cache_test
       ctest --test-dir build-tsan -L "$labels" --output-on-failure
       ;;
     asan)
       echo "== asan: labeled suites ($labels) =="
       cmake -B build-asan -S . -DDQEP_SANITIZE=address >/dev/null
       cmake --build build-asan -j --target \
-        exec_parallel_test exec_spill_test obs_test obs_feedback_test
+        exec_parallel_test exec_spill_test obs_test obs_feedback_test \
+        plan_cache_test
       ctest --test-dir build-asan -L "$labels" --output-on-failure
       ;;
     *)
