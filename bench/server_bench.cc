@@ -1,0 +1,573 @@
+// Closed-loop load generator for the multi-session query server.
+//
+// Three scenarios, each against a fresh in-process DqepServer on a
+// unix-domain socket, with N concurrent client threads speaking the line
+// protocol:
+//
+//   1. cache_on / cache_off — 8 sessions, 90% of queries drawn from a
+//      small warm template set (fresh literals every time, so the shared
+//      plan cache is doing real work) and 10% never-seen-before cold
+//      templates.  The claim: hit rate >= 0.8 and the cache halves (or
+//      better) p50 latency — a within-run ratio, machine-independent.
+//   2. memory_pool — the global grant pool is set well below the
+//      aggregate demand of 8 sessions asking 48 pages each.  The claim:
+//      every query still completes (FIFO queueing, no rejections at a
+//      generous timeout), the pool's high-water mark respects the limit,
+//      and no query was forced over its own budget.
+//   3. throttle_off / throttle_on — the same workload unthrottled, then
+//      under a cost throttle calibrated to ~0.3x the unthrottled rate of
+//      seconds-of-work admission.  The claim: throughput actually drops
+//      (QPS ratio <= 0.8), i.e. the token bucket meters admissions.
+//
+// Output: a table, or with --json the unified bench document
+// ({bench, config, rows, metrics}) consumed by tools/bench_diff.py and
+// the serverbench gate in tools/run_checks.sh.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "runtime/startup.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workload/paper_workload.h"
+
+namespace dqep::bench {
+namespace {
+
+using server::ConnectUnix;
+using server::DqepServer;
+using server::LineChannel;
+using server::QueryResponse;
+using server::ServerOptions;
+
+constexpr int kClients = 8;
+constexpr int kQueriesPerClient = 24;
+/// Warm template set: the paper's Q5 (10-way chain join), the query
+/// where parameterized optimization dominates the per-execution phases
+/// (fig5: ~2 ms optimize vs fig7: ~0.5 ms start-up resolution) — i.e.
+/// where a shared plan cache has real latency to amortize.
+const int32_t kWarmSizes[] = {10};
+constexpr double kRepeatRate = 0.90;
+/// Selectivity ceiling for drawn literals: planning is the phase under
+/// test, so keep intermediate results (and execution time) small.
+constexpr double kMaxSelectivity = 0.02;
+/// Client think time for the latency scenarios (see RunClients).
+constexpr int kLatencyThinkMs = 60;
+
+std::string ChainSql(int32_t n, const std::vector<int64_t>& literals) {
+  std::string sql = "SELECT * FROM ";
+  for (int32_t i = 1; i <= n; ++i) {
+    if (i > 1) {
+      sql += ", ";
+    }
+    sql += "R" + std::to_string(i);
+  }
+  sql += " WHERE ";
+  bool first = true;
+  for (int32_t i = 1; i < n; ++i) {
+    if (!first) {
+      sql += " AND ";
+    }
+    first = false;
+    sql += "R" + std::to_string(i) + ".b = R" + std::to_string(i + 1) + ".a";
+  }
+  for (int32_t i = 1; i <= n; ++i) {
+    if (!first) {
+      sql += " AND ";
+    }
+    first = false;
+    sql += "R" + std::to_string(i) + ".s < " +
+           std::to_string(literals[static_cast<size_t>(i - 1)]);
+  }
+  return sql;
+}
+
+std::vector<int64_t> DrawLiterals(const PaperWorkload& workload, int32_t n,
+                                  Rng* rng) {
+  std::vector<int64_t> literals;
+  for (int32_t i = 0; i < n; ++i) {
+    SelectionPredicate pred{
+        AttrRef{i, ExperimentColumns::kSelect}, CompareOp::kLt,
+        Operand::Literal(Value(static_cast<int64_t>(0)))};
+    literals.push_back(
+        workload.model()
+            .ValueForSelectivity(pred, rng->NextDouble() * kMaxSelectivity)
+            .AsInt64());
+  }
+  return literals;
+}
+
+/// A never-before-seen template (same trick as plan_cache_bench: vary
+/// the selection operator shape per relation so the normalized template
+/// is distinct), over 2 relations to keep cold queries cheap to run.
+std::string ColdSql(uint64_t variant_id, Rng* rng) {
+  static const char* kOps[] = {"<=", ">", ">=", "="};
+  static const char* kOptOps[] = {"", "<", "<=", ">", ">="};
+  std::string sql = "SELECT * FROM R1, R2 WHERE R1.b = R2.a";
+  for (int32_t i = 1; i <= 2; ++i) {
+    uint64_t digit = variant_id % 100;
+    variant_id /= 100;
+    std::string rel = "R" + std::to_string(i);
+    sql += " AND " + rel + ".s " + kOps[digit % 4] + " " +
+           std::to_string(rng->NextInt(0, 1 << 10));
+    digit /= 4;
+    const char* a_op = kOptOps[digit % 5];
+    if (*a_op != '\0') {
+      sql += " AND " + rel + ".a " + a_op + " " +
+             std::to_string(rng->NextInt(0, 1 << 20));
+    }
+  }
+  return sql;
+}
+
+/// The deterministic per-client query stream shared by every scenario.
+std::vector<std::string> ClientStream(const PaperWorkload& workload,
+                                      int client, int queries) {
+  Rng rng(kBindingSeed + 1000 * static_cast<uint64_t>(client));
+  std::vector<std::string> sqls;
+  for (int i = 0; i < queries; ++i) {
+    if (rng.NextDouble() < kRepeatRate) {
+      const int32_t n = kWarmSizes[rng.NextInt(
+          0, static_cast<int64_t>(std::size(kWarmSizes)) - 1)];
+      sqls.push_back(ChainSql(n, DrawLiterals(workload, n, &rng)));
+    } else {
+      // Client-unique variant ids so cold templates never collide.
+      sqls.push_back(ColdSql(1 + static_cast<uint64_t>(client) * 1000 +
+                                 static_cast<uint64_t>(i),
+                             &rng));
+    }
+  }
+  return sqls;
+}
+
+double Quantile(const std::vector<double>& values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+struct RunResult {
+  /// Client-observed wall per query: service + wire + scheduler wake.
+  std::vector<double> wire_latencies_us;
+  /// Server-reported per-query seconds (the @ok status line): plan +
+  /// resolve + admit + execute, without the socket round trip.  The
+  /// latency claims gate on this — on a one-core box the wire floor is
+  /// scheduler noise, not the server under test.
+  std::vector<double> server_latencies_us;
+  double wall_seconds = 0.0;
+  double server_seconds = 0.0;  ///< sum of server-reported per-query time
+  int64_t completed = 0;
+  int64_t errors = 0;
+
+  double Qps() const {
+    return wall_seconds > 0 ? completed / wall_seconds : 0.0;
+  }
+};
+
+/// Runs `kClients` clients against `server`'s socket, each issuing its
+/// deterministic stream; `setup` lines run once per client before the
+/// stream (session dials like "\\mem 48").  `think_ms` > 0 inserts a
+/// fixed pause between a client's queries: latency scenarios measure at
+/// moderate utilization (p50 reflects service time, not the CPU run
+/// queue of a fully saturated closed loop); throughput and contention
+/// scenarios run closed-loop with think_ms = 0.
+RunResult RunClients(const DqepServer& server, const PaperWorkload& workload,
+                     const std::vector<std::string>& setup,
+                     int queries_per_client, int think_ms = 0) {
+  RunResult result;
+  std::mutex result_mutex;
+  std::vector<std::thread> clients;
+  WallTimer wall;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::string error;
+      const int fd = ConnectUnix(server.options().socket_path, &error);
+      if (fd < 0) {
+        std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+        std::lock_guard<std::mutex> lock(result_mutex);
+        ++result.errors;
+        return;
+      }
+      LineChannel channel(fd);
+      QueryResponse response;
+      for (const std::string& line : setup) {
+        channel.WriteAll(line + "\n");
+        channel.ReadResponse(&response);
+      }
+      // Jittered think times (and a staggered start) keep the clients
+      // from convoying: without jitter all eight sleep and re-arrive in
+      // lockstep waves, and p50 measures the wave queue, not the server.
+      Rng think_rng(0x7e11 + static_cast<uint64_t>(c));
+      if (think_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(think_rng.NextInt(0, 2 * think_ms)));
+      }
+      std::vector<double> wire_latencies;
+      std::vector<double> server_latencies;
+      double server_seconds = 0.0;
+      int64_t completed = 0;
+      int64_t errors = 0;
+      for (const std::string& sql : ClientStream(workload, c,
+                                                 queries_per_client)) {
+        if (think_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              think_ms / 2 + think_rng.NextInt(0, think_ms)));
+        }
+        WallTimer query_timer;
+        if (!channel.WriteAll(sql + "\n") ||
+            !channel.ReadResponse(&response)) {
+          ++errors;
+          break;
+        }
+        if (response.ok) {
+          ++completed;
+          server_seconds += response.seconds;
+          wire_latencies.push_back(query_timer.ElapsedSeconds() * 1e6);
+          server_latencies.push_back(response.seconds * 1e6);
+        } else {
+          ++errors;
+        }
+      }
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.wire_latencies_us.insert(result.wire_latencies_us.end(),
+                                      wire_latencies.begin(),
+                                      wire_latencies.end());
+      result.server_latencies_us.insert(result.server_latencies_us.end(),
+                                        server_latencies.begin(),
+                                        server_latencies.end());
+      result.server_seconds += server_seconds;
+      result.completed += completed;
+      result.errors += errors;
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+/// One started server + its serve thread, torn down on destruction.
+struct ScopedServer {
+  explicit ScopedServer(ServerOptions options)
+      : server(std::move(options)) {
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    serve_thread = std::thread([this] { server.Serve(); });
+  }
+  ~ScopedServer() {
+    server.Shutdown();
+    serve_thread.join();
+  }
+  DqepServer server;
+  std::thread serve_thread;
+};
+
+/// --phases: embedded per-phase timing of the warm template (no server,
+/// no contention) — the decomposition that explains the cache_on /
+/// cache_off latency ratio.
+void RunPhases() {
+  std::unique_ptr<PaperWorkload> workload = MustCreateWorkload(true);
+  DynamicPlanCache cache(64);
+  Rng rng(kBindingSeed);
+  constexpr int kIters = 30;
+  double opt_cold = 0.0, plan_hit = 0.0, resolve_s = 0.0, exec_s = 0.0,
+         static_plan = 0.0, static_exec = 0.0;
+  for (int i = 0; i < kIters; ++i) {
+    const std::string sql = ChainSql(10, DrawLiterals(*workload, 10, &rng));
+    // Cached path: miss once (cleared cache), then hit.
+    CachedPlanRequest request;
+    request.catalog = &workload->catalog();
+    request.model = &workload->model();
+    request.cache = &cache;
+    cache.Clear();
+    WallTimer t1;
+    auto missed = PlanQueryWithCache(sql, request);
+    opt_cold += t1.ElapsedSeconds();
+    WallTimer t2;
+    auto planned = PlanQueryWithCache(sql, request);
+    plan_hit += t2.ElapsedSeconds();
+    if (!planned.ok()) {
+      std::fprintf(stderr, "plan: %s\n", planned.status().ToString().c_str());
+      return;
+    }
+    StartupOptions startup_options;
+    if (!planned->plan_params.empty()) {
+      startup_options.plan_params = &planned->plan_params;
+    }
+    WallTimer t3;
+    auto startup = ResolveDynamicPlan(planned->root, workload->model(),
+                                      planned->bound, startup_options);
+    resolve_s += t3.ElapsedSeconds();
+    if (!startup.ok()) {
+      return;
+    }
+    std::unique_ptr<ExecContext> ctx =
+        MakeExecContext(planned->bound, workload->config());
+    WallTimer t4;
+    auto iter = BuildExecutor(startup->resolved, workload->db(),
+                              planned->bound, ctx.get());
+    if (!iter.ok()) {
+      return;
+    }
+    (*iter)->Open();
+    Tuple tuple;
+    while ((*iter)->Next(&tuple)) {
+    }
+    (*iter)->Close();
+    exec_s += t4.ElapsedSeconds();
+    // Uncached path: plain parse + point optimize + execute.
+    CachedPlanRequest plain = request;
+    plain.cache = nullptr;
+    WallTimer t5;
+    auto static_planned = PlanQueryWithCache(sql, plain);
+    static_plan += t5.ElapsedSeconds();
+    if (!static_planned.ok()) {
+      return;
+    }
+    auto static_startup = ResolveDynamicPlan(
+        static_planned->root, workload->model(), static_planned->bound);
+    std::unique_ptr<ExecContext> ctx2 =
+        MakeExecContext(static_planned->bound, workload->config());
+    WallTimer t6;
+    auto iter2 = BuildExecutor(static_startup->resolved, workload->db(),
+                               static_planned->bound, ctx2.get());
+    (*iter2)->Open();
+    while ((*iter2)->Next(&tuple)) {
+    }
+    (*iter2)->Close();
+    static_exec += t6.ElapsedSeconds();
+  }
+  const double k = 1e3 / kIters;
+  std::printf("warm template phase means (ms):\n");
+  std::printf("  cached:   miss_plan=%.3f hit_plan=%.3f resolve=%.3f "
+              "exec=%.3f\n",
+              opt_cold * k, plan_hit * k, resolve_s * k, exec_s * k);
+  std::printf("  uncached: plan=%.3f exec=%.3f\n", static_plan * k,
+              static_exec * k);
+  std::printf("  latency ratio uncached/hit = %.2f\n",
+              (static_plan + resolve_s + static_exec) /
+                  (plan_hit + resolve_s + exec_s));
+}
+
+ServerOptions BaseOptions(const std::string& socket_path) {
+  ServerOptions options;
+  options.socket_path = socket_path;
+  options.sessions = kClients;
+  options.workload_seed = kWorkloadSeed;
+  return options;
+}
+
+struct Row {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+int64_t CounterValue(const std::map<std::string, obs::MetricValue>& snapshot,
+                     const std::string& name) {
+  auto it = snapshot.find(name);
+  return it == snapshot.end() ? 0 : it->second.value;
+}
+
+void Run(bool json) {
+  std::unique_ptr<PaperWorkload> workload = MustCreateWorkload();
+  char dir_template[] = "/tmp/dqepbenchXXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  const std::string dir_str = dir;
+  std::vector<Row> rows;
+
+  // -- Scenario 1: shared plan cache on vs off ------------------------
+  double p50_on = 0.0;
+  double hit_rate = 0.0;
+  {
+    ScopedServer scoped(BaseOptions(dir_str + "/cache_on"));
+    RunResult result = RunClients(scoped.server, *workload, {},
+                                  kQueriesPerClient, kLatencyThinkMs);
+    PlanCacheStats stats = scoped.server.plan_cache()->stats();
+    const int64_t lookups = stats.hits + stats.misses;
+    hit_rate = lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0;
+    p50_on = Quantile(result.server_latencies_us, 0.5);
+    rows.push_back({"server/cache_on",
+                    {{"queries", static_cast<double>(result.completed)},
+                     {"errors", static_cast<double>(result.errors)},
+                     {"qps", result.Qps()},
+                     {"p50_us", p50_on},
+                     {"p95_us", Quantile(result.server_latencies_us, 0.95)},
+                     {"p50_wire_us",
+                      Quantile(result.wire_latencies_us, 0.5)},
+                     {"hit_rate", hit_rate}}});
+  }
+  {
+    ServerOptions options = BaseOptions(dir_str + "/cache_off");
+    options.plan_cache_capacity = 0;
+    ScopedServer scoped(options);
+    RunResult result = RunClients(scoped.server, *workload, {},
+                                  kQueriesPerClient, kLatencyThinkMs);
+    const double p50_off = Quantile(result.server_latencies_us, 0.5);
+    rows.push_back({"server/cache_off",
+                    {{"queries", static_cast<double>(result.completed)},
+                     {"errors", static_cast<double>(result.errors)},
+                     {"qps", result.Qps()},
+                     {"p50_us", p50_off},
+                     {"p95_us", Quantile(result.server_latencies_us, 0.95)},
+                     {"p50_wire_us",
+                      Quantile(result.wire_latencies_us, 0.5)},
+                     {"p50_speedup", p50_on > 0 ? p50_off / p50_on : 0.0}}});
+  }
+
+  // -- Scenario 2: memory pool below aggregate demand -----------------
+  {
+    ServerOptions options = BaseOptions(dir_str + "/pool");
+    options.pool_pages = 192;  // 8 sessions x 64 pages = 512 demanded
+    options.admission_timeout_ms = 60000;
+    ScopedServer scoped(options);
+    auto before = obs::MetricsRegistry::Instance().Snapshot();
+    const int64_t overflows_before =
+        CounterValue(before, "exec.memory.forced_overflows");
+    RunResult result = RunClients(scoped.server, *workload, {"\\mem 64"},
+                                  kQueriesPerClient / 2);
+    auto after = obs::MetricsRegistry::Instance().Snapshot();
+    const int64_t overflows =
+        CounterValue(after, "exec.memory.forced_overflows") - overflows_before;
+    const auto* pool = scoped.server.admission()->pool();
+    rows.push_back(
+        {"server/memory_pool",
+         {{"queries", static_cast<double>(result.completed)},
+          {"errors", static_cast<double>(result.errors)},
+          {"qps", result.Qps()},
+          {"p50_us", Quantile(result.server_latencies_us, 0.5)},
+          {"pool_pages", static_cast<double>(pool->total_pages())},
+          {"peak_granted_pages",
+           static_cast<double>(pool->peak_granted_pages())},
+          {"queued_admissions", static_cast<double>(pool->queued_total())},
+          {"forced_overflows", static_cast<double>(overflows)}}});
+  }
+
+  // -- Scenario 3: cost throttle vs unthrottled -----------------------
+  double unthrottled_qps = 0.0;
+  double work_rate = 0.0;
+  {
+    ScopedServer scoped(BaseOptions(dir_str + "/raw"));
+    RunResult result = RunClients(scoped.server, *workload, {},
+                                  kQueriesPerClient / 2);
+    unthrottled_qps = result.Qps();
+    work_rate = result.wall_seconds > 0
+                    ? result.server_seconds / result.wall_seconds
+                    : 0.0;
+    rows.push_back({"server/throttle_off",
+                    {{"queries", static_cast<double>(result.completed)},
+                     {"errors", static_cast<double>(result.errors)},
+                     {"qps", unthrottled_qps},
+                     {"work_rate", work_rate}}});
+  }
+  {
+    ServerOptions options = BaseOptions(dir_str + "/throttled");
+    // Admit ~30% of the measured unthrottled seconds-of-work per wall
+    // second; a generous timeout so queries delay instead of failing.
+    options.throttle_rate = std::max(1e-6, 0.3 * work_rate);
+    options.throttle_burst = 0.01;
+    options.admission_timeout_ms = 120000;
+    ScopedServer scoped(options);
+    RunResult result = RunClients(scoped.server, *workload, {},
+                                  kQueriesPerClient / 2);
+    rows.push_back(
+        {"server/throttle_on",
+         {{"queries", static_cast<double>(result.completed)},
+          {"errors", static_cast<double>(result.errors)},
+          {"qps", result.Qps()},
+          {"throttle_rate", options.throttle_rate},
+          {"qps_ratio",
+           unthrottled_qps > 0 ? result.Qps() / unthrottled_qps : 0.0}}});
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"server\",\n");
+    std::printf(
+        "  \"config\": {\"clients\": %d, \"queries_per_client\": %d, "
+        "\"repeat_rate\": %.2f, \"workload_seed\": %" PRIu64
+        ", \"binding_seed\": %" PRIu64 "},\n",
+        kClients, kQueriesPerClient, kRepeatRate, kWorkloadSeed,
+        kBindingSeed);
+    std::printf("  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("    {\"name\": \"%s\"", rows[i].name.c_str());
+      for (const auto& [key, value] : rows[i].fields) {
+        std::printf(", \"%s\": %.6f", key.c_str(), value);
+      }
+      std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
+    }
+    std::string metrics = obs::MetricsRegistry::Instance().RenderJson();
+    std::string indented;
+    for (char c : metrics) {
+      indented += c;
+      if (c == '\n') {
+        indented += "  ";
+      }
+    }
+    std::printf("  ],\n  \"metrics\": %s\n}\n", indented.c_str());
+  } else {
+    for (const Row& row : rows) {
+      std::printf("%-22s", row.name.c_str());
+      for (const auto& [key, value] : row.fields) {
+        std::printf("  %s=%.3f", key.c_str(), value);
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Best-effort cleanup of the socket directory.
+  for (const char* name :
+       {"cache_on", "cache_off", "pool", "raw", "throttled"}) {
+    ::unlink((dir_str + "/" + name).c_str());
+  }
+  ::rmdir(dir_str.c_str());
+}
+
+}  // namespace
+}  // namespace dqep::bench
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--phases") == 0) {
+      dqep::bench::RunPhases();
+      return 0;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json|--phases]\n", argv[0]);
+      return 2;
+    }
+  }
+  dqep::bench::Run(json);
+  return 0;
+}

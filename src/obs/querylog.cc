@@ -391,29 +391,37 @@ std::string RenderQueryLogRecordJson(const QueryLogRecord& record) {
 QueryLogWriter::~QueryLogWriter() { Close(); }
 
 bool QueryLogWriter::Open(const std::string& path, std::string* error) {
-  Close();
-  file_ = std::fopen(path.c_str(), "a");
-  if (file_ == nullptr) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
     if (error != nullptr) {
       *error = "cannot open query log " + path;
     }
     return false;
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+  file_ = file;
   path_ = path;
   return true;
 }
 
 bool QueryLogWriter::Append(const QueryLogRecord& record) {
+  // Serialize outside the lock; hold it only for the write + flush so
+  // concurrent sessions' records land as whole, unmixed lines.
+  std::string line = RenderQueryLogRecordJson(record);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) {
     return false;
   }
-  std::string line = RenderQueryLogRecordJson(record);
-  line += '\n';
   size_t written = std::fwrite(line.data(), 1, line.size(), file_);
   return written == line.size() && std::fflush(file_) == 0;
 }
 
 void QueryLogWriter::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;

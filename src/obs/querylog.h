@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -152,6 +153,12 @@ std::string RenderQueryLogRecordJson(const QueryLogRecord& record);
 /// Append-only JSONL writer.  Opens lazily, appends one line per record,
 /// flushes after each append so concurrent readers and crashed sessions
 /// see whole lines only.
+///
+/// Thread-safe: one writer instance may be shared by concurrent server
+/// sessions.  Each record is serialized outside the lock, then written
+/// and flushed as one critical section (a single process-wide writer), so
+/// N threads appending simultaneously produce N whole lines — never torn
+/// or interleaved records.
 class QueryLogWriter {
  public:
   QueryLogWriter() = default;
@@ -164,8 +171,14 @@ class QueryLogWriter {
   /// the file cannot be opened.
   bool Open(const std::string& path, std::string* error = nullptr);
 
-  bool is_open() const { return file_ != nullptr; }
-  const std::string& path() const { return path_; }
+  bool is_open() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return file_ != nullptr;
+  }
+  std::string path() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return path_;
+  }
 
   /// Serializes and appends `record`.  Returns false on I/O failure.
   bool Append(const QueryLogRecord& record);
@@ -173,6 +186,7 @@ class QueryLogWriter {
   void Close();
 
  private:
+  mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
   std::string path_;
 };

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
+#include "runtime/startup.h"
 #include "sql/normalize.h"
 #include "sql/parser.h"
 
@@ -239,6 +240,7 @@ Result<CachedPlanResult> PlanQueryWithCache(const std::string& sql,
       result.root = entry->root;
       result.cost = entry->cost;
       result.host_params = entry->host_params;
+      result.plan_params = entry->plan_params;
       for (size_t i = 0; i < entry->literal_params.size(); ++i) {
         result.bound.Bind(entry->literal_params[i],
                           Value(normalized.literals[i]));
@@ -295,6 +297,8 @@ Result<CachedPlanResult> PlanQueryWithCache(const std::string& sql,
     entry.cardinality = plan->cardinality;
     entry.host_params.assign(parsed->params.begin(), parsed->params.end());
     entry.literal_params = parsed->lifted_params;
+    entry.plan_params = PlanParams(*plan->root);
+    result.plan_params = entry.plan_params;
     entry.stats_epoch = epochs.first;
     entry.profile_epoch = epochs.second;
     entry.optimize_seconds = compile_timer.ElapsedSeconds();

@@ -30,10 +30,12 @@
 // bumps, clear, and eviction take the exclusive lock.  Returned entries
 // are shared_ptr<const Entry>, so eviction never frees a plan that a
 // concurrent execution still holds.  Plan DAGs themselves are immutable
-// (physical/plan.h) — the one caveat is the *annotation* channel
-// (PhysNode::SetEstimates via AnnotatePlan), which is deterministic
-// given (model, env) and single-writer in the CLI; a future multi-
-// session server must re-annotate on a private copy or not at all.
+// (physical/plan.h) including the *annotation* channel
+// (PhysNode::SetEstimates via AnnotatePlan): after Insert, nothing may
+// write estimates into a cached DAG or any plan sharing subtrees with
+// it.  Consumers that need annotated plans (EXPLAIN ANALYZE, the query
+// log) annotate a ClonePlan deep copy (runtime/plan_rewrite.h) — this is
+// what makes concurrent server sessions race-free on shared entries.
 //
 // Observability: every operation feeds both the internal stats() (the
 // \cache shell command) and the MetricsRegistry counters
@@ -102,6 +104,9 @@ class DynamicPlanCache {
     /// Synthetic ParamId per lifted literal, in template-'?' order:
     /// literal_params[i] binds NormalizedQuery::literals[i].
     std::vector<ParamId> literal_params;
+    /// PlanParams(*root), computed once here so every hit can skip the
+    /// full-DAG parameter-discovery walk at start-up resolution.
+    std::vector<ParamId> plan_params;
 
     /// Epochs the plan was compiled under (see header comment).
     uint64_t stats_epoch = 0;
@@ -129,6 +134,7 @@ class DynamicPlanCache {
           cardinality(other.cardinality),
           host_params(std::move(other.host_params)),
           literal_params(std::move(other.literal_params)),
+          plan_params(std::move(other.plan_params)),
           stats_epoch(other.stats_epoch),
           profile_epoch(other.profile_epoch),
           optimize_seconds(other.optimize_seconds),
@@ -238,6 +244,10 @@ struct CachedPlanResult {
   /// Host variables the query references (name -> ParamId) — what the
   /// caller's bindings were matched against.
   std::vector<std::pair<std::string, ParamId>> host_params;
+  /// PlanParams(*root) when a cache supplied or built the plan (empty on
+  /// the no-cache path).  Pass as StartupOptions::plan_params to skip
+  /// rediscovery at resolution.
+  std::vector<ParamId> plan_params;
   /// Wall seconds spent in each phase (zero when skipped).
   double normalize_seconds = 0.0;
   double parse_seconds = 0.0;

@@ -71,4 +71,25 @@ PhysNodePtr RewritePlan(const Catalog& catalog, const PhysNodePtr& root,
   return RewriteNode(catalog, root, transform, &memo);
 }
 
+PhysNodePtr ClonePlan(const Catalog& catalog, const PhysNodePtr& root) {
+  return RewritePlan(
+      catalog, root,
+      [&catalog](const PhysNode& node,
+                 const std::vector<PhysNodePtr>& children) -> PhysNodePtr {
+        switch (node.kind()) {
+          case PhysOpKind::kFileScan:
+            return PhysNode::FileScan(catalog, node.relation());
+          case PhysOpKind::kBTreeScan:
+            return PhysNode::BTreeScan(catalog, node.relation(),
+                                       node.column());
+          case PhysOpKind::kFilterBTreeScan:
+            return PhysNode::FilterBTreeScan(catalog, node.relation(),
+                                             node.predicates().front());
+          default:
+            // Interior nodes: rebuild on the (already cloned) children.
+            return CloneWithChildren(catalog, node, children);
+        }
+      });
+}
+
 }  // namespace dqep

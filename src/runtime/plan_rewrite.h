@@ -28,6 +28,18 @@ using NodeTransform = std::function<PhysNodePtr(
 PhysNodePtr RewritePlan(const Catalog& catalog, const PhysNodePtr& root,
                         const NodeTransform& transform);
 
+/// Deep private copy of a plan DAG: every node (leaves included) is a
+/// fresh PhysNode, internal sharing preserved (a subplan shared by two
+/// parents is cloned once and shared by both clones).  The copy carries
+/// no compile-time estimate annotations.
+///
+/// This exists for multi-session annotation safety: PhysNode estimate
+/// annotations (SetEstimates via AnnotatePlan) are logically-const writes
+/// into nodes that a shared plan-cache entry may be serving to concurrent
+/// sessions.  Sessions that need annotated plans (EXPLAIN ANALYZE, the
+/// query log) annotate a ClonePlan copy instead of the shared DAG.
+PhysNodePtr ClonePlan(const Catalog& catalog, const PhysNodePtr& root);
+
 }  // namespace dqep
 
 #endif  // DQEP_RUNTIME_PLAN_REWRITE_H_

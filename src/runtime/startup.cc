@@ -211,6 +211,55 @@ class StartupEvaluator {
   int64_t decisions_ = 0;
 };
 
+/// Top-down extraction of the chosen plan: recurses into the chosen
+/// alternative of each choose-plan operator only, so the non-chosen
+/// subgraphs — most of a dynamic plan DAG — are never visited, let alone
+/// rebuilt.  Subtrees containing no decisions are returned as-is (still
+/// shared with the dynamic plan), matching RewritePlan's sharing
+/// behavior; only ancestors of a replaced choose node are cloned.
+class ChosenPlanExtractor {
+ public:
+  ChosenPlanExtractor(
+      const Catalog& catalog,
+      const std::unordered_map<const PhysNode*, size_t>& choices)
+      : catalog_(catalog), choices_(choices) {}
+
+  PhysNodePtr Extract(const PhysNodePtr& node) {
+    auto it = memo_.find(node.get());
+    if (it != memo_.end()) {
+      return it->second;
+    }
+    PhysNodePtr result;
+    if (node->kind() == PhysOpKind::kChoosePlan) {
+      // Every choose node reachable through chosen children completed its
+      // decision (its subtree finished evaluation), so the lookup cannot
+      // miss — unreachable choose nodes are simply never visited here.
+      auto choice = choices_.find(node.get());
+      DQEP_CHECK(choice != choices_.end());
+      result = Extract(node->child(choice->second));
+    } else {
+      std::vector<PhysNodePtr> children;
+      children.reserve(node->children().size());
+      bool changed = false;
+      for (const PhysNodePtr& child : node->children()) {
+        PhysNodePtr extracted = Extract(child);
+        changed = changed || extracted.get() != child.get();
+        children.push_back(std::move(extracted));
+      }
+      result = changed
+                   ? CloneWithChildren(catalog_, *node, std::move(children))
+                   : node;
+    }
+    memo_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  const Catalog& catalog_;
+  const std::unordered_map<const PhysNode*, size_t>& choices_;
+  std::unordered_map<const PhysNode*, PhysNodePtr> memo_;
+};
+
 }  // namespace
 
 std::vector<ParamId> PlanParams(const PhysNode& root) {
@@ -230,7 +279,12 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
                                          const ParamEnv& env,
                                          const StartupOptions& options) {
   DQEP_CHECK(root != nullptr);
-  std::vector<ParamId> params = PlanParams(*root);
+  std::vector<ParamId> discovered;
+  if (options.plan_params == nullptr) {
+    discovered = PlanParams(*root);
+  }
+  const std::vector<ParamId>& params =
+      options.plan_params != nullptr ? *options.plan_params : discovered;
   if (!env.FullyBound(params)) {
     return Status::InvalidArgument(
         "start-up requires all host variables bound and a point memory "
@@ -247,24 +301,8 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
 
   const auto& choices = evaluator.choices();
   StartupResult result;
-  result.resolved = RewritePlan(
-      model.catalog(), root,
-      [&choices](const PhysNode& node,
-                 const std::vector<PhysNodePtr>& children) -> PhysNodePtr {
-        if (node.kind() != PhysOpKind::kChoosePlan) {
-          return nullptr;
-        }
-        auto it = choices.find(&node);
-        if (it == choices.end()) {
-          // Under start-up branch-and-bound a choose node nested inside
-          // alternatives that were all abandoned never completes a
-          // decision.  Such a node cannot lie on the chosen plan's path
-          // (its parents were not chosen either), so any placeholder
-          // works; the rewriter visits every DAG node regardless.
-          return children.front();
-        }
-        return children[it->second];
-      });
+  ChosenPlanExtractor extractor(model.catalog(), choices);
+  result.resolved = extractor.Extract(root);
   result.measured_cpu_seconds = timer.ElapsedSeconds();
   result.cost_evaluations = evaluator.evaluations();
   result.decisions = evaluator.decisions();

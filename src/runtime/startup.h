@@ -45,6 +45,11 @@ struct StartupOptions {
   /// carrying every alternative's resolved point cost and compile-time
   /// cost interval.  Null (default) disables tracing.  Not owned.
   obs::TraceSession* trace = nullptr;
+
+  /// Precomputed PlanParams(*root), e.g. stored alongside a plan-cache
+  /// entry: skips the full-DAG parameter-discovery walk on the hot
+  /// resolve path.  Must match the plan being resolved.  Not owned.
+  const std::vector<ParamId>* plan_params = nullptr;
 };
 
 /// Outcome of resolving one dynamic plan under bound parameters.

@@ -1,0 +1,376 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/querylog.h"
+
+namespace dqep {
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+const char* AdmitOutcomeName(AdmitOutcome outcome) {
+  switch (outcome) {
+    case AdmitOutcome::kAdmitted:
+      return "admitted";
+    case AdmitOutcome::kTimeout:
+      return "timeout";
+    case AdmitOutcome::kTooLarge:
+      return "too-large";
+    case AdmitOutcome::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// MemoryGrantPool
+
+MemoryGrantPool::MemoryGrantPool(int64_t total_pages)
+    : total_pages_(total_pages),
+      available_(total_pages),
+      in_use_gauge_(
+          obs::MetricsRegistry::Instance().NewGauge("server.pool.pages_in_use")),
+      peak_gauge_(obs::MetricsRegistry::Instance().NewGaugeMax(
+          "server.pool.peak_pages")),
+      queued_counter_(
+          obs::MetricsRegistry::Instance().NewCounter("server.pool.queued")) {
+  DQEP_CHECK(total_pages_ > 0);
+}
+
+AdmitOutcome MemoryGrantPool::Acquire(int64_t pages,
+                                      std::chrono::milliseconds timeout) {
+  if (pages <= 0) {
+    return AdmitOutcome::kAdmitted;
+  }
+  if (pages > total_pages_) {
+    return AdmitOutcome::kTooLarge;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return AdmitOutcome::kShutdown;
+  }
+  // Fast path: the pool has room AND nobody is queued ahead of us (an
+  // empty waiter queue keeps FIFO exact — a small newcomer must not leap
+  // over a large query already waiting for pages to free up).
+  if (waiters_.empty() && pages <= available_) {
+    available_ -= pages;
+    in_use_gauge_.Set(total_pages_ - available_);
+    peak_gauge_.RecordMax(total_pages_ - available_);
+    return AdmitOutcome::kAdmitted;
+  }
+  const uint64_t ticket = next_ticket_++;
+  waiters_.push_back(ticket);
+  ++queued_total_;
+  queued_counter_.Add(1);
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    const bool at_front = !waiters_.empty() && waiters_.front() == ticket;
+    if (shutdown_ || (at_front && pages <= available_)) {
+      break;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  // Whatever happened, leave the queue (erase is O(queue) but queues are
+  // short — bounded by session count).
+  auto it = std::find(waiters_.begin(), waiters_.end(), ticket);
+  const bool was_front = it == waiters_.begin();
+  if (it != waiters_.end()) {
+    waiters_.erase(it);
+  }
+  if (shutdown_) {
+    cv_.notify_all();
+    return AdmitOutcome::kShutdown;
+  }
+  if (waiters_.empty() || was_front) {
+    // Our departure may unblock the new front (grant or timeout alike).
+    cv_.notify_all();
+  }
+  if (pages <= available_ && was_front) {
+    available_ -= pages;
+    in_use_gauge_.Set(total_pages_ - available_);
+    peak_gauge_.RecordMax(total_pages_ - available_);
+    return AdmitOutcome::kAdmitted;
+  }
+  return AdmitOutcome::kTimeout;
+}
+
+void MemoryGrantPool::Release(int64_t pages) {
+  if (pages <= 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    available_ += pages;
+    DQEP_CHECK(available_ <= total_pages_);
+    in_use_gauge_.Set(total_pages_ - available_);
+  }
+  cv_.notify_all();
+}
+
+void MemoryGrantPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t MemoryGrantPool::available_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return available_;
+}
+
+int64_t MemoryGrantPool::peak_granted_pages() const {
+  return peak_gauge_.value();
+}
+
+int64_t MemoryGrantPool::queued_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_total_;
+}
+
+// ---------------------------------------------------------------------------
+// CostThrottle
+
+CostThrottle::CostThrottle(double rate_seconds_per_second,
+                           double burst_seconds)
+    : rate_(rate_seconds_per_second),
+      burst_(burst_seconds > 0.0 ? burst_seconds : 0.0),
+      tokens_(burst_),
+      last_refill_(Clock::now()),
+      throttled_counter_(obs::MetricsRegistry::Instance().NewCounter(
+          "server.throttle.delayed")) {}
+
+void CostThrottle::RefillLocked() {
+  const auto now = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+}
+
+AdmitOutcome CostThrottle::Acquire(double cost_seconds,
+                                   std::chrono::milliseconds timeout) {
+  if (!enabled() || cost_seconds <= 0.0) {
+    return AdmitOutcome::kAdmitted;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = Clock::now() + timeout;
+  bool delayed = false;
+  for (;;) {
+    if (shutdown_) {
+      return AdmitOutcome::kShutdown;
+    }
+    RefillLocked();
+    // Admit whenever the bucket is positive and charge the full cost,
+    // possibly driving it into debt — an expensive query is never blocked
+    // outright, it just makes everyone after it wait while the debt
+    // refills (the quota-tracker idiom).
+    if (tokens_ > 0.0) {
+      tokens_ -= cost_seconds;
+      return AdmitOutcome::kAdmitted;
+    }
+    if (delayed == false) {
+      delayed = true;
+      throttled_counter_.Add(1);
+    }
+    // Sleep until the debt should be paid off (or the deadline).
+    const double wait_seconds = -tokens_ / rate_;
+    auto wake = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(wait_seconds));
+    if (wake > deadline) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // Re-check once: the clock may have drifted past solvency.
+        RefillLocked();
+        if (!shutdown_ && tokens_ > 0.0) {
+          tokens_ -= cost_seconds;
+          return AdmitOutcome::kAdmitted;
+        }
+        return shutdown_ ? AdmitOutcome::kShutdown : AdmitOutcome::kTimeout;
+      }
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+  }
+}
+
+void CostThrottle::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+double CostThrottle::tokens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - last_refill_).count();
+  return std::min(burst_, tokens_ + elapsed * rate_);
+}
+
+// ---------------------------------------------------------------------------
+// TemplateCostTable
+
+double TemplateCostTable::EstimateSeconds(uint64_t fingerprint,
+                                          double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = seconds_.find(fingerprint);
+  return it == seconds_.end() ? fallback : it->second;
+}
+
+void TemplateCostTable::Record(uint64_t fingerprint,
+                               double measured_seconds) {
+  if (measured_seconds < 0.0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = seconds_.try_emplace(fingerprint, measured_seconds);
+  if (!inserted) {
+    it->second += kAlpha * (measured_seconds - it->second);
+  }
+}
+
+int64_t TemplateCostTable::SeedFromLog(const std::string& path) {
+  auto records = obs::LoadQueryLog(path);
+  if (!records.ok()) {
+    return 0;
+  }
+  int64_t folded = 0;
+  for (const obs::QueryLogRecord& record : *records) {
+    if (record.query_hash == 0 || record.actual_seconds <= 0.0) {
+      continue;
+    }
+    Record(record.query_hash, record.actual_seconds);
+    ++folded;
+  }
+  return folded;
+}
+
+size_t TemplateCostTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seconds_.size();
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) {
+      controller_->ReleaseTicket(pages_);
+    }
+    controller_ = other.controller_;
+    pages_ = other.pages_;
+    other.controller_ = nullptr;
+    other.pages_ = 0;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseTicket(pages_);
+  }
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config),
+      pool_(config.pool_pages > 0
+                ? std::make_unique<MemoryGrantPool>(config.pool_pages)
+                : nullptr),
+      throttle_(config.throttle_rate, config.throttle_burst),
+      admitted_counter_(obs::MetricsRegistry::Instance().NewCounter(
+          "server.admission.admitted")),
+      rejected_counter_(obs::MetricsRegistry::Instance().NewCounter(
+          "server.admission.rejected")),
+      wait_histogram_(obs::MetricsRegistry::Instance().NewHistogram(
+          "server.admission.wait_us")) {}
+
+AdmitResult AdmissionController::Admit(uint64_t fingerprint, int64_t pages,
+                                       double predicted_seconds) {
+  const auto timeout = std::chrono::milliseconds(
+      config_.timeout_ms > 0 ? config_.timeout_ms : 0);
+  const auto start = Clock::now();
+  AdmitResult result;
+
+  // Memory first: holding pages while waiting on the throttle is fine
+  // (pages are the scarcer, deadlock-prone resource; acquiring them in
+  // one global FIFO order keeps the pool convoy-free), whereas holding
+  // throttle debt while queued for pages would charge for work not yet
+  // admitted.
+  if (pool_ != nullptr) {
+    result.outcome = pool_->Acquire(pages, timeout);
+    if (result.outcome != AdmitOutcome::kAdmitted) {
+      rejected_counter_.Add(1);
+      char buf[160];
+      if (result.outcome == AdmitOutcome::kTooLarge) {
+        std::snprintf(buf, sizeof(buf),
+                      "memory grant %" PRId64
+                      " pages exceeds server pool of %" PRId64 " pages",
+                      pages, pool_->total_pages());
+      } else if (result.outcome == AdmitOutcome::kTimeout) {
+        std::snprintf(buf, sizeof(buf),
+                      "admission timeout after %" PRId64
+                      " ms waiting for %" PRId64 " pages",
+                      config_.timeout_ms, pages);
+      } else {
+        std::snprintf(buf, sizeof(buf), "server shutting down");
+      }
+      result.message = buf;
+      return result;
+    }
+  }
+
+  const double cost =
+      cost_table_.EstimateSeconds(fingerprint, predicted_seconds);
+  result.outcome = throttle_.Acquire(cost, timeout);
+  if (result.outcome != AdmitOutcome::kAdmitted) {
+    if (pool_ != nullptr) {
+      pool_->Release(pages);
+    }
+    rejected_counter_.Add(1);
+    result.message = result.outcome == AdmitOutcome::kShutdown
+                         ? "server shutting down"
+                         : "admission timeout: query-cost throttle saturated";
+    return result;
+  }
+
+  admitted_counter_.Add(1);
+  wait_histogram_.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                             Clock::now() - start)
+                             .count());
+  result.ticket = AdmissionTicket(this, pool_ != nullptr ? pages : 0);
+  return result;
+}
+
+void AdmissionController::RecordExecution(uint64_t fingerprint,
+                                          double measured_seconds) {
+  cost_table_.Record(fingerprint, measured_seconds);
+}
+
+void AdmissionController::Shutdown() {
+  if (pool_ != nullptr) {
+    pool_->Shutdown();
+  }
+  throttle_.Shutdown();
+}
+
+void AdmissionController::ReleaseTicket(int64_t pages) {
+  if (pool_ != nullptr) {
+    pool_->Release(pages);
+  }
+}
+
+}  // namespace server
+}  // namespace dqep

@@ -1,0 +1,248 @@
+// Admission control for the multi-session query server.
+//
+// Two gates stand between an arriving query and execution:
+//
+//   1. MemoryGrantPool — the global side of the per-query memory grant.
+//      Every session's ExecContext budget (runtime/startup.h
+//      MakeExecContext) is priced and enforced per query; the pool makes
+//      the *sum* of concurrent grants respect one process-wide limit.
+//      Queries whose grant does not fit queue FIFO (strict arrival order,
+//      head-of-line by design: a large query cannot be starved by a
+//      stream of small ones) and are politely rejected after a timeout
+//      instead of hanging.  Because every admitted query's tracked peak
+//      stays within its own grant (exec/exec_context.h: zero forced
+//      overflows => peak <= budget), the sum of concurrent tracked bytes
+//      stays within the pool by construction.
+//
+//   2. CostThrottle — a token-bucket over *seconds of execution*, the
+//      quota idiom of ydb's persqueue quota tracker: the bucket refills
+//      at `rate` seconds-of-work per wall second up to `burst`; each
+//      admitted query debits its estimated cost and may drive the bucket
+//      negative (debt), so an expensive template delays subsequent
+//      admissions in proportion to what it actually costs the fleet
+//      rather than blocking outright.  Estimates come from the query
+//      log's measured seconds (TemplateCostTable EWMA, seeded from a
+//      persisted log and updated after every execution), falling back to
+//      the optimizer's predicted cost for never-executed templates.
+//
+// AdmissionController composes the two behind one Admit() returning an
+// RAII ticket; releasing the ticket returns the memory grant (cost
+// tokens are consumed, not returned — they meter work performed).
+// Everything here is thread-safe and Shutdown() wakes every waiter so a
+// draining server never strands a queued query.
+
+#ifndef DQEP_SERVER_ADMISSION_H_
+#define DQEP_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include <condition_variable>
+
+#include "obs/metrics.h"
+
+namespace dqep {
+namespace server {
+
+/// Why an admission attempt did not produce a grant.
+enum class AdmitOutcome {
+  kAdmitted,
+  kTimeout,   ///< queued past the deadline — polite rejection
+  kTooLarge,  ///< the ask exceeds the whole pool and can never fit
+  kShutdown,  ///< the server is draining
+};
+
+const char* AdmitOutcomeName(AdmitOutcome outcome);
+
+/// Global memory-grant pool (pages).  See the header comment.
+class MemoryGrantPool {
+ public:
+  explicit MemoryGrantPool(int64_t total_pages);
+
+  MemoryGrantPool(const MemoryGrantPool&) = delete;
+  MemoryGrantPool& operator=(const MemoryGrantPool&) = delete;
+
+  /// Blocks until `pages` can be granted in FIFO order, the deadline
+  /// passes, or Shutdown.  A zero/negative page ask admits immediately
+  /// (unbounded queries are not the pool's business).
+  AdmitOutcome Acquire(int64_t pages, std::chrono::milliseconds timeout);
+
+  /// Returns a grant taken by Acquire.
+  void Release(int64_t pages);
+
+  /// Wakes every queued waiter with kShutdown; later Acquires fail fast.
+  void Shutdown();
+
+  int64_t total_pages() const { return total_pages_; }
+  int64_t available_pages() const;
+  /// High-water mark of concurrently granted pages.
+  int64_t peak_granted_pages() const;
+  /// Acquires that had to queue (the pool was exhausted on arrival).
+  int64_t queued_total() const;
+
+ private:
+  const int64_t total_pages_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int64_t available_;
+  /// FIFO queue of waiter tickets; only the front may be granted.
+  std::deque<uint64_t> waiters_;
+  uint64_t next_ticket_ = 0;
+  bool shutdown_ = false;
+  int64_t queued_total_ = 0;
+  obs::CellHandle in_use_gauge_;
+  obs::CellHandle peak_gauge_;
+  obs::CellHandle queued_counter_;
+};
+
+/// Token bucket over estimated seconds of work (see header comment).
+/// rate <= 0 disables the throttle (every Acquire admits instantly).
+class CostThrottle {
+ public:
+  CostThrottle(double rate_seconds_per_second, double burst_seconds);
+
+  CostThrottle(const CostThrottle&) = delete;
+  CostThrottle& operator=(const CostThrottle&) = delete;
+
+  AdmitOutcome Acquire(double cost_seconds,
+                       std::chrono::milliseconds timeout);
+
+  void Shutdown();
+
+  bool enabled() const { return rate_ > 0.0; }
+  /// Current token level in seconds (refilled to now); may be negative.
+  double tokens() const;
+
+ private:
+  /// Refills tokens_ up to now; callers hold mutex_.
+  void RefillLocked();
+
+  const double rate_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+  bool shutdown_ = false;
+  obs::CellHandle throttled_counter_;
+};
+
+/// Per-template measured execution seconds: an EWMA per normalized-query
+/// fingerprint, the same identity the plan cache and the query log key
+/// on.  Feeds the CostThrottle with what templates actually cost.
+class TemplateCostTable {
+ public:
+  TemplateCostTable() = default;
+
+  TemplateCostTable(const TemplateCostTable&) = delete;
+  TemplateCostTable& operator=(const TemplateCostTable&) = delete;
+
+  /// The EWMA for `fingerprint`, or `fallback` (typically the
+  /// optimizer's predicted cost) when the template has never executed.
+  double EstimateSeconds(uint64_t fingerprint, double fallback) const;
+
+  /// Folds one measured execution into the template's EWMA.
+  void Record(uint64_t fingerprint, double measured_seconds);
+
+  /// Seeds EWMAs from a persisted query log's (query_hash,
+  /// actual_seconds) pairs so a restarted server throttles from history.
+  /// Returns the number of records folded in.
+  int64_t SeedFromLog(const std::string& path);
+
+  size_t size() const;
+
+ private:
+  static constexpr double kAlpha = 0.3;  ///< EWMA smoothing factor
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, double> seconds_;
+};
+
+struct AdmissionConfig {
+  /// Global memory-grant pool in pages (<= 0: unlimited pool).
+  int64_t pool_pages = 0;
+  /// Queue wait budget before polite rejection.
+  int64_t timeout_ms = 5000;
+  /// Token-bucket refill in seconds-of-work per wall second (0: off).
+  double throttle_rate = 0.0;
+  /// Token-bucket capacity in seconds of work.
+  double throttle_burst = 1.0;
+};
+
+class AdmissionController;
+
+/// RAII admission grant: releases the memory pages on destruction.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept { *this = std::move(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket();
+
+  bool admitted() const { return controller_ != nullptr; }
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, int64_t pages)
+      : controller_(controller), pages_(pages) {}
+
+  AdmissionController* controller_ = nullptr;
+  int64_t pages_ = 0;
+};
+
+/// One admission attempt's result: a ticket on success, the reason (and
+/// a rendered message for the protocol error) otherwise.
+struct AdmitResult {
+  AdmitOutcome outcome = AdmitOutcome::kAdmitted;
+  AdmissionTicket ticket;
+  std::string message;  ///< human-readable rejection reason
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits one query asking for `pages` of memory whose template is
+  /// `fingerprint`.  `predicted_seconds` is the optimizer's estimate,
+  /// used only until the template has measured history.  Queue order is
+  /// FIFO; rejection after config.timeout_ms.
+  AdmitResult Admit(uint64_t fingerprint, int64_t pages,
+                    double predicted_seconds);
+
+  /// Folds a finished query's measured seconds into the cost table.
+  void RecordExecution(uint64_t fingerprint, double measured_seconds);
+
+  /// Wakes all waiters; subsequent Admits fail with kShutdown.
+  void Shutdown();
+
+  MemoryGrantPool* pool() { return pool_.get(); }  ///< null when unlimited
+  CostThrottle& throttle() { return throttle_; }
+  TemplateCostTable& cost_table() { return cost_table_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  friend class AdmissionTicket;
+  void ReleaseTicket(int64_t pages);
+
+  AdmissionConfig config_;
+  std::unique_ptr<MemoryGrantPool> pool_;
+  CostThrottle throttle_;
+  TemplateCostTable cost_table_;
+  obs::CellHandle admitted_counter_;
+  obs::CellHandle rejected_counter_;
+  obs::HistogramHandle wait_histogram_;
+};
+
+}  // namespace server
+}  // namespace dqep
+
+#endif  // DQEP_SERVER_ADMISSION_H_

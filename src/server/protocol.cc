@@ -1,0 +1,215 @@
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dqep {
+namespace server {
+
+std::string FormatRowLine(const std::string& payload) {
+  std::string line;
+  line.reserve(payload.size() + 2);
+  line.push_back('*');
+  line.append(payload);
+  line.push_back('\n');
+  return line;
+}
+
+std::string FormatOkLine(int64_t rows, double seconds,
+                         const std::string& cache) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "@ok rows=%" PRId64 " seconds=%.6f cache=%s\n",
+                rows, seconds, cache.empty() ? "off" : cache.c_str());
+  return buf;
+}
+
+std::string FormatErrLine(const std::string& message) {
+  std::string line = "@err ";
+  for (char c : message) {
+    line.push_back(c == '\n' || c == '\r' ? ' ' : c);
+  }
+  line.push_back('\n');
+  return line;
+}
+
+bool ParseStatusLine(const std::string& line, QueryResponse* response) {
+  if (line.rfind("@err ", 0) == 0) {
+    response->ok = false;
+    response->error = line.substr(5);
+    return true;
+  }
+  if (line == "@err") {
+    response->ok = false;
+    response->error.clear();
+    return true;
+  }
+  if (line.rfind("@ok", 0) != 0) {
+    return false;
+  }
+  response->ok = true;
+  // Tokenize "key=value" pairs after "@ok".
+  size_t pos = 3;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    size_t end = line.find(' ', pos);
+    if (end == std::string::npos) {
+      end = line.size();
+    }
+    const std::string token = line.substr(pos, end - pos);
+    pos = end;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "rows") {
+      response->row_count = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "seconds") {
+      response->seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "cache") {
+      response->cache = value;
+    }
+  }
+  return true;
+}
+
+LineChannel::~LineChannel() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool LineChannel::ReadLine(std::string* line) {
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line->assign(buffer_, 0, newline);
+      if (!line->empty() && line->back() == '\r') {
+        line->pop_back();
+      }
+      buffer_.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof(chunk));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      buffer_.clear();
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool LineChannel::WriteAll(const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+      // process (the server must survive clients disconnecting mid-row).
+      n = ::send(fd_, data.data() + written, data.size() - written,
+                 MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool LineChannel::ReadResponse(QueryResponse* response) {
+  *response = QueryResponse();
+  std::string line;
+  while (ReadLine(&line)) {
+    if (!line.empty() && line[0] == '*') {
+      response->rows.push_back(line.substr(1));
+      continue;
+    }
+    if (ParseStatusLine(line, response)) {
+      return true;
+    }
+    // Unknown sigil: treat as data without a sigil (forward compatible).
+    response->rows.push_back(line);
+  }
+  return false;
+}
+
+void LineChannel::ShutdownBoth() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+int ConnectUnix(const std::string& path, std::string* error) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "unix socket path too long: " + path;
+    }
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + strerror(errno);
+    }
+    return -1;
+  }
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect " + path + ": " + strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectTcp(int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + strerror(errno);
+    }
+    return -1;
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "connect 127.0.0.1:%d: ", port);
+      *error = buf + std::string(strerror(errno));
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace server
+}  // namespace dqep

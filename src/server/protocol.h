@@ -1,0 +1,101 @@
+// The dqep server line protocol and its socket plumbing.
+//
+// The protocol is a deliberately trivial request/response framing over a
+// stream socket (unix-domain or TCP), one round per query:
+//
+//   client -> server   one line: SQL text, or a backslash command
+//                      (\ping, \metrics, \set ..., \quit — the same
+//                      surface the interactive shell speaks)
+//   server -> client   zero or more data lines, each prefixed "*"
+//                      (result rows, metric lines, ...), terminated by
+//                      exactly one status line:
+//                        "@ok rows=<n> seconds=<s> cache=<hit|miss|off>"
+//                        "@err <message>"
+//
+// Lines are newline-terminated UTF-8; embedded newlines cannot occur in
+// rendered rows (the row renderer emits one line per tuple) and are
+// stripped from error messages.  The "*" / "@" sigils make the framing
+// self-describing: a client reads lines until the first byte is '@'.
+//
+// LineChannel owns one connected fd and gives both sides buffered
+// line-at-a-time reads and writev-free whole-string writes; it is the
+// only place raw read()/write() appears.  Connect{Unix,Tcp} are the
+// client dials.
+
+#ifndef DQEP_SERVER_PROTOCOL_H_
+#define DQEP_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dqep {
+namespace server {
+
+/// Status-line payload of one query round.
+struct QueryResponse {
+  bool ok = false;
+  std::string error;              ///< @err message
+  std::vector<std::string> rows;  ///< data lines, "*" sigil stripped
+  int64_t row_count = 0;          ///< rows= from @ok
+  double seconds = 0.0;           ///< seconds= from @ok
+  std::string cache;              ///< cache= from @ok ("hit"|"miss"|"off")
+};
+
+/// Renders one data line ("*" + payload + "\n").
+std::string FormatRowLine(const std::string& payload);
+
+/// Renders the success status line.
+std::string FormatOkLine(int64_t rows, double seconds,
+                         const std::string& cache);
+
+/// Renders the error status line (newlines in `message` become spaces).
+std::string FormatErrLine(const std::string& message);
+
+/// Parses a status line previously produced by FormatOkLine/FormatErrLine
+/// into `response` (rows/seconds/cache or error).  Returns false when the
+/// line is not a status line.
+bool ParseStatusLine(const std::string& line, QueryResponse* response);
+
+/// Buffered line I/O over one connected socket fd.  Owns the fd.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel();
+
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Reads one newline-terminated line (newline stripped, CR tolerated).
+  /// Returns false on EOF or error with the partial line discarded.
+  bool ReadLine(std::string* line);
+
+  /// Writes the whole string (retrying short writes).  Returns false on
+  /// error; EPIPE is an error, not a signal (the server ignores SIGPIPE).
+  bool WriteAll(const std::string& data);
+
+  /// Reads data lines until a status line and parses it.  Returns false
+  /// when the connection dies before a status line arrives.
+  bool ReadResponse(QueryResponse* response);
+
+  /// shutdown(2) both directions — unblocks a reader in another thread.
+  void ShutdownBoth();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// Client dial: unix-domain socket at `path`.  Returns the connected fd
+/// or -1 (with `error` set).
+int ConnectUnix(const std::string& path, std::string* error);
+
+/// Client dial: TCP to 127.0.0.1:`port`.
+int ConnectTcp(int port, std::string* error);
+
+}  // namespace server
+}  // namespace dqep
+
+#endif  // DQEP_SERVER_PROTOCOL_H_

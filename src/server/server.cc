@@ -1,0 +1,316 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace dqep {
+namespace server {
+
+namespace {
+
+/// Write end of the installed server's wake pipe; written (one byte)
+/// from the signal handler, so it must be a plain static int.
+std::atomic<int> g_signal_wake_fd{-1};
+
+void HandleTermSignal(int /*signo*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // The only async-signal-safe thing to do: poke the accept loop.
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+int ListenUnix(const std::string& path, std::string* error) {
+  struct sockaddr_un addr;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    *error = "unix socket path empty or too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  // Replace a stale socket file from a crashed predecessor.
+  ::unlink(path.c_str());
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 128) != 0) {
+    *error = "bind/listen " + path + ": " + strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ListenTcp(int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // Loopback only: the protocol has no authentication.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 128) != 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "bind/listen 127.0.0.1:%d: ", port);
+    *error = buf + std::string(strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+DqepServer::DqepServer(ServerOptions options)
+    : options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity) {}
+
+DqepServer::~DqepServer() {
+  if (started_.load()) {
+    Shutdown();
+    Teardown();
+  }
+  for (int fd : {listen_unix_fd_, listen_tcp_fd_, wake_pipe_[0],
+                 wake_pipe_[1]}) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+bool DqepServer::Start(std::string* error) {
+  auto workload =
+      PaperWorkload::Create(options_.workload_seed, /*populate=*/true);
+  if (!workload.ok()) {
+    *error = "failed to build database: " + workload.status().ToString();
+    return false;
+  }
+  workload_ = std::move(*workload);
+  config_ = workload_->config();
+
+  AdmissionConfig admission_config;
+  admission_config.pool_pages = options_.pool_pages;
+  admission_config.timeout_ms = options_.admission_timeout_ms;
+  admission_config.throttle_rate = options_.throttle_rate;
+  admission_config.throttle_burst = options_.throttle_burst;
+  admission_ = std::make_unique<AdmissionController>(admission_config);
+
+  if (!options_.query_log_path.empty()) {
+    // Seed the throttle's cost table before opening for append: templates
+    // this server (or a predecessor) already measured throttle correctly
+    // from the first request.
+    admission_->cost_table().SeedFromLog(options_.query_log_path);
+    std::string log_error;
+    if (!query_log_.Open(options_.query_log_path, &log_error)) {
+      *error = "query log: " + log_error;
+      return false;
+    }
+  }
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<obs::TraceSession>();
+  }
+
+  engine_.workload = workload_.get();
+  engine_.config = &config_;
+  engine_.model = &workload_->model();
+  engine_.plan_cache =
+      options_.plan_cache_capacity > 0 ? &plan_cache_ : nullptr;
+  engine_.admission = admission_.get();
+  engine_.query_log = query_log_.is_open() ? &query_log_ : nullptr;
+  engine_.trace = trace_.get();
+
+  listen_unix_fd_ = ListenUnix(options_.socket_path, error);
+  if (listen_unix_fd_ < 0) {
+    return false;
+  }
+  if (options_.tcp_port > 0) {
+    listen_tcp_fd_ = ListenTcp(options_.tcp_port, error);
+    if (listen_tcp_fd_ < 0) {
+      return false;
+    }
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    *error = std::string("pipe: ") + strerror(errno);
+    return false;
+  }
+
+  const int sessions = options_.sessions > 0 ? options_.sessions : 1;
+  workers_.reserve(static_cast<size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  started_.store(true);
+  return true;
+}
+
+void DqepServer::AcceptOne(int listen_fd) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mutex_);
+    pending_fds_.push_back(fd);
+  }
+  dispatch_cv_.notify_one();
+}
+
+void DqepServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mutex_);
+      dispatch_cv_.wait(lock, [this] {
+        return !pending_fds_.empty() || shutdown_.load();
+      });
+      if (pending_fds_.empty()) {
+        return;  // shutdown with nothing left to serve
+      }
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    LineChannel channel(fd);
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (shutdown_.load()) {
+        // The drain already swept connections_; don't serve a newcomer.
+        continue;
+      }
+      connections_.insert(&channel);
+    }
+    ServerSession session(&engine_, next_session_id_.fetch_add(1) + 1,
+                          options_.session_memory_pages);
+    session.Serve(&channel);
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      connections_.erase(&channel);
+    }
+  }
+}
+
+int DqepServer::Serve() {
+  while (!shutdown_.load()) {
+    struct pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
+    fds[nfds++] = {listen_unix_fd_, POLLIN, 0};
+    if (listen_tcp_fd_ >= 0) {
+      fds[nfds++] = {listen_tcp_fd_, POLLIN, 0};
+    }
+    int ready = ::poll(fds, nfds, -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;  // the signal handler poked the wake pipe; loop re-checks
+      }
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      break;  // Shutdown() or a termination signal
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      AcceptOne(listen_unix_fd_);
+    }
+    if (nfds > 2 && (fds[2].revents & POLLIN) != 0) {
+      AcceptOne(listen_tcp_fd_);
+    }
+  }
+  shutdown_.store(true);
+  Teardown();
+  return 0;
+}
+
+void DqepServer::Shutdown() {
+  shutdown_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void DqepServer::Teardown() {
+  if (!started_.exchange(false)) {
+    return;
+  }
+  // 1. Refuse new work everywhere: sessions (draining flag), admission
+  //    waiters (woken with kShutdown), and the listeners.
+  engine_.draining.store(true);
+  if (admission_ != nullptr) {
+    admission_->Shutdown();
+  }
+  if (listen_unix_fd_ >= 0) {
+    ::close(listen_unix_fd_);
+    listen_unix_fd_ = -1;
+  }
+  if (listen_tcp_fd_ >= 0) {
+    ::close(listen_tcp_fd_);
+    listen_tcp_fd_ = -1;
+  }
+  // 2. Cut in-flight queries short (cooperative cancellation) and break
+  //    any reader blocked on a client that will never speak again.
+  engine_.CancelAll();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (LineChannel* channel : connections_) {
+      channel->ShutdownBoth();
+    }
+  }
+  // 3. Drain the workers.
+  dispatch_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  // 4. Connections accepted but never served.
+  for (int fd : pending_fds_) {
+    ::close(fd);
+  }
+  pending_fds_.clear();
+  // 5. Flush durable state.
+  query_log_.Close();
+  if (trace_ != nullptr && !options_.trace_path.empty()) {
+    trace_->WriteChromeJson(options_.trace_path);
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void DqepServer::InstallSignalHandlers(DqepServer* server) {
+  g_signal_wake_fd.store(server->wake_pipe_[1], std::memory_order_relaxed);
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleTermSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A client that disconnects mid-response must not kill the server.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+}  // namespace server
+}  // namespace dqep

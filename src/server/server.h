@@ -1,0 +1,150 @@
+// dqep_server — the long-lived multi-session query server.
+//
+// One process hosts the whole engine exactly once — catalog, database,
+// buffer pool, cost model, a DynamicPlanCache owned by the server (NOT
+// the process singleton, so embedding tests and benches get independent
+// caches), the admission controller, the query log, and an optional
+// trace session — and serves N concurrent client connections over a
+// unix-domain socket (plus an optional loopback TCP port) speaking the
+// line protocol of server/protocol.h.
+//
+// Threading model: the caller's thread runs the accept loop (Serve());
+// `sessions` worker threads pop accepted connections from a dispatch
+// queue, so at most `sessions` queries execute concurrently and extra
+// connections queue at the dispatcher.  On this engine intra-query
+// parallelism is per-session (\threads), so the worker count is the
+// inter-query concurrency limit.
+//
+// Shutdown: SIGINT/SIGTERM (via InstallSignalHandlers' self-pipe — the
+// handler only writes one byte, everything real happens on the accept
+// thread) or a programmatic Shutdown() from any thread.  The drain
+// sequence: mark draining -> wake admission waiters (queued queries get
+// "@err admission: server shutting down") -> cancel every in-flight
+// ExecContext (drain loops cut the query short; the session answers
+// "@err cancelled ...") -> shut down every connection socket (unblocks
+// readers) -> join workers -> flush and close the query log -> unlink
+// the socket -> Serve() returns 0.
+
+#ifndef DQEP_SERVER_SERVER_H_
+#define DQEP_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/querylog.h"
+#include "obs/trace.h"
+#include "runtime/plan_cache.h"
+#include "server/admission.h"
+#include "server/session.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace server {
+
+struct ServerOptions {
+  /// Unix-domain socket to listen on (required; a stale file is
+  /// replaced).  Keep it short: sun_path caps at ~107 bytes.
+  std::string socket_path;
+  /// Loopback TCP port to also listen on; 0 disables TCP.
+  int tcp_port = 0;
+  /// Worker sessions == max concurrently executing queries.
+  int sessions = 4;
+  /// Global memory-grant pool in pages (0: unlimited).
+  int64_t pool_pages = 0;
+  /// Default per-session memory grant in pages (\mem overrides).
+  double session_memory_pages = 64.0;
+  /// Admission queue wait budget before polite rejection.
+  int64_t admission_timeout_ms = 5000;
+  /// Cost-throttle refill (seconds-of-work per wall second; 0: off).
+  double throttle_rate = 0.0;
+  double throttle_burst = 1.0;
+  /// Shared plan-cache capacity in entries (0: caching off).
+  size_t plan_cache_capacity = DynamicPlanCache::kDefaultCapacity;
+  /// JSONL query log path ("" : off).  Also seeds the admission cost
+  /// table with measured seconds from previous runs.
+  std::string query_log_path;
+  /// Chrome-trace output path ("" : off); written at shutdown.
+  std::string trace_path;
+  /// Workload seed (the paper database R1..R10).
+  uint64_t workload_seed = 42;
+};
+
+class DqepServer {
+ public:
+  explicit DqepServer(ServerOptions options);
+  ~DqepServer();
+
+  DqepServer(const DqepServer&) = delete;
+  DqepServer& operator=(const DqepServer&) = delete;
+
+  /// Builds the engine, binds the sockets, starts the workers.  Returns
+  /// false with `error` set on any failure (nothing is left running).
+  bool Start(std::string* error);
+
+  /// Accept loop; blocks until Shutdown (signal or call).  Returns the
+  /// process exit code (0 on a clean drain).
+  int Serve();
+
+  /// Initiates the drain from any thread; idempotent.  Serve() performs
+  /// the actual teardown and returns.
+  void Shutdown();
+
+  /// Routes SIGINT/SIGTERM to `server`->Shutdown() via a self-pipe and
+  /// ignores SIGPIPE.  Call after Start(), before Serve().  One server
+  /// per process may install handlers.
+  static void InstallSignalHandlers(DqepServer* server);
+
+  const ServerOptions& options() const { return options_; }
+  SharedEngine* engine() { return &engine_; }
+  AdmissionController* admission() { return admission_.get(); }
+  DynamicPlanCache* plan_cache() { return &plan_cache_; }
+
+ private:
+  /// Accepts one ready connection and enqueues it for a worker.
+  void AcceptOne(int listen_fd);
+  void WorkerLoop();
+  /// The post-loop drain (see header comment).
+  void Teardown();
+
+  ServerOptions options_;
+  std::unique_ptr<PaperWorkload> workload_;
+  SystemConfig config_;
+  DynamicPlanCache plan_cache_;
+  std::unique_ptr<AdmissionController> admission_;
+  obs::QueryLogWriter query_log_;
+  std::unique_ptr<obs::TraceSession> trace_;
+  SharedEngine engine_;
+
+  int listen_unix_fd_ = -1;
+  int listen_tcp_fd_ = -1;
+  /// Shutdown self-pipe: [0] polled by Serve, [1] written by Shutdown
+  /// and the signal handler.
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> started_{false};
+
+  /// Dispatch queue of accepted, not-yet-served connection fds.
+  std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  std::deque<int> pending_fds_;
+  std::vector<std::thread> workers_;
+
+  /// Live connections, for shutdown(2) during the drain.
+  std::mutex conn_mutex_;
+  std::set<LineChannel*> connections_;
+
+  std::atomic<int64_t> next_session_id_{0};
+};
+
+}  // namespace server
+}  // namespace dqep
+
+#endif  // DQEP_SERVER_SERVER_H_

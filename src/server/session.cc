@@ -1,0 +1,380 @@
+#include "server/session.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/analyze.h"
+#include "obs/metrics.h"
+#include "physical/costing.h"
+#include "runtime/plan_rewrite.h"
+#include "runtime/startup.h"
+
+namespace dqep {
+namespace server {
+
+namespace {
+
+/// Splits multi-line command output into one protocol data line each.
+void WriteTextAsRows(const std::string& text, std::string* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    out->append(FormatRowLine(text.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+void SharedEngine::RegisterContext(ExecContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.insert(ctx);
+  // A context registered during the drain must still be cancelled — the
+  // CancelAll sweep may already have run.
+  if (draining.load(std::memory_order_relaxed)) {
+    ctx->RequestCancel();
+  }
+}
+
+void SharedEngine::UnregisterContext(ExecContext* ctx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_.erase(ctx);
+}
+
+void SharedEngine::CancelAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ExecContext* ctx : live_) {
+    ctx->RequestCancel();
+  }
+}
+
+ServerSession::ServerSession(SharedEngine* engine, int64_t session_id,
+                             double default_memory_pages)
+    : engine_(engine),
+      session_id_(session_id),
+      memory_pages_(default_memory_pages),
+      queries_counter_(obs::MetricsRegistry::Instance().NewCounter(
+          "server.session.queries")),
+      latency_histogram_(obs::MetricsRegistry::Instance().NewHistogram(
+          "server.query.latency_us")) {
+  if (engine_->trace != nullptr) {
+    trace_track_ = engine_->trace->RegisterTrack(
+        "session-" + std::to_string(session_id));
+  }
+}
+
+void ServerSession::Serve(LineChannel* channel) {
+  std::string line;
+  while (channel->ReadLine(&line)) {
+    if (line.empty()) {
+      channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+      continue;
+    }
+    if (line[0] == '\\') {
+      if (!Command(line, channel)) {
+        return;
+      }
+      continue;
+    }
+    RunQuery(line, channel);
+  }
+}
+
+bool ServerSession::Command(const std::string& line, LineChannel* channel) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  std::string out;
+  if (command == "\\quit" || command == "\\q") {
+    channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+    return false;
+  }
+  if (command == "\\ping") {
+    out = FormatRowLine("pong");
+    out += FormatOkLine(1, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\set") {
+    std::string name;
+    int64_t value = 0;
+    if (in >> name >> value) {
+      bindings_[name] = value;
+      channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+    } else {
+      channel->WriteAll(FormatErrLine("usage: \\set <name> <int>"));
+    }
+    return true;
+  }
+  if (command == "\\unset") {
+    std::string name;
+    in >> name;
+    bindings_.erase(name);
+    channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+    return true;
+  }
+  if (command == "\\mem" || command == "\\memory") {
+    double pages = 0;
+    if (in >> pages && pages >= 2) {
+      memory_pages_ = pages;
+      channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+    } else {
+      channel->WriteAll(FormatErrLine("usage: \\mem <pages>  (pages >= 2)"));
+    }
+    return true;
+  }
+  if (command == "\\mode") {
+    std::string name;
+    in >> name;
+    Result<ExecMode> mode = ParseExecMode(name);
+    if (mode.ok()) {
+      exec_mode_ = *mode;
+      channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+    } else {
+      channel->WriteAll(FormatErrLine("usage: \\mode <tuple|batch>"));
+    }
+    return true;
+  }
+  if (command == "\\threads") {
+    int32_t threads = 0;
+    if (in >> threads && threads >= 1 && threads <= 256) {
+      threads_ = threads;
+      channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+    } else {
+      channel->WriteAll(FormatErrLine("usage: \\threads <N>  (1 <= N <= 256)"));
+    }
+    return true;
+  }
+  if (command == "\\bindings") {
+    int64_t rows = 0;
+    for (const auto& [name, value] : bindings_) {
+      out += FormatRowLine(":" + name + " = " + std::to_string(value));
+      ++rows;
+    }
+    out += FormatOkLine(rows, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\cache") {
+    if (engine_->plan_cache == nullptr) {
+      out = FormatRowLine("plan cache: off");
+      out += FormatOkLine(1, 0.0, "off");
+      channel->WriteAll(out);
+      return true;
+    }
+    std::string arg;
+    in >> arg;
+    if (arg == "clear") {
+      engine_->plan_cache->Clear();
+      channel->WriteAll(FormatOkLine(0, 0.0, "off"));
+      return true;
+    }
+    PlanCacheStats stats = engine_->plan_cache->stats();
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "plan cache: %zu/%zu entries; %lld hits, %lld misses, "
+                  "%lld inserts, %lld evictions, %lld invalidations",
+                  stats.size, stats.capacity,
+                  static_cast<long long>(stats.hits),
+                  static_cast<long long>(stats.misses),
+                  static_cast<long long>(stats.inserts),
+                  static_cast<long long>(stats.evictions),
+                  static_cast<long long>(stats.invalidations));
+    out = FormatRowLine(buf);
+    out += FormatOkLine(1, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\metrics") {
+    WriteTextAsRows(obs::MetricsRegistry::Instance().RenderText(), &out);
+    out += FormatOkLine(0, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  channel->WriteAll(FormatErrLine("unknown command " + command));
+  return true;
+}
+
+void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
+  if (engine_->draining.load(std::memory_order_relaxed)) {
+    channel->WriteAll(FormatErrLine("server shutting down"));
+    return;
+  }
+  queries_counter_.Add(1);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int64_t trace_start_us =
+      engine_->trace == nullptr ? 0 : engine_->trace->NowMicros();
+
+  // Plan through the shared cache: a template any session compiled is a
+  // hit here.  (memory_pages is part of the cache key, so sessions with
+  // different grants never share a compiled plan.)
+  CachedPlanRequest request;
+  request.catalog = &engine_->workload->catalog();
+  request.model = engine_->model;
+  request.cache = engine_->plan_cache;
+  request.memory_pages = memory_pages_;
+  request.host_bindings = &bindings_;
+  request.trace = engine_->trace;
+  Result<CachedPlanResult> planned = PlanQueryWithCache(sql, request);
+  if (!planned.ok()) {
+    channel->WriteAll(FormatErrLine(planned.status().ToString()));
+    return;
+  }
+  const std::string cache_status =
+      planned->cache_used ? (planned->cache_hit ? "hit" : "miss") : "off";
+
+  StartupOptions startup_options;
+  startup_options.trace = engine_->trace;
+  if (!planned->plan_params.empty()) {
+    startup_options.plan_params = &planned->plan_params;
+  }
+  Result<StartupResult> startup = ResolveDynamicPlan(
+      planned->root, *engine_->model, planned->bound, startup_options);
+  if (!startup.ok()) {
+    channel->WriteAll(FormatErrLine(startup.status().ToString()));
+    return;
+  }
+
+  // Admission: global memory-grant pool first, then the cost throttle fed
+  // by this template's measured history (optimizer estimate until then).
+  const int64_t pages = static_cast<int64_t>(std::llround(memory_pages_));
+  AdmitResult admit = engine_->admission->Admit(
+      planned->fingerprint, pages, startup->execution_cost);
+  if (admit.outcome != AdmitOutcome::kAdmitted) {
+    channel->WriteAll(FormatErrLine("admission: " + admit.message));
+    return;
+  }
+
+  ExecOptions options;
+  options.threads = threads_;
+  options.mode = threads_ > 1 || exec_mode_ == ExecMode::kBatch
+                     ? ExecMode::kBatch
+                     : ExecMode::kTuple;
+  std::unique_ptr<ExecContext> ctx =
+      MakeExecContext(planned->bound, *engine_->config, options);
+  if (ctx == nullptr) {
+    channel->WriteAll(FormatErrLine("internal: no execution context"));
+    return;
+  }
+  ctx->set_trace(engine_->trace);
+  engine_->RegisterContext(ctx.get());
+
+  std::vector<Tuple> rows;
+  std::unique_ptr<Iterator> tuple_iter;
+  std::unique_ptr<BatchIterator> batch_iter;
+  const ExecNode* exec_root = nullptr;
+  const auto exec_start = std::chrono::steady_clock::now();
+  if (options.mode == ExecMode::kBatch) {
+    Result<std::unique_ptr<BatchIterator>> iter = BuildParallelBatchExecutor(
+        startup->resolved, engine_->workload->db(), planned->bound, *ctx);
+    if (!iter.ok()) {
+      engine_->UnregisterContext(ctx.get());
+      channel->WriteAll(FormatErrLine(iter.status().ToString()));
+      return;
+    }
+    batch_iter = std::move(*iter);
+    batch_iter->Open();
+    TupleBatch batch;
+    while (batch_iter->Next(&batch)) {
+      for (int32_t i = 0; i < batch.num_rows(); ++i) {
+        rows.push_back(batch.row(i));
+      }
+    }
+    batch_iter->Close();
+    exec_root = batch_iter.get();
+  } else {
+    Result<std::unique_ptr<Iterator>> iter = BuildExecutor(
+        startup->resolved, engine_->workload->db(), planned->bound, ctx.get());
+    if (!iter.ok()) {
+      engine_->UnregisterContext(ctx.get());
+      channel->WriteAll(FormatErrLine(iter.status().ToString()));
+      return;
+    }
+    tuple_iter = std::move(*iter);
+    tuple_iter->Open();
+    Tuple tuple;
+    while (tuple_iter->Next(&tuple)) {
+      rows.push_back(std::move(tuple));
+    }
+    tuple_iter->Close();
+    exec_root = tuple_iter.get();
+  }
+  engine_->UnregisterContext(ctx.get());
+
+  if (ctx->cancelled()) {
+    channel->WriteAll(FormatErrLine("cancelled: server shutting down"));
+    return;
+  }
+
+  const double exec_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    exec_start)
+          .count();
+  engine_->admission->RecordExecution(planned->fingerprint, exec_seconds);
+
+  // Query log: annotate a *private* deep copy of the resolved plan — the
+  // resolved DAG shares subtrees with the cached dynamic plan that other
+  // sessions are concurrently reading (see runtime/plan_rewrite.h).
+  if (engine_->query_log != nullptr && engine_->query_log->is_open()) {
+    PhysNodePtr annotated =
+        ClonePlan(engine_->workload->catalog(), startup->resolved);
+    ParamEnv compile_env(Interval::Point(memory_pages_));
+    AnnotatePlan(*annotated, *engine_->model, compile_env,
+                 EstimationMode::kInterval);
+    obs::AnalyzeInput input;
+    input.dynamic_root = planned->root.get();
+    input.resolved_root = annotated.get();
+    input.startup = &*startup;
+    input.exec_root = exec_root;
+    input.plan_cache = cache_status;
+    obs::QueryLogRecord record = obs::BuildQueryLogRecord(
+        sql, input, *engine_->model, planned->bound);
+    record.plan_cache = cache_status;
+    for (const auto& [name, id] : planned->host_params) {
+      (void)id;
+      auto it = bindings_.find(name);
+      if (it != bindings_.end()) {
+        record.bindings.emplace_back(name, it->second);
+      }
+    }
+    record.exec_mode = options.mode == ExecMode::kBatch ? "batch" : "tuple";
+    record.threads = threads_;
+    record.memory_pages = memory_pages_;
+    record.peak_memory_bytes = ctx->tracker().peak_bytes();
+    record.spill_files = ctx->temp_files_created();
+    record.spill_tuples = ctx->tuples_spilled();
+    engine_->query_log->Append(record);
+  }
+
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  latency_histogram_.Record(static_cast<int64_t>(total_seconds * 1e6));
+  if (engine_->trace != nullptr) {
+    engine_->trace->AddSpan(
+        "query", "server", trace_start_us,
+        engine_->trace->NowMicros() - trace_start_us, trace_track_,
+        {{"session", std::to_string(session_id_)},
+         {"cache", cache_status},
+         {"rows", std::to_string(rows.size())}});
+  }
+
+  std::string out;
+  out.reserve(rows.size() * 32 + 64);
+  for (const Tuple& row : rows) {
+    out += FormatRowLine(row.ToString());
+  }
+  out += FormatOkLine(static_cast<int64_t>(rows.size()), total_seconds,
+                      cache_status);
+  channel->WriteAll(out);
+}
+
+}  // namespace server
+}  // namespace dqep

@@ -1,0 +1,123 @@
+// One server session: the engine surface of a single client connection.
+//
+// A session speaks the line protocol (server/protocol.h) and runs each
+// SQL line through exactly the pipeline the interactive shell uses —
+// PlanQueryWithCache -> ResolveDynamicPlan -> ExecContext -> execute —
+// against engine state shared by every session of the server:
+//
+//   * one catalog / database / buffer pool (the workload),
+//   * one cost model and SystemConfig,
+//   * one DynamicPlanCache (the server's own instance, so a template
+//     compiled by session 3 is a hit for session 7),
+//   * one AdmissionController gating memory grants and query cost,
+//   * one QueryLogWriter (mutex-serialized JSONL appends),
+//   * one TraceSession with a track per session.
+//
+// Per-session state is only what \set/\mem/\mode/\threads mutate:
+// bindings, the memory grant, execution granularity, thread count.
+//
+// Annotation safety: query-log records need the resolved plan annotated
+// with compile-time cost intervals, but the resolved plan shares
+// subtrees with the cached dynamic plan other sessions are concurrently
+// resolving.  The session therefore annotates a ClonePlan deep copy
+// (runtime/plan_rewrite.h) — the shared DAG is never written after
+// Insert.
+//
+// Cancellation: every executing query registers its ExecContext with the
+// shared engine; server shutdown cancels them all, the drain loops cut
+// the query short, and the session answers "@err cancelled ..." before
+// the connection closes.
+
+#ifndef DQEP_SERVER_SESSION_H_
+#define DQEP_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include <atomic>
+
+#include "exec/exec_context.h"
+#include "obs/querylog.h"
+#include "obs/trace.h"
+#include "runtime/plan_cache.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace server {
+
+/// Engine state shared by all sessions of one server.  The server owns
+/// everything; sessions borrow.  Also the live-query registry shutdown
+/// uses to cancel in-flight executions.
+class SharedEngine {
+ public:
+  PaperWorkload* workload = nullptr;
+  const SystemConfig* config = nullptr;
+  const CostModel* model = nullptr;
+  DynamicPlanCache* plan_cache = nullptr;       ///< null: caching off
+  AdmissionController* admission = nullptr;
+  obs::QueryLogWriter* query_log = nullptr;     ///< null/closed: logging off
+  obs::TraceSession* trace = nullptr;           ///< null: tracing off
+
+  /// Set once shutdown begins; sessions refuse new queries.
+  std::atomic<bool> draining{false};
+
+  void RegisterContext(ExecContext* ctx);
+  void UnregisterContext(ExecContext* ctx);
+  /// RequestCancel on every live context (idempotent).
+  void CancelAll();
+
+ private:
+  std::mutex mutex_;
+  std::set<ExecContext*> live_;
+};
+
+/// One connection's protocol loop.  Constructed per accepted socket;
+/// lives on the worker thread until the client quits or the server
+/// drains.
+class ServerSession {
+ public:
+  ServerSession(SharedEngine* engine, int64_t session_id,
+                double default_memory_pages);
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Reads lines until EOF, \quit, or shutdown.  Every line gets exactly
+  /// one status-line response.
+  void Serve(LineChannel* channel);
+
+  int64_t session_id() const { return session_id_; }
+
+ private:
+  /// Handles one backslash command; returns false to close the session.
+  bool Command(const std::string& line, LineChannel* channel);
+
+  /// Plans, admits, resolves, executes one SQL line and writes rows plus
+  /// the status line.
+  void RunQuery(const std::string& sql, LineChannel* channel);
+
+  SharedEngine* engine_;
+  const int64_t session_id_;
+
+  // Per-session execution knobs (the shell's \set/\mem/\mode/\threads).
+  std::map<std::string, int64_t> bindings_;
+  double memory_pages_;
+  ExecMode exec_mode_ = ExecMode::kTuple;
+  int32_t threads_ = 1;
+
+  /// Trace track for this session (0 when tracing is off).
+  int64_t trace_track_ = 0;
+  obs::CellHandle queries_counter_;
+  obs::HistogramHandle latency_histogram_;
+};
+
+}  // namespace server
+}  // namespace dqep
+
+#endif  // DQEP_SERVER_SESSION_H_

@@ -1,0 +1,744 @@
+// Tests for the multi-session query server (src/server/*): admission
+// control units (memory-grant pool FIFO/timeout, cost throttle, template
+// cost table), the annotation-safety ClonePlan contract under concurrent
+// sessions (a TSan regression), concurrent query-log appends, and
+// socket-level integration — basic queries, shared-cache hits across
+// sessions, concurrent-vs-serial result parity, polite admission
+// rejections, and graceful SIGTERM shutdown mid-stream.
+
+#include <signal.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "obs/querylog.h"
+#include "physical/costing.h"
+#include "runtime/plan_cache.h"
+#include "runtime/plan_rewrite.h"
+#include "runtime/startup.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workload/paper_workload.h"
+
+namespace dqep {
+namespace server {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// MemoryGrantPool
+
+TEST(MemoryGrantPoolTest, GrantsAndReleases) {
+  MemoryGrantPool pool(100);
+  EXPECT_EQ(pool.Acquire(60, milliseconds(0)), AdmitOutcome::kAdmitted);
+  EXPECT_EQ(pool.available_pages(), 40);
+  EXPECT_EQ(pool.Acquire(40, milliseconds(0)), AdmitOutcome::kAdmitted);
+  EXPECT_EQ(pool.available_pages(), 0);
+  pool.Release(60);
+  pool.Release(40);
+  EXPECT_EQ(pool.available_pages(), 100);
+  EXPECT_EQ(pool.peak_granted_pages(), 100);
+}
+
+TEST(MemoryGrantPoolTest, TooLargeRejectsImmediately) {
+  MemoryGrantPool pool(100);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(pool.Acquire(101, milliseconds(5000)), AdmitOutcome::kTooLarge);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(1000));
+  EXPECT_EQ(pool.available_pages(), 100);
+}
+
+TEST(MemoryGrantPoolTest, TimeoutRejectsPolitely) {
+  MemoryGrantPool pool(100);
+  ASSERT_EQ(pool.Acquire(100, milliseconds(0)), AdmitOutcome::kAdmitted);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(pool.Acquire(10, milliseconds(100)), AdmitOutcome::kTimeout);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, milliseconds(90));
+  pool.Release(100);
+  // The pool is whole again and a later Acquire succeeds.
+  EXPECT_EQ(pool.Acquire(10, milliseconds(0)), AdmitOutcome::kAdmitted);
+}
+
+TEST(MemoryGrantPoolTest, SmallNewcomerCannotLeapfrogQueuedLargeAsk) {
+  MemoryGrantPool pool(100);
+  ASSERT_EQ(pool.Acquire(90, milliseconds(0)), AdmitOutcome::kAdmitted);
+
+  // Waiter 1 asks for 50 (does not fit behind the 90-page grant); waiter
+  // 2 — started strictly later — asks for 10, which *would* fit in the 10
+  // spare pages but must not leapfrog waiter 1: FIFO is the
+  // anti-starvation guarantee.
+  std::thread w1([&] {
+    ASSERT_EQ(pool.Acquire(50, milliseconds(10000)),
+              AdmitOutcome::kAdmitted);
+    pool.Release(50);
+  });
+  while (pool.queued_total() < 1) {
+    std::this_thread::yield();
+  }
+  std::thread w2([&] {
+    ASSERT_EQ(pool.Acquire(10, milliseconds(10000)),
+              AdmitOutcome::kAdmitted);
+    pool.Release(10);
+  });
+  while (pool.queued_total() < 2) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(milliseconds(50));
+  // Waiter 2's 10 pages were NOT granted out of order: the spare 10
+  // pages are still free.
+  EXPECT_EQ(pool.available_pages(), 10);
+  pool.Release(90);
+  w1.join();
+  w2.join();
+  EXPECT_EQ(pool.available_pages(), 100);
+}
+
+TEST(MemoryGrantPoolTest, ReleaseAdmitsWaitersInArrivalOrder) {
+  MemoryGrantPool pool(100);
+  ASSERT_EQ(pool.Acquire(90, milliseconds(0)), AdmitOutcome::kAdmitted);
+
+  std::atomic<bool> w1_admitted{false};
+  std::atomic<bool> w1_release{false};
+  std::atomic<bool> w2_admitted{false};
+  std::thread w1([&] {
+    ASSERT_EQ(pool.Acquire(50, milliseconds(10000)),
+              AdmitOutcome::kAdmitted);
+    w1_admitted.store(true);
+    while (!w1_release.load()) {
+      std::this_thread::yield();
+    }
+    pool.Release(50);
+  });
+  while (pool.queued_total() < 1) {
+    std::this_thread::yield();
+  }
+  // Waiter 2's 60-page ask cannot coexist with waiter 1's 50, so the
+  // handoff order is observable: releasing the 90-page grant admits
+  // waiter 1 alone, and only waiter 1's release admits waiter 2.
+  std::thread w2([&] {
+    ASSERT_EQ(pool.Acquire(60, milliseconds(10000)),
+              AdmitOutcome::kAdmitted);
+    w2_admitted.store(true);
+    pool.Release(60);
+  });
+  while (pool.queued_total() < 2) {
+    std::this_thread::yield();
+  }
+  pool.Release(90);
+  while (!w1_admitted.load()) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(w2_admitted.load());  // still queued behind waiter 1
+  w1_release.store(true);
+  w1.join();
+  w2.join();
+  EXPECT_TRUE(w2_admitted.load());
+  EXPECT_EQ(pool.available_pages(), 100);
+  EXPECT_EQ(pool.queued_total(), 2);
+}
+
+TEST(MemoryGrantPoolTest, ShutdownWakesWaiters) {
+  MemoryGrantPool pool(10);
+  ASSERT_EQ(pool.Acquire(10, milliseconds(0)), AdmitOutcome::kAdmitted);
+  std::thread waiter([&] {
+    EXPECT_EQ(pool.Acquire(5, milliseconds(60000)), AdmitOutcome::kShutdown);
+  });
+  while (pool.queued_total() < 1) {
+    std::this_thread::yield();
+  }
+  pool.Shutdown();
+  waiter.join();
+  EXPECT_EQ(pool.Acquire(1, milliseconds(0)), AdmitOutcome::kShutdown);
+}
+
+// ---------------------------------------------------------------------------
+// CostThrottle
+
+TEST(CostThrottleTest, DisabledAdmitsInstantly) {
+  CostThrottle throttle(0.0, 1.0);
+  EXPECT_FALSE(throttle.enabled());
+  EXPECT_EQ(throttle.Acquire(1e9, milliseconds(0)), AdmitOutcome::kAdmitted);
+}
+
+TEST(CostThrottleTest, DebtDelaysNextAdmission) {
+  // 100 seconds-of-work per wall second, bucket of 0.5 s: the first
+  // admission charges 5 s of cost into debt (-4.5 s), which refills in
+  // ~45 ms — the second admission must wait roughly that long.
+  CostThrottle throttle(100.0, 0.5);
+  ASSERT_EQ(throttle.Acquire(5.0, milliseconds(0)), AdmitOutcome::kAdmitted);
+  EXPECT_LT(throttle.tokens(), 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(throttle.Acquire(0.1, milliseconds(5000)),
+            AdmitOutcome::kAdmitted);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, milliseconds(20));
+}
+
+TEST(CostThrottleTest, SaturationTimesOut) {
+  // Refill is glacial: the debt from the first admission cannot clear
+  // within the deadline, so the second one times out.
+  CostThrottle throttle(1e-6, 0.001);
+  ASSERT_EQ(throttle.Acquire(10.0, milliseconds(0)),
+            AdmitOutcome::kAdmitted);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(throttle.Acquire(0.1, milliseconds(100)), AdmitOutcome::kTimeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(2000));
+}
+
+// ---------------------------------------------------------------------------
+// TemplateCostTable
+
+TEST(TemplateCostTableTest, EwmaAndFallback) {
+  TemplateCostTable table;
+  EXPECT_DOUBLE_EQ(table.EstimateSeconds(7, 3.5), 3.5);  // never executed
+  table.Record(7, 1.0);
+  EXPECT_DOUBLE_EQ(table.EstimateSeconds(7, 3.5), 1.0);
+  table.Record(7, 2.0);  // EWMA alpha 0.3: 1.0 + 0.3 * (2.0 - 1.0)
+  EXPECT_NEAR(table.EstimateSeconds(7, 0.0), 1.3, 1e-9);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TemplateCostTableTest, SeedFromQueryLog) {
+  std::string path = ::testing::TempDir() + "/seed_qlog.jsonl";
+  {
+    obs::QueryLogWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    obs::QueryLogRecord record;
+    record.query = "SELECT * FROM R1 WHERE R1.s < 10";
+    record.query_hash = 99;
+    record.actual_seconds = 0.25;
+    ASSERT_TRUE(writer.Append(record));
+    record.actual_seconds = 0.35;
+    ASSERT_TRUE(writer.Append(record));
+    writer.Close();
+  }
+  TemplateCostTable table;
+  EXPECT_EQ(table.SeedFromLog(path), 2);
+  // 0.25, then EWMA toward 0.35: 0.25 + 0.3 * 0.1 = 0.28.
+  EXPECT_NEAR(table.EstimateSeconds(99, 0.0), 0.28, 1e-9);
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+TEST(AdmissionControllerTest, TicketReleasesPagesOnDestruction) {
+  AdmissionConfig config;
+  config.pool_pages = 100;
+  config.timeout_ms = 1000;
+  AdmissionController controller(config);
+  {
+    AdmitResult result = controller.Admit(1, 80, 0.0);
+    ASSERT_EQ(result.outcome, AdmitOutcome::kAdmitted);
+    EXPECT_EQ(controller.pool()->available_pages(), 20);
+  }
+  EXPECT_EQ(controller.pool()->available_pages(), 100);
+}
+
+TEST(AdmissionControllerTest, TooLargeCarriesMessage) {
+  AdmissionConfig config;
+  config.pool_pages = 64;
+  AdmissionController controller(config);
+  AdmitResult result = controller.Admit(1, 4096, 0.0);
+  EXPECT_EQ(result.outcome, AdmitOutcome::kTooLarge);
+  EXPECT_NE(result.message.find("4096"), std::string::npos);
+  EXPECT_NE(result.message.find("64"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol framing
+
+TEST(ProtocolTest, StatusLineRoundTrip) {
+  QueryResponse response;
+  ASSERT_TRUE(
+      ParseStatusLine("@ok rows=42 seconds=0.125000 cache=hit", &response));
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.row_count, 42);
+  EXPECT_DOUBLE_EQ(response.seconds, 0.125);
+  EXPECT_EQ(response.cache, "hit");
+
+  std::string ok_line = FormatOkLine(7, 0.5, "miss");
+  ASSERT_TRUE(
+      ParseStatusLine(ok_line.substr(0, ok_line.size() - 1), &response));
+  EXPECT_EQ(response.row_count, 7);
+  EXPECT_EQ(response.cache, "miss");
+
+  ASSERT_TRUE(ParseStatusLine("@err out of pages", &response));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "out of pages");
+
+  EXPECT_FALSE(ParseStatusLine("*some row", &response));
+  // Newlines are flattened out of error messages (framing safety).
+  EXPECT_EQ(FormatErrLine("a\nb"), "@err a b\n");
+}
+
+// ---------------------------------------------------------------------------
+// ClonePlan + annotation safety
+
+std::string ChainSql(int32_t n, int64_t literal) {
+  std::string sql = "SELECT * FROM ";
+  for (int32_t i = 1; i <= n; ++i) {
+    if (i > 1) {
+      sql += ", ";
+    }
+    sql += "R" + std::to_string(i);
+  }
+  sql += " WHERE ";
+  bool first = true;
+  for (int32_t i = 1; i < n; ++i) {
+    if (!first) {
+      sql += " AND ";
+    }
+    first = false;
+    sql += "R" + std::to_string(i) + ".b = R" + std::to_string(i + 1) + ".a";
+  }
+  for (int32_t i = 1; i <= n; ++i) {
+    if (!first) {
+      sql += " AND ";
+    }
+    first = false;
+    sql += "R" + std::to_string(i) + ".s < " + std::to_string(literal);
+  }
+  return sql;
+}
+
+void CollectNodes(const PhysNode* node, std::set<const PhysNode*>* out) {
+  if (!out->insert(node).second) {
+    return;
+  }
+  for (const PhysNodePtr& child : node->children()) {
+    CollectNodes(child.get(), out);
+  }
+}
+
+void ExpectSameStructure(const PhysNode& a, const PhysNode& b) {
+  ASSERT_EQ(a.kind(), b.kind());
+  ASSERT_EQ(a.children().size(), b.children().size());
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    ExpectSameStructure(*a.children()[i], *b.children()[i]);
+  }
+}
+
+TEST(ClonePlanTest, DeepCopyPreservesStructureAndSharing) {
+  auto workload = PaperWorkload::Create(/*seed=*/42, /*populate=*/false);
+  ASSERT_TRUE(workload.ok());
+  CachedPlanRequest request;
+  request.catalog = &(*workload)->catalog();
+  request.model = &(*workload)->model();
+  request.cache = nullptr;
+  Result<CachedPlanResult> planned =
+      PlanQueryWithCache(ChainSql(4, 500), request);
+  ASSERT_TRUE(planned.ok());
+
+  PhysNodePtr clone = ClonePlan((*workload)->catalog(), planned->root);
+  std::set<const PhysNode*> original_nodes;
+  std::set<const PhysNode*> clone_nodes;
+  CollectNodes(planned->root.get(), &original_nodes);
+  CollectNodes(clone.get(), &clone_nodes);
+
+  // Every node is fresh (no pointer appears in both DAGs) ...
+  for (const PhysNode* node : clone_nodes) {
+    EXPECT_EQ(original_nodes.count(node), 0u);
+  }
+  // ... sharing is preserved (same number of distinct nodes) ...
+  EXPECT_EQ(original_nodes.size(), clone_nodes.size());
+  // ... and the shape is identical.
+  ExpectSameStructure(*planned->root, *clone);
+
+  // The clone takes annotations (the whole point of making it).
+  ParamEnv env(Interval::Point(64.0));
+  AnnotatePlan(*clone, (*workload)->model(), env, EstimationMode::kInterval);
+  EXPECT_GT(clone->est_cost().hi(), 0.0);
+}
+
+// The TSan regression for the plan cache's multi-session caveat:
+// concurrent sessions share one cached dynamic plan, each resolving it
+// and annotating a *private clone* with a different memory grant.
+// Annotating the shared DAG instead would be a data race (SetEstimates
+// is a mutable-const write) — run under -DDQEP_SANITIZE=thread to prove
+// the private-copy protocol is clean.
+TEST(ClonePlanTest, ConcurrentSessionsAnnotatePrivateClones) {
+  auto workload = PaperWorkload::Create(/*seed=*/42, /*populate=*/false);
+  ASSERT_TRUE(workload.ok());
+  DynamicPlanCache cache(16);
+  const std::string sql = ChainSql(3, 400);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        CachedPlanRequest request;
+        request.catalog = &(*workload)->catalog();
+        request.model = &(*workload)->model();
+        request.cache = &cache;
+        Result<CachedPlanResult> planned = PlanQueryWithCache(sql, request);
+        if (!planned.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        Result<StartupResult> startup = ResolveDynamicPlan(
+            planned->root, (*workload)->model(), planned->bound);
+        if (!startup.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        // Each session's "EXPLAIN ANALYZE": annotate a private clone
+        // under a session-specific environment.
+        PhysNodePtr clone =
+            ClonePlan((*workload)->catalog(), startup->resolved);
+        ParamEnv env(Interval::Point(16.0 + 16.0 * t));
+        AnnotatePlan(*clone, (*workload)->model(), env,
+                     EstimationMode::kInterval);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(cache.stats().hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Query log under concurrency
+
+TEST(QueryLogConcurrencyTest, ParallelAppendsProduceWholeLines) {
+  std::string path = ::testing::TempDir() + "/concurrent_qlog.jsonl";
+  ::unlink(path.c_str());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  {
+    obs::QueryLogWriter writer;
+    ASSERT_TRUE(writer.Open(path));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&writer, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          obs::QueryLogRecord record;
+          record.query = "SELECT * FROM R1 WHERE R1.s < " +
+                         std::to_string(t * 1000 + i);
+          record.query_hash =
+              static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+          record.actual_seconds = 0.001 * (i + 1);
+          record.result_rows = i;
+          ASSERT_TRUE(writer.Append(record));
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    writer.Close();
+  }
+  int64_t skipped = 0;
+  Result<std::vector<obs::QueryLogRecord>> records =
+      obs::LoadQueryLog(path, &skipped);
+  ASSERT_TRUE(records.ok());
+  // Every line parses (none torn or interleaved) and all records landed.
+  EXPECT_EQ(skipped, 0);
+  EXPECT_EQ(records->size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Socket-level integration
+
+/// Runs one DqepServer on a background thread against a temp-dir socket.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options) {
+    char tmpl[] = "/tmp/dqepsrvXXXXXX";
+    dir_ = ::mkdtemp(tmpl);
+    options.socket_path = dir_ + "/s";
+    server_ = std::make_unique<DqepServer>(std::move(options));
+    std::string error;
+    started_ = server_->Start(&error);
+    EXPECT_TRUE(started_) << error;
+    if (started_) {
+      serve_thread_ = std::thread([this] { exit_code_ = server_->Serve(); });
+    }
+  }
+
+  ~ServerFixture() {
+    StopAndJoin();
+    ::rmdir(dir_.c_str());
+  }
+
+  void StopAndJoin() {
+    if (serve_thread_.joinable()) {
+      server_->Shutdown();
+      serve_thread_.join();
+    }
+  }
+
+  std::unique_ptr<LineChannel> Connect() {
+    std::string error;
+    const int fd = ConnectUnix(server_->options().socket_path, &error);
+    EXPECT_GE(fd, 0) << error;
+    return fd < 0 ? nullptr : std::make_unique<LineChannel>(fd);
+  }
+
+  DqepServer& server() { return *server_; }
+  int exit_code() const { return exit_code_; }
+  bool started() const { return started_; }
+
+ private:
+  std::string dir_;
+  std::unique_ptr<DqepServer> server_;
+  std::thread serve_thread_;
+  bool started_ = false;
+  int exit_code_ = -1;
+};
+
+/// One request/response round; asserts the connection stayed healthy.
+QueryResponse RoundTrip(LineChannel* channel, const std::string& line) {
+  QueryResponse response;
+  EXPECT_TRUE(channel->WriteAll(line + "\n"));
+  EXPECT_TRUE(channel->ReadResponse(&response));
+  return response;
+}
+
+TEST(ServerIntegrationTest, BasicQueryAndSharedCacheAcrossSessions) {
+  ServerOptions options;
+  options.sessions = 2;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  auto conn1 = fixture.Connect();
+  ASSERT_NE(conn1, nullptr);
+  QueryResponse ping = RoundTrip(conn1.get(), "\\ping");
+  ASSERT_TRUE(ping.ok);
+  ASSERT_EQ(ping.rows.size(), 1u);
+  EXPECT_EQ(ping.rows[0], "pong");
+
+  QueryResponse first =
+      RoundTrip(conn1.get(), "SELECT * FROM R1 WHERE R1.s < 300");
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.cache, "miss");
+  EXPECT_EQ(static_cast<size_t>(first.row_count), first.rows.size());
+  EXPECT_GT(first.row_count, 0);
+
+  // A *different* connection, *different* literal, same template: the
+  // shared cache serves the compiled plan.
+  auto conn2 = fixture.Connect();
+  ASSERT_NE(conn2, nullptr);
+  QueryResponse second =
+      RoundTrip(conn2.get(), "SELECT * FROM R1 WHERE R1.s < 700");
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.cache, "hit");
+  EXPECT_NE(second.row_count, first.row_count);  // literals really differ
+
+  fixture.StopAndJoin();
+  EXPECT_EQ(fixture.exit_code(), 0);
+}
+
+TEST(ServerIntegrationTest, ConcurrentSessionsMatchSerialResults) {
+  // Serial ground truth: the embedded engine, no cache, tuple mode.
+  auto workload = PaperWorkload::Create(/*seed=*/42, /*populate=*/true);
+  ASSERT_TRUE(workload.ok());
+  const std::vector<int32_t> sizes = {1, 2, 4, 6, 10};  // the paper's Q1-Q5
+  std::vector<std::string> sqls;
+  std::vector<std::vector<std::string>> expected;
+  for (int32_t n : sizes) {
+    sqls.push_back(ChainSql(n, 600));
+    CachedPlanRequest request;
+    request.catalog = &(*workload)->catalog();
+    request.model = &(*workload)->model();
+    Result<CachedPlanResult> planned =
+        PlanQueryWithCache(sqls.back(), request);
+    ASSERT_TRUE(planned.ok());
+    Result<StartupResult> startup = ResolveDynamicPlan(
+        planned->root, (*workload)->model(), planned->bound);
+    ASSERT_TRUE(startup.ok());
+    // Execute under the same bounded 64-page context the server gives its
+    // sessions: spill decisions (and thus row order) depend on the budget.
+    std::unique_ptr<ExecContext> ctx =
+        MakeExecContext(planned->bound, (*workload)->config());
+    Result<std::unique_ptr<Iterator>> iter =
+        BuildExecutor(startup->resolved, (*workload)->db(), planned->bound,
+                      ctx.get());
+    ASSERT_TRUE(iter.ok());
+    std::vector<std::string> rows;
+    (*iter)->Open();
+    Tuple tuple;
+    while ((*iter)->Next(&tuple)) {
+      rows.push_back(tuple.ToString());
+    }
+    (*iter)->Close();
+    expected.push_back(std::move(rows));
+  }
+
+  ServerOptions options;
+  options.sessions = 4;
+  options.pool_pages = 1024;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  // 4 concurrent client sessions, each running every query at session
+  // thread counts 1 and 4 — results must be byte-identical to serial.
+  constexpr int kClients = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = fixture.Connect();
+      if (conn == nullptr) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (int32_t threads : {1, 4}) {
+        QueryResponse set_threads = RoundTrip(
+            conn.get(), "\\threads " + std::to_string(threads));
+        if (!set_threads.ok) {
+          mismatches.fetch_add(1);
+          return;
+        }
+        for (size_t q = 0; q < sqls.size(); ++q) {
+          QueryResponse response = RoundTrip(conn.get(), sqls[q]);
+          if (!response.ok || response.rows != expected[q]) {
+            ADD_FAILURE() << "client " << c << " threads " << threads
+                          << " query " << q << " mismatch (ok="
+                          << response.ok << " error=" << response.error
+                          << " rows=" << response.rows.size() << " vs "
+                          << expected[q].size() << ")";
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+
+  fixture.StopAndJoin();
+  EXPECT_EQ(fixture.exit_code(), 0);
+}
+
+TEST(ServerIntegrationTest, GrantTooLargeIsPoliteProtocolError) {
+  ServerOptions options;
+  options.sessions = 1;
+  options.pool_pages = 64;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  auto conn = fixture.Connect();
+  ASSERT_NE(conn, nullptr);
+  ASSERT_TRUE(RoundTrip(conn.get(), "\\mem 4096").ok);
+  QueryResponse response =
+      RoundTrip(conn.get(), "SELECT * FROM R1 WHERE R1.s < 300");
+  ASSERT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("admission"), std::string::npos);
+  EXPECT_NE(response.error.find("exceeds"), std::string::npos);
+
+  // The connection survives the rejection: a fitting grant works.
+  ASSERT_TRUE(RoundTrip(conn.get(), "\\mem 32").ok);
+  QueryResponse retry =
+      RoundTrip(conn.get(), "SELECT * FROM R1 WHERE R1.s < 300");
+  EXPECT_TRUE(retry.ok) << retry.error;
+}
+
+TEST(ServerIntegrationTest, ThrottleSaturationTimesOutNotHangs) {
+  ServerOptions options;
+  options.sessions = 1;
+  options.admission_timeout_ms = 200;
+  // Glacial refill: the first query's cost becomes unpayable debt.
+  options.throttle_rate = 1e-9;
+  options.throttle_burst = 0.001;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+
+  auto conn = fixture.Connect();
+  ASSERT_NE(conn, nullptr);
+  QueryResponse first =
+      RoundTrip(conn.get(), "SELECT * FROM R1 WHERE R1.s < 300");
+  ASSERT_TRUE(first.ok) << first.error;  // burst admits the first query
+  const auto start = std::chrono::steady_clock::now();
+  QueryResponse second =
+      RoundTrip(conn.get(), "SELECT * FROM R1 WHERE R1.s < 301");
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(second.ok);
+  EXPECT_NE(second.error.find("admission"), std::string::npos);
+  // A rejection, not a hang: bounded by the timeout plus slack.
+  EXPECT_LT(waited, milliseconds(5000));
+  EXPECT_GE(waited, milliseconds(150));
+}
+
+TEST(ServerIntegrationTest, SigtermDrainsMidStreamAndFlushesLog) {
+  const std::string log_path = ::testing::TempDir() + "/shutdown_qlog.jsonl";
+  ::unlink(log_path.c_str());
+  ServerOptions options;
+  options.sessions = 2;
+  options.query_log_path = log_path;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+  DqepServer::InstallSignalHandlers(&fixture.server());
+
+  // A client hammering queries while the signal lands mid-stream.
+  std::atomic<bool> saw_shutdown{false};
+  std::atomic<int> completed{0};
+  std::thread client([&] {
+    auto conn = fixture.Connect();
+    if (conn == nullptr) {
+      return;
+    }
+    for (int i = 0; i < 10000; ++i) {
+      if (!conn->WriteAll("SELECT * FROM R1, R2 WHERE R1.b = R2.a AND "
+                          "R1.s < 900 AND R2.s < 900\n")) {
+        break;  // connection shut down by the drain
+      }
+      QueryResponse response;
+      if (!conn->ReadResponse(&response)) {
+        break;
+      }
+      if (response.ok) {
+        completed.fetch_add(1);
+      } else {
+        // Cancellation or drain refusal — a polite error either way.
+        saw_shutdown.store(true);
+        break;
+      }
+    }
+  });
+  // Let some queries complete, then deliver a real SIGTERM.
+  while (completed.load() < 3) {
+    std::this_thread::yield();
+  }
+  ::raise(SIGTERM);
+  client.join();
+  fixture.StopAndJoin();
+
+  // Clean exit code and a log in which every line is whole.
+  EXPECT_EQ(fixture.exit_code(), 0);
+  int64_t skipped = 0;
+  Result<std::vector<obs::QueryLogRecord>> records =
+      obs::LoadQueryLog(log_path, &skipped);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(skipped, 0);
+  EXPECT_GE(static_cast<int>(records->size()), completed.load() - 1);
+  ::unlink(log_path.c_str());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dqep

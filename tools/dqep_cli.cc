@@ -34,6 +34,11 @@
 //                              query templates (same shape, different
 //                              literals) then reuse one compiled dynamic
 //                              plan and pay only start-up resolution
+//   --connect=SOCK|PORT        client mode: speak the line protocol to a
+//                              running dqep_server (unix socket path, or
+//                              a bare port for TCP to localhost) instead
+//                              of embedding the engine.  All other flags
+//                              are ignored; session state lives serverside
 //
 // Reads one command per line from stdin:
 //
@@ -64,6 +69,8 @@
 //   \explain SELECT * FROM R1 WHERE R1.s < :v
 //   SELECT R1.s FROM R1 WHERE R1.s < :v ORDER BY R1.s
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,7 +91,9 @@
 #include "optimizer/optimizer.h"
 #include "physical/costing.h"
 #include "runtime/plan_cache.h"
+#include "runtime/plan_rewrite.h"
 #include "runtime/startup.h"
+#include "server/protocol.h"
 #include "sql/parser.h"
 #include "storage/analyze.h"
 #include "workload/paper_workload.h"
@@ -406,12 +415,16 @@ class Shell {
     }
     // Re-annotate with the compile-time (unbound, interval) env: plan
     // rewriting rebuilt the nodes above replaced choose-plan operators
-    // without estimates.
+    // without estimates.  Annotate a private deep copy, not `resolved`
+    // itself — the resolved plan shares subtrees with the cached dynamic
+    // plan, and a concurrent session (the server) may be resolving the
+    // same cache entry while we write estimates.
+    PhysNodePtr annotated = ClonePlan(workload_->catalog(), resolved);
     ParamEnv compile_env(Interval::Point(memory_pages_));
-    AnnotatePlan(*resolved, model(), compile_env, EstimationMode::kInterval);
+    AnnotatePlan(*annotated, model(), compile_env, EstimationMode::kInterval);
     obs::AnalyzeInput input;
     input.dynamic_root = dynamic_root.get();
-    input.resolved_root = resolved.get();
+    input.resolved_root = annotated.get();
     input.startup = startup;
     input.exec_root = &exec_root;
     input.plan_cache = pending_cache_status_;
@@ -621,6 +634,9 @@ class Shell {
         planned->cache_used ? (planned->cache_hit ? "hit" : "miss") : "off";
     StartupOptions startup_options;
     startup_options.trace = trace_.get();
+    if (!planned->plan_params.empty()) {
+      startup_options.plan_params = &planned->plan_params;
+    }
     if (query_log_.is_open()) {
       // Capture what only this scope knows for the log record Report
       // writes after execution: the query text, the bindings it used, and
@@ -701,6 +717,61 @@ class Shell {
   obs::AnalyzeFormat stats_format_ = obs::AnalyzeFormat::kText;
 };
 
+/// --connect client mode: forward each stdin line to a dqep_server and
+/// print the response — data lines verbatim, then a one-line status.
+/// `target` is a unix-socket path, or a bare port number for TCP to
+/// localhost.  The server holds all session state (\set, \mem, ...);
+/// this side is a dumb pipe, usable interactively or scripted.
+int RunClient(const std::string& target) {
+  std::string error;
+  const bool is_port =
+      !target.empty() &&
+      target.find_first_not_of("0123456789") == std::string::npos;
+  const int fd = is_port
+                     ? server::ConnectTcp(std::atoi(target.c_str()), &error)
+                     : server::ConnectUnix(target, &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "dqep_cli: %s\n", error.c_str());
+    return 1;
+  }
+  server::LineChannel channel(fd);
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::printf("connected to %s — type SQL or \\quit\n", target.c_str());
+  }
+  std::string line;
+  while (interactive && (std::printf("dqep> "), std::fflush(stdout), true),
+         std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (!channel.WriteAll(line + "\n")) {
+      std::fprintf(stderr, "dqep_cli: connection lost\n");
+      return 1;
+    }
+    server::QueryResponse response;
+    if (!channel.ReadResponse(&response)) {
+      std::fprintf(stderr, "dqep_cli: connection closed by server\n");
+      return 1;
+    }
+    for (const std::string& row : response.rows) {
+      std::printf("%s\n", row.c_str());
+    }
+    if (response.ok) {
+      std::printf("(%lld rows, %.4f s, cache %s)\n",
+                  static_cast<long long>(response.row_count),
+                  response.seconds,
+                  response.cache.empty() ? "off" : response.cache.c_str());
+    } else {
+      std::printf("error: %s\n", response.error.c_str());
+    }
+    if (line == "\\quit" || line == "\\q") {
+      break;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace dqep
 
@@ -718,9 +789,17 @@ int main(int argc, char** argv) {
   std::string calibrate_log;
   std::string calibration_out = "calibration.json";
   size_t plan_cache_capacity = dqep::DynamicPlanCache::kDefaultCapacity;
+  std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--threads=", 10) == 0) {
+    if (std::strncmp(arg, "--connect=", 10) == 0) {
+      connect_target = arg + 10;
+      if (connect_target.empty()) {
+        std::fprintf(stderr,
+                     "--connect needs a unix socket path or TCP port\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = std::atoi(arg + 10);
       if (threads < 1 || threads > 256) {
         std::fprintf(stderr, "--threads must be in [1, 256]\n");
@@ -825,12 +904,19 @@ int main(int argc, char** argv) {
           "(default 128; repeated query templates reuse one compiled\n"
           "                           dynamic plan); \\cache in the shell "
           "shows hits/misses\n"
+          "  --connect=SOCK|PORT      client mode: talk to a running "
+          "dqep_server (unix socket path or localhost TCP port)\n"
           "  --help                   this message\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
       return 1;
     }
+  }
+  if (!connect_target.empty()) {
+    // Client mode: the server owns the engine; every other flag is a
+    // server-side concern.
+    return dqep::RunClient(connect_target);
   }
   if (!query_log_flag_seen) {
     // Environment default: set DQEP_QUERY_LOG once and every session

@@ -1,0 +1,161 @@
+// dqep_server — serve the paper's experiment database to many clients.
+//
+//   dqep_server --socket=/tmp/dqep.sock [flags]
+//
+// Flags:
+//   --socket=PATH           unix-domain socket to listen on (required)
+//   --tcp-port=N            also listen on 127.0.0.1:N (default off)
+//   --sessions=N            worker sessions == max concurrent queries
+//                           (default 4)
+//   --pool-pages=N          global memory-grant pool in pages; queries
+//                           queue when the pool is exhausted and are
+//                           rejected politely after --admission-timeout
+//                           (default 0 = unlimited)
+//   --memory-pages=N        default per-session memory grant in pages
+//                           (default 64; clients override with \mem)
+//   --admission-timeout=MS  queue wait budget in milliseconds before a
+//                           polite "@err admission: ..." (default 5000)
+//   --throttle-rate=R       cost throttle: admit R seconds of estimated
+//                           work per wall second, fed by measured query
+//                           seconds (default 0 = off)
+//   --throttle-burst=S      throttle bucket capacity in seconds of work
+//                           (default 1)
+//   --plan-cache=N|off      shared plan-cache capacity in entries
+//                           (default 128); templates compiled by any
+//                           session are hits for all
+//   --query-log=FILE        append one JSON line per executed query; also
+//                           seeds the admission cost table from previous
+//                           runs ($DQEP_QUERY_LOG sets the default)
+//   --trace-out=FILE        write Chrome-trace JSON at shutdown, one
+//                           track per session
+//
+// Clients: `dqep_cli --connect=PATH` (interactive), or any line-protocol
+// speaker — send one SQL line, read "*"-prefixed rows until an "@ok"/
+// "@err" status line (see src/server/protocol.h).
+//
+// SIGINT/SIGTERM drain gracefully: in-flight queries are cancelled,
+// queued admissions are refused, the query log is flushed, and the
+// process exits 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/plan_cache.h"
+#include "server/server.h"
+
+int main(int argc, char** argv) {
+  dqep::server::ServerOptions options;
+  bool query_log_flag_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      options.socket_path = arg + 9;
+    } else if (std::strncmp(arg, "--tcp-port=", 11) == 0) {
+      options.tcp_port = std::atoi(arg + 11);
+      if (options.tcp_port <= 0 || options.tcp_port > 65535) {
+        std::fprintf(stderr, "--tcp-port must be in [1, 65535]\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--sessions=", 11) == 0) {
+      options.sessions = std::atoi(arg + 11);
+      if (options.sessions < 1 || options.sessions > 256) {
+        std::fprintf(stderr, "--sessions must be in [1, 256]\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--pool-pages=", 13) == 0) {
+      options.pool_pages = std::atoll(arg + 13);
+      if (options.pool_pages < 0) {
+        std::fprintf(stderr, "--pool-pages must be >= 0\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--memory-pages=", 15) == 0) {
+      options.session_memory_pages = std::atof(arg + 15);
+      if (options.session_memory_pages < 2) {
+        std::fprintf(stderr, "--memory-pages must be >= 2\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--admission-timeout=", 20) == 0) {
+      options.admission_timeout_ms = std::atoll(arg + 20);
+      if (options.admission_timeout_ms < 0) {
+        std::fprintf(stderr, "--admission-timeout must be >= 0\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--throttle-rate=", 16) == 0) {
+      options.throttle_rate = std::atof(arg + 16);
+    } else if (std::strncmp(arg, "--throttle-burst=", 17) == 0) {
+      options.throttle_burst = std::atof(arg + 17);
+    } else if (std::strncmp(arg, "--plan-cache=", 13) == 0) {
+      const char* value = arg + 13;
+      if (std::strcmp(value, "off") == 0) {
+        options.plan_cache_capacity = 0;
+      } else {
+        char* end = nullptr;
+        long capacity = std::strtol(value, &end, 10);
+        if (end == value || *end != '\0' || capacity < 0) {
+          std::fprintf(stderr,
+                       "--plan-cache must be a non-negative entry count "
+                       "or \"off\"\n");
+          return 1;
+        }
+        options.plan_cache_capacity = static_cast<size_t>(capacity);
+      }
+    } else if (std::strncmp(arg, "--query-log=", 12) == 0) {
+      options.query_log_path = arg + 12;
+      query_log_flag_seen = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_path = arg + 12;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: dqep_server --socket=PATH [flags]\n"
+          "  --tcp-port=N            also listen on 127.0.0.1:N\n"
+          "  --sessions=N            worker sessions (default 4)\n"
+          "  --pool-pages=N          global memory-grant pool in pages "
+          "(0 = unlimited)\n"
+          "  --memory-pages=N        default per-session grant (default "
+          "64)\n"
+          "  --admission-timeout=MS  queue wait before rejection "
+          "(default 5000)\n"
+          "  --throttle-rate=R       seconds-of-work admitted per wall "
+          "second (0 = off)\n"
+          "  --throttle-burst=S      throttle bucket capacity (default 1)\n"
+          "  --plan-cache=N|off      shared plan-cache entries (default "
+          "128)\n"
+          "  --query-log=FILE        JSONL query log; seeds the cost "
+          "throttle\n"
+          "  --trace-out=FILE        Chrome-trace JSON at shutdown\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
+      return 1;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "dqep_server: --socket=PATH is required\n");
+    return 1;
+  }
+  if (!query_log_flag_seen) {
+    const char* env = std::getenv("DQEP_QUERY_LOG");
+    if (env != nullptr && env[0] != '\0') {
+      options.query_log_path = env;
+    }
+  }
+
+  dqep::server::DqepServer server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "dqep_server: %s\n", error.c_str());
+    return 1;
+  }
+  dqep::server::DqepServer::InstallSignalHandlers(&server);
+  std::printf("dqep_server: listening on %s (%d session%s%s%s)\n",
+              server.options().socket_path.c_str(), server.options().sessions,
+              server.options().sessions == 1 ? "" : "s",
+              server.options().pool_pages > 0 ? ", memory pool on" : "",
+              server.options().throttle_rate > 0 ? ", cost throttle on" : "");
+  std::fflush(stdout);
+  const int code = server.Serve();
+  std::printf("dqep_server: drained, exiting\n");
+  return code;
+}

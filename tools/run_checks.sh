@@ -1,13 +1,15 @@
 #!/bin/sh
 # Build-and-test gauntlet: the bench-schema gate, the plain tree (full
-# suite), the plan-cache amortization gate, then the ThreadSanitizer and
-# AddressSanitizer trees over the labeled suites (parallel, spill, obs,
-# cache — the obs label includes the calibration feedback tests).  One
-# command for the checks the verify skill lists individually:
+# suite), the plan-cache amortization gate, the multi-session server
+# gate, then the ThreadSanitizer and AddressSanitizer trees over the
+# labeled suites (parallel, spill, obs, cache, server — the obs label
+# includes the calibration feedback tests).  One command for the checks
+# the verify skill lists individually:
 #
 #   tools/run_checks.sh                  # everything
 #   tools/run_checks.sh bench plain      # schema gate + plain tree
 #   tools/run_checks.sh cachebench       # plan-cache amortization gate
+#   tools/run_checks.sh serverbench      # multi-session server gate
 #   tools/run_checks.sh tsan asan        # just the sanitizer trees
 #
 # Exits non-zero on the first failing step.  Sanitizer trees live in
@@ -17,8 +19,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-steps="${*:-bench plain cachebench tsan asan}"
-labels='parallel|spill|obs|cache'
+steps="${*:-bench plain cachebench serverbench tsan asan}"
+labels='parallel|spill|obs|cache|server'
 
 for step in $steps; do
   case "$step" in
@@ -52,12 +54,47 @@ print(f"cachebench: {row['median_speedup']:.2f}x median planning speedup "
       f"at 90% repeat rate (hit rate {row['hit_rate']:.2f})")
 EOF
       ;;
+    serverbench)
+      # Functional gates on within-run ratios and exact invariants, so
+      # they hold on any machine speed: the shared plan cache halves
+      # warm-template p50 (server-reported seconds), the memory-grant
+      # pool never exceeds its budget or forces a spill, and the cost
+      # throttle actually throttles.
+      echo "== serverbench: multi-session server gate =="
+      cmake -B build -S . >/dev/null
+      cmake --build build -j --target server_bench
+      build/bench/server_bench --json > build/BENCH_server.json
+      python3 tools/bench_diff.py --validate build/BENCH_server.json
+      python3 - <<'EOF'
+import json
+rows = {r["name"]: r for r in json.load(open("build/BENCH_server.json"))["rows"]}
+on, off = rows["server/cache_on"], rows["server/cache_off"]
+pool = rows["server/memory_pool"]
+throttled = rows["server/throttle_on"]
+assert on["errors"] == 0 and off["errors"] == 0 and pool["errors"] == 0, \
+    "server bench saw query errors"
+assert on["hit_rate"] >= 0.8, \
+    f"shared plan cache hit rate regressed: {on['hit_rate']:.2f} < 0.8"
+assert off["p50_speedup"] >= 2.0, \
+    f"plan-cache p50 speedup regressed: {off['p50_speedup']:.2f}x < 2x"
+assert pool["peak_granted_pages"] <= pool["pool_pages"], \
+    f"grant pool over-admitted: {pool['peak_granted_pages']} > {pool['pool_pages']}"
+assert pool["forced_overflows"] == 0, \
+    f"admitted queries forced {pool['forced_overflows']} spill overflows"
+assert throttled["qps_ratio"] <= 0.8, \
+    f"cost throttle did not throttle: qps ratio {throttled['qps_ratio']:.2f}"
+print(f"serverbench: {off['p50_speedup']:.2f}x p50 speedup at hit rate "
+      f"{on['hit_rate']:.2f}; pool peak {pool['peak_granted_pages']:.0f}/"
+      f"{pool['pool_pages']:.0f} pages, {pool['forced_overflows']:.0f} forced "
+      f"overflows; throttle qps ratio {throttled['qps_ratio']:.2f}")
+EOF
+      ;;
     tsan)
       echo "== tsan: labeled suites ($labels) =="
       cmake -B build-tsan -S . -DDQEP_SANITIZE=thread >/dev/null
       cmake --build build-tsan -j --target \
         exec_parallel_test exec_spill_test obs_test obs_feedback_test \
-        plan_cache_test
+        plan_cache_test server_test
       ctest --test-dir build-tsan -L "$labels" --output-on-failure
       ;;
     asan)
@@ -65,11 +102,12 @@ EOF
       cmake -B build-asan -S . -DDQEP_SANITIZE=address >/dev/null
       cmake --build build-asan -j --target \
         exec_parallel_test exec_spill_test obs_test obs_feedback_test \
-        plan_cache_test
+        plan_cache_test server_test
       ctest --test-dir build-asan -L "$labels" --output-on-failure
       ;;
     *)
-      echo "unknown step: $step (want bench, plain, tsan, asan)" >&2
+      echo "unknown step: $step (want bench, plain, cachebench," \
+           "serverbench, tsan, asan)" >&2
       exit 2
       ;;
   esac
