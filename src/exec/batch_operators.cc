@@ -14,7 +14,9 @@
 #include "exec/executor.h"
 #include "exec/executor_internal.h"
 #include "exec/parallel.h"
+#include "exec/reopt_control.h"
 #include "exec/spill.h"
+#include "storage/materialized.h"
 
 namespace dqep {
 
@@ -129,6 +131,37 @@ class BatchBTreeScanIter : public BatchIterator {
   size_t next_ = 0;
 };
 
+/// Batch scan over a captured mid-query intermediate, in storage order.
+class BatchMaterializedScanIter : public BatchIterator {
+ public:
+  explicit BatchMaterializedScanIter(MaterializedTablePtr table)
+      : table_(std::move(table)) {
+    layout_ = table_->layout();
+    op_name_ = "batch-materialized-scan";
+  }
+
+  void OpenImpl() override { reader_.emplace(table_.get()); }
+
+  void CloseImpl() override { reader_.reset(); }
+
+ protected:
+  bool NextImpl(TupleBatch* out) override {
+    out->Clear();
+    while (!out->full()) {
+      Tuple& row = out->AppendRow();
+      if (!reader_->Next(&row)) {
+        out->PopRow();
+        break;
+      }
+    }
+    return out->size() > 0;
+  }
+
+ private:
+  MaterializedTablePtr table_;
+  std::optional<MaterializedTable::Reader> reader_;
+};
+
 // --- Filter ------------------------------------------------------------------
 
 /// Evaluates predicates by narrowing the batch's selection vector in
@@ -192,9 +225,10 @@ class BatchHashJoinIter : public BatchIterator {
                     std::vector<int32_t> probe_slots,
                     std::unique_ptr<BatchIterator> build,
                     std::unique_ptr<BatchIterator> probe, const Database* db,
-                    ExecContext* ctx)
+                    ExecContext* ctx, const PhysNode* plan_node)
       : state_(std::move(build_slots), std::move(probe_slots), db, ctx),
         ctx_(ctx),
+        plan_node_(plan_node),
         build_(std::move(build)),
         probe_(std::move(probe)) {
     layout_ = TupleLayout::Concat(build_->layout(), probe_->layout());
@@ -214,6 +248,10 @@ class BatchHashJoinIter : public BatchIterator {
     }
     build_->Close();
     state_.FinishBuild();
+    if (ctx_ != nullptr && ctx_->reopt() != nullptr && plan_node_ != nullptr) {
+      ctx_->reopt()->CheckpointHashBuild(plan_node_, &state_,
+                                         build_->layout(), ctx_);
+    }
     probe_->Open();
     if (state_.spilled()) {
       while (probe_->Next(&batch)) {
@@ -285,6 +323,7 @@ class BatchHashJoinIter : public BatchIterator {
 
   HashJoinState state_;
   ExecContext* ctx_;
+  const PhysNode* plan_node_;
   std::unique_ptr<BatchIterator> build_;
   std::unique_ptr<BatchIterator> probe_;
   const std::vector<Tuple>* matches_ = nullptr;
@@ -302,8 +341,12 @@ class BatchHashJoinIter : public BatchIterator {
 class BatchSortIter : public BatchIterator {
  public:
   BatchSortIter(int32_t slot, std::unique_ptr<BatchIterator> input,
-                const Database* db, ExecContext* ctx)
-      : sorter_(slot, db, ctx), ctx_(ctx), input_(std::move(input)) {
+                const Database* db, ExecContext* ctx,
+                const PhysNode* plan_node)
+      : sorter_(slot, db, ctx),
+        ctx_(ctx),
+        plan_node_(plan_node),
+        input_(std::move(input)) {
     layout_ = input_->layout();
     op_name_ = "batch-sort";
   }
@@ -322,6 +365,10 @@ class BatchSortIter : public BatchIterator {
     }
     input_->Close();
     sorter_.Finish();
+    if (ctx_ != nullptr && ctx_->reopt() != nullptr && plan_node_ != nullptr) {
+      ctx_->reopt()->CheckpointSort(plan_node_, &sorter_, input_->layout(),
+                                    ctx_);
+    }
     next_ = 0;
     SyncSpillCounters();
   }
@@ -362,6 +409,7 @@ class BatchSortIter : public BatchIterator {
 
   ExternalSorter sorter_;
   ExecContext* ctx_;
+  const PhysNode* plan_node_;
   std::unique_ptr<BatchIterator> input_;
   size_t next_ = 0;
 };
@@ -503,7 +551,10 @@ class BatchFromTupleIter : public BatchIterator {
 Result<std::unique_ptr<BatchIterator>> BuildBatch(
     const PhysNode& node, const Database& db, const ParamEnv& env,
     ExecContext* ctx, const exec_internal::ParallelEnv* par) {
-  bool chain_joins = ctx == nullptr || !ctx->bounded();
+  // Armed re-optimization also forces joins onto the consumer thread:
+  // checkpoints and capture are single-threaded by contract.
+  bool chain_joins =
+      ctx == nullptr || (!ctx->bounded() && ctx->reopt() == nullptr);
   if (par != nullptr &&
       exec_internal::IsParallelizableChain(node, chain_joins)) {
     return exec_internal::MakeExchange(node, db, env, *par);
@@ -516,6 +567,9 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
       return std::unique_ptr<BatchIterator>(
           std::make_unique<BatchBTreeScanIter>(&db.table(node.relation()),
                                                node.column(), std::nullopt));
+    case PhysOpKind::kMaterializedScan:
+      return std::unique_ptr<BatchIterator>(
+          std::make_unique<BatchMaterializedScanIter>(node.materialized()));
     case PhysOpKind::kFilterBTreeScan: {
       const Table& table = db.table(node.relation());
       DQEP_CHECK_EQ(node.predicates().size(), 1u);
@@ -555,7 +609,7 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
                                                 &build_slots, &probe_slots));
       return std::unique_ptr<BatchIterator>(std::make_unique<BatchHashJoinIter>(
           std::move(build_slots), std::move(probe_slots), std::move(*build),
-          std::move(*probe), &db, ctx));
+          std::move(*probe), &db, ctx, &node));
     }
     case PhysOpKind::kMergeJoin: {
       // No native batch merge join yet: run the tuple implementation
@@ -592,8 +646,8 @@ Result<std::unique_ptr<BatchIterator>> BuildBatch(
       if (slot < 0) {
         return Status::Internal("sort attribute missing from input");
       }
-      return std::unique_ptr<BatchIterator>(
-          std::make_unique<BatchSortIter>(slot, std::move(*input), &db, ctx));
+      return std::unique_ptr<BatchIterator>(std::make_unique<BatchSortIter>(
+          slot, std::move(*input), &db, ctx, &node));
     }
     case PhysOpKind::kProject: {
       Result<std::unique_ptr<BatchIterator>> input =

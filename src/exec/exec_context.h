@@ -42,6 +42,8 @@ namespace obs {
 class TraceSession;  // obs/trace.h
 }  // namespace obs
 
+class ReoptController;  // exec/reopt_control.h
+
 /// Tracked-allocation accounting against an optional byte budget.
 /// Thread-safe: exchange workers and the consumer may account
 /// concurrently.  Acquire is unconditional — callers that must stay under
@@ -149,6 +151,12 @@ class ExecContext {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Re-arms the context after a mid-query re-optimization pause: the
+  /// cancel that stopped the abandoned iterator tree must not leak into
+  /// the spliced plan's execution.  Only the re-opt driver (single
+  /// thread, between executions) may call this.
+  void ResetCancel() { cancelled_.store(false, std::memory_order_relaxed); }
+
   /// Spill accounting, aggregated across all operators under this
   /// context (and, through the registry cells, into the process-wide
   /// "exec.spill.*" counters).  `RecordSpill` counts tuples written to
@@ -178,6 +186,13 @@ class ExecContext {
   obs::TraceSession* trace() const { return trace_; }
   void set_trace(obs::TraceSession* trace) { trace_ = trace; }
 
+  /// Optional mid-query re-optimization controller (exec/reopt_control.h).
+  /// Null — the default — means checkpoints are disarmed; pipeline
+  /// breakers must tolerate that.  The controller must outlive the
+  /// iterator tree built against this context.
+  ReoptController* reopt() const { return reopt_; }
+  void set_reopt(ReoptController* reopt) { reopt_ = reopt; }
+
  private:
   ExecOptions options_;
   int64_t memory_pages_ = 0;
@@ -188,6 +203,7 @@ class ExecContext {
   obs::CellHandle bytes_spilled_;
   obs::CellHandle overflows_;
   obs::TraceSession* trace_ = nullptr;
+  ReoptController* reopt_ = nullptr;
 };
 
 }  // namespace dqep

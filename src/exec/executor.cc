@@ -6,7 +6,9 @@
 
 #include "exec/exec_context.h"
 #include "exec/executor_internal.h"
+#include "exec/reopt_control.h"
 #include "exec/spill.h"
+#include "storage/materialized.h"
 
 namespace dqep {
 
@@ -172,6 +174,29 @@ class BTreeScanIter : public Iterator {
   size_t next_ = 0;
 };
 
+/// Scan over a captured mid-query intermediate (storage/materialized.h),
+/// in storage order.  The layout carries the original base-relation
+/// attributes, so downstream slot resolution is unchanged.
+class MaterializedScanIter : public Iterator {
+ public:
+  explicit MaterializedScanIter(MaterializedTablePtr table)
+      : table_(std::move(table)) {
+    layout_ = table_->layout();
+    op_name_ = "materialized-scan";
+  }
+
+  void OpenImpl() override { reader_.emplace(table_.get()); }
+
+  void CloseImpl() override { reader_.reset(); }
+
+ protected:
+  bool NextImpl(Tuple* out) override { return reader_->Next(out); }
+
+ private:
+  MaterializedTablePtr table_;
+  std::optional<MaterializedTable::Reader> reader_;
+};
+
 // --- Filter ------------------------------------------------------------------
 
 class FilterIter : public Iterator {
@@ -226,9 +251,10 @@ class HashJoinIter : public Iterator {
                std::vector<int32_t> probe_slots,
                std::unique_ptr<Iterator> build,
                std::unique_ptr<Iterator> probe, const Database* db,
-               ExecContext* ctx)
+               ExecContext* ctx, const PhysNode* plan_node)
       : state_(std::move(build_slots), std::move(probe_slots), db, ctx),
         ctx_(ctx),
+        plan_node_(plan_node),
         build_(std::move(build)),
         probe_(std::move(probe)) {
     layout_ = TupleLayout::Concat(build_->layout(), probe_->layout());
@@ -246,6 +272,10 @@ class HashJoinIter : public Iterator {
     }
     build_->Close();
     state_.FinishBuild();
+    if (ctx_ != nullptr && ctx_->reopt() != nullptr && plan_node_ != nullptr) {
+      ctx_->reopt()->CheckpointHashBuild(plan_node_, &state_,
+                                         build_->layout(), ctx_);
+    }
     probe_->Open();
     if (state_.spilled()) {
       while (probe_->Next(&tuple)) {
@@ -305,6 +335,7 @@ class HashJoinIter : public Iterator {
 
   HashJoinState state_;
   ExecContext* ctx_;
+  const PhysNode* plan_node_;
   std::unique_ptr<Iterator> build_;
   std::unique_ptr<Iterator> probe_;
   const std::vector<Tuple>* matches_ = nullptr;
@@ -523,8 +554,11 @@ class IndexJoinIter : public Iterator {
 class SortIter : public Iterator {
  public:
   SortIter(int32_t slot, std::unique_ptr<Iterator> input, const Database* db,
-           ExecContext* ctx)
-      : sorter_(slot, db, ctx), ctx_(ctx), input_(std::move(input)) {
+           ExecContext* ctx, const PhysNode* plan_node)
+      : sorter_(slot, db, ctx),
+        ctx_(ctx),
+        plan_node_(plan_node),
+        input_(std::move(input)) {
     layout_ = input_->layout();
     op_name_ = "sort";
   }
@@ -541,6 +575,10 @@ class SortIter : public Iterator {
     }
     input_->Close();
     sorter_.Finish();
+    if (ctx_ != nullptr && ctx_->reopt() != nullptr && plan_node_ != nullptr) {
+      ctx_->reopt()->CheckpointSort(plan_node_, &sorter_, input_->layout(),
+                                    ctx_);
+    }
     next_ = 0;
     SyncSpillCounters();
   }
@@ -574,6 +612,7 @@ class SortIter : public Iterator {
 
   ExternalSorter sorter_;
   ExecContext* ctx_;
+  const PhysNode* plan_node_;
   std::unique_ptr<Iterator> input_;
   size_t next_ = 0;
 };
@@ -629,6 +668,9 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
     case PhysOpKind::kBTreeScan:
       return std::unique_ptr<Iterator>(std::make_unique<BTreeScanIter>(
           &db.table(node.relation()), node.column(), std::nullopt));
+    case PhysOpKind::kMaterializedScan:
+      return std::unique_ptr<Iterator>(
+          std::make_unique<MaterializedScanIter>(node.materialized()));
     case PhysOpKind::kFilterBTreeScan: {
       const Table& table = db.table(node.relation());
       DQEP_CHECK_EQ(node.predicates().size(), 1u);
@@ -668,7 +710,7 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
                                                 &build_slots, &probe_slots));
       return std::unique_ptr<Iterator>(std::make_unique<HashJoinIter>(
           std::move(build_slots), std::move(probe_slots), std::move(*build),
-          std::move(*probe), &db, ctx));
+          std::move(*probe), &db, ctx, &node));
     }
     case PhysOpKind::kMergeJoin: {
       Result<std::unique_ptr<Iterator>> left =
@@ -696,7 +738,8 @@ Result<std::unique_ptr<Iterator>> Build(const PhysNode& node,
         return Status::Internal("sort attribute missing from input");
       }
       return std::unique_ptr<Iterator>(
-          std::make_unique<SortIter>(slot, std::move(*input), &db, ctx));
+          std::make_unique<SortIter>(slot, std::move(*input), &db, ctx,
+                                     &node));
     }
     case PhysOpKind::kProject: {
       Result<std::unique_ptr<Iterator>> input =

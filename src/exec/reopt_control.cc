@@ -1,0 +1,148 @@
+#include "exec/reopt_control.h"
+
+#include <utility>
+
+namespace dqep {
+
+bool ReoptController::OutsideInterval(double lo, double hi,
+                                      double actual) const {
+  double slack = config_.slack < 1.0 ? 1.0 : config_.slack;
+  return actual > hi * slack || actual < lo / slack;
+}
+
+std::string ReoptController::SuppressionReason(
+    const PhysNode* replaced) const {
+  if (triggers_ >= config_.max_triggers) {
+    return "trigger budget exhausted";
+  }
+  if (replaced->kind() == PhysOpKind::kMaterializedScan) {
+    return "input already materialized";
+  }
+  return std::string();
+}
+
+void ReoptController::CaptureRow(MaterializedTable* table, const Tuple& row,
+                                 ExecContext* ctx) {
+  if (ctx != nullptr && ctx->bounded() && !table->spilled() &&
+      ctx->tracker().WouldExceed(MaterializedTupleBytes(row))) {
+    int64_t released = table->Spill(*db_);
+    ctx->tracker().Release(released);
+    retained_bytes_ -= released;
+    ctx->RecordTempFile();
+  }
+  int64_t bytes = table->Append(row);
+  if (bytes > 0) {
+    if (ctx != nullptr) {
+      ctx->tracker().Acquire(bytes);
+    }
+    retained_bytes_ += bytes;
+  } else if (ctx != nullptr) {
+    ctx->RecordSpill(1, MaterializedTupleBytes(row));
+  }
+}
+
+void ReoptController::ReleaseRetained(ExecContext* ctx) {
+  if (ctx != nullptr && retained_bytes_ > 0) {
+    ctx->tracker().Release(retained_bytes_);
+  }
+  retained_bytes_ = 0;
+}
+
+void ReoptController::CheckpointHashBuild(
+    const PhysNode* join_node, exec_internal::HashJoinState* state,
+    const TupleLayout& build_layout, ExecContext* ctx) {
+  if (!config_.enabled || pending_ || join_node == nullptr ||
+      state == nullptr || (ctx != nullptr && ctx->cancelled())) {
+    return;
+  }
+  ++evaluated_;
+  const PhysNode* build_child = join_node->child(0).get();
+  const Interval& est = build_child->est_cardinality();
+  double actual = static_cast<double>(state->build_rows());
+  ReoptCheckpoint event;
+  event.site = ReoptCheckpoint::Site::kHashBuild;
+  event.op = PhysOpKindName(join_node->kind());
+  event.est_lo = est.lo();
+  event.est_hi = est.hi();
+  event.actual_rows = state->build_rows();
+  if (!OutsideInterval(est.lo(), est.hi(), actual)) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  std::string suppressed = SuppressionReason(build_child);
+  if (!suppressed.empty()) {
+    event.suppressed_reason = std::move(suppressed);
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Trigger: export the finished build side as a synthetic leaf.  The
+  // layout keeps the build subtree's original attribute identities, so
+  // every downstream predicate and join slot resolves unchanged.
+  auto table = std::make_shared<MaterializedTable>(
+      "reopt#" + std::to_string(next_id_++), build_layout,
+      build_child->BaseRelations());
+  state->ExportBuildRows(
+      [&](const Tuple& row) { CaptureRow(table.get(), row, ctx); });
+  event.triggered = true;
+  event.spilled_capture = table->spilled();
+  events_.push_back(std::move(event));
+  ++triggers_;
+  captured_ = std::move(table);
+  replaced_ = build_child;
+  pending_ = true;
+  // Capture first, then cancel: the export path itself polls nothing,
+  // but the cancel stops every drain loop above us.
+  if (ctx != nullptr) {
+    ctx->RequestCancel();
+  }
+}
+
+void ReoptController::CheckpointSort(const PhysNode* sort_node,
+                                     exec_internal::ExternalSorter* sorter,
+                                     const TupleLayout& layout,
+                                     ExecContext* ctx) {
+  if (!config_.enabled || pending_ || sort_node == nullptr ||
+      sorter == nullptr || (ctx != nullptr && ctx->cancelled())) {
+    return;
+  }
+  ++evaluated_;
+  const PhysNode* input = sort_node->child(0).get();
+  const Interval& est = input->est_cardinality();
+  double actual = static_cast<double>(sorter->num_rows());
+  ReoptCheckpoint event;
+  event.site = ReoptCheckpoint::Site::kSort;
+  event.op = PhysOpKindName(sort_node->kind());
+  event.est_lo = est.lo();
+  event.est_hi = est.hi();
+  event.actual_rows = sorter->num_rows();
+  if (!OutsideInterval(est.lo(), est.hi(), actual)) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  std::string suppressed = SuppressionReason(input);
+  if (!suppressed.empty()) {
+    event.suppressed_reason = std::move(suppressed);
+    events_.push_back(std::move(event));
+    return;
+  }
+  // Trigger: the sorted output replaces the whole Sort subtree, and the
+  // capture remembers its order so the re-optimized plan can reuse it.
+  auto table = std::make_shared<MaterializedTable>(
+      "reopt#" + std::to_string(next_id_++), layout,
+      sort_node->BaseRelations());
+  table->set_sorted_on(sort_node->sort_attr());
+  sorter->ExportSorted(
+      [&](const Tuple& row) { CaptureRow(table.get(), row, ctx); });
+  event.triggered = true;
+  event.spilled_capture = table->spilled();
+  events_.push_back(std::move(event));
+  ++triggers_;
+  captured_ = std::move(table);
+  replaced_ = sort_node;
+  pending_ = true;
+  if (ctx != nullptr) {
+    ctx->RequestCancel();
+  }
+}
+
+}  // namespace dqep

@@ -1,0 +1,179 @@
+// Mid-query re-optimization checkpoints (runtime half).
+//
+// The resolved plan's nodes carry the optimizer's compile-time cardinality
+// intervals — the validity intervals of the paper's choose-plan machinery.
+// Pipeline breakers (hash-join build completion, sort finish) are the
+// points where an intermediate's *actual* cardinality becomes known while
+// its materialization is still at hand.  The ReoptController sits on the
+// ExecContext; each breaker reports its actual cardinality, and when the
+// actual leaves the validity interval by more than a configurable slack
+// the controller captures the materialized intermediate as a
+// MaterializedTable, flags a pending re-optimization, and cancels the
+// running iterator tree.
+//
+// The cancellation is safe because every pipeline breaker completes during
+// the root Open() cascade, before the first row is emitted: the driver
+// (runtime/reopt.h) observes zero output rows, re-enters the decision
+// procedure for the remaining plan suffix with the captured table as a
+// synthetic leaf, and runs the spliced plan from the top.  Work already
+// paid for survives in the materialized table; nothing upstream of the
+// capture re-executes.
+
+#ifndef DQEP_EXEC_REOPT_CONTROL_H_
+#define DQEP_EXEC_REOPT_CONTROL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/spill.h"
+#include "physical/plan.h"
+#include "storage/materialized.h"
+
+namespace dqep {
+
+/// Tuning knobs for runtime checkpoints.
+struct ReoptConfig {
+  /// Master switch (`--reopt=on|off`).
+  bool enabled = true;
+
+  /// Trigger slack: a checkpoint fires only when the actual cardinality
+  /// lies outside [lo / slack, hi * slack] of the compile-time interval
+  /// (`--reopt-slack`).  1.0 means the bare interval.
+  double slack = 2.0;
+
+  /// Re-optimizations allowed per query; checkpoints beyond the budget
+  /// are recorded as suppressed.
+  int32_t max_triggers = 3;
+};
+
+/// One evaluated checkpoint, for EXPLAIN ANALYZE / the query log.  The
+/// executor fills the observation half; the driver (runtime/reopt.cc)
+/// fills the decision half after re-entering the decision procedure.
+struct ReoptCheckpoint {
+  enum class Site { kHashBuild, kSort };
+
+  Site site = Site::kHashBuild;
+  /// Breaker operator name ("Hash-Join", "Sort") for rendering.
+  std::string op;
+  /// Compile-time cardinality interval of the materialized input.
+  double est_lo = 0.0;
+  double est_hi = 0.0;
+  /// Observed cardinality at the breaker.
+  int64_t actual_rows = 0;
+  bool triggered = false;
+  /// Why an out-of-interval observation did not trigger (empty when
+  /// triggered or in-interval).
+  std::string suppressed_reason;
+  bool spilled_capture = false;
+
+  // Decision half (triggered checkpoints only).
+  /// Estimated cost of finishing with the current join order (the
+  /// original plan spliced over the captured table) vs the re-optimized
+  /// suffix.  Their difference is the realized regret delta.
+  double pre_cost = 0.0;
+  double post_cost = 0.0;
+  /// Seconds spent in the suffix optimization + resolution.
+  double reopt_seconds = 0.0;
+  /// True when the re-optimized suffix was adopted (post < pre).
+  bool adopted = false;
+};
+
+/// Checkpoint brain for one query execution.  Single-threaded by
+/// construction: breakers run on the consumer thread (exchange chains
+/// exclude joins while re-optimization is armed), and the first trigger
+/// cancels the tree, so at most one capture is in flight.
+class ReoptController {
+ public:
+  ReoptController(const ReoptConfig& config, const Database* db)
+      : config_(config), db_(db) {
+    DQEP_CHECK(db != nullptr);
+  }
+
+  ReoptController(const ReoptController&) = delete;
+  ReoptController& operator=(const ReoptController&) = delete;
+
+  /// Hash-join build completed: `actual` build rows against the build
+  /// child's compile-time interval.  On trigger, exports the build rows
+  /// into a MaterializedTable covering child(0)'s base relations and
+  /// cancels `ctx`.
+  void CheckpointHashBuild(const PhysNode* join_node,
+                           exec_internal::HashJoinState* state,
+                           const TupleLayout& build_layout, ExecContext* ctx);
+
+  /// Sort finished: input rows against the sort child's interval.  On
+  /// trigger, exports the *sorted output* (tagged with the sort attr, so
+  /// the re-optimized plan can reuse the order) and cancels `ctx`.
+  void CheckpointSort(const PhysNode* sort_node,
+                      exec_internal::ExternalSorter* sorter,
+                      const TupleLayout& layout, ExecContext* ctx);
+
+  /// True when a trigger captured an intermediate and awaits the driver.
+  bool pending() const { return pending_; }
+
+  /// The plan subtree the captured table replaces (the hash join's build
+  /// child, or the whole sort node).  Valid while pending().
+  const PhysNode* replaced() const { return replaced_; }
+
+  /// The captured intermediate.  Valid while pending().
+  MaterializedTablePtr table() const { return captured_; }
+
+  /// The driver consumed the pending capture and will splice a new plan.
+  void ClearPending() {
+    pending_ = false;
+    replaced_ = nullptr;
+    captured_ = nullptr;
+  }
+
+  /// Checkpoint record for the capture currently pending (the last
+  /// element of events()); the driver fills its decision half.
+  ReoptCheckpoint* pending_event() {
+    return events_.empty() ? nullptr : &events_.back();
+  }
+
+  const std::vector<ReoptCheckpoint>& events() const { return events_; }
+  int64_t checkpoints_evaluated() const { return evaluated_; }
+  int64_t triggers_fired() const { return triggers_; }
+
+  /// Tracked bytes held by in-memory captured tables.  The driver
+  /// releases them against the context when the query finishes (the
+  /// tables must live as long as the spliced plan that scans them).
+  int64_t retained_bytes() const { return retained_bytes_; }
+  void ReleaseRetained(ExecContext* ctx);
+
+  const ReoptConfig& config() const { return config_; }
+
+ private:
+  /// True when `actual` lies outside the slack-widened interval.
+  bool OutsideInterval(double lo, double hi, double actual) const;
+
+  /// Returns a suppression reason, or empty when a trigger may proceed.
+  std::string SuppressionReason(const PhysNode* replaced) const;
+
+  /// Appends `row` to the table under the context's memory budget,
+  /// spilling the table to a temp heap when the next row would not fit.
+  void CaptureRow(MaterializedTable* table, const Tuple& row,
+                  ExecContext* ctx);
+
+  const ReoptConfig config_;
+  const Database* db_;
+
+  bool pending_ = false;
+  const PhysNode* replaced_ = nullptr;
+  std::shared_ptr<MaterializedTable> captured_;
+
+  /// Tables captured over the query's lifetime (the spliced plans hold
+  /// shared_ptrs too; this keeps the byte accounting in one place).
+  int64_t retained_bytes_ = 0;
+
+  std::vector<ReoptCheckpoint> events_;
+  int64_t evaluated_ = 0;
+  int64_t triggers_ = 0;
+  int64_t next_id_ = 0;
+};
+
+}  // namespace dqep
+
+#endif  // DQEP_EXEC_REOPT_CONTROL_H_

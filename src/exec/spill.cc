@@ -141,6 +141,7 @@ std::unique_ptr<SpillFile> HashJoinState::NewSpillFile() {
 }
 
 void HashJoinState::AddBuild(const Tuple& tuple) {
+  ++build_rows_;
   if (!spilled_) {
     int64_t bytes = TrackedTupleBytes(tuple);
     if (ctx_ != nullptr && ctx_->bounded() &&
@@ -190,6 +191,43 @@ void HashJoinState::FinishBuild() {
   probe_parts_.clear();
   for (size_t i = 0; i < kSpillFanout; ++i) {
     probe_parts_.push_back(NewSpillFile());
+  }
+}
+
+void HashJoinState::ExportBuildRows(
+    const std::function<void(const Tuple&)>& sink) const {
+  if (!spilled_) {
+    // Map iteration order is not deterministic across runs; export keys
+    // in sorted order (lexicographic over the key vector), rows within a
+    // key in arrival order.  Any fixed order works — parity only needs
+    // the same order for the same input on every engine.
+    std::vector<const Table::value_type*> entries;
+    entries.reserve(table_.size());
+    for (const auto& entry : table_) {
+      entries.push_back(&entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Table::value_type* a, const Table::value_type* b) {
+                return a->first < b->first;
+              });
+    for (const Table::value_type* entry : entries) {
+      for (const Tuple& tuple : entry->second) {
+        sink(tuple);
+      }
+    }
+    return;
+  }
+  // Spilled build: partition files in partition order (deterministic —
+  // partitioning depends only on the key stream).
+  for (const std::unique_ptr<SpillFile>& part : build_parts_) {
+    if (part == nullptr || part->num_tuples() == 0) {
+      continue;
+    }
+    SpillFile::Scanner scan = part->CreateScanner();
+    Tuple tuple;
+    while (scan.Next(&tuple)) {
+      sink(tuple);
+    }
   }
 }
 
@@ -471,6 +509,7 @@ void HashJoinState::Reset() {
   job_open_ = false;
   matches_ = nullptr;
   match_pos_ = 0;
+  build_rows_ = 0;
 }
 
 // --- ExternalSorter ----------------------------------------------------------
@@ -485,6 +524,7 @@ ExternalSorter::~ExternalSorter() { Reset(); }
 
 void ExternalSorter::Add(const Tuple& tuple) {
   DQEP_CHECK(!finished_);
+  ++num_rows_;
   int64_t bytes = TrackedTupleBytes(tuple);
   if (ctx_ != nullptr && ctx_->bounded() &&
       ctx_->tracker().WouldExceed(bytes)) {
@@ -541,6 +581,21 @@ void ExternalSorter::Finish() {
   }
   PreMergeToFit();
   OpenFinalMerge();
+}
+
+void ExternalSorter::ExportSorted(
+    const std::function<void(const Tuple&)>& sink) {
+  DQEP_CHECK(finished_);
+  if (!spilled()) {
+    for (const Tuple& tuple : rows_) {
+      sink(tuple);
+    }
+    return;
+  }
+  Tuple tuple;
+  while (Next(&tuple)) {
+    sink(tuple);
+  }
 }
 
 int64_t ExternalSorter::HeadBytes(size_t count) const {
@@ -672,6 +727,7 @@ void ExternalSorter::Reset() {
   heads_bytes_ = 0;
   rows_.clear();
   finished_ = false;
+  num_rows_ = 0;
 }
 
 }  // namespace exec_internal

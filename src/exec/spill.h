@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -143,6 +144,18 @@ class HashJoinState {
   void AddBuild(const Tuple& tuple);
   void FinishBuild();
 
+  /// Build rows fed since the last Reset — the actual cardinality a
+  /// runtime checkpoint compares against the optimizer's interval.
+  int64_t build_rows() const { return build_rows_; }
+
+  /// Streams every build row to `sink` in a deterministic order, without
+  /// disturbing the join state.  Only valid between FinishBuild and the
+  /// probe phase.  In-memory tables export key-sorted (per-key arrival
+  /// order preserved); spilled builds export partition-major.  Used by
+  /// mid-query re-optimization to capture the finished build side as a
+  /// materialized leaf.
+  void ExportBuildRows(const std::function<void(const Tuple&)>& sink) const;
+
   /// True once the build side went over budget; decided by FinishBuild
   /// time and stable until Reset.
   bool spilled() const { return spilled_; }
@@ -232,6 +245,7 @@ class HashJoinState {
   JoinKey scratch_key_;
   SpillCounters counters_;
   int64_t overflow_loads_ = 0;
+  int64_t build_rows_ = 0;
 };
 
 /// Sort accumulator with an external merge-sort spill path.
@@ -256,6 +270,16 @@ class ExternalSorter {
 
   void Add(const Tuple& tuple);
   void Finish();
+
+  /// Rows fed since the last Reset — the actual cardinality a runtime
+  /// checkpoint compares against the optimizer's interval.
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Streams the fully sorted output to `sink`.  Only valid right after
+  /// Finish; the spilled path drains the final merge, so the sorter is
+  /// exhausted afterwards (callers abandon it — mid-query re-optimization
+  /// captures the output as a materialized leaf and splices a new plan).
+  void ExportSorted(const std::function<void(const Tuple&)>& sink);
 
   bool spilled() const { return !runs_.empty(); }
 
@@ -314,6 +338,7 @@ class ExternalSorter {
 
   SpillCounters counters_;
   int64_t overflow_loads_ = 0;
+  int64_t num_rows_ = 0;
 };
 
 }  // namespace exec_internal

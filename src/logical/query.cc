@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "storage/materialized.h"
+
 namespace dqep {
 
 std::vector<int32_t> RelSetMembers(RelSet set) {
@@ -22,6 +24,14 @@ int32_t Query::AddTerm(RelationTerm term) {
   return num_terms() - 1;
 }
 
+int32_t Query::AddMaterializedTerm(
+    std::shared_ptr<const MaterializedTable> table) {
+  DQEP_CHECK(table != nullptr);
+  RelationTerm term;
+  term.materialized = std::move(table);
+  return AddTerm(std::move(term));
+}
+
 void Query::AddJoin(JoinPredicate join) { joins_.push_back(join); }
 
 RelSet Query::AllTerms() const {
@@ -36,7 +46,11 @@ RelSet Query::AllTerms() const {
 
 int32_t Query::TermOf(RelationId relation) const {
   for (int32_t i = 0; i < num_terms(); ++i) {
-    if (terms_[static_cast<size_t>(i)].relation == relation) {
+    const RelationTerm& term = terms_[static_cast<size_t>(i)];
+    if (term.relation == relation) {
+      return i;
+    }
+    if (term.IsMaterialized() && term.materialized->Covers(relation)) {
       return i;
     }
   }
@@ -121,6 +135,29 @@ Status Query::Validate(const Catalog& catalog) const {
   }
   std::set<RelationId> seen;
   for (const RelationTerm& term : terms_) {
+    if (term.IsMaterialized()) {
+      if (!term.predicates.empty()) {
+        return Status::InvalidArgument(
+            "materialized term carries predicates (already applied when "
+            "the intermediate was computed)");
+      }
+      if (term.materialized->covered().empty()) {
+        return Status::InvalidArgument("materialized term covers nothing");
+      }
+      for (RelationId covered : term.materialized->covered()) {
+        if (!catalog.HasRelation(covered)) {
+          return Status::NotFound(
+              "materialized term covers unknown relation id " +
+              std::to_string(covered));
+        }
+        if (!seen.insert(covered).second) {
+          return Status::InvalidArgument(
+              "relation '" + catalog.relation(covered).name() +
+              "' appears in two terms");
+        }
+      }
+      continue;
+    }
     if (!catalog.HasRelation(term.relation)) {
       return Status::NotFound("query references unknown relation id " +
                               std::to_string(term.relation));
@@ -212,7 +249,12 @@ std::string Query::ToString(const Catalog& catalog) const {
     if (i > 0) {
       os << ", ";
     }
-    os << catalog.relation(terms_[static_cast<size_t>(i)].relation).name();
+    const RelationTerm& term = terms_[static_cast<size_t>(i)];
+    if (term.IsMaterialized()) {
+      os << "[" << term.materialized->name() << "]";
+    } else {
+      os << catalog.relation(term.relation).name();
+    }
   }
   bool first = true;
   for (const RelationTerm& term : terms_) {

@@ -9,6 +9,7 @@
 #define DQEP_LOGICAL_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "logical/expr.h"
 
 namespace dqep {
+
+class MaterializedTable;  // storage/materialized.h
 
 /// A set of query terms, represented as a bitset over term indexes.
 /// Supports up to 64 relations per query.
@@ -39,10 +42,16 @@ inline int32_t RelSetSize(RelSet set) {
 /// Term indexes present in `set`, ascending.
 std::vector<int32_t> RelSetMembers(RelSet set);
 
-/// One base-relation occurrence with its pushed-down selections.
+/// One base-relation occurrence with its pushed-down selections — or a
+/// materialized intermediate standing in for several base relations
+/// during mid-query re-optimization (its predicates were already applied
+/// when it was computed, so `predicates` must stay empty).
 struct RelationTerm {
   RelationId relation = kInvalidRelation;
   std::vector<SelectionPredicate> predicates;
+  std::shared_ptr<const MaterializedTable> materialized;
+
+  bool IsMaterialized() const { return materialized != nullptr; }
 };
 
 /// A normalized select-join query.
@@ -52,6 +61,11 @@ class Query {
 
   /// Adds a base relation term; returns its term index.
   int32_t AddTerm(RelationTerm term);
+
+  /// Adds a materialized-intermediate term (mid-query re-optimization's
+  /// synthetic leaf); returns its term index.  Attribute references to any
+  /// base relation the table covers resolve to this term (TermOf).
+  int32_t AddMaterializedTerm(std::shared_ptr<const MaterializedTable> table);
 
   /// Adds a join predicate; both sides must reference added relations.
   void AddJoin(JoinPredicate join);
@@ -89,7 +103,9 @@ class Query {
   /// Bitset of all term indexes.
   RelSet AllTerms() const;
 
-  /// Term index storing the given base relation, or -1.
+  /// Term index storing the given base relation, or -1.  A materialized
+  /// term answers for every base relation it covers, so predicates over
+  /// already-joined relations resolve to the synthetic leaf.
   int32_t TermOf(RelationId relation) const;
 
   /// Join predicates with one side in `left` and the other in `right`.

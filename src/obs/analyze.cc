@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/json_util.h"
+#include "obs/trace.h"
 
 namespace dqep {
 namespace obs {
@@ -223,6 +224,33 @@ std::string RenderText(const std::vector<AnalyzeRow>& rows,
             FormatInterval(row.est_rows).c_str(),
             row.have_actual ? std::to_string(row.actual_rows).c_str() : "-");
   }
+  if (input.reopt != nullptr) {
+    for (const ReoptCheckpoint& cp : *input.reopt) {
+      std::string line = "reopt checkpoint (";
+      line += cp.site == ReoptCheckpoint::Site::kHashBuild ? "hash-build"
+                                                           : "sort";
+      AppendF(&line, " %s): est [%.6g, %.6g], actual %lld", cp.op.c_str(),
+              cp.est_lo, cp.est_hi, static_cast<long long>(cp.actual_rows));
+      if (cp.triggered) {
+        AppendF(&line, " -- triggered%s, suffix cost %.6g -> %.6g",
+                cp.spilled_capture ? " (spilled capture)" : "", cp.pre_cost,
+                cp.post_cost);
+        if (cp.adopted) {
+          AppendF(&line, ", adopted (regret delta %+.6g)",
+                  cp.post_cost - cp.pre_cost);
+        } else {
+          line += ", kept spliced order";
+        }
+        AppendF(&line, ", reopt %.6f s", cp.reopt_seconds);
+      } else if (!cp.suppressed_reason.empty()) {
+        AppendF(&line, " -- suppressed (%s)", cp.suppressed_reason.c_str());
+      } else {
+        line += " -- within interval";
+      }
+      out += line;
+      out += '\n';
+    }
+  }
   if (input.startup != nullptr) {
     const StartupResult& s = *input.startup;
     AppendF(&out,
@@ -301,6 +329,44 @@ std::string RenderJson(const std::vector<AnalyzeRow>& rows,
     out += "}";
   }
   out += "\n  ]";
+  if (input.reopt != nullptr) {
+    out += ",\n  \"reopt_checkpoints\": [";
+    first = true;
+    for (const ReoptCheckpoint& cp : *input.reopt) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      AppendF(&out, "    {\"site\": \"%s\", \"op\": \"%s\"",
+              cp.site == ReoptCheckpoint::Site::kHashBuild ? "hash-build"
+                                                           : "sort",
+              cp.op.c_str());
+      out += ", \"est_lo\": ";
+      AppendJsonNumber(&out, cp.est_lo);
+      out += ", \"est_hi\": ";
+      AppendJsonNumber(&out, cp.est_hi);
+      AppendF(&out, ", \"actual_rows\": %lld, \"triggered\": %s",
+              static_cast<long long>(cp.actual_rows),
+              cp.triggered ? "true" : "false");
+      if (!cp.suppressed_reason.empty()) {
+        AppendF(&out, ", \"suppressed\": \"%s\"",
+                JsonEscape(cp.suppressed_reason).c_str());
+      }
+      if (cp.triggered) {
+        AppendF(&out, ", \"spilled_capture\": %s",
+                cp.spilled_capture ? "true" : "false");
+        out += ", \"pre_cost\": ";
+        AppendJsonNumber(&out, cp.pre_cost);
+        out += ", \"post_cost\": ";
+        AppendJsonNumber(&out, cp.post_cost);
+        out += ", \"regret_delta\": ";
+        AppendJsonNumber(&out, cp.post_cost - cp.pre_cost);
+        out += ", \"reopt_seconds\": ";
+        AppendJsonNumber(&out, cp.reopt_seconds);
+        AppendF(&out, ", \"adopted\": %s", cp.adopted ? "true" : "false");
+      }
+      out += "}";
+    }
+    out += "\n  ]";
+  }
   if (input.startup != nullptr) {
     const StartupResult& s = *input.startup;
     AppendF(&out,

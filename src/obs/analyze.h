@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "exec/exec_node.h"
+#include "exec/reopt_control.h"
 #include "physical/plan.h"
 #include "runtime/startup.h"
 
@@ -67,6 +68,14 @@ struct AnalyzeInput {
   /// "this plan was reused, not re-optimized" is visible next to the
   /// estimates it carried over.
   std::string plan_cache;
+
+  /// Runtime re-optimization checkpoints evaluated during execution
+  /// (runtime/reopt.h), in order: triggered and suppressed decisions
+  /// each get a report line with the validity interval, the observed
+  /// cardinality, and — for triggered ones — the suffix cost before and
+  /// after re-entering the decision procedure (their difference is the
+  /// realized regret delta).  Null when re-optimization was off.
+  const std::vector<ReoptCheckpoint>* reopt = nullptr;
 };
 
 /// One joined report line: either an operator of the resolved plan or a

@@ -101,6 +101,11 @@ bool ParseRecord(const JsonValue& doc, QueryLogRecord* record) {
   record->spill_tuples = doc.IntOr("spill_tuples", 0);
   record->pool_hits = doc.IntOr("pool_hits", 0);
   record->pool_misses = doc.IntOr("pool_misses", 0);
+  record->reopt_checkpoints = doc.IntOr("reopt_checkpoints", 0);
+  record->reopt_triggers = doc.IntOr("reopt_triggers", 0);
+  record->reopt_seconds = doc.NumberOr("reopt_seconds", 0.0);
+  record->reopt_cost_pre = doc.NumberOr("reopt_cost_pre", 0.0);
+  record->reopt_cost_post = doc.NumberOr("reopt_cost_post", 0.0);
   if (const JsonValue* ops = doc.Find("operators");
       ops != nullptr && ops->is_array()) {
     for (const JsonValue& item : ops->items) {
@@ -181,6 +186,19 @@ QueryLogRecord BuildQueryLogRecord(const std::string& query_text,
     record.decision_count = input.startup->decisions;
     record.cost_evaluations = input.startup->cost_evaluations;
     record.resolve_cpu_seconds = input.startup->measured_cpu_seconds;
+  }
+  if (input.reopt != nullptr) {
+    record.reopt_checkpoints =
+        static_cast<int64_t>(input.reopt->size());
+    for (const ReoptCheckpoint& cp : *input.reopt) {
+      if (!cp.triggered) {
+        continue;
+      }
+      ++record.reopt_triggers;
+      record.reopt_seconds += cp.reopt_seconds;
+      record.reopt_cost_pre = cp.pre_cost;
+      record.reopt_cost_post = cp.post_cost;
+    }
   }
   if (input.resolved_root == nullptr) {
     return record;
@@ -267,7 +285,7 @@ QueryLogRecord BuildQueryLogRecord(const std::string& query_text,
 
 std::string RenderQueryLogRecordJson(const QueryLogRecord& record) {
   std::string out = "{";
-  AppendIntField(&out, "v", 1);
+  AppendIntField(&out, "v", 2);
   out += ", ";
   AppendStringField(&out, "query", record.query);
   out += ", ";
@@ -322,6 +340,16 @@ std::string RenderQueryLogRecordJson(const QueryLogRecord& record) {
   AppendIntField(&out, "pool_hits", record.pool_hits);
   out += ", ";
   AppendIntField(&out, "pool_misses", record.pool_misses);
+  out += ", ";
+  AppendIntField(&out, "reopt_checkpoints", record.reopt_checkpoints);
+  out += ", ";
+  AppendIntField(&out, "reopt_triggers", record.reopt_triggers);
+  out += ", ";
+  AppendNumberField(&out, "reopt_seconds", record.reopt_seconds);
+  out += ", ";
+  AppendNumberField(&out, "reopt_cost_pre", record.reopt_cost_pre);
+  out += ", ";
+  AppendNumberField(&out, "reopt_cost_post", record.reopt_cost_post);
   out += ", \"operators\": [";
   first = true;
   for (const QueryLogOperator& op : record.operators) {

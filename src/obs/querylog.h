@@ -26,6 +26,13 @@
 // (raw-text hashing, and an offset basis with a transcription typo) do
 // not match current ones; the log reader never joins on hashes across
 // records, so old logs stay loadable.
+//
+// Schema note: "v" is the record schema version.  v1: the original
+// record.  v2 (mid-query re-optimization): adds the flat `reopt_*`
+// fields — checkpoints evaluated, triggers fired, seconds spent
+// re-entering the decision procedure, and the estimated suffix cost
+// before/after the last triggered re-optimization.  The reader defaults
+// all of them to zero, so v1 logs load unchanged.
 
 #ifndef DQEP_OBS_QUERYLOG_H_
 #define DQEP_OBS_QUERYLOG_H_
@@ -125,6 +132,16 @@ struct QueryLogRecord {
   int64_t spill_tuples = 0;
   int64_t pool_hits = 0;
   int64_t pool_misses = 0;
+
+  /// Mid-query re-optimization (schema v2; all zero when off or idle).
+  /// `reopt_cost_pre`/`_post` are the estimated cost of finishing with
+  /// the running join order vs the re-optimized suffix at the last
+  /// triggered checkpoint.
+  int64_t reopt_checkpoints = 0;
+  int64_t reopt_triggers = 0;
+  double reopt_seconds = 0.0;
+  double reopt_cost_pre = 0.0;
+  double reopt_cost_post = 0.0;
 
   std::vector<QueryLogOperator> operators;
   std::vector<QueryLogDecision> decisions;

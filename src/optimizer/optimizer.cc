@@ -158,6 +158,14 @@ class SearchContext {
     int32_t term_index = RelSetMembers(set).front();
     const RelationTerm& term = query_.term(term_index);
     const Catalog& catalog = model_.catalog();
+
+    // A materialized intermediate has exactly one access path: scan it in
+    // captured order.  A sort enforcer handles any required order.
+    if (term.IsMaterialized()) {
+      Consider(PhysNode::MaterializedScan(term.materialized), order, goal);
+      return Status::OK();
+    }
+
     const RelationInfo& relation = catalog.relation(term.relation);
 
     // 1. File scan (+ filter).
@@ -268,7 +276,9 @@ class SearchContext {
         const JoinPredicate& key = joins.front();
         const RelationTerm& inner =
             query_.term(RelSetMembers(other).front());
-        if (catalog.relation(inner.relation).HasIndexOn(key.right.column)) {
+        // A materialized intermediate has no B-tree to probe.
+        if (!inner.IsMaterialized() &&
+            catalog.relation(inner.relation).HasIndexOn(key.right.column)) {
           Result<const Goal*> outer = OptimizeGoal(sub, SortOrder());
           if (!outer.ok()) return outer.status();
           if (!PruneByBound((*outer)->estimate.cost.lo(), goal)) {

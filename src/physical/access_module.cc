@@ -188,6 +188,9 @@ class AccessModuleCodec {
     }
     PutI64(&out, static_cast<int64_t>(order.size()));
     for (const PhysNode* node : order) {
+      // Materialized leaves are runtime-only: they reference a live
+      // intermediate in this process and must never reach disk or cache.
+      DQEP_CHECK(node->kind() != PhysOpKind::kMaterializedScan);
       PutU8(&out, static_cast<uint8_t>(node->kind()));
       PutI32(&out, node->relation());
       PutI32(&out, node->column());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/materialized.h"
+
 namespace dqep {
 
 namespace {
@@ -133,6 +135,24 @@ NodeEstimate EstimateNode(const PhysNode& node,
       out.cost = input.cost + self;
       return out;
     }
+    case PhysOpKind::kMaterializedScan: {
+      DQEP_CHECK_EQ(children.size(), 0u);
+      // The intermediate was already computed: cardinality is exact, and
+      // the only cost left is reading it back (pages if spilled, a
+      // per-tuple touch if resident).
+      const MaterializedTable& table = *node.materialized();
+      double card = static_cast<double>(table.num_rows());
+      out.cardinality = Interval::Point(card);
+      if (table.spilled()) {
+        out.cost =
+            Interval::Point(model.FileScanCost(card, table.width_bytes()));
+      } else {
+        CostTerms terms;
+        terms.tuple_ops = card;
+        out.cost = Interval::Point(model.TermsCost(terms));
+      }
+      return out;
+    }
     case PhysOpKind::kChoosePlan: {
       DQEP_CHECK_GE(children.size(), 2u);
       Interval cost = children[0]->cost;
@@ -239,6 +259,16 @@ CostTerms NodeSelfTerms(const PhysNode& node,
       DQEP_CHECK_EQ(children.size(), 1u);
       CostTerms t;
       t.tuple_ops = children[0]->cardinality.lo();
+      return t;
+    }
+    case PhysOpKind::kMaterializedScan: {
+      const MaterializedTable& table = *node.materialized();
+      double card = static_cast<double>(table.num_rows());
+      if (table.spilled()) {
+        return model.FileScanTerms(card, table.width_bytes());
+      }
+      CostTerms t;
+      t.tuple_ops = card;
       return t;
     }
     case PhysOpKind::kChoosePlan:

@@ -1,10 +1,13 @@
 #include "physical/plan.h"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "storage/materialized.h"
 
 namespace dqep {
 
@@ -30,6 +33,8 @@ const char* PhysOpKindName(PhysOpKind kind) {
       return "Choose-Plan";
     case PhysOpKind::kProject:
       return "Project";
+    case PhysOpKind::kMaterializedScan:
+      return "Materialized-Scan";
   }
   return "?";
 }
@@ -193,6 +198,20 @@ PhysNodePtr PhysNode::ChoosePlan(std::vector<PhysNodePtr> alternatives,
   return node;
 }
 
+PhysNodePtr PhysNode::MaterializedScan(
+    std::shared_ptr<const MaterializedTable> table) {
+  DQEP_CHECK(table != nullptr);
+  auto node =
+      std::shared_ptr<PhysNode>(new PhysNode(PhysOpKind::kMaterializedScan));
+  node->width_ = table->width_bytes();
+  node->base_cardinality_ = static_cast<double>(table->num_rows());
+  if (table->sorted_on().IsValid()) {
+    node->output_order_ = SortOrder::On(table->sorted_on());
+  }
+  node->materialized_ = std::move(table);
+  return node;
+}
+
 void PhysNode::SetEstimates(const Interval& cardinality,
                             const Interval& cost) const {
   est_cardinality_ = cardinality;
@@ -296,6 +315,13 @@ void AppendNode(const PhysNode* node, int indent,
   if (node->kind() == PhysOpKind::kSort) {
     line << " on " << node->sort_attr();
   }
+  if (node->kind() == PhysOpKind::kMaterializedScan) {
+    line << " " << node->materialized()->name() << " rows="
+         << node->materialized()->num_rows();
+    if (node->materialized()->spilled()) {
+      line << " (spilled)";
+    }
+  }
   if (node->kind() == PhysOpKind::kProject) {
     line << " [";
     for (size_t i = 0; i < node->projections().size(); ++i) {
@@ -324,6 +350,102 @@ std::string PhysNode::ToString() const {
   std::string out;
   AppendNode(this, 0, &ids, &next_id, &out);
   return out;
+}
+
+namespace {
+
+void CollectBaseRelations(const PhysNode* node,
+                          std::vector<RelationId>* out) {
+  auto add = [out](RelationId relation) {
+    if (std::find(out->begin(), out->end(), relation) == out->end()) {
+      out->push_back(relation);
+    }
+  };
+  switch (node->kind()) {
+    case PhysOpKind::kFileScan:
+    case PhysOpKind::kBTreeScan:
+    case PhysOpKind::kFilterBTreeScan:
+      add(node->relation());
+      return;
+    case PhysOpKind::kMaterializedScan:
+      for (RelationId relation : node->materialized()->covered()) {
+        add(relation);
+      }
+      return;
+    case PhysOpKind::kIndexJoin:
+      CollectBaseRelations(node->child(0).get(), out);
+      add(node->relation());
+      return;
+    case PhysOpKind::kChoosePlan:
+      // Alternatives are equivalent: they cover the same relations.
+      CollectBaseRelations(node->child(0).get(), out);
+      return;
+    default:
+      for (const PhysNodePtr& child : node->children()) {
+        CollectBaseRelations(child.get(), out);
+      }
+      return;
+  }
+}
+
+std::vector<AttrRef> RelationAttrs(const Catalog& catalog,
+                                   RelationId relation) {
+  const RelationInfo& info = catalog.relation(relation);
+  std::vector<AttrRef> attrs;
+  attrs.reserve(static_cast<size_t>(info.num_columns()));
+  for (int32_t c = 0; c < info.num_columns(); ++c) {
+    attrs.push_back(AttrRef{relation, c});
+  }
+  return attrs;
+}
+
+}  // namespace
+
+std::vector<RelationId> PhysNode::BaseRelations() const {
+  std::vector<RelationId> out;
+  CollectBaseRelations(this, &out);
+  return out;
+}
+
+std::vector<AttrRef> PhysNode::OutputAttrs(const Catalog& catalog) const {
+  switch (kind_) {
+    case PhysOpKind::kFileScan:
+    case PhysOpKind::kBTreeScan:
+    case PhysOpKind::kFilterBTreeScan:
+      return RelationAttrs(catalog, relation_);
+    case PhysOpKind::kMaterializedScan: {
+      const TupleLayout& layout = materialized_->layout();
+      std::vector<AttrRef> attrs;
+      attrs.reserve(static_cast<size_t>(layout.num_slots()));
+      for (int32_t s = 0; s < layout.num_slots(); ++s) {
+        attrs.push_back(layout.attr(s));
+      }
+      return attrs;
+    }
+    case PhysOpKind::kFilter:
+    case PhysOpKind::kSort:
+      return child(0)->OutputAttrs(catalog);
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kMergeJoin: {
+      std::vector<AttrRef> attrs = child(0)->OutputAttrs(catalog);
+      std::vector<AttrRef> right = child(1)->OutputAttrs(catalog);
+      attrs.insert(attrs.end(), right.begin(), right.end());
+      return attrs;
+    }
+    case PhysOpKind::kIndexJoin: {
+      std::vector<AttrRef> attrs = child(0)->OutputAttrs(catalog);
+      std::vector<AttrRef> inner = RelationAttrs(catalog, relation_);
+      attrs.insert(attrs.end(), inner.begin(), inner.end());
+      return attrs;
+    }
+    case PhysOpKind::kProject:
+      return projections_;
+    case PhysOpKind::kChoosePlan:
+      // All alternatives emit the same attribute set in the same order.
+      return child(0)->OutputAttrs(catalog);
+  }
+  DQEP_CHECK(false);
+  return {};
 }
 
 }  // namespace dqep

@@ -24,6 +24,8 @@
 
 namespace dqep {
 
+class MaterializedTable;  // storage/materialized.h
+
 /// Kinds of physical operators.
 enum class PhysOpKind : uint8_t {
   kFileScan,
@@ -36,6 +38,7 @@ enum class PhysOpKind : uint8_t {
   kSort,
   kChoosePlan,
   kProject,
+  kMaterializedScan,
 };
 
 const char* PhysOpKindName(PhysOpKind kind);
@@ -97,6 +100,13 @@ class PhysNode {
   static PhysNodePtr ChoosePlan(std::vector<PhysNodePtr> alternatives,
                                 const SortOrder& order);
 
+  /// Scan of a materialized intermediate (mid-query re-optimization's
+  /// synthetic leaf).  Cardinality and width are exact — the table was
+  /// already computed — and the output order is whatever order the table
+  /// was captured in.  Runtime-only: never cached or serialized.
+  static PhysNodePtr MaterializedScan(
+      std::shared_ptr<const MaterializedTable> table);
+
   PhysOpKind kind() const { return kind_; }
   RelationId relation() const { return relation_; }
   int32_t column() const { return column_; }
@@ -107,6 +117,12 @@ class PhysNode {
   const AttrRef& sort_attr() const { return sort_attr_; }
   const std::vector<AttrRef>& projections() const { return projections_; }
   const std::vector<PhysNodePtr>& children() const { return children_; }
+
+  /// The materialized table backing a kMaterializedScan leaf; null for
+  /// every other kind.
+  const std::shared_ptr<const MaterializedTable>& materialized() const {
+    return materialized_;
+  }
 
   const PhysNodePtr& child(size_t i) const {
     DQEP_CHECK_LT(i, children_.size());
@@ -151,6 +167,18 @@ class PhysNode {
   /// by id afterwards.
   std::string ToString() const;
 
+  /// Base relations contributing rows to this subtree: scan leaves plus
+  /// the coverage of any materialized leaves (plus an index join's inner).
+  /// Distinct, in first-encounter order.
+  std::vector<RelationId> BaseRelations() const;
+
+  /// The attribute identities of the rows this subtree emits, in slot
+  /// order — the executor's TupleLayout for the subtree, derived from the
+  /// plan alone.  A re-optimized suffix projects to the original root's
+  /// output attrs so its rows are column-compatible with the plan it
+  /// replaces.
+  std::vector<AttrRef> OutputAttrs(const Catalog& catalog) const;
+
  private:
   // The access-module codec reconstructs nodes field-by-field.
   friend class AccessModuleCodec;
@@ -165,6 +193,7 @@ class PhysNode {
   AttrRef sort_attr_;
   std::vector<AttrRef> projections_;
   std::vector<PhysNodePtr> children_;
+  std::shared_ptr<const MaterializedTable> materialized_;
   double width_ = 0.0;
   double base_cardinality_ = 0.0;
   SortOrder output_order_;

@@ -26,6 +26,10 @@ PhysNodePtr CloneWithChildren(const Catalog& catalog, const PhysNode& node,
                                std::move(children[0]));
     case PhysOpKind::kChoosePlan:
       return PhysNode::ChoosePlan(std::move(children), node.output_order());
+    case PhysOpKind::kMaterializedScan:
+      // A fresh node over the same shared table (the table itself is
+      // immutable once captured).
+      return PhysNode::MaterializedScan(node.materialized());
     case PhysOpKind::kFileScan:
     case PhysOpKind::kBTreeScan:
     case PhysOpKind::kFilterBTreeScan:
@@ -85,6 +89,8 @@ PhysNodePtr ClonePlan(const Catalog& catalog, const PhysNodePtr& root) {
           case PhysOpKind::kFilterBTreeScan:
             return PhysNode::FilterBTreeScan(catalog, node.relation(),
                                              node.predicates().front());
+          case PhysOpKind::kMaterializedScan:
+            return PhysNode::MaterializedScan(node.materialized());
           default:
             // Interior nodes: rebuild on the (already cloned) children.
             return CloneWithChildren(catalog, node, children);

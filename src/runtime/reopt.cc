@@ -1,0 +1,272 @@
+#include "runtime/reopt.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "obs/trace.h"
+#include "physical/costing.h"
+#include "runtime/decision_engine.h"
+#include "runtime/plan_rewrite.h"
+
+namespace dqep {
+
+namespace {
+
+/// The executor trees of one attempt; exactly one member is set.
+struct BuiltTree {
+  std::unique_ptr<Iterator> tuple;
+  std::unique_ptr<BatchIterator> batch;
+};
+
+Result<BuiltTree> BuildTree(const PhysNodePtr& plan, const Database& db,
+                            const ParamEnv& env, ExecContext& ctx) {
+  BuiltTree out;
+  const ExecOptions& options = ctx.options();
+  if (options.threads > 1) {
+    Result<std::unique_ptr<BatchIterator>> iter =
+        BuildParallelBatchExecutor(plan, db, env, ctx);
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    out.batch = std::move(*iter);
+  } else if (options.mode == ExecMode::kBatch) {
+    Result<std::unique_ptr<BatchIterator>> iter =
+        BuildBatchExecutor(plan, db, env, &ctx);
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    out.batch = std::move(*iter);
+  } else {
+    Result<std::unique_ptr<Iterator>> iter =
+        BuildExecutor(plan, db, env, &ctx);
+    if (!iter.ok()) {
+      return iter.status();
+    }
+    out.tuple = std::move(*iter);
+  }
+  return out;
+}
+
+/// Open/drain/close, honoring cancellation (mirrors ExecutePlan's
+/// context overload, but keeps the tree alive for the caller).
+void DrainTree(BuiltTree* tree, const PhysNode& plan, ExecContext& ctx,
+               std::vector<Tuple>* rows) {
+  constexpr double kMaxReserve = 1 << 20;
+  rows->reserve(static_cast<size_t>(
+      std::clamp(plan.est_cardinality().hi(), 0.0, kMaxReserve)));
+  if (tree->batch != nullptr) {
+    tree->batch->Open();
+    TupleBatch batch;
+    while (!ctx.cancelled() && tree->batch->Next(&batch)) {
+      for (int32_t i = 0; i < batch.num_rows(); ++i) {
+        rows->push_back(batch.row(i));
+      }
+    }
+    tree->batch->Close();
+    return;
+  }
+  tree->tuple->Open();
+  Tuple tuple;
+  while (!ctx.cancelled() && tree->tuple->Next(&tuple)) {
+    rows->push_back(std::move(tuple));
+  }
+  tree->tuple->Close();
+}
+
+/// Materialized leaves of `root` outside the `replaced` subtree: earlier
+/// captures that must keep their own terms in the suffix query.
+void CollectOtherMaterialized(const PhysNode* node, const PhysNode* replaced,
+                              std::vector<MaterializedTablePtr>* out) {
+  if (node == nullptr || node == replaced) {
+    return;
+  }
+  if (node->kind() == PhysOpKind::kMaterializedScan) {
+    for (const MaterializedTablePtr& seen : *out) {
+      if (seen == node->materialized()) {
+        return;  // shared subplan: one term suffices
+      }
+    }
+    out->push_back(node->materialized());
+    return;
+  }
+  for (const PhysNodePtr& child : node->children()) {
+    CollectOtherMaterialized(child.get(), replaced, out);
+  }
+}
+
+}  // namespace
+
+Result<Query> BuildSuffixQuery(const Query& original,
+                               const PhysNodePtr& current,
+                               const PhysNode* replaced,
+                               const MaterializedTablePtr& table,
+                               const Catalog& catalog) {
+  DQEP_CHECK(current != nullptr);
+  DQEP_CHECK(replaced != nullptr);
+  DQEP_CHECK(table != nullptr);
+  Query suffix;
+  suffix.AddMaterializedTerm(table);
+  std::vector<MaterializedTablePtr> others;
+  CollectOtherMaterialized(current.get(), replaced, &others);
+  for (const MaterializedTablePtr& other : others) {
+    suffix.AddMaterializedTerm(other);
+  }
+  for (const RelationTerm& term : original.terms()) {
+    if (term.IsMaterialized()) {
+      continue;  // the original user query has no synthetic leaves
+    }
+    if (table->Covers(term.relation)) {
+      continue;
+    }
+    bool covered = false;
+    for (const MaterializedTablePtr& other : others) {
+      covered = covered || other->Covers(term.relation);
+    }
+    if (!covered) {
+      suffix.AddTerm(term);
+    }
+  }
+  for (const JoinPredicate& join : original.joins()) {
+    int32_t lt = suffix.TermOf(join.left.relation);
+    int32_t rt = suffix.TermOf(join.right.relation);
+    if (lt < 0 || rt < 0) {
+      return Status::Internal("suffix query lost a join endpoint");
+    }
+    if (lt == rt) {
+      continue;  // applied when the intermediate was computed
+    }
+    suffix.AddJoin(join);
+  }
+  suffix.SetProjection(current->OutputAttrs(catalog));
+  if (original.HasOrderBy()) {
+    suffix.SetOrderBy(original.order_by());
+  }
+  DQEP_RETURN_IF_ERROR(suffix.Validate(catalog));
+  return suffix;
+}
+
+Result<ReoptExecution> ExecuteWithReopt(const Query& query,
+                                        const PhysNodePtr& resolved_plan,
+                                        const Database& db,
+                                        const CostModel& model,
+                                        const ParamEnv& env, ExecContext& ctx,
+                                        const ReoptOptions& options) {
+  DQEP_CHECK(resolved_plan != nullptr);
+  const Catalog& catalog = db.catalog();
+
+  // Private copy: checkpoints read annotations off these nodes, and a
+  // shared plan-cache DAG must never be (re-)annotated in place.
+  PhysNodePtr current = ClonePlan(catalog, resolved_plan);
+  const ParamEnv* est_env =
+      options.estimate_env != nullptr ? options.estimate_env : &env;
+  AnnotatePlan(*current, model, *est_env, EstimationMode::kInterval);
+
+  ReoptController controller(options.config, &db);
+  if (options.config.enabled) {
+    // Arming changes plan shape under threads > 1 (breakers leave the
+    // exchange chains), so a disabled run leaves the context untouched.
+    ctx.set_reopt(&controller);
+  }
+  auto cleanup = [&controller, &ctx]() {
+    controller.ReleaseRetained(&ctx);
+    ctx.set_reopt(nullptr);
+  };
+
+  DecisionEngine engine(model);
+  // The env the *current* plan's ParamIds resolve under: the runtime env
+  // until a re-optimized suffix (whose ids follow `query`) is adopted.
+  const ParamEnv* exec_env = &env;
+  const ParamEnv* suffix_env =
+      options.suffix_env != nullptr ? options.suffix_env : &env;
+  ReoptExecution out;
+  while (true) {
+    Result<BuiltTree> tree = BuildTree(current, db, *exec_env, ctx);
+    if (!tree.ok()) {
+      cleanup();
+      return tree.status();
+    }
+    std::vector<Tuple> rows;
+    DrainTree(&*tree, *current, ctx, &rows);
+    if (!controller.pending()) {
+      out.rows = std::move(rows);
+      out.final_plan = current;
+      out.tuple_tree = std::move(tree->tuple);
+      out.batch_tree = std::move(tree->batch);
+      break;
+    }
+    // Triggers fire during the Open cascade and cancel the tree before
+    // the first root row, so the abandoned attempt emitted nothing.
+    DQEP_CHECK(rows.empty());
+    int64_t span_start =
+        ctx.trace() != nullptr ? ctx.trace()->NowMicros() : 0;
+    WallTimer timer;
+    const PhysNode* replaced = controller.replaced();
+    MaterializedTablePtr table = controller.table();
+
+    // The capture is never wasted: the fallback plan keeps the current
+    // join order with the finished subtree read from the capture.
+    PhysNodePtr spliced = RewritePlan(
+        catalog, current,
+        [&](const PhysNode& node,
+            const std::vector<PhysNodePtr>&) -> PhysNodePtr {
+          return &node == replaced ? PhysNode::MaterializedScan(table)
+                                   : nullptr;
+        });
+    double pre_cost =
+        EstimateRoot(*spliced, model, *exec_env,
+                     EstimationMode::kExpectedValue)
+            .cost.hi();
+    double post_cost = pre_cost;
+    bool adopted = false;
+
+    Result<Query> suffix =
+        BuildSuffixQuery(query, current, replaced, table, catalog);
+    if (suffix.ok()) {
+      Result<DecisionEngine::SuffixPlan> plan = engine.ReoptimizeSuffix(
+          *suffix, *suffix_env, options.optimizer, options.startup);
+      if (plan.ok()) {
+        post_cost = plan->execution_cost;
+        if (post_cost < pre_cost) {
+          current = plan->resolved;
+          exec_env = suffix_env;
+          adopted = true;
+        }
+      }
+    }
+    if (!adopted) {
+      AnnotatePlan(*spliced, model, *exec_env,
+                   EstimationMode::kExpectedValue);
+      current = std::move(spliced);
+    }
+    double seconds = timer.ElapsedSeconds();
+    out.reopt_seconds += seconds;
+    ReoptCheckpoint* event = controller.pending_event();
+    DQEP_CHECK(event != nullptr);
+    event->pre_cost = pre_cost;
+    event->post_cost = post_cost;
+    event->reopt_seconds = seconds;
+    event->adopted = adopted;
+    if (ctx.trace() != nullptr) {
+      ctx.trace()->EndSpan(
+          "reoptimize", "reopt", span_start,
+          {{"site", event->op},
+           {"actual_rows", std::to_string(event->actual_rows)},
+           {"est_lo", std::to_string(event->est_lo)},
+           {"est_hi", std::to_string(event->est_hi)},
+           {"pre_cost", std::to_string(pre_cost)},
+           {"post_cost", std::to_string(post_cost)},
+           {"adopted", adopted ? "1" : "0"}});
+    }
+    controller.ClearPending();
+    ctx.ResetCancel();
+  }
+  out.checkpoints = controller.events();
+  out.checkpoints_evaluated = controller.checkpoints_evaluated();
+  out.triggers_fired = controller.triggers_fired();
+  cleanup();
+  return out;
+}
+
+}  // namespace dqep

@@ -142,9 +142,10 @@ int64_t MemoryGrantPool::queued_total() const {
 // CostThrottle
 
 CostThrottle::CostThrottle(double rate_seconds_per_second,
-                           double burst_seconds)
+                           double burst_seconds, bool adaptive)
     : rate_(rate_seconds_per_second),
       burst_(burst_seconds > 0.0 ? burst_seconds : 0.0),
+      adaptive_(adaptive),
       tokens_(burst_),
       last_refill_(Clock::now()),
       throttled_counter_(obs::MetricsRegistry::Instance().NewCounter(
@@ -155,7 +156,55 @@ void CostThrottle::RefillLocked() {
   const double elapsed =
       std::chrono::duration<double>(now - last_refill_).count();
   last_refill_ = now;
-  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  tokens_ = std::min(burst_, tokens_ + elapsed * RateLocked());
+}
+
+void CostThrottle::RecordCompletion(double measured_seconds) {
+  RecordCompletionAt(measured_seconds, Clock::now());
+}
+
+void CostThrottle::RecordCompletionAt(double measured_seconds,
+                                      Clock::time_point now) {
+  if (!enabled() || !adaptive_ || measured_seconds < 0.0) {
+    return;
+  }
+  bool below;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Settle the bucket under the outgoing rate before it changes.
+    RefillLocked();
+    completions_.emplace_back(now, measured_seconds);
+    const auto horizon =
+        now - std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(kWindowSeconds));
+    double window_work = 0.0;
+    while (!completions_.empty() && completions_.front().first < horizon) {
+      completions_.pop_front();
+    }
+    for (const auto& [when, seconds] : completions_) {
+      window_work += seconds;
+    }
+    const double throughput = window_work / kWindowSeconds;
+    if (have_throughput_) {
+      throughput_ewma_ += kThroughputAlpha * (throughput - throughput_ewma_);
+    } else {
+      throughput_ewma_ = throughput;
+      have_throughput_ = true;
+    }
+    adaptive_rate_ = std::min(
+        rate_, std::max(kMinRateFraction * rate_,
+                        throughput_ewma_ * kHeadroom));
+    below = tokens_ <= 0.0;
+  }
+  if (below) {
+    // A faster rate shortens the debt-payoff sleep of queued waiters.
+    cv_.notify_all();
+  }
+}
+
+double CostThrottle::effective_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RateLocked();
 }
 
 AdmitOutcome CostThrottle::Acquire(double cost_seconds,
@@ -184,7 +233,7 @@ AdmitOutcome CostThrottle::Acquire(double cost_seconds,
       throttled_counter_.Add(1);
     }
     // Sleep until the debt should be paid off (or the deadline).
-    const double wait_seconds = -tokens_ / rate_;
+    const double wait_seconds = -tokens_ / RateLocked();
     auto wake = Clock::now() +
                 std::chrono::duration_cast<Clock::duration>(
                     std::chrono::duration<double>(wait_seconds));
@@ -216,7 +265,7 @@ double CostThrottle::tokens() const {
   std::lock_guard<std::mutex> lock(mutex_);
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - last_refill_).count();
-  return std::min(burst_, tokens_ + elapsed * rate_);
+  return std::min(burst_, tokens_ + elapsed * RateLocked());
 }
 
 // ---------------------------------------------------------------------------
@@ -289,7 +338,8 @@ AdmissionController::AdmissionController(const AdmissionConfig& config)
       pool_(config.pool_pages > 0
                 ? std::make_unique<MemoryGrantPool>(config.pool_pages)
                 : nullptr),
-      throttle_(config.throttle_rate, config.throttle_burst),
+      throttle_(config.throttle_rate, config.throttle_burst,
+                config.adaptive_throttle),
       admitted_counter_(obs::MetricsRegistry::Instance().NewCounter(
           "server.admission.admitted")),
       rejected_counter_(obs::MetricsRegistry::Instance().NewCounter(
@@ -357,6 +407,7 @@ AdmitResult AdmissionController::Admit(uint64_t fingerprint, int64_t pages,
 void AdmissionController::RecordExecution(uint64_t fingerprint,
                                           double measured_seconds) {
   cost_table_.Record(fingerprint, measured_seconds);
+  throttle_.RecordCompletion(measured_seconds);
 }
 
 void AdmissionController::Shutdown() {

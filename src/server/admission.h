@@ -40,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include <condition_variable>
 
@@ -101,9 +102,19 @@ class MemoryGrantPool {
 
 /// Token bucket over estimated seconds of work (see header comment).
 /// rate <= 0 disables the throttle (every Acquire admits instantly).
+///
+/// Adaptive mode (PR 7 headroom): the configured rate was a static guess
+/// at how many seconds of work the server completes per wall second.
+/// With `adaptive` set, the refill rate instead tracks *measured*
+/// throughput: RecordCompletion folds each finished query's seconds into
+/// a sliding window, the window's throughput feeds an EWMA, and the
+/// effective rate becomes clamp(EWMA * headroom, 0.1 * rate, rate).  The
+/// configured rate is thereby a ceiling, never exceeded — a saturated
+/// server admits less, an idle one recovers toward the configured rate.
 class CostThrottle {
  public:
-  CostThrottle(double rate_seconds_per_second, double burst_seconds);
+  CostThrottle(double rate_seconds_per_second, double burst_seconds,
+               bool adaptive = false);
 
   CostThrottle(const CostThrottle&) = delete;
   CostThrottle& operator=(const CostThrottle&) = delete;
@@ -111,23 +122,53 @@ class CostThrottle {
   AdmitOutcome Acquire(double cost_seconds,
                        std::chrono::milliseconds timeout);
 
+  /// Adaptive mode: folds one finished query's measured seconds into the
+  /// throughput window and recomputes the effective rate.  No-op when
+  /// adaptive is off or the throttle is disabled.
+  void RecordCompletion(double measured_seconds);
+  /// Deterministic variant for tests: `now` stands in for the wall clock.
+  void RecordCompletionAt(double measured_seconds,
+                          std::chrono::steady_clock::time_point now);
+
   void Shutdown();
 
   bool enabled() const { return rate_ > 0.0; }
+  bool adaptive() const { return adaptive_; }
+  /// The refill rate currently in effect (== configured rate until the
+  /// adaptive EWMA has a measurement).
+  double effective_rate() const;
   /// Current token level in seconds (refilled to now); may be negative.
   double tokens() const;
 
  private:
+  /// Throughput window / smoothing constants for adaptive mode.
+  static constexpr double kWindowSeconds = 10.0;
+  static constexpr double kThroughputAlpha = 0.4;
+  static constexpr double kHeadroom = 1.2;
+  static constexpr double kMinRateFraction = 0.1;
+
   /// Refills tokens_ up to now; callers hold mutex_.
   void RefillLocked();
+  /// The rate in effect; callers hold mutex_.
+  double RateLocked() const {
+    return adaptive_ && have_throughput_ ? adaptive_rate_ : rate_;
+  }
 
   const double rate_;
   const double burst_;
+  const bool adaptive_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   double tokens_;
   std::chrono::steady_clock::time_point last_refill_;
   bool shutdown_ = false;
+  /// Adaptive state: completions inside the sliding window, the EWMA of
+  /// window throughput, and the clamped rate derived from it.
+  std::deque<std::pair<std::chrono::steady_clock::time_point, double>>
+      completions_;
+  double throughput_ewma_ = 0.0;
+  bool have_throughput_ = false;
+  double adaptive_rate_ = 0.0;
   obs::CellHandle throttled_counter_;
 };
 
@@ -171,6 +212,9 @@ struct AdmissionConfig {
   double throttle_rate = 0.0;
   /// Token-bucket capacity in seconds of work.
   double throttle_burst = 1.0;
+  /// Adapt the refill rate to measured server throughput (EWMA over a
+  /// sliding window of completions), with throttle_rate as the ceiling.
+  bool adaptive_throttle = false;
 };
 
 class AdmissionController;

@@ -117,6 +117,7 @@ bool DqepServer::Start(std::string* error) {
   admission_config.timeout_ms = options_.admission_timeout_ms;
   admission_config.throttle_rate = options_.throttle_rate;
   admission_config.throttle_burst = options_.throttle_burst;
+  admission_config.adaptive_throttle = options_.adaptive_throttle;
   admission_ = std::make_unique<AdmissionController>(admission_config);
 
   if (!options_.query_log_path.empty()) {
@@ -142,6 +143,8 @@ bool DqepServer::Start(std::string* error) {
   engine_.admission = admission_.get();
   engine_.query_log = query_log_.is_open() ? &query_log_ : nullptr;
   engine_.trace = trace_.get();
+  engine_.reopt_default = options_.reopt;
+  engine_.reopt_slack_default = options_.reopt_slack;
 
   listen_unix_fd_ = ListenUnix(options_.socket_path, error);
   if (listen_unix_fd_ < 0) {

@@ -66,6 +66,13 @@ struct ServerOptions {
   /// Cost-throttle refill (seconds-of-work per wall second; 0: off).
   double throttle_rate = 0.0;
   double throttle_burst = 1.0;
+  /// Adapt the throttle rate to measured throughput (EWMA over a sliding
+  /// window of completed queries), with throttle_rate as the ceiling.
+  bool adaptive_throttle = false;
+  /// Default per-session mid-query re-optimization setting (\reopt
+  /// overrides) and its cardinality slack.
+  bool reopt = false;
+  double reopt_slack = 2.0;
   /// Shared plan-cache capacity in entries (0: caching off).
   size_t plan_cache_capacity = DynamicPlanCache::kDefaultCapacity;
   /// JSONL query log path ("" : off).  Also seeds the admission cost

@@ -10,7 +10,9 @@
 #include "obs/metrics.h"
 #include "physical/costing.h"
 #include "runtime/plan_rewrite.h"
+#include "runtime/reopt.h"
 #include "runtime/startup.h"
+#include "sql/parser.h"
 
 namespace dqep {
 namespace server {
@@ -59,6 +61,8 @@ ServerSession::ServerSession(SharedEngine* engine, int64_t session_id,
     : engine_(engine),
       session_id_(session_id),
       memory_pages_(default_memory_pages),
+      reopt_enabled_(engine->reopt_default),
+      reopt_slack_(engine->reopt_slack_default),
       queries_counter_(obs::MetricsRegistry::Instance().NewCounter(
           "server.session.queries")),
       latency_histogram_(obs::MetricsRegistry::Instance().NewHistogram(
@@ -149,6 +153,35 @@ bool ServerSession::Command(const std::string& line, LineChannel* channel) {
     } else {
       channel->WriteAll(FormatErrLine("usage: \\threads <N>  (1 <= N <= 256)"));
     }
+    return true;
+  }
+  if (command == "\\reopt") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on" || arg == "off") {
+      reopt_enabled_ = arg == "on";
+      double slack = 0.0;
+      if (in >> slack) {
+        if (slack >= 1.0) {
+          reopt_slack_ = slack;
+        } else {
+          channel->WriteAll(
+              FormatErrLine("usage: \\reopt <on|off> [slack >= 1]"));
+          return true;
+        }
+      }
+      arg.clear();  // fall through to the state echo below
+    }
+    if (arg.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "reopt: %s (slack %.2f)",
+                    reopt_enabled_ ? "on" : "off", reopt_slack_);
+      out = FormatRowLine(buf);
+      out += FormatOkLine(1, 0.0, "off");
+      channel->WriteAll(out);
+      return true;
+    }
+    channel->WriteAll(FormatErrLine("usage: \\reopt <on|off> [slack >= 1]"));
     return true;
   }
   if (command == "\\bindings") {
@@ -268,9 +301,52 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
   std::vector<Tuple> rows;
   std::unique_ptr<Iterator> tuple_iter;
   std::unique_ptr<BatchIterator> batch_iter;
+  ReoptExecution reopt;
+  bool ran_reopt = false;
   const ExecNode* exec_root = nullptr;
   const auto exec_start = std::chrono::steady_clock::now();
-  if (options.mode == ExecMode::kBatch) {
+  if (reopt_enabled_) {
+    // Mid-query re-optimization needs the logical query for suffix
+    // re-entry, and an environment whose ParamIds match it — the cached
+    // template's dense ids (lifted literals included) differ from a
+    // plain parse of the same text (see ReoptOptions::suffix_env).
+    Result<ParsedQuery> parsed =
+        ParseQuery(sql, engine_->workload->catalog());
+    if (!parsed.ok()) {
+      engine_->UnregisterContext(ctx.get());
+      channel->WriteAll(FormatErrLine(parsed.status().ToString()));
+      return;
+    }
+    ParamEnv suffix_env(Interval::Point(memory_pages_));
+    for (const auto& [name, id] : parsed->params) {
+      auto it = bindings_.find(name);
+      if (it == bindings_.end()) {
+        engine_->UnregisterContext(ctx.get());
+        channel->WriteAll(
+            FormatErrLine("host variable :" + name + " is unbound"));
+        return;
+      }
+      suffix_env.Bind(id, Value(it->second));
+    }
+    ReoptOptions reopt_options;
+    reopt_options.config.enabled = true;
+    reopt_options.config.slack = reopt_slack_;
+    reopt_options.optimizer = OptimizerOptions::Static();
+    reopt_options.startup.trace = engine_->trace;
+    reopt_options.suffix_env = &suffix_env;
+    Result<ReoptExecution> executed = ExecuteWithReopt(
+        parsed->query, startup->resolved, engine_->workload->db(),
+        *engine_->model, planned->bound, *ctx, reopt_options);
+    if (!executed.ok()) {
+      engine_->UnregisterContext(ctx.get());
+      channel->WriteAll(FormatErrLine(executed.status().ToString()));
+      return;
+    }
+    reopt = std::move(*executed);
+    ran_reopt = true;
+    rows = std::move(reopt.rows);
+    exec_root = reopt.exec_root();
+  } else if (options.mode == ExecMode::kBatch) {
     Result<std::unique_ptr<BatchIterator>> iter = BuildParallelBatchExecutor(
         startup->resolved, engine_->workload->db(), planned->bound, *ctx);
     if (!iter.ok()) {
@@ -322,17 +398,27 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
   // resolved DAG shares subtrees with the cached dynamic plan that other
   // sessions are concurrently reading (see runtime/plan_rewrite.h).
   if (engine_->query_log != nullptr && engine_->query_log->is_open()) {
-    PhysNodePtr annotated =
-        ClonePlan(engine_->workload->catalog(), startup->resolved);
-    ParamEnv compile_env(Interval::Point(memory_pages_));
-    AnnotatePlan(*annotated, *engine_->model, compile_env,
-                 EstimationMode::kInterval);
+    // A re-optimizing run logs the plan that actually produced the rows
+    // (the driver's private annotated clone — possibly spliced); plain
+    // runs annotate their own private copy here.
+    PhysNodePtr annotated;
+    if (ran_reopt) {
+      annotated = reopt.final_plan;
+    } else {
+      annotated = ClonePlan(engine_->workload->catalog(), startup->resolved);
+      ParamEnv compile_env(Interval::Point(memory_pages_));
+      AnnotatePlan(*annotated, *engine_->model, compile_env,
+                   EstimationMode::kInterval);
+    }
     obs::AnalyzeInput input;
     input.dynamic_root = planned->root.get();
     input.resolved_root = annotated.get();
     input.startup = &*startup;
     input.exec_root = exec_root;
     input.plan_cache = cache_status;
+    if (ran_reopt) {
+      input.reopt = &reopt.checkpoints;
+    }
     obs::QueryLogRecord record = obs::BuildQueryLogRecord(
         sql, input, *engine_->model, planned->bound);
     record.plan_cache = cache_status;

@@ -13,8 +13,9 @@
 //   * one QueryLogWriter (mutex-serialized JSONL appends),
 //   * one TraceSession with a track per session.
 //
-// Per-session state is only what \set/\mem/\mode/\threads mutate:
-// bindings, the memory grant, execution granularity, thread count.
+// Per-session state is only what \set/\mem/\mode/\threads/\reopt
+// mutate: bindings, the memory grant, execution granularity, thread
+// count, and the mid-query re-optimization switch and slack.
 //
 // Annotation safety: query-log records need the resolved plan annotated
 // with compile-time cost intervals, but the resolved plan shares
@@ -64,6 +65,11 @@ class SharedEngine {
   obs::QueryLogWriter* query_log = nullptr;     ///< null/closed: logging off
   obs::TraceSession* trace = nullptr;           ///< null: tracing off
 
+  /// Server-wide defaults for per-session mid-query re-optimization
+  /// (--reopt / --reopt-slack; \reopt overrides per session).
+  bool reopt_default = false;
+  double reopt_slack_default = 2.0;
+
   /// Set once shutdown begins; sessions refuse new queries.
   std::atomic<bool> draining{false};
 
@@ -105,11 +111,14 @@ class ServerSession {
   SharedEngine* engine_;
   const int64_t session_id_;
 
-  // Per-session execution knobs (the shell's \set/\mem/\mode/\threads).
+  // Per-session execution knobs (the shell's \set/\mem/\mode/\threads,
+  // plus \reopt for mid-query re-optimization).
   std::map<std::string, int64_t> bindings_;
   double memory_pages_;
   ExecMode exec_mode_ = ExecMode::kTuple;
   int32_t threads_ = 1;
+  bool reopt_enabled_ = false;
+  double reopt_slack_ = 2.0;
 
   /// Trace track for this session (0 when tracing is off).
   int64_t trace_track_ = 0;

@@ -34,6 +34,15 @@
 //                              query templates (same shape, different
 //                              literals) then reuse one compiled dynamic
 //                              plan and pay only start-up resolution
+//   --reopt=on|off             mid-query re-optimization (default off):
+//                              pipeline breakers compare actual
+//                              cardinality against the plan's estimate
+//                              interval; outside the slack, the finished
+//                              intermediate becomes a synthetic leaf and
+//                              the decision procedure re-runs for the
+//                              remaining plan suffix
+//   --reopt-slack=X            trigger slack (default 2: actual outside
+//                              [lo/2, 2*hi] fires a re-optimization)
 //   --connect=SOCK|PORT        client mode: speak the line protocol to a
 //                              running dqep_server (unix socket path, or
 //                              a bare port for TCP to localhost) instead
@@ -53,6 +62,7 @@
 //   \mode <tuple|batch>        switch execution granularity
 //   \threads <N>               set intra-query worker threads
 //   \profile <on|off>          toggle per-operator counter output
+//   \reopt <on|off> [slack]    toggle mid-query re-optimization
 //   \bindings                  list current bindings
 //   \tables                    list relations
 //   \analyze                   build histograms and use them for estimates
@@ -92,6 +102,7 @@
 #include "physical/costing.h"
 #include "runtime/plan_cache.h"
 #include "runtime/plan_rewrite.h"
+#include "runtime/reopt.h"
 #include "runtime/startup.h"
 #include "server/protocol.h"
 #include "sql/parser.h"
@@ -128,14 +139,16 @@ class Shell {
         std::string trace_path, bool stats_every_query,
         obs::AnalyzeFormat stats_format, const CostProfile& cost_profile,
         bool cost_profile_loaded, const std::string& query_log_path,
-        size_t plan_cache_capacity)
+        size_t plan_cache_capacity, bool reopt_on, double reopt_slack)
       : workload_(std::move(workload)),
         exec_mode_(exec_mode),
         threads_(threads),
         profile_(profile),
         trace_path_(std::move(trace_path)),
         stats_every_query_(stats_every_query),
-        stats_format_(stats_format) {
+        stats_format_(stats_format),
+        reopt_on_(reopt_on),
+        reopt_slack_(reopt_slack) {
     if (memory_pages > 0) {
       memory_pages_ = memory_pages;
       enforce_memory_ = true;
@@ -272,6 +285,25 @@ class Shell {
       }
       return true;
     }
+    if (command == "\\reopt") {
+      std::string setting;
+      in >> setting;
+      if (setting == "on" || setting == "off") {
+        reopt_on_ = setting == "on";
+        double slack = 0.0;
+        if (in >> slack && slack >= 1.0) {
+          reopt_slack_ = slack;
+        }
+        std::printf("reopt = %s (slack %.2f)\n", setting.c_str(),
+                    reopt_slack_);
+      } else if (setting.empty()) {
+        std::printf("reopt = %s (slack %.2f)\n", reopt_on_ ? "on" : "off",
+                    reopt_slack_);
+      } else {
+        std::printf("usage: \\reopt <on|off> [slack >= 1]\n");
+      }
+      return true;
+    }
     if (command == "\\profile") {
       std::string setting;
       in >> setting;
@@ -403,7 +435,8 @@ class Shell {
   void Report(const ExecNode& exec_root, const PhysNodePtr& dynamic_root,
               const PhysNodePtr& resolved, const StartupResult* startup,
               int64_t exec_start_us, bool analyze, const ParamEnv& bound_env,
-              const ExecContext* ctx) {
+              const ExecContext* ctx,
+              const std::vector<ReoptCheckpoint>* reopt = nullptr) {
     if (trace_ != nullptr) {
       EmitOperatorSpans(trace_.get(), exec_root, exec_start_us);
     }
@@ -428,6 +461,7 @@ class Shell {
     input.startup = startup;
     input.exec_root = &exec_root;
     input.plan_cache = pending_cache_status_;
+    input.reopt = reopt;
     if (analyze) {
       std::printf("%s", obs::RenderAnalyze(input, stats_format_).c_str());
     }
@@ -545,6 +579,73 @@ class Shell {
       PrintMemorySummary(*ctx);
     }
     return rows;
+  }
+
+  /// Executes under the mid-query re-optimization driver: runtime
+  /// cardinality checkpoints at pipeline breakers may re-enter the
+  /// decision procedure for the un-executed suffix (runtime/reopt.h).
+  /// Re-parses `sql` plainly — the suffix Query and its environment need
+  /// ParamIds of the plain parse, not the cached template's.
+  Result<std::vector<Tuple>> ExecuteReopt(const std::string& sql,
+                                          const CachedPlanResult& planned,
+                                          const StartupResult* startup,
+                                          bool analyze) {
+    Result<ParsedQuery> parsed = ParseQuery(sql, workload_->catalog());
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    ParamEnv suffix_env(Interval::Point(memory_pages_));
+    for (const auto& [name, id] : parsed->params) {
+      auto it = bindings_.find(name);
+      if (it == bindings_.end()) {
+        return Status::InvalidArgument("host variable :" + name +
+                                       " is unbound");
+      }
+      suffix_env.Bind(id, Value(it->second));
+    }
+    ExecOptions options;
+    options.threads = threads_;
+    options.mode = threads_ > 1 || exec_mode_ == ExecMode::kBatch
+                       ? ExecMode::kBatch
+                       : ExecMode::kTuple;
+    std::unique_ptr<ExecContext> ctx =
+        enforce_memory_ ? MakeExecContext(planned.bound, config_, options)
+                        : std::make_unique<ExecContext>(options);
+    ctx->set_trace(trace_.get());
+    int64_t exec_start_us = trace_ == nullptr ? 0 : trace_->NowMicros();
+    ReoptOptions reopt_options;
+    reopt_options.config.enabled = true;
+    reopt_options.config.slack = reopt_slack_;
+    reopt_options.optimizer = OptimizerOptions::Static();
+    reopt_options.startup.trace = trace_.get();
+    reopt_options.suffix_env = &suffix_env;
+    Result<ReoptExecution> executed =
+        ExecuteWithReopt(parsed->query, startup->resolved, workload_->db(),
+                         model(), planned.bound, *ctx, reopt_options);
+    if (!executed.ok()) {
+      return executed.status();
+    }
+    if (trace_ != nullptr) {
+      trace_->EndSpan(
+          "execute", "query", exec_start_us,
+          {{"rows", std::to_string(executed->rows.size())},
+           {"mode", options.mode == ExecMode::kBatch ? "batch" : "tuple"},
+           {"reopt_triggers", std::to_string(executed->triggers_fired)}});
+    }
+    if (executed->triggers_fired > 0) {
+      std::printf("reopt: %lld checkpoint(s) evaluated, %lld trigger(s), "
+                  "%.4f s re-optimizing\n",
+                  static_cast<long long>(executed->checkpoints_evaluated),
+                  static_cast<long long>(executed->triggers_fired),
+                  executed->reopt_seconds);
+    }
+    Report(*executed->exec_root(), planned.root, executed->final_plan,
+           startup, exec_start_us, analyze, planned.bound, ctx.get(),
+           &executed->checkpoints);
+    if (enforce_memory_) {
+      PrintMemorySummary(*ctx);
+    }
+    return std::move(executed->rows);
   }
 
   /// \explain: static plan vs. dynamic plan vs. start-up resolution.
@@ -665,8 +766,10 @@ class Shell {
                   startup.status().ToString().c_str());
       return;
     }
-    Result<std::vector<Tuple>> rows = Execute(
-        startup->resolved, planned->bound, planned->root, &*startup, analyze);
+    Result<std::vector<Tuple>> rows =
+        reopt_on_ ? ExecuteReopt(sql, *planned, &*startup, analyze)
+                  : Execute(startup->resolved, planned->bound, planned->root,
+                            &*startup, analyze);
     if (!rows.ok()) {
       std::printf("execution error: %s\n", rows.status().ToString().c_str());
       return;
@@ -715,6 +818,10 @@ class Shell {
   /// for one query in stats_format_.
   bool stats_every_query_ = false;
   obs::AnalyzeFormat stats_format_ = obs::AnalyzeFormat::kText;
+  /// Mid-query re-optimization (--reopt / \reopt): runtime cardinality
+  /// checkpoints at pipeline breakers re-enter the decision procedure.
+  bool reopt_on_ = false;
+  double reopt_slack_ = 2.0;
 };
 
 /// --connect client mode: forward each stdin line to a dqep_server and
@@ -789,6 +896,8 @@ int main(int argc, char** argv) {
   std::string calibrate_log;
   std::string calibration_out = "calibration.json";
   size_t plan_cache_capacity = dqep::DynamicPlanCache::kDefaultCapacity;
+  bool reopt_on = false;
+  double reopt_slack = 2.0;
   std::string connect_target;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -866,6 +975,21 @@ int main(int argc, char** argv) {
         }
         plan_cache_capacity = static_cast<size_t>(capacity);
       }
+    } else if (std::strncmp(arg, "--reopt=", 8) == 0) {
+      if (std::strcmp(arg + 8, "on") == 0) {
+        reopt_on = true;
+      } else if (std::strcmp(arg + 8, "off") == 0) {
+        reopt_on = false;
+      } else {
+        std::fprintf(stderr, "--reopt must be on or off\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--reopt-slack=", 14) == 0) {
+      reopt_slack = std::atof(arg + 14);
+      if (reopt_slack < 1.0) {
+        std::fprintf(stderr, "--reopt-slack must be >= 1\n");
+        return 1;
+      }
     } else if (std::strncmp(arg, "--stats=", 8) == 0) {
       stats_every_query = true;
       if (std::strcmp(arg + 8, "text") == 0) {
@@ -906,6 +1030,12 @@ int main(int argc, char** argv) {
           "shows hits/misses\n"
           "  --connect=SOCK|PORT      client mode: talk to a running "
           "dqep_server (unix socket path or localhost TCP port)\n"
+          "  --reopt=on|off           mid-query re-optimization: runtime "
+          "cardinality checkpoints at pipeline breakers\n"
+          "                           re-enter the decision procedure for "
+          "the remaining plan (default off; \\reopt toggles)\n"
+          "  --reopt-slack=X          cardinality slack before a "
+          "checkpoint triggers (default 2: actual outside [lo/2, 2*hi])\n"
           "  --help                   this message\n");
       return 0;
     } else {
@@ -989,6 +1119,7 @@ int main(int argc, char** argv) {
   dqep::Shell shell(std::move(*workload), exec_mode, threads, profile,
                     memory_pages, std::move(trace_path), stats_every_query,
                     stats_format, cost_profile, !cost_profile_path.empty(),
-                    query_log_path, plan_cache_capacity);
+                    query_log_path, plan_cache_capacity, reopt_on,
+                    reopt_slack);
   return shell.Run();
 }

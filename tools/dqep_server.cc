@@ -20,6 +20,15 @@
 //                           seconds (default 0 = off)
 //   --throttle-burst=S      throttle bucket capacity in seconds of work
 //                           (default 1)
+//   --throttle-adaptive     adapt the throttle rate to measured server
+//                           throughput (sliding-window EWMA), with
+//                           --throttle-rate as the ceiling
+//   --reopt=on|off          default per-session mid-query
+//                           re-optimization; sessions override with
+//                           \reopt (default off)
+//   --reopt-slack=X         cardinality slack before a runtime
+//                           checkpoint triggers re-optimization
+//                           (default 2: actual outside [lo/2, 2*hi])
 //   --plan-cache=N|off      shared plan-cache capacity in entries
 //                           (default 128); templates compiled by any
 //                           session are hits for all
@@ -86,6 +95,23 @@ int main(int argc, char** argv) {
       options.throttle_rate = std::atof(arg + 16);
     } else if (std::strncmp(arg, "--throttle-burst=", 17) == 0) {
       options.throttle_burst = std::atof(arg + 17);
+    } else if (std::strcmp(arg, "--throttle-adaptive") == 0) {
+      options.adaptive_throttle = true;
+    } else if (std::strncmp(arg, "--reopt=", 8) == 0) {
+      if (std::strcmp(arg + 8, "on") == 0) {
+        options.reopt = true;
+      } else if (std::strcmp(arg + 8, "off") == 0) {
+        options.reopt = false;
+      } else {
+        std::fprintf(stderr, "--reopt must be on or off\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--reopt-slack=", 14) == 0) {
+      options.reopt_slack = std::atof(arg + 14);
+      if (options.reopt_slack < 1.0) {
+        std::fprintf(stderr, "--reopt-slack must be >= 1\n");
+        return 1;
+      }
     } else if (std::strncmp(arg, "--plan-cache=", 13) == 0) {
       const char* value = arg + 13;
       if (std::strcmp(value, "off") == 0) {
@@ -120,6 +146,12 @@ int main(int argc, char** argv) {
           "  --throttle-rate=R       seconds-of-work admitted per wall "
           "second (0 = off)\n"
           "  --throttle-burst=S      throttle bucket capacity (default 1)\n"
+          "  --throttle-adaptive     track measured throughput (EWMA) "
+          "instead of the static rate\n"
+          "  --reopt=on|off          default per-session mid-query "
+          "re-optimization (\\reopt overrides)\n"
+          "  --reopt-slack=X         cardinality slack before a "
+          "checkpoint triggers (default 2)\n"
           "  --plan-cache=N|off      shared plan-cache entries (default "
           "128)\n"
           "  --query-log=FILE        JSONL query log; seeds the cost "

@@ -1,15 +1,17 @@
 #!/bin/sh
 # Build-and-test gauntlet: the bench-schema gate, the plain tree (full
 # suite), the plan-cache amortization gate, the multi-session server
-# gate, then the ThreadSanitizer and AddressSanitizer trees over the
-# labeled suites (parallel, spill, obs, cache, server — the obs label
-# includes the calibration feedback tests).  One command for the checks
+# gate, the mid-query re-optimization gate, then the ThreadSanitizer and
+# AddressSanitizer trees over the labeled suites (parallel, spill, obs,
+# cache, server, reopt — the obs label includes the calibration feedback
+# tests).  One command for the checks
 # the verify skill lists individually:
 #
 #   tools/run_checks.sh                  # everything
 #   tools/run_checks.sh bench plain      # schema gate + plain tree
 #   tools/run_checks.sh cachebench       # plan-cache amortization gate
 #   tools/run_checks.sh serverbench      # multi-session server gate
+#   tools/run_checks.sh reoptbench       # mid-query re-optimization gate
 #   tools/run_checks.sh tsan asan        # just the sanitizer trees
 #
 # Exits non-zero on the first failing step.  Sanitizer trees live in
@@ -19,8 +21,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-steps="${*:-bench plain cachebench serverbench tsan asan}"
-labels='parallel|spill|obs|cache|server'
+steps="${*:-bench plain cachebench serverbench reoptbench tsan asan}"
+labels='parallel|spill|obs|cache|server|reopt'
 
 for step in $steps; do
   case "$step" in
@@ -89,12 +91,48 @@ print(f"serverbench: {off['p50_speedup']:.2f}x p50 speedup at hit rate "
       f"overflows; throttle qps ratio {throttled['qps_ratio']:.2f}")
 EOF
       ;;
+    reoptbench)
+      # Functional gate on within-run invariants, machine-speed proof:
+      # forced misestimates always fire a checkpoint, accurate estimates
+      # never do, every variant returns identical rows, and the cost of
+      # re-optimizing (capture + suffix optimization + restart) stays a
+      # bounded multiple of the plans it competes with.
+      echo "== reoptbench: mid-query re-optimization gate =="
+      cmake -B build -S . >/dev/null
+      cmake --build build -j --target reopt_bench
+      build/bench/reopt_bench --json > build/BENCH_reopt.json
+      python3 tools/bench_diff.py --validate build/BENCH_reopt.json
+      python3 - <<'GATE'
+import json
+rows = {r["name"]: r for r in json.load(open("build/BENCH_reopt.json"))["rows"]}
+for q in ("Q2", "Q4", "Q6", "Q10"):
+    static = rows[f"reopt/{q}/misestimate/static"]
+    reopt = rows[f"reopt/{q}/misestimate/reopt"]
+    oracle = rows[f"reopt/{q}/misestimate/oracle"]
+    off, on = rows[f"reopt/{q}/accurate/off"], rows[f"reopt/{q}/accurate/on"]
+    assert reopt["triggers"] >= 1, f"{q}: forced misestimate fired no checkpoint"
+    assert on["triggers"] == 0, f"{q}: accurate estimates fired a checkpoint"
+    counts = {static["rows"], reopt["rows"], oracle["rows"], on["rows"]}
+    assert len(counts) == 1, f"{q}: row-count parity broken: {counts}"
+    assert reopt["reopt_seconds"] <= reopt["seconds_median"], \
+        f"{q}: re-optimization time exceeds the whole execution"
+    assert reopt["seconds_median"] <= 10 * max(static["seconds_median"],
+                                               oracle["seconds_median"]), \
+        f"{q}: re-opt run unreasonably slow vs static/oracle"
+    assert on["seconds_median"] <= 2.0 * off["seconds_median"], \
+        f"{q}: arming overhead {on['seconds_median']/off['seconds_median']:.2f}x > 2x"
+trig = sum(rows[f"reopt/{q}/misestimate/reopt"]["triggers"]
+           for q in ("Q2", "Q4", "Q6", "Q10"))
+print(f"reoptbench: {trig} checkpoints fired across Q2-Q5, parity held, "
+      "accurate runs stayed quiet")
+GATE
+      ;;
     tsan)
       echo "== tsan: labeled suites ($labels) =="
       cmake -B build-tsan -S . -DDQEP_SANITIZE=thread >/dev/null
       cmake --build build-tsan -j --target \
         exec_parallel_test exec_spill_test obs_test obs_feedback_test \
-        plan_cache_test server_test
+        plan_cache_test server_test reopt_test
       ctest --test-dir build-tsan -L "$labels" --output-on-failure
       ;;
     asan)
@@ -102,12 +140,12 @@ EOF
       cmake -B build-asan -S . -DDQEP_SANITIZE=address >/dev/null
       cmake --build build-asan -j --target \
         exec_parallel_test exec_spill_test obs_test obs_feedback_test \
-        plan_cache_test server_test
+        plan_cache_test server_test reopt_test
       ctest --test-dir build-asan -L "$labels" --output-on-failure
       ;;
     *)
       echo "unknown step: $step (want bench, plain, cachebench," \
-           "serverbench, tsan, asan)" >&2
+           "serverbench, reoptbench, tsan, asan)" >&2
       exit 2
       ;;
   esac
