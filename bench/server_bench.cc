@@ -18,6 +18,11 @@
 //      under a cost throttle calibrated to ~0.3x the unthrottled rate of
 //      seconds-of-work admission.  The claim: throughput actually drops
 //      (QPS ratio <= 0.8), i.e. the token bucket meters admissions.
+//   4. scrape_off / scrape_on — the latency workload with the metrics
+//      exporter and flight recorder enabled, without and with a 1 Hz
+//      /metrics scraper.  The claim: scraping is off the query path
+//      (snapshot under the registry lock, render outside), so p50
+//      regresses < 5% (scrape_p50_ratio).
 //
 // Output: a table, or with --json the unified bench document
 // ({bench, config, rows, metrics}) consumed by tools/bench_diff.py and
@@ -52,6 +57,7 @@
 namespace dqep::bench {
 namespace {
 
+using server::ConnectTcp;
 using server::ConnectUnix;
 using server::DqepServer;
 using server::LineChannel;
@@ -509,6 +515,66 @@ void Run(bool json) {
            unthrottled_qps > 0 ? result.Qps() / unthrottled_qps : 0.0}}});
   }
 
+  // -- Scenario 4: telemetry scrape overhead --------------------------
+  double p50_noscrape = 0.0;
+  {
+    ServerOptions options = BaseOptions(dir_str + "/noscrape");
+    options.metrics_port = 0;  // exporter up, nobody scraping
+    ScopedServer scoped(options);
+    RunResult result = RunClients(scoped.server, *workload, {},
+                                  kQueriesPerClient, kLatencyThinkMs);
+    p50_noscrape = Quantile(result.server_latencies_us, 0.5);
+    rows.push_back({"server/scrape_off",
+                    {{"queries", static_cast<double>(result.completed)},
+                     {"errors", static_cast<double>(result.errors)},
+                     {"qps", result.Qps()},
+                     {"p50_us", p50_noscrape},
+                     {"p95_us",
+                      Quantile(result.server_latencies_us, 0.95)}}});
+  }
+  {
+    ServerOptions options = BaseOptions(dir_str + "/scrape");
+    options.metrics_port = 0;
+    ScopedServer scoped(options);
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> scrapes{0};
+    std::thread scraper([&] {
+      const int port = scoped.server.metrics_port();
+      while (!stop.load()) {
+        std::string error;
+        const int fd = ConnectTcp(port, &error);
+        if (fd >= 0) {
+          const char kRequest[] = "GET /metrics HTTP/1.0\r\n\r\n";
+          if (::write(fd, kRequest, sizeof(kRequest) - 1) > 0) {
+            char buffer[4096];
+            while (::read(fd, buffer, sizeof(buffer)) > 0) {
+            }
+            scrapes.fetch_add(1);
+          }
+          ::close(fd);
+        }
+        for (int i = 0; i < 100 && !stop.load(); ++i) {  // 1 Hz
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+    RunResult result = RunClients(scoped.server, *workload, {},
+                                  kQueriesPerClient, kLatencyThinkMs);
+    stop.store(true);
+    scraper.join();
+    const double p50_scrape = Quantile(result.server_latencies_us, 0.5);
+    rows.push_back(
+        {"server/scrape_on",
+         {{"queries", static_cast<double>(result.completed)},
+          {"errors", static_cast<double>(result.errors)},
+          {"qps", result.Qps()},
+          {"p50_us", p50_scrape},
+          {"p95_us", Quantile(result.server_latencies_us, 0.95)},
+          {"scrapes", static_cast<double>(scrapes.load())},
+          {"scrape_p50_ratio",
+           p50_noscrape > 0 ? p50_scrape / p50_noscrape : 0.0}}});
+  }
+
   if (json) {
     std::printf("{\n  \"bench\": \"server\",\n");
     std::printf(
@@ -545,8 +611,8 @@ void Run(bool json) {
   }
 
   // Best-effort cleanup of the socket directory.
-  for (const char* name :
-       {"cache_on", "cache_off", "pool", "raw", "throttled"}) {
+  for (const char* name : {"cache_on", "cache_off", "pool", "raw",
+                           "throttled", "noscrape", "scrape"}) {
     ::unlink((dir_str + "/" + name).c_str());
   }
   ::rmdir(dir_str.c_str());

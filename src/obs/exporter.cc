@@ -1,0 +1,260 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace dqep {
+namespace obs {
+
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& catalog_name) {
+  std::string out = "dqep_";
+  for (char c : catalog_name) {
+    out += (c == '.' || c == '-') ? '_' : c;
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(
+    const std::map<std::string, MetricValue>& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& [catalog_name, value] : snapshot) {
+    std::string name = PrometheusName(catalog_name);
+    switch (value.kind) {
+      case MetricKind::kCounter: {
+        if (!EndsWith(name, "_total")) {
+          name += "_total";
+        }
+        out += "# HELP " + name + " Counter " + catalog_name + ".\n";
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", name.c_str(),
+                      value.value);
+        out += line;
+        break;
+      }
+      case MetricKind::kGauge:
+      case MetricKind::kGaugeMax: {
+        out += "# HELP " + name + " Gauge " + catalog_name + ".\n";
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(line, sizeof(line), "%s %" PRId64 "\n", name.c_str(),
+                      value.value);
+        out += line;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        // Microsecond catalogs convert to Prometheus base seconds.
+        double scale = 1.0;
+        if (EndsWith(name, "_us")) {
+          name = name.substr(0, name.size() - 3) + "_seconds";
+          scale = 1e-6;
+        }
+        out += "# HELP " + name + " Histogram " + catalog_name + ".\n";
+        out += "# TYPE " + name + " histogram\n";
+        int64_t cumulative = 0;
+        for (const auto& [b, c] : value.buckets) {
+          cumulative += c;
+          // Bucket b spans [2^(b-1), 2^b); bucket 0 holds values <= 0.
+          double le = b <= 0
+                          ? 0.0
+                          : static_cast<double>(int64_t{1} << b) * scale;
+          std::snprintf(line, sizeof(line),
+                        "%s_bucket{le=\"%.9g\"} %" PRId64 "\n", name.c_str(),
+                        le, cumulative);
+          out += line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%s_bucket{le=\"+Inf\"} %" PRId64 "\n", name.c_str(),
+                      value.count);
+        out += line;
+        std::snprintf(line, sizeof(line), "%s_sum %.9g\n", name.c_str(),
+                      static_cast<double>(value.sum) * scale);
+        out += line;
+        std::snprintf(line, sizeof(line), "%s_count %" PRId64 "\n",
+                      name.c_str(), value.count);
+        out += line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+bool MetricsExporter::Start(MetricsExporterOptions options,
+                            std::string* error) {
+  options_ = std::move(options);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("exporter socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    *error = std::string("exporter bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    *error = std::string("exporter getsockname: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 8) != 0) {
+    *error = std::string("exporter listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    *error = std::string("exporter pipe: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void MetricsExporter::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  char byte = 'q';
+  ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  (void)ignored;
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsExporter::ServeLoop() {
+  Cell* scrapes = MetricsRegistry::Instance().SharedCounter(
+      "obs.exporter.scrapes");
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {wake_pipe_[0], POLLIN, 0};
+    fds[1] = {listen_fd_, POLLIN, 0};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      return;  // Stop() woke us
+    }
+    if ((fds[1].revents & POLLIN) == 0) {
+      continue;
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    scrapes->Add(1);
+    HandleConnection(fd);
+  }
+}
+
+void MetricsExporter::HandleConnection(int fd) {
+  server::LineChannel channel(fd);  // owns and closes fd
+  std::string request_line;
+  if (!channel.ReadLine(&request_line)) {
+    return;
+  }
+  // "GET /metrics HTTP/1.0" — method, path, version.
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  std::string method =
+      sp1 == std::string::npos ? request_line : request_line.substr(0, sp1);
+  std::string path = sp2 == std::string::npos
+                         ? ""
+                         : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Drain headers until the blank line; ignore their content.
+  std::string header;
+  while (channel.ReadLine(&header) && !header.empty()) {
+  }
+
+  int status = 200;
+  const char* status_text = "OK";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = 405;
+    status_text = "Method Not Allowed";
+    body = "only GET is served\n";
+  } else if (path == "/metrics") {
+    body = RenderPrometheusText(MetricsRegistry::Instance().Snapshot());
+    if (options_.extra_families) {
+      body += options_.extra_families();
+    }
+  } else if (path == "/metrics.json") {
+    body = options_.json_snapshot
+               ? options_.json_snapshot()
+               : MetricsRegistry::Instance().RenderJson();
+    content_type = "application/json";
+  } else if (path == "/slow" && options_.slow_json) {
+    body = options_.slow_json();
+    content_type = "application/json";
+  } else {
+    status = 404;
+    status_text = "Not Found";
+    body = "try /metrics, /metrics.json, or /slow\n";
+  }
+
+  char header_buf[256];
+  std::snprintf(header_buf, sizeof(header_buf),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, status_text, content_type, body.size());
+  channel.WriteAll(header_buf);
+  channel.WriteAll(body);
+}
+
+}  // namespace obs
+}  // namespace dqep

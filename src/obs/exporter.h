@@ -1,0 +1,99 @@
+// Pull-based metrics exposition: the Prometheus text-format renderer and
+// the minimal HTTP/1.0 responder that serves it on --metrics-port.
+//
+// The renderer maps the registry's dotted catalog onto Prometheus
+// conventions:
+//   * names become `dqep_` + dots/dashes -> underscores;
+//   * counters gain a `_total` suffix; gauges and max-gauges expose as
+//     gauges;
+//   * log2-bucket histograms expose as native Prometheus histograms with
+//     cumulative `_bucket{le="..."}` lines, `_sum`, and `_count` —
+//     histograms whose catalog name ends in `_us` are converted to base
+//     seconds (`..._seconds`, bounds and sum divided by 1e6), matching
+//     Prometheus base-unit convention.
+//
+// The responder is deliberately not a web server: it accepts one
+// connection at a time on a loopback listener, reads one request line
+// plus headers through the same LineChannel used by the query protocol,
+// and answers with Connection: close.  Scrapes are ~1/s; queries never
+// block on them because the exporter renders from lock-brief snapshots.
+//
+// This file lives in src/obs/ (it is observability surface) but
+// compiles into the dqep_server library: it reuses LineChannel from
+// server/protocol.h, and dqep_server already links dqep_obs — building
+// it into dqep_obs would cycle the layering.
+
+#ifndef DQEP_OBS_EXPORTER_H_
+#define DQEP_OBS_EXPORTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace dqep {
+namespace obs {
+
+/// Renders a registry snapshot in Prometheus text exposition format
+/// (version 0.0.4).  Exposed separately from the responder so tests can
+/// validate the grammar without sockets.
+std::string RenderPrometheusText(
+    const std::map<std::string, MetricValue>& snapshot);
+
+/// Prometheus metric name for a catalog name ("server.query.latency_us"
+/// -> "dqep_server_query_latency_us"); suffix handling is the renderer's
+/// job.
+std::string PrometheusName(const std::string& catalog_name);
+
+struct MetricsExporterOptions {
+  /// Loopback TCP port; 0 binds an ephemeral port (see port()).
+  int port = 0;
+
+  /// Extra exposition families appended verbatim to /metrics (the
+  /// server hangs the flight recorder's per-template families here).
+  std::function<std::string()> extra_families;
+
+  /// Body of /metrics.json (defaults to the registry's RenderJson).
+  std::function<std::string()> json_snapshot;
+
+  /// Body of /slow — recent flight-recorder entries as JSON ("" -> 404).
+  std::function<std::string()> slow_json;
+};
+
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Binds 127.0.0.1:port and starts the serving thread.  Returns false
+  /// with `error` set on failure (nothing left running).
+  bool Start(MetricsExporterOptions options, std::string* error);
+
+  /// Stops the thread and closes the listener; idempotent.
+  void Stop();
+
+  /// The bound port (the ephemeral one when options.port was 0); 0 when
+  /// not started.
+  int port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  MetricsExporterOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::thread thread_;
+  bool running_ = false;
+};
+
+}  // namespace obs
+}  // namespace dqep
+
+#endif  // DQEP_OBS_EXPORTER_H_

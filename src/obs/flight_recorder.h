@@ -1,0 +1,203 @@
+// Slow-query flight recorder: an always-on, fixed-size ring of the last
+// N completed query summaries, plus per-template rolling latency stats.
+//
+// Every completed query deposits a FlightRecord (template fingerprint,
+// bindings, per-operator est-vs-actual rows, choose-plan decision count
+// and regret, re-opt checkpoint counts, admission grant wait).  The
+// recorder folds the sample into its template's rolling log2-bucket
+// latency histogram and decides whether the query was *slow*:
+//
+//   * threshold rule — latency breached the configured --slow-query-ms;
+//   * p99 rule — no threshold configured (or not breached), but the
+//     template has enough history and this sample exceeded the
+//     template's rolling p99.
+//
+// Slow queries get a full diagnosis bundle — one JSON file holding the
+// query metadata, the EXPLAIN ANALYZE JSON, and a synthesized Chrome
+// trace of the operator tree — written to a spool directory, so the
+// evidence survives the ring's eviction and the server's restart.
+//
+// "Rolling" is approximated by halving every template's histogram once
+// its count passes a decay threshold: old traffic fades geometrically,
+// so a template whose latency regime shifts re-learns its p99 within
+// ~one decay window instead of never.
+//
+// Thread-safety: one mutex guards the ring and the template table; the
+// critical sections are pointer pushes and integer folds.  Bundle I/O
+// happens outside the lock.  Records are shared_ptr<const ...>, so
+// readers (`\slow`, the exporter) hold snapshots that outlive eviction.
+
+#ifndef DQEP_OBS_FLIGHT_RECORDER_H_
+#define DQEP_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dqep {
+namespace obs {
+
+struct FlightRecorderOptions {
+  /// Ring capacity in records.
+  size_t capacity = 64;
+
+  /// Absolute slow threshold in milliseconds; <= 0 disables the
+  /// threshold rule (the p99 rule still applies).
+  double slow_query_ms = 0.0;
+
+  /// Directory for slow-query bundles; empty disables spooling (slow
+  /// queries are still flagged in the ring).
+  std::string spool_dir;
+
+  /// Minimum per-template sample count before the rolling-p99 rule can
+  /// flag a query — below it there is no p99 worth trusting.
+  int64_t min_template_samples = 32;
+
+  /// Halve the template histogram once its count reaches this many
+  /// samples (the "rolling" decay window).
+  int64_t decay_every = 1024;
+};
+
+/// One operator row of a completed query, est-vs-actual (a flattened
+/// AnalyzeRow kOperator — the recorder keeps no plan pointers, so a
+/// record stays valid after the plan is gone).
+struct OperatorSample {
+  std::string op;
+  int depth = 0;
+  double est_cost_lo = 0.0;
+  double est_cost_hi = 0.0;
+  double est_rows_lo = 0.0;
+  double est_rows_hi = 0.0;
+  double actual_seconds = 0.0;
+  int64_t actual_rows = 0;
+  bool have_actual = false;
+};
+
+/// One completed query.  The caller fills everything up to `slow`; the
+/// recorder assigns `sequence` and the slow verdict / bundle path.
+struct FlightRecord {
+  int64_t sequence = 0;
+  int64_t session_id = 0;
+  uint64_t fingerprint = 0;
+  std::string query;          ///< the SQL as received
+  std::string template_text;  ///< normalized template ("" if unparsed)
+  std::string cache;          ///< plan-cache outcome: hit/miss/off/""
+  double seconds = 0.0;       ///< end-to-end wall seconds
+  double grant_wait_seconds = 0.0;
+  int64_t rows = 0;
+  int64_t peak_memory_bytes = 0;
+  int64_t decisions = 0;      ///< choose-plan decisions resolved
+  double regret_seconds = 0.0;
+  int64_t reopt_checkpoints = 0;
+  int64_t reopt_triggers = 0;
+  int64_t reopt_adoptions = 0;
+  std::vector<std::pair<std::string, std::string>> bindings;
+  std::vector<OperatorSample> operators;
+  std::string analyze_json;  ///< RenderAnalyze(kJson); "" when skipped
+
+  // Filled in by the recorder:
+  bool slow = false;
+  std::string slow_reason;  ///< "threshold" or "template-p99"
+  std::string bundle_path;  ///< spooled bundle, "" when not written
+};
+
+/// Rolling per-template aggregate, as returned by snapshots.
+struct TemplateStatsView {
+  uint64_t fingerprint = 0;
+  std::string template_text;
+  int64_t count = 0;
+  int64_t sum_us = 0;
+  std::vector<std::pair<int32_t, int64_t>> buckets;  ///< latency us, log2
+  int64_t decisions = 0;
+  double regret_seconds = 0.0;
+  int64_t reopt_triggers = 0;
+  int64_t reopt_adoptions = 0;
+  int64_t slow_count = 0;
+
+  double PercentileUs(double p) const {
+    return Log2BucketPercentile(buckets, count, p);
+  }
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Folds the sample into its template's stats, decides slow-ness,
+  /// spools a bundle when warranted, and appends to the ring.  Returns
+  /// the finished (immutable) record.
+  std::shared_ptr<const FlightRecord> Record(FlightRecord record);
+
+  /// Newest-first snapshot of up to `n` ring entries.
+  std::vector<std::shared_ptr<const FlightRecord>> Recent(size_t n) const;
+
+  /// Every template's rolling stats, sorted by fingerprint.
+  std::vector<TemplateStatsView> TemplateStats() const;
+
+  /// One template's stats; count == 0 in the result means "unknown".
+  TemplateStatsView StatsFor(uint64_t fingerprint) const;
+
+  /// `\slow [n]`: newest-first text rendering of recent records.
+  std::string RenderRecentText(size_t n) const;
+
+  /// Newest-first JSON array of recent records (the exporter's /slow).
+  std::string RenderRecentJson(size_t n) const;
+
+  /// `\stats template <fp>` / `\stats`: per-template text rendering.
+  /// With `fingerprint` == 0 renders the one-line summary of every
+  /// template; otherwise the full detail of one.
+  std::string RenderTemplateStatsText(uint64_t fingerprint) const;
+
+  /// Prometheus text-format families for the exporter: per-template
+  /// latency histograms (seconds), query/decision/regret/re-opt
+  /// counters, and the rolling p99 gauge, labelled
+  /// template="0x<fingerprint>".
+  std::string RenderPrometheusTemplates() const;
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+ private:
+  struct TemplateEntry {
+    std::string text;
+    int64_t count = 0;
+    int64_t sum_us = 0;
+    std::array<int64_t, HistogramCell::kBuckets> buckets{};
+    int64_t decisions = 0;
+    double regret_seconds = 0.0;
+    int64_t reopt_triggers = 0;
+    int64_t reopt_adoptions = 0;
+    int64_t slow_count = 0;
+    int64_t decay_credit = 0;  ///< samples since the last halving
+  };
+
+  TemplateStatsView ViewOf(uint64_t fingerprint,
+                           const TemplateEntry& entry) const;
+  std::string BundleJson(const FlightRecord& record) const;
+  bool WriteBundle(const FlightRecord& record, std::string* path) const;
+
+  const FlightRecorderOptions options_;
+  mutable std::mutex mutex_;
+  int64_t next_sequence_ = 1;
+  std::deque<std::shared_ptr<const FlightRecord>> ring_;
+  std::map<uint64_t, TemplateEntry> templates_;
+
+  Cell* recorded_ = nullptr;  ///< obs.flight.recorded
+  Cell* slow_ = nullptr;      ///< obs.flight.slow
+  Cell* bundles_ = nullptr;   ///< obs.flight.bundles
+};
+
+}  // namespace obs
+}  // namespace dqep
+
+#endif  // DQEP_OBS_FLIGHT_RECORDER_H_

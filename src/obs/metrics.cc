@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <limits>
@@ -40,23 +41,40 @@ void HistogramCell::Reset() {
   }
 }
 
-int64_t MetricValue::Percentile(double p) const {
+double Log2BucketPercentile(
+    const std::vector<std::pair<int32_t, int64_t>>& buckets, int64_t count,
+    double p) {
   if (count <= 0) {
-    return 0;
+    return 0.0;
   }
-  double target = p * static_cast<double>(count);
+  const double target = p * static_cast<double>(count);
   int64_t cumulative = 0;
   for (const auto& [b, c] : buckets) {
+    const int64_t before = cumulative;
     cumulative += c;
-    if (static_cast<double>(cumulative) >= target) {
-      if (b <= 0) {
-        return 0;
-      }
-      return b >= 63 ? std::numeric_limits<int64_t>::max()
-                     : (int64_t{1} << b);
+    if (static_cast<double>(cumulative) < target) {
+      continue;
     }
+    if (b <= 0) {
+      return 0.0;
+    }
+    if (b >= HistogramCell::kBuckets - 1) {
+      // The overflow bucket has no finite upper bound to interpolate to.
+      return static_cast<double>(int64_t{1} << 62);
+    }
+    const double lo = static_cast<double>(int64_t{1} << (b - 1));
+    const double hi = static_cast<double>(int64_t{1} << b);
+    double fraction =
+        c > 0 ? (target - static_cast<double>(before)) / static_cast<double>(c)
+              : 1.0;
+    fraction = std::min(1.0, std::max(0.0, fraction));
+    return lo + fraction * (hi - lo);
   }
-  return 0;
+  return 0.0;
+}
+
+int64_t MetricValue::Percentile(double p) const {
+  return static_cast<int64_t>(Log2BucketPercentile(buckets, count, p) + 0.5);
 }
 
 void HistogramCell::Record(int64_t value) {

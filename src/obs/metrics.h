@@ -195,13 +195,25 @@ struct MetricValue {
   /// Histogram: (bucket index, count) for every non-empty bucket.
   std::vector<std::pair<int32_t, int64_t>> buckets;
 
-  /// Histogram quantile estimate from the log2 buckets: the upper bound
-  /// 2^b of the first bucket whose cumulative count reaches `p` (in
-  /// [0, 1]) of the total — a conservative (over-) estimate with at most
-  /// one power of two of slack.  Bucket 0 (values <= 0) reports 0.
-  /// Returns 0 for an empty histogram.
+  /// Histogram quantile estimate from the log2 buckets, linearly
+  /// interpolated within the covering bucket: the continuous rank
+  /// p * count lands in bucket b (spanning [2^(b-1), 2^b)), and the
+  /// estimate positions itself inside that span by the rank's fraction
+  /// of the bucket's count — monotone in p and far less quantized than
+  /// the bucket upper bound, at most one power of two of slack still.
+  /// Bucket 0 (values <= 0) reports 0.  Returns 0 for an empty
+  /// histogram.
   int64_t Percentile(double p) const;
 };
+
+/// The interpolation behind MetricValue::Percentile, reusable by other
+/// log2-bucketed histograms (e.g. the flight recorder's per-template
+/// stats).  `buckets` is the sparse (bucket index, count) list in
+/// ascending index order with HistogramCell::BucketOf semantics;
+/// `count` is the total sample count.  Returns 0.0 when count <= 0.
+double Log2BucketPercentile(
+    const std::vector<std::pair<int32_t, int64_t>>& buckets, int64_t count,
+    double p);
 
 /// The singleton registry.  See the header comment for the model.
 class MetricsRegistry {

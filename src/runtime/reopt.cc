@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "physical/costing.h"
 #include "runtime/decision_engine.h"
@@ -265,6 +266,17 @@ Result<ReoptExecution> ExecuteWithReopt(const Query& query,
   out.checkpoints = controller.events();
   out.checkpoints_evaluated = controller.checkpoints_evaluated();
   out.triggers_fired = controller.triggers_fired();
+  {
+    auto& registry = obs::MetricsRegistry::Instance();
+    registry.SharedCounter("runtime.reopt.checkpoints")
+        ->Add(out.checkpoints_evaluated);
+    registry.SharedCounter("runtime.reopt.triggers")->Add(out.triggers_fired);
+    int64_t adoptions = 0;
+    for (const ReoptCheckpoint& cp : out.checkpoints) {
+      adoptions += cp.adopted ? 1 : 0;
+    }
+    registry.SharedCounter("runtime.reopt.adoptions")->Add(adoptions);
+  }
   cleanup();
   return out;
 }

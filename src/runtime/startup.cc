@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
 #include "runtime/decision_engine.h"
 
 namespace dqep {
@@ -25,7 +26,15 @@ Result<StartupResult> ResolveDynamicPlan(const PhysNodePtr& root,
                                          const StartupOptions& options) {
   // The decision procedure lives in the re-enterable DecisionEngine
   // (runtime/decision_engine.h); this entry point is the start-up door.
-  return DecisionEngine(model).Resolve(root, env, options);
+  Result<StartupResult> result = DecisionEngine(model).Resolve(root, env,
+                                                              options);
+  if (result.ok()) {
+    auto& registry = obs::MetricsRegistry::Instance();
+    registry.SharedCounter("runtime.startup.resolves")->Add(1);
+    registry.SharedCounter("runtime.startup.decisions")
+        ->Add(static_cast<int64_t>(result->decisions));
+  }
+  return result;
 }
 
 std::unique_ptr<ExecContext> MakeExecContext(const ParamEnv& env,

@@ -39,8 +39,14 @@ MemoryGrantPool::MemoryGrantPool(int64_t total_pages)
           obs::MetricsRegistry::Instance().NewGauge("server.pool.pages_in_use")),
       peak_gauge_(obs::MetricsRegistry::Instance().NewGaugeMax(
           "server.pool.peak_pages")),
+      admission_peak_gauge_(obs::MetricsRegistry::Instance().NewGaugeMax(
+          "server.admission.pool_peak_pages")),
       queued_counter_(
-          obs::MetricsRegistry::Instance().NewCounter("server.pool.queued")) {
+          obs::MetricsRegistry::Instance().NewCounter("server.pool.queued")),
+      queue_depth_gauge_(obs::MetricsRegistry::Instance().NewGauge(
+          "server.admission.queue_depth")),
+      queue_wait_histogram_(obs::MetricsRegistry::Instance().NewHistogram(
+          "server.admission.queue_wait_us")) {
   DQEP_CHECK(total_pages_ > 0);
 }
 
@@ -63,13 +69,16 @@ AdmitOutcome MemoryGrantPool::Acquire(int64_t pages,
     available_ -= pages;
     in_use_gauge_.Set(total_pages_ - available_);
     peak_gauge_.RecordMax(total_pages_ - available_);
+    admission_peak_gauge_.RecordMax(total_pages_ - available_);
     return AdmitOutcome::kAdmitted;
   }
   const uint64_t ticket = next_ticket_++;
   waiters_.push_back(ticket);
   ++queued_total_;
   queued_counter_.Add(1);
-  const auto deadline = Clock::now() + timeout;
+  queue_depth_gauge_.Set(static_cast<int64_t>(waiters_.size()));
+  const auto queued_at = Clock::now();
+  const auto deadline = queued_at + timeout;
   for (;;) {
     const bool at_front = !waiters_.empty() && waiters_.front() == ticket;
     if (shutdown_ || (at_front && pages <= available_)) {
@@ -86,6 +95,11 @@ AdmitOutcome MemoryGrantPool::Acquire(int64_t pages,
   if (it != waiters_.end()) {
     waiters_.erase(it);
   }
+  queue_depth_gauge_.Set(static_cast<int64_t>(waiters_.size()));
+  queue_wait_histogram_.Record(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            queued_at)
+          .count());
   if (shutdown_) {
     cv_.notify_all();
     return AdmitOutcome::kShutdown;
@@ -98,6 +112,7 @@ AdmitOutcome MemoryGrantPool::Acquire(int64_t pages,
     available_ -= pages;
     in_use_gauge_.Set(total_pages_ - available_);
     peak_gauge_.RecordMax(total_pages_ - available_);
+    admission_peak_gauge_.RecordMax(total_pages_ - available_);
     return AdmitOutcome::kAdmitted;
   }
   return AdmitOutcome::kTimeout;
@@ -136,6 +151,11 @@ int64_t MemoryGrantPool::peak_granted_pages() const {
 int64_t MemoryGrantPool::queued_total() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queued_total_;
+}
+
+int64_t MemoryGrantPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(waiters_.size());
 }
 
 // ---------------------------------------------------------------------------

@@ -84,6 +84,8 @@ class MemoryGrantPool {
   int64_t peak_granted_pages() const;
   /// Acquires that had to queue (the pool was exhausted on arrival).
   int64_t queued_total() const;
+  /// Waiters queued right now.
+  int64_t queue_depth() const;
 
  private:
   const int64_t total_pages_;
@@ -97,7 +99,15 @@ class MemoryGrantPool {
   int64_t queued_total_ = 0;
   obs::CellHandle in_use_gauge_;
   obs::CellHandle peak_gauge_;
+  /// Same watermark under the admission namespace, where the exposition
+  /// endpoint and `\top` surface it ("server.admission.pool_peak_pages").
+  obs::CellHandle admission_peak_gauge_;
   obs::CellHandle queued_counter_;
+  obs::CellHandle queue_depth_gauge_;
+  /// Wall microseconds a queued Acquire spent waiting (granted, timed
+  /// out, or shut down alike — the wait is real either way); exported as
+  /// the "server.admission.queue_wait_seconds" histogram.
+  obs::HistogramHandle queue_wait_histogram_;
 };
 
 /// Token bucket over estimated seconds of work (see header comment).

@@ -134,6 +134,13 @@ bool DqepServer::Start(std::string* error) {
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<obs::TraceSession>();
   }
+  if (options_.flight_recorder_capacity > 0) {
+    obs::FlightRecorderOptions flight_options;
+    flight_options.capacity = options_.flight_recorder_capacity;
+    flight_options.slow_query_ms = options_.slow_query_ms;
+    flight_options.spool_dir = options_.slow_spool_dir;
+    flight_ = std::make_unique<obs::FlightRecorder>(flight_options);
+  }
 
   engine_.workload = workload_.get();
   engine_.config = &config_;
@@ -143,8 +150,26 @@ bool DqepServer::Start(std::string* error) {
   engine_.admission = admission_.get();
   engine_.query_log = query_log_.is_open() ? &query_log_ : nullptr;
   engine_.trace = trace_.get();
+  engine_.flight = flight_.get();
   engine_.reopt_default = options_.reopt;
   engine_.reopt_slack_default = options_.reopt_slack;
+
+  if (options_.metrics_port >= 0) {
+    obs::MetricsExporterOptions exporter_options;
+    exporter_options.port = options_.metrics_port;
+    if (flight_ != nullptr) {
+      obs::FlightRecorder* flight = flight_.get();
+      exporter_options.extra_families = [flight] {
+        return flight->RenderPrometheusTemplates();
+      };
+      exporter_options.slow_json = [flight] {
+        return flight->RenderRecentJson(32);
+      };
+    }
+    if (!exporter_.Start(exporter_options, error)) {
+      return false;
+    }
+  }
 
   listen_unix_fd_ = ListenUnix(options_.socket_path, error);
   if (listen_unix_fd_ < 0) {
@@ -262,8 +287,10 @@ void DqepServer::Teardown() {
     return;
   }
   // 1. Refuse new work everywhere: sessions (draining flag), admission
-  //    waiters (woken with kShutdown), and the listeners.
+  //    waiters (woken with kShutdown), the telemetry endpoint, and the
+  //    listeners.
   engine_.draining.store(true);
+  exporter_.Stop();
   if (admission_ != nullptr) {
     admission_->Shutdown();
   }

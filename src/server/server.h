@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/querylog.h"
 #include "obs/trace.h"
 #include "runtime/plan_cache.h"
@@ -82,6 +84,16 @@ struct ServerOptions {
   std::string trace_path;
   /// Workload seed (the paper database R1..R10).
   uint64_t workload_seed = 42;
+  /// Telemetry exposition port on 127.0.0.1: 0 binds an ephemeral port
+  /// (metrics_port() reports it), < 0 disables the endpoint.
+  int metrics_port = -1;
+  /// Slow-query threshold in milliseconds for the flight recorder
+  /// (<= 0: rolling template-p99 rule only).
+  double slow_query_ms = 0.0;
+  /// Spool directory for slow-query bundles ("" : flag in the ring only).
+  std::string slow_spool_dir;
+  /// Flight-recorder ring capacity (0 disables the recorder entirely).
+  size_t flight_recorder_capacity = 64;
 };
 
 class DqepServer {
@@ -113,6 +125,10 @@ class DqepServer {
   SharedEngine* engine() { return &engine_; }
   AdmissionController* admission() { return admission_.get(); }
   DynamicPlanCache* plan_cache() { return &plan_cache_; }
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  /// The bound telemetry port (resolves an ephemeral request); 0 when
+  /// the endpoint is off.
+  int metrics_port() const { return exporter_.port(); }
 
  private:
   /// Accepts one ready connection and enqueues it for a worker.
@@ -128,6 +144,8 @@ class DqepServer {
   std::unique_ptr<AdmissionController> admission_;
   obs::QueryLogWriter query_log_;
   std::unique_ptr<obs::TraceSession> trace_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  obs::MetricsExporter exporter_;
   SharedEngine engine_;
 
   int listen_unix_fd_ = -1;

@@ -1,7 +1,9 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <vector>
 
@@ -34,6 +36,47 @@ void WriteTextAsRows(const std::string& text, std::string* out) {
 
 }  // namespace
 
+void SessionInfo::BeginPhase(const char* phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  phase_ = phase;
+  phase_start_ = std::chrono::steady_clock::now();
+}
+
+void SessionInfo::BeginQuery(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  query_ = sql;
+  phase_ = "plan";
+  phase_start_ = std::chrono::steady_clock::now();
+  rows_.store(0, std::memory_order_relaxed);
+  peak_memory_bytes_.store(0, std::memory_order_relaxed);
+  grant_wait_us_.store(0, std::memory_order_relaxed);
+}
+
+void SessionInfo::EndQuery() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  query_.clear();
+  phase_ = "idle";
+  phase_start_ = std::chrono::steady_clock::now();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SessionInfo::Snapshot SessionInfo::Snap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.session_id = session_id_;
+  snap.query = query_;
+  snap.phase = phase_;
+  snap.phase_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    phase_start_)
+          .count();
+  snap.rows = rows_.load(std::memory_order_relaxed);
+  snap.peak_memory_bytes = peak_memory_bytes_.load(std::memory_order_relaxed);
+  snap.grant_wait_us = grant_wait_us_.load(std::memory_order_relaxed);
+  snap.queries = queries_.load(std::memory_order_relaxed);
+  return snap;
+}
+
 void SharedEngine::RegisterContext(ExecContext* ctx) {
   std::lock_guard<std::mutex> lock(mutex_);
   live_.insert(ctx);
@@ -56,6 +99,26 @@ void SharedEngine::CancelAll() {
   }
 }
 
+void SharedEngine::RegisterSession(const SessionInfo* info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.insert(info);
+}
+
+void SharedEngine::UnregisterSession(const SessionInfo* info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(info);
+}
+
+std::vector<SessionInfo::Snapshot> SharedEngine::SnapshotSessions() const {
+  std::vector<SessionInfo::Snapshot> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(sessions_.size());
+  for (const SessionInfo* info : sessions_) {
+    out.push_back(info->Snap());
+  }
+  return out;
+}
+
 ServerSession::ServerSession(SharedEngine* engine, int64_t session_id,
                              double default_memory_pages)
     : engine_(engine),
@@ -66,12 +129,16 @@ ServerSession::ServerSession(SharedEngine* engine, int64_t session_id,
       queries_counter_(obs::MetricsRegistry::Instance().NewCounter(
           "server.session.queries")),
       latency_histogram_(obs::MetricsRegistry::Instance().NewHistogram(
-          "server.query.latency_us")) {
+          "server.query.latency_us")),
+      info_(session_id) {
   if (engine_->trace != nullptr) {
     trace_track_ = engine_->trace->RegisterTrack(
         "session-" + std::to_string(session_id));
   }
+  engine_->RegisterSession(&info_);
 }
+
+ServerSession::~ServerSession() { engine_->UnregisterSession(&info_); }
 
 void ServerSession::Serve(LineChannel* channel) {
   std::string line;
@@ -225,7 +292,119 @@ bool ServerSession::Command(const std::string& line, LineChannel* channel) {
     return true;
   }
   if (command == "\\metrics") {
-    WriteTextAsRows(obs::MetricsRegistry::Instance().RenderText(), &out);
+    std::string arg;
+    in >> arg;
+    if (arg == "json") {
+      WriteTextAsRows(obs::MetricsRegistry::Instance().RenderJson(), &out);
+    } else if (arg.empty()) {
+      WriteTextAsRows(obs::MetricsRegistry::Instance().RenderText(), &out);
+    } else {
+      channel->WriteAll(FormatErrLine("usage: \\metrics [json]"));
+      return true;
+    }
+    out += FormatOkLine(0, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\top") {
+    auto sessions = engine_->SnapshotSessions();
+    std::sort(sessions.begin(), sessions.end(),
+              [](const SessionInfo::Snapshot& a,
+                 const SessionInfo::Snapshot& b) {
+                return a.session_id < b.session_id;
+              });
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), "%-8s %-6s %8s %10s %12s %10s %8s  %s",
+                  "session", "phase", "in-phase", "rows", "peak-mem",
+                  "wait-ms", "queries", "query");
+    out += FormatRowLine(buf);
+    int64_t data_rows = 1;
+    for (const auto& s : sessions) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-8lld %-6s %7.3fs %10lld %12lld %10.3f %8lld  %.120s",
+                    static_cast<long long>(s.session_id), s.phase,
+                    s.phase_seconds, static_cast<long long>(s.rows),
+                    static_cast<long long>(s.peak_memory_bytes),
+                    static_cast<double>(s.grant_wait_us) / 1e3,
+                    static_cast<long long>(s.queries),
+                    s.query.empty() ? "-" : s.query.c_str());
+      out += FormatRowLine(buf);
+      ++data_rows;
+    }
+    // Admission footer: the pool watermark and queue-wait distribution
+    // the exposition endpoint exports, readable without a scraper.
+    auto snap = obs::MetricsRegistry::Instance().Snapshot();
+    auto peak = snap.find("server.admission.pool_peak_pages");
+    auto in_use = snap.find("server.pool.pages_in_use");
+    auto depth = snap.find("server.admission.queue_depth");
+    if (peak != snap.end()) {
+      std::snprintf(buf, sizeof(buf),
+                    "pool: %lld pages in use, peak %lld, queue depth %lld",
+                    static_cast<long long>(
+                        in_use == snap.end() ? 0 : in_use->second.value),
+                    static_cast<long long>(peak->second.value),
+                    static_cast<long long>(
+                        depth == snap.end() ? 0 : depth->second.value));
+      out += FormatRowLine(buf);
+      ++data_rows;
+    }
+    auto wait = snap.find("server.admission.queue_wait_us");
+    if (wait != snap.end() && wait->second.count > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "queue wait: count=%lld p50=%.3fms p95=%.3fms p99=%.3fms",
+                    static_cast<long long>(wait->second.count),
+                    static_cast<double>(wait->second.Percentile(0.50)) / 1e3,
+                    static_cast<double>(wait->second.Percentile(0.95)) / 1e3,
+                    static_cast<double>(wait->second.Percentile(0.99)) / 1e3);
+      out += FormatRowLine(buf);
+      ++data_rows;
+    }
+    out += FormatOkLine(data_rows, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\slow") {
+    if (engine_->flight == nullptr) {
+      channel->WriteAll(FormatErrLine("flight recorder is off"));
+      return true;
+    }
+    int64_t n = 8;
+    if (in >> n && (n < 1 || n > 4096)) {
+      channel->WriteAll(FormatErrLine("usage: \\slow [1 <= n <= 4096]"));
+      return true;
+    }
+    WriteTextAsRows(
+        engine_->flight->RenderRecentText(static_cast<size_t>(n)), &out);
+    out += FormatOkLine(0, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\stats") {
+    if (engine_->flight == nullptr) {
+      channel->WriteAll(FormatErrLine("flight recorder is off"));
+      return true;
+    }
+    std::string arg;
+    in >> arg;
+    uint64_t fingerprint = 0;
+    if (arg == "template") {
+      std::string fp_text;
+      in >> fp_text;
+      char* end = nullptr;
+      fingerprint = std::strtoull(fp_text.c_str(), &end, 16);
+      if (fp_text.empty() || end == nullptr || *end != '\0' ||
+          fingerprint == 0) {
+        channel->WriteAll(
+            FormatErrLine("usage: \\stats [template <hex fingerprint>]"));
+        return true;
+      }
+    } else if (!arg.empty()) {
+      channel->WriteAll(
+          FormatErrLine("usage: \\stats [template <hex fingerprint>]"));
+      return true;
+    }
+    WriteTextAsRows(engine_->flight->RenderTemplateStatsText(fingerprint),
+                    &out);
     out += FormatOkLine(0, 0.0, "off");
     channel->WriteAll(out);
     return true;
@@ -240,6 +419,12 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
     return;
   }
   queries_counter_.Add(1);
+  info_.BeginQuery(sql);
+  // Every exit path returns the `\top` row to idle.
+  struct QueryScope {
+    SessionInfo* info;
+    ~QueryScope() { info->EndQuery(); }
+  } query_scope{&info_};
   const auto wall_start = std::chrono::steady_clock::now();
   const int64_t trace_start_us =
       engine_->trace == nullptr ? 0 : engine_->trace->NowMicros();
@@ -277,12 +462,20 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
   // Admission: global memory-grant pool first, then the cost throttle fed
   // by this template's measured history (optimizer estimate until then).
   const int64_t pages = static_cast<int64_t>(std::llround(memory_pages_));
+  info_.BeginPhase("queued");
+  const auto admit_start = std::chrono::steady_clock::now();
   AdmitResult admit = engine_->admission->Admit(
       planned->fingerprint, pages, startup->execution_cost);
+  const double grant_wait_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    admit_start)
+          .count();
+  info_.SetGrantWaitUs(static_cast<int64_t>(grant_wait_seconds * 1e6));
   if (admit.outcome != AdmitOutcome::kAdmitted) {
     channel->WriteAll(FormatErrLine("admission: " + admit.message));
     return;
   }
+  info_.BeginPhase("exec");
 
   ExecOptions options;
   options.threads = threads_;
@@ -345,6 +538,7 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
     reopt = std::move(*executed);
     ran_reopt = true;
     rows = std::move(reopt.rows);
+    info_.AddRows(static_cast<int64_t>(rows.size()));
     exec_root = reopt.exec_root();
   } else if (options.mode == ExecMode::kBatch) {
     Result<std::unique_ptr<BatchIterator>> iter = BuildParallelBatchExecutor(
@@ -361,6 +555,7 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
       for (int32_t i = 0; i < batch.num_rows(); ++i) {
         rows.push_back(batch.row(i));
       }
+      info_.AddRows(batch.num_rows());
     }
     batch_iter->Close();
     exec_root = batch_iter.get();
@@ -377,6 +572,7 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
     Tuple tuple;
     while (tuple_iter->Next(&tuple)) {
       rows.push_back(std::move(tuple));
+      info_.AddRows(1);
     }
     tuple_iter->Close();
     exec_root = tuple_iter.get();
@@ -393,15 +589,23 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
                                     exec_start)
           .count();
   engine_->admission->RecordExecution(planned->fingerprint, exec_seconds);
+  info_.SetPeakMemory(ctx->tracker().peak_bytes());
 
-  // Query log: annotate a *private* deep copy of the resolved plan — the
-  // resolved DAG shares subtrees with the cached dynamic plan that other
-  // sessions are concurrently reading (see runtime/plan_rewrite.h).
-  if (engine_->query_log != nullptr && engine_->query_log->is_open()) {
-    // A re-optimizing run logs the plan that actually produced the rows
-    // (the driver's private annotated clone — possibly spliced); plain
-    // runs annotate their own private copy here.
-    PhysNodePtr annotated;
+  // Both the query log and the (always-on) flight recorder report the
+  // resolved plan annotated with compile-time intervals; annotate a
+  // *private* deep copy — the resolved DAG shares subtrees with the
+  // cached dynamic plan that other sessions are concurrently reading
+  // (see runtime/plan_rewrite.h).
+  const bool want_log =
+      engine_->query_log != nullptr && engine_->query_log->is_open();
+  const bool want_flight = engine_->flight != nullptr;
+  PhysNodePtr annotated;
+  obs::AnalyzeInput input;
+  if (want_log || want_flight) {
+    info_.BeginPhase("log");
+    // A re-optimizing run reports the plan that actually produced the
+    // rows (the driver's private annotated clone — possibly spliced);
+    // plain runs annotate their own private copy here.
     if (ran_reopt) {
       annotated = reopt.final_plan;
     } else {
@@ -410,7 +614,6 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
       AnnotatePlan(*annotated, *engine_->model, compile_env,
                    EstimationMode::kInterval);
     }
-    obs::AnalyzeInput input;
     input.dynamic_root = planned->root.get();
     input.resolved_root = annotated.get();
     input.startup = &*startup;
@@ -419,6 +622,8 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
     if (ran_reopt) {
       input.reopt = &reopt.checkpoints;
     }
+  }
+  if (want_log) {
     obs::QueryLogRecord record = obs::BuildQueryLogRecord(
         sql, input, *engine_->model, planned->bound);
     record.plan_cache = cache_status;
@@ -443,6 +648,55 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
                                     wall_start)
           .count();
   latency_histogram_.Record(static_cast<int64_t>(total_seconds * 1e6));
+
+  if (want_flight) {
+    obs::FlightRecord flight;
+    flight.session_id = session_id_;
+    flight.fingerprint = planned->fingerprint;
+    flight.query = sql;
+    flight.template_text = planned->template_text;
+    flight.cache = cache_status;
+    flight.seconds = total_seconds;
+    flight.grant_wait_seconds = grant_wait_seconds;
+    flight.rows = static_cast<int64_t>(rows.size());
+    flight.peak_memory_bytes = ctx->tracker().peak_bytes();
+    flight.decisions = startup->decisions;
+    flight.reopt_checkpoints = ran_reopt ? reopt.checkpoints_evaluated : 0;
+    flight.reopt_triggers = ran_reopt ? reopt.triggers_fired : 0;
+    for (const auto& [name, id] : planned->host_params) {
+      (void)id;
+      auto it = bindings_.find(name);
+      if (it != bindings_.end()) {
+        flight.bindings.emplace_back(name, std::to_string(it->second));
+      }
+    }
+    if (ran_reopt) {
+      for (const ReoptCheckpoint& cp : reopt.checkpoints) {
+        flight.reopt_adoptions += cp.adopted ? 1 : 0;
+      }
+    }
+    for (const obs::AnalyzeRow& row : obs::CollectAnalyzeRows(input)) {
+      if (row.kind == obs::AnalyzeRow::Kind::kDecision) {
+        if (row.have_regret) {
+          flight.regret_seconds += row.regret;
+        }
+        continue;
+      }
+      obs::OperatorSample op;
+      op.op = row.op;
+      op.depth = row.depth;
+      op.est_cost_lo = row.est_cost.lo();
+      op.est_cost_hi = row.est_cost.hi();
+      op.est_rows_lo = row.est_rows.lo();
+      op.est_rows_hi = row.est_rows.hi();
+      op.actual_seconds = row.actual_seconds;
+      op.actual_rows = row.actual_rows;
+      op.have_actual = row.have_actual;
+      flight.operators.push_back(std::move(op));
+    }
+    flight.analyze_json = obs::RenderAnalyze(input, obs::AnalyzeFormat::kJson);
+    engine_->flight->Record(std::move(flight));
+  }
   if (engine_->trace != nullptr) {
     engine_->trace->AddSpan(
         "query", "server", trace_start_us,

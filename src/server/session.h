@@ -32,16 +32,19 @@
 #ifndef DQEP_SERVER_SESSION_H_
 #define DQEP_SERVER_SESSION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include <atomic>
 
 #include "exec/exec_context.h"
+#include "obs/flight_recorder.h"
 #include "obs/querylog.h"
 #include "obs/trace.h"
 #include "runtime/plan_cache.h"
@@ -51,6 +54,58 @@
 
 namespace dqep {
 namespace server {
+
+/// Live-query introspection state of one session, updated by the owning
+/// session as its query moves through the pipeline and snapshotted by
+/// `\top` from any other session.  The string fields change only at
+/// phase boundaries and sit behind the mutex; the high-frequency fields
+/// (rows emitted) are relaxed atomics so the drain loop pays one
+/// uncontended add per row.
+class SessionInfo {
+ public:
+  explicit SessionInfo(int64_t session_id) : session_id_(session_id) {}
+
+  /// Phase boundary: publishes the phase name (static string) and, for a
+  /// new query, the SQL.
+  void BeginPhase(const char* phase);
+  void BeginQuery(const std::string& sql);
+  void EndQuery();
+
+  void AddRows(int64_t n) { rows_.fetch_add(n, std::memory_order_relaxed); }
+  void SetPeakMemory(int64_t bytes) {
+    peak_memory_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  void SetGrantWaitUs(int64_t us) {
+    grant_wait_us_.store(us, std::memory_order_relaxed);
+  }
+
+  /// One `\top` row, value-copied under the lock.
+  struct Snapshot {
+    int64_t session_id = 0;
+    std::string query;       ///< "" when idle
+    const char* phase = "idle";
+    double phase_seconds = 0.0;  ///< time in the current phase
+    int64_t rows = 0;
+    int64_t peak_memory_bytes = 0;
+    int64_t grant_wait_us = 0;
+    int64_t queries = 0;     ///< completed queries this session
+  };
+  Snapshot Snap() const;
+
+  int64_t session_id() const { return session_id_; }
+
+ private:
+  const int64_t session_id_;
+  mutable std::mutex mutex_;
+  std::string query_;
+  const char* phase_ = "idle";
+  std::chrono::steady_clock::time_point phase_start_ =
+      std::chrono::steady_clock::now();
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> peak_memory_bytes_{0};
+  std::atomic<int64_t> grant_wait_us_{0};
+  std::atomic<int64_t> queries_{0};
+};
 
 /// Engine state shared by all sessions of one server.  The server owns
 /// everything; sessions borrow.  Also the live-query registry shutdown
@@ -64,6 +119,7 @@ class SharedEngine {
   AdmissionController* admission = nullptr;
   obs::QueryLogWriter* query_log = nullptr;     ///< null/closed: logging off
   obs::TraceSession* trace = nullptr;           ///< null: tracing off
+  obs::FlightRecorder* flight = nullptr;        ///< null: recorder off
 
   /// Server-wide defaults for per-session mid-query re-optimization
   /// (--reopt / --reopt-slack; \reopt overrides per session).
@@ -78,9 +134,16 @@ class SharedEngine {
   /// RequestCancel on every live context (idempotent).
   void CancelAll();
 
+  /// `\top` registry: sessions register themselves for the lifetime of
+  /// their connection.
+  void RegisterSession(const SessionInfo* info);
+  void UnregisterSession(const SessionInfo* info);
+  std::vector<SessionInfo::Snapshot> SnapshotSessions() const;
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::set<ExecContext*> live_;
+  std::set<const SessionInfo*> sessions_;
 };
 
 /// One connection's protocol loop.  Constructed per accepted socket;
@@ -90,6 +153,7 @@ class ServerSession {
  public:
   ServerSession(SharedEngine* engine, int64_t session_id,
                 double default_memory_pages);
+  ~ServerSession();
 
   ServerSession(const ServerSession&) = delete;
   ServerSession& operator=(const ServerSession&) = delete;
@@ -124,6 +188,9 @@ class ServerSession {
   int64_t trace_track_ = 0;
   obs::CellHandle queries_counter_;
   obs::HistogramHandle latency_histogram_;
+  /// This session's `\top` row, registered with the engine for the
+  /// connection's lifetime.
+  SessionInfo info_;
 };
 
 }  // namespace server

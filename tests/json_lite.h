@@ -1,0 +1,231 @@
+// Minimal JSON parser shared by the test binaries (test-side only).
+//
+// Just enough of RFC 8259 to validate trace files, EXPLAIN ANALYZE
+// output, flight-recorder bundles, and the /metrics.json exposition:
+// objects, arrays, strings with escapes, numbers, true/false/null.
+// Grew up inside obs_test.cc; extracted once server_test needed the
+// same validation for flight-recorder bundles.
+
+#ifndef DQEP_TESTS_JSON_LITE_H_
+#define DQEP_TESTS_JSON_LITE_H_
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dqep {
+namespace json_lite {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool Has(const std::string& key) const {
+    return type == Type::kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    static const JsonValue kNullValue;
+    auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    *out = ParseValue();
+    SkipWs();
+    return ok_ && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    JsonValue v;
+    if (pos_ >= text_.size()) {
+      ok_ = false;
+      return v;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == 't') {
+      ConsumeLiteral("true");
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      ConsumeLiteral("false");
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      ConsumeLiteral("null");
+      return v;
+    }
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (!Consume('{')) {
+      ok_ = false;
+      return v;
+    }
+    if (Consume('}')) {
+      return v;
+    }
+    do {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        ok_ = false;
+        return v;
+      }
+      std::string key = ParseString();
+      if (!Consume(':')) {
+        ok_ = false;
+        return v;
+      }
+      v.object[key] = ParseValue();
+    } while (ok_ && Consume(','));
+    if (!Consume('}')) {
+      ok_ = false;
+    }
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (!Consume('[')) {
+      ok_ = false;
+      return v;
+    }
+    if (Consume(']')) {
+      return v;
+    }
+    do {
+      v.array.push_back(ParseValue());
+    } while (ok_ && Consume(','));
+    if (!Consume(']')) {
+      ok_ = false;
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        ok_ = false;
+        return out;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (pos_ + 4 <= text_.size()) {
+            pos_ += 4;
+            out += '?';
+          } else {
+            ok_ = false;
+          }
+          break;
+        default: ok_ = false;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      ok_ = false;
+    } else {
+      ++pos_;  // closing quote
+    }
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      ok_ = false;
+      return v;
+    }
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace json_lite
+}  // namespace dqep
+
+#endif  // DQEP_TESTS_JSON_LITE_H_

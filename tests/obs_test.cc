@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "json_lite.h"
 #include "obs/analyze.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -30,216 +33,8 @@
 namespace dqep {
 namespace {
 
-// --- Minimal JSON parser (test-side only) ----------------------------------
-//
-// Just enough of RFC 8259 to validate the trace and analyze output:
-// objects, arrays, strings with escapes, numbers, true/false/null.
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  bool Has(const std::string& key) const {
-    return type == Type::kObject && object.count(key) > 0;
-  }
-  const JsonValue& At(const std::string& key) const {
-    static const JsonValue kNullValue;
-    auto it = object.find(key);
-    return it == object.end() ? kNullValue : it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    *out = ParseValue();
-    SkipWs();
-    return ok_ && pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool ConsumeLiteral(const char* literal) {
-    size_t len = std::strlen(literal);
-    if (text_.compare(pos_, len, literal) == 0) {
-      pos_ += len;
-      return true;
-    }
-    ok_ = false;
-    return false;
-  }
-
-  JsonValue ParseValue() {
-    SkipWs();
-    JsonValue v;
-    if (pos_ >= text_.size()) {
-      ok_ = false;
-      return v;
-    }
-    char c = text_[pos_];
-    if (c == '{') {
-      return ParseObject();
-    }
-    if (c == '[') {
-      return ParseArray();
-    }
-    if (c == '"') {
-      v.type = JsonValue::Type::kString;
-      v.str = ParseString();
-      return v;
-    }
-    if (c == 't') {
-      ConsumeLiteral("true");
-      v.type = JsonValue::Type::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (c == 'f') {
-      ConsumeLiteral("false");
-      v.type = JsonValue::Type::kBool;
-      return v;
-    }
-    if (c == 'n') {
-      ConsumeLiteral("null");
-      return v;
-    }
-    return ParseNumber();
-  }
-
-  JsonValue ParseObject() {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (!Consume('{')) {
-      ok_ = false;
-      return v;
-    }
-    if (Consume('}')) {
-      return v;
-    }
-    do {
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        ok_ = false;
-        return v;
-      }
-      std::string key = ParseString();
-      if (!Consume(':')) {
-        ok_ = false;
-        return v;
-      }
-      v.object[key] = ParseValue();
-    } while (ok_ && Consume(','));
-    if (!Consume('}')) {
-      ok_ = false;
-    }
-    return v;
-  }
-
-  JsonValue ParseArray() {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (!Consume('[')) {
-      ok_ = false;
-      return v;
-    }
-    if (Consume(']')) {
-      return v;
-    }
-    do {
-      v.array.push_back(ParseValue());
-    } while (ok_ && Consume(','));
-    if (!Consume(']')) {
-      ok_ = false;
-    }
-    return v;
-  }
-
-  std::string ParseString() {
-    std::string out;
-    ++pos_;  // opening quote
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        ok_ = false;
-        return out;
-      }
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u':
-          if (pos_ + 4 <= text_.size()) {
-            pos_ += 4;
-            out += '?';
-          } else {
-            ok_ = false;
-          }
-          break;
-        default: ok_ = false;
-      }
-    }
-    if (pos_ >= text_.size()) {
-      ok_ = false;
-    } else {
-      ++pos_;  // closing quote
-    }
-    return out;
-  }
-
-  JsonValue ParseNumber() {
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      ok_ = false;
-      return v;
-    }
-    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
-    return v;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
+using json_lite::JsonParser;
+using json_lite::JsonValue;
 
 // --- MetricsRegistry --------------------------------------------------------
 
@@ -308,10 +103,11 @@ TEST(MetricsRegistryTest, PercentilesFromLog2Buckets) {
   h.Record(3);     // bucket 2, upper bound 4
   h.Record(1000);  // bucket 10, upper bound 1024
   obs::MetricValue v = registry.Snapshot().at("test.pct_us");
-  // Percentiles are conservative upper bounds of the covering bucket.
-  EXPECT_EQ(v.Percentile(0.50), 4);
-  EXPECT_EQ(v.Percentile(0.95), 1024);
-  EXPECT_EQ(v.Percentile(0.99), 1024);
+  // Percentiles interpolate linearly inside the covering log2 bucket:
+  // p50's rank target (1.5 of 3) lands halfway into bucket [2, 4).
+  EXPECT_EQ(v.Percentile(0.50), 3);
+  EXPECT_EQ(v.Percentile(0.95), 947);
+  EXPECT_EQ(v.Percentile(0.99), 1009);
 
   // Zero-or-negative values land in bucket 0, whose upper bound is 0.
   obs::HistogramHandle zeros = registry.NewHistogram("test.pct_zero");
@@ -319,11 +115,11 @@ TEST(MetricsRegistryTest, PercentilesFromLog2Buckets) {
   zeros.Record(-5);
   EXPECT_EQ(registry.Snapshot().at("test.pct_zero").Percentile(0.99), 0);
 
-  // The top bucket saturates to INT64_MAX instead of overflowing 1<<63.
+  // The top bucket pins to 2^62 instead of overflowing 1 << 63.
   obs::HistogramHandle top = registry.NewHistogram("test.pct_top");
   top.Record(std::numeric_limits<int64_t>::max());
   EXPECT_EQ(registry.Snapshot().at("test.pct_top").Percentile(0.5),
-            std::numeric_limits<int64_t>::max());
+            int64_t{1} << 62);
 
   // Empty histogram: all percentiles are 0.
   obs::MetricValue empty;
@@ -332,6 +128,50 @@ TEST(MetricsRegistryTest, PercentilesFromLog2Buckets) {
   // Both render paths surface the percentile columns.
   EXPECT_NE(registry.RenderText().find("p50="), std::string::npos);
   EXPECT_NE(registry.RenderJson().find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PercentileInterpolationTracksExact) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::HistogramHandle h = registry.NewHistogram("test.interp_us");
+  // Deterministic pseudo-random sample spanning many buckets.
+  std::vector<int64_t> values;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 4096; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const int64_t value = static_cast<int64_t>((state >> 33) % 100000) + 1;
+    values.push_back(value);
+    h.Record(value);
+  }
+  std::sort(values.begin(), values.end());
+  obs::MetricValue snap = registry.Snapshot().at("test.interp_us");
+  ASSERT_EQ(snap.count, 4096);
+  double last = 0.0;
+  for (double p : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double interp =
+        obs::Log2BucketPercentile(snap.buckets, snap.count, p);
+    // Exact nearest-rank percentile from the raw sample.
+    size_t rank = static_cast<size_t>(std::ceil(p * values.size()));
+    rank = std::min(std::max<size_t>(rank, 1), values.size());
+    const double exact = static_cast<double>(values[rank - 1]);
+    // The estimate interpolates inside the exact value's covering log2
+    // bucket, so it is within a factor of two of the truth — the old
+    // bucket-upper-bound rule only guaranteed [exact, 2 * exact].
+    EXPECT_GT(interp, exact / 2) << "p=" << p;
+    EXPECT_LE(interp, exact * 2) << "p=" << p;
+    EXPECT_GE(interp, last) << "p=" << p;  // monotone in p
+    last = interp;
+  }
+
+  // A uniform fill of one bucket puts the interpolated p50 at the bucket
+  // midpoint; the upper-bound rule would report 2048 for every p.
+  obs::HistogramHandle uniform = registry.NewHistogram("test.interp_mid");
+  for (int64_t value = 1024; value < 2048; ++value) {
+    uniform.Record(value);
+  }
+  obs::MetricValue u = registry.Snapshot().at("test.interp_mid");
+  EXPECT_NEAR(obs::Log2BucketPercentile(u.buckets, u.count, 0.5), 1536.0,
+              8.0);
 }
 
 TEST(MetricsRegistryTest, ResetAllZeroesCountersAndKeepsGauges) {

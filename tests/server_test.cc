@@ -6,6 +6,7 @@
 // sessions, concurrent-vs-serial result parity, polite admission
 // rejections, and graceful SIGTERM shutdown mid-stream.
 
+#include <dirent.h>
 #include <signal.h>
 #include <stdlib.h>
 #include <unistd.h>
@@ -22,6 +23,10 @@
 #include <gtest/gtest.h>
 
 #include "exec/executor.h"
+#include "json_lite.h"
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/querylog.h"
 #include "physical/costing.h"
 #include "runtime/plan_cache.h"
@@ -737,6 +742,509 @@ TEST(ServerIntegrationTest, SigtermDrainsMidStreamAndFlushesLog) {
   EXPECT_EQ(skipped, 0);
   EXPECT_GE(static_cast<int>(records->size()), completed.load() - 1);
   ::unlink(log_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: Prometheus renderer, exporter endpoint, flight recorder,
+// and the live-introspection commands
+
+/// Recursively deletes a directory tree (spool cleanup).
+void RemoveTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") {
+        continue;
+      }
+      const std::string full = dir + "/" + name;
+      if (::unlink(full.c_str()) != 0) {
+        RemoveTree(full);
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return out;
+  }
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out.append(chunk, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// One raw HTTP/1.0 exchange against the exporter; reads to EOF (the
+/// exporter answers Connection: close).
+HttpResponse HttpGet(int port, const std::string& request_line) {
+  HttpResponse out;
+  std::string error;
+  const int fd = ConnectTcp(port, &error);
+  EXPECT_GE(fd, 0) << error;
+  if (fd < 0) {
+    return out;
+  }
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  size_t written = 0;
+  while (written < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + written, request.size() - written);
+    if (n <= 0) {
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t space = raw.find(' ');
+  if (space != std::string::npos) {
+    out.status = std::atoi(raw.c_str() + space + 1);
+  }
+  const size_t sep = raw.find("\r\n\r\n");
+  if (sep != std::string::npos) {
+    out.body = raw.substr(sep + 4);
+  }
+  return out;
+}
+
+TEST(PrometheusRenderTest, NamesSuffixesAndCumulativeBuckets) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::CellHandle hits = registry.NewCounter("test.prom.hits");
+  hits.Add(7);
+  obs::CellHandle depth = registry.NewGauge("test.prom.depth");
+  depth.Add(3);
+  obs::HistogramHandle lat = registry.NewHistogram("test.prom.lat_us");
+  lat.Record(1);
+  lat.Record(1000);
+  lat.Record(3000000);
+  const std::string text = obs::RenderPrometheusText(registry.Snapshot());
+
+  EXPECT_EQ(obs::PrometheusName("server.query.latency_us"),
+            "dqep_server_query_latency_us");
+  EXPECT_NE(text.find("# TYPE dqep_test_prom_hits_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dqep_test_prom_hits_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dqep_test_prom_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dqep_test_prom_depth 3\n"), std::string::npos);
+  // Microsecond histograms convert to Prometheus base seconds; the raw
+  // _us name must not leak out.
+  EXPECT_NE(text.find("# TYPE dqep_test_prom_lat_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("dqep_test_prom_lat_us"), std::string::npos);
+  EXPECT_NE(text.find("dqep_test_prom_lat_seconds_count 3\n"),
+            std::string::npos);
+
+  // Bucket lines are cumulative, monotone, and end at the +Inf count.
+  int64_t last = 0;
+  size_t buckets_seen = 0;
+  size_t pos = 0;
+  const std::string prefix = "dqep_test_prom_lat_seconds_bucket{le=\"";
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    const size_t space = text.find(' ', pos);
+    ASSERT_NE(space, std::string::npos);
+    const int64_t value = std::atoll(text.c_str() + space + 1);
+    EXPECT_GE(value, last);
+    last = value;
+    ++buckets_seen;
+    pos = space;
+  }
+  EXPECT_GE(buckets_seen, 4u);  // three value buckets plus +Inf
+  EXPECT_EQ(last, 3);
+}
+
+TEST(MetricsExporterTest, ServesMetricsJsonSlowAndHttpErrors) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.ResetForTest();
+  obs::CellHandle counter = registry.NewCounter("test.exporter.pings");
+  counter.Add(5);
+
+  obs::MetricsExporterOptions options;
+  options.port = 0;  // ephemeral
+  options.extra_families = [] {
+    return std::string("# TYPE dqep_test_extra gauge\ndqep_test_extra 1\n");
+  };
+  options.slow_json = [] { return std::string("[]"); };
+  obs::MetricsExporter exporter;
+  std::string error;
+  ASSERT_TRUE(exporter.Start(options, &error)) << error;
+  ASSERT_GT(exporter.port(), 0);
+
+  HttpResponse metrics = HttpGet(exporter.port(), "GET /metrics HTTP/1.0");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("dqep_test_exporter_pings_total 5"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dqep_test_extra 1"), std::string::npos);
+
+  HttpResponse json = HttpGet(exporter.port(), "GET /metrics.json HTTP/1.0");
+  EXPECT_EQ(json.status, 200);
+  json_lite::JsonValue parsed;
+  json_lite::JsonParser parser(json.body);
+  EXPECT_TRUE(parser.Parse(&parsed));
+
+  HttpResponse slow = HttpGet(exporter.port(), "GET /slow HTTP/1.0");
+  EXPECT_EQ(slow.status, 200);
+  EXPECT_EQ(slow.body, "[]");
+
+  EXPECT_EQ(HttpGet(exporter.port(), "GET /nope HTTP/1.0").status, 404);
+  EXPECT_EQ(HttpGet(exporter.port(), "POST /metrics HTTP/1.0").status, 405);
+
+  // The exporter counts its own scrapes; a later scrape exports them.
+  HttpResponse again = HttpGet(exporter.port(), "GET /metrics HTTP/1.0");
+  EXPECT_NE(again.body.find("dqep_obs_exporter_scrapes_total"),
+            std::string::npos);
+  exporter.Stop();
+  EXPECT_EQ(exporter.port(), 0);
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestAndThresholdRuleFlags) {
+  obs::FlightRecorderOptions options;
+  options.capacity = 4;
+  options.slow_query_ms = 50.0;
+  obs::FlightRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    obs::FlightRecord record;
+    record.session_id = 1;
+    record.fingerprint = 0xabc;
+    record.query = "SELECT " + std::to_string(i);
+    record.seconds = i == 9 ? 0.100 : 0.001;  // the last breaches 50 ms
+    auto finished = recorder.Record(std::move(record));
+    ASSERT_NE(finished, nullptr);
+    EXPECT_EQ(finished->sequence, i + 1);
+    if (i == 9) {
+      EXPECT_TRUE(finished->slow);
+      EXPECT_EQ(finished->slow_reason, "threshold");
+      EXPECT_TRUE(finished->bundle_path.empty());  // no spool configured
+    } else {
+      EXPECT_FALSE(finished->slow);
+    }
+  }
+  auto recent = recorder.Recent(100);
+  ASSERT_EQ(recent.size(), 4u);  // capped at the ring capacity
+  EXPECT_EQ(recent.front()->sequence, 10);  // newest first
+  EXPECT_EQ(recent.back()->sequence, 7);
+  obs::TemplateStatsView stats = recorder.StatsFor(0xabc);
+  EXPECT_EQ(stats.count, 10);
+  EXPECT_EQ(stats.slow_count, 1);
+  EXPECT_NE(recorder.RenderRecentText(2).find("SLOW:threshold"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, TemplateP99RuleNeedsHistory) {
+  obs::FlightRecorderOptions options;
+  options.capacity = 8;
+  options.min_template_samples = 32;
+  obs::FlightRecorder recorder(options);
+
+  // The same 1-second outlier: not slow while the template has no
+  // history, slow once 32+ samples establish a much faster p99.
+  obs::FlightRecord early;
+  early.fingerprint = 1;
+  early.seconds = 1.0;
+  EXPECT_FALSE(recorder.Record(std::move(early))->slow);
+  for (int i = 0; i < 32; ++i) {
+    obs::FlightRecord fast;
+    fast.fingerprint = 1;
+    fast.seconds = 0.001;
+    EXPECT_FALSE(recorder.Record(std::move(fast))->slow);
+  }
+  obs::FlightRecord outlier;
+  outlier.fingerprint = 1;
+  outlier.seconds = 1.0;
+  auto flagged = recorder.Record(std::move(outlier));
+  EXPECT_TRUE(flagged->slow);
+  EXPECT_EQ(flagged->slow_reason, "template-p99");
+
+  // A different template with no history never trips the p99 rule.
+  obs::FlightRecord other;
+  other.fingerprint = 2;
+  other.seconds = 1.0;
+  EXPECT_FALSE(recorder.Record(std::move(other))->slow);
+}
+
+TEST(FlightRecorderTest, SlowBundleIsValidTraceAndAnalyzeJson) {
+  char tmpl[] = "/tmp/dqepspoolXXXXXX";
+  const std::string dir = ::mkdtemp(tmpl);
+  obs::FlightRecorderOptions options;
+  options.capacity = 4;
+  options.slow_query_ms = 1.0;
+  options.spool_dir = dir + "/nested";  // the recorder mkdir -p's it
+  obs::FlightRecorder recorder(options);
+
+  obs::FlightRecord record;
+  record.session_id = 3;
+  record.fingerprint = 0xdeadbeef;
+  record.query = "SELECT * FROM R1 WHERE R1.s < 10";
+  record.template_text = "SELECT * FROM R1 WHERE R1.s < :p0";
+  record.cache = "hit";
+  record.seconds = 0.5;
+  record.rows = 42;
+  record.bindings.emplace_back("v", "300");
+  obs::OperatorSample parent;
+  parent.op = "sort";
+  parent.depth = 0;
+  parent.actual_seconds = 0.4;
+  parent.actual_rows = 42;
+  parent.have_actual = true;
+  obs::OperatorSample child;
+  child.op = "index-scan(R1)";
+  child.depth = 1;
+  child.actual_seconds = 0.3;
+  child.actual_rows = 42;
+  child.have_actual = true;
+  record.operators = {parent, child};
+  record.analyze_json = "{\"rows\": []}";
+  auto finished = recorder.Record(std::move(record));
+  ASSERT_TRUE(finished->slow);
+  ASSERT_FALSE(finished->bundle_path.empty());
+
+  const std::string text = ReadWholeFile(finished->bundle_path);
+  ASSERT_FALSE(text.empty());
+  json_lite::JsonValue bundle;
+  json_lite::JsonParser parser(text);
+  ASSERT_TRUE(parser.Parse(&bundle));
+  EXPECT_EQ(bundle.At("meta").At("query").str,
+            "SELECT * FROM R1 WHERE R1.s < 10");
+  EXPECT_EQ(bundle.At("meta").At("slow_reason").str, "threshold");
+  EXPECT_EQ(bundle.At("meta").At("bindings").At("v").str, "300");
+  EXPECT_EQ(bundle.At("analyze").type, json_lite::JsonValue::Type::kObject);
+  const json_lite::JsonValue& events = bundle.At("trace").At("traceEvents");
+  ASSERT_EQ(events.type, json_lite::JsonValue::Type::kArray);
+  ASSERT_EQ(events.array.size(), 2u);
+  EXPECT_EQ(events.array[0].At("name").str, "sort");
+  // The child span nests inside its parent's budget.
+  EXPECT_LE(events.array[1].At("ts").number +
+                events.array[1].At("dur").number,
+            events.array[0].At("ts").number +
+                events.array[0].At("dur").number);
+  RemoveTree(dir);
+}
+
+TEST(ServerIntegrationTest, TelemetryEndpointIntrospectionAndSlowBundle) {
+  char spool_tmpl[] = "/tmp/dqepspoolXXXXXX";
+  const std::string spool = ::mkdtemp(spool_tmpl);
+  ServerOptions options;
+  options.sessions = 2;
+  options.pool_pages = 256;
+  options.metrics_port = 0;          // ephemeral
+  options.slow_query_ms = 0.000001;  // every query breaches the threshold
+  options.slow_spool_dir = spool;
+  options.flight_recorder_capacity = 16;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+  ASSERT_GT(fixture.server().metrics_port(), 0);
+
+  auto conn = fixture.Connect();
+  ASSERT_NE(conn, nullptr);
+  QueryResponse q1 =
+      RoundTrip(conn.get(), "SELECT * FROM R1 WHERE R1.s < 300");
+  ASSERT_TRUE(q1.ok) << q1.error;
+  QueryResponse q2 =
+      RoundTrip(conn.get(), "SELECT * FROM R1 WHERE R1.s < 500");
+  ASSERT_TRUE(q2.ok) << q2.error;
+
+  // \top: header, one row per live session, and the admission footer.
+  QueryResponse top = RoundTrip(conn.get(), "\\top");
+  ASSERT_TRUE(top.ok) << top.error;
+  ASSERT_GE(top.rows.size(), 2u);
+  EXPECT_NE(top.rows[0].find("session"), std::string::npos);
+  EXPECT_NE(top.rows[0].find("wait-ms"), std::string::npos);
+  bool saw_pool = false;
+  for (const std::string& row : top.rows) {
+    saw_pool = saw_pool || row.find("pool:") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_pool);
+
+  // \slow: both queries were flagged and spooled.
+  QueryResponse slow = RoundTrip(conn.get(), "\\slow 4");
+  ASSERT_TRUE(slow.ok) << slow.error;
+  std::string joined;
+  for (const std::string& row : slow.rows) {
+    joined += row + "\n";
+  }
+  EXPECT_NE(joined.find("SLOW:threshold"), std::string::npos);
+  EXPECT_NE(joined.find("bundle: "), std::string::npos);
+
+  // Lift the fingerprint out of \slow and ask \stats about it.
+  const size_t fp_pos = joined.find("fp=0x");
+  ASSERT_NE(fp_pos, std::string::npos);
+  const std::string fp = joined.substr(fp_pos + 3, 18);
+  QueryResponse stats = RoundTrip(conn.get(), "\\stats template " + fp);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  joined.clear();
+  for (const std::string& row : stats.rows) {
+    joined += row + "\n";
+  }
+  EXPECT_NE(joined.find("latency"), std::string::npos);
+  EXPECT_NE(joined.find("count=2"), std::string::npos);
+
+  QueryResponse all_stats = RoundTrip(conn.get(), "\\stats");
+  ASSERT_TRUE(all_stats.ok) << all_stats.error;
+  ASSERT_FALSE(all_stats.rows.empty());
+  EXPECT_NE(all_stats.rows[0].find("template"), std::string::npos);
+
+  // \metrics json returns one parseable JSON document.
+  QueryResponse mjson = RoundTrip(conn.get(), "\\metrics json");
+  ASSERT_TRUE(mjson.ok) << mjson.error;
+  joined.clear();
+  for (const std::string& row : mjson.rows) {
+    joined += row + "\n";
+  }
+  json_lite::JsonValue parsed;
+  json_lite::JsonParser parser(joined);
+  EXPECT_TRUE(parser.Parse(&parsed));
+
+  // Bad arguments are polite protocol errors, not closed connections.
+  EXPECT_FALSE(RoundTrip(conn.get(), "\\metrics bogus").ok);
+  EXPECT_FALSE(RoundTrip(conn.get(), "\\stats template zzz").ok);
+  EXPECT_FALSE(RoundTrip(conn.get(), "\\slow 0").ok);
+
+  // Scrape the exposition endpoint: the server catalog plus the flight
+  // recorder's per-template families.
+  HttpResponse metrics =
+      HttpGet(fixture.server().metrics_port(), "GET /metrics HTTP/1.0");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("dqep_server_session_queries_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dqep_server_query_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(
+      metrics.body.find("dqep_server_admission_queue_wait_seconds_count"),
+      std::string::npos);
+  EXPECT_NE(metrics.body.find("dqep_obs_flight_recorded_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("dqep_template_latency_seconds_bucket{"
+                              "template=\"" +
+                              fp + "\""),
+            std::string::npos);
+
+  // /slow: recent records as JSON, newest first, with bundle paths.
+  HttpResponse slow_json =
+      HttpGet(fixture.server().metrics_port(), "GET /slow HTTP/1.0");
+  EXPECT_EQ(slow_json.status, 200);
+  json_lite::JsonValue slow_parsed;
+  json_lite::JsonParser slow_parser(slow_json.body);
+  ASSERT_TRUE(slow_parser.Parse(&slow_parsed));
+  ASSERT_EQ(slow_parsed.type, json_lite::JsonValue::Type::kArray);
+  ASSERT_GE(slow_parsed.array.size(), 2u);
+  EXPECT_TRUE(slow_parsed.array[0].At("slow").boolean);
+
+  // The spooled bundle is one valid JSON document holding the analyze
+  // report and a non-empty Chrome trace.
+  const std::string bundle_path = slow_parsed.array[0].At("bundle").str;
+  ASSERT_FALSE(bundle_path.empty());
+  const std::string bundle_text = ReadWholeFile(bundle_path);
+  ASSERT_FALSE(bundle_text.empty());
+  json_lite::JsonValue bundle;
+  json_lite::JsonParser bundle_parser(bundle_text);
+  ASSERT_TRUE(bundle_parser.Parse(&bundle));
+  EXPECT_EQ(bundle.At("meta").At("slow_reason").str, "threshold");
+  EXPECT_EQ(bundle.At("analyze").type, json_lite::JsonValue::Type::kObject);
+  const json_lite::JsonValue& events = bundle.At("trace").At("traceEvents");
+  ASSERT_EQ(events.type, json_lite::JsonValue::Type::kArray);
+  EXPECT_FALSE(events.array.empty());
+
+  fixture.StopAndJoin();
+  EXPECT_EQ(fixture.exit_code(), 0);
+  RemoveTree(spool);
+}
+
+// The telemetry TSan regression: concurrent sessions deposit query-log
+// lines and flight records while a scraper thread hammers /metrics and
+// /slow and an in-process reader snapshots the recorder — every log
+// line must still read back whole (no torn tail).
+TEST(TelemetryConcurrencyTest, QueriesRaceScrapesRecorderAndLog) {
+  const std::string log_path = ::testing::TempDir() + "/telemetry_qlog.jsonl";
+  ::unlink(log_path.c_str());
+  char spool_tmpl[] = "/tmp/dqepspoolXXXXXX";
+  const std::string spool = ::mkdtemp(spool_tmpl);
+  ServerOptions options;
+  options.sessions = 4;
+  options.query_log_path = log_path;
+  options.metrics_port = 0;
+  options.slow_query_ms = 0.001;  // everything slow: maximal bundle traffic
+  options.slow_spool_dir = spool;
+  options.flight_recorder_capacity = 8;
+  ServerFixture fixture(options);
+  ASSERT_TRUE(fixture.started());
+  const int metrics_port = fixture.server().metrics_port();
+  ASSERT_GT(metrics_port, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      HttpGet(metrics_port, "GET /metrics HTTP/1.0");
+      HttpGet(metrics_port, "GET /slow HTTP/1.0");
+      fixture.server().flight_recorder()->Recent(4);
+      fixture.server().flight_recorder()->TemplateStats();
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  });
+
+  constexpr int kClients = 3;
+  constexpr int kQueries = 15;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto conn = fixture.Connect();
+      if (conn == nullptr) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kQueries; ++i) {
+        QueryResponse response = RoundTrip(
+            conn.get(), "SELECT * FROM R1 WHERE R1.s < " +
+                            std::to_string(200 + c * 100 + i));
+        if (!response.ok) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (!RoundTrip(conn.get(), "\\top").ok ||
+            !RoundTrip(conn.get(), "\\slow 2").ok) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(failures.load(), 0);
+  fixture.StopAndJoin();
+  EXPECT_EQ(fixture.exit_code(), 0);
+
+  // The torn-tail regression: every concurrently-appended line parses.
+  int64_t skipped = 0;
+  Result<std::vector<obs::QueryLogRecord>> records =
+      obs::LoadQueryLog(log_path, &skipped);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(skipped, 0);
+  EXPECT_EQ(records->size(), static_cast<size_t>(kClients) * kQueries);
+  ::unlink(log_path.c_str());
+  RemoveTree(spool);
 }
 
 }  // namespace

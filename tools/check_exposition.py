@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format exposition (the /metrics payload).
+
+A small strict parser for the subset dqep emits — enough to catch the
+real failure modes of a hand-rolled renderer:
+
+  * malformed lines (bad metric names, missing values, stray text),
+  * samples with no preceding # TYPE for their family,
+  * counters or histogram components with negative values,
+  * histograms whose cumulative buckets decrease, whose +Inf bucket is
+    missing, or whose _count disagrees with the +Inf bucket,
+  * histograms with a _sum/_count but no buckets (or vice versa).
+
+Usage:
+
+    check_exposition.py [--require FAMILY]... [FILE]
+
+Reads FILE (or stdin) and exits 0 when the exposition is well-formed
+and every --require'd family has at least one sample; 1 otherwise,
+with one line per violation on stderr.  The telemetry step in
+tools/run_checks.sh scrapes a live dqep_server and pipes the body
+through this check.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{label="value",...} value  — labels and value separated by spaces.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+
+
+def family_of(name):
+    """Strips a component suffix to recover the declared family name."""
+    for suffix in SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(text):
+    """Returns a dict of labels, or None when the block is malformed."""
+    inner = text[1:-1].strip()
+    if not inner:
+        return {}
+    labels = {}
+    for part in inner.split(","):
+        part = part.strip()
+        if not LABEL_RE.match(part):
+            return None
+        key, _, value = part.partition("=")
+        labels[key] = value[1:-1]
+    return labels
+
+
+class Exposition:
+    def __init__(self):
+        self.types = {}     # family -> counter|gauge|histogram|...
+        self.samples = []   # (line_no, name, labels, value)
+        self.errors = []
+
+    def error(self, line_no, message):
+        self.errors.append(f"line {line_no}: {message}")
+
+
+def parse(text):
+    exposition = Exposition()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                exposition.error(line_no, f"malformed comment: {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    exposition.error(line_no,
+                                     f"unknown TYPE {parts[3]!r}")
+                elif parts[2] in exposition.types:
+                    exposition.error(line_no,
+                                     f"duplicate TYPE for {parts[2]}")
+                else:
+                    exposition.types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        match = SAMPLE_RE.match(line)
+        if not match:
+            exposition.error(line_no, f"malformed sample: {line!r}")
+            continue
+        labels = {}
+        if match.group("labels"):
+            labels = parse_labels(match.group("labels"))
+            if labels is None:
+                exposition.error(line_no,
+                                 f"malformed labels: {line!r}")
+                continue
+        value = parse_value(match.group("value"))
+        if value is None:
+            exposition.error(
+                line_no, f"non-numeric value {match.group('value')!r}")
+            continue
+        exposition.samples.append(
+            (line_no, match.group("name"), labels, value))
+    return exposition
+
+
+def check(exposition):
+    # Every sample must belong to a TYPE'd family.
+    for line_no, name, _, _ in exposition.samples:
+        if family_of(name) not in exposition.types and \
+                name not in exposition.types:
+            exposition.error(line_no,
+                             f"sample {name} has no # TYPE declaration")
+
+    # Group histogram components by (family, non-le labels).
+    histograms = {}
+    for line_no, name, labels, value in exposition.samples:
+        family = family_of(name)
+        kind = exposition.types.get(family) or exposition.types.get(name)
+        if kind == "counter" and value < 0:
+            exposition.error(line_no, f"counter {name} is negative")
+        if kind != "histogram":
+            continue
+        series = tuple(sorted((k, v) for k, v in labels.items()
+                              if k != "le"))
+        entry = histograms.setdefault((family, series), {
+            "buckets": [], "sum": None, "count": None, "line": line_no})
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                exposition.error(line_no, f"{name} has no le label")
+                continue
+            bound = parse_value(labels["le"])
+            if bound is None:
+                exposition.error(
+                    line_no, f"{name} has non-numeric le {labels['le']!r}")
+                continue
+            entry["buckets"].append((line_no, bound, value))
+        elif name.endswith("_sum"):
+            entry["sum"] = value
+        elif name.endswith("_count"):
+            entry["count"] = value
+        else:
+            exposition.error(
+                line_no, f"unexpected histogram sample {name}")
+
+    for (family, series), entry in histograms.items():
+        label_text = "{" + ",".join(f"{k}={v}" for k, v in series) + "}" \
+            if series else ""
+        where = f"{family}{label_text}"
+        buckets = sorted(entry["buckets"], key=lambda b: b[1])
+        if not buckets:
+            exposition.error(entry["line"], f"{where} has no buckets")
+            continue
+        previous = -1.0
+        for line_no, bound, value in buckets:
+            if value < previous:
+                exposition.error(
+                    line_no,
+                    f"{where} bucket le={bound} decreases "
+                    f"({value} < {previous})")
+            previous = value
+        inf = [b for b in buckets if math.isinf(b[1])]
+        if not inf:
+            exposition.error(entry["line"], f"{where} has no +Inf bucket")
+        elif entry["count"] is None:
+            exposition.error(entry["line"], f"{where} has no _count")
+        elif inf[0][2] != entry["count"]:
+            exposition.error(
+                entry["line"],
+                f"{where} _count {entry['count']} != +Inf bucket "
+                f"{inf[0][2]}")
+        if entry["count"] is not None and entry["count"] > 0 and \
+                entry["sum"] is None:
+            exposition.error(entry["line"], f"{where} has no _sum")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus text exposition.")
+    parser.add_argument("file", nargs="?", default="-",
+                        help="exposition file (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless this family has a sample "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    exposition = parse(text)
+    check(exposition)
+    seen = {family_of(name) for _, name, _, _ in exposition.samples}
+    seen.update(name for _, name, _, _ in exposition.samples)
+    for family in args.require:
+        if family not in seen:
+            exposition.errors.append(
+                f"required family {family} has no samples")
+
+    for error in exposition.errors:
+        print(f"check_exposition: {error}", file=sys.stderr)
+    if exposition.errors:
+        return 1
+    histogram_count = sum(
+        1 for t in exposition.types.values() if t == "histogram")
+    print(f"check_exposition: ok ({len(exposition.samples)} samples, "
+          f"{len(exposition.types)} families, "
+          f"{histogram_count} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

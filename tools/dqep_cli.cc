@@ -47,7 +47,12 @@
 //                              running dqep_server (unix socket path, or
 //                              a bare port for TCP to localhost) instead
 //                              of embedding the engine.  All other flags
-//                              are ignored; session state lives serverside
+//                              are ignored; session state lives serverside.
+//                              Extra server-side commands: \top (live
+//                              sessions + admission pool), \slow [n]
+//                              (flight-recorder ring), \stats template
+//                              <fp> (per-template latency/decision
+//                              stats), \metrics json
 //
 // Reads one command per line from stdin:
 //
@@ -373,11 +378,14 @@ class Shell {
         obs::MetricsRegistry::Instance().ResetAll();
         std::printf("metrics reset (counters, maxima, and histograms "
                     "zeroed; gauges keep their current state)\n");
+      } else if (arg == "json") {
+        std::fputs(obs::MetricsRegistry::Instance().RenderJson().c_str(),
+                   stdout);
       } else if (arg.empty()) {
         std::fputs(obs::MetricsRegistry::Instance().RenderText().c_str(),
                    stdout);
       } else {
-        std::printf("usage: \\metrics [reset]\n");
+        std::printf("usage: \\metrics [reset|json]\n");
       }
       return true;
     }
@@ -844,7 +852,9 @@ int RunClient(const std::string& target) {
   server::LineChannel channel(fd);
   const bool interactive = isatty(fileno(stdin)) != 0;
   if (interactive) {
-    std::printf("connected to %s — type SQL or \\quit\n", target.c_str());
+    std::printf("connected to %s — type SQL, \\top, \\slow, "
+                "\\stats template <fp>, \\metrics [json], or \\quit\n",
+                target.c_str());
   }
   std::string line;
   while (interactive && (std::printf("dqep> "), std::fflush(stdout), true),
@@ -1029,7 +1039,9 @@ int main(int argc, char** argv) {
           "                           dynamic plan); \\cache in the shell "
           "shows hits/misses\n"
           "  --connect=SOCK|PORT      client mode: talk to a running "
-          "dqep_server (unix socket path or localhost TCP port)\n"
+          "dqep_server (unix socket path or localhost TCP port);\n"
+          "                           server-side \\top, \\slow [n], "
+          "\\stats template <fp>, \\metrics [json] work over the wire\n"
           "  --reopt=on|off           mid-query re-optimization: runtime "
           "cardinality checkpoints at pipeline breakers\n"
           "                           re-enter the decision procedure for "

@@ -37,6 +37,17 @@
 //                           runs ($DQEP_QUERY_LOG sets the default)
 //   --trace-out=FILE        write Chrome-trace JSON at shutdown, one
 //                           track per session
+//   --metrics-port=N        Prometheus exposition endpoint on
+//                           127.0.0.1:N (0 = ephemeral, printed at
+//                           startup; default off).  GET /metrics,
+//                           /metrics.json, /slow
+//   --slow-query-ms=MS      flight-recorder slow threshold; queries past
+//                           it (or past their template's rolling p99)
+//                           spool a trace+analyze bundle (default 0 =
+//                           p99 rule only)
+//   --slow-spool=DIR        bundle spool directory (default off)
+//   --flight-recorder=N     flight-recorder ring capacity (default 64,
+//                           0 = off; \slow and \stats read it)
 //
 // Clients: `dqep_cli --connect=PATH` (interactive), or any line-protocol
 // speaker — send one SQL line, read "*"-prefixed rows until an "@ok"/
@@ -132,6 +143,27 @@ int main(int argc, char** argv) {
       query_log_flag_seen = true;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       options.trace_path = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-port=", 15) == 0) {
+      options.metrics_port = std::atoi(arg + 15);
+      if (options.metrics_port < 0 || options.metrics_port > 65535) {
+        std::fprintf(stderr, "--metrics-port must be in [0, 65535]\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--slow-query-ms=", 16) == 0) {
+      options.slow_query_ms = std::atof(arg + 16);
+      if (options.slow_query_ms < 0) {
+        std::fprintf(stderr, "--slow-query-ms must be >= 0\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--slow-spool=", 13) == 0) {
+      options.slow_spool_dir = arg + 13;
+    } else if (std::strncmp(arg, "--flight-recorder=", 18) == 0) {
+      long capacity = std::atol(arg + 18);
+      if (capacity < 0 || capacity > 65536) {
+        std::fprintf(stderr, "--flight-recorder must be in [0, 65536]\n");
+        return 1;
+      }
+      options.flight_recorder_capacity = static_cast<size_t>(capacity);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: dqep_server --socket=PATH [flags]\n"
@@ -156,7 +188,15 @@ int main(int argc, char** argv) {
           "128)\n"
           "  --query-log=FILE        JSONL query log; seeds the cost "
           "throttle\n"
-          "  --trace-out=FILE        Chrome-trace JSON at shutdown\n");
+          "  --trace-out=FILE        Chrome-trace JSON at shutdown\n"
+          "  --metrics-port=N        Prometheus endpoint on 127.0.0.1:N "
+          "(0 = ephemeral; default off)\n"
+          "  --slow-query-ms=MS      flight-recorder slow threshold "
+          "(default 0 = template-p99 rule only)\n"
+          "  --slow-spool=DIR        slow-query bundle directory "
+          "(default off)\n"
+          "  --flight-recorder=N     flight-recorder ring capacity "
+          "(default 64, 0 = off)\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", arg);
@@ -186,6 +226,11 @@ int main(int argc, char** argv) {
               server.options().sessions == 1 ? "" : "s",
               server.options().pool_pages > 0 ? ", memory pool on" : "",
               server.options().throttle_rate > 0 ? ", cost throttle on" : "");
+  if (server.metrics_port() > 0) {
+    // Scrapers parse this line to find an ephemeral --metrics-port=0.
+    std::printf("dqep_server: metrics on http://127.0.0.1:%d/metrics\n",
+                server.metrics_port());
+  }
   std::fflush(stdout);
   const int code = server.Serve();
   std::printf("dqep_server: drained, exiting\n");

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Build-and-test gauntlet: the bench-schema gate, the plain tree (full
 # suite), the plan-cache amortization gate, the multi-session server
-# gate, the mid-query re-optimization gate, then the ThreadSanitizer and
+# gate, the mid-query re-optimization gate, the live telemetry scrape
+# gate, then the ThreadSanitizer and
 # AddressSanitizer trees over the labeled suites (parallel, spill, obs,
 # cache, server, reopt — the obs label includes the calibration feedback
 # tests).  One command for the checks
@@ -12,6 +13,7 @@
 #   tools/run_checks.sh cachebench       # plan-cache amortization gate
 #   tools/run_checks.sh serverbench      # multi-session server gate
 #   tools/run_checks.sh reoptbench       # mid-query re-optimization gate
+#   tools/run_checks.sh telemetry        # live /metrics scrape gate
 #   tools/run_checks.sh tsan asan        # just the sanitizer trees
 #
 # Exits non-zero on the first failing step.  Sanitizer trees live in
@@ -21,7 +23,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-steps="${*:-bench plain cachebench serverbench reoptbench tsan asan}"
+steps="${*:-bench plain cachebench serverbench reoptbench telemetry tsan asan}"
 labels='parallel|spill|obs|cache|server|reopt'
 
 for step in $steps; do
@@ -73,6 +75,7 @@ rows = {r["name"]: r for r in json.load(open("build/BENCH_server.json"))["rows"]
 on, off = rows["server/cache_on"], rows["server/cache_off"]
 pool = rows["server/memory_pool"]
 throttled = rows["server/throttle_on"]
+scrape = rows["server/scrape_on"]
 assert on["errors"] == 0 and off["errors"] == 0 and pool["errors"] == 0, \
     "server bench saw query errors"
 assert on["hit_rate"] >= 0.8, \
@@ -85,11 +88,83 @@ assert pool["forced_overflows"] == 0, \
     f"admitted queries forced {pool['forced_overflows']} spill overflows"
 assert throttled["qps_ratio"] <= 0.8, \
     f"cost throttle did not throttle: qps ratio {throttled['qps_ratio']:.2f}"
+# The headline claim is < 1.05 (scraping is off the query path); the
+# gate allows run-to-run p50 jitter between two separate server runs.
+assert scrape["errors"] == 0, "scrape scenario saw query errors"
+assert scrape["scrape_p50_ratio"] <= 1.25, \
+    f"1 Hz scraping cost p50 {scrape['scrape_p50_ratio']:.2f}x > 1.25x"
 print(f"serverbench: {off['p50_speedup']:.2f}x p50 speedup at hit rate "
       f"{on['hit_rate']:.2f}; pool peak {pool['peak_granted_pages']:.0f}/"
       f"{pool['pool_pages']:.0f} pages, {pool['forced_overflows']:.0f} forced "
-      f"overflows; throttle qps ratio {throttled['qps_ratio']:.2f}")
+      f"overflows; throttle qps ratio {throttled['qps_ratio']:.2f}; "
+      f"scrape p50 ratio {scrape['scrape_p50_ratio']:.2f}")
 EOF
+      ;;
+    telemetry)
+      # End-to-end exposition gate: boot a real dqep_server on an
+      # ephemeral metrics port, push queries through dqep_cli, scrape
+      # /metrics over HTTP, and strict-parse the payload with
+      # tools/check_exposition.py (line grammar, monotone cumulative
+      # buckets, _count == +Inf, required families).  A near-zero slow
+      # threshold makes every query spool a flight-recorder bundle, so
+      # the step also proves /slow, /metrics.json, and the bundles are
+      # valid JSON.  Re-validates the checked-in bench baselines too —
+      # the telemetry tables in EXPERIMENTS.md are built from them.
+      echo "== telemetry: live exposition scrape gate =="
+      cmake -B build -S . >/dev/null
+      cmake --build build -j --target dqep_server_bin dqep_cli
+      python3 tools/bench_diff.py --validate BENCH_*.json
+      tele_dir="$(mktemp -d)"
+      build/tools/dqep_server --socket="$tele_dir/s" --metrics-port=0 \
+        --pool-pages=256 --slow-query-ms=0.001 \
+        --slow-spool="$tele_dir/spool" > "$tele_dir/server.log" &
+      tele_pid=$!
+      trap 'kill "$tele_pid" 2>/dev/null || true' EXIT
+      for _ in $(seq 1 100); do
+        grep -q "metrics on http" "$tele_dir/server.log" && break
+        sleep 0.1
+      done
+      tele_port="$(sed -n \
+        's#.*metrics on http://127.0.0.1:\([0-9]*\)/metrics#\1#p' \
+        "$tele_dir/server.log")"
+      test -n "$tele_port"
+      for i in 1 2 3 4 5 6; do
+        echo "SELECT * FROM R1 WHERE R1.s < $((i * 100))"
+      done | build/tools/dqep_cli --connect="$tele_dir/s" >/dev/null
+      python3 -c "import urllib.request, sys
+sys.stdout.write(urllib.request.urlopen(
+    'http://127.0.0.1:$tele_port/metrics', timeout=10).read().decode())" \
+        > "$tele_dir/metrics.txt"
+      python3 tools/check_exposition.py "$tele_dir/metrics.txt" \
+        --require dqep_server_session_queries \
+        --require dqep_server_query_latency_seconds \
+        --require dqep_server_admission_queue_wait_seconds \
+        --require dqep_template_latency_seconds \
+        --require dqep_obs_flight_recorded
+      python3 - "$tele_port" "$tele_dir/spool" <<'EOF'
+import glob
+import json
+import sys
+import urllib.request
+
+port, spool = sys.argv[1], sys.argv[2]
+slow = json.load(urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/slow", timeout=10))
+assert isinstance(slow, list) and slow, "no flight-recorder entries"
+json.load(urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics.json", timeout=10))
+bundles = glob.glob(spool + "/slow-*.json")
+assert bundles, "no slow-query bundles spooled"
+doc = json.load(open(bundles[0]))
+assert "meta" in doc and "trace" in doc and doc["trace"]["traceEvents"], \
+    "incomplete bundle"
+print(f"telemetry: {len(slow)} recorder entries, "
+      f"{len(bundles)} spooled bundles ok")
+EOF
+      kill "$tele_pid"
+      wait "$tele_pid"
+      trap - EXIT
+      rm -rf "$tele_dir"
       ;;
     reoptbench)
       # Functional gate on within-run invariants, machine-speed proof:
@@ -145,7 +220,7 @@ GATE
       ;;
     *)
       echo "unknown step: $step (want bench, plain, cachebench," \
-           "serverbench, reoptbench, tsan, asan)" >&2
+           "serverbench, reoptbench, telemetry, tsan, asan)" >&2
       exit 2
       ;;
   esac
