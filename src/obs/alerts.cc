@@ -1,0 +1,230 @@
+#include "obs/alerts.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace dqep {
+namespace obs {
+
+std::string SloTemplateScope(uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "template:0x%016" PRIx64, fingerprint);
+  return buf;
+}
+
+SloBurnTracker::SloBurnTracker(SloBurnOptions options)
+    : options_(std::move(options)) {}
+
+void SloBurnTracker::SetAlertHook(AlertHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hook_ = std::move(hook);
+}
+
+double SloBurnTracker::Now() const {
+  if (options_.clock) {
+    return options_.clock();
+  }
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SloBurnTracker::Window::Add(double now, bool is_bad) {
+  events.emplace_back(now, is_bad);
+  if (is_bad) {
+    ++bad;
+  }
+}
+
+void SloBurnTracker::Window::Prune(double horizon) {
+  while (!events.empty() && events.front().first < horizon) {
+    if (events.front().second) {
+      --bad;
+    }
+    events.pop_front();
+  }
+}
+
+double SloBurnTracker::BurnOf(const Window& w) const {
+  int64_t total = w.total();
+  if (total == 0) {
+    return 0.0;
+  }
+  double error_rate =
+      static_cast<double>(w.bad) / static_cast<double>(total);
+  double budget = 1.0 - options_.slo_target;
+  if (budget <= 0.0) {
+    return error_rate > 0.0 ? 1e9 : 0.0;
+  }
+  return error_rate / budget;
+}
+
+void SloBurnTracker::FoldLocked(Scope* scope, const std::string& scope_name,
+                                double now, bool bad,
+                                std::vector<SloAlertEvent>* events) {
+  scope->fast.Add(now, bad);
+  scope->slow.Add(now, bad);
+  scope->fast.Prune(now - options_.fast_window_seconds);
+  scope->slow.Prune(now - options_.slow_window_seconds);
+  double fast = BurnOf(scope->fast);
+  double slow = BurnOf(scope->slow);
+  if (!scope->firing) {
+    if (scope->fast.total() >= options_.min_window_samples &&
+        fast >= options_.fire_burn_rate && slow >= options_.fire_burn_rate) {
+      scope->firing = true;
+      ++fired_;
+      events->push_back(SloAlertEvent{scope_name, true, fast, slow});
+    }
+  } else if (fast <= options_.resolve_burn_rate) {
+    scope->firing = false;
+    ++resolved_;
+    events->push_back(SloAlertEvent{scope_name, false, fast, slow});
+  }
+}
+
+void SloBurnTracker::Record(uint64_t fingerprint, double seconds) {
+  if (!enabled()) {
+    return;
+  }
+  double now = Now();
+  bool bad = seconds > options_.slo_seconds;
+  std::vector<SloAlertEvent> events;
+  AlertHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FoldLocked(&server_, "server", now, bad, &events);
+    FoldLocked(&templates_[fingerprint], SloTemplateScope(fingerprint), now,
+               bad, &events);
+    hook = hook_;
+  }
+  if (hook) {
+    for (const SloAlertEvent& event : events) {
+      hook(event);
+    }
+  }
+}
+
+SloScopeView SloBurnTracker::ViewOfLocked(const std::string& name,
+                                          const Scope& scope,
+                                          double now) const {
+  // Snapshot must not mutate (const); view a pruned copy of the windows
+  // so burn rates reflect "now", not the last Record.
+  Window fast = scope.fast;
+  Window slow = scope.slow;
+  fast.Prune(now - options_.fast_window_seconds);
+  slow.Prune(now - options_.slow_window_seconds);
+  SloScopeView view;
+  view.scope = name;
+  view.fast_burn = BurnOf(fast);
+  view.slow_burn = BurnOf(slow);
+  view.firing = scope.firing;
+  view.fast_total = fast.total();
+  view.fast_bad = fast.bad;
+  view.slow_total = slow.total();
+  view.slow_bad = slow.bad;
+  return view;
+}
+
+std::vector<SloScopeView> SloBurnTracker::Snapshot() const {
+  std::vector<SloScopeView> out;
+  if (!enabled()) {
+    return out;
+  }
+  double now = Now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(1 + templates_.size());
+  out.push_back(ViewOfLocked("server", server_, now));
+  for (const auto& [fp, scope] : templates_) {
+    out.push_back(ViewOfLocked(SloTemplateScope(fp), scope, now));
+  }
+  return out;
+}
+
+std::string SloBurnTracker::RenderText() const {
+  if (!enabled()) {
+    return "slo alerting: disabled (start the server with --slo-ms)\n";
+  }
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "slo: %.3fms at %.4f (fast %.0fs / slow %.0fs, fire >= %.2f,"
+                " resolve <= %.2f)\n",
+                options_.slo_seconds * 1e3, options_.slo_target,
+                options_.fast_window_seconds, options_.slow_window_seconds,
+                options_.fire_burn_rate, options_.resolve_burn_rate);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "alerts fired=%" PRId64 " resolved=%" PRId64 "\n",
+                alerts_fired(), alerts_resolved());
+  out += line;
+  for (const SloScopeView& v : Snapshot()) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s %s fast=%.3f (%" PRId64 "/%" PRId64
+                  ") slow=%.3f (%" PRId64 "/%" PRId64 ")\n",
+                  v.scope.c_str(), v.firing ? "FIRING " : "ok     ",
+                  v.fast_burn, v.fast_bad, v.fast_total, v.slow_burn,
+                  v.slow_bad, v.slow_total);
+    out += line;
+  }
+  return out;
+}
+
+std::string SloBurnTracker::RenderPrometheus() const {
+  if (!enabled()) {
+    return std::string();
+  }
+  auto all = Snapshot();
+  std::string out;
+  char line[256];
+  out += "# HELP dqep_slo_burn_rate Error-budget burn rate per scope and "
+         "window (1.0 == exactly on budget).\n";
+  out += "# TYPE dqep_slo_burn_rate gauge\n";
+  for (const SloScopeView& v : all) {
+    std::snprintf(line, sizeof(line),
+                  "dqep_slo_burn_rate{scope=\"%s\",window=\"fast\"} %.9g\n",
+                  v.scope.c_str(), v.fast_burn);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "dqep_slo_burn_rate{scope=\"%s\",window=\"slow\"} %.9g\n",
+                  v.scope.c_str(), v.slow_burn);
+    out += line;
+  }
+  out += "# HELP dqep_slo_alert_firing Whether the scope's burn-rate alert "
+         "is currently firing.\n";
+  out += "# TYPE dqep_slo_alert_firing gauge\n";
+  for (const SloScopeView& v : all) {
+    std::snprintf(line, sizeof(line),
+                  "dqep_slo_alert_firing{scope=\"%s\"} %d\n", v.scope.c_str(),
+                  v.firing ? 1 : 0);
+    out += line;
+  }
+  out += "# HELP dqep_slo_alerts_fired_total Burn-rate alerts fired.\n";
+  out += "# TYPE dqep_slo_alerts_fired_total counter\n";
+  std::snprintf(line, sizeof(line), "dqep_slo_alerts_fired_total %" PRId64
+                "\n",
+                alerts_fired());
+  out += line;
+  out += "# HELP dqep_slo_alerts_resolved_total Burn-rate alerts "
+         "resolved.\n";
+  out += "# TYPE dqep_slo_alerts_resolved_total counter\n";
+  std::snprintf(line, sizeof(line),
+                "dqep_slo_alerts_resolved_total %" PRId64 "\n",
+                alerts_resolved());
+  out += line;
+  return out;
+}
+
+int64_t SloBurnTracker::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+int64_t SloBurnTracker::alerts_resolved() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resolved_;
+}
+
+}  // namespace obs
+}  // namespace dqep

@@ -1,0 +1,174 @@
+// SLO burn-rate alerting: multi-window error-budget tracking against a
+// latency objective, per server and per template.
+//
+// The objective is "`slo_target` of queries finish within `slo_seconds`"
+// (e.g. 99% under 50ms).  Every completed query is classified good/bad
+// and folded into two sliding windows — a fast window (~1 minute) that
+// reacts to spikes, and a slow window (~10 minutes) that confirms them.
+// The burn rate of a window is
+//
+//     burn = (bad / total) / (1 - slo_target)
+//
+// i.e. how many times faster than "exactly on budget" the error budget
+// is being consumed: 1.0 burns the whole budget over the SLO period,
+// 0 means no errors.  An alert *fires* when BOTH windows reach the fire
+// threshold (the fast window alone is noisy; the slow window alone is
+// sluggish — requiring both is the standard multi-window burn-rate
+// recipe), and *resolves* once the fast window falls to the resolve
+// threshold (hysteresis: resolve < fire, so the alert does not flap on
+// a burn rate hovering at the boundary).
+//
+// Alerts are tracked for the server as a whole (scope "server") and for
+// each template fingerprint (scope "template:0x<fp>").  Transitions are
+// delivered through an optional hook — the server forwards them to the
+// flight recorder — and the current state is exported as
+// `dqep_slo_burn_rate{scope=...,window=...}` gauges plus
+// `dqep_slo_alert_firing{scope=...}`.
+//
+// Determinism: the clock is injected (steady_clock by default), so
+// tests drive window expiry explicitly.
+//
+// Thread-safety: one mutex guards all state; the hook is invoked
+// OUTSIDE the lock (it may itself take locks, e.g. the flight
+// recorder's).
+
+#ifndef DQEP_OBS_ALERTS_H_
+#define DQEP_OBS_ALERTS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dqep {
+namespace obs {
+
+struct SloBurnOptions {
+  /// Latency objective in seconds; <= 0 disables the tracker (Record
+  /// becomes a no-op).
+  double slo_seconds = 0.0;
+
+  /// Fraction of queries that must meet the objective (0 < target < 1).
+  double slo_target = 0.99;
+
+  /// Window lengths in seconds.
+  double fast_window_seconds = 60.0;
+  double slow_window_seconds = 600.0;
+
+  /// Fire when BOTH windows' burn rates reach this.
+  double fire_burn_rate = 1.0;
+
+  /// Resolve once the fast window's burn rate falls to this (must be
+  /// below fire_burn_rate for hysteresis).
+  double resolve_burn_rate = 0.5;
+
+  /// Minimum samples in the fast window before it can vote to fire —
+  /// one bad query out of one total is burn 100/1, not an outage.
+  int64_t min_window_samples = 5;
+
+  /// Injected clock returning seconds (monotonic).  Null uses
+  /// std::chrono::steady_clock.
+  std::function<double()> clock;
+};
+
+/// A fired-or-resolved transition, delivered to the alert hook.
+struct SloAlertEvent {
+  std::string scope;  ///< "server" or "template:0x<fp>"
+  bool firing = false;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+};
+
+/// Current state of one scope, as returned by snapshots.
+struct SloScopeView {
+  std::string scope;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool firing = false;
+  int64_t fast_total = 0;
+  int64_t fast_bad = 0;
+  int64_t slow_total = 0;
+  int64_t slow_bad = 0;
+};
+
+class SloBurnTracker {
+ public:
+  using AlertHook = std::function<void(const SloAlertEvent&)>;
+
+  explicit SloBurnTracker(SloBurnOptions options);
+
+  SloBurnTracker(const SloBurnTracker&) = delete;
+  SloBurnTracker& operator=(const SloBurnTracker&) = delete;
+
+  /// Invoked (outside the lock) on every fire/resolve transition.
+  void SetAlertHook(AlertHook hook);
+
+  bool enabled() const { return options_.slo_seconds > 0.0; }
+  const SloBurnOptions& options() const { return options_; }
+
+  /// Folds one completed query (total wall seconds) into the server
+  /// scope and the template scope.
+  void Record(uint64_t fingerprint, double seconds);
+
+  /// Every scope's current state (windows pruned to now), server first
+  /// then templates by fingerprint.
+  std::vector<SloScopeView> Snapshot() const;
+
+  /// `\alerts`: human-readable state of every scope plus options.
+  std::string RenderText() const;
+
+  /// Prometheus text-format families:
+  /// `dqep_slo_burn_rate{scope=...,window="fast"|"slow"}` and
+  /// `dqep_slo_alert_firing{scope=...}` gauges, plus
+  /// `dqep_slo_alerts_fired_total` / `dqep_slo_alerts_resolved_total`
+  /// counters.
+  std::string RenderPrometheus() const;
+
+  int64_t alerts_fired() const;
+  int64_t alerts_resolved() const;
+
+ private:
+  struct Window {
+    std::deque<std::pair<double, bool>> events;  ///< (when, bad)
+    int64_t bad = 0;
+
+    void Add(double now, bool is_bad);
+    void Prune(double horizon);
+    int64_t total() const { return static_cast<int64_t>(events.size()); }
+  };
+
+  struct Scope {
+    Window fast;
+    Window slow;
+    bool firing = false;
+  };
+
+  double Now() const;
+  double BurnOf(const Window& w) const;
+  /// Prunes, recomputes, and appends any transition to `events`.
+  /// Caller holds the lock.
+  void FoldLocked(Scope* scope, const std::string& scope_name, double now,
+                  bool bad, std::vector<SloAlertEvent>* events);
+  SloScopeView ViewOfLocked(const std::string& name, const Scope& scope,
+                            double now) const;
+
+  const SloBurnOptions options_;
+  AlertHook hook_;
+  mutable std::mutex mutex_;
+  Scope server_;
+  std::map<uint64_t, Scope> templates_;
+  int64_t fired_ = 0;
+  int64_t resolved_ = 0;
+};
+
+/// Formats a template scope name ("template:0x<16-hex-fp>").
+std::string SloTemplateScope(uint64_t fingerprint);
+
+}  // namespace obs
+}  // namespace dqep
+
+#endif  // DQEP_OBS_ALERTS_H_

@@ -1,5 +1,6 @@
 #include "obs/flight_recorder.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
@@ -56,8 +57,36 @@ FlightRecorder::FlightRecorder(FlightRecorderOptions options)
   recorded_ = registry.SharedCounter("obs.flight.recorded");
   slow_ = registry.SharedCounter("obs.flight.slow");
   bundles_ = registry.SharedCounter("obs.flight.bundles");
+  rotated_ = registry.SharedCounter("obs.flight.bundles_rotated");
   if (!options_.spool_dir.empty()) {
     EnsureDir(options_.spool_dir);
+    if (options_.max_spool_bundles > 0) {
+      // Seed the rotation queue with bundles left by a previous run, so
+      // the retention cap holds across restarts.  Names embed the
+      // sequence number, so lexicographic order is spool order.
+      std::vector<std::string> existing;
+      if (DIR* dir = ::opendir(options_.spool_dir.c_str())) {
+        while (struct dirent* entry = ::readdir(dir)) {
+          std::string name = entry->d_name;
+          if (name.rfind("slow-", 0) == 0 &&
+              name.size() > 5 + std::string(".json").size() &&
+              name.compare(name.size() - 5, 5, ".json") == 0) {
+            existing.push_back(options_.spool_dir + "/" + name);
+          }
+        }
+        ::closedir(dir);
+      }
+      std::sort(existing.begin(), existing.end());
+      for (std::string& path : existing) {
+        spool_paths_.push_back(std::move(path));
+      }
+      while (spool_paths_.size() > options_.max_spool_bundles) {
+        if (std::remove(spool_paths_.front().c_str()) == 0) {
+          rotated_->Add(1);
+        }
+        spool_paths_.pop_front();
+      }
+    }
   }
 }
 
@@ -126,8 +155,9 @@ std::shared_ptr<const FlightRecord> FlightRecorder::Record(
       // the sessions racing to deposit their own records.
       std::string path;
       if (WriteBundle(record, &path)) {
-        record.bundle_path = std::move(path);
+        record.bundle_path = path;
         bundles_->Add(1);
+        RotateSpool(path);
       }
     }
   }
@@ -141,6 +171,48 @@ std::shared_ptr<const FlightRecord> FlightRecorder::Record(
     }
   }
   return shared;
+}
+
+void FlightRecorder::RotateSpool(const std::string& path) {
+  std::vector<std::string> victims;
+  {
+    std::lock_guard<std::mutex> lock(spool_mutex_);
+    spool_paths_.push_back(path);
+    if (options_.max_spool_bundles == 0) {
+      return;
+    }
+    while (spool_paths_.size() > options_.max_spool_bundles) {
+      victims.push_back(std::move(spool_paths_.front()));
+      spool_paths_.pop_front();
+    }
+  }
+  for (const std::string& victim : victims) {
+    if (std::remove(victim.c_str()) == 0) {
+      rotated_->Add(1);
+    }
+  }
+}
+
+void FlightRecorder::NoteAlert(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alerts_.push_back(line);
+  while (alerts_.size() > 128) {
+    alerts_.pop_front();
+  }
+}
+
+std::string FlightRecorder::RenderAlertsText(size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (alerts_.empty()) {
+    return "no alert transitions recorded\n";
+  }
+  std::string out;
+  size_t take = std::min(n, alerts_.size());
+  for (size_t i = 0; i < take; ++i) {
+    out += alerts_[alerts_.size() - 1 - i];
+    out += "\n";
+  }
+  return out;
 }
 
 std::vector<std::shared_ptr<const FlightRecord>> FlightRecorder::Recent(
@@ -272,7 +344,7 @@ std::string FlightRecorder::RenderRecentJson(size_t n) const {
 }
 
 std::string FlightRecorder::RenderTemplateStatsText(
-    uint64_t fingerprint) const {
+    uint64_t fingerprint, bool sort_by_regret) const {
   std::string out;
   char line[512];
   if (fingerprint == 0) {
@@ -280,6 +352,24 @@ std::string FlightRecorder::RenderTemplateStatsText(
     if (all.empty()) {
       return "flight recorder: no templates yet\n";
     }
+    // Worst-first, so the template an operator should drill into is the
+    // first line: rolling p99 by default, signed cumulative regret with
+    // `\stats regret`.  Fingerprint breaks ties deterministically.
+    std::stable_sort(all.begin(), all.end(),
+                     [&](const TemplateStatsView& a,
+                         const TemplateStatsView& b) {
+                       double ka = sort_by_regret ? a.regret_seconds
+                                                  : a.PercentileUs(0.99);
+                       double kb = sort_by_regret ? b.regret_seconds
+                                                  : b.PercentileUs(0.99);
+                       if (ka != kb) {
+                         return ka > kb;
+                       }
+                       return a.fingerprint < b.fingerprint;
+                     });
+    std::snprintf(line, sizeof(line), "%zu templates, sorted by %s:\n",
+                  all.size(), sort_by_regret ? "regret" : "p99");
+    out += line;
     for (const auto& t : all) {
       double mean_ms =
           t.count == 0 ? 0.0
@@ -288,10 +378,11 @@ std::string FlightRecorder::RenderTemplateStatsText(
       std::snprintf(line, sizeof(line),
                     "template 0x%016" PRIx64 " count=%" PRId64
                     " mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms"
-                    " slow=%" PRId64 "\n",
+                    " regret=%+.6fs slow=%" PRId64 "\n",
                     t.fingerprint, t.count, mean_ms,
                     t.PercentileUs(0.50) / 1e3, t.PercentileUs(0.95) / 1e3,
-                    t.PercentileUs(0.99) / 1e3, t.slow_count);
+                    t.PercentileUs(0.99) / 1e3, t.regret_seconds,
+                    t.slow_count);
       out += line;
     }
     return out;

@@ -64,6 +64,13 @@ struct FlightRecorderOptions {
   /// Halve the template histogram once its count reaches this many
   /// samples (the "rolling" decay window).
   int64_t decay_every = 1024;
+
+  /// Retain at most this many slow-query bundles in the spool dir; when
+  /// a new bundle pushes past the cap the oldest (by spool order) is
+  /// unlinked.  0 (default) keeps every bundle — PR-9 behavior.
+  /// Rotation happens outside the recorder's main lock, off the
+  /// sessions' hot path.
+  size_t max_spool_bundles = 0;
 };
 
 /// One operator row of a completed query, est-vs-actual (a flattened
@@ -154,10 +161,21 @@ class FlightRecorder {
   /// Newest-first JSON array of recent records (the exporter's /slow).
   std::string RenderRecentJson(size_t n) const;
 
-  /// `\stats template <fp>` / `\stats`: per-template text rendering.
-  /// With `fingerprint` == 0 renders the one-line summary of every
-  /// template; otherwise the full detail of one.
-  std::string RenderTemplateStatsText(uint64_t fingerprint) const;
+  /// `\stats template <fp>` / `\stats [p99|regret]`: per-template text
+  /// rendering.  With `fingerprint` == 0 renders the one-line summary
+  /// of every template, sorted by rolling p99 descending (or signed
+  /// cumulative regret descending when `sort_by_regret`); otherwise the
+  /// full detail of one.
+  std::string RenderTemplateStatsText(uint64_t fingerprint,
+                                      bool sort_by_regret = false) const;
+
+  /// Deposits one alert line (e.g. an SLO burn-rate fire/resolve) into
+  /// a bounded in-memory journal, so `\alerts` can show recent
+  /// transitions next to the live burn rates.
+  void NoteAlert(const std::string& line);
+
+  /// Newest-first text rendering of up to `n` journalled alert lines.
+  std::string RenderAlertsText(size_t n) const;
 
   /// Prometheus text-format families for the exporter: per-template
   /// latency histograms (seconds), query/decision/regret/re-opt
@@ -186,15 +204,25 @@ class FlightRecorder {
   std::string BundleJson(const FlightRecord& record) const;
   bool WriteBundle(const FlightRecord& record, std::string* path) const;
 
+  /// Registers a freshly written bundle and unlinks the oldest ones
+  /// beyond max_spool_bundles.  Guarded by spool_mutex_, never the main
+  /// lock — rotation I/O must not stall depositing sessions.
+  void RotateSpool(const std::string& path);
+
   const FlightRecorderOptions options_;
   mutable std::mutex mutex_;
   int64_t next_sequence_ = 1;
   std::deque<std::shared_ptr<const FlightRecord>> ring_;
   std::map<uint64_t, TemplateEntry> templates_;
+  std::deque<std::string> alerts_;  ///< bounded alert journal
+
+  mutable std::mutex spool_mutex_;
+  std::deque<std::string> spool_paths_;  ///< oldest-first bundle paths
 
   Cell* recorded_ = nullptr;  ///< obs.flight.recorded
   Cell* slow_ = nullptr;      ///< obs.flight.slow
   Cell* bundles_ = nullptr;   ///< obs.flight.bundles
+  Cell* rotated_ = nullptr;   ///< obs.flight.bundles_rotated
 };
 
 }  // namespace obs

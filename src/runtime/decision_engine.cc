@@ -33,6 +33,7 @@ class StartupEvaluator {
         env_(env),
         branch_and_bound_(options.use_branch_and_bound),
         observed_(options.observed_cardinalities),
+        forced_(options.forced_choices),
         trace_(options.trace) {}
 
   struct EvalOut {
@@ -79,6 +80,22 @@ class StartupEvaluator {
       }
       if (best == kInf) {
         return Abort(node, budget);
+      }
+      if (forced_ != nullptr) {
+        // Replay override: resolve to the requested alternative instead of
+        // the cheapest one.  Re-evaluating under an infinite budget revives
+        // alternatives that branch-and-bound abandoned above; the memo makes
+        // the common (already-evaluated) case free.
+        auto forced = forced_->find(node);
+        if (forced != forced_->end() &&
+            forced->second < node->children().size()) {
+          EvalOut alt = Eval(node->child(forced->second).get(), kInf);
+          if (!alt.aborted) {
+            best_index = forced->second;
+            best_estimate = alt.estimate;
+            best = alt.estimate.cost.lo();
+          }
+        }
       }
       choices_[node] = best_index;
       if (trace_ != nullptr) {
@@ -204,6 +221,7 @@ class StartupEvaluator {
   const ParamEnv& env_;
   bool branch_and_bound_;
   const std::unordered_map<const PhysNode*, double>* observed_;
+  const std::unordered_map<const PhysNode*, size_t>* forced_;
   obs::TraceSession* trace_;
   std::unordered_map<const PhysNode*, NodeEstimate> memo_;
   std::unordered_map<const PhysNode*, double> abort_budgets_;

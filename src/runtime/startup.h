@@ -50,6 +50,14 @@ struct StartupOptions {
   /// entry: skips the full-DAG parameter-discovery walk on the hot
   /// resolve path.  Must match the plan being resolved.  Not owned.
   const std::vector<ParamId>* plan_params = nullptr;
+
+  /// Forces specific choose-plan decisions: a node present here resolves
+  /// to the mapped alternative index instead of the cheapest one (every
+  /// alternative is still costed, so StartupResult::alternative_costs
+  /// stays complete).  The oracle-replay driver uses this to measure the
+  /// true cost of the road not taken; out-of-range indices are ignored
+  /// and the decision falls back to the cost comparison.  Not owned.
+  const std::unordered_map<const PhysNode*, size_t>* forced_choices = nullptr;
 };
 
 /// Outcome of resolving one dynamic plan under bound parameters.

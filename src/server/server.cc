@@ -139,7 +139,32 @@ bool DqepServer::Start(std::string* error) {
     flight_options.capacity = options_.flight_recorder_capacity;
     flight_options.slow_query_ms = options_.slow_query_ms;
     flight_options.spool_dir = options_.slow_spool_dir;
+    flight_options.max_spool_bundles = options_.slow_spool_max;
     flight_ = std::make_unique<obs::FlightRecorder>(flight_options);
+  }
+  drift_ = std::make_unique<obs::CalibrationDriftMonitor>();
+  if (options_.slo_ms > 0.0) {
+    if (options_.slo_target <= 0.0 || options_.slo_target >= 1.0) {
+      *error = "--slo-target must be in (0, 1)";
+      return false;
+    }
+    obs::SloBurnOptions slo_options;
+    slo_options.slo_seconds = options_.slo_ms / 1e3;
+    slo_options.slo_target = options_.slo_target;
+    slo_ = std::make_unique<obs::SloBurnTracker>(slo_options);
+    if (flight_ != nullptr) {
+      // Fire/resolve transitions land in the flight recorder's alert
+      // journal so `\alerts` shows recent history, not just live state.
+      obs::FlightRecorder* flight = flight_.get();
+      slo_->SetAlertHook([flight](const obs::SloAlertEvent& event) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%s %s (fast burn %.3f, slow burn %.3f)",
+                      event.firing ? "FIRING" : "resolved",
+                      event.scope.c_str(), event.fast_burn, event.slow_burn);
+        flight->NoteAlert(line);
+      });
+    }
   }
 
   engine_.workload = workload_.get();
@@ -151,17 +176,31 @@ bool DqepServer::Start(std::string* error) {
   engine_.query_log = query_log_.is_open() ? &query_log_ : nullptr;
   engine_.trace = trace_.get();
   engine_.flight = flight_.get();
+  engine_.drift = drift_.get();
+  engine_.slo = slo_.get();
   engine_.reopt_default = options_.reopt;
   engine_.reopt_slack_default = options_.reopt_slack;
 
   if (options_.metrics_port >= 0) {
     obs::MetricsExporterOptions exporter_options;
     exporter_options.port = options_.metrics_port;
+    obs::FlightRecorder* flight = flight_.get();
+    obs::CalibrationDriftMonitor* drift = drift_.get();
+    obs::SloBurnTracker* slo = slo_.get();
+    exporter_options.extra_families = [flight, drift, slo] {
+      std::string out;
+      if (flight != nullptr) {
+        out += flight->RenderPrometheusTemplates();
+      }
+      if (drift != nullptr) {
+        out += drift->RenderPrometheus();
+      }
+      if (slo != nullptr) {
+        out += slo->RenderPrometheus();
+      }
+      return out;
+    };
     if (flight_ != nullptr) {
-      obs::FlightRecorder* flight = flight_.get();
-      exporter_options.extra_families = [flight] {
-        return flight->RenderPrometheusTemplates();
-      };
       exporter_options.slow_json = [flight] {
         return flight->RenderRecentJson(32);
       };

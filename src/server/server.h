@@ -92,8 +92,15 @@ struct ServerOptions {
   double slow_query_ms = 0.0;
   /// Spool directory for slow-query bundles ("" : flag in the ring only).
   std::string slow_spool_dir;
+  /// Retain at most this many slow-query bundles (0: unbounded).
+  size_t slow_spool_max = 0;
   /// Flight-recorder ring capacity (0 disables the recorder entirely).
   size_t flight_recorder_capacity = 64;
+  /// Latency SLO in milliseconds; > 0 enables burn-rate alerting (the
+  /// objective: `slo_target` of queries answer within this).
+  double slo_ms = 0.0;
+  /// Fraction of queries that must meet the SLO (0 < target < 1).
+  double slo_target = 0.99;
 };
 
 class DqepServer {
@@ -126,6 +133,8 @@ class DqepServer {
   AdmissionController* admission() { return admission_.get(); }
   DynamicPlanCache* plan_cache() { return &plan_cache_; }
   obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  obs::CalibrationDriftMonitor* drift_monitor() { return drift_.get(); }
+  obs::SloBurnTracker* slo_tracker() { return slo_.get(); }
   /// The bound telemetry port (resolves an ephemeral request); 0 when
   /// the endpoint is off.
   int metrics_port() const { return exporter_.port(); }
@@ -145,6 +154,8 @@ class DqepServer {
   obs::QueryLogWriter query_log_;
   std::unique_ptr<obs::TraceSession> trace_;
   std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::CalibrationDriftMonitor> drift_;
+  std::unique_ptr<obs::SloBurnTracker> slo_;
   obs::MetricsExporter exporter_;
   SharedEngine engine_;
 

@@ -387,6 +387,7 @@ bool ServerSession::Command(const std::string& line, LineChannel* channel) {
     std::string arg;
     in >> arg;
     uint64_t fingerprint = 0;
+    bool sort_by_regret = false;
     if (arg == "template") {
       std::string fp_text;
       in >> fp_text;
@@ -394,17 +395,37 @@ bool ServerSession::Command(const std::string& line, LineChannel* channel) {
       fingerprint = std::strtoull(fp_text.c_str(), &end, 16);
       if (fp_text.empty() || end == nullptr || *end != '\0' ||
           fingerprint == 0) {
-        channel->WriteAll(
-            FormatErrLine("usage: \\stats [template <hex fingerprint>]"));
+        channel->WriteAll(FormatErrLine(
+            "usage: \\stats [p99|regret|template <hex fingerprint>]"));
         return true;
       }
-    } else if (!arg.empty()) {
-      channel->WriteAll(
-          FormatErrLine("usage: \\stats [template <hex fingerprint>]"));
+    } else if (arg == "regret") {
+      sort_by_regret = true;
+    } else if (!arg.empty() && arg != "p99") {
+      channel->WriteAll(FormatErrLine(
+          "usage: \\stats [p99|regret|template <hex fingerprint>]"));
       return true;
     }
-    WriteTextAsRows(engine_->flight->RenderTemplateStatsText(fingerprint),
+    WriteTextAsRows(engine_->flight->RenderTemplateStatsText(fingerprint,
+                                                             sort_by_regret),
                     &out);
+    out += FormatOkLine(0, 0.0, "off");
+    channel->WriteAll(out);
+    return true;
+  }
+  if (command == "\\alerts") {
+    if (engine_->slo == nullptr || !engine_->slo->enabled()) {
+      out = FormatRowLine(
+          "slo alerting: off (start the server with --slo-ms)");
+      out += FormatOkLine(1, 0.0, "off");
+      channel->WriteAll(out);
+      return true;
+    }
+    WriteTextAsRows(engine_->slo->RenderText(), &out);
+    if (engine_->flight != nullptr) {
+      WriteTextAsRows("recent transitions:", &out);
+      WriteTextAsRows(engine_->flight->RenderAlertsText(16), &out);
+    }
     out += FormatOkLine(0, 0.0, "off");
     channel->WriteAll(out);
     return true;
@@ -590,6 +611,13 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
           .count();
   engine_->admission->RecordExecution(planned->fingerprint, exec_seconds);
   info_.SetPeakMemory(ctx->tracker().peak_bytes());
+  if (engine_->drift != nullptr) {
+    // Drift compares modeled seconds (the start-up resolution's
+    // execution-cost estimate for the chosen plan) against measured
+    // execution wall time — the ratio calibration is meant to pin at 1.
+    engine_->drift->Record(planned->fingerprint, startup->execution_cost,
+                           exec_seconds);
+  }
 
   // Both the query log and the (always-on) flight recorder report the
   // resolved plan annotated with compile-time intervals; annotate a
@@ -648,6 +676,12 @@ void ServerSession::RunQuery(const std::string& sql, LineChannel* channel) {
                                     wall_start)
           .count();
   latency_histogram_.Record(static_cast<int64_t>(total_seconds * 1e6));
+  if (engine_->slo != nullptr) {
+    // End-to-end latency (queue wait included) is what the SLO promises
+    // the client; fire/resolve transitions reach the flight recorder
+    // through the server's alert hook.
+    engine_->slo->Record(planned->fingerprint, total_seconds);
+  }
 
   if (want_flight) {
     obs::FlightRecord flight;

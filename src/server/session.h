@@ -44,6 +44,8 @@
 #include <atomic>
 
 #include "exec/exec_context.h"
+#include "obs/alerts.h"
+#include "obs/drift.h"
 #include "obs/flight_recorder.h"
 #include "obs/querylog.h"
 #include "obs/trace.h"
@@ -120,6 +122,8 @@ class SharedEngine {
   obs::QueryLogWriter* query_log = nullptr;     ///< null/closed: logging off
   obs::TraceSession* trace = nullptr;           ///< null: tracing off
   obs::FlightRecorder* flight = nullptr;        ///< null: recorder off
+  obs::CalibrationDriftMonitor* drift = nullptr;  ///< null: drift off
+  obs::SloBurnTracker* slo = nullptr;           ///< null: SLO alerting off
 
   /// Server-wide defaults for per-session mid-query re-optimization
   /// (--reopt / --reopt-slack; \reopt overrides per session).

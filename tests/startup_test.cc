@@ -174,6 +174,80 @@ TEST_F(StartupTest, ModeledCpuTracksEvaluations) {
                        startup->cost_evaluations, startup->decisions));
 }
 
+TEST_F(StartupTest, ForcedChoicesOverrideCostComparison) {
+  // Replay support: forcing every decision to alternative i must resolve
+  // to exactly that road, while the normal cost comparison still records
+  // every alternative's cost for reporting.
+  Query query = workload_->ChainQuery(3);
+  OptimizedPlan plan = OptimizeDynamic(query, false);
+  Rng rng(10);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  auto baseline = ResolveDynamicPlan(plan.root, workload_->model(), bound);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_FALSE(baseline->choices.empty());
+
+  // Force each decision, one at a time, to every alternative in turn.
+  for (const auto& [node, chosen] : baseline->choices) {
+    for (size_t alt = 0; alt < node->children().size(); ++alt) {
+      std::unordered_map<const PhysNode*, size_t> force{{node, alt}};
+      StartupOptions options;
+      options.forced_choices = &force;
+      auto forced =
+          ResolveDynamicPlan(plan.root, workload_->model(), bound, options);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->choices.at(node), alt);
+      EXPECT_EQ(forced->resolved->CountChooseNodes(), 0);
+      // Alternative costs are still complete: the forced run and the
+      // baseline costed the same roads.
+      ASSERT_TRUE(forced->alternative_costs.count(node));
+      EXPECT_EQ(forced->alternative_costs.at(node),
+                baseline->alternative_costs.at(node));
+      if (alt == chosen) {
+        EXPECT_DOUBLE_EQ(forced->execution_cost, baseline->execution_cost);
+      } else {
+        EXPECT_GE(forced->execution_cost + 1e-12, baseline->execution_cost);
+      }
+    }
+  }
+
+  // Out-of-range indices fall back to the cost comparison.
+  const PhysNode* any = baseline->choices.begin()->first;
+  std::unordered_map<const PhysNode*, size_t> bogus{{any, 1000}};
+  StartupOptions options;
+  options.forced_choices = &bogus;
+  auto fallback =
+      ResolveDynamicPlan(plan.root, workload_->model(), bound, options);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_DOUBLE_EQ(fallback->execution_cost, baseline->execution_cost);
+}
+
+TEST_F(StartupTest, ForcedChoicesReviveBranchAndBoundAborts) {
+  // Branch-and-bound abandons expensive alternatives mid-evaluation;
+  // forcing one must still resolve to it (re-descent at infinite budget).
+  Query query = workload_->ChainQuery(4);
+  OptimizedPlan plan = OptimizeDynamic(query, false);
+  Rng rng(11);
+  ParamEnv bound = workload_->DrawBindings(&rng, query, false);
+  auto baseline = ResolveDynamicPlan(plan.root, workload_->model(), bound);
+  ASSERT_TRUE(baseline.ok());
+  for (const auto& [node, chosen] : baseline->choices) {
+    for (size_t alt = 0; alt < node->children().size(); ++alt) {
+      if (alt == chosen) {
+        continue;
+      }
+      std::unordered_map<const PhysNode*, size_t> force{{node, alt}};
+      StartupOptions options;
+      options.use_branch_and_bound = true;
+      options.forced_choices = &force;
+      auto forced =
+          ResolveDynamicPlan(plan.root, workload_->model(), bound, options);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->choices.at(node), alt);
+      EXPECT_EQ(forced->resolved->CountChooseNodes(), 0);
+    }
+  }
+}
+
 TEST_F(StartupTest, DifferentBindingsCanYieldDifferentPlans) {
   // The whole point of dynamic plans: low selectivity -> index plan; high
   // selectivity -> file scan.

@@ -46,6 +46,14 @@
 //                           spool a trace+analyze bundle (default 0 =
 //                           p99 rule only)
 //   --slow-spool=DIR        bundle spool directory (default off)
+//   --slow-spool-max=N      keep at most N bundles in the spool dir,
+//                           rotating the oldest out (default 0 =
+//                           unbounded)
+//   --slo-ms=MS             latency SLO in ms; enables multi-window
+//                           burn-rate alerting per server and template
+//                           (\alerts, dqep_slo_burn_rate families)
+//   --slo-target=F          fraction of queries that must meet the SLO
+//                           (default 0.99)
 //   --flight-recorder=N     flight-recorder ring capacity (default 64,
 //                           0 = off; \slow and \stats read it)
 //
@@ -157,6 +165,25 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--slow-spool=", 13) == 0) {
       options.slow_spool_dir = arg + 13;
+    } else if (std::strncmp(arg, "--slow-spool-max=", 17) == 0) {
+      long max_bundles = std::atol(arg + 17);
+      if (max_bundles < 0) {
+        std::fprintf(stderr, "--slow-spool-max must be >= 0\n");
+        return 1;
+      }
+      options.slow_spool_max = static_cast<size_t>(max_bundles);
+    } else if (std::strncmp(arg, "--slo-ms=", 9) == 0) {
+      options.slo_ms = std::atof(arg + 9);
+      if (options.slo_ms < 0) {
+        std::fprintf(stderr, "--slo-ms must be >= 0\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--slo-target=", 13) == 0) {
+      options.slo_target = std::atof(arg + 13);
+      if (options.slo_target <= 0.0 || options.slo_target >= 1.0) {
+        std::fprintf(stderr, "--slo-target must be in (0, 1)\n");
+        return 1;
+      }
     } else if (std::strncmp(arg, "--flight-recorder=", 18) == 0) {
       long capacity = std::atol(arg + 18);
       if (capacity < 0 || capacity > 65536) {
@@ -195,6 +222,12 @@ int main(int argc, char** argv) {
           "(default 0 = template-p99 rule only)\n"
           "  --slow-spool=DIR        slow-query bundle directory "
           "(default off)\n"
+          "  --slow-spool-max=N      keep at most N slow bundles, rotate "
+          "the oldest (default 0 = unbounded)\n"
+          "  --slo-ms=MS             latency SLO; enables burn-rate "
+          "alerting (default off)\n"
+          "  --slo-target=F          fraction of queries that must meet "
+          "the SLO (default 0.99)\n"
           "  --flight-recorder=N     flight-recorder ring capacity "
           "(default 64, 0 = off)\n");
       return 0;

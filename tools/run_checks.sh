@@ -14,6 +14,7 @@
 #   tools/run_checks.sh serverbench      # multi-session server gate
 #   tools/run_checks.sh reoptbench       # mid-query re-optimization gate
 #   tools/run_checks.sh telemetry        # live /metrics scrape gate
+#   tools/run_checks.sh replay           # oracle-replay scorecard gate
 #   tools/run_checks.sh tsan asan        # just the sanitizer trees
 #
 # Exits non-zero on the first failing step.  Sanitizer trees live in
@@ -23,7 +24,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-steps="${*:-bench plain cachebench serverbench reoptbench telemetry tsan asan}"
+steps="${*:-bench plain cachebench serverbench reoptbench telemetry replay tsan asan}"
 labels='parallel|spill|obs|cache|server|reopt'
 
 for step in $steps; do
@@ -93,11 +94,19 @@ assert throttled["qps_ratio"] <= 0.8, \
 assert scrape["errors"] == 0, "scrape scenario saw query errors"
 assert scrape["scrape_p50_ratio"] <= 1.25, \
     f"1 Hz scraping cost p50 {scrape['scrape_p50_ratio']:.2f}x > 1.25x"
+alert = rows["server/alert_on"]
+assert alert["errors"] == 0 and rows["server/alert_off"]["errors"] == 0, \
+    "alerting scenario saw query errors"
+# Best-of-3 paired runs inside the bench absorbs run-to-run jitter, so
+# the headline <= 1.05 claim is gated directly.
+assert alert["alert_p50_ratio"] <= 1.05, \
+    f"SLO alerting cost p50 {alert['alert_p50_ratio']:.2f}x > 1.05x"
 print(f"serverbench: {off['p50_speedup']:.2f}x p50 speedup at hit rate "
       f"{on['hit_rate']:.2f}; pool peak {pool['peak_granted_pages']:.0f}/"
       f"{pool['pool_pages']:.0f} pages, {pool['forced_overflows']:.0f} forced "
       f"overflows; throttle qps ratio {throttled['qps_ratio']:.2f}; "
-      f"scrape p50 ratio {scrape['scrape_p50_ratio']:.2f}")
+      f"scrape p50 ratio {scrape['scrape_p50_ratio']:.2f}; "
+      f"alert p50 ratio {alert['alert_p50_ratio']:.2f}")
 EOF
       ;;
     telemetry)
@@ -117,7 +126,8 @@ EOF
       tele_dir="$(mktemp -d)"
       build/tools/dqep_server --socket="$tele_dir/s" --metrics-port=0 \
         --pool-pages=256 --slow-query-ms=0.001 \
-        --slow-spool="$tele_dir/spool" > "$tele_dir/server.log" &
+        --slow-spool="$tele_dir/spool" --slow-spool-max=4 \
+        --slo-ms=50 --slo-target=0.99 > "$tele_dir/server.log" &
       tele_pid=$!
       trap 'kill "$tele_pid" 2>/dev/null || true' EXIT
       for _ in $(seq 1 100); do
@@ -140,7 +150,10 @@ sys.stdout.write(urllib.request.urlopen(
         --require dqep_server_query_latency_seconds \
         --require dqep_server_admission_queue_wait_seconds \
         --require dqep_template_latency_seconds \
-        --require dqep_obs_flight_recorded
+        --require dqep_obs_flight_recorded \
+        --require dqep_slo_burn_rate \
+        --require dqep_template_drift_ratio \
+        --require dqep_calibration_age_queries
       python3 - "$tele_port" "$tele_dir/spool" <<'EOF'
 import glob
 import json
@@ -155,6 +168,8 @@ json.load(urllib.request.urlopen(
     f"http://127.0.0.1:{port}/metrics.json", timeout=10))
 bundles = glob.glob(spool + "/slow-*.json")
 assert bundles, "no slow-query bundles spooled"
+assert len(bundles) <= 4, \
+    f"--slow-spool-max=4 rotation kept {len(bundles)} bundles"
 doc = json.load(open(bundles[0]))
 assert "meta" in doc and "trace" in doc and doc["trace"]["traceEvents"], \
     "incomplete bundle"
@@ -165,6 +180,65 @@ EOF
       wait "$tele_pid"
       trap - EXIT
       rm -rf "$tele_dir"
+      ;;
+    replay)
+      # Oracle-replay gate: log a small chain-query workload through the
+      # local CLI (plan cache on, so literals lift into start-up
+      # bindings and the plans carry real choose-plan decisions), replay
+      # it with every decision forced each way, and validate the
+      # scorecard — every replayed record must have measured (not
+      # estimated) regret per decision, an interval-coverage verdict,
+      # and byte-identical row counts for the chosen plan.
+      echo "== replay: oracle-replay scorecard gate =="
+      cmake -B build -S . >/dev/null
+      cmake --build build -j --target dqep_cli dqep_replay
+      replay_dir="$(mktemp -d)"
+      {
+        for lit in 100 200 300 400 500 600 700 800; do
+          echo "SELECT * FROM R1 WHERE R1.s < $lit"
+        done
+        for lit in 150 300 450 600 750 900; do
+          echo "SELECT * FROM R1, R2 WHERE R1.b = R2.a AND R1.s < $lit" \
+               "AND R2.s < 500"
+        done
+        for lit in 200 400 600 800 950 350; do
+          echo "SELECT * FROM R1, R2, R3, R4 WHERE R1.b = R2.a AND" \
+               "R2.b = R3.a AND R3.b = R4.a AND R1.s < $lit AND" \
+               "R2.s < 500 AND R3.s < 700 AND R4.s < 900"
+        done
+      } | build/tools/dqep_cli --query-log="$replay_dir/log.jsonl" \
+          > /dev/null
+      build/tools/dqep_replay --log="$replay_dir/log.jsonl" \
+        --out="$replay_dir/scorecard.json" --repeat=3
+      python3 - "$replay_dir/scorecard.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))["replay"]
+assert doc["queries"] >= 20, f"logged only {doc['queries']} queries"
+assert doc["replayed"] == doc["queries"], \
+    f"only {doc['replayed']}/{doc['queries']} records replayed"
+decisions = 0
+for r in doc["records"]:
+    assert r["replayed"], f"record not replayed: {r}"
+    assert r["rows_match"], \
+        f"replayed rows {r['replay_rows']} != logged {r['logged_rows']}: " \
+        f"{r['query'][:60]}"
+    assert "root_in_interval" in r, "missing interval-coverage verdict"
+    for d in r["decisions"]:
+        decisions += 1
+        assert "measured_regret_seconds" in d and "win" in d, \
+            f"decision without measured regret: {d}"
+        assert d["alternatives_row_match"], \
+            f"forced alternative broke row parity: {r['query'][:60]}"
+assert decisions > 0, "no choose-plan decisions replayed"
+for t in doc["templates"]:
+    assert 0.0 <= t["win_rate"] <= 1.0, t
+    assert "interval_coverage" in t and "mean_measured_regret_seconds" in t
+print(f"replay: {doc['replayed']} records, {decisions} decisions "
+      f"oracle-scored, row parity held")
+EOF
+      rm -rf "$replay_dir"
       ;;
     reoptbench)
       # Functional gate on within-run invariants, machine-speed proof:
@@ -207,7 +281,7 @@ GATE
       cmake -B build-tsan -S . -DDQEP_SANITIZE=thread >/dev/null
       cmake --build build-tsan -j --target \
         exec_parallel_test exec_spill_test obs_test obs_feedback_test \
-        plan_cache_test server_test reopt_test
+        obs_alerts_test plan_cache_test server_test reopt_test
       ctest --test-dir build-tsan -L "$labels" --output-on-failure
       ;;
     asan)
@@ -215,12 +289,12 @@ GATE
       cmake -B build-asan -S . -DDQEP_SANITIZE=address >/dev/null
       cmake --build build-asan -j --target \
         exec_parallel_test exec_spill_test obs_test obs_feedback_test \
-        plan_cache_test server_test reopt_test
+        obs_alerts_test plan_cache_test server_test reopt_test
       ctest --test-dir build-asan -L "$labels" --output-on-failure
       ;;
     *)
       echo "unknown step: $step (want bench, plain, cachebench," \
-           "serverbench, reoptbench, telemetry, tsan, asan)" >&2
+           "serverbench, reoptbench, telemetry, replay, tsan, asan)" >&2
       exit 2
       ;;
   esac
